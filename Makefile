@@ -1,0 +1,25 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench examples figures clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		python $$script || exit 1; \
+	done
+
+figures:
+	python -m repro figures
+
+clean:
+	rm -rf build *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

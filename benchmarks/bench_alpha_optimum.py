@@ -1,0 +1,34 @@
+"""Ablation (§6.1.1): the S_Agg reduction factor α and its optimum ≈ 3.6."""
+
+from repro.bench import publish, render_series
+from repro.costmodel import PAPER_DEFAULTS, optimal_alpha, s_agg_response_time
+
+
+ALPHAS = (2.0, 2.5, 3.0, 3.5, 3.6, 4.0, 5.0, 6.0, 8.0, 10.0)
+
+
+def sweep_alpha():
+    return {
+        "TQ(alpha)": [
+            (alpha, s_agg_response_time(PAPER_DEFAULTS, alpha)) for alpha in ALPHAS
+        ]
+    }
+
+
+def test_alpha_optimum(benchmark):
+    series = benchmark(sweep_alpha)
+    alpha_op = optimal_alpha()
+    text = render_series(
+        f"Ablation — S_Agg TQ vs reduction factor alpha (optimum ≈ {alpha_op:.3f})",
+        "alpha",
+        series,
+    )
+    publish("ablation_alpha_optimum", text)
+
+    curve = dict(series["TQ(alpha)"])
+    best_swept = min(curve, key=curve.get)
+    # the sweep's minimum sits at 3.5/3.6, bracketing the analytic optimum
+    assert abs(best_swept - alpha_op) < 0.5
+    # and the analytic optimum beats both extremes comfortably
+    assert s_agg_response_time(PAPER_DEFAULTS, alpha_op) < curve[2.0]
+    assert s_agg_response_time(PAPER_DEFAULTS, alpha_op) < curve[10.0]

@@ -1,0 +1,54 @@
+"""Ablation (§5 + §6.1.3): ED_Hist's collision factor h.
+
+h = G/M (groups per hash value) is ED_Hist's single security/performance
+knob: h → 1 degenerates to Det_Enc (fast routing, maximal exposure),
+h → G is one bucket (minimal exposure, no SSI-side parallelism).  This
+bench sweeps h and prints both sides of the trade-off.
+"""
+
+from repro.bench import publish, render_table, zipf_grouping_sample
+from repro.costmodel import PAPER_DEFAULTS, ed_hist_metrics
+from repro.exposure import exposure_ed_hist, exposure_s_agg
+from repro.tds.histogram import EquiDepthHistogram, frequencies_from_values
+
+DISTINCT = 40
+
+
+def sweep_h():
+    values, __ = zipf_grouping_sample(population=4000, distinct=DISTINCT, seed=5)
+    frequencies = frequencies_from_values(values)
+    rows = []
+    for num_buckets in (1, 2, 5, 8, 20, 40):
+        histogram = EquiDepthHistogram.from_distribution(frequencies, num_buckets)
+        h = histogram.collision_factor()
+        epsilon = exposure_ed_hist(values, histogram)
+        t_q = ed_hist_metrics(PAPER_DEFAULTS.with_(h=max(h, 1.0))).t_q_seconds
+        rows.append((num_buckets, h, epsilon, t_q))
+    return rows
+
+
+def test_collision_factor_tradeoff(benchmark):
+    rows = benchmark(sweep_h)
+    floor = exposure_s_agg([DISTINCT])
+    publish(
+        "ablation_collision_factor",
+        render_table(
+            "Ablation — ED_Hist collision factor h: exposure vs response time "
+            f"(nDet floor ε = {floor:.4f})",
+            ["buckets M", "h = G/M", "exposure ε", "model TQ (s)"],
+            rows,
+        ),
+    )
+
+    by_buckets = {r[0]: r for r in rows}
+    # h = G (one bucket) reaches the nDet_Enc floor
+    assert abs(by_buckets[1][2] - floor) < 0.02
+    # h = 1 (M = G buckets) is the most exposed configuration
+    epsilons = [r[2] for r in rows]
+    assert by_buckets[DISTINCT][2] == max(epsilons)
+    # exposure grows as h shrinks (monotone across the sweep)
+    assert epsilons == sorted(epsilons)
+    # ... while the model's TQ shrinks with h (less bucket fan-out work
+    # per group is amortized by more parallel buckets)
+    tqs = [r[3] for r in rows]
+    assert tqs[0] == max(tqs)

@@ -1,0 +1,21 @@
+"""Fig. 10a: level of parallelism PTDS vs number of groups G."""
+
+from repro.bench import ptds_vs_g, publish, render_series
+
+
+def test_fig10a(benchmark):
+    series = benchmark(ptds_vs_g)
+    publish(
+        "fig10a_ptds_vs_g",
+        render_series("Fig. 10a — PTDS vs G (Nt=10^6, 10% connected)", "G", series),
+    )
+
+    curve = dict(series["S_Agg"])
+    # S_Agg: parallelism shrinks as G grows (iterative merge converges slower)
+    assert curve[1] > curve[1_000] > curve[1_000_000]
+    # tagged protocols: parallelism grows linearly with G
+    for name in ("R2_Noise", "C_Noise", "ED_Hist"):
+        tagged = dict(series[name])
+        assert tagged[1] < tagged[1_000] < tagged[1_000_000]
+    # noise protocols mobilize the most TDSs (fake-tuple work)
+    assert dict(series["R1000_Noise"])[1_000] > dict(series["ED_Hist"])[1_000]

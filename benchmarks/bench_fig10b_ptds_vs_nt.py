@@ -1,0 +1,24 @@
+"""Fig. 10b: level of parallelism PTDS vs dataset size Nt."""
+
+from repro.bench import ptds_vs_nt, publish, render_series
+
+
+def test_fig10b(benchmark):
+    series = benchmark(ptds_vs_nt)
+    publish(
+        "fig10b_ptds_vs_nt",
+        render_series(
+            "Fig. 10b — PTDS (millions) vs Nt (millions), G=10^3", "Nt (M)", series
+        ),
+    )
+
+    # Noise-based protocols benefit most from an Nt increase — a benefit
+    # the paper calls "fictitious" (it is fake-tuple work).
+    r1000 = dict(series["R1000_Noise"])
+    assert r1000[65] > r1000[5]
+    for name in ("S_Agg", "ED_Hist", "C_Noise", "R2_Noise"):
+        curve = dict(series[name])
+        assert curve[65] < r1000[65]
+    # S_Agg parallelism also grows with Nt (more tuples, more partitions)
+    s_agg = dict(series["S_Agg"])
+    assert s_agg[65] > s_agg[5]

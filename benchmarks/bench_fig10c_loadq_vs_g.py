@@ -1,0 +1,25 @@
+"""Fig. 10c: global resource consumption LoadQ vs number of groups G."""
+
+from repro.bench import loadq_vs_g, publish, render_series
+
+
+def test_fig10c(benchmark):
+    series = benchmark(loadq_vs_g)
+    publish(
+        "fig10c_loadq_vs_g",
+        render_series("Fig. 10c — LoadQ (MB) vs G (Nt=10^6)", "G", series),
+    )
+
+    # Noise protocols carry the highest load (fake tuples), flat in G
+    # because nf depends only on Nt.
+    r1000 = dict(series["R1000_Noise"])
+    assert max(r1000.values()) / min(r1000.values()) < 1.2
+    for g in (1, 1_000, 1_000_000):
+        assert r1000[g] > dict(series["S_Agg"])[g]
+        assert r1000[g] > dict(series["ED_Hist"])[g]
+    # ordering by noise volume: R1000 > C_Noise (nd=130) > R2
+    assert r1000[1_000] > dict(series["C_Noise"])[1_000] > dict(series["R2_Noise"])[1_000]
+    # S_Agg and ED_Hist generate much lower, roughly comparable loads
+    s_agg = dict(series["S_Agg"])[1_000]
+    ed = dict(series["ED_Hist"])[1_000]
+    assert max(s_agg, ed) / min(s_agg, ed) < 5

@@ -1,0 +1,26 @@
+"""Fig. 10d: global resource consumption LoadQ vs dataset size Nt."""
+
+from repro.bench import loadq_vs_nt, publish, render_series
+
+
+def test_fig10d(benchmark):
+    series = benchmark(loadq_vs_nt)
+    publish(
+        "fig10d_loadq_vs_nt",
+        render_series("Fig. 10d — LoadQ (MB) vs Nt (millions), G=10^3", "Nt (M)", series),
+    )
+
+    # every protocol's load grows (roughly linearly) with Nt
+    for name, points in series.items():
+        curve = dict(points)
+        assert curve[65] > curve[5], name
+        ratio = curve[65] / curve[5]
+        assert 8 < ratio < 16, (name, ratio)  # ~13x for 13x data
+    # the noise hierarchy persists at every Nt
+    for nt in (5, 35, 65):
+        assert (
+            dict(series["R1000_Noise"])[nt]
+            > dict(series["C_Noise"])[nt]
+            > dict(series["R2_Noise"])[nt]
+            > dict(series["S_Agg"])[nt]
+        )

@@ -1,0 +1,24 @@
+"""Fig. 10e: query response time TQ vs G at the default 10 % availability."""
+
+from repro.bench import publish, render_series, tq_vs_g
+
+
+def test_fig10e(benchmark):
+    series = benchmark(tq_vs_g)
+    publish(
+        "fig10e_tq_vs_g",
+        render_series(
+            "Fig. 10e — TQ (s) vs G (available TDS = 10% of Nt)", "G", series
+        ),
+    )
+
+    s_agg = dict(series["S_Agg"])
+    # S_Agg: TQ grows with G (bigger partial aggregations per step)
+    assert s_agg[1] < s_agg[1_000] < s_agg[1_000_000]
+    # tagged protocols: TQ shrinks as groups get smaller (more parallelism)
+    r2 = dict(series["R2_Noise"])
+    assert r2[1] > r2[1_000]
+    # crossover: S_Agg wins at small G, loses to ED_Hist at large G
+    ed = dict(series["ED_Hist"])
+    assert s_agg[1] < ed[1]
+    assert s_agg[100_000] > ed[100_000]

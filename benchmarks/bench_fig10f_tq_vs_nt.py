@@ -1,0 +1,28 @@
+"""Fig. 10f: query response time TQ vs dataset size Nt."""
+
+from repro.bench import publish, render_series, tq_vs_nt
+
+
+def test_fig10f(benchmark):
+    series = benchmark(tq_vs_nt)
+    publish(
+        "fig10f_tq_vs_nt",
+        render_series("Fig. 10f — TQ (s) vs Nt (millions), G=10^3", "Nt (M)", series),
+    )
+
+    # ED_Hist: more TDSs absorb more tuples → minimal impact on TQ
+    ed = dict(series["ED_Hist"])
+    assert ed[65] / ed[5] < 4
+    # S_Agg: more iterations with Nt → TQ grows
+    s_agg = dict(series["S_Agg"])
+    assert s_agg[65] > s_agg[5]
+    # noise: the fake-tuple work scales with Nt exactly as the available
+    # TDS pool does (10% of Nt), so TQ plateaus at a high level — an order
+    # of magnitude above R2 and two above ED_Hist
+    r1000 = dict(series["R1000_Noise"])
+    assert max(r1000.values()) / min(r1000.values()) < 1.05  # ~flat
+    r2 = dict(series["R2_Noise"])
+    assert r1000[35] > 10 * r2[35]
+    # ED_Hist stays the fastest at scale
+    assert ed[65] < s_agg[65]
+    assert ed[65] < r1000[65]

@@ -1,0 +1,22 @@
+"""Fig. 10g: average local execution time Tlocal vs G."""
+
+from repro.bench import publish, render_series, tlocal_vs_g
+
+
+def test_fig10g(benchmark):
+    series = benchmark(tlocal_vs_g)
+    publish(
+        "fig10g_tlocal_vs_g",
+        render_series("Fig. 10g — Tlocal (s) vs G (Nt=10^6)", "G", series),
+    )
+
+    # S_Agg: fewer TDSs participate at large G → each works more
+    s_agg = dict(series["S_Agg"])
+    assert s_agg[1] < s_agg[1_000] < s_agg[1_000_000]
+    # every other protocol benefits from an increase of G
+    for name in ("R2_Noise", "R1000_Noise", "ED_Hist"):
+        curve = dict(series[name])
+        assert curve[1] > curve[1_000_000], name
+    # at large G, S_Agg is the worst (the feasibility axis of Fig. 11)
+    for name in ("R2_Noise", "R1000_Noise", "C_Noise", "ED_Hist"):
+        assert s_agg[1_000_000] > dict(series[name])[1_000_000]

@@ -1,0 +1,27 @@
+"""Fig. 10h: average local execution time Tlocal vs dataset size Nt."""
+
+from repro.bench import publish, render_series, tlocal_vs_nt
+
+
+def test_fig10h(benchmark):
+    series = benchmark(tlocal_vs_nt)
+    publish(
+        "fig10h_tlocal_vs_nt",
+        render_series(
+            "Fig. 10h — Tlocal (s) vs Nt (millions), G=10^3", "Nt (M)", series
+        ),
+    )
+
+    # noise-based protocols: fake tuples grow with Nt and the per-TDS load
+    # grows accordingly
+    for name in ("R2_Noise", "R1000_Noise", "C_Noise"):
+        curve = dict(series[name])
+        assert curve[65] > curve[5], name
+    # R1000 is the heaviest locally at every Nt
+    for nt in (5, 35, 65):
+        r1000 = dict(series["R1000_Noise"])[nt]
+        assert r1000 >= dict(series["R2_Noise"])[nt]
+        assert r1000 >= dict(series["ED_Hist"])[nt]
+    # ED_Hist stays (nearly) insensitive thanks to independent parallelism
+    ed = dict(series["ED_Hist"])
+    assert ed[65] / ed[5] < 5

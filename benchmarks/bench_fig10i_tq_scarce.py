@@ -1,0 +1,23 @@
+"""Fig. 10i: response time TQ vs G with scarce resources (1 % of Nt)."""
+
+from repro.bench import publish, render_series, tq_vs_g
+
+
+def test_fig10i(benchmark):
+    series = benchmark(lambda: tq_vs_g(available_fraction=0.01))
+    publish(
+        "fig10i_tq_scarce",
+        render_series(
+            "Fig. 10i — TQ (s) vs G (available TDS = 1% of Nt)", "G", series
+        ),
+    )
+
+    # Scarce resources: the parallel computation is not completely
+    # deployed → tagged protocols are slower than at 10 %/100 %.
+    baseline = tq_vs_g(available_fraction=1.0)
+    for name in ("R2_Noise", "R1000_Noise", "C_Noise", "ED_Hist"):
+        scarce = dict(series[name])
+        abundant = dict(baseline[name])
+        assert scarce[1_000_000] >= abundant[1_000_000], name
+    # S_Agg does not depend on the number of available TDSs
+    assert dict(series["S_Agg"]) == dict(baseline["S_Agg"])

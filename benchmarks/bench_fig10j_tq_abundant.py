@@ -1,0 +1,24 @@
+"""Fig. 10j: response time TQ vs G with abundant resources (100 % of Nt)."""
+
+from repro.bench import publish, render_series, tq_vs_g
+
+
+def test_fig10j(benchmark):
+    series = benchmark(lambda: tq_vs_g(available_fraction=1.0))
+    publish(
+        "fig10j_tq_abundant",
+        render_series(
+            "Fig. 10j — TQ (s) vs G (available TDS = 100% of Nt)", "G", series
+        ),
+    )
+
+    # with full availability the tagged protocols decrease monotonically
+    # (or stay flat) in G over most of the range
+    for name in ("R2_Noise", "C_Noise", "ED_Hist"):
+        curve = dict(series[name])
+        assert curve[1] >= curve[1_000], name
+    # abundant resources never hurt: every tagged point ≤ the 1 % point
+    scarce = tq_vs_g(available_fraction=0.01)
+    for name in ("R2_Noise", "R1000_Noise", "C_Noise", "ED_Hist"):
+        for (g, abundant_tq), (__, scarce_tq) in zip(series[name], scarce[name]):
+            assert abundant_tq <= scarce_tq + 1e-12, (name, g)

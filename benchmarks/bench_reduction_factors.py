@@ -1,0 +1,56 @@
+"""Ablation (§6.1.2 / §6.1.3): the noise and histogram reduction factors.
+
+Sweeps n_NB around √((nf+1)·Nt/G) and (n_ED, m_ED) around the cube-root
+optima, confirming the Cauchy/AM-GM derivations numerically.
+"""
+
+from repro.bench import publish, render_series
+from repro.costmodel import (
+    PAPER_DEFAULTS,
+    ed_hist_response_time,
+    noise_response_time,
+    optimal_hist_reductions,
+    optimal_noise_reduction,
+)
+
+FACTORS = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0)
+
+
+def sweep():
+    n_opt = optimal_noise_reduction(PAPER_DEFAULTS.nf, PAPER_DEFAULTS.nt, PAPER_DEFAULTS.g)
+    ned_opt, med_opt = optimal_hist_reductions(
+        PAPER_DEFAULTS.h, PAPER_DEFAULTS.nt, PAPER_DEFAULTS.g
+    )
+    return {
+        "Rnf TQ(k*n_NB_opt)": [
+            (k, noise_response_time(PAPER_DEFAULTS, PAPER_DEFAULTS.nf, n_opt * k))
+            for k in FACTORS
+        ],
+        "ED TQ(k*(n,m)_opt)": [
+            (k, ed_hist_response_time(PAPER_DEFAULTS, ned_opt * k, med_opt * k))
+            for k in FACTORS
+        ],
+    }
+
+
+def test_reduction_factor_optima(benchmark):
+    series = benchmark(sweep)
+    publish(
+        "ablation_reduction_factors",
+        render_series(
+            "Ablation — TQ vs reduction-factor scaling k (1.0 = analytic optimum)",
+            "k",
+            series,
+        ),
+    )
+
+    for name, points in series.items():
+        curve = dict(points)
+        best = min(curve.values())
+        # the analytic optimum is the swept minimum
+        assert curve[1.0] == best, name
+        # and the curve is unimodal around it
+        left = [curve[k] for k in FACTORS if k <= 1.0]
+        right = [curve[k] for k in FACTORS if k >= 1.0]
+        assert left == sorted(left, reverse=True), name
+        assert right == sorted(right), name

@@ -1,0 +1,87 @@
+"""The honest-but-curious SSI turns attacker (§3.1 / §5), live.
+
+Runs the same skewed GROUP BY query under three protocols and lets the
+SSI mount a frequency-based attack on whatever it observed:
+
+* Det_Enc with no noise (Rnf, nf = 0)  -> the attack recovers the groups;
+* C_Noise                              -> flat tags, attack = guessing;
+* S_Agg                                -> no tags at all, nothing to attack.
+
+Run with:  python examples/frequency_attack.py
+"""
+
+import random
+
+from repro import CNoiseProtocol, Deployment, RnfNoiseProtocol, SAggProtocol
+from repro.core.codec import encode
+from repro.crypto.det import DeterministicCipher
+from repro.exposure import FrequencyAttacker
+from repro.sql.schema import Database, schema
+
+# a deliberately skewed population: frequency attacks need skew
+DISTRICT_WEIGHTS = {"center": 12, "north": 6, "south": 3, "east": 2, "west": 1}
+SQL = "SELECT district, COUNT(*) AS n FROM Consumer GROUP BY district"
+
+
+def skewed_factory():
+    assignment = [d for d, w in DISTRICT_WEIGHTS.items() for __ in range(w)]
+
+    def factory(index, rng):
+        db = Database()
+        table = db.create_table(schema("Consumer", cid="INTEGER", district="TEXT"))
+        table.insert({"cid": index, "district": assignment[index % len(assignment)]})
+        return db
+
+    return factory
+
+
+def run(deployment, cls, **kwargs):
+    querier = deployment.make_querier()
+    envelope = querier.make_envelope(SQL)
+    deployment.ssi.post_query(envelope)
+    cls(
+        deployment.ssi, deployment.tds_list, deployment.tds_list,
+        random.Random(5), **kwargs,
+    ).execute(envelope)
+    return envelope.query_id
+
+
+def main() -> None:
+    deployment = Deployment.build(
+        48, skewed_factory(), tables=["Consumer"], seed=21
+    )
+    domain = [(d,) for d in DISTRICT_WEIGHTS]
+
+    # the attacker's prior: published census-like district frequencies
+    prior = {
+        row["district"]: row["n"] for row in deployment.reference_answer(SQL)
+    }
+    attacker = FrequencyAttacker(prior)
+
+    # scoring oracle (uses k2 — the real SSI does NOT have this)
+    k2 = deployment.provisioner.bundle_for_tds().k2.current.material
+    det = DeterministicCipher(k2)
+    truth = {det.encrypt(encode([d])): d for d in DISTRICT_WEIGHTS}
+
+    print(f"population: 48 TDSs, district skew {dict(DISTRICT_WEIGHTS)}\n")
+    print(f"{'protocol':>22} | {'tags seen':>9} | {'attack accuracy':>15}")
+    print("-" * 54)
+
+    for label, cls, kwargs in [
+        ("Det_Enc (R0_Noise)", RnfNoiseProtocol, {"domain": domain, "nf": 0}),
+        ("R10_Noise", RnfNoiseProtocol, {"domain": domain, "nf": 10}),
+        ("C_Noise", CNoiseProtocol, {"domain": domain}),
+        ("S_Agg", SAggProtocol, {}),
+    ]:
+        query_id = run(deployment, cls, **kwargs)
+        outcome = attacker.evaluate(deployment.ssi.observer, query_id, truth)
+        print(f"{label:>22} | {outcome.attack_surface:>9} | "
+              f"{outcome.accuracy:>14.0%}")
+
+    print("\nReading: with bare Det_Enc the SSI matches ciphertext frequencies")
+    print("to its prior and wins; injected noise flattens the observable")
+    print("distribution; S_Agg removes the attack surface entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline CI).
+
+`pip install -e . --no-use-pep517` takes the legacy setuptools path, which
+this file enables.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Benchmark harness helpers: figure/table generators and text rendering."""
+
+from repro.bench.concrete import ConcreteResult, build_deployment, run_all_protocols
+from repro.bench.exposure_tables import (
+    ACCOUNTS_COLUMNS,
+    ACCOUNTS_ROWS,
+    fig7_ic_tables,
+    fig8_report,
+    zipf_grouping_sample,
+)
+from repro.bench.fig10 import (
+    G_SWEEP,
+    NT_SWEEP,
+    PROTOCOLS,
+    loadq_vs_g,
+    loadq_vs_nt,
+    ptds_vs_g,
+    ptds_vs_nt,
+    tlocal_vs_g,
+    tlocal_vs_nt,
+    tq_vs_g,
+    tq_vs_nt,
+)
+from repro.bench.fig11 import PAPER_ORDERINGS, Axis, derive_axes
+from repro.bench.report import (
+    format_number,
+    publish,
+    render_series,
+    render_table,
+)
+
+__all__ = [
+    "ACCOUNTS_COLUMNS",
+    "ACCOUNTS_ROWS",
+    "Axis",
+    "ConcreteResult",
+    "G_SWEEP",
+    "NT_SWEEP",
+    "PAPER_ORDERINGS",
+    "PROTOCOLS",
+    "build_deployment",
+    "derive_axes",
+    "fig7_ic_tables",
+    "fig8_report",
+    "format_number",
+    "loadq_vs_g",
+    "loadq_vs_nt",
+    "ptds_vs_g",
+    "ptds_vs_nt",
+    "publish",
+    "render_series",
+    "render_table",
+    "run_all_protocols",
+    "tlocal_vs_g",
+    "tlocal_vs_nt",
+    "tq_vs_g",
+    "tq_vs_nt",
+    "zipf_grouping_sample",
+]

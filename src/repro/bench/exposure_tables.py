@@ -1,0 +1,64 @@
+"""Data generators for Fig. 7 (IC tables) and Fig. 8 (exposure ladder).
+
+Fig. 7 uses the ``Accounts`` example of Damiani et al. [12]: Alice holds
+two accounts (unique max frequency among customers) and balance 200 has
+the unique max frequency among balances, so Det_Enc discloses both with
+probability 1, while nDet_Enc leaves 1/5 per customer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from repro.exposure.analysis import ExposureReport, compare_protocols
+from repro.exposure.ic_table import ICTable, ic_det, ic_histogram, ic_ndet, ic_plaintext
+from repro.workloads.distributions import zipf_sample
+
+#: the Accounts table of the Fig. 7 example
+ACCOUNTS_ROWS = [
+    {"Account": "Acc1", "Customer": "Alice", "Balance": 100},
+    {"Account": "Acc2", "Customer": "Alice", "Balance": 200},
+    {"Account": "Acc3", "Customer": "Bob", "Balance": 200},
+    {"Account": "Acc4", "Customer": "Chris", "Balance": 200},
+    {"Account": "Acc5", "Customer": "Donna", "Balance": 300},
+    {"Account": "Acc6", "Customer": "Elvis", "Balance": 400},
+]
+ACCOUNTS_COLUMNS = ("Account", "Customer", "Balance")
+
+#: Customer buckets used for the histogram variant of the example
+ACCOUNTS_BUCKETS = {
+    "Customer": {"Alice": 0, "Bob": 0, "Chris": 1, "Donna": 1, "Elvis": 1}
+}
+
+
+def fig7_ic_tables() -> dict[str, ICTable]:
+    """The four IC tables of the example: plaintext, Det_Enc, nDet_Enc and
+    equi-depth histogram."""
+    return {
+        "plaintext": ic_plaintext(ACCOUNTS_ROWS, ACCOUNTS_COLUMNS),
+        "Det_Enc": ic_det(ACCOUNTS_ROWS, ACCOUNTS_COLUMNS),
+        "nDet_Enc": ic_ndet(ACCOUNTS_ROWS, ACCOUNTS_COLUMNS),
+        "ED_Hist": ic_histogram(ACCOUNTS_ROWS, ACCOUNTS_COLUMNS, ACCOUNTS_BUCKETS),
+    }
+
+
+def zipf_grouping_sample(
+    population: int = 5000, distinct: int = 50, exponent: float = 1.0, seed: int = 0
+) -> tuple[list[Any], list[Any]]:
+    """A Zipf-distributed grouping attribute (the setting of [11]'s
+    exposure experiments): returns (values, domain)."""
+    domain = [f"v{i:03d}" for i in range(distinct)]
+    values = zipf_sample(domain, population, random.Random(seed), exponent)
+    return values, domain
+
+
+def fig8_report(
+    population: int = 5000,
+    distinct: int = 50,
+    nf_values: Sequence[int] = (0, 2, 10, 100, 1000),
+    seed: int = 0,
+) -> ExposureReport:
+    """The Fig. 8 comparison on a Zipf sample."""
+    values, domain = zipf_grouping_sample(population, distinct, seed=seed)
+    return compare_protocols(values, domain, nf_values=nf_values, seed=seed)

@@ -1,0 +1,86 @@
+"""Series generators for every panel of Fig. 10 (§6.3).
+
+Each function returns ``{protocol name: [(x, y), ...]}`` with the paper's
+sweep ranges: G ∈ {1, 10, …, 10⁶} (log scale) and Nt ∈ {5 M, 15 M, …,
+65 M}.  The five curves are S_Agg, R2_Noise, R1000_Noise, C_Noise and
+ED_Hist, exactly as plotted in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.costmodel import CostMetrics, CostParameters, PAPER_DEFAULTS, all_protocol_metrics
+
+#: the G axis of panels a, c, e, g, i, j
+G_SWEEP = (1, 10, 100, 1_000, 10_000, 100_000, 1_000_000)
+#: the Nt axis of panels b, d, f, h (millions of tuples)
+NT_SWEEP = tuple(m * 1_000_000 for m in (5, 15, 25, 35, 45, 55, 65))
+
+PROTOCOLS = ("S_Agg", "R2_Noise", "R1000_Noise", "C_Noise", "ED_Hist")
+
+Series = dict[str, list[tuple[float, float]]]
+
+
+def _sweep(
+    points: Sequence[tuple[float, CostParameters]],
+    extract: Callable[[CostMetrics], float],
+) -> Series:
+    series: Series = {name: [] for name in PROTOCOLS}
+    for x, params in points:
+        metrics = all_protocol_metrics(params)
+        for name in PROTOCOLS:
+            series[name].append((x, extract(metrics[name])))
+    return series
+
+
+def _g_points(params: CostParameters) -> list[tuple[float, CostParameters]]:
+    return [(g, params.with_(g=g)) for g in G_SWEEP]
+
+
+def _nt_points(params: CostParameters) -> list[tuple[float, CostParameters]]:
+    return [(nt / 1e6, params.with_(nt=nt)) for nt in NT_SWEEP]
+
+
+def ptds_vs_g(params: CostParameters = PAPER_DEFAULTS) -> Series:
+    """Fig. 10a: level of parallelism vs number of groups."""
+    return _sweep(_g_points(params), lambda m: m.p_tds)
+
+
+def ptds_vs_nt(params: CostParameters = PAPER_DEFAULTS) -> Series:
+    """Fig. 10b: level of parallelism vs dataset size (PTDS in millions)."""
+    return _sweep(_nt_points(params), lambda m: m.p_tds / 1e6)
+
+
+def loadq_vs_g(params: CostParameters = PAPER_DEFAULTS) -> Series:
+    """Fig. 10c: global resource consumption (MB) vs number of groups."""
+    return _sweep(_g_points(params), lambda m: m.load_q_mb)
+
+
+def loadq_vs_nt(params: CostParameters = PAPER_DEFAULTS) -> Series:
+    """Fig. 10d: global resource consumption (MB) vs dataset size."""
+    return _sweep(_nt_points(params), lambda m: m.load_q_mb)
+
+
+def tq_vs_g(
+    params: CostParameters = PAPER_DEFAULTS, available_fraction: float | None = None
+) -> Series:
+    """Fig. 10e (10 %), 10i (1 %) and 10j (100 %): response time vs G."""
+    if available_fraction is not None:
+        params = params.with_(available_fraction=available_fraction)
+    return _sweep(_g_points(params), lambda m: m.t_q_seconds)
+
+
+def tq_vs_nt(params: CostParameters = PAPER_DEFAULTS) -> Series:
+    """Fig. 10f: response time vs dataset size."""
+    return _sweep(_nt_points(params), lambda m: m.t_q_seconds)
+
+
+def tlocal_vs_g(params: CostParameters = PAPER_DEFAULTS) -> Series:
+    """Fig. 10g: average local execution time vs number of groups."""
+    return _sweep(_g_points(params), lambda m: m.t_local_seconds)
+
+
+def tlocal_vs_nt(params: CostParameters = PAPER_DEFAULTS) -> Series:
+    """Fig. 10h: average local execution time vs dataset size."""
+    return _sweep(_nt_points(params), lambda m: m.t_local_seconds)

@@ -1,0 +1,87 @@
+"""Plain-text rendering of benchmark series and tables.
+
+Every figure/table bench produces its data through :mod:`repro.bench`
+generators and renders it with these helpers, writing both to stdout and
+to ``benchmarks/results/<name>.txt`` so the regenerated artifacts survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping, Sequence
+
+Series = Mapping[str, Sequence[tuple[float, float]]]
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+
+
+def format_number(value: float) -> str:
+    """Compact scientific-ish formatting matching the paper's log axes."""
+    if value == 0:
+        return "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer() and abs(value) < 1e6):
+        return str(int(value))
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.3e}"
+    return f"{value:.4g}"
+
+
+def render_series(title: str, x_label: str, series: Series) -> str:
+    """Render one figure panel: x values down the rows, one column per
+    protocol curve."""
+    names = list(series)
+    xs: list[float] = []
+    for points in series.values():
+        for x, __ in points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    width = max(12, max((len(n) for n in names), default=12) + 1)
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:>12} | " + " | ".join(f"{n:>{width}}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        cells = []
+        for name in names:
+            y = lookup[name].get(x)
+            cells.append(f"{format_number(y) if y is not None else '—':>{width}}")
+        lines.append(f"{format_number(x):>12} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render a plain table (Fig. 7/8/11 style)."""
+    widths = [len(h) for h in headers]
+    text_rows = []
+    for row in rows:
+        text_row = [
+            cell if isinstance(cell, str) else format_number(cell) for cell in row
+        ]
+        text_rows.append(text_row)
+        for i, cell in enumerate(text_row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    header = " | ".join(f"{h:>{w}}" for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for text_row in text_rows:
+        lines.append(" | ".join(f"{c:>{w}}" for c, w in zip(text_row, widths)))
+    return "\n".join(lines)
+
+
+def publish(name: str, text: str) -> str:
+    """Print *text* and persist it under ``benchmarks/results/<name>.txt``."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path

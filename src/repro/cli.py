@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands:
+
+* ``demo``      — run one private query over a synthetic smart-meter
+  population with any of the protocols and print the result + stats;
+* ``figures``   — regenerate the paper's figure series without pytest;
+* ``costmodel`` — evaluate the calibrated cost model at one parameter
+  point (all four metrics, all five protocols);
+* ``attack``    — replay the frequency-based attack against each
+  protocol's observation log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Sequence
+
+from repro.bench import (
+    loadq_vs_g,
+    ptds_vs_g,
+    render_series,
+    render_table,
+    tlocal_vs_g,
+    tq_vs_g,
+)
+from repro.costmodel import PAPER_DEFAULTS, all_protocol_metrics
+from repro.protocols import (
+    CNoiseProtocol,
+    Deployment,
+    EDHistProtocol,
+    PCEHR_TOKEN_PRIORITIES,
+    Priorities,
+    RnfNoiseProtocol,
+    SAggProtocol,
+    SMART_METER_PRIORITIES,
+    SelectWhereProtocol,
+    build_histogram,
+    discover_domain,
+    recommend_protocol,
+)
+from repro.workloads import smart_meter_factory
+
+_DEFAULT_QUERY = (
+    "SELECT district, AVG(cons) AS avg_cons, COUNT(*) AS meters "
+    "FROM Power P, Consumer C WHERE C.cid = P.cid GROUP BY district"
+)
+
+PROTOCOL_CHOICES = ("s_agg", "rnf_noise", "c_noise", "ed_hist", "basic")
+
+
+def _build_driver(name, deployment, workers, rng, nf):
+    """Instantiate the requested protocol, running discovery when the
+    protocol needs domain/distribution knowledge."""
+    common = dict(
+        collectors=deployment.tds_list, workers=workers, rng=rng
+    )
+    if name == "s_agg":
+        return SAggProtocol(deployment.ssi, **common)
+    if name == "basic":
+        return SelectWhereProtocol(deployment.ssi, **common)
+    if name == "rnf_noise":
+        domain = [(d,) for d in discover_domain(deployment, "Consumer", "district")]
+        return RnfNoiseProtocol(deployment.ssi, domain=domain, nf=nf, **common)
+    if name == "c_noise":
+        domain = [(d,) for d in discover_domain(deployment, "Consumer", "district")]
+        return CNoiseProtocol(deployment.ssi, domain=domain, **common)
+    if name == "ed_hist":
+        histogram = build_histogram(deployment, "Consumer", "district", num_buckets=2)
+        return EDHistProtocol(deployment.ssi, histogram=histogram, **common)
+    raise SystemExit(f"unknown protocol {name!r}")
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    deployment = Deployment.build(
+        args.tds,
+        smart_meter_factory(num_districts=args.districts),
+        tables=["Power", "Consumer"],
+        seed=args.seed,
+    )
+    querier = deployment.make_querier()
+    envelope = querier.make_envelope(args.query)
+    deployment.ssi.post_query(envelope)
+    rng = random.Random(args.seed + 1)
+    workers = deployment.connected_tds(args.availability)
+    driver = _build_driver(args.protocol, deployment, workers, rng, args.nf)
+    driver.execute(envelope)
+    rows = querier.decrypt_result(deployment.ssi.fetch_result(envelope.query_id))
+
+    print(f"protocol : {driver.name}")
+    print(f"query    : {args.query}")
+    print(f"result   : {len(rows)} row(s)")
+    for row in sorted(rows, key=str):
+        print(f"  {row}")
+    stats = driver.stats
+    print(
+        f"stats    : covering result {stats.tuples_collected} tuples, "
+        f"{len(stats.participants)} TDSs, "
+        f"{stats.aggregation_rounds} aggregation round(s), "
+        f"{stats.bytes_processed} bytes moved"
+    )
+    tags = deployment.ssi.observer.tag_frequencies(envelope.query_id)
+    print(f"SSI view : {len(tags)} distinct grouping tag(s) observed")
+    return 0
+
+
+_FIGURES = {
+    "fig10a": ("PTDS vs G", ptds_vs_g),
+    "fig10c": ("LoadQ (MB) vs G", loadq_vs_g),
+    "fig10e": ("TQ (s) vs G", tq_vs_g),
+    "fig10g": ("Tlocal (s) vs G", tlocal_vs_g),
+}
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names = [args.only] if args.only else list(_FIGURES)
+    for name in names:
+        if name not in _FIGURES:
+            raise SystemExit(
+                f"unknown figure {name!r}; choose from {', '.join(_FIGURES)} "
+                f"(the full set lives in benchmarks/)"
+            )
+        title, generator = _FIGURES[name]
+        print(render_series(f"{name} — {title}", "G", generator()))
+        print()
+    return 0
+
+
+def cmd_costmodel(args: argparse.Namespace) -> int:
+    params = PAPER_DEFAULTS.with_(
+        nt=args.nt, g=args.g, available_fraction=args.availability
+    )
+    metrics = all_protocol_metrics(params)
+    rows = [
+        [name, m.p_tds, m.load_q_mb, m.t_q_seconds, m.t_local_seconds]
+        for name, m in metrics.items()
+    ]
+    print(
+        render_table(
+            f"Cost model @ Nt={params.nt:,}, G={params.g:,}, "
+            f"availability={params.available_fraction:.0%}",
+            ["protocol", "PTDS", "LoadQ (MB)", "TQ (s)", "Tlocal (s)"],
+            rows,
+        )
+    )
+    return 0
+
+
+_SCENARIOS = {
+    "pcehr-token": PCEHR_TOKEN_PRIORITIES,
+    "smart-meter": SMART_METER_PRIORITIES,
+    "balanced": Priorities(),
+}
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    priorities = _SCENARIOS[args.scenario]
+    params = PAPER_DEFAULTS.with_(g=args.g)
+    recommendation = recommend_protocol(priorities, params)
+    print(f"scenario      : {args.scenario}")
+    print(f"recommendation: {recommendation.protocol}")
+    print("scores        :")
+    for name, score in sorted(recommendation.scores.items(), key=lambda kv: -kv[1]):
+        print(f"  {name:>12}: {score:.2f}")
+    print("axes (worst < ... < best):")
+    for axis, ordering in recommendation.rationale.items():
+        print(f"  {axis}: {ordering}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy-preserving decentralized SQL (EDBT 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one private query end-to-end")
+    demo.add_argument("--protocol", choices=PROTOCOL_CHOICES, default="s_agg")
+    demo.add_argument("--query", default=_DEFAULT_QUERY)
+    demo.add_argument("--tds", type=int, default=30, help="population size")
+    demo.add_argument("--districts", type=int, default=4)
+    demo.add_argument("--availability", type=float, default=0.5)
+    demo.add_argument("--nf", type=int, default=2, help="fakes per tuple (rnf_noise)")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=cmd_demo)
+
+    figures = sub.add_parser("figures", help="print paper figure series")
+    figures.add_argument("--only", help="one of: " + ", ".join(_FIGURES))
+    figures.set_defaults(func=cmd_figures)
+
+    costmodel = sub.add_parser("costmodel", help="evaluate the cost model")
+    costmodel.add_argument("--nt", type=int, default=PAPER_DEFAULTS.nt)
+    costmodel.add_argument("--g", type=int, default=PAPER_DEFAULTS.g)
+    costmodel.add_argument(
+        "--availability", type=float, default=PAPER_DEFAULTS.available_fraction
+    )
+    costmodel.set_defaults(func=cmd_costmodel)
+
+    recommend = sub.add_parser(
+        "recommend", help="pick a protocol for a deployment scenario (§6.4)"
+    )
+    recommend.add_argument(
+        "--scenario", choices=sorted(_SCENARIOS), default="balanced"
+    )
+    recommend.add_argument("--g", type=int, default=PAPER_DEFAULTS.g)
+    recommend.set_defaults(func=cmd_recommend)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Message envelopes exchanged between querier, SSI and TDSs.
+
+Everything the SSI stores or forwards is one of these frozen dataclasses.
+The invariant maintained throughout: any field the SSI can read is either
+ciphertext/opaque bytes, or data the paper explicitly allows in cleartext
+(the SIZE clause, §3.2 step 1; credentials are signed but public).
+
+``group_tag`` is the only protocol-visible routing handle:
+
+* ``None``           — S_Agg and the basic protocol (fully nDet-encrypted,
+                        SSI partitions blindly);
+* ``Det_Enc(AG)``    — noise-based protocols (SSI groups equal tags);
+* ``h(bucketId)``    — ED_Hist (SSI groups by bucket).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A querier credential signed by an authority (§3.1: "its credential C
+    signed by an authority")."""
+
+    subject: str
+    roles: frozenset[str]
+    signature: bytes
+
+    def signing_payload(self) -> bytes:
+        roles = ",".join(sorted(self.roles))
+        return f"{self.subject}|{roles}".encode("utf-8")
+
+
+@dataclass(frozen=True)
+class QueryEnvelope:
+    """What the querier posts to a querybox (step 1 of Fig. 2).
+
+    * ``encrypted_query`` — the SQL text under k1 (SSI cannot read it);
+    * ``credential``      — cleartext but signed;
+    * ``size_tuples`` / ``size_seconds`` — the SIZE clause in cleartext so
+      the SSI can evaluate it (§3.1);
+    * ``query_id``        — opaque correlation handle.
+    """
+
+    query_id: str
+    encrypted_query: bytes
+    credential: Credential
+    size_tuples: int | None = None
+    size_seconds: float | None = None
+
+
+@dataclass(frozen=True)
+class EncryptedTuple:
+    """One collected tuple as stored by the SSI (steps 4/4' of Fig. 2).
+
+    ``payload`` is always nDet_Enc ciphertext.  ``group_tag`` is the
+    protocol-dependent routing handle described in the module docstring.
+    """
+
+    payload: bytes
+    group_tag: bytes | None = None
+
+
+@dataclass(frozen=True)
+class EncryptedPartial:
+    """One encrypted partial aggregation Ω travelling back to the SSI
+    during the aggregation phase (step 8 of Fig. 2)."""
+
+    payload: bytes
+    group_tag: bytes | None = None
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A chunk of work the SSI hands to a connected TDS (steps 5/9).
+
+    To the SSI the items are uninterpreted bytes; the ``partition_id``
+    exists so a timed-out partition can be reassigned (§3.2 Correctness).
+    """
+
+    partition_id: int
+    items: tuple[EncryptedTuple | EncryptedPartial, ...]
+
+    def byte_size(self) -> int:
+        return sum(len(item.payload) for item in self.items)
+
+
+@dataclass
+class QueryResult:
+    """What the querier finally downloads (step 13): result rows under k1."""
+
+    query_id: str
+    encrypted_rows: tuple[bytes, ...]
+
+
+_COUNTER = itertools.count(1)
+
+
+def fresh_query_id(prefix: str = "q") -> str:
+    """Process-unique query identifier."""
+    return f"{prefix}{next(_COUNTER)}"
+
+
+@dataclass(frozen=True)
+class TupleContent:
+    """The *plaintext* structure inside an :class:`EncryptedTuple` payload.
+
+    ``kind`` distinguishes true data from the dummy tuples of the basic
+    protocol (§3.2 step 4': emitted when the WHERE clause selects nothing
+    or access is denied, so the SSI cannot learn query selectivity) and
+    from the fake tuples of the noise-based protocols (§4.3).
+    """
+
+    kind: str  # "data" | "dummy" | "fake"
+    row: dict[str, Any] = field(default_factory=dict)
+
+    KIND_DATA = "data"
+    KIND_DUMMY = "dummy"
+    KIND_FAKE = "fake"
+
+    def is_real(self) -> bool:
+        return self.kind == self.KIND_DATA
+
+    def to_portable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "row": self.row}
+
+    @classmethod
+    def from_portable(cls, portable: dict[str, Any]) -> "TupleContent":
+        return cls(kind=portable["kind"], row=dict(portable["row"]))

@@ -1,0 +1,72 @@
+"""Wire format of encrypted payloads: framing + length padding.
+
+Inside every nDet_Enc payload lives one of two frames:
+
+* a **tuple frame** — one :class:`~repro.core.messages.TupleContent`
+  (collection phase);
+* a **partial frame** — the portable form of a
+  :class:`~repro.sql.partial.PartialAggregation` (aggregation phase).
+
+Payloads are padded to a size quantum before encryption.  nDet_Enc hides
+content but not length; without padding the SSI could distinguish dummy
+tuples from data tuples (or small partials from large ones) by size alone,
+re-opening the inference channel the dummies exist to close.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.codec import decode, encode
+from repro.core.messages import TupleContent
+from repro.exceptions import ProtocolError
+
+#: payload sizes are rounded up to a multiple of this many bytes
+SIZE_QUANTUM = 64
+
+#: tuple frames use a larger quantum so a dummy tuple (empty row) and a
+#: typical data tuple land in the *same* size class — otherwise the SSI
+#: could tell them apart by length and dummies would be pointless
+TUPLE_FRAME_QUANTUM = 256
+
+_FRAME_TUPLE = "t"
+_FRAME_PARTIAL = "p"
+
+
+def _pad(data: bytes, quantum: int = SIZE_QUANTUM) -> bytes:
+    """Length-prefix then zero-pad *data* to a quantum multiple."""
+    framed = len(data).to_bytes(4, "big") + data
+    remainder = len(framed) % quantum
+    if remainder:
+        framed += bytes(quantum - remainder)
+    return framed
+
+
+def _unpad(data: bytes) -> bytes:
+    if len(data) < 4:
+        raise ProtocolError("padded frame too short")
+    length = int.from_bytes(data[:4], "big")
+    if 4 + length > len(data):
+        raise ProtocolError("padded frame length field corrupt")
+    return data[4 : 4 + length]
+
+
+def encode_tuple_frame(content: TupleContent, quantum: int = TUPLE_FRAME_QUANTUM) -> bytes:
+    """Serialize one tuple content, padded to the tuple-frame quantum."""
+    return _pad(encode([_FRAME_TUPLE, content.to_portable()]), quantum)
+
+
+def encode_partial_frame(portable: list[Any], quantum: int = SIZE_QUANTUM) -> bytes:
+    """Serialize one partial-aggregation portable structure, padded."""
+    return _pad(encode([_FRAME_PARTIAL, portable]), quantum)
+
+
+def decode_frame(data: bytes) -> tuple[str, Any]:
+    """Decode a frame into ``("tuple", TupleContent)`` or
+    ``("partial", portable)``."""
+    kind, body = decode(_unpad(data))
+    if kind == _FRAME_TUPLE:
+        return "tuple", TupleContent.from_portable(body)
+    if kind == _FRAME_PARTIAL:
+        return "partial", body
+    raise ProtocolError(f"unknown frame kind {kind!r}")

@@ -1,0 +1,65 @@
+"""Analytic cost model (§6.1) calibrated on device constants (§6.2).
+
+One entry point per protocol plus :func:`all_protocol_metrics` for the
+Fig. 10 sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.ed_hist import ed_hist_metrics, ed_hist_response_time
+from repro.costmodel.hardware import (
+    SoftwareCalibration,
+    UnitTestBreakdown,
+    calibrate_software_crypto,
+    unit_test_breakdown,
+)
+from repro.costmodel.metrics import CostMetrics
+from repro.costmodel.noise import c_noise_metrics, noise_metrics, noise_response_time
+from repro.costmodel.optimizer import (
+    optimal_alpha,
+    optimal_hist_reductions,
+    optimal_noise_reduction,
+    s_agg_alpha_objective,
+)
+from repro.costmodel.params import PAPER_DEFAULTS, CostParameters
+from repro.costmodel.phases import PhaseTimes, collection_time, end_to_end, filtering_time
+from repro.costmodel.s_agg import s_agg_metrics, s_agg_response_time
+
+
+def all_protocol_metrics(params: CostParameters) -> dict[str, CostMetrics]:
+    """The five curves plotted in every Fig. 10 panel: S_Agg, R2_Noise,
+    R1000_Noise, C_Noise and ED_Hist."""
+    return {
+        "S_Agg": s_agg_metrics(params),
+        "R2_Noise": noise_metrics(params, nf=2, label="R2_Noise"),
+        "R1000_Noise": noise_metrics(params, nf=1000, label="R1000_Noise"),
+        "C_Noise": c_noise_metrics(params),
+        "ED_Hist": ed_hist_metrics(params),
+    }
+
+
+__all__ = [
+    "CostMetrics",
+    "CostParameters",
+    "PAPER_DEFAULTS",
+    "PhaseTimes",
+    "collection_time",
+    "end_to_end",
+    "filtering_time",
+    "SoftwareCalibration",
+    "UnitTestBreakdown",
+    "all_protocol_metrics",
+    "c_noise_metrics",
+    "calibrate_software_crypto",
+    "ed_hist_metrics",
+    "ed_hist_response_time",
+    "noise_metrics",
+    "noise_response_time",
+    "optimal_alpha",
+    "optimal_hist_reductions",
+    "optimal_noise_reduction",
+    "s_agg_alpha_objective",
+    "s_agg_metrics",
+    "s_agg_response_time",
+    "unit_test_breakdown",
+]

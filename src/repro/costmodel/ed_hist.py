@@ -1,0 +1,61 @@
+"""Analytic cost model of ED_Hist (§6.1.3).
+
+Each of the M = G/h buckets holds h·Nt/G tuples.  Step 1 spreads a bucket
+over n_ED TDSs (each returning up to h per-group partials); step 2 merges
+each group's n_ED partials with m_ED TDSs; a final merge produces the
+group's aggregate:
+
+    TQ      = ((h·Nt/G)/n_ED + n_ED/m_ED + m_ED + h + 2) · Tt
+    optimum : n_ED = (h·Nt/G)^(2/3), m_ED = (h·Nt/G)^(1/3)
+    TQ(op)  = (3·(h·Nt/G)^(1/3) + h + 2) · Tt
+    PTDS    = (n_ED/h + m_ED + 1) · G
+    LoadQ   = (Nt + 2·n_ED·G + 2·m_ED·G + G) · st
+    Tlocal  = (Nt + n_ED·G + m_ED·G) · Tt / PTDS
+
+Like the noise model, an availability shortfall stretches TQ in waves.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.metrics import CostMetrics
+from repro.costmodel.optimizer import optimal_hist_reductions
+from repro.costmodel.params import CostParameters
+
+
+def ed_hist_metrics(
+    params: CostParameters,
+    n_ed: float | None = None,
+    m_ed: float | None = None,
+) -> CostMetrics:
+    """Evaluate the ED_Hist model (reduction factors default to optima)."""
+    nt, g, tt, st = params.nt, params.g, params.tuple_time, params.tuple_bytes
+    h = params.h
+    if n_ed is None or m_ed is None:
+        opt_n, opt_m = optimal_hist_reductions(h, nt, g)
+        n_ed = opt_n if n_ed is None else n_ed
+        m_ed = opt_m if m_ed is None else m_ed
+    n_ed = max(n_ed, 1.0)
+    m_ed = max(m_ed, 1.0)
+
+    bucket_tuples = h * nt / g
+    base_tq = (bucket_tuples / n_ed + n_ed / m_ed + m_ed + h + 2) * tt
+    p_tds = (n_ed / h + m_ed + 1) * g
+
+    waves = max(1.0, p_tds / params.available_tds)
+    t_q = base_tq * waves
+
+    load_q = (nt + 2 * n_ed * g + 2 * m_ed * g + g) * st
+    total_work_time = (nt + n_ed * g + m_ed * g) * tt
+    t_local = total_work_time / p_tds
+    return CostMetrics(
+        protocol="ED_Hist",
+        p_tds=p_tds,
+        load_q_bytes=load_q,
+        t_q_seconds=t_q,
+        t_local_seconds=t_local,
+    )
+
+
+def ed_hist_response_time(params: CostParameters, n_ed: float, m_ed: float) -> float:
+    """TQ(n_ED, m_ED) — exposed for the reduction-factor ablation."""
+    return ed_hist_metrics(params, n_ed=n_ed, m_ed=m_ed).t_q_seconds

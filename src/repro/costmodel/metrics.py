@@ -1,0 +1,31 @@
+"""The four evaluation metrics (§6.1).
+
+* **PTDS** — TDSs participating in the aggregation computation
+  (parallelism);
+* **LoadQ** — global resource consumption: total bytes processed by TDSs
+  and SSI (scalability in number of concurrent queries);
+* **TQ** — response time of the aggregation phase (the collection and
+  filtering phases are protocol-independent);
+* **Tlocal** — average time each participating TDS spends (feasibility on
+  low-power devices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostMetrics:
+    """One protocol's predicted metrics at one parameter point."""
+
+    protocol: str
+    p_tds: float
+    load_q_bytes: float
+    t_q_seconds: float
+    t_local_seconds: float
+
+    @property
+    def load_q_mb(self) -> float:
+        """LoadQ in megabytes, the unit of Fig. 10c/d."""
+        return self.load_q_bytes / 1e6

@@ -1,0 +1,76 @@
+"""Analytic cost model of the noise-based protocols (§6.1.2).
+
+Aggregation has two steps.  In step 1, each group's (nf+1)·Nt/G tuples are
+spread over n_NB TDSs; in step 2 one TDS per group merges the n_NB
+partials:
+
+    TQ     = (n_NB + (nf+1)·Nt/(n_NB·G) + 2) · Tt
+    n_NB*  = √((nf+1)·Nt/G)          (Cauchy)
+    PTDS   = (n_NB + 1) · G
+    LoadQ  = ((nf+1)·Nt + 2·n_NB·G + G) · st
+    Tlocal = total TDS work time / PTDS
+
+Availability cap: the phase needs (n_NB+1)·G workers; when fewer TDSs are
+connected the work proceeds in waves, stretching TQ proportionally — the
+elasticity effect of Fig. 10i/j.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.metrics import CostMetrics
+from repro.costmodel.optimizer import optimal_noise_reduction
+from repro.costmodel.params import CostParameters
+
+
+def noise_metrics(
+    params: CostParameters,
+    nf: int | None = None,
+    n_nb: float | None = None,
+    label: str | None = None,
+) -> CostMetrics:
+    """Evaluate the Rnf_Noise/C_Noise model.
+
+    *nf* defaults to ``params.nf``; pass the domain cardinality minus one
+    for C_Noise.  *n_nb* overrides the reduction factor (defaults to the
+    Cauchy optimum)."""
+    nf = params.nf if nf is None else nf
+    nt, g, tt, st = params.nt, params.g, params.tuple_time, params.tuple_bytes
+    if n_nb is None:
+        n_nb = optimal_noise_reduction(nf, nt, g)
+    n_nb = max(n_nb, 1.0)
+
+    tuples_per_group = (nf + 1) * nt / g
+    base_tq = (n_nb + tuples_per_group / n_nb + 2) * tt
+    p_tds = (n_nb + 1) * g
+
+    # Elasticity: fewer connected TDSs than parallel slots → waves.
+    waves = max(1.0, p_tds / params.available_tds)
+    t_q = base_tq * waves
+
+    load_q = ((nf + 1) * nt + 2 * n_nb * g + g) * st
+    total_work_time = ((nf + 1) * nt + 2 * n_nb * g + g) * tt
+    t_local = total_work_time / p_tds
+    return CostMetrics(
+        protocol=label or f"R{nf}_Noise",
+        p_tds=p_tds,
+        load_q_bytes=load_q,
+        t_q_seconds=t_q,
+        t_local_seconds=t_local,
+    )
+
+
+def c_noise_metrics(
+    params: CostParameters, domain_cardinality: int | None = None
+) -> CostMetrics:
+    """C_Noise = the noise model with nf = nd − 1 (§4.3: one fake per
+    other domain value).  nd is a property of the grouping attribute
+    (``params.nd``, default 130 — the paper's Age example), constant
+    across the G sweeps as in Fig. 10c."""
+    nd = domain_cardinality if domain_cardinality is not None else params.nd
+    nd = max(nd, 1)
+    return noise_metrics(params, nf=nd - 1, label="C_Noise")
+
+
+def noise_response_time(params: CostParameters, nf: int, n_nb: float) -> float:
+    """TQ(n_NB) — exposed for the reduction-factor ablation."""
+    return noise_metrics(params, nf=nf, n_nb=n_nb).t_q_seconds

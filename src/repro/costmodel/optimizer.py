@@ -1,0 +1,61 @@
+"""Optimal reduction factors (§6.1).
+
+* S_Agg: minimize f(α) = (α + 1) · log_α(Nt/G).  Setting df/dα = 0 gives
+  α·ln α − (α + 1) = 0, whose root is α_op ≈ 3.591 — the paper's 3.6.
+  Notably α_op is *independent* of Nt and G.
+* Noise-based: by the AM-GM (Cauchy) inequality the optimum of
+  n + a/n is n_NB = √a with a = (nf + 1)·Nt/G.
+* ED_Hist: the optimum of a/x + x/y + y is x = a^(2/3), y = a^(1/3) with
+  a = h·Nt/G.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def s_agg_alpha_objective(alpha: float, ratio: float = math.e) -> float:
+    """f(α) = (α + 1) · log_α(ratio); the minimizing α does not depend on
+    *ratio* (it only scales f), so any ratio > 1 works."""
+    if alpha <= 1:
+        raise ConfigurationError("alpha must be > 1")
+    if ratio <= 1:
+        raise ConfigurationError("ratio must be > 1")
+    return (alpha + 1) * math.log(ratio) / math.log(alpha)
+
+
+def optimal_alpha(tolerance: float = 1e-10) -> float:
+    """Solve α·ln α − (α + 1) = 0 by bisection → ≈ 3.5911."""
+
+    def derivative_sign(alpha: float) -> float:
+        return alpha * math.log(alpha) - (alpha + 1)
+
+    low, high = 1.5, 10.0
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if derivative_sign(mid) < 0:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+def optimal_noise_reduction(nf: int, nt: int, g: int) -> float:
+    """n_NB = √((nf + 1) · Nt / G), from the Cauchy inequality (§6.1.2)."""
+    if nt < 1 or g < 1:
+        raise ConfigurationError("nt and g must be >= 1")
+    if nf < 0:
+        raise ConfigurationError("nf must be >= 0")
+    return math.sqrt((nf + 1) * nt / g)
+
+
+def optimal_hist_reductions(h: float, nt: int, g: int) -> tuple[float, float]:
+    """(n_ED, m_ED) = (a^(2/3), a^(1/3)) with a = h · Nt / G (§6.1.3)."""
+    if nt < 1 or g < 1:
+        raise ConfigurationError("nt and g must be >= 1")
+    if h < 1:
+        raise ConfigurationError("h must be >= 1")
+    a = h * nt / g
+    return a ** (2.0 / 3.0), a ** (1.0 / 3.0)

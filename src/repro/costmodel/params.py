@@ -1,0 +1,70 @@
+"""Cost-model parameters (§6.1) and the paper's defaults (§6.3).
+
+The model's symbols map to fields as follows:
+
+=========  =====================  =======================================
+paper      field                  meaning
+=========  =====================  =======================================
+Nt         ``nt``                 tuples sent to the SSI (≈ participating
+                                  TDSs: one tuple each in the model)
+G          ``g``                  number of groups
+st         ``tuple_bytes``        size of an encrypted tuple (16 B)
+Tt         ``tuple_time``         time for a TDS to process one tuple
+nf         ``nf``                 fake tuples per true tuple (noise)
+h          ``h``                  groups per hash value (ED_Hist)
+—          ``available_fraction`` connected TDSs as a fraction of Nt
+=========  =====================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """One point in the evaluation's parameter space."""
+
+    nt: int = 1_000_000
+    g: int = 1_000
+    tuple_bytes: int = 16
+    tuple_time: float = 16e-6
+    nf: int = 2
+    h: float = 5.0
+    available_fraction: float = 0.10
+    #: grouping-domain cardinality used by C_Noise (nd − 1 fakes per true
+    #: tuple); a property of the attribute, not of the query — the paper's
+    #: example is Age with nd ≈ 130 (§4.3)
+    nd: int = 130
+
+    def __post_init__(self) -> None:
+        if self.nt < 1:
+            raise ConfigurationError("nt must be >= 1")
+        if not 1 <= self.g <= self.nt:
+            raise ConfigurationError("g must be in [1, nt]")
+        if self.tuple_bytes < 1 or self.tuple_time <= 0:
+            raise ConfigurationError("tuple size/time must be positive")
+        if self.nf < 0:
+            raise ConfigurationError("nf must be >= 0")
+        if self.h < 1:
+            raise ConfigurationError("h must be >= 1")
+        if not 0 < self.available_fraction <= 1:
+            raise ConfigurationError("available_fraction must be in (0, 1]")
+        if self.nd < 1:
+            raise ConfigurationError("nd must be >= 1")
+
+    @property
+    def available_tds(self) -> float:
+        """Number of TDSs connected and willing to work a phase."""
+        return self.available_fraction * self.nt
+
+    def with_(self, **changes) -> "CostParameters":
+        """Functional update (sweep helper)."""
+        return replace(self, **changes)
+
+
+#: §6.3: "When the parameters are fixed, Nt = 10^6, G = 10^3, st = 16 b,
+#: Tt = 16 µs, h = 5 and the percentage of TDS connected is 10 % of Nt."
+PAPER_DEFAULTS = CostParameters()

@@ -1,0 +1,86 @@
+"""Collection- and filtering-phase costs (the technical-report extension).
+
+The paper's TQ deliberately covers only the aggregation phase, "since the
+time in the collection phase is application-dependent and is similar for
+all protocols, and since the time in the filtering phase is also similar
+for all protocols" (§6.1).  The companion technical report [20] carries
+the complete model; this module reconstructs the two missing phases so
+end-to-end latencies can be compared across deployment scenarios (the
+always-on smart meter vs. the seldom-connected PCEHR token of §2.3).
+
+Model assumptions, kept deliberately simple and stated:
+
+* each TDS connects once per ``connection_period`` seconds, uniformly at
+  random within the period (smart meter: seconds; PCEHR: days);
+* collection needs ``nt`` contributions out of ``population`` candidates:
+  with uniform arrivals the SIZE clause closes after
+  ``connection_period · nt / population``;
+* filtering processes the covering result (basic protocol) or the G final
+  partials (aggregate protocols) in waves over the available workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.params import CostParameters
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PhaseTimes:
+    """End-to-end decomposition of one query."""
+
+    collection: float
+    aggregation: float
+    filtering: float
+
+    @property
+    def total(self) -> float:
+        return self.collection + self.aggregation + self.filtering
+
+
+def collection_time(
+    nt: int, population: int, connection_period: float
+) -> float:
+    """Expected time until *nt* of *population* TDSs have connected and
+    contributed, with uniform arrivals over *connection_period*."""
+    if population < nt:
+        raise ConfigurationError("population must be >= nt")
+    if connection_period <= 0:
+        raise ConfigurationError("connection_period must be positive")
+    return connection_period * nt / population
+
+
+def filtering_time(
+    params: CostParameters, covering_items: int | None = None
+) -> float:
+    """Filtering-phase makespan: *covering_items* work items (default: G
+    final partials, the aggregate-protocol case) spread over the available
+    workers."""
+    items = covering_items if covering_items is not None else params.g
+    workers = max(1.0, params.available_tds)
+    # each worker handles its share of the items serially; with fewer
+    # items than workers a single item's processing time remains
+    items_per_worker = max(1.0, items / workers)
+    return items_per_worker * params.tuple_time
+
+
+def end_to_end(
+    params: CostParameters,
+    aggregation_seconds: float,
+    population: int | None = None,
+    connection_period: float = 900.0,
+    covering_items: int | None = None,
+) -> PhaseTimes:
+    """Assemble the full pipeline latency.
+
+    *population* defaults to ``nt / available_fraction`` (the paper's
+    convention that the connected fraction is relative to Nt)."""
+    pop = population if population is not None else int(params.nt / params.available_fraction)
+    pop = max(pop, params.nt)
+    return PhaseTimes(
+        collection=collection_time(params.nt, pop, connection_period),
+        aggregation=aggregation_seconds,
+        filtering=filtering_time(params, covering_items),
+    )

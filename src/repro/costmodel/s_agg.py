@@ -1,0 +1,56 @@
+"""Analytic cost model of S_Agg (§6.1.1).
+
+The aggregation phase runs ``n = log_α(Nt/G)`` iterative steps; in step i
+``N_i = (Nt/G)·α^(−i)`` TDSs each download α partial aggregations of G
+(group, aggregate) pairs and upload one.  The paper's closed forms:
+
+    TQ     = (α + 1) · log_α(Nt/G) · G · Tt
+    PTDS   = (Nt/G) · Σ_{i=1..n} α^(−i)
+    LoadQ  = (1 + 2·Σ α^(−i)) · Nt · st
+    Tlocal = (Nt + α·G·Σ_{i=2..n} N_i) · Tt / PTDS
+
+S_Agg's parallelism is self-limited (N_1 = Nt/(αG) TDSs at most), so its
+performance does not react to the availability knob — the "lowest
+elasticity" verdict of §6.3.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.costmodel.metrics import CostMetrics
+from repro.costmodel.optimizer import optimal_alpha
+from repro.costmodel.params import CostParameters
+
+_ALPHA_OP = optimal_alpha()
+
+
+def s_agg_metrics(params: CostParameters, alpha: float | None = None) -> CostMetrics:
+    """Evaluate the S_Agg model at *params* (α defaults to the optimum)."""
+    alpha = _ALPHA_OP if alpha is None else alpha
+    nt, g, tt, st = params.nt, params.g, params.tuple_time, params.tuple_bytes
+    ratio = max(nt / g, alpha)  # at least one aggregation step
+    steps = max(math.log(ratio) / math.log(alpha), 1.0)
+
+    # Σ_{i=1..n} α^(−i): the geometric series of per-step TDS counts.
+    n_whole = max(int(math.floor(steps)), 1)
+    geometric = sum(alpha ** (-i) for i in range(1, n_whole + 1))
+    per_step_tds = [(nt / g) * alpha ** (-i) for i in range(1, n_whole + 1)]
+
+    p_tds = (nt / g) * geometric
+    t_q = (alpha + 1) * steps * g * tt
+    load_q = (1 + 2 * geometric) * nt * st
+    tail_tds = sum(per_step_tds[1:])  # Σ_{i=2..n} N_i
+    t_local = (nt + alpha * g * tail_tds) * tt / p_tds if p_tds else 0.0
+    return CostMetrics(
+        protocol="S_Agg",
+        p_tds=p_tds,
+        load_q_bytes=load_q,
+        t_q_seconds=t_q,
+        t_local_seconds=t_local,
+    )
+
+
+def s_agg_response_time(params: CostParameters, alpha: float) -> float:
+    """TQ(α) — exposed separately for the α-optimum ablation bench."""
+    return s_agg_metrics(params, alpha=alpha).t_q_seconds

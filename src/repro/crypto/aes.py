@@ -1,0 +1,194 @@
+"""Pure-Python AES-128 block cipher.
+
+The paper's secure device embeds a crypto-coprocessor implementing AES in
+hardware (one 128-bit block costs 167 cycles at 120 MHz, §6.2).  This module
+is the software stand-in: a complete, dependency-free AES-128 used by the
+deterministic and non-deterministic encryption schemes of
+:mod:`repro.crypto.det` and :mod:`repro.crypto.ndet`.
+
+Only the raw block transform lives here; chaining modes are built on top in
+:mod:`repro.crypto.modes`.  The implementation follows FIPS-197 and is
+validated against the official test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidKeyError
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+_NUM_ROUNDS = 10
+
+# FIPS-197 substitution box and its inverse.
+_SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76"
+    "ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d83115"
+    "04c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f84"
+    "53d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa8"
+    "51a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d1973"
+    "60814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479"
+    "e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a"
+    "703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df"
+    "8ca1890dbfe6426841992d0fb054bb16"
+)
+_INV_SBOX = bytes(256)
+_INV_SBOX = bytearray(256)
+for _i, _v in enumerate(_SBOX):
+    _INV_SBOX[_v] = _i
+_INV_SBOX = bytes(_INV_SBOX)
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8) modulo the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a
+
+
+def _gmul(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+# Precomputed multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = bytes(_gmul(i, 2) for i in range(256))
+_MUL3 = bytes(_gmul(i, 3) for i in range(256))
+_MUL9 = bytes(_gmul(i, 9) for i in range(256))
+_MUL11 = bytes(_gmul(i, 11) for i in range(256))
+_MUL13 = bytes(_gmul(i, 13) for i in range(256))
+_MUL14 = bytes(_gmul(i, 14) for i in range(256))
+
+
+def expand_key(key: bytes) -> list[bytes]:
+    """Expand a 16-byte key into the 11 round keys of AES-128.
+
+    Returns a list of 11 16-byte round keys.  Raises
+    :class:`~repro.exceptions.InvalidKeyError` on a wrong-sized key.
+    """
+    if len(key) != KEY_SIZE:
+        raise InvalidKeyError(f"AES-128 key must be {KEY_SIZE} bytes, got {len(key)}")
+    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    for round_index in range(_NUM_ROUNDS):
+        prev = words[-1]
+        # RotWord + SubWord + Rcon for the first word of each round.
+        rotated = prev[1:] + prev[:1]
+        substituted = bytes(_SBOX[b] for b in rotated)
+        head = bytes(
+            (substituted[j] ^ words[-4][j] ^ (_RCON[round_index] if j == 0 else 0))
+            for j in range(4)
+        )
+        words.append(head)
+        for __ in range(3):
+            prev = words[-1]
+            words.append(bytes(prev[j] ^ words[-4][j] for j in range(4)))
+    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(_NUM_ROUNDS + 1)]
+
+
+def _add_round_key(state: bytearray, round_key: bytes) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: bytearray) -> None:
+    for i in range(16):
+        state[i] = _SBOX[state[i]]
+
+
+def _inv_sub_bytes(state: bytearray) -> None:
+    for i in range(16):
+        state[i] = _INV_SBOX[state[i]]
+
+
+# State is stored column-major as in FIPS-197: byte (row r, column c) lives
+# at index 4*c + r.
+def _shift_rows(state: bytearray) -> None:
+    s = state
+    s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+    s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+    s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+
+
+def _inv_shift_rows(state: bytearray) -> None:
+    s = state
+    s[5], s[9], s[13], s[1] = s[1], s[5], s[9], s[13]
+    s[10], s[14], s[2], s[6] = s[2], s[6], s[10], s[14]
+    s[15], s[3], s[7], s[11] = s[3], s[7], s[11], s[15]
+
+
+def _mix_columns(state: bytearray) -> None:
+    for c in range(0, 16, 4):
+        a0, a1, a2, a3 = state[c], state[c + 1], state[c + 2], state[c + 3]
+        state[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+        state[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+        state[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+        state[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+
+
+def _inv_mix_columns(state: bytearray) -> None:
+    for c in range(0, 16, 4):
+        a0, a1, a2, a3 = state[c], state[c + 1], state[c + 2], state[c + 3]
+        state[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+        state[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+        state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+        state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+
+
+class AES128:
+    """AES-128 block cipher bound to a single key.
+
+    >>> cipher = AES128(bytes(16))
+    >>> block = cipher.encrypt_block(bytes(16))
+    >>> cipher.decrypt_block(block) == bytes(16)
+    True
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._round_keys = expand_key(key)
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[0])
+        for round_index in range(1, _NUM_ROUNDS):
+            _sub_bytes(state)
+            _shift_rows(state)
+            _mix_columns(state)
+            _add_round_key(state, self._round_keys[round_index])
+        _sub_bytes(state)
+        _shift_rows(state)
+        _add_round_key(state, self._round_keys[_NUM_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = bytearray(block)
+        _add_round_key(state, self._round_keys[_NUM_ROUNDS])
+        for round_index in range(_NUM_ROUNDS - 1, 0, -1):
+            _inv_shift_rows(state)
+            _inv_sub_bytes(state)
+            _add_round_key(state, self._round_keys[round_index])
+            _inv_mix_columns(state)
+        _inv_shift_rows(state)
+        _inv_sub_bytes(state)
+        _add_round_key(state, self._round_keys[0])
+        return bytes(state)

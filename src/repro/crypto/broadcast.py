@@ -1,0 +1,119 @@
+"""Broadcast key distribution with revocation (paper footnote 7).
+
+"In an open context, a PKI infrastructure could be used ... Alternatively,
+a broadcast encryption scheme can also be used to securely exchange keys
+between TDSs and querier."
+
+This is the simple per-device construction: every TDS owns a unique
+device key (installed at manufacture); the key provider broadcasts a new
+k2 as one ciphertext *per non-revoked device*, all posted on the
+untrusted SSI.  Revoked devices cannot decrypt any message of the new
+epoch — which is exactly the remediation once a compromised TDS has been
+flagged by spot-check verification: revoke it, rotate k2, and its leaked
+key material dies with the old epoch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import KEY_SIZE, random_key
+from repro.crypto.ndet import NonDeterministicCipher
+from repro.exceptions import CryptoError, DecryptionError, InvalidKeyError
+
+
+@dataclass(frozen=True)
+class KeyBroadcast:
+    """One rotation epoch: ciphertexts of the new key, one per recipient.
+
+    Stored on the SSI; ``ciphertexts`` maps TDS id to the new k2 encrypted
+    under that device's key.  The mapping reveals *who* is still enrolled
+    (membership is public anyway — the SSI talks to every TDS) but nothing
+    about the key."""
+
+    epoch: int
+    ciphertexts: dict[str, bytes]
+
+    def recipient_count(self) -> int:
+        return len(self.ciphertexts)
+
+
+class DeviceKeyStore:
+    """The manufacturer's registry of per-device keys.
+
+    In production this is the secure element personalization database;
+    here it hands each simulated TDS its device key."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._keys: dict[str, bytes] = {}
+
+    def enroll(self, tds_id: str) -> bytes:
+        """Create (or return) the device key of *tds_id*."""
+        if tds_id not in self._keys:
+            self._keys[tds_id] = random_key(self._rng)
+        return self._keys[tds_id]
+
+    def device_key(self, tds_id: str) -> bytes:
+        try:
+            return self._keys[tds_id]
+        except KeyError:
+            raise CryptoError(f"device {tds_id!r} was never enrolled") from None
+
+    def enrolled(self) -> list[str]:
+        return sorted(self._keys)
+
+
+@dataclass
+class BroadcastKeyDistributor:
+    """The key provider: rotates k2 and broadcasts it to enrolled,
+    non-revoked devices."""
+
+    store: DeviceKeyStore
+    rng: random.Random
+    revoked: set[str] = field(default_factory=set)
+    _epoch: int = 0
+
+    def revoke(self, tds_id: str) -> None:
+        """Exclude *tds_id* from every future epoch (e.g. after the
+        spot-checker flagged it)."""
+        self.revoked.add(tds_id)
+
+    def broadcast_new_key(self, new_key: bytes | None = None) -> tuple[bytes, KeyBroadcast]:
+        """Draw (or accept) a new k2 and produce the epoch broadcast.
+
+        Returns (new_key, broadcast); the broadcast alone is what lands on
+        the SSI."""
+        if new_key is None:
+            new_key = random_key(self.rng)
+        if len(new_key) != KEY_SIZE:
+            raise InvalidKeyError(f"broadcast key must be {KEY_SIZE} bytes")
+        self._epoch += 1
+        ciphertexts = {}
+        for tds_id in self.store.enrolled():
+            if tds_id in self.revoked:
+                continue
+            cipher = NonDeterministicCipher(self.store.device_key(tds_id), self.rng)
+            ciphertexts[tds_id] = cipher.encrypt(new_key)
+        return new_key, KeyBroadcast(self._epoch, ciphertexts)
+
+
+def receive_broadcast(
+    tds_id: str, device_key: bytes, broadcast: KeyBroadcast
+) -> bytes:
+    """TDS side: pick up the new k2 from an epoch broadcast.
+
+    Raises :class:`CryptoError` when the device was revoked (no ciphertext
+    addressed to it) and :class:`DecryptionError` on a wrong device key."""
+    ciphertext = broadcast.ciphertexts.get(tds_id)
+    if ciphertext is None:
+        raise CryptoError(
+            f"device {tds_id!r} is not a recipient of epoch {broadcast.epoch} "
+            f"(revoked or never enrolled)"
+        )
+    cipher = NonDeterministicCipher(device_key)
+    key = cipher.decrypt(ciphertext)
+    if len(key) != KEY_SIZE:
+        raise DecryptionError("broadcast payload has the wrong key size")
+    return key

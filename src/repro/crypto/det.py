@@ -1,0 +1,60 @@
+"""Deterministic encryption — ``Det_Enc`` in the paper.
+
+The same (key, plaintext) pair always produces the same ciphertext.  The
+noise-based protocols (§4.3) rely on this so that the SSI can group tuples
+of the same GROUP BY value *without decrypting them* — at the price of
+revealing the ciphertext frequency distribution, which is exactly what the
+injected noise then hides.
+
+The construction is SIV-style: a CBC-MAC of the plaintext is used both as
+the CTR nonce and as the authentication tag.
+
+    ciphertext = SIV(16) || CTR(k_enc, SIV[:8], plaintext)
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128
+from repro.crypto.keys import derive_subkey
+from repro.crypto.modes import cbc_mac, ctr_transform
+from repro.exceptions import DecryptionError
+
+_SIV_SIZE = 16
+
+
+class DeterministicCipher:
+    """``Det_Enc``: deterministic authenticated encryption.
+
+    >>> cipher = DeterministicCipher(bytes(16))
+    >>> cipher.encrypt(b"Paris") == cipher.encrypt(b"Paris")
+    True
+    >>> cipher.decrypt(cipher.encrypt(b"Paris"))
+    b'Paris'
+    """
+
+    deterministic = True
+
+    def __init__(self, key: bytes) -> None:
+        self._enc = AES128(derive_subkey(key, b"Det/enc"))
+        self._mac = AES128(derive_subkey(key, b"Det/mac"))
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt *plaintext*; equal plaintexts yield equal ciphertexts."""
+        siv = cbc_mac(self._mac, plaintext)
+        body = ctr_transform(self._enc, siv[:8], plaintext)
+        return siv + body
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt and verify the synthetic IV."""
+        if len(ciphertext) < _SIV_SIZE:
+            raise DecryptionError("ciphertext too short for Det_Enc framing")
+        siv = ciphertext[:_SIV_SIZE]
+        body = ciphertext[_SIV_SIZE:]
+        plaintext = ctr_transform(self._enc, siv[:8], body)
+        if cbc_mac(self._mac, plaintext) != siv:
+            raise DecryptionError("Det_Enc synthetic IV mismatch")
+        return plaintext
+
+    def ciphertext_overhead(self) -> int:
+        """Bytes added on top of the plaintext length."""
+        return _SIV_SIZE

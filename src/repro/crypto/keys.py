@@ -1,0 +1,142 @@
+"""Key management for the Trusted Cells architecture.
+
+The paper (§3.1) distinguishes two shared symmetric keys:
+
+* **k1** — shared between the querier and the TDSs (queries and final
+  results travel under k1);
+* **k2** — shared among TDSs only (intermediate results exchanged through
+  the SSI travel under k2, so neither SSI nor the querier can read them).
+
+Keys "may change over time" (footnote 7): :class:`KeyRing` models versioned
+keys installed at burn time or refreshed by the provider, and
+:class:`KeyProvisioner` plays the role of the provider/PKI that hands the
+right keys to the right parties — the SSI never receives any.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvalidKeyError
+
+KEY_SIZE = 16
+
+
+def derive_subkey(master: bytes, label: bytes) -> bytes:
+    """Derive a 16-byte subkey from *master* for the given *label*.
+
+    Uses SHA-256 as a KDF; distinct labels yield independent subkeys so one
+    shared key can safely serve both encryption and MAC duties.
+    """
+    if len(master) != KEY_SIZE:
+        raise InvalidKeyError(f"master key must be {KEY_SIZE} bytes, got {len(master)}")
+    return hashlib.sha256(master + b"|" + label).digest()[:KEY_SIZE]
+
+
+def random_key(rng: random.Random) -> bytes:
+    """Generate a fresh 16-byte key from a seedable RNG (simulation use)."""
+    return rng.getrandbits(8 * KEY_SIZE).to_bytes(KEY_SIZE, "big")
+
+
+@dataclass(frozen=True)
+class KeyVersion:
+    """One version of a shared key."""
+
+    version: int
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) != KEY_SIZE:
+            raise InvalidKeyError(
+                f"key material must be {KEY_SIZE} bytes, got {len(self.material)}"
+            )
+
+
+class KeyRing:
+    """A versioned store of one logical key (k1 or k2).
+
+    The current version is used for new encryptions; older versions stay
+    available so in-flight data encrypted before a rotation can still be
+    decrypted.
+    """
+
+    def __init__(self, name: str, initial: bytes) -> None:
+        self.name = name
+        self._versions: dict[int, KeyVersion] = {}
+        self._current = 0
+        self._versions[0] = KeyVersion(0, initial)
+
+    @property
+    def current(self) -> KeyVersion:
+        """The key version used for new encryptions."""
+        return self._versions[self._current]
+
+    def rotate(self, new_material: bytes) -> KeyVersion:
+        """Install *new_material* as the next version and make it current."""
+        self._current += 1
+        version = KeyVersion(self._current, new_material)
+        self._versions[self._current] = version
+        return version
+
+    def get(self, version: int) -> KeyVersion:
+        """Look up a specific version (raises KeyError if never installed)."""
+        return self._versions[version]
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+
+@dataclass
+class KeyBundle:
+    """The cryptographic material a single party holds.
+
+    TDSs hold both k1 and k2; the querier holds only k1; the SSI holds
+    neither (its bundle is empty) — mirroring §3.1.
+    """
+
+    k1: KeyRing | None = None
+    k2: KeyRing | None = None
+
+    def holds_k1(self) -> bool:
+        return self.k1 is not None
+
+    def holds_k2(self) -> bool:
+        return self.k2 is not None
+
+
+@dataclass
+class KeyProvisioner:
+    """Issues key bundles to the parties of a deployment.
+
+    In a homogeneous context the provider installs keys at burn time; in an
+    open context a PKI or broadcast-encryption scheme plays this role
+    (paper footnote 7).  Either way the result is the same bundle
+    distribution, which is all the protocols care about.
+    """
+
+    rng: random.Random
+    _k1: KeyRing = field(init=False)
+    _k2: KeyRing = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._k1 = KeyRing("k1", random_key(self.rng))
+        self._k2 = KeyRing("k2", random_key(self.rng))
+
+    def bundle_for_tds(self) -> KeyBundle:
+        """TDSs receive both keys (burn-time installation)."""
+        return KeyBundle(k1=self._k1, k2=self._k2)
+
+    def bundle_for_querier(self) -> KeyBundle:
+        """The querier receives only k1 — it must never see intermediate
+        results."""
+        return KeyBundle(k1=self._k1, k2=None)
+
+    def bundle_for_ssi(self) -> KeyBundle:
+        """The SSI receives no key at all."""
+        return KeyBundle()
+
+    def rotate_k2(self) -> KeyVersion:
+        """Rotate the inter-TDS key (e.g. periodic refresh)."""
+        return self._k2.rotate(random_key(self.rng))

@@ -1,0 +1,74 @@
+"""Chaining modes built on the AES-128 block transform.
+
+Two modes are provided:
+
+* :func:`ctr_transform` — counter mode, the engine behind the
+  non-deterministic scheme ``nDet_Enc`` (a fresh random nonce per message
+  makes every encryption of the same plaintext different).
+* :func:`cbc_mac` — a CBC-MAC used as the synthetic-IV derivation of the
+  deterministic scheme ``Det_Enc`` (same plaintext, same key → same
+  ciphertext, which is exactly the property the noise-based protocols rely
+  on for SSI-side grouping).
+
+Padding helpers implement PKCS#7 so arbitrary-length tuples round-trip.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+from repro.exceptions import DecryptionError
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Pad *data* to a multiple of *block_size* with PKCS#7 padding."""
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Remove PKCS#7 padding, raising :class:`DecryptionError` if invalid."""
+    if not data or len(data) % block_size != 0:
+        raise DecryptionError("padded data length is not a multiple of the block size")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise DecryptionError("invalid padding length byte")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise DecryptionError("padding bytes are inconsistent")
+    return data[:-pad_len]
+
+
+def _counter_block(nonce: bytes, counter: int) -> bytes:
+    """Build the 16-byte counter block: 8-byte nonce || 8-byte counter."""
+    return nonce + counter.to_bytes(8, "big")
+
+
+def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt *data* in CTR mode (the operation is symmetric).
+
+    *nonce* must be exactly 8 bytes; the remaining 8 bytes of the counter
+    block carry a big-endian block counter.
+    """
+    if len(nonce) != 8:
+        raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
+    out = bytearray(len(data))
+    for block_index in range((len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE):
+        keystream = cipher.encrypt_block(_counter_block(nonce, block_index))
+        offset = block_index * BLOCK_SIZE
+        chunk = data[offset : offset + BLOCK_SIZE]
+        for i, byte in enumerate(chunk):
+            out[offset + i] = byte ^ keystream[i]
+    return bytes(out)
+
+
+def cbc_mac(cipher: AES128, data: bytes) -> bytes:
+    """Compute a CBC-MAC over *data* (length-prefixed to avoid extension
+    ambiguities between messages of different lengths)."""
+    message = len(data).to_bytes(8, "big") + data
+    message = pkcs7_pad(message)
+    mac = bytes(BLOCK_SIZE)
+    for offset in range(0, len(message), BLOCK_SIZE):
+        block = bytes(
+            message[offset + i] ^ mac[i] for i in range(BLOCK_SIZE)
+        )
+        mac = cipher.encrypt_block(block)
+    return mac

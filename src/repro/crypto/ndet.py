@@ -1,0 +1,76 @@
+"""Non-deterministic (probabilistic) encryption — ``nDet_Enc`` in the paper.
+
+Several encryptions of the same message yield different ciphertexts, so an
+honest-but-curious SSI observing the traffic cannot run frequency-based
+attacks (§3.1, "Dataflow obfuscation").  The construction is
+encrypt-then-MAC:
+
+    ciphertext = nonce(8) || CTR(k_enc, nonce, plaintext) || CBC-MAC(k_mac, nonce || body)
+
+Sub-keys ``k_enc`` and ``k_mac`` are derived from the shared key so a single
+16-byte key (k1 or k2 of the paper) is all that TDSs need to exchange.
+
+A seedable :class:`random.Random` may be injected for reproducible
+simulations; by default nonces come from :mod:`secrets`.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+
+from repro.crypto.aes import AES128
+from repro.crypto.keys import derive_subkey
+from repro.crypto.modes import cbc_mac, ctr_transform
+from repro.exceptions import DecryptionError
+
+_NONCE_SIZE = 8
+_TAG_SIZE = 16
+
+
+class NonDeterministicCipher:
+    """``nDet_Enc``: probabilistic authenticated encryption.
+
+    >>> cipher = NonDeterministicCipher(bytes(16), rng=random.Random(0))
+    >>> a = cipher.encrypt(b"alice")
+    >>> b = cipher.encrypt(b"alice")
+    >>> a != b and cipher.decrypt(a) == cipher.decrypt(b) == b"alice"
+    True
+    """
+
+    #: True for deterministic schemes; used by protocol code to assert the
+    #: correct scheme is applied to each dataflow.
+    deterministic = False
+
+    def __init__(self, key: bytes, rng: random.Random | None = None) -> None:
+        self._enc = AES128(derive_subkey(key, b"nDet/enc"))
+        self._mac = AES128(derive_subkey(key, b"nDet/mac"))
+        self._rng = rng
+
+    def _fresh_nonce(self) -> bytes:
+        if self._rng is not None:
+            return self._rng.getrandbits(64).to_bytes(8, "big")
+        return secrets.token_bytes(_NONCE_SIZE)
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Encrypt *plaintext* under a fresh nonce."""
+        nonce = self._fresh_nonce()
+        body = ctr_transform(self._enc, nonce, plaintext)
+        tag = cbc_mac(self._mac, nonce + body)
+        return nonce + body + tag
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """Decrypt and authenticate; raises :class:`DecryptionError` on
+        truncated or tampered input."""
+        if len(ciphertext) < _NONCE_SIZE + _TAG_SIZE:
+            raise DecryptionError("ciphertext too short for nDet_Enc framing")
+        nonce = ciphertext[:_NONCE_SIZE]
+        body = ciphertext[_NONCE_SIZE:-_TAG_SIZE]
+        tag = ciphertext[-_TAG_SIZE:]
+        if cbc_mac(self._mac, nonce + body) != tag:
+            raise DecryptionError("nDet_Enc authentication tag mismatch")
+        return ctr_transform(self._enc, nonce, body)
+
+    def ciphertext_overhead(self) -> int:
+        """Bytes added on top of the plaintext length."""
+        return _NONCE_SIZE + _TAG_SIZE

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems (crypto, SQL engine, protocol execution, access control).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidKeyError(CryptoError):
+    """A key has the wrong length or is otherwise unusable."""
+
+
+class DecryptionError(CryptoError):
+    """A ciphertext failed authentication or could not be decrypted."""
+
+
+class SQLError(ReproError):
+    """Base class for SQL engine errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(SQLError):
+    """The query is well-formed but cannot be planned (unknown table,
+    unknown column, unsupported construct...)."""
+
+
+class EvaluationError(SQLError):
+    """A runtime error occurred while evaluating an expression."""
+
+
+class SchemaError(SQLError):
+    """A table or row violates its declared schema."""
+
+
+class ProtocolError(ReproError):
+    """Base class for distributed-protocol failures."""
+
+
+class AccessDeniedError(ProtocolError):
+    """The querier's credential does not satisfy the access-control policy."""
+
+
+class QueryAbortedError(ProtocolError):
+    """The query could not run to completion (e.g. no TDS ever connected)."""
+
+
+class ResourceExhaustedError(ProtocolError):
+    """A TDS exceeded a device resource bound (typically RAM for the
+    partial-aggregate structure, see §4.2 of the paper)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameters were supplied to a model or simulator."""

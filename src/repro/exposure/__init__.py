@@ -1,0 +1,64 @@
+"""Information exposure analysis (§5): IC tables, ε coefficients, attacks."""
+
+from repro.exposure.analysis import ExposureReport, compare_protocols
+from repro.exposure.audit import AuditReport, Finding, audit_query
+from repro.exposure.attack import AttackOutcome, FrequencyAttacker, prior_from_rows
+from repro.exposure.compromise import (
+    LeakageReport,
+    analyze_trace_leakage,
+    dilution_curve,
+    expected_leak_fraction,
+)
+from repro.exposure.coefficients import (
+    exposure_c_noise,
+    exposure_det_enc,
+    exposure_ed_hist,
+    exposure_ed_hist_bounds,
+    exposure_plaintext,
+    exposure_rnf_noise,
+    exposure_s_agg,
+    product_inverse_cardinalities,
+)
+from repro.exposure.subset_sum import (
+    count_consistent_assignments,
+    histogram_instance,
+    inversion_probability,
+)
+from repro.exposure.ic_table import (
+    ICTable,
+    ic_det,
+    ic_histogram,
+    ic_ndet,
+    ic_plaintext,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "AuditReport",
+    "Finding",
+    "audit_query",
+    "LeakageReport",
+    "analyze_trace_leakage",
+    "dilution_curve",
+    "expected_leak_fraction",
+    "ExposureReport",
+    "FrequencyAttacker",
+    "ICTable",
+    "compare_protocols",
+    "count_consistent_assignments",
+    "histogram_instance",
+    "inversion_probability",
+    "exposure_c_noise",
+    "exposure_det_enc",
+    "exposure_ed_hist",
+    "exposure_ed_hist_bounds",
+    "exposure_plaintext",
+    "exposure_rnf_noise",
+    "exposure_s_agg",
+    "ic_det",
+    "ic_histogram",
+    "ic_ndet",
+    "ic_plaintext",
+    "prior_from_rows",
+    "product_inverse_cardinalities",
+]

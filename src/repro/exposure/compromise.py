@@ -1,0 +1,119 @@
+"""Threat-model extension: a small number of compromised TDSs (§8).
+
+The paper's conclusion lists "extend the threat model to (a small number
+of) compromised TDSs" as future work.  This module quantifies what such
+an adversary gains, under the natural model: a compromised TDS behaves
+like an honest one (otherwise spot-check verification catches it, see
+:mod:`repro.protocols.verification`) but leaks everything it decrypts —
+i.e. the content of every partition it processes — to the SSI.
+
+What leaks, per phase:
+
+* **first aggregation round / filtering** — partitions contain *raw
+  collected tuples*: the most sensitive exposure;
+* **later rounds** — partitions contain partial aggregations: group-level
+  sums/counts, strictly less sensitive but not public.
+
+With partitions assigned (near-)uniformly to W workers of which c are
+compromised, the expected fraction of the covering result decrypted by
+the adversary is c/W — protocol-independent — so the analysis mostly
+answers *how much* raw material and *how much* aggregate material each
+protocol pushes through workers.  S_Agg exposes raw tuples in round 0
+only; the tagged protocols expose them in step 1 only; larger worker
+pools dilute the per-query leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.trace import ExecutionTrace
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LeakageReport:
+    """Byte-weighted leakage of one traced execution.
+
+    Fractions are of the phase's total downloaded bytes; byte-weighting is
+    exact when payloads are padded to one size class (which the wire
+    format enforces for tuple frames)."""
+
+    raw_fraction: float
+    aggregate_fraction: float
+    compromised_workers: int
+    total_workers: int
+    raw_bytes_leaked: int
+    aggregate_bytes_leaked: int
+
+    def is_clean(self) -> bool:
+        return self.raw_bytes_leaked == 0 and self.aggregate_bytes_leaked == 0
+
+
+def expected_leak_fraction(compromised: int, workers: int) -> float:
+    """Expected fraction of the covering result a uniform assignment hands
+    to compromised workers: c/W."""
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if compromised < 0 or compromised > workers:
+        raise ConfigurationError("compromised must be in [0, workers]")
+    return compromised / workers
+
+
+def analyze_trace_leakage(
+    trace: ExecutionTrace, compromised_ids: Iterable[str]
+) -> LeakageReport:
+    """Measure what the compromised set actually decrypted in one run.
+
+    Raw-tuple exposure: the first aggregation round (round 0) plus every
+    filtering round of the *basic* protocol (its filtering partitions
+    carry raw tuples; aggregate protocols' filtering partitions carry
+    partials and count as aggregate exposure — distinguished here by
+    whether the trace has any aggregation rounds)."""
+    compromised = set(compromised_ids)
+    has_aggregation = bool(trace.rounds("aggregation"))
+
+    raw_events = list(trace.events_in("aggregation", 0))
+    aggregate_events = [
+        e
+        for r in trace.rounds("aggregation")
+        if r != 0
+        for e in trace.events_in("aggregation", r)
+    ]
+    filtering_events = [
+        e for r in trace.rounds("filtering") for e in trace.events_in("filtering", r)
+    ]
+    if has_aggregation:
+        aggregate_events += filtering_events
+    else:
+        raw_events += filtering_events
+
+    def split(events):
+        total = sum(e.bytes_down for e in events)
+        leaked = sum(e.bytes_down for e in events if e.tds_id in compromised)
+        return leaked, total
+
+    raw_leaked, raw_total = split(raw_events)
+    agg_leaked, agg_total = split(aggregate_events)
+    workers = {e.tds_id for e in raw_events + aggregate_events}
+    return LeakageReport(
+        raw_fraction=raw_leaked / raw_total if raw_total else 0.0,
+        aggregate_fraction=agg_leaked / agg_total if agg_total else 0.0,
+        compromised_workers=len(compromised & workers),
+        total_workers=len(workers),
+        raw_bytes_leaked=raw_leaked,
+        aggregate_bytes_leaked=agg_leaked,
+    )
+
+
+def dilution_curve(
+    trace_worker_count: int, max_compromised: int | None = None
+) -> list[tuple[int, float]]:
+    """(c, expected fraction) pairs — the mitigation story: widening the
+    worker pool dilutes what any fixed number of compromised TDSs sees."""
+    upper = max_compromised if max_compromised is not None else trace_worker_count
+    upper = min(upper, trace_worker_count)
+    return [
+        (c, expected_leak_fraction(c, trace_worker_count)) for c in range(upper + 1)
+    ]

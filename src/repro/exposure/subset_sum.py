@@ -1,0 +1,86 @@
+"""The multiple-subset-sum structure behind histogram inversion (§5).
+
+"The identification of the correspondence between hash and plaintext
+values requires finding all possible partitions of the plaintext values
+such that the sum of their occurrences is the cardinality of the hash
+value, equating to solving the NP-Hard multiple subset sum problem [11]."
+
+This module makes that argument *executable* for small instances: given
+the attacker's prior (value → frequency) and the observed bucket
+cardinalities, :func:`count_consistent_assignments` counts how many
+value→bucket assignments reproduce the observation.  The attacker's
+best-case probability of inverting the histogram is the reciprocal of
+that count; equi-depth bucketization maximizes the count (every
+same-cardinality bucket permutation works), which is precisely why
+ED_Hist's ε collapses toward the Π 1/N_j floor as h grows.
+
+The solver is exponential by nature (the problem is NP-hard); instances
+are size-guarded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+#: backtracking guard: beyond this many values the instance is refused
+MAX_VALUES = 18
+
+
+def count_consistent_assignments(
+    prior: Mapping[Any, int], bucket_cardinalities: Sequence[int]
+) -> int:
+    """Count the assignments of prior values to buckets whose per-bucket
+    frequency sums equal *bucket_cardinalities*.
+
+    Buckets are distinguishable (the attacker sees distinct hash tags), so
+    two assignments differing only by which same-size bucket got which
+    value set count separately — exactly the attacker's ambiguity."""
+    values = sorted(prior, key=lambda v: (-prior[v], str(v)))
+    if len(values) > MAX_VALUES:
+        raise ConfigurationError(
+            f"instance too large ({len(values)} values > {MAX_VALUES}); "
+            f"the problem is NP-hard — that is the point"
+        )
+    if sum(prior.values()) != sum(bucket_cardinalities):
+        return 0
+    remaining = list(bucket_cardinalities)
+
+    def backtrack(index: int) -> int:
+        if index == len(values):
+            return 1 if all(r == 0 for r in remaining) else 0
+        count = 0
+        frequency = prior[values[index]]
+        seen_capacity: set[int] = set()
+        for bucket in range(len(remaining)):
+            if remaining[bucket] >= frequency:
+                remaining[bucket] -= frequency
+                count += backtrack(index + 1)
+                remaining[bucket] += frequency
+        return count
+
+    return backtrack(0)
+
+
+def inversion_probability(
+    prior: Mapping[Any, int], bucket_cardinalities: Sequence[int]
+) -> float:
+    """The attacker's best-case chance of picking the *true* assignment:
+    1 / (number of consistent assignments); 0 when none exists."""
+    count = count_consistent_assignments(prior, bucket_cardinalities)
+    return 1.0 / count if count else 0.0
+
+
+def histogram_instance(
+    prior: Mapping[Any, int], value_to_bucket: Mapping[Any, int], num_buckets: int
+) -> list[int]:
+    """Build the observed bucket cardinalities of a concrete bucketization
+    (what the SSI's tag frequencies reveal)."""
+    cardinalities = [0] * num_buckets
+    for value, frequency in prior.items():
+        bucket = value_to_bucket.get(value)
+        if bucket is None or not 0 <= bucket < num_buckets:
+            raise ConfigurationError(f"value {value!r} has no valid bucket")
+        cardinalities[bucket] += frequency
+    return cardinalities

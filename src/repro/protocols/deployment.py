@@ -1,0 +1,137 @@
+"""Deployment: wiring a whole Trusted Cells population together.
+
+A :class:`Deployment` owns the key provisioner, the credential authority,
+the access-control policy, the SSI and the TDS population.  It is the
+entry point examples and tests use:
+
+>>> import random
+>>> from repro.sql.schema import Database, schema
+>>> from repro.protocols.deployment import Deployment
+>>> def make_db(i, rng):
+...     db = Database()
+...     t = db.create_table(schema("T", g="TEXT", x="INTEGER"))
+...     t.insert({"g": "even" if i % 2 == 0 else "odd", "x": i})
+...     return db
+>>> dep = Deployment.build(10, make_db, tables=["T"], seed=1)
+>>> len(dep.tds_list)
+10
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Sequence
+
+from repro.crypto.keys import KeyProvisioner, random_key
+from repro.exceptions import ConfigurationError
+from repro.protocols.base import Querier
+from repro.sql.executor import finalize_groups, local_matching_rows, project_row
+from repro.sql.parser import parse
+from repro.sql.partial import PartialAggregation
+from repro.sql.schema import Database, Row
+from repro.ssi.server import SupportingServerInfrastructure
+from repro.tds.access_control import AccessPolicy, Authority, permissive_policy
+from repro.tds.device import SECURE_TOKEN, DeviceProfile
+from repro.tds.node import TrustedDataServer
+
+DatabaseFactory = Callable[[int, random.Random], Database]
+
+
+class Deployment:
+    """One complete population: TDSs + SSI + authority + keys."""
+
+    def __init__(
+        self,
+        tds_list: Sequence[TrustedDataServer],
+        ssi: SupportingServerInfrastructure,
+        provisioner: KeyProvisioner,
+        authority: Authority,
+        policy: AccessPolicy,
+        rng: random.Random,
+    ) -> None:
+        if not tds_list:
+            raise ConfigurationError("a deployment needs at least one TDS")
+        self.tds_list = list(tds_list)
+        self.ssi = ssi
+        self.provisioner = provisioner
+        self.authority = authority
+        self.policy = policy
+        self.rng = rng
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        num_tds: int,
+        database_factory: DatabaseFactory,
+        tables: Iterable[str],
+        seed: int = 0,
+        device: DeviceProfile = SECURE_TOKEN,
+        policy: AccessPolicy | None = None,
+    ) -> "Deployment":
+        """Provision keys, authority, SSI and *num_tds* TDS nodes whose
+        local databases come from *database_factory(index, rng)*.
+
+        The default policy grants the role ``public`` full access to
+        *tables* — override for access-control scenarios."""
+        if num_tds < 1:
+            raise ConfigurationError("num_tds must be >= 1")
+        rng = random.Random(seed)
+        provisioner = KeyProvisioner(rng)
+        authority = Authority(random_key(rng))
+        effective_policy = policy if policy is not None else permissive_policy(tables)
+        ssi = SupportingServerInfrastructure()
+        tds_list = []
+        for index in range(num_tds):
+            database = database_factory(index, rng)
+            tds_list.append(
+                TrustedDataServer(
+                    tds_id=f"tds-{index}",
+                    database=database,
+                    keys=provisioner.bundle_for_tds(),
+                    policy=effective_policy,
+                    authority=authority,
+                    device=device,
+                    rng=random.Random(rng.getrandbits(64)),
+                )
+            )
+        return cls(tds_list, ssi, provisioner, authority, effective_policy, rng)
+
+    # ------------------------------------------------------------------ #
+    # parties
+    # ------------------------------------------------------------------ #
+    def make_querier(self, subject: str = "querier", roles: Iterable[str] = ("public",)) -> Querier:
+        credential = self.authority.issue(subject, roles)
+        return Querier(
+            self.provisioner.bundle_for_querier(),
+            credential,
+            random.Random(self.rng.getrandbits(64)),
+        )
+
+    def connected_tds(self, fraction: float = 1.0) -> list[TrustedDataServer]:
+        """Sample the TDSs connected at a given moment — the availability
+        knob of §6.3 (1% / 10% / 100% of the collectors)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        count = max(1, round(len(self.tds_list) * fraction))
+        return self.rng.sample(self.tds_list, count)
+
+    # ------------------------------------------------------------------ #
+    # ground truth (tests only — a real deployment has no such oracle)
+    # ------------------------------------------------------------------ #
+    def reference_answer(self, sql: str) -> list[Row]:
+        """The plaintext answer the protocols must reproduce: the union of
+        every TDS's *locally* matching rows (internal joins never cross
+        TDSs, §2.3 footnote 5), aggregated centrally.  The SIZE clause is
+        ignored — the reference assumes full participation."""
+        statement = parse(sql)
+        all_rows: list[Row] = []
+        for tds in self.tds_list:
+            all_rows.extend(local_matching_rows(tds.database, statement))
+        if not statement.is_aggregate_query():
+            return [project_row(statement, row) for row in all_rows]
+        partial = PartialAggregation(statement)
+        partial.add_rows(all_rows)
+        return finalize_groups(statement, partial.groups())

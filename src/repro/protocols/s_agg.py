@@ -1,0 +1,114 @@
+"""S_Agg: the Secure Aggregation protocol (§4.2, Fig. 4).
+
+Collection uses pure nDet_Enc, so the SSI has **no** routing information:
+tuples of the same group are randomly scattered across partitions.  The
+aggregation phase is therefore *iterative*: each round, connected TDSs
+download random partitions of encrypted tuples/partials and upload one
+partial aggregation each; the number of items shrinks by the reduction
+factor α every round until a single partial holds the final aggregation
+(``n = log_α(Nt/G)`` rounds).  The cost model shows α ≈ 3.6 minimizes the
+response time (§6.1.1); the default uses that optimum.
+
+Security: every byte the SSI sees is nDet_Enc ciphertext — the most
+confidential of the proposed protocols (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import EncryptedPartial, EncryptedTuple, Partition, QueryEnvelope
+from repro.exceptions import ProtocolError
+from repro.protocols.base import ProtocolDriver
+from repro.ssi.partitioner import RandomPartitioner
+
+#: optimal reduction factor derived in §6.1.1 (dTQ/dα = 0 → α ≈ 3.6);
+#: partitions must hold at least 2 items for the iteration to converge.
+ALPHA_OPTIMAL = 3.6
+
+
+class SAggProtocol(ProtocolDriver):
+    """Iterative secure aggregation."""
+
+    name = "s_agg"
+
+    def __init__(
+        self, *args, alpha: float = ALPHA_OPTIMAL, spot_checker=None, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if alpha < 2:
+            raise ProtocolError("the reduction factor alpha must be >= 2")
+        self.alpha = alpha
+        #: optional :class:`~repro.protocols.verification.SpotChecker`: when
+        #: set, every partial is audited and corrected if tampered (the §8
+        #: compromised-TDS countermeasure)
+        self.spot_checker = spot_checker
+
+    def execute(self, envelope: QueryEnvelope) -> None:
+        statement = self.open_statement(envelope)
+        if not statement.is_aggregate_query():
+            raise ProtocolError("S_Agg runs Group-By queries; use the basic "
+                                "protocol for plain Select-From-Where")
+        self._collection_phase(envelope)
+        final_partial = self._aggregation_phase(envelope, statement)
+        self._filtering_phase(envelope, statement, final_partial)
+
+    # ------------------------------------------------------------------ #
+    def _collection_phase(self, envelope: QueryEnvelope) -> None:
+        for tds in self.collectors:
+            tuples = tds.collect_for_sagg(envelope)
+            self.ssi.submit_tuples(envelope.query_id, tuples)
+            uploaded = sum(len(t.payload) for t in tuples)
+            self.stats.charge(tds.tds_id, uploaded)
+            self.record_collection(envelope, tds.tds_id, uploaded)
+            if self.ssi.evaluate_size_clause(envelope.query_id):
+                break
+        self.ssi.close_collection(envelope.query_id)
+        self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
+
+    def _aggregation_phase(self, envelope, statement) -> EncryptedPartial:
+        """Iterate: random partitions of size ⌈α⌉ → one partial per
+        partition → repeat on the partials until one remains."""
+        items: list[EncryptedTuple | EncryptedPartial] = list(
+            self.ssi.covering_result(envelope.query_id)
+        )
+        partition_size = max(2, round(self.alpha))
+        round_index = 0
+        while True:
+            round_outputs: list[EncryptedPartial] = []
+            partitioner = RandomPartitioner(partition_size, self.rng)
+            partitions = partitioner.partition(items)
+
+            def handle(worker, partition: Partition) -> int:
+                partial = worker.aggregate_partition(statement, partition)
+                if self.spot_checker is not None:
+                    partial = self.spot_checker.audit_and_correct(
+                        statement, partition, partial, worker.tds_id
+                    )
+                round_outputs.append(partial)
+                self.ssi.submit_partials(envelope.query_id, [partial])
+                return len(partial.payload)
+
+            self.run_partitions(partitions, handle, round_index=round_index)
+            self.ssi.take_partials(envelope.query_id)  # drained into next round
+            self.stats.aggregation_rounds += 1
+            round_index += 1
+            if len(round_outputs) <= 1:
+                if not round_outputs:
+                    raise ProtocolError("aggregation produced no output")
+                return round_outputs[0]
+            items = list(round_outputs)
+
+    def _filtering_phase(self, envelope, statement, final_partial) -> None:
+        """One TDS evaluates HAVING + projection on the final aggregation
+        and re-encrypts the result under k1 (steps 9-12)."""
+        partition = Partition(partition_id=-1, items=(final_partial,))
+        worker = self.workers[self.rng.randrange(len(self.workers))]
+        rows = worker.finalize_partition(statement, partition)
+        self.stats.charge(worker.tds_id, partition.byte_size())
+        self.trace.record(
+            "filtering",
+            0,
+            worker.tds_id,
+            partition.byte_size(),
+            sum(len(r) for r in rows),
+        )
+        self.publish(envelope, rows)

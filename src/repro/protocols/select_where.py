@@ -1,0 +1,69 @@
+"""Basic querying protocol for Select-From-Where statements (§3.2).
+
+Collection phase: every connected TDS downloads the query, evaluates it
+locally and pushes nDet-encrypted result tuples — or a dummy tuple when
+nothing matches or access is denied, so the SSI cannot learn the query
+selectivity.  Collection stops when the SIZE clause is satisfied.
+
+Filtering phase: the SSI partitions the Covering Result into opaque
+chunks; connected TDSs (possibly different ones) decrypt, drop the
+dummies and re-encrypt the true tuples under k1 for the querier.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import QueryEnvelope
+from repro.exceptions import ProtocolError
+from repro.protocols.base import ProtocolDriver
+from repro.ssi.partitioner import RandomPartitioner
+
+
+class SelectWhereProtocol(ProtocolDriver):
+    """The basic (non-aggregate) protocol."""
+
+    name = "basic"
+
+    def __init__(self, *args, partition_size: int = 64, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if partition_size < 1:
+            raise ProtocolError("partition_size must be >= 1")
+        self.partition_size = partition_size
+
+    def execute(self, envelope: QueryEnvelope) -> None:
+        statement = self.open_statement(envelope)
+        if statement.is_aggregate_query():
+            raise ProtocolError(
+                "the basic protocol cannot run Group-By queries; use S_Agg, "
+                "a noise-based protocol or ED_Hist"
+            )
+        self._collection_phase(envelope)
+        self._filtering_phase(envelope)
+
+    # ------------------------------------------------------------------ #
+    def _collection_phase(self, envelope: QueryEnvelope) -> None:
+        """TDSs connect one by one until the SIZE clause closes the query
+        (or every collector has answered)."""
+        for tds in self.collectors:
+            tuples = tds.collect_basic(envelope)
+            self.ssi.submit_tuples(envelope.query_id, tuples)
+            uploaded = sum(len(t.payload) for t in tuples)
+            self.stats.charge(tds.tds_id, uploaded)
+            self.record_collection(envelope, tds.tds_id, uploaded)
+            if self.ssi.evaluate_size_clause(envelope.query_id):
+                break
+        self.ssi.close_collection(envelope.query_id)
+        self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
+
+    def _filtering_phase(self, envelope: QueryEnvelope) -> None:
+        covering_result = self.ssi.covering_result(envelope.query_id)
+        partitioner = RandomPartitioner(self.partition_size, self.rng)
+        partitions = partitioner.partition(covering_result)
+        result_rows: list[bytes] = []
+
+        def handle(worker, partition):
+            rows = worker.filter_partition(partition)
+            result_rows.extend(rows)
+            return sum(len(r) for r in rows)
+
+        self.run_partitions(partitions, handle, phase="filtering")
+        self.publish(envelope, result_rows)

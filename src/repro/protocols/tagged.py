@@ -1,0 +1,118 @@
+"""Shared aggregation machinery for the *tagged* protocols.
+
+The noise-based protocols (§4.3) and ED_Hist (§4.4) differ only in how
+collection tags tuples (Det_Enc of the grouping value + fakes, vs. keyed
+bucket hash).  From there both follow the same two-step aggregation:
+
+1. the SSI groups same-tag tuples into partitions; TDSs fold each
+   partition and return per-group partials tagged ``Det_Enc(group)``;
+2. the SSI groups same-tag partials; TDSs merge each group to one final
+   partial.
+
+Unlike S_Agg the convergence is guaranteed in two steps and every group is
+processed in parallel — which is exactly why these protocols dominate the
+parallelism/elasticity axes of Fig. 11.
+"""
+
+from __future__ import annotations
+
+from repro.core.messages import EncryptedPartial, Partition, QueryEnvelope
+from repro.exceptions import ProtocolError
+from repro.protocols.base import ProtocolDriver
+from repro.ssi.partitioner import RandomPartitioner, TagPartitioner
+from repro.sql.ast import SelectStatement
+
+
+class TaggedAggregationProtocol(ProtocolDriver):
+    """Base class: collection is protocol-specific, aggregation shared."""
+
+    def __init__(
+        self,
+        *args,
+        first_step_partition_size: int | None = 64,
+        filter_partition_size: int = 64,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.first_step_partition_size = first_step_partition_size
+        self.filter_partition_size = filter_partition_size
+
+    # -- subclass hook --------------------------------------------------- #
+    def collect_from(self, tds, envelope: QueryEnvelope) -> list:
+        raise NotImplementedError
+
+    # -- template -------------------------------------------------------- #
+    def execute(self, envelope: QueryEnvelope) -> None:
+        statement = self.open_statement(envelope)
+        if not statement.is_aggregate_query():
+            raise ProtocolError(
+                f"{self.name} runs Group-By queries; use the basic protocol"
+            )
+        self._collection_phase(envelope)
+        final_partials = self._aggregation_phase(envelope, statement)
+        self._filtering_phase(envelope, statement, final_partials)
+
+    def _collection_phase(self, envelope: QueryEnvelope) -> None:
+        for tds in self.collectors:
+            tuples = self.collect_from(tds, envelope)
+            self.ssi.submit_tuples(envelope.query_id, tuples)
+            uploaded = sum(len(t.payload) for t in tuples)
+            self.stats.charge(tds.tds_id, uploaded)
+            self.record_collection(envelope, tds.tds_id, uploaded)
+            if self.ssi.evaluate_size_clause(envelope.query_id):
+                break
+        self.ssi.close_collection(envelope.query_id)
+        self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
+
+    def _aggregation_phase(
+        self, envelope: QueryEnvelope, statement: SelectStatement
+    ) -> list[EncryptedPartial]:
+        # Step 1: partition tuples by tag, fold to per-group partials.
+        covering_result = self.ssi.covering_result(envelope.query_id)
+        step1 = TagPartitioner(max_partition_size=self.first_step_partition_size)
+        partitions = step1.partition(covering_result)
+
+        def fold(worker, partition: Partition) -> int:
+            partials = worker.aggregate_partition_per_group(statement, partition)
+            self.ssi.submit_partials(envelope.query_id, partials)
+            return sum(len(p.payload) for p in partials)
+
+        self.run_partitions(partitions, fold, round_index=0)
+        self.stats.aggregation_rounds += 1
+
+        # Step 2: partition partials by Det_Enc(group) tag, merge per group.
+        intermediate = self.ssi.take_partials(envelope.query_id)
+        step2 = TagPartitioner()
+        merge_partitions = step2.partition(intermediate)
+        final_partials: list[EncryptedPartial] = []
+
+        def merge(worker, partition: Partition) -> int:
+            merged = worker.aggregate_partition_per_group(statement, partition)
+            final_partials.extend(merged)
+            self.ssi.submit_partials(envelope.query_id, merged)
+            return sum(len(p.payload) for p in merged)
+
+        self.run_partitions(merge_partitions, merge, round_index=1)
+        self.stats.aggregation_rounds += 1
+        self.ssi.take_partials(envelope.query_id)
+        return final_partials
+
+    def _filtering_phase(
+        self,
+        envelope: QueryEnvelope,
+        statement: SelectStatement,
+        final_partials: list[EncryptedPartial],
+    ) -> None:
+        """Each final partial holds exactly one complete group, so HAVING
+        and the projection can run on arbitrary chunks in parallel."""
+        partitioner = RandomPartitioner(self.filter_partition_size, self.rng)
+        partitions = partitioner.partition(final_partials)
+        result_rows: list[bytes] = []
+
+        def finalize(worker, partition: Partition) -> int:
+            rows = worker.finalize_partition(statement, partition)
+            result_rows.extend(rows)
+            return sum(len(r) for r in rows)
+
+        self.run_partitions(partitions, finalize, phase="filtering")
+        self.publish(envelope, result_rows)

@@ -1,0 +1,31 @@
+"""Discrete-time simulation: connectivity, network, timed trace replay."""
+
+from repro.simulation.availability import (
+    ConnectivitySchedule,
+    always_on,
+    duty_cycle,
+)
+from repro.simulation.failures import (
+    combined,
+    failure_budget,
+    flaky_workers,
+    random_failures,
+)
+from repro.simulation.network import NetworkModel
+from repro.simulation.replay import SimulationReport, TraceScheduler
+from repro.simulation.runner import SimulatedRun, run_simulated
+
+__all__ = [
+    "ConnectivitySchedule",
+    "NetworkModel",
+    "SimulatedRun",
+    "SimulationReport",
+    "TraceScheduler",
+    "always_on",
+    "combined",
+    "duty_cycle",
+    "failure_budget",
+    "flaky_workers",
+    "random_failures",
+    "run_simulated",
+]

@@ -1,0 +1,80 @@
+"""Connectivity schedules: when is each TDS online?
+
+The paper distinguishes always-connected smart meters from seldom-
+connected personal tokens ("individuals are likely to connect their TDS
+seldom, for short periods of time", §6.4).  A
+:class:`ConnectivitySchedule` assigns each TDS a list of [connect,
+disconnect) intervals over the simulation horizon; the trace scheduler
+only lets a TDS work inside its intervals and interrupts tasks that
+overrun them (triggering the SSI's timeout/reassignment machinery).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+Interval = tuple[float, float]
+
+
+@dataclass
+class ConnectivitySchedule:
+    """Per-TDS connection intervals (sorted, non-overlapping)."""
+
+    intervals: dict[str, list[Interval]]
+    horizon: float
+
+    def is_connected(self, tds_id: str, at: float) -> bool:
+        return any(start <= at < end for start, end in self.intervals.get(tds_id, ()))
+
+    def first_connection_after(self, tds_id: str, at: float) -> Interval | None:
+        """The interval in which the TDS is (or next becomes) connected at
+        or after *at* — None if it never reconnects within the horizon."""
+        for start, end in self.intervals.get(tds_id, ()):
+            if end > at:
+                return (max(start, at), end)
+        return None
+
+    def online_fraction(self, tds_id: str) -> float:
+        total = sum(end - start for start, end in self.intervals.get(tds_id, ()))
+        return total / self.horizon if self.horizon else 0.0
+
+
+def always_on(tds_ids: list[str], horizon: float = 1e9) -> ConnectivitySchedule:
+    """Smart-meter style: connected for the whole horizon."""
+    return ConnectivitySchedule(
+        {tds_id: [(0.0, horizon)] for tds_id in tds_ids}, horizon
+    )
+
+
+def duty_cycle(
+    tds_ids: list[str],
+    rng: random.Random,
+    horizon: float = 3600.0,
+    duty: float = 0.3,
+    session_length: float = 120.0,
+) -> ConnectivitySchedule:
+    """Token-style intermittent connectivity: sessions of roughly
+    *session_length* seconds, online *duty* fraction of the time, with
+    per-TDS random phase so the population connects in a staggered way."""
+    if not 0 < duty <= 1:
+        raise ConfigurationError("duty must be in (0, 1]")
+    if session_length <= 0 or horizon <= 0:
+        raise ConfigurationError("session_length and horizon must be positive")
+    period = session_length / duty
+    schedule: dict[str, list[Interval]] = {}
+    for tds_id in tds_ids:
+        phase = rng.uniform(0, period)
+        intervals = []
+        start = phase
+        while start < horizon:
+            jitter = rng.uniform(0.5, 1.5)
+            end = min(start + session_length * jitter, horizon)
+            intervals.append((start, end))
+            start += period * jitter
+        if not intervals:  # phase landed beyond the horizon: one session
+            intervals.append((0.0, min(session_length, horizon)))
+        schedule[tds_id] = intervals
+    return ConnectivitySchedule(schedule, horizon)

@@ -1,0 +1,44 @@
+"""Network model: per-transfer latency on top of the device link speed.
+
+The device's measured link throughput (7.9 Mbps on the paper's board)
+lives in :class:`~repro.tds.device.DeviceProfile`; this model adds the
+round-trip latency of talking to the SSI, which dominates for tiny
+transfers and explains why the paper manages partitions "in streaming".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.tds.device import DeviceProfile
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency + device-limited throughput."""
+
+    round_trip_latency: float = 0.02  # seconds, a WAN-ish RTT to the SSI
+
+    def __post_init__(self) -> None:
+        if self.round_trip_latency < 0:
+            raise ConfigurationError("latency cannot be negative")
+
+    def transfer_time(self, num_bytes: int, device: DeviceProfile) -> float:
+        """One logical transfer (download or upload) of *num_bytes*."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.round_trip_latency + device.transfer_time(num_bytes)
+
+    def task_time(
+        self, bytes_down: int, bytes_up: int, device: DeviceProfile
+    ) -> float:
+        """Full processing of one work item: download, decrypt+CPU the
+        input, encrypt the output, upload."""
+        return (
+            self.transfer_time(bytes_down, device)
+            + device.crypto_time(bytes_down)
+            + device.cpu_time(bytes_down)
+            + device.crypto_time(bytes_up)
+            + self.transfer_time(bytes_up, device)
+        )

@@ -1,0 +1,177 @@
+"""Timed replay of an execution trace against a connectivity schedule.
+
+The protocol drivers decide *what* work happens (see
+:mod:`repro.core.trace`); this module decides *when*:
+
+* collection events are independent arrivals — each collector contributes
+  at its first connection after the query is posted;
+* aggregation/filtering rounds are barriers — round r starts when round
+  r−1 (or collection) finished; inside a round each worker processes its
+  assigned items serially within its connectivity windows;
+* a task that overruns its window is interrupted; the SSI notices after
+  ``timeout`` seconds and the task restarts in the worker's next window
+  (the §3.2 reassignment discipline, here charged to the same logical
+  worker for scheduling simplicity).
+
+The output :class:`SimulationReport` carries the timed counterparts of
+the cost-model metrics: phase durations (TQ), per-TDS busy time (Tlocal)
+and participant counts (PTDS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.trace import ExecutionTrace, TraceEvent
+from repro.exceptions import QueryAbortedError
+from repro.simulation.availability import ConnectivitySchedule
+from repro.simulation.network import NetworkModel
+from repro.tds.device import SECURE_TOKEN, DeviceProfile
+
+
+@dataclass
+class SimulationReport:
+    """Timing produced by one trace replay (all values in seconds)."""
+
+    collection_duration: float = 0.0
+    aggregation_duration: float = 0.0
+    filtering_duration: float = 0.0
+    busy_time: dict[str, float] = field(default_factory=dict)
+    interruptions: int = 0
+
+    @property
+    def total_duration(self) -> float:
+        return (
+            self.collection_duration
+            + self.aggregation_duration
+            + self.filtering_duration
+        )
+
+    @property
+    def t_q(self) -> float:
+        """The paper's TQ: the aggregation phase only (§6.1)."""
+        return self.aggregation_duration
+
+    def t_local_mean(self) -> float:
+        if not self.busy_time:
+            return 0.0
+        return sum(self.busy_time.values()) / len(self.busy_time)
+
+    def t_local_max(self) -> float:
+        return max(self.busy_time.values(), default=0.0)
+
+    def participants(self) -> int:
+        return len(self.busy_time)
+
+
+class TraceScheduler:
+    """Replays traces; see the module docstring for the model."""
+
+    def __init__(
+        self,
+        schedule: ConnectivitySchedule,
+        network: NetworkModel | None = None,
+        device_for: dict[str, DeviceProfile] | None = None,
+        default_device: DeviceProfile = SECURE_TOKEN,
+        timeout: float = 60.0,
+        max_retries: int = 25,
+    ) -> None:
+        self.schedule = schedule
+        self.network = network if network is not None else NetworkModel()
+        self.device_for = device_for or {}
+        self.default_device = default_device
+        self.timeout = timeout
+        self.max_retries = max_retries
+
+    # ------------------------------------------------------------------ #
+    def replay(self, trace: ExecutionTrace, query_posted_at: float = 0.0) -> SimulationReport:
+        report = SimulationReport()
+        clock = query_posted_at
+
+        collection_events = trace.events_in("collection")
+        if collection_events:
+            clock = self._replay_collection(collection_events, clock, report)
+            report.collection_duration = clock - query_posted_at
+
+        aggregation_start = clock
+        for round_index in trace.rounds("aggregation"):
+            clock = self._replay_round(
+                trace.events_in("aggregation", round_index), clock, report
+            )
+        report.aggregation_duration = clock - aggregation_start
+
+        filtering_start = clock
+        for round_index in trace.rounds("filtering"):
+            clock = self._replay_round(
+                trace.events_in("filtering", round_index), clock, report
+            )
+        report.filtering_duration = clock - filtering_start
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _device(self, tds_id: str) -> DeviceProfile:
+        return self.device_for.get(tds_id, self.default_device)
+
+    def _charge(self, report: SimulationReport, tds_id: str, seconds: float) -> None:
+        report.busy_time[tds_id] = report.busy_time.get(tds_id, 0.0) + seconds
+
+    def _replay_collection(
+        self, events: list[TraceEvent], start: float, report: SimulationReport
+    ) -> float:
+        """Each collector uploads at its first connection ≥ start; the
+        phase ends at the last contribution."""
+        phase_end = start
+        for event in events:
+            device = self._device(event.tds_id)
+            duration = self.network.task_time(
+                event.bytes_down, event.bytes_up, device
+            )
+            finished = self._run_in_windows(
+                event.tds_id, start, duration, report
+            )
+            self._charge(report, event.tds_id, duration)
+            phase_end = max(phase_end, finished)
+        return phase_end
+
+    def _replay_round(
+        self, events: list[TraceEvent], round_start: float, report: SimulationReport
+    ) -> float:
+        """Barrier round: every worker processes its items serially from
+        *round_start*; the round ends at the slowest worker."""
+        worker_clock: dict[str, float] = {}
+        round_end = round_start
+        for event in events:
+            device = self._device(event.tds_id)
+            duration = self.network.task_time(
+                event.bytes_down, event.bytes_up, device
+            )
+            begin = worker_clock.get(event.tds_id, round_start)
+            finished = self._run_in_windows(event.tds_id, begin, duration, report)
+            worker_clock[event.tds_id] = finished
+            self._charge(report, event.tds_id, duration)
+            round_end = max(round_end, finished)
+        return round_end
+
+    def _run_in_windows(
+        self, tds_id: str, earliest: float, duration: float, report: SimulationReport
+    ) -> float:
+        """Find when a task of *duration* completes, restarting it in the
+        next window whenever a disconnection interrupts it."""
+        at = earliest
+        for __ in range(self.max_retries):
+            window = self.schedule.first_connection_after(tds_id, at)
+            if window is None:
+                raise QueryAbortedError(
+                    f"TDS {tds_id!r} never reconnects within the simulation "
+                    f"horizon; partition cannot complete"
+                )
+            begin, end = window
+            if begin + duration <= end:
+                return begin + duration
+            # Interrupted: SSI notices after `timeout` and reassigns; the
+            # work restarts in the next window.
+            report.interruptions += 1
+            at = end + self.timeout
+        raise QueryAbortedError(
+            f"task on TDS {tds_id!r} exceeded {self.max_retries} reassignments"
+        )

@@ -1,0 +1,55 @@
+"""SQL engine substrate: lexer, parser, AST, evaluator, aggregates, executor.
+
+Supports the paper's dialect (§2.3): SELECT / FROM (with locally-executed
+internal joins) / WHERE / GROUP BY / HAVING / SIZE, with distributive,
+algebraic and holistic aggregate functions.
+"""
+
+from repro.sql.aggregates import AggregateState, make_state, state_from_portable
+from repro.sql.ast import (
+    AggregateCall,
+    ColumnRef,
+    Expression,
+    Literal,
+    SelectItem,
+    SelectStatement,
+    SizeClause,
+    TableRef,
+)
+from repro.sql.executor import execute, local_matching_rows, validate_statement
+from repro.sql.expressions import evaluate, is_true
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_expression
+from repro.sql.partial import PartialAggregation
+from repro.sql.schema import Column, ColumnType, Database, Table, TableSchema, schema
+
+__all__ = [
+    "AggregateCall",
+    "AggregateState",
+    "Column",
+    "ColumnRef",
+    "ColumnType",
+    "Database",
+    "Expression",
+    "Literal",
+    "PartialAggregation",
+    "SelectItem",
+    "SelectStatement",
+    "SizeClause",
+    "Table",
+    "TableRef",
+    "TableSchema",
+    "Token",
+    "TokenType",
+    "evaluate",
+    "execute",
+    "is_true",
+    "local_matching_rows",
+    "make_state",
+    "parse",
+    "parse_expression",
+    "schema",
+    "state_from_portable",
+    "tokenize",
+    "validate_statement",
+]

@@ -1,0 +1,373 @@
+"""Aggregate functions with mergeable partial states.
+
+The heart of the paper's aggregation phase (§4.1) is that TDSs compute
+*partial aggregations* which other TDSs later merge: ``Ω = Ω ⊕ tup`` and
+``Ω = Ω ⊕ Ω'`` in Fig. 4.  Every aggregate here therefore exposes three
+operations:
+
+* :meth:`AggregateState.update` — fold in one raw value (collection side);
+* :meth:`AggregateState.merge`  — fold in another partial state (⊕);
+* :meth:`AggregateState.result` — finalize into the SQL answer.
+
+Classification per Locher [27], which the paper references:
+
+* **distributive** — COUNT, SUM, MIN, MAX (constant-size state);
+* **algebraic**    — AVG (pair of distributives);
+* **holistic**     — MEDIAN and any DISTINCT variant (state grows with the
+  number of distinct values; this is what makes the RAM bound of §4.2 bite).
+
+States serialize to plain codec-friendly structures via
+:meth:`to_portable` / :func:`state_from_portable`, so a partial aggregation
+can be encrypted, shipped through the SSI and resumed by another TDS.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import EvaluationError
+from repro.sql.ast import AggregateCall
+
+
+class AggregateState:
+    """Base class for one aggregate's running state."""
+
+    #: short tag used in portable encodings
+    kind: str = ""
+    #: True when the state size grows with the input (holistic behaviour)
+    holistic: bool = False
+
+    def update(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateState") -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+    def to_portable(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def state_size(self) -> int:
+        """Approximate number of scalar slots held (for the RAM model)."""
+        return 1
+
+    def _check_mergeable(self, other: "AggregateState") -> None:
+        if type(other) is not type(self):
+            raise EvaluationError(
+                f"cannot merge {type(other).__name__} into {type(self).__name__}"
+            )
+
+
+class CountState(AggregateState):
+    """COUNT(*) and COUNT(expr): number of (non-NULL) contributions."""
+
+    kind = "count"
+
+    def __init__(self, count: int = 0) -> None:
+        self.count = count
+
+    def update(self, value: Any) -> None:
+        # NULL filtering happens in the caller for COUNT(expr); COUNT(*)
+        # passes a sentinel non-NULL value.
+        self.count += 1
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        self.count += other.count  # type: ignore[attr-defined]
+
+    def result(self) -> int:
+        return self.count
+
+    def to_portable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "count": self.count}
+
+
+class SumState(AggregateState):
+    """SUM(expr); empty input yields NULL as in SQL."""
+
+    kind = "sum"
+
+    def __init__(self, total: float | int = 0, seen: bool = False) -> None:
+        self.total = total
+        self.seen = seen
+
+    def update(self, value: Any) -> None:
+        self.total += value
+        self.seen = True
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        self.total += other.total  # type: ignore[attr-defined]
+        self.seen = self.seen or other.seen  # type: ignore[attr-defined]
+
+    def result(self) -> float | int | None:
+        return self.total if self.seen else None
+
+    def to_portable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "total": self.total, "seen": self.seen}
+
+
+class AvgState(AggregateState):
+    """AVG(expr) — algebraic: carried as (sum, count)."""
+
+    kind = "avg"
+
+    def __init__(self, total: float | int = 0, count: int = 0) -> None:
+        self.total = total
+        self.count = count
+
+    def update(self, value: Any) -> None:
+        self.total += value
+        self.count += 1
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        self.total += other.total  # type: ignore[attr-defined]
+        self.count += other.count  # type: ignore[attr-defined]
+
+    def result(self) -> float | None:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def to_portable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "total": self.total, "count": self.count}
+
+    def state_size(self) -> int:
+        return 2
+
+
+class MinState(AggregateState):
+    """MIN(expr)."""
+
+    kind = "min"
+
+    def __init__(self, best: Any = None) -> None:
+        self.best = best
+
+    def update(self, value: Any) -> None:
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        if other.best is not None:  # type: ignore[attr-defined]
+            self.update(other.best)  # type: ignore[attr-defined]
+
+    def result(self) -> Any:
+        return self.best
+
+    def to_portable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "best": self.best}
+
+
+class MaxState(AggregateState):
+    """MAX(expr)."""
+
+    kind = "max"
+
+    def __init__(self, best: Any = None) -> None:
+        self.best = best
+
+    def update(self, value: Any) -> None:
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        if other.best is not None:  # type: ignore[attr-defined]
+            self.update(other.best)  # type: ignore[attr-defined]
+
+    def result(self) -> Any:
+        return self.best
+
+    def to_portable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "best": self.best}
+
+
+class VarianceState(AggregateState):
+    """VARIANCE(expr) / STDDEV(expr) — algebraic: (count, sum, sum of
+    squares) merge exactly like AVG's (sum, count) pair.
+
+    Sample variance (n − 1 denominator, the common SQL default); NULL for
+    fewer than two values."""
+
+    kind = "variance"
+
+    def __init__(
+        self,
+        function: str = "VARIANCE",
+        count: int = 0,
+        total: float = 0.0,
+        total_squares: float = 0.0,
+    ) -> None:
+        self.function = function
+        self.count = count
+        self.total = total
+        self.total_squares = total_squares
+
+    def update(self, value: Any) -> None:
+        self.count += 1
+        self.total += value
+        self.total_squares += value * value
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        if other.function != self.function:  # type: ignore[attr-defined]
+            raise EvaluationError("cannot merge VARIANCE and STDDEV states")
+        self.count += other.count  # type: ignore[attr-defined]
+        self.total += other.total  # type: ignore[attr-defined]
+        self.total_squares += other.total_squares  # type: ignore[attr-defined]
+
+    def result(self) -> float | None:
+        if self.count < 2:
+            return None
+        mean = self.total / self.count
+        variance = (self.total_squares - self.count * mean * mean) / (self.count - 1)
+        variance = max(variance, 0.0)  # guard FP cancellation
+        if self.function == "STDDEV":
+            return variance ** 0.5
+        return variance
+
+    def to_portable(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "count": self.count,
+            "total": self.total,
+            "total_squares": self.total_squares,
+        }
+
+    def state_size(self) -> int:
+        return 3
+
+
+class DistinctState(AggregateState):
+    """Wrapper carrying the distinct value set — holistic by nature.
+
+    Used for COUNT(DISTINCT x), SUM(DISTINCT x) and AVG(DISTINCT x): the
+    full set of distinct values must travel with the partial aggregation,
+    which is precisely why holistic aggregates stress TDS RAM (§4.2).
+    """
+
+    kind = "distinct"
+    holistic = True
+
+    def __init__(self, function: str, values: set[Any] | None = None) -> None:
+        self.function = function
+        self.values: set[Any] = set(values or ())
+
+    def update(self, value: Any) -> None:
+        self.values.add(value)
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        if other.function != self.function:  # type: ignore[attr-defined]
+            raise EvaluationError("cannot merge DISTINCT states of different functions")
+        self.values |= other.values  # type: ignore[attr-defined]
+
+    def result(self) -> Any:
+        if self.function == "COUNT":
+            return len(self.values)
+        if not self.values:
+            return None
+        if self.function == "SUM":
+            return sum(self.values)
+        if self.function == "AVG":
+            return sum(self.values) / len(self.values)
+        raise EvaluationError(f"DISTINCT unsupported for {self.function}")
+
+    def to_portable(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "function": self.function,
+            "values": sorted(self.values, key=lambda v: (str(type(v)), str(v))),
+        }
+
+    def state_size(self) -> int:
+        return max(1, len(self.values))
+
+
+class MedianState(AggregateState):
+    """MEDIAN(expr) — the holistic representative: keeps every value."""
+
+    kind = "median"
+    holistic = True
+
+    def __init__(self, values: list[Any] | None = None) -> None:
+        self.values: list[Any] = list(values or ())
+
+    def update(self, value: Any) -> None:
+        self.values.append(value)
+
+    def merge(self, other: AggregateState) -> None:
+        self._check_mergeable(other)
+        self.values.extend(other.values)  # type: ignore[attr-defined]
+
+    def result(self) -> Any:
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        middle = len(ordered) // 2
+        if len(ordered) % 2 == 1:
+            return ordered[middle]
+        return (ordered[middle - 1] + ordered[middle]) / 2
+
+    def to_portable(self) -> dict[str, Any]:
+        return {"kind": self.kind, "values": list(self.values)}
+
+    def state_size(self) -> int:
+        return max(1, len(self.values))
+
+
+def make_state(call: AggregateCall) -> AggregateState:
+    """Create the empty running state for *call*."""
+    if call.distinct:
+        if call.function not in ("COUNT", "SUM", "AVG"):
+            raise EvaluationError(f"DISTINCT unsupported for {call.function}")
+        return DistinctState(call.function)
+    if call.function == "COUNT":
+        return CountState()
+    if call.function == "SUM":
+        return SumState()
+    if call.function == "AVG":
+        return AvgState()
+    if call.function == "MIN":
+        return MinState()
+    if call.function == "MAX":
+        return MaxState()
+    if call.function == "MEDIAN":
+        return MedianState()
+    if call.function in ("VARIANCE", "STDDEV"):
+        return VarianceState(call.function)
+    raise EvaluationError(f"unknown aggregate function {call.function!r}")
+
+
+def state_from_portable(portable: dict[str, Any]) -> AggregateState:
+    """Reconstruct a state from its :meth:`~AggregateState.to_portable`
+    encoding (after decryption on the receiving TDS)."""
+    kind = portable.get("kind")
+    if kind == "count":
+        return CountState(portable["count"])
+    if kind == "sum":
+        return SumState(portable["total"], portable["seen"])
+    if kind == "avg":
+        return AvgState(portable["total"], portable["count"])
+    if kind == "min":
+        return MinState(portable["best"])
+    if kind == "max":
+        return MaxState(portable["best"])
+    if kind == "distinct":
+        return DistinctState(portable["function"], set(portable["values"]))
+    if kind == "median":
+        return MedianState(list(portable["values"]))
+    if kind == "variance":
+        return VarianceState(
+            portable["function"],
+            portable["count"],
+            portable["total"],
+            portable["total_squares"],
+        )
+    raise EvaluationError(f"unknown portable aggregate kind {kind!r}")

@@ -1,0 +1,364 @@
+"""Local query executor — what runs *inside* one TDS.
+
+The paper allows "internal joins which can be executed locally by each TDS"
+(§2.3, footnote 5): a TDS evaluates FROM (with cartesian products restricted
+by WHERE), WHERE, and either projects result tuples (basic protocol, §3.2)
+or computes aggregate contributions (Group-By protocols, §4).
+
+This module also provides the *reference executor*: running the full query
+on the union of all local databases, which the tests use as ground truth
+for protocol correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.exceptions import PlanningError
+from repro.sql.aggregates import AggregateState, make_state
+from repro.sql.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    SelectStatement,
+    UnaryOp,
+)
+from repro.sql.expressions import evaluate, is_true
+from repro.sql.schema import Database, Row
+
+
+def bind_rows(database: Database, statement: SelectStatement) -> Iterator[Row]:
+    """Produce the FROM-clause rows: the cartesian product of the referenced
+    tables, with every column bound under its qualified name
+    (``binding.column``)."""
+    bindings: list[tuple[str, list[Row]]] = []
+    for table_ref in statement.from_tables:
+        if not database.has_table(table_ref.name):
+            raise PlanningError(f"unknown table {table_ref.name!r}")
+        table = database.table(table_ref.name)
+        bindings.append((table_ref.binding, list(table.rows())))
+    seen_bindings = [b for b, __ in bindings]
+    if len(set(seen_bindings)) != len(seen_bindings):
+        raise PlanningError("duplicate table binding in FROM clause")
+
+    def product(index: int, partial: Row) -> Iterator[Row]:
+        if index == len(bindings):
+            yield dict(partial)
+            return
+        binding, rows = bindings[index]
+        for row in rows:
+            extended = dict(partial)
+            for column, value in row.items():
+                extended[f"{binding}.{column}"] = value
+            yield from product(index + 1, extended)
+
+    yield from product(0, {})
+
+
+def filter_where(rows: Iterable[Row], statement: SelectStatement) -> Iterator[Row]:
+    """Keep rows whose WHERE predicate is exactly TRUE."""
+    if statement.where is None:
+        yield from rows
+        return
+    for row in rows:
+        if is_true(evaluate(statement.where, row)):
+            yield row
+
+
+def local_matching_rows(database: Database, statement: SelectStatement) -> list[Row]:
+    """FROM + WHERE on one local database — the collection-phase work of a
+    single TDS (step 3 of Fig. 2)."""
+    return list(filter_where(bind_rows(database, statement), statement))
+
+
+def group_key(statement: SelectStatement, row: Row) -> tuple[Any, ...]:
+    """Evaluate the GROUP BY expressions on *row*.
+
+    For a query without GROUP BY but with aggregates, every row maps to the
+    single empty key (one global group)."""
+    return tuple(evaluate(expr, row) for expr in statement.group_by)
+
+
+def _strip_binding(key: str) -> str:
+    return key.split(".", 1)[1] if "." in key else key
+
+
+def project_row(statement: SelectStatement, row: Row) -> Row:
+    """SELECT projection for non-aggregate queries."""
+    if statement.select_star:
+        if len(statement.from_tables) == 1:
+            return {_strip_binding(k): v for k, v in row.items()}
+        return dict(row)
+    return {
+        item.output_name: evaluate(item.expression, row)
+        for item in statement.select_items
+    }
+
+
+def grouped_row(
+    statement: SelectStatement,
+    key: tuple[Any, ...],
+    states: list[AggregateState],
+) -> Row:
+    """Build the evaluation context of one finished group: group-by values
+    (bound under their expression text, and for plain column references also
+    under the column name) plus finalized aggregate values."""
+    context: dict[str, Any] = {}
+    for expr, value in zip(statement.group_by, key):
+        context[str(expr)] = value
+        if isinstance(expr, ColumnRef):
+            context.setdefault(expr.name, value)
+    for call, state in zip(statement.aggregates(), states):
+        context[str(call)] = state.result()
+    return context
+
+
+def rewrite_grouped(expression: Expression, statement: SelectStatement) -> Expression:
+    """Rewrite *expression* for evaluation against a grouped row: any
+    subtree equal to a GROUP BY expression becomes a reference to its
+    pre-computed value (keyed by the expression text in the group context).
+
+    This is what lets ``SELECT x % 2 ... GROUP BY x % 2`` evaluate after
+    aggregation, when the raw ``x`` values are gone."""
+    group_map = {expr: str(expr) for expr in statement.group_by}
+
+    def rewrite(node: Expression) -> Expression:
+        if node in group_map:
+            return ColumnRef(group_map[node])
+        if isinstance(node, UnaryOp):
+            return UnaryOp(node.op, rewrite(node.operand))
+        if isinstance(node, BinaryOp):
+            return BinaryOp(node.op, rewrite(node.left), rewrite(node.right))
+        if isinstance(node, InList):
+            return InList(
+                rewrite(node.operand),
+                tuple(rewrite(i) for i in node.items),
+                node.negated,
+            )
+        if isinstance(node, Between):
+            return Between(
+                rewrite(node.operand), rewrite(node.low), rewrite(node.high), node.negated
+            )
+        if isinstance(node, Like):
+            return Like(rewrite(node.operand), node.pattern, node.negated)
+        if isinstance(node, IsNull):
+            return IsNull(rewrite(node.operand), node.negated)
+        if isinstance(node, FunctionCall):
+            return FunctionCall(node.name, tuple(rewrite(a) for a in node.args))
+        return node
+
+    return rewrite(expression)
+
+
+def update_states(
+    statement: SelectStatement, states: list[AggregateState], row: Row
+) -> None:
+    """Fold one source row into a group's aggregate states."""
+    for call, state in zip(statement.aggregates(), states):
+        if call.argument is None:
+            state.update(1)  # COUNT(*)
+            continue
+        value = evaluate(call.argument, row)
+        if value is None:
+            continue  # SQL aggregates ignore NULLs
+        state.update(value)
+
+
+def new_states(statement: SelectStatement) -> list[AggregateState]:
+    """Fresh (empty) aggregate states for one group."""
+    return [make_state(call) for call in statement.aggregates()]
+
+
+def finalize_groups(
+    statement: SelectStatement,
+    groups: dict[tuple[Any, ...], list[AggregateState]],
+) -> list[Row]:
+    """Apply HAVING and the SELECT projection to finished groups."""
+    having = (
+        rewrite_grouped(statement.having, statement)
+        if statement.having is not None
+        else None
+    )
+    projections = [
+        (item.output_name, rewrite_grouped(item.expression, statement))
+        for item in statement.select_items
+    ]
+    output: list[Row] = []
+    for key, states in groups.items():
+        context = grouped_row(statement, key, states)
+        if having is not None and not is_true(evaluate(having, context)):
+            continue
+        output.append({name: evaluate(expr, context) for name, expr in projections})
+    return output
+
+
+def execute(database: Database, statement: SelectStatement) -> list[Row]:
+    """Run the full query against one database (the reference executor).
+
+    >>> from repro.sql.schema import Database, schema
+    >>> from repro.sql.parser import parse
+    >>> db = Database()
+    >>> t = db.create_table(schema("T", g="TEXT", x="INTEGER"))
+    >>> for g, x in [("a", 1), ("a", 3), ("b", 5)]:
+    ...     t.insert({"g": g, "x": x})
+    >>> execute(db, parse("SELECT g, SUM(x) AS s FROM T GROUP BY g"))
+    [{'g': 'a', 's': 4}, {'g': 'b', 's': 5}]
+    """
+    validate_statement(statement, database)
+    rows = filter_where(bind_rows(database, statement), statement)
+    if not statement.is_aggregate_query():
+        return [project_row(statement, row) for row in rows]
+    groups: dict[tuple[Any, ...], list[AggregateState]] = {}
+    for row in rows:
+        key = group_key(statement, row)
+        states = groups.get(key)
+        if states is None:
+            states = new_states(statement)
+            groups[key] = states
+        update_states(statement, states, row)
+    return finalize_groups(statement, groups)
+
+
+# ---------------------------------------------------------------------- #
+# validation
+# ---------------------------------------------------------------------- #
+def _column_refs(expression: Expression | None) -> Iterator[ColumnRef]:
+    if expression is None:
+        return
+    if isinstance(expression, ColumnRef):
+        yield expression
+    elif isinstance(expression, UnaryOp):
+        yield from _column_refs(expression.operand)
+    elif isinstance(expression, BinaryOp):
+        yield from _column_refs(expression.left)
+        yield from _column_refs(expression.right)
+    elif isinstance(expression, InList):
+        yield from _column_refs(expression.operand)
+        for item in expression.items:
+            yield from _column_refs(item)
+    elif isinstance(expression, Between):
+        yield from _column_refs(expression.operand)
+        yield from _column_refs(expression.low)
+        yield from _column_refs(expression.high)
+    elif isinstance(expression, (Like, IsNull)):
+        yield from _column_refs(expression.operand)
+    elif isinstance(expression, AggregateCall):
+        yield from _column_refs(expression.argument)
+    elif isinstance(expression, FunctionCall):
+        for arg in expression.args:
+            yield from _column_refs(arg)
+    elif isinstance(expression, Literal):
+        return
+
+
+#: Public alias: other subsystems (access control, discovery protocols)
+#: legitimately need to enumerate the column references of an expression.
+def column_refs(expression: Expression | None) -> Iterator[ColumnRef]:
+    """Yield every column reference appearing in *expression*."""
+    yield from _column_refs(expression)
+
+
+def _non_aggregate_refs(expression: Expression | None) -> Iterator[ColumnRef]:
+    """Column references *outside* any aggregate call."""
+    if expression is None:
+        return
+    if isinstance(expression, AggregateCall):
+        return
+    if isinstance(expression, ColumnRef):
+        yield expression
+    elif isinstance(expression, UnaryOp):
+        yield from _non_aggregate_refs(expression.operand)
+    elif isinstance(expression, BinaryOp):
+        yield from _non_aggregate_refs(expression.left)
+        yield from _non_aggregate_refs(expression.right)
+    elif isinstance(expression, InList):
+        yield from _non_aggregate_refs(expression.operand)
+        for item in expression.items:
+            yield from _non_aggregate_refs(item)
+    elif isinstance(expression, Between):
+        yield from _non_aggregate_refs(expression.operand)
+        yield from _non_aggregate_refs(expression.low)
+        yield from _non_aggregate_refs(expression.high)
+    elif isinstance(expression, (Like, IsNull)):
+        yield from _non_aggregate_refs(expression.operand)
+    elif isinstance(expression, FunctionCall):
+        for arg in expression.args:
+            yield from _non_aggregate_refs(arg)
+
+
+def validate_statement(statement: SelectStatement, database: Database | None = None) -> None:
+    """Static checks: tables exist, columns resolve, grouped SELECT lists
+    only reference grouping expressions or aggregates.
+
+    *database* may be None for purely syntactic validation (e.g. on the
+    querier side, which has no data)."""
+    if database is not None:
+        binding_to_table = {}
+        for table_ref in statement.from_tables:
+            if not database.has_table(table_ref.name):
+                raise PlanningError(f"unknown table {table_ref.name!r}")
+            binding_to_table[table_ref.binding] = database.table(table_ref.name)
+        all_exprs: list[Expression | None] = [
+            item.expression for item in statement.select_items
+        ]
+        all_exprs += [statement.where, statement.having, *statement.group_by]
+        for expression in all_exprs:
+            for ref in _column_refs(expression):
+                _check_ref(ref, binding_to_table)
+
+    if statement.is_aggregate_query():
+        if statement.select_star:
+            raise PlanningError("SELECT * cannot be combined with aggregation")
+        group_names = {
+            expr.name for expr in statement.group_by if isinstance(expr, ColumnRef)
+        }
+        for item in statement.select_items:
+            rewritten = rewrite_grouped(item.expression, statement)
+            for ref in _non_aggregate_refs(rewritten):
+                if ref.table is None and (ref.name in group_names or _is_group_key(ref, statement)):
+                    continue
+                raise PlanningError(
+                    f"column {ref} must appear in GROUP BY or inside an aggregate"
+                )
+        if statement.having is not None:
+            rewritten = rewrite_grouped(statement.having, statement)
+            for ref in _non_aggregate_refs(rewritten):
+                if ref.table is None and (ref.name in group_names or _is_group_key(ref, statement)):
+                    continue
+                raise PlanningError(
+                    f"HAVING column {ref} must appear in GROUP BY or inside an aggregate"
+                )
+    elif statement.having is not None:
+        raise PlanningError("HAVING requires GROUP BY or aggregates")
+
+
+def _is_group_key(ref: ColumnRef, statement: SelectStatement) -> bool:
+    """True when *ref* is a synthesized reference to a GROUP BY expression
+    (produced by :func:`rewrite_grouped`)."""
+    return any(ref.name == str(expr) for expr in statement.group_by)
+
+
+def _check_ref(ref: ColumnRef, binding_to_table: dict[str, Any]) -> None:
+    if ref.table is not None:
+        table = binding_to_table.get(ref.table)
+        if table is None:
+            raise PlanningError(f"unknown table binding {ref.table!r} in {ref}")
+        if not table.schema.has_column(ref.name):
+            raise PlanningError(f"no column {ref.name!r} in table {table.name!r}")
+        return
+    matches = [
+        binding
+        for binding, table in binding_to_table.items()
+        if table.schema.has_column(ref.name)
+    ]
+    if not matches:
+        raise PlanningError(f"unknown column {ref.name!r}")
+    if len(matches) > 1:
+        raise PlanningError(f"ambiguous column {ref.name!r} (in {sorted(matches)})")

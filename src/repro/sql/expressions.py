@@ -1,0 +1,239 @@
+"""Expression evaluation with SQL three-valued logic.
+
+Rows are dictionaries mapping binding names to values; a qualified column
+``C.district`` is looked up as ``C.district`` first and ``district`` as a
+fallback, so the same evaluator serves single-table rows and joined rows.
+
+NULL handling follows SQL semantics: comparisons and arithmetic involving
+NULL yield NULL; ``AND``/``OR`` use Kleene logic; WHERE/HAVING keep a row
+only when the predicate is exactly TRUE.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+from repro.exceptions import EvaluationError
+from repro.sql.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.functions import call_scalar
+
+Row = Mapping[str, Any]
+
+
+def resolve_column(row: Row, ref: ColumnRef) -> Any:
+    """Look up *ref* in *row*, trying qualified then bare names."""
+    if ref.table is not None:
+        qualified = f"{ref.table}.{ref.name}"
+        if qualified in row:
+            return row[qualified]
+    if ref.name in row:
+        return row[ref.name]
+    # A bare reference may still match exactly one qualified binding.
+    if ref.table is None:
+        suffix = f".{ref.name}"
+        matches = [key for key in row if key.endswith(suffix)]
+        if len(matches) == 1:
+            return row[matches[0]]
+        if len(matches) > 1:
+            raise EvaluationError(f"ambiguous column reference {ref.name!r}")
+    raise EvaluationError(f"unknown column {ref}")
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a SQL LIKE pattern into an anchored regular expression."""
+    out = ["^"]
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    out.append("$")
+    return re.compile("".join(out), re.DOTALL)
+
+
+def _compare(op: str, left: Any, right: Any) -> bool | None:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise EvaluationError(f"cannot compare {left!r} and {right!r}") from exc
+    raise EvaluationError(f"unknown comparison operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise EvaluationError("division by zero")
+            result = left / right
+            return result
+        if op == "%":
+            if right == 0:
+                raise EvaluationError("modulo by zero")
+            return left % right
+    except TypeError as exc:
+        raise EvaluationError(f"bad operand types for {op!r}: {left!r}, {right!r}") from exc
+    raise EvaluationError(f"unknown arithmetic operator {op!r}")
+
+
+def evaluate(expression: Expression, row: Row) -> Any:
+    """Evaluate *expression* against *row* (which may be a grouped row with
+    pre-computed aggregate values keyed by ``str(aggregate_call)``)."""
+    if isinstance(expression, Literal):
+        return expression.value
+    if isinstance(expression, ColumnRef):
+        return resolve_column(row, expression)
+    if isinstance(expression, AggregateCall):
+        key = str(expression)
+        if key in row:
+            return row[key]
+        raise EvaluationError(
+            f"aggregate {key} evaluated outside a grouped context"
+        )
+    if isinstance(expression, UnaryOp):
+        value = evaluate(expression.operand, row)
+        if expression.op == "NOT":
+            if value is None:
+                return None
+            return not _as_bool(value)
+        if value is None:
+            return None
+        if expression.op == "-":
+            return -value
+        if expression.op == "+":
+            return +value
+        raise EvaluationError(f"unknown unary operator {expression.op!r}")
+    if isinstance(expression, BinaryOp):
+        return _evaluate_binary(expression, row)
+    if isinstance(expression, InList):
+        return _evaluate_in(expression, row)
+    if isinstance(expression, Between):
+        operand = evaluate(expression.operand, row)
+        low = evaluate(expression.low, row)
+        high = evaluate(expression.high, row)
+        lower = _compare(">=", operand, low)
+        upper = _compare("<=", operand, high)
+        result = _kleene_and(lower, upper)
+        if result is None:
+            return None
+        return result != expression.negated
+    if isinstance(expression, Like):
+        operand = evaluate(expression.operand, row)
+        if operand is None:
+            return None
+        if not isinstance(operand, str):
+            raise EvaluationError(f"LIKE requires a string operand, got {operand!r}")
+        matched = bool(_like_to_regex(expression.pattern).match(operand))
+        return matched != expression.negated
+    if isinstance(expression, IsNull):
+        operand = evaluate(expression.operand, row)
+        return (operand is None) != expression.negated
+    if isinstance(expression, FunctionCall):
+        args = [evaluate(arg, row) for arg in expression.args]
+        return call_scalar(expression.name, args)
+    raise EvaluationError(f"cannot evaluate node {type(expression).__name__}")
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise EvaluationError(f"expected a boolean, got {value!r}")
+
+
+def _kleene_and(left: bool | None, right: bool | None) -> bool | None:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _kleene_or(left: bool | None, right: bool | None) -> bool | None:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def _evaluate_binary(expression: BinaryOp, row: Row) -> Any:
+    op = expression.op
+    if op == "AND":
+        left = _to_tristate(evaluate(expression.left, row))
+        if left is False:
+            return False
+        right = _to_tristate(evaluate(expression.right, row))
+        return _kleene_and(left, right)
+    if op == "OR":
+        left = _to_tristate(evaluate(expression.left, row))
+        if left is True:
+            return True
+        right = _to_tristate(evaluate(expression.right, row))
+        return _kleene_or(left, right)
+    left = evaluate(expression.left, row)
+    right = evaluate(expression.right, row)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    return _arith(op, left, right)
+
+
+def _to_tristate(value: Any) -> bool | None:
+    if value is None:
+        return None
+    return _as_bool(value)
+
+
+def _evaluate_in(expression: InList, row: Row) -> bool | None:
+    operand = evaluate(expression.operand, row)
+    if operand is None:
+        return None
+    saw_null = False
+    for item in expression.items:
+        value = evaluate(item, row)
+        if value is None:
+            saw_null = True
+        elif value == operand:
+            return not expression.negated
+    if saw_null:
+        return None
+    return expression.negated
+
+
+def is_true(value: Any) -> bool:
+    """WHERE/HAVING predicate check: only an exact TRUE keeps the row."""
+    return value is True

@@ -1,0 +1,140 @@
+"""Scalar SQL functions.
+
+These evaluate row-by-row inside the TDS (they never cross the trust
+boundary half-computed), so adding one is purely local: register it in
+:data:`SCALAR_FUNCTIONS` and both the WHERE clause and the SELECT
+projection can use it.
+
+NULL handling is SQL-standard: any NULL argument yields NULL, except
+``COALESCE`` (first non-NULL) and ``IFNULL``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import EvaluationError
+
+
+def _sql_abs(args: Sequence[Any]) -> Any:
+    return abs(args[0])
+
+
+def _sql_round(args: Sequence[Any]) -> Any:
+    if len(args) == 1:
+        return round(args[0])
+    return round(args[0], int(args[1]))
+
+
+def _sql_floor(args: Sequence[Any]) -> Any:
+    return math.floor(args[0])
+
+
+def _sql_ceil(args: Sequence[Any]) -> Any:
+    return math.ceil(args[0])
+
+
+def _sql_length(args: Sequence[Any]) -> Any:
+    value = args[0]
+    if not isinstance(value, str):
+        raise EvaluationError(f"LENGTH expects a string, got {value!r}")
+    return len(value)
+
+
+def _sql_upper(args: Sequence[Any]) -> Any:
+    value = args[0]
+    if not isinstance(value, str):
+        raise EvaluationError(f"UPPER expects a string, got {value!r}")
+    return value.upper()
+
+
+def _sql_lower(args: Sequence[Any]) -> Any:
+    value = args[0]
+    if not isinstance(value, str):
+        raise EvaluationError(f"LOWER expects a string, got {value!r}")
+    return value.lower()
+
+
+def _sql_substr(args: Sequence[Any]) -> Any:
+    value = args[0]
+    if not isinstance(value, str):
+        raise EvaluationError(f"SUBSTR expects a string, got {value!r}")
+    start = int(args[1])
+    # SQL SUBSTR is 1-based; negative start counts from the end
+    index = start - 1 if start > 0 else len(value) + start
+    if len(args) == 2:
+        return value[max(index, 0):]
+    length = int(args[2])
+    return value[max(index, 0) : max(index, 0) + max(length, 0)]
+
+
+class _FunctionSpec:
+    """Arity-checked scalar function."""
+
+    def __init__(
+        self,
+        name: str,
+        impl: Callable[[Sequence[Any]], Any],
+        min_args: int,
+        max_args: int,
+        null_propagates: bool = True,
+    ) -> None:
+        self.name = name
+        self.impl = impl
+        self.min_args = min_args
+        self.max_args = max_args
+        self.null_propagates = null_propagates
+
+    def check_arity(self, count: int) -> None:
+        if not self.min_args <= count <= self.max_args:
+            expected = (
+                str(self.min_args)
+                if self.min_args == self.max_args
+                else f"{self.min_args}-{self.max_args}"
+            )
+            raise EvaluationError(
+                f"{self.name} expects {expected} argument(s), got {count}"
+            )
+
+    def evaluate(self, args: Sequence[Any]) -> Any:
+        self.check_arity(len(args))
+        if self.null_propagates and any(a is None for a in args):
+            return None
+        return self.impl(args)
+
+
+def _sql_coalesce(args: Sequence[Any]) -> Any:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+SCALAR_FUNCTIONS: dict[str, _FunctionSpec] = {
+    spec.name: spec
+    for spec in (
+        _FunctionSpec("ABS", _sql_abs, 1, 1),
+        _FunctionSpec("ROUND", _sql_round, 1, 2),
+        _FunctionSpec("FLOOR", _sql_floor, 1, 1),
+        _FunctionSpec("CEIL", _sql_ceil, 1, 1),
+        _FunctionSpec("LENGTH", _sql_length, 1, 1),
+        _FunctionSpec("UPPER", _sql_upper, 1, 1),
+        _FunctionSpec("LOWER", _sql_lower, 1, 1),
+        _FunctionSpec("SUBSTR", _sql_substr, 2, 3),
+        _FunctionSpec("COALESCE", _sql_coalesce, 1, 64, null_propagates=False),
+        _FunctionSpec("IFNULL", _sql_coalesce, 2, 2, null_propagates=False),
+    )
+}
+
+
+def call_scalar(name: str, args: Sequence[Any]) -> Any:
+    """Evaluate scalar function *name* on already-evaluated *args*."""
+    spec = SCALAR_FUNCTIONS.get(name)
+    if spec is None:
+        raise EvaluationError(f"unknown scalar function {name!r}")
+    return spec.evaluate(args)
+
+
+def is_scalar_function(name: str) -> bool:
+    return name.upper() in SCALAR_FUNCTIONS

@@ -1,0 +1,136 @@
+"""Tokenizer for the paper's SQL dialect.
+
+The dialect is standard ``SELECT`` syntax plus the StreamSQL-inspired
+``SIZE`` clause (§2.3).  The lexer is a hand-rolled scanner producing a
+flat list of :class:`Token` objects consumed by the recursive-descent
+parser in :mod:`repro.sql.parser`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import SQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "KEYWORD"
+    IDENTIFIER = "IDENTIFIER"
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCTUATION = "PUNCTUATION"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "SIZE",
+        "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
+        "AS", "DISTINCT", "TRUE", "FALSE", "TUPLES", "SECONDS",
+        "COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "STDDEV", "VARIANCE",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCTUATION = ("(", ")", ",", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; raises :class:`SQLSyntaxError` on illegal input.
+
+    >>> [t.value for t in tokenize("SELECT 1")][:2]
+    ['SELECT', '1']
+    """
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char.isspace():
+            pos += 1
+            continue
+        if char == "-" and text.startswith("--", pos):
+            newline = text.find("\n", pos)
+            pos = length if newline < 0 else newline + 1
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (text[pos].isalnum() or text[pos] == "_"):
+                pos += 1
+            word = text[start:pos]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        if char.isdigit() or (char == "." and pos + 1 < length and text[pos + 1].isdigit()):
+            start = pos
+            seen_dot = False
+            seen_exp = False
+            while pos < length:
+                c = text[pos]
+                if c.isdigit():
+                    pos += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    pos += 1
+                elif c in "eE" and not seen_exp and pos + 1 < length and (
+                    text[pos + 1].isdigit() or text[pos + 1] in "+-"
+                ):
+                    seen_exp = True
+                    pos += 2 if text[pos + 1] in "+-" else 1
+                else:
+                    break
+            literal = text[start:pos]
+            token_type = TokenType.FLOAT if (seen_dot or seen_exp) else TokenType.INTEGER
+            tokens.append(Token(token_type, literal, start))
+            continue
+        if char == "'":
+            start = pos
+            pos += 1
+            chunks: list[str] = []
+            while True:
+                if pos >= length:
+                    raise SQLSyntaxError("unterminated string literal", start)
+                if text[pos] == "'":
+                    if pos + 1 < length and text[pos + 1] == "'":
+                        chunks.append("'")
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                chunks.append(text[pos])
+                pos += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), start))
+            continue
+        matched_operator = next((op for op in _OPERATORS if text.startswith(op, pos)), None)
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, pos))
+            pos += len(matched_operator)
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, pos))
+            pos += 1
+            continue
+        raise SQLSyntaxError(f"illegal character {char!r}", pos)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,116 @@
+"""Partial aggregations: the unit of work of the aggregation phase.
+
+A :class:`PartialAggregation` is the paper's Ω (Fig. 3/4): a mapping from
+group key to aggregate states.  TDSs build them from raw tuples, merge them
+pairwise (``Ω = Ω ⊕ Ω'``), serialize them for encrypted transport through
+the SSI, and finalize the last one into the query answer.
+
+The RAM bound of §4.2 ("the partial aggregate structure must fit in RAM")
+is enforced through :meth:`PartialAggregation.memory_slots`, checked by the
+TDS against its :class:`~repro.tds.device.DeviceProfile`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.sql.aggregates import AggregateState, state_from_portable
+from repro.sql.ast import SelectStatement
+from repro.sql.executor import group_key, new_states, update_states
+from repro.sql.schema import Row
+
+GroupKey = tuple[Any, ...]
+
+
+class PartialAggregation:
+    """Aggregate states for a set of groups, mergeable and serializable."""
+
+    def __init__(self, statement: SelectStatement) -> None:
+        self._statement = statement
+        self._groups: dict[GroupKey, list[AggregateState]] = {}
+
+    # ------------------------------------------------------------------ #
+    # building
+    # ------------------------------------------------------------------ #
+    def add_row(self, row: Row) -> None:
+        """Fold one raw source row (post-WHERE) into the aggregation."""
+        key = group_key(self._statement, row)
+        states = self._groups.get(key)
+        if states is None:
+            states = new_states(self._statement)
+            self._groups[key] = states
+        update_states(self._statement, states, row)
+
+    def add_rows(self, rows: Iterable[Row]) -> None:
+        for row in rows:
+            self.add_row(row)
+
+    def merge(self, other: "PartialAggregation") -> None:
+        """Ω = Ω ⊕ Ω' — associative and commutative."""
+        for key, other_states in other._groups.items():
+            mine = self._groups.get(key)
+            if mine is None:
+                self._groups[key] = other_states
+                continue
+            for state, other_state in zip(mine, other_states):
+                state.merge(other_state)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def statement(self) -> SelectStatement:
+        return self._statement
+
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    def groups(self) -> dict[GroupKey, list[AggregateState]]:
+        """The underlying mapping (shared, not copied — callers are
+        responsible users)."""
+        return self._groups
+
+    def memory_slots(self) -> int:
+        """Scalar slots held — the quantity bounded by TDS RAM (§4.2)."""
+        total = 0
+        for states in self._groups.values():
+            total += 1  # the group key slot
+            for state in states:
+                total += state.state_size()
+        return total
+
+    def is_empty(self) -> bool:
+        return not self._groups
+
+    # ------------------------------------------------------------------ #
+    # portable encoding (encrypted transport through the SSI)
+    # ------------------------------------------------------------------ #
+    def to_portable(self) -> list[list[Any]]:
+        """Codec-friendly structure: a list of [group_key_values, states]."""
+        return [
+            [list(key), [state.to_portable() for state in states]]
+            for key, states in self._groups.items()
+        ]
+
+    @classmethod
+    def from_portable(
+        cls, statement: SelectStatement, portable: list[list[Any]]
+    ) -> "PartialAggregation":
+        aggregation = cls(statement)
+        for key_values, state_dicts in portable:
+            key = tuple(key_values)
+            aggregation._groups[key] = [
+                state_from_portable(d) for d in state_dicts
+            ]
+        return aggregation
+
+    def split(self, parts: int) -> list["PartialAggregation"]:
+        """Split by group into at most *parts* aggregations of similar size
+        (used by the SSI-side partitioners when groups are visible)."""
+        parts = max(1, min(parts, max(1, len(self._groups))))
+        buckets: list[PartialAggregation] = [
+            PartialAggregation(self._statement) for __ in range(parts)
+        ]
+        for index, (key, states) in enumerate(self._groups.items()):
+            buckets[index % parts]._groups[key] = states
+        return [b for b in buckets if not b.is_empty()]

@@ -1,0 +1,167 @@
+"""Relational schema objects: columns, tables, rows and local databases.
+
+Every TDS hosts a small local database conforming to a *common schema*
+defined by the application provider (§2.1 — e.g. the national energy
+distributor defines the Power/Consumer schema for every smart meter).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.exceptions import SchemaError
+
+Row = dict[str, Any]
+
+
+class ColumnType(enum.Enum):
+    """SQL column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+
+    def validate(self, value: Any) -> bool:
+        """True when *value* (or NULL) is acceptable for this type."""
+        if value is None:
+            return True
+        if self is ColumnType.INTEGER:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.REAL:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is ColumnType.TEXT:
+            return isinstance(value, str)
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def validate(self, value: Any) -> None:
+        if value is None and not self.nullable:
+            raise SchemaError(f"column {self.name!r} is NOT NULL")
+        if not self.type.validate(value):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.value}, got {value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered set of columns describing one table."""
+
+    name: str
+    columns: tuple[Column, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def validate_row(self, row: Mapping[str, Any]) -> Row:
+        """Validate and normalize *row* into a plain dict in column order."""
+        unknown = set(row) - set(self.column_names)
+        if unknown:
+            raise SchemaError(
+                f"row has columns {sorted(unknown)} unknown to table {self.name!r}"
+            )
+        normalized: Row = {}
+        for col in self.columns:
+            value = row.get(col.name)
+            col.validate(value)
+            normalized[col.name] = value
+        return normalized
+
+
+def schema(name: str, /, **columns: str) -> TableSchema:
+    """Terse schema constructor.
+
+    The table name is positional-only so that a column may itself be
+    called ``name``.
+
+    >>> power = schema("Power", cid="INTEGER", cons="REAL")
+    >>> power.column_names
+    ('cid', 'cons')
+    """
+    cols = tuple(Column(col, ColumnType(type_name.upper())) for col, type_name in columns.items())
+    return TableSchema(name, cols)
+
+
+class Table:
+    """An in-memory table: a schema plus a list of rows."""
+
+    def __init__(self, table_schema: TableSchema, rows: Iterable[Mapping[str, Any]] = ()) -> None:
+        self.schema = table_schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        """Validate and append one row."""
+        self._rows.append(self.schema.validate_row(row))
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over copies of the rows (callers cannot corrupt the table)."""
+        for row in self._rows:
+            yield dict(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+
+@dataclass
+class Database:
+    """A named collection of tables — one per TDS.
+
+    >>> db = Database()
+    >>> table = db.create_table(schema("T", x="INTEGER"))
+    >>> table.insert({"x": 1})
+    >>> len(db.table("T"))
+    1
+    """
+
+    _tables: dict[str, Table] = field(default_factory=dict)
+
+    def create_table(self, table_schema: TableSchema) -> Table:
+        if table_schema.name in self._tables:
+            raise SchemaError(f"table {table_schema.name!r} already exists")
+        table = Table(table_schema)
+        self._tables[table_schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

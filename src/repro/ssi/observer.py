@@ -1,0 +1,70 @@
+"""The honest-but-curious adversary's notebook.
+
+Everything the SSI can legitimately see while following the protocol is
+recorded here: opaque payload sizes and group tags.  The attack module
+(:mod:`repro.exposure.attack`) then tries to exploit these observations —
+exactly the frequency-based attack of §3.1/§5 — and the tests assert the
+attack succeeds against Det_Enc-style tags but fails against nDet_Enc /
+flattened distributions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Observation:
+    """One stored item as seen by the SSI."""
+
+    query_id: str
+    phase: str  # "collection" | "aggregation" | "filtering"
+    payload_size: int
+    group_tag: bytes | None
+
+
+@dataclass
+class Observer:
+    """Accumulates what the SSI sees; query-able by the attack simulator."""
+
+    observations: list[Observation] = field(default_factory=list)
+
+    def record(
+        self,
+        query_id: str,
+        phase: str,
+        payload_size: int,
+        group_tag: bytes | None,
+    ) -> None:
+        self.observations.append(
+            Observation(query_id, phase, payload_size, group_tag)
+        )
+
+    # ------------------------------------------------------------------ #
+    # what an attacker computes from the log
+    # ------------------------------------------------------------------ #
+    def tag_frequencies(self, query_id: str, phase: str = "collection") -> Counter:
+        """Frequency of each distinct group tag — the input of a
+        frequency-based attack.  ``None`` tags (fully nDet-encrypted
+        dataflows) are excluded: each ciphertext is unique by construction
+        so no frequency signal exists."""
+        counter: Counter = Counter()
+        for obs in self.observations:
+            if obs.query_id == query_id and obs.phase == phase and obs.group_tag:
+                counter[obs.group_tag] += 1
+        return counter
+
+    def payload_size_frequencies(
+        self, query_id: str, phase: str | None = "collection"
+    ) -> Counter:
+        """Distribution of payload sizes within *phase* (None = all phases).
+        A single size class means the padding discipline leaks no lengths."""
+        return Counter(
+            obs.payload_size
+            for obs in self.observations
+            if obs.query_id == query_id and (phase is None or obs.phase == phase)
+        )
+
+    def distinct_payloads_seen(self, query_id: str) -> int:
+        return sum(1 for obs in self.observations if obs.query_id == query_id)

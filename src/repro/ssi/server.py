@@ -1,0 +1,161 @@
+"""The Supporting Server Infrastructure facade.
+
+"A powerful, highly available but untrusted" server (§2.1): it moves
+ciphertext around, evaluates the cleartext SIZE clause, partitions opaque
+items and notifies the querier — and secretly logs everything it sees into
+its :class:`~repro.ssi.observer.Observer` (the honest-but-curious half).
+
+Nothing in this module ever holds a key or a plaintext tuple; the test
+suite asserts this boundary by attacking the observer log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.messages import (
+    EncryptedPartial,
+    EncryptedTuple,
+    Partition,
+    QueryEnvelope,
+    QueryResult,
+)
+from repro.exceptions import ProtocolError
+from repro.ssi.observer import Observer
+from repro.ssi.querybox import GlobalQuerybox, PersonalQuerybox
+from repro.ssi.storage import PartitionTracker, QueryStorage
+
+
+class SupportingServerInfrastructure:
+    """SSI: queryboxes + temporary storage + partitioning services."""
+
+    def __init__(self, observer: Observer | None = None) -> None:
+        self.global_querybox = GlobalQuerybox()
+        self.personal_querybox = PersonalQuerybox()
+        self.observer = observer if observer is not None else Observer()
+        self._storage: dict[str, QueryStorage] = {}
+        self._envelopes: dict[str, QueryEnvelope] = {}
+
+    # ------------------------------------------------------------------ #
+    # query posting / download (steps 1-2)
+    # ------------------------------------------------------------------ #
+    def post_query(self, envelope: QueryEnvelope, tds_id: str | None = None) -> None:
+        """Post to the global querybox, or to one personal querybox when
+        *tds_id* is given."""
+        if envelope.query_id in self._envelopes:
+            raise ProtocolError(f"duplicate query id {envelope.query_id!r}")
+        self._envelopes[envelope.query_id] = envelope
+        self._storage[envelope.query_id] = QueryStorage()
+        if tds_id is None:
+            self.global_querybox.post(envelope)
+        else:
+            self.personal_querybox.post(tds_id, envelope)
+
+    def active_queries(self) -> list[QueryEnvelope]:
+        return self.global_querybox.active()
+
+    def envelope(self, query_id: str) -> QueryEnvelope:
+        try:
+            return self._envelopes[query_id]
+        except KeyError:
+            raise ProtocolError(f"unknown query {query_id!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # collection phase (step 4, SIZE evaluation)
+    # ------------------------------------------------------------------ #
+    def submit_tuples(
+        self, query_id: str, tuples: Iterable[EncryptedTuple]
+    ) -> None:
+        storage = self._require(query_id)
+        if storage.collection_closed:
+            return  # late arrivals after the SIZE clause closed: dropped
+        for item in tuples:
+            storage.collected.append(item)
+            self.observer.record(
+                query_id, "collection", len(item.payload), item.group_tag
+            )
+
+    def collected_count(self, query_id: str) -> int:
+        return len(self._require(query_id).collected)
+
+    def evaluate_size_clause(self, query_id: str, elapsed_seconds: float = 0.0) -> bool:
+        """Cleartext SIZE evaluation (§3.1); closes collection when met."""
+        envelope = self.envelope(query_id)
+        storage = self._require(query_id)
+        count = len(storage.collected)
+        met = False
+        if envelope.size_tuples is not None and count >= envelope.size_tuples:
+            met = True
+        if envelope.size_seconds is not None and elapsed_seconds >= envelope.size_seconds:
+            met = True
+        # With no SIZE clause the query stays active until every targeted
+        # TDS has answered (the drivers stop after their collector list).
+        if met:
+            storage.collection_closed = True
+            self.global_querybox.close(query_id)
+        return met
+
+    def close_collection(self, query_id: str) -> None:
+        self._require(query_id).collection_closed = True
+        self.global_querybox.close(query_id)
+
+    def covering_result(self, query_id: str) -> list[EncryptedTuple]:
+        return list(self._require(query_id).collected)
+
+    # ------------------------------------------------------------------ #
+    # aggregation phase storage (steps 5-8)
+    # ------------------------------------------------------------------ #
+    def submit_partials(
+        self, query_id: str, partials: Iterable[EncryptedPartial]
+    ) -> None:
+        storage = self._require(query_id)
+        for item in partials:
+            storage.partials.append(item)
+            self.observer.record(
+                query_id, "aggregation", len(item.payload), item.group_tag
+            )
+
+    def take_partials(self, query_id: str) -> list[EncryptedPartial]:
+        """Drain the partial store (the next aggregation step re-partitions
+        them)."""
+        storage = self._require(query_id)
+        partials, storage.partials = storage.partials, []
+        return partials
+
+    def partial_count(self, query_id: str) -> int:
+        return len(self._require(query_id).partials)
+
+    # ------------------------------------------------------------------ #
+    # partition tracking
+    # ------------------------------------------------------------------ #
+    def track(
+        self, partitions: Sequence[Partition], timeout: float = 60.0
+    ) -> PartitionTracker:
+        return PartitionTracker(list(partitions), timeout)
+
+    # ------------------------------------------------------------------ #
+    # result delivery (step 13)
+    # ------------------------------------------------------------------ #
+    def store_result_rows(self, query_id: str, rows: Iterable[bytes]) -> None:
+        storage = self._require(query_id)
+        for row in rows:
+            storage.result_rows.append(row)
+            self.observer.record(query_id, "filtering", len(row), None)
+
+    def publish_result(self, query_id: str) -> None:
+        self._require(query_id).result_ready = True
+
+    def result_ready(self, query_id: str) -> bool:
+        return self._require(query_id).result_ready
+
+    def fetch_result(self, query_id: str) -> QueryResult:
+        storage = self._require(query_id)
+        if not storage.result_ready:
+            raise ProtocolError(f"result of {query_id!r} not ready")
+        return QueryResult(query_id, tuple(storage.result_rows))
+
+    def _require(self, query_id: str) -> QueryStorage:
+        try:
+            return self._storage[query_id]
+        except KeyError:
+            raise ProtocolError(f"unknown query {query_id!r}") from None

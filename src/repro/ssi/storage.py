@@ -1,0 +1,111 @@
+"""SSI temporary storage and partition lifecycle tracking.
+
+The SSI stores (a) the Covering Result of the collection phase, (b) the
+encrypted partial aggregations flowing through the aggregation phase and
+(c) the final k1-encrypted result rows.  It also tracks which partition is
+assigned to which TDS so that "if a TDS goes offline in the middle of
+processing a partition, SSI resends that partition to another available
+TDS after a given timeout" (§3.2, Correctness).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.messages import EncryptedPartial, EncryptedTuple, Partition
+from repro.exceptions import ProtocolError
+
+
+class PartitionState(enum.Enum):
+    PENDING = "pending"
+    ASSIGNED = "assigned"
+    DONE = "done"
+
+
+@dataclass
+class _TrackedPartition:
+    partition: Partition
+    state: PartitionState = PartitionState.PENDING
+    assignee: str | None = None
+    deadline: float | None = None
+
+
+class PartitionTracker:
+    """Assignment + timeout bookkeeping for one batch of partitions."""
+
+    def __init__(self, partitions: list[Partition], timeout: float = 60.0) -> None:
+        self.timeout = timeout
+        self._tracked = {p.partition_id: _TrackedPartition(p) for p in partitions}
+
+    def assign_next(self, tds_id: str, now: float = 0.0) -> Partition | None:
+        """Hand the next pending partition to *tds_id* (None when all are
+        assigned or done)."""
+        for tracked in self._tracked.values():
+            if tracked.state is PartitionState.PENDING:
+                tracked.state = PartitionState.ASSIGNED
+                tracked.assignee = tds_id
+                tracked.deadline = now + self.timeout
+                return tracked.partition
+        return None
+
+    def complete(self, partition_id: int, tds_id: str) -> None:
+        tracked = self._tracked.get(partition_id)
+        if tracked is None:
+            raise ProtocolError(f"unknown partition {partition_id}")
+        if tracked.state is PartitionState.DONE:
+            return  # duplicate completion after a reassignment race: ignore
+        if tracked.assignee != tds_id and tracked.state is PartitionState.ASSIGNED:
+            # A reassigned partition may legitimately complete from either
+            # assignee; accept the work (results are idempotent).
+            pass
+        tracked.state = PartitionState.DONE
+
+    def expire(self, now: float) -> list[Partition]:
+        """Return partitions whose assignee timed out, flipping them back
+        to pending (they will be handed to another TDS)."""
+        expired = []
+        for tracked in self._tracked.values():
+            if (
+                tracked.state is PartitionState.ASSIGNED
+                and tracked.deadline is not None
+                and now >= tracked.deadline
+            ):
+                tracked.state = PartitionState.PENDING
+                tracked.assignee = None
+                tracked.deadline = None
+                expired.append(tracked.partition)
+        return expired
+
+    def fail(self, partition_id: int) -> None:
+        """Explicitly mark an assigned partition as abandoned (the
+        simulator calls this when it kills a TDS mid-partition)."""
+        tracked = self._tracked.get(partition_id)
+        if tracked is None:
+            raise ProtocolError(f"unknown partition {partition_id}")
+        if tracked.state is PartitionState.ASSIGNED:
+            tracked.state = PartitionState.PENDING
+            tracked.assignee = None
+            tracked.deadline = None
+
+    def all_done(self) -> bool:
+        return all(t.state is PartitionState.DONE for t in self._tracked.values())
+
+    def pending_count(self) -> int:
+        return sum(
+            1 for t in self._tracked.values() if t.state is PartitionState.PENDING
+        )
+
+    def done_count(self) -> int:
+        return sum(1 for t in self._tracked.values() if t.state is PartitionState.DONE)
+
+
+@dataclass
+class QueryStorage:
+    """All SSI-side state for one query."""
+
+    collected: list[EncryptedTuple] = field(default_factory=list)
+    partials: list[EncryptedPartial] = field(default_factory=list)
+    result_rows: list[bytes] = field(default_factory=list)
+    collection_closed: bool = False
+    result_ready: bool = False

@@ -1,0 +1,34 @@
+"""Trusted Data Server subsystem: device model, access control, histograms,
+noise generation and the TDS node itself."""
+
+from repro.tds.access_control import (
+    AccessPolicy,
+    AccessRule,
+    Authority,
+    permissive_policy,
+)
+from repro.tds.device import SECURE_TOKEN, SMART_METER, SMARTPHONE, DeviceProfile
+from repro.tds.histogram import Bucket, EquiDepthHistogram, frequencies_from_values
+from repro.tds.node import TrustedDataServer, reduced_row
+from repro.tds.storage import EncryptedStore
+from repro.tds.noise import ComplementaryNoise, NoiseStrategy, RandomNoise
+
+__all__ = [
+    "AccessPolicy",
+    "AccessRule",
+    "Authority",
+    "Bucket",
+    "ComplementaryNoise",
+    "DeviceProfile",
+    "EncryptedStore",
+    "EquiDepthHistogram",
+    "NoiseStrategy",
+    "RandomNoise",
+    "SECURE_TOKEN",
+    "SMARTPHONE",
+    "SMART_METER",
+    "TrustedDataServer",
+    "frequencies_from_values",
+    "permissive_policy",
+    "reduced_row",
+]

@@ -1,0 +1,343 @@
+"""The Trusted Data Server: the paper's unique element of trust.
+
+A :class:`TrustedDataServer` wraps one individual's local database inside
+tamper-resistant hardware.  Everything that leaves this class is encrypted
+(or an opaque keyed hash); everything that enters is decrypted and
+verified inside.  The honest-but-curious SSI only ever interacts with the
+``collect_*`` / ``*_partition`` outputs, never with the plaintext.
+
+The class exposes the *primitives* of Fig. 2; protocol drivers in
+:mod:`repro.protocols` compose them into the collection / aggregation /
+filtering phases.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.codec import encode
+from repro.core.messages import (
+    EncryptedPartial,
+    EncryptedTuple,
+    Partition,
+    QueryEnvelope,
+    TupleContent,
+)
+from repro.core.wire import decode_frame, encode_partial_frame, encode_tuple_frame
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.hashing import BucketHasher
+from repro.crypto.keys import KeyBundle
+from repro.crypto.ndet import NonDeterministicCipher
+from repro.exceptions import (
+    AccessDeniedError,
+    ProtocolError,
+    ResourceExhaustedError,
+)
+from repro.sql.ast import SelectStatement
+from repro.sql.executor import (
+    column_refs,
+    finalize_groups,
+    group_key,
+    local_matching_rows,
+    project_row,
+)
+from repro.sql.parser import parse
+from repro.sql.partial import PartialAggregation
+from repro.sql.schema import Database, Row
+from repro.tds.access_control import AccessPolicy, Authority
+from repro.tds.device import SECURE_TOKEN, DeviceProfile
+from repro.tds.histogram import EquiDepthHistogram
+from repro.tds.noise import NoiseStrategy
+
+#: bytes per scalar slot assumed by the RAM bound check (§4.2)
+SLOT_BYTES = 16
+
+
+class TrustedDataServer:
+    """One secure personal data server.
+
+    Parameters
+    ----------
+    tds_id:
+        Stable identifier (used by the simulator and for failure injection;
+        never revealed in payloads).
+    database:
+        The local relational data (conforming to the application schema).
+    keys:
+        Key bundle holding k1 and k2 (burn-time provisioning).
+    policy / authority:
+        Access-control rule set and the credential-verification authority.
+    device:
+        Hardware profile; bounds the partial-aggregate structure RAM.
+    rng:
+        Seedable randomness for reproducible simulations (nonces, noise).
+    """
+
+    def __init__(
+        self,
+        tds_id: str,
+        database: Database,
+        keys: KeyBundle,
+        policy: AccessPolicy,
+        authority: Authority,
+        device: DeviceProfile = SECURE_TOKEN,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not keys.holds_k1() or not keys.holds_k2():
+            raise ProtocolError("a TDS must hold both k1 and k2")
+        self.tds_id = tds_id
+        self.database = database
+        self.device = device
+        self._keys = keys
+        self._policy = policy
+        self._authority = authority
+        self._rng = rng if rng is not None else random.Random()
+
+    # ------------------------------------------------------------------ #
+    # cipher access (rebuilt on use so key rotation is picked up)
+    # ------------------------------------------------------------------ #
+    def _k1_cipher(self) -> NonDeterministicCipher:
+        return NonDeterministicCipher(self._keys.k1.current.material, self._rng)
+
+    def _k2_cipher(self) -> NonDeterministicCipher:
+        return NonDeterministicCipher(self._keys.k2.current.material, self._rng)
+
+    def _k2_det_cipher(self) -> DeterministicCipher:
+        return DeterministicCipher(self._keys.k2.current.material)
+
+    def _bucket_hasher(self) -> BucketHasher:
+        return BucketHasher(self._keys.k2.current.material)
+
+    # ------------------------------------------------------------------ #
+    # query opening (steps 2-3 of Fig. 2)
+    # ------------------------------------------------------------------ #
+    def open_query(self, envelope: QueryEnvelope) -> SelectStatement:
+        """Decrypt, parse and authorize the query.
+
+        Raises :class:`AccessDeniedError` when the credential fails
+        verification or the policy denies the statement."""
+        plaintext = self._k1_cipher().decrypt(envelope.encrypted_query)
+        statement = parse(plaintext.decode("utf-8"))
+        if not self._authority.verify(envelope.credential):
+            raise AccessDeniedError(
+                f"credential of {envelope.credential.subject!r} failed verification"
+            )
+        self._policy.authorize(envelope.credential, statement)
+        return statement
+
+    # ------------------------------------------------------------------ #
+    # collection phase (step 4 / 4')
+    # ------------------------------------------------------------------ #
+    def collect_basic(self, envelope: QueryEnvelope) -> list[EncryptedTuple]:
+        """Basic protocol: project matching rows, or emit one dummy tuple
+        when nothing matches or access is denied (so the SSI never learns
+        query selectivity, §3.2)."""
+        try:
+            statement = self.open_query(envelope)
+            rows = local_matching_rows(self.database, statement)
+        except AccessDeniedError:
+            return [self._dummy_tuple()]
+        if not rows:
+            return [self._dummy_tuple()]
+        cipher = self._k2_cipher()
+        output = []
+        for row in rows:
+            content = TupleContent(TupleContent.KIND_DATA, project_row(statement, row))
+            output.append(EncryptedTuple(cipher.encrypt(encode_tuple_frame(content))))
+        return output
+
+    def collect_for_sagg(self, envelope: QueryEnvelope) -> list[EncryptedTuple]:
+        """S_Agg collection: fully nDet-encrypted tuples, no group tag."""
+        try:
+            statement = self.open_query(envelope)
+            rows = local_matching_rows(self.database, statement)
+        except AccessDeniedError:
+            return [self._dummy_tuple()]
+        if not rows:
+            return [self._dummy_tuple()]
+        cipher = self._k2_cipher()
+        output = []
+        for row in rows:
+            content = TupleContent(
+                TupleContent.KIND_DATA, reduced_row(statement, row)
+            )
+            output.append(EncryptedTuple(cipher.encrypt(encode_tuple_frame(content))))
+        return output
+
+    def collect_with_noise(
+        self, envelope: QueryEnvelope, noise: NoiseStrategy
+    ) -> list[EncryptedTuple]:
+        """Noise-based collection: Det_Enc tag on the grouping value so the
+        SSI can group tuples, plus *noise* fake tuples hiding the real
+        distribution (§4.3).  Denied/empty TDSs still contribute their fake
+        tuples only."""
+        det = self._k2_det_cipher()
+        ndet = self._k2_cipher()
+        output: list[EncryptedTuple] = []
+        try:
+            statement = self.open_query(envelope)
+            rows = local_matching_rows(self.database, statement)
+        except AccessDeniedError:
+            statement, rows = None, []
+        for row in rows:
+            assert statement is not None
+            key = group_key(statement, row)
+            content = TupleContent(TupleContent.KIND_DATA, reduced_row(statement, row))
+            output.append(
+                EncryptedTuple(
+                    payload=ndet.encrypt(encode_tuple_frame(content)),
+                    group_tag=det.encrypt(encode(list(key))),
+                )
+            )
+            for fake_value, fake_content in noise.fake_tuples(key):
+                fake_key = fake_value if isinstance(fake_value, tuple) else (fake_value,)
+                output.append(
+                    EncryptedTuple(
+                        payload=ndet.encrypt(encode_tuple_frame(fake_content)),
+                        group_tag=det.encrypt(encode(list(fake_key))),
+                    )
+                )
+        return output
+
+    def collect_for_histogram(
+        self, envelope: QueryEnvelope, histogram: EquiDepthHistogram
+    ) -> list[EncryptedTuple]:
+        """ED_Hist collection: tuples tagged with the keyed hash of their
+        equi-depth bucket (§4.4)."""
+        try:
+            statement = self.open_query(envelope)
+            rows = local_matching_rows(self.database, statement)
+        except AccessDeniedError:
+            return []
+        hasher = self._bucket_hasher()
+        ndet = self._k2_cipher()
+        output = []
+        for row in rows:
+            key = group_key(statement, row)
+            bucket_id = histogram.bucket_of(key if len(key) > 1 else key[0])
+            content = TupleContent(TupleContent.KIND_DATA, reduced_row(statement, row))
+            output.append(
+                EncryptedTuple(
+                    payload=ndet.encrypt(encode_tuple_frame(content)),
+                    group_tag=hasher.hash_bucket(bucket_id),
+                )
+            )
+        return output
+
+    def _dummy_tuple(self) -> EncryptedTuple:
+        content = TupleContent(TupleContent.KIND_DUMMY)
+        return EncryptedTuple(self._k2_cipher().encrypt(encode_tuple_frame(content)))
+
+    # ------------------------------------------------------------------ #
+    # aggregation phase (steps 6-8)
+    # ------------------------------------------------------------------ #
+    def aggregate_partition(
+        self, statement: SelectStatement, partition: Partition
+    ) -> EncryptedPartial:
+        """S_Agg step: fold a partition (raw tuples and/or partials) into a
+        single partial aggregation, returned fully nDet-encrypted."""
+        partial = self._fold_partition(statement, partition)
+        payload = self._k2_cipher().encrypt(
+            encode_partial_frame(partial.to_portable())
+        )
+        return EncryptedPartial(payload)
+
+    def aggregate_partition_per_group(
+        self, statement: SelectStatement, partition: Partition
+    ) -> list[EncryptedPartial]:
+        """Noise-based / ED_Hist step: fold a partition and emit one
+        encrypted partial *per group*, tagged ``Det_Enc(group)`` so the SSI
+        can route same-group partials together for the next step."""
+        partial = self._fold_partition(statement, partition)
+        det = self._k2_det_cipher()
+        ndet = self._k2_cipher()
+        output = []
+        for key in partial.groups():
+            single = PartialAggregation(statement)
+            single.groups()[key] = partial.groups()[key]
+            output.append(
+                EncryptedPartial(
+                    payload=ndet.encrypt(encode_partial_frame(single.to_portable())),
+                    group_tag=det.encrypt(encode(list(key))),
+                )
+            )
+        return output
+
+    def _fold_partition(
+        self, statement: SelectStatement, partition: Partition
+    ) -> PartialAggregation:
+        """Decrypt every item, drop dummies/fakes, build the Ω structure.
+
+        Enforces the §4.2 RAM bound: the partial aggregate must fit in the
+        device's RAM, otherwise :class:`ResourceExhaustedError`."""
+        cipher = self._k2_cipher()
+        partial = PartialAggregation(statement)
+        max_slots = self.device.ram_bytes // SLOT_BYTES
+        for item in partition.items:
+            kind, body = decode_frame(cipher.decrypt(item.payload))
+            if kind == "tuple":
+                if body.is_real():
+                    partial.add_row(body.row)
+            else:
+                partial.merge(PartialAggregation.from_portable(statement, body))
+            if partial.memory_slots() > max_slots:
+                raise ResourceExhaustedError(
+                    f"partial aggregate needs more than {self.device.ram_bytes} "
+                    f"bytes of RAM on device {self.device.name!r} "
+                    f"({partial.group_count()} groups)"
+                )
+        return partial
+
+    # ------------------------------------------------------------------ #
+    # filtering phase (steps 9-12)
+    # ------------------------------------------------------------------ #
+    def filter_partition(self, partition: Partition) -> list[bytes]:
+        """Basic protocol filtering: drop dummies, re-encrypt true rows
+        under k1 for the querier."""
+        k2 = self._k2_cipher()
+        k1 = self._k1_cipher()
+        output = []
+        for item in partition.items:
+            kind, body = decode_frame(k2.decrypt(item.payload))
+            if kind != "tuple":
+                raise ProtocolError("filtering phase expects tuple frames")
+            if body.is_real():
+                output.append(k1.encrypt(encode(body.row)))
+        return output
+
+    def finalize_partition(
+        self, statement: SelectStatement, partition: Partition
+    ) -> list[bytes]:
+        """Aggregation filtering: merge final partials, evaluate HAVING and
+        the SELECT projection, re-encrypt result rows under k1."""
+        k2 = self._k2_cipher()
+        k1 = self._k1_cipher()
+        partial = PartialAggregation(statement)
+        for item in partition.items:
+            kind, body = decode_frame(k2.decrypt(item.payload))
+            if kind != "partial":
+                raise ProtocolError("finalization expects partial frames")
+            partial.merge(PartialAggregation.from_portable(statement, body))
+        rows = finalize_groups(statement, partial.groups())
+        return [k1.encrypt(encode(row)) for row in rows]
+
+
+def reduced_row(statement: SelectStatement, row: Row) -> Row:
+    """Project a bound row down to the columns the aggregation actually
+    needs (grouping attributes + aggregate arguments + HAVING inputs),
+    cutting tuple size st — the quantity the cost model charges for."""
+    needed: set[str] = set()
+    expressions: list[Any] = list(statement.group_by)
+    for call in statement.aggregates():
+        if call.argument is not None:
+            expressions.append(call.argument)
+    for expression in expressions:
+        for ref in column_refs(expression):
+            needed.add(f"{ref.table}.{ref.name}" if ref.table else ref.name)
+    reduced = {}
+    for key, value in row.items():
+        bare = key.split(".", 1)[1] if "." in key else key
+        if key in needed or bare in needed:
+            reduced[key] = value
+    return reduced

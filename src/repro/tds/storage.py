@@ -1,0 +1,92 @@
+"""Encrypted-at-rest local storage — Fig. 1's mass storage area.
+
+A secure device is "a Trusted Execution Environment and a (potentially
+untrusted but cryptographically protected) mass storage area": the NAND
+flash sits *outside* the tamper-resistant boundary, so everything written
+to it is authenticated-encrypted under a device-local storage key that
+never leaves the microcontroller.
+
+:class:`EncryptedStore` serializes a whole :class:`~repro.sql.schema.Database`
+(schemas + rows) through the canonical codec, seals it with nDet_Enc and
+restores it on boot.  Tampering with the flash image is detected, not
+silently read.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.codec import decode, encode
+from repro.crypto.keys import derive_subkey
+from repro.crypto.ndet import NonDeterministicCipher
+from repro.exceptions import SchemaError
+from repro.sql.schema import Column, ColumnType, Database, TableSchema
+
+_FORMAT_VERSION = 1
+
+
+class EncryptedStore:
+    """Seals and restores a local database under a device storage key."""
+
+    def __init__(self, device_key: bytes, rng: random.Random | None = None) -> None:
+        storage_key = derive_subkey(device_key, b"mass-storage")
+        self._cipher = NonDeterministicCipher(storage_key, rng)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _database_to_portable(database: Database) -> dict:
+        tables = {}
+        for name in database.table_names():
+            table = database.table(name)
+            tables[name] = {
+                "columns": [
+                    [c.name, c.type.value, c.nullable] for c in table.schema.columns
+                ],
+                "rows": [list(row.values()) for row in table.rows()],
+            }
+        return {"version": _FORMAT_VERSION, "tables": tables}
+
+    @staticmethod
+    def _database_from_portable(portable: dict) -> Database:
+        if portable.get("version") != _FORMAT_VERSION:
+            raise SchemaError(
+                f"unsupported storage format version {portable.get('version')!r}"
+            )
+        database = Database()
+        for name, spec in portable["tables"].items():
+            columns = tuple(
+                Column(col_name, ColumnType(type_name), nullable)
+                for col_name, type_name, nullable in spec["columns"]
+            )
+            table = database.create_table(TableSchema(name, columns))
+            column_names = [c.name for c in columns]
+            for values in spec["rows"]:
+                table.insert(dict(zip(column_names, values)))
+        return database
+
+    # ------------------------------------------------------------------ #
+    # seal / open
+    # ------------------------------------------------------------------ #
+    def seal(self, database: Database) -> bytes:
+        """Encrypt the whole database for the untrusted flash."""
+        return self._cipher.encrypt(encode(self._database_to_portable(database)))
+
+    def open(self, image: bytes) -> Database:
+        """Decrypt, authenticate and rebuild the database.
+
+        Raises :class:`~repro.exceptions.DecryptionError` on a tampered or
+        foreign image."""
+        return self._database_from_portable(decode(self._cipher.decrypt(image)))
+
+    # ------------------------------------------------------------------ #
+    # file helpers
+    # ------------------------------------------------------------------ #
+    def save_to(self, database: Database, path: str) -> None:
+        with open(path, "wb") as handle:
+            handle.write(self.seal(database))
+
+    def load_from(self, path: str) -> Database:
+        with open(path, "rb") as handle:
+            return self.open(handle.read())

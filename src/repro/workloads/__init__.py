@@ -1,0 +1,49 @@
+"""Synthetic workloads: smart metering, healthcare, seeded distributions."""
+
+from repro.workloads.distributions import (
+    normal_clamped,
+    uniform_sample,
+    zipf_choice,
+    zipf_sample,
+    zipf_weights,
+)
+from repro.workloads.healthcare import (
+    ALERT_QUERY,
+    CITIES_BY_STATE,
+    CONDITIONS,
+    FLU_SURVEILLANCE_QUERY,
+    pcehr_factory,
+)
+from repro.workloads.mobility import (
+    CARBON_TAX_QUERY,
+    INSURANCE_BILLING_QUERY,
+    ZONES,
+    tracker_factory,
+)
+from repro.workloads.smartmeter import (
+    ACCOMMODATION_TYPES,
+    PAPER_EXAMPLE_QUERY,
+    district_names,
+    smart_meter_factory,
+)
+
+__all__ = [
+    "ACCOMMODATION_TYPES",
+    "ALERT_QUERY",
+    "CARBON_TAX_QUERY",
+    "CITIES_BY_STATE",
+    "CONDITIONS",
+    "FLU_SURVEILLANCE_QUERY",
+    "INSURANCE_BILLING_QUERY",
+    "ZONES",
+    "PAPER_EXAMPLE_QUERY",
+    "district_names",
+    "normal_clamped",
+    "pcehr_factory",
+    "smart_meter_factory",
+    "tracker_factory",
+    "uniform_sample",
+    "zipf_choice",
+    "zipf_sample",
+    "zipf_weights",
+]

@@ -1,0 +1,81 @@
+"""Healthcare workload: PCEHRs embedded in secure tokens (§2.3, §6.4).
+
+Each TDS is a Personally Controlled Electronic Health Record holding
+
+* ``Patient(pid, age, city, state, condition)``
+
+The paper's motivating identifying query — "send an alert to people older
+than 80 and living in Memphis if the number of people suffering from flu
+in Tennessee has reached a given threshold" — maps onto this schema as a
+Group-By count plus a Select-From-Where alert query.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sql.schema import Database, schema
+from repro.workloads.distributions import zipf_choice
+
+PATIENT_TABLE = "Patient"
+
+CITIES_BY_STATE = {
+    "Tennessee": ("Memphis", "Nashville", "Knoxville"),
+    "Georgia": ("Atlanta", "Savannah"),
+    "Alabama": ("Birmingham", "Montgomery"),
+}
+
+CONDITIONS = ("flu", "asthma", "diabetes", "hypertension", "healthy")
+
+#: The paper's threshold query, phase 1: how many flu cases per state?
+FLU_SURVEILLANCE_QUERY = (
+    "SELECT state, COUNT(*) AS flu_cases FROM Patient "
+    "WHERE condition = 'flu' GROUP BY state"
+)
+
+#: Phase 2 (identifying, consent-based): who should receive the alert?
+ALERT_QUERY = (
+    "SELECT pid FROM Patient WHERE age > 80 AND city = 'Memphis'"
+)
+
+
+def pcehr_factory(
+    flu_exponent: float = 1.0,
+    elderly_fraction: float = 0.15,
+):
+    """A ``DatabaseFactory``: one patient record per TDS.
+
+    Conditions are Zipf-distributed (flu most common), ages bimodal with
+    *elderly_fraction* of over-80s so the alert query selects someone."""
+
+    def factory(index: int, rng: random.Random) -> Database:
+        db = Database()
+        patient = db.create_table(
+            schema(
+                PATIENT_TABLE,
+                pid="INTEGER",
+                age="INTEGER",
+                city="TEXT",
+                state="TEXT",
+                condition="TEXT",
+            )
+        )
+        state = rng.choice(list(CITIES_BY_STATE))
+        city = rng.choice(CITIES_BY_STATE[state])
+        if rng.random() < elderly_fraction:
+            age = rng.randint(81, 99)
+        else:
+            age = rng.randint(18, 80)
+        condition = zipf_choice(CONDITIONS, rng, flu_exponent)
+        patient.insert(
+            {
+                "pid": index,
+                "age": age,
+                "city": city,
+                "state": state,
+                "condition": condition,
+            }
+        )
+        return db
+
+    return factory

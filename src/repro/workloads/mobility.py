@@ -1,0 +1,64 @@
+"""Mobility workload: GPS-tracker TDSs (§1's car-insurance / carbon-tax
+examples).
+
+Each vehicle's tracker is a TDS holding trip summaries:
+
+* ``Trip(vid, zone, km, co2)``
+
+Typical queries: distance-based insurance billing per vehicle (an
+identifying, consent-based query) and carbon-tax style aggregates per
+zone (a Group-By query that must not expose individual movement
+patterns).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sql.schema import Database, schema
+from repro.workloads.distributions import normal_clamped, zipf_choice
+
+TRIP_TABLE = "Trip"
+
+ZONES = ("urban", "suburban", "highway", "rural")
+
+#: carbon-tax style aggregate (privacy-preserving)
+CARBON_TAX_QUERY = (
+    "SELECT zone, SUM(co2) AS total_co2, COUNT(*) AS trips "
+    "FROM Trip GROUP BY zone"
+)
+
+#: per-vehicle insurance billing (identifying, consent-based)
+INSURANCE_BILLING_QUERY = "SELECT vid, SUM(km) AS total_km FROM Trip GROUP BY vid"
+
+
+def tracker_factory(
+    trips_per_vehicle: int = 4,
+    zone_exponent: float = 0.9,
+    mean_km: float = 25.0,
+):
+    """A ``DatabaseFactory``: one vehicle tracker per TDS.
+
+    Zones follow a Zipf pattern (most driving is urban); CO2 is
+    kilometres times a zone-dependent emission factor."""
+    emission_factor = {"urban": 0.21, "suburban": 0.17, "highway": 0.15, "rural": 0.18}
+
+    def factory(index: int, rng: random.Random) -> Database:
+        db = Database()
+        trips = db.create_table(
+            schema(TRIP_TABLE, vid="INTEGER", zone="TEXT", km="REAL", co2="REAL")
+        )
+        for __ in range(trips_per_vehicle):
+            zone = zipf_choice(ZONES, rng, zone_exponent)
+            km = round(normal_clamped(rng, mean_km, mean_km / 2, 0.5, mean_km * 5), 1)
+            trips.insert(
+                {
+                    "vid": index,
+                    "zone": zone,
+                    "km": km,
+                    "co2": round(km * emission_factor[zone], 3),
+                }
+            )
+        return db
+
+    return factory

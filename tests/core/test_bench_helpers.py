@@ -1,0 +1,97 @@
+"""Bench-harness helper tests: renderers and figure generators."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    G_SWEEP,
+    NT_SWEEP,
+    PAPER_ORDERINGS,
+    PROTOCOLS,
+    derive_axes,
+    fig7_ic_tables,
+    fig8_report,
+    format_number,
+    loadq_vs_nt,
+    ptds_vs_g,
+    publish,
+    render_series,
+    render_table,
+    tq_vs_g,
+)
+
+
+class TestFormatNumber:
+    def test_integers(self):
+        assert format_number(0) == "0"
+        assert format_number(42) == "42"
+        assert format_number(1000.0) == "1000"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_number(1.5e7)
+        assert "e" in format_number(3.2e-5)
+
+    def test_mid_range_compact(self):
+        assert format_number(3.14159) == "3.142"
+        assert format_number(0.25) == "0.25"
+
+
+class TestRenderers:
+    def test_render_series_layout(self):
+        series = {"A": [(1, 10.0), (2, 20.0)], "B": [(1, 1.0)]}
+        text = render_series("My Figure", "X", series)
+        lines = text.splitlines()
+        assert lines[0] == "My Figure"
+        assert "A" in lines[2] and "B" in lines[2]
+        assert "—" in text  # B's missing point at x=2
+
+    def test_render_table_alignment(self):
+        text = render_table("T", ["name", "value"], [["alpha", 3.6], ["b", 1]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[-2]
+
+    def test_publish_writes_artifact(self, tmp_path, monkeypatch):
+        import repro.bench.report as report
+
+        monkeypatch.setattr(report, "RESULTS_DIR", str(tmp_path))
+        path = publish("unit-test-artifact", "hello artifact")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "hello artifact" in handle.read()
+
+
+class TestFigureGenerators:
+    def test_series_cover_all_protocols_and_sweep(self):
+        series = ptds_vs_g()
+        assert set(series) == set(PROTOCOLS)
+        for points in series.values():
+            assert [x for x, __ in points] == list(G_SWEEP)
+
+    def test_nt_series_in_millions(self):
+        series = loadq_vs_nt()
+        xs = [x for x, __ in series["S_Agg"]]
+        assert xs == [nt / 1e6 for nt in NT_SWEEP]
+
+    def test_availability_parameter(self):
+        scarce = tq_vs_g(available_fraction=0.01)
+        abundant = tq_vs_g(available_fraction=1.0)
+        assert dict(scarce["ED_Hist"])[1_000_000] >= dict(abundant["ED_Hist"])[1_000_000]
+
+    def test_fig7_tables_complete(self):
+        tables = fig7_ic_tables()
+        assert set(tables) == {"plaintext", "Det_Enc", "nDet_Enc", "ED_Hist"}
+
+    def test_fig8_report_small_sample(self):
+        report = fig8_report(population=300, distinct=10, nf_values=(0, 5))
+        assert report.s_agg == pytest.approx(0.1)
+        assert report.ordering_holds()
+
+    def test_fig11_axes_match_paper_anchors(self):
+        axes = derive_axes()
+        assert axes["elasticity"].ordering == PAPER_ORDERINGS["elasticity"]
+        assert (
+            axes["feasibility_local_consumption"].ordering
+            == PAPER_ORDERINGS["feasibility_local_consumption"]
+        )

@@ -1,0 +1,128 @@
+"""Tests for the canonical binary codec."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import CodecError, decode, encode
+
+
+SCALARS = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    127,
+    128,
+    -128,
+    -129,
+    2**64,
+    -(2**64),
+    0.0,
+    -0.5,
+    3.14159,
+    float("inf"),
+    "",
+    "hello",
+    "ünïcødé ✓",
+    b"",
+    b"\x00\xff",
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", SCALARS, ids=repr)
+    def test_scalars(self, value):
+        assert decode(encode(value)) == value
+
+    def test_nan_roundtrips(self):
+        result = decode(encode(float("nan")))
+        assert math.isnan(result)
+
+    def test_lists(self):
+        value = [1, "two", None, [3.0, False]]
+        assert decode(encode(value)) == value
+
+    def test_tuples_decode_as_lists(self):
+        assert decode(encode((1, 2))) == [1, 2]
+
+    def test_dicts(self):
+        value = {"a": 1, "b": [2, 3], "c": {"nested": None}}
+        assert decode(encode(value)) == value
+
+    def test_sets_decode_as_frozensets(self):
+        assert decode(encode({1, 2, 3})) == frozenset({1, 2, 3})
+
+    def test_empty_containers(self):
+        assert decode(encode([])) == []
+        assert decode(encode({})) == {}
+        assert decode(encode(set())) == frozenset()
+
+
+class TestDeterminism:
+    def test_dict_key_order_irrelevant(self):
+        assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+
+    def test_set_order_irrelevant(self):
+        assert encode({3, 1, 2}) == encode({2, 3, 1})
+
+    def test_same_value_same_bytes(self):
+        row = {"district": "Paris", "cons": 42.5}
+        assert encode(row) == encode(dict(row))
+
+    def test_distinct_values_distinct_bytes(self):
+        assert encode("Paris") != encode("Lyon")
+        assert encode(1) != encode(1.0)
+        assert encode(True) != encode(1)
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(CodecError):
+            encode(object())
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError):
+            decode(encode(1) + b"\x00")
+
+    def test_truncated_rejected(self):
+        data = encode("hello world")
+        with pytest.raises(CodecError):
+            decode(data[:-1])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CodecError):
+            decode(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError):
+            decode(b"\xfe")
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=20),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@given(json_like)
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_property(value):
+    assert decode(encode(value)) == value
+
+
+@given(json_like)
+@settings(max_examples=50, deadline=None)
+def test_encoding_deterministic_property(value):
+    assert encode(value) == encode(value)

@@ -1,0 +1,63 @@
+"""Exception hierarchy tests: one base class catches everything."""
+
+import pytest
+
+from repro import exceptions
+
+
+ALL_ERRORS = [
+    exceptions.CryptoError,
+    exceptions.InvalidKeyError,
+    exceptions.DecryptionError,
+    exceptions.SQLError,
+    exceptions.SQLSyntaxError,
+    exceptions.PlanningError,
+    exceptions.EvaluationError,
+    exceptions.SchemaError,
+    exceptions.ProtocolError,
+    exceptions.AccessDeniedError,
+    exceptions.QueryAbortedError,
+    exceptions.ResourceExhaustedError,
+    exceptions.ConfigurationError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS, ids=lambda e: e.__name__)
+def test_all_derive_from_repro_error(error):
+    assert issubclass(error, exceptions.ReproError)
+
+
+def test_crypto_family():
+    assert issubclass(exceptions.InvalidKeyError, exceptions.CryptoError)
+    assert issubclass(exceptions.DecryptionError, exceptions.CryptoError)
+
+
+def test_sql_family():
+    for error in (
+        exceptions.SQLSyntaxError,
+        exceptions.PlanningError,
+        exceptions.EvaluationError,
+        exceptions.SchemaError,
+    ):
+        assert issubclass(error, exceptions.SQLError)
+
+
+def test_protocol_family():
+    for error in (
+        exceptions.AccessDeniedError,
+        exceptions.QueryAbortedError,
+        exceptions.ResourceExhaustedError,
+    ):
+        assert issubclass(error, exceptions.ProtocolError)
+
+
+def test_syntax_error_carries_position():
+    error = exceptions.SQLSyntaxError("bad", position=7)
+    assert error.position == 7
+    assert exceptions.SQLSyntaxError("bad").position is None
+
+
+def test_codec_error_is_repro_error():
+    from repro.core.codec import CodecError
+
+    assert issubclass(CodecError, exceptions.ReproError)

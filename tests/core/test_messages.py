@@ -1,0 +1,67 @@
+"""Message envelope tests."""
+
+from repro.core.messages import (
+    Credential,
+    EncryptedPartial,
+    EncryptedTuple,
+    Partition,
+    QueryResult,
+    TupleContent,
+    fresh_query_id,
+)
+
+
+class TestCredential:
+    def test_signing_payload_stable(self):
+        a = Credential("edf", frozenset({"b", "a"}), b"")
+        b = Credential("edf", frozenset({"a", "b"}), b"")
+        assert a.signing_payload() == b.signing_payload()
+
+    def test_signing_payload_binds_subject_and_roles(self):
+        base = Credential("edf", frozenset({"r"}), b"").signing_payload()
+        assert Credential("other", frozenset({"r"}), b"").signing_payload() != base
+        assert Credential("edf", frozenset({"x"}), b"").signing_payload() != base
+
+
+class TestPartition:
+    def test_byte_size_sums_payloads(self):
+        partition = Partition(
+            0,
+            (
+                EncryptedTuple(bytes(10)),
+                EncryptedPartial(bytes(22), group_tag=b"t"),
+            ),
+        )
+        assert partition.byte_size() == 32
+
+    def test_empty_partition(self):
+        assert Partition(1, ()).byte_size() == 0
+
+
+class TestQueryIds:
+    def test_fresh_ids_unique(self):
+        ids = {fresh_query_id() for __ in range(100)}
+        assert len(ids) == 100
+
+    def test_prefix(self):
+        assert fresh_query_id("zz").startswith("zz")
+
+
+class TestQueryResult:
+    def test_holds_rows(self):
+        result = QueryResult("q1", (b"a", b"b"))
+        assert result.query_id == "q1"
+        assert len(result.encrypted_rows) == 2
+
+
+class TestTupleContentDefaults:
+    def test_default_row_empty(self):
+        assert TupleContent(TupleContent.KIND_DUMMY).row == {}
+
+    def test_kind_constants_distinct(self):
+        kinds = {
+            TupleContent.KIND_DATA,
+            TupleContent.KIND_DUMMY,
+            TupleContent.KIND_FAKE,
+        }
+        assert len(kinds) == 3

@@ -1,0 +1,45 @@
+"""Execution trace tests."""
+
+from repro.core.trace import ExecutionTrace, TraceEvent
+
+
+def make_trace():
+    trace = ExecutionTrace()
+    trace.record("collection", -1, "a", 10, 100)
+    trace.record("collection", -1, "b", 10, 100)
+    trace.record("aggregation", 0, "a", 200, 50)
+    trace.record("aggregation", 1, "c", 50, 20)
+    trace.record("filtering", 0, "b", 20, 10)
+    return trace
+
+
+class TestTrace:
+    def test_phases_in_order(self):
+        assert make_trace().phases() == ["collection", "aggregation", "filtering"]
+
+    def test_rounds(self):
+        trace = make_trace()
+        assert trace.rounds("aggregation") == [0, 1]
+        assert trace.rounds("collection") == [-1]
+        assert trace.rounds("missing") == []
+
+    def test_events_in_phase_and_round(self):
+        trace = make_trace()
+        assert len(trace.events_in("aggregation")) == 2
+        assert len(trace.events_in("aggregation", 0)) == 1
+        assert trace.events_in("aggregation", 0)[0].tds_id == "a"
+
+    def test_participants(self):
+        assert make_trace().participants() == {"a", "b", "c"}
+
+    def test_total_bytes(self):
+        assert make_trace().total_bytes() == 10 + 100 + 10 + 100 + 250 + 70 + 30
+
+    def test_event_total(self):
+        assert TraceEvent("x", 0, "a", 3, 4).total_bytes() == 7
+
+    def test_empty_trace(self):
+        trace = ExecutionTrace()
+        assert trace.phases() == []
+        assert trace.participants() == set()
+        assert trace.total_bytes() == 0

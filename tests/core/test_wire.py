@@ -1,0 +1,93 @@
+"""Wire frame tests: framing, padding discipline, corruption handling."""
+
+import pytest
+
+from repro.core.messages import TupleContent
+from repro.core.wire import (
+    SIZE_QUANTUM,
+    TUPLE_FRAME_QUANTUM,
+    decode_frame,
+    encode_partial_frame,
+    encode_tuple_frame,
+)
+from repro.exceptions import ProtocolError
+
+
+class TestTupleFrames:
+    def test_roundtrip_data(self):
+        content = TupleContent(TupleContent.KIND_DATA, {"g": "north", "x": 42})
+        kind, decoded = decode_frame(encode_tuple_frame(content))
+        assert kind == "tuple"
+        assert decoded.kind == TupleContent.KIND_DATA
+        assert decoded.row == {"g": "north", "x": 42}
+
+    def test_roundtrip_dummy(self):
+        content = TupleContent(TupleContent.KIND_DUMMY)
+        kind, decoded = decode_frame(encode_tuple_frame(content))
+        assert not decoded.is_real()
+
+    def test_dummy_and_data_same_size(self):
+        """The padding discipline that makes dummies meaningful."""
+        dummy = encode_tuple_frame(TupleContent(TupleContent.KIND_DUMMY))
+        data = encode_tuple_frame(
+            TupleContent(TupleContent.KIND_DATA, {"district": "north", "cons": 512.5})
+        )
+        assert len(dummy) == len(data) == TUPLE_FRAME_QUANTUM
+
+    def test_large_rows_spill_to_next_quantum(self):
+        big = TupleContent(
+            TupleContent.KIND_DATA, {f"col{i}": "v" * 20 for i in range(20)}
+        )
+        frame = encode_tuple_frame(big)
+        assert len(frame) % TUPLE_FRAME_QUANTUM == 0
+        assert len(frame) > TUPLE_FRAME_QUANTUM
+
+    def test_custom_quantum(self):
+        frame = encode_tuple_frame(TupleContent(TupleContent.KIND_DUMMY), quantum=64)
+        assert len(frame) == 64
+
+
+class TestPartialFrames:
+    def test_roundtrip(self):
+        portable = [[["north"], [{"kind": "count", "count": 3}]]]
+        kind, decoded = decode_frame(encode_partial_frame(portable))
+        assert kind == "partial"
+        assert decoded == portable
+
+    def test_padded_to_quantum(self):
+        frame = encode_partial_frame([])
+        assert len(frame) % SIZE_QUANTUM == 0
+
+
+class TestCorruption:
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\x00\x00")
+
+    def test_corrupt_length_field_rejected(self):
+        frame = bytearray(encode_partial_frame([]))
+        frame[0:4] = (2**31).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_unknown_frame_kind_rejected(self):
+        from repro.core.codec import encode
+
+        payload = encode(["z", {}])
+        framed = len(payload).to_bytes(4, "big") + payload
+        framed += bytes(SIZE_QUANTUM - len(framed) % SIZE_QUANTUM)
+        with pytest.raises(ProtocolError):
+            decode_frame(framed)
+
+
+class TestTupleContent:
+    def test_portable_roundtrip(self):
+        content = TupleContent(TupleContent.KIND_FAKE, {"a": 1})
+        restored = TupleContent.from_portable(content.to_portable())
+        assert restored.kind == content.kind
+        assert restored.row == content.row
+
+    def test_is_real(self):
+        assert TupleContent(TupleContent.KIND_DATA).is_real()
+        assert not TupleContent(TupleContent.KIND_DUMMY).is_real()
+        assert not TupleContent(TupleContent.KIND_FAKE).is_real()

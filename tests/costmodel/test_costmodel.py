@@ -1,0 +1,260 @@
+"""Cost model tests: formulas, optima, and the Fig. 10 curve shapes."""
+
+import math
+
+import pytest
+
+from repro.costmodel import (
+    PAPER_DEFAULTS,
+    CostParameters,
+    all_protocol_metrics,
+    c_noise_metrics,
+    ed_hist_metrics,
+    noise_metrics,
+    optimal_alpha,
+    optimal_hist_reductions,
+    optimal_noise_reduction,
+    s_agg_alpha_objective,
+    s_agg_metrics,
+    s_agg_response_time,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestParameters:
+    def test_paper_defaults(self):
+        assert PAPER_DEFAULTS.nt == 1_000_000
+        assert PAPER_DEFAULTS.g == 1_000
+        assert PAPER_DEFAULTS.tuple_bytes == 16
+        assert PAPER_DEFAULTS.tuple_time == 16e-6
+        assert PAPER_DEFAULTS.h == 5.0
+        assert PAPER_DEFAULTS.available_fraction == 0.10
+
+    def test_with_updates(self):
+        params = PAPER_DEFAULTS.with_(g=50)
+        assert params.g == 50
+        assert params.nt == PAPER_DEFAULTS.nt
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostParameters(nt=0)
+        with pytest.raises(ConfigurationError):
+            CostParameters(g=0)
+        with pytest.raises(ConfigurationError):
+            CostParameters(nt=10, g=20)
+        with pytest.raises(ConfigurationError):
+            CostParameters(available_fraction=0)
+        with pytest.raises(ConfigurationError):
+            CostParameters(nf=-1)
+
+    def test_available_tds(self):
+        assert PAPER_DEFAULTS.available_tds == 100_000
+
+
+class TestOptima:
+    def test_alpha_optimum_is_3_6(self):
+        """§6.1.1: solving df/dα = 0 gives α ≈ 3.6."""
+        assert optimal_alpha() == pytest.approx(3.5911, abs=1e-3)
+
+    def test_alpha_optimum_minimizes_objective(self):
+        alpha_op = optimal_alpha()
+        best = s_agg_alpha_objective(alpha_op)
+        for alpha in (2.0, 3.0, 4.0, 5.0, 8.0):
+            assert s_agg_alpha_objective(alpha) >= best
+
+    def test_alpha_optimum_independent_of_ratio(self):
+        alpha_op = optimal_alpha()
+        for ratio in (10, 1000, 1e6):
+            for alpha in (2.5, 5.0):
+                assert s_agg_alpha_objective(alpha_op, ratio) <= s_agg_alpha_objective(
+                    alpha, ratio
+                )
+
+    def test_noise_reduction_cauchy(self):
+        """n_NB = √((nf+1)·Nt/G) minimizes n + a/n."""
+        n_opt = optimal_noise_reduction(2, 1_000_000, 1_000)
+        assert n_opt == pytest.approx(math.sqrt(3_000))
+        from repro.costmodel.noise import noise_response_time
+
+        best = noise_response_time(PAPER_DEFAULTS, 2, n_opt)
+        for factor in (0.3, 0.5, 2.0, 3.0):
+            assert noise_response_time(PAPER_DEFAULTS, 2, n_opt * factor) >= best
+
+    def test_hist_reductions_cube_roots(self):
+        n_ed, m_ed = optimal_hist_reductions(5, 1_000_000, 1_000)
+        a = 5 * 1_000_000 / 1_000
+        assert n_ed == pytest.approx(a ** (2 / 3))
+        assert m_ed == pytest.approx(a ** (1 / 3))
+        from repro.costmodel.ed_hist import ed_hist_response_time
+
+        best = ed_hist_response_time(PAPER_DEFAULTS, n_ed, m_ed)
+        for fn, fm in [(0.5, 0.5), (2, 2), (0.5, 2), (2, 0.5)]:
+            assert ed_hist_response_time(PAPER_DEFAULTS, n_ed * fn, m_ed * fm) >= best
+
+    def test_sagg_response_time_minimized_near_alpha_op(self):
+        alpha_op = optimal_alpha()
+        best = s_agg_response_time(PAPER_DEFAULTS, alpha_op)
+        for alpha in (2.0, 2.5, 5.0, 7.0):
+            assert s_agg_response_time(PAPER_DEFAULTS, alpha) >= best * 0.999
+
+
+class TestSAggModel:
+    def test_tq_closed_form(self):
+        alpha = optimal_alpha()
+        m = s_agg_metrics(PAPER_DEFAULTS)
+        expected = (alpha + 1) * math.log(1000) / math.log(alpha) * 1000 * 16e-6
+        assert m.t_q_seconds == pytest.approx(expected, rel=1e-6)
+
+    def test_tq_grows_with_g(self):
+        tq = [
+            s_agg_metrics(PAPER_DEFAULTS.with_(g=g)).t_q_seconds
+            for g in (10, 100, 1000, 10_000)
+        ]
+        assert tq == sorted(tq)
+
+    def test_ptds_shrinks_with_g(self):
+        """Fig. 10a: S_Agg's parallelism decreases as G grows."""
+        p = [
+            s_agg_metrics(PAPER_DEFAULTS.with_(g=g)).p_tds
+            for g in (1, 100, 10_000)
+        ]
+        assert p[0] > p[1] > p[2]
+
+    def test_load_roughly_constant_in_g(self):
+        """Fig. 10c: S_Agg's load barely moves with G."""
+        loads = [
+            s_agg_metrics(PAPER_DEFAULTS.with_(g=g)).load_q_bytes
+            for g in (10, 1000, 100_000)
+        ]
+        assert max(loads) / min(loads) < 1.5
+
+    def test_tlocal_grows_with_g(self):
+        """Fig. 10g: fewer participating TDSs → more work each."""
+        t = [
+            s_agg_metrics(PAPER_DEFAULTS.with_(g=g)).t_local_seconds
+            for g in (10, 1000, 100_000)
+        ]
+        assert t == sorted(t)
+
+
+class TestNoiseModel:
+    def test_more_noise_more_load(self):
+        """Fig. 10c: R1000 ≫ C_Noise ≫ R2 in global load."""
+        r2 = noise_metrics(PAPER_DEFAULTS, nf=2).load_q_bytes
+        r1000 = noise_metrics(PAPER_DEFAULTS, nf=1000).load_q_bytes
+        c = c_noise_metrics(PAPER_DEFAULTS).load_q_bytes
+        assert r2 < c < r1000
+
+    def test_load_constant_in_g(self):
+        """Fig. 10c: noise load flat in G (nf depends only on Nt)."""
+        loads = [
+            noise_metrics(PAPER_DEFAULTS.with_(g=g), nf=1000).load_q_bytes
+            for g in (10, 1000, 100_000)
+        ]
+        assert max(loads) / min(loads) < 1.2
+
+    def test_load_linear_in_nt(self):
+        """Fig. 10d."""
+        small = noise_metrics(PAPER_DEFAULTS.with_(nt=5_000_000), nf=2).load_q_bytes
+        large = noise_metrics(PAPER_DEFAULTS.with_(nt=50_000_000), nf=2).load_q_bytes
+        assert large / small == pytest.approx(10, rel=0.05)
+
+    def test_tq_decreases_with_g(self):
+        """Fig. 10e (tagged protocols): fewer tuples per group."""
+        tq = [
+            noise_metrics(PAPER_DEFAULTS.with_(g=g), nf=2).t_q_seconds
+            for g in (1, 10, 100, 1000)
+        ]
+        assert tq == sorted(tq, reverse=True)
+
+    def test_tlocal_grows_with_nt(self):
+        """Fig. 10h: noise Tlocal grows with Nt (fakes not absorbed)."""
+        t = [
+            noise_metrics(PAPER_DEFAULTS.with_(nt=nt), nf=1000).t_local_seconds
+            for nt in (5_000_000, 25_000_000, 65_000_000)
+        ]
+        assert t == sorted(t)
+
+    def test_ptds_grows_with_g(self):
+        """Fig. 10a: tagged protocols parallelize per group."""
+        p = [
+            noise_metrics(PAPER_DEFAULTS.with_(g=g), nf=2).p_tds
+            for g in (10, 1000, 100_000)
+        ]
+        assert p == sorted(p)
+
+
+class TestEDHistModel:
+    def test_tq_optimal_closed_form(self):
+        m = ed_hist_metrics(PAPER_DEFAULTS)
+        a = 5 * 1_000_000 / 1_000
+        base = (3 * a ** (1 / 3) + 5 + 2) * 16e-6
+        p_tds = (a ** (2 / 3) / 5 + a ** (1 / 3) + 1) * 1_000
+        waves = max(1.0, p_tds / PAPER_DEFAULTS.available_tds)
+        assert m.t_q_seconds == pytest.approx(base * waves, rel=1e-6)
+
+    def test_no_fake_tuple_overhead(self):
+        """Fig. 10c: ED_Hist load ≈ S_Agg load ≪ noise load."""
+        ed = ed_hist_metrics(PAPER_DEFAULTS).load_q_bytes
+        noise = noise_metrics(PAPER_DEFAULTS, nf=1000).load_q_bytes
+        assert ed < noise / 50
+
+    def test_tq_insensitive_to_nt(self):
+        """Fig. 10f: more TDSs absorb more tuples."""
+        tq = [
+            ed_hist_metrics(PAPER_DEFAULTS.with_(nt=nt)).t_q_seconds
+            for nt in (5_000_000, 65_000_000)
+        ]
+        assert tq[1] / tq[0] < 3
+
+    def test_tlocal_decreases_with_g(self):
+        t = [
+            ed_hist_metrics(PAPER_DEFAULTS.with_(g=g)).t_local_seconds
+            for g in (10, 1000, 100_000)
+        ]
+        assert t == sorted(t, reverse=True)
+
+
+class TestElasticity:
+    """Fig. 10e/i/j: scarce resources stretch the tagged protocols but not
+    S_Agg."""
+
+    def test_s_agg_insensitive_to_availability(self):
+        scarce = s_agg_metrics(PAPER_DEFAULTS.with_(available_fraction=0.01))
+        abundant = s_agg_metrics(PAPER_DEFAULTS.with_(available_fraction=1.0))
+        assert scarce.t_q_seconds == abundant.t_q_seconds
+
+    def test_tagged_protocols_stretch_when_scarce(self):
+        params_big_g = PAPER_DEFAULTS.with_(g=100_000)
+        scarce = noise_metrics(
+            params_big_g.with_(available_fraction=0.01), nf=2
+        ).t_q_seconds
+        abundant = noise_metrics(
+            params_big_g.with_(available_fraction=1.0), nf=2
+        ).t_q_seconds
+        assert scarce > abundant
+
+    def test_ed_hist_stretch(self):
+        params = PAPER_DEFAULTS.with_(g=1_000_000)
+        scarce = ed_hist_metrics(params.with_(available_fraction=0.01)).t_q_seconds
+        abundant = ed_hist_metrics(params.with_(available_fraction=1.0)).t_q_seconds
+        assert scarce > abundant
+
+
+class TestAllProtocolMetrics:
+    def test_returns_five_curves(self):
+        metrics = all_protocol_metrics(PAPER_DEFAULTS)
+        assert set(metrics) == {
+            "S_Agg", "R2_Noise", "R1000_Noise", "C_Noise", "ED_Hist",
+        }
+
+    def test_all_metrics_positive(self):
+        for m in all_protocol_metrics(PAPER_DEFAULTS).values():
+            assert m.p_tds > 0
+            assert m.load_q_bytes > 0
+            assert m.t_q_seconds > 0
+            assert m.t_local_seconds > 0
+
+    def test_load_q_mb_conversion(self):
+        m = s_agg_metrics(PAPER_DEFAULTS)
+        assert m.load_q_mb == pytest.approx(m.load_q_bytes / 1e6)

@@ -1,0 +1,74 @@
+"""Collection/filtering phase model tests (technical-report extension)."""
+
+import pytest
+
+from repro.costmodel import PAPER_DEFAULTS, s_agg_metrics
+from repro.costmodel.phases import PhaseTimes, collection_time, end_to_end, filtering_time
+from repro.exceptions import ConfigurationError
+
+
+class TestCollectionTime:
+    def test_uniform_arrivals(self):
+        # needing half the population takes half the period
+        assert collection_time(500, 1000, 3600) == pytest.approx(1800)
+
+    def test_full_population(self):
+        assert collection_time(1000, 1000, 3600) == pytest.approx(3600)
+
+    def test_scales_with_period(self):
+        fast = collection_time(10, 100, 60)
+        slow = collection_time(10, 100, 7 * 24 * 3600)
+        assert slow / fast == pytest.approx(7 * 24 * 60)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            collection_time(10, 5, 60)
+        with pytest.raises(ConfigurationError):
+            collection_time(10, 100, 0)
+
+
+class TestFilteringTime:
+    def test_fewer_items_than_workers_one_step(self):
+        # G=1000 items over 100k workers: a single item's time
+        assert filtering_time(PAPER_DEFAULTS) == pytest.approx(
+            PAPER_DEFAULTS.tuple_time
+        )
+
+    def test_more_items_than_workers_waves(self):
+        params = PAPER_DEFAULTS.with_(available_fraction=0.01, g=1_000_000)
+        # 1e6 items over 1e4 workers → 100 serial items each
+        assert filtering_time(params) == pytest.approx(100 * params.tuple_time)
+
+    def test_basic_protocol_covering_result(self):
+        # the basic protocol filters the whole covering result
+        t = filtering_time(PAPER_DEFAULTS, covering_items=PAPER_DEFAULTS.nt)
+        assert t == pytest.approx(10 * PAPER_DEFAULTS.tuple_time)
+
+
+class TestEndToEnd:
+    def test_composition(self):
+        aggregation = s_agg_metrics(PAPER_DEFAULTS).t_q_seconds
+        phases = end_to_end(PAPER_DEFAULTS, aggregation, connection_period=900)
+        assert isinstance(phases, PhaseTimes)
+        assert phases.total == pytest.approx(
+            phases.collection + phases.aggregation + phases.filtering
+        )
+        assert phases.aggregation == aggregation
+
+    def test_smart_meter_vs_pcehr_scenario(self):
+        """§2.3: for seldom-connected tokens the collection phase dominates
+        and the challenge becomes tractability, not response time."""
+        aggregation = s_agg_metrics(PAPER_DEFAULTS).t_q_seconds
+        meter = end_to_end(PAPER_DEFAULTS, aggregation, connection_period=900)
+        pcehr = end_to_end(
+            PAPER_DEFAULTS, aggregation, connection_period=7 * 24 * 3600
+        )
+        assert pcehr.collection > 100 * meter.collection
+        assert pcehr.aggregation == meter.aggregation
+        # for the token scenario, collection dwarfs computation
+        assert pcehr.collection > 10 * pcehr.aggregation
+
+    def test_population_default_uses_available_fraction(self):
+        phases = end_to_end(PAPER_DEFAULTS, 1.0, connection_period=1000)
+        # population = nt / 0.1 → collecting nt of it takes a tenth
+        assert phases.collection == pytest.approx(100.0)

@@ -1,0 +1,74 @@
+"""AES-128 block cipher tests, including the FIPS-197 reference vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES128, BLOCK_SIZE, expand_key
+from repro.exceptions import InvalidKeyError
+
+
+class TestFipsVectors:
+    def test_fips197_appendix_c1(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        cipher = AES128(key)
+        assert cipher.encrypt_block(plaintext) == expected
+        assert cipher.decrypt_block(expected) == plaintext
+
+    def test_fips197_appendix_b(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_nist_sp800_38a_ecb_vectors(self):
+        # First two ECB-AES128 blocks from NIST SP 800-38A F.1.1.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        cipher = AES128(key)
+        cases = [
+            ("6bc1bee22e409f96e93d7e117393172a", "3ad77bb40d7a3660a89ecaf32466ef97"),
+            ("ae2d8a571e03ac9c9eb76fac45af8e51", "f5d3d58503b9699de785895a96fdbaaf"),
+        ]
+        for pt_hex, ct_hex in cases:
+            assert cipher.encrypt_block(bytes.fromhex(pt_hex)) == bytes.fromhex(ct_hex)
+
+
+class TestKeyExpansion:
+    def test_produces_eleven_round_keys(self):
+        round_keys = expand_key(bytes(16))
+        assert len(round_keys) == 11
+        assert all(len(rk) == BLOCK_SIZE for rk in round_keys)
+
+    def test_first_round_key_is_the_key(self):
+        key = bytes(range(16))
+        assert expand_key(key)[0] == key
+
+    def test_rejects_wrong_key_size(self):
+        with pytest.raises(InvalidKeyError):
+            expand_key(b"short")
+        with pytest.raises(InvalidKeyError):
+            expand_key(bytes(32))
+
+
+class TestBlockInterface:
+    def test_roundtrip_random_blocks(self):
+        import random
+
+        rng = random.Random(42)
+        cipher = AES128(bytes(rng.getrandbits(8) for __ in range(16)))
+        for __ in range(20):
+            block = bytes(rng.getrandbits(8) for __ in range(16))
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+    def test_rejects_wrong_block_size(self):
+        cipher = AES128(bytes(16))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            cipher.decrypt_block(bytes(17))
+
+    def test_different_keys_give_different_ciphertexts(self):
+        block = bytes(16)
+        a = AES128(bytes(16)).encrypt_block(block)
+        b = AES128(bytes([1]) + bytes(15)).encrypt_block(block)
+        assert a != b

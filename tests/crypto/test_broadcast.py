@@ -1,0 +1,138 @@
+"""Broadcast key distribution and revocation tests."""
+
+import random
+
+import pytest
+
+from repro.crypto.broadcast import (
+    BroadcastKeyDistributor,
+    DeviceKeyStore,
+    receive_broadcast,
+)
+from repro.exceptions import CryptoError, DecryptionError, InvalidKeyError
+
+
+@pytest.fixture
+def setup():
+    rng = random.Random(0)
+    store = DeviceKeyStore(rng)
+    for i in range(5):
+        store.enroll(f"tds-{i}")
+    distributor = BroadcastKeyDistributor(store, rng)
+    return store, distributor
+
+
+class TestDeviceKeyStore:
+    def test_enroll_idempotent(self, setup):
+        store, __ = setup
+        assert store.enroll("tds-0") == store.device_key("tds-0")
+
+    def test_distinct_device_keys(self, setup):
+        store, __ = setup
+        keys = {store.device_key(f"tds-{i}") for i in range(5)}
+        assert len(keys) == 5
+
+    def test_unknown_device_rejected(self, setup):
+        store, __ = setup
+        with pytest.raises(CryptoError):
+            store.device_key("ghost")
+
+
+class TestBroadcast:
+    def test_all_enrolled_receive_same_key(self, setup):
+        store, distributor = setup
+        new_key, broadcast = distributor.broadcast_new_key()
+        received = {
+            tds_id: receive_broadcast(tds_id, store.device_key(tds_id), broadcast)
+            for tds_id in store.enrolled()
+        }
+        assert set(received.values()) == {new_key}
+        assert broadcast.recipient_count() == 5
+
+    def test_epochs_increment(self, setup):
+        __, distributor = setup
+        __, first = distributor.broadcast_new_key()
+        __, second = distributor.broadcast_new_key()
+        assert second.epoch == first.epoch + 1
+
+    def test_wrong_device_key_fails(self, setup):
+        store, distributor = setup
+        __, broadcast = distributor.broadcast_new_key()
+        with pytest.raises(DecryptionError):
+            receive_broadcast("tds-0", store.device_key("tds-1"), broadcast)
+
+    def test_invalid_key_size_rejected(self, setup):
+        __, distributor = setup
+        with pytest.raises(InvalidKeyError):
+            distributor.broadcast_new_key(b"short")
+
+    def test_explicit_key_used(self, setup):
+        store, distributor = setup
+        key = bytes(range(16))
+        new_key, broadcast = distributor.broadcast_new_key(key)
+        assert new_key == key
+        assert receive_broadcast("tds-2", store.device_key("tds-2"), broadcast) == key
+
+
+class TestRevocation:
+    def test_revoked_device_excluded(self, setup):
+        store, distributor = setup
+        distributor.revoke("tds-3")
+        __, broadcast = distributor.broadcast_new_key()
+        assert broadcast.recipient_count() == 4
+        with pytest.raises(CryptoError):
+            receive_broadcast("tds-3", store.device_key("tds-3"), broadcast)
+
+    def test_old_epoch_still_readable_by_revoked(self, setup):
+        """Revocation is forward-only: the compromised device keeps the old
+        epoch's key (it already had it), but learns nothing new."""
+        store, distributor = setup
+        old_key, old_broadcast = distributor.broadcast_new_key()
+        distributor.revoke("tds-3")
+        new_key, new_broadcast = distributor.broadcast_new_key()
+        assert (
+            receive_broadcast("tds-3", store.device_key("tds-3"), old_broadcast)
+            == old_key
+        )
+        assert new_key != old_key
+        with pytest.raises(CryptoError):
+            receive_broadcast("tds-3", store.device_key("tds-3"), new_broadcast)
+
+    def test_others_unaffected_by_revocation(self, setup):
+        store, distributor = setup
+        distributor.revoke("tds-3")
+        new_key, broadcast = distributor.broadcast_new_key()
+        for tds_id in ("tds-0", "tds-1", "tds-2", "tds-4"):
+            assert receive_broadcast(tds_id, store.device_key(tds_id), broadcast) == new_key
+
+
+class TestDetectRevokeRotateFlow:
+    def test_full_remediation_flow(self):
+        """End-to-end remediation: a flagged worker is revoked, k2 rotates
+        via broadcast, honest TDSs continue, the flagged one is locked out
+        of the new epoch."""
+        rng = random.Random(9)
+        store = DeviceKeyStore(rng)
+        ids = [f"tds-{i}" for i in range(4)]
+        for tds_id in ids:
+            store.enroll(tds_id)
+        distributor = BroadcastKeyDistributor(store, rng)
+
+        # epoch 1: everyone in sync
+        k2_epoch1, b1 = distributor.broadcast_new_key()
+        assert all(
+            receive_broadcast(i, store.device_key(i), b1) == k2_epoch1 for i in ids
+        )
+
+        # detection (spot-check flags tds-2) -> revoke -> rotate
+        distributor.revoke("tds-2")
+        k2_epoch2, b2 = distributor.broadcast_new_key()
+        survivors = [i for i in ids if i != "tds-2"]
+        assert all(
+            receive_broadcast(i, store.device_key(i), b2) == k2_epoch2
+            for i in survivors
+        )
+        with pytest.raises(CryptoError):
+            receive_broadcast("tds-2", store.device_key("tds-2"), b2)
+        # whatever tds-2 leaked (k2_epoch1) no longer decrypts new traffic
+        assert k2_epoch1 != k2_epoch2

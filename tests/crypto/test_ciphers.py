@@ -1,0 +1,111 @@
+"""Tests for the nDet_Enc and Det_Enc schemes and their security properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.ndet import NonDeterministicCipher
+from repro.exceptions import DecryptionError
+
+
+KEY = bytes(range(16))
+
+
+class TestNonDeterministic:
+    def test_roundtrip(self):
+        cipher = NonDeterministicCipher(KEY, rng=random.Random(1))
+        assert cipher.decrypt(cipher.encrypt(b"secret tuple")) == b"secret tuple"
+
+    def test_same_plaintext_different_ciphertexts(self):
+        cipher = NonDeterministicCipher(KEY, rng=random.Random(1))
+        assert cipher.encrypt(b"Paris") != cipher.encrypt(b"Paris")
+
+    def test_empty_plaintext(self):
+        cipher = NonDeterministicCipher(KEY, rng=random.Random(1))
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_tampering_detected(self):
+        cipher = NonDeterministicCipher(KEY, rng=random.Random(1))
+        ct = bytearray(cipher.encrypt(b"secret"))
+        ct[10] ^= 0xFF
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(ct))
+
+    def test_truncated_ciphertext_rejected(self):
+        cipher = NonDeterministicCipher(KEY, rng=random.Random(1))
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(b"tiny")
+
+    def test_wrong_key_rejected(self):
+        ct = NonDeterministicCipher(KEY, rng=random.Random(1)).encrypt(b"secret")
+        other = NonDeterministicCipher(bytes(16), rng=random.Random(1))
+        with pytest.raises(DecryptionError):
+            other.decrypt(ct)
+
+    def test_overhead_is_constant(self):
+        cipher = NonDeterministicCipher(KEY, rng=random.Random(1))
+        overhead = cipher.ciphertext_overhead()
+        for length in (0, 1, 17, 100):
+            assert len(cipher.encrypt(bytes(length))) == length + overhead
+
+    def test_seeded_rng_reproducible(self):
+        a = NonDeterministicCipher(KEY, rng=random.Random(7)).encrypt(b"x")
+        b = NonDeterministicCipher(KEY, rng=random.Random(7)).encrypt(b"x")
+        assert a == b
+
+    def test_flag(self):
+        assert NonDeterministicCipher(KEY).deterministic is False
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, plaintext):
+        cipher = NonDeterministicCipher(KEY, rng=random.Random(3))
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+
+class TestDeterministic:
+    def test_roundtrip(self):
+        cipher = DeterministicCipher(KEY)
+        assert cipher.decrypt(cipher.encrypt(b"district-7")) == b"district-7"
+
+    def test_same_plaintext_same_ciphertext(self):
+        cipher = DeterministicCipher(KEY)
+        assert cipher.encrypt(b"Paris") == cipher.encrypt(b"Paris")
+
+    def test_distinct_plaintexts_distinct_ciphertexts(self):
+        cipher = DeterministicCipher(KEY)
+        assert cipher.encrypt(b"Paris") != cipher.encrypt(b"Lyon")
+
+    def test_tampering_detected(self):
+        cipher = DeterministicCipher(KEY)
+        ct = bytearray(cipher.encrypt(b"secret"))
+        ct[-1] ^= 0x01
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(ct))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecryptionError):
+            DeterministicCipher(KEY).decrypt(b"short")
+
+    def test_wrong_key_rejected(self):
+        ct = DeterministicCipher(KEY).encrypt(b"secret")
+        with pytest.raises(DecryptionError):
+            DeterministicCipher(bytes(16)).decrypt(ct)
+
+    def test_flag(self):
+        assert DeterministicCipher(KEY).deterministic is True
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, plaintext):
+        cipher = DeterministicCipher(KEY)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_keys_separate_domains(self):
+        # Ciphertexts under k1 and k2 must differ even for equal plaintexts.
+        assert DeterministicCipher(KEY).encrypt(b"v") != DeterministicCipher(
+            bytes(16)
+        ).encrypt(b"v")

@@ -1,0 +1,132 @@
+"""Tests for key derivation, key rings and provisioning."""
+
+import random
+
+import pytest
+
+from repro.crypto.hashing import BucketHasher
+from repro.crypto.keys import (
+    KEY_SIZE,
+    KeyProvisioner,
+    KeyRing,
+    KeyVersion,
+    derive_subkey,
+    random_key,
+)
+from repro.exceptions import InvalidKeyError
+
+
+class TestDeriveSubkey:
+    def test_deterministic(self):
+        assert derive_subkey(bytes(16), b"a") == derive_subkey(bytes(16), b"a")
+
+    def test_label_separation(self):
+        assert derive_subkey(bytes(16), b"a") != derive_subkey(bytes(16), b"b")
+
+    def test_key_separation(self):
+        assert derive_subkey(bytes(16), b"a") != derive_subkey(b"\x01" + bytes(15), b"a")
+
+    def test_output_size(self):
+        assert len(derive_subkey(bytes(16), b"x")) == KEY_SIZE
+
+    def test_rejects_bad_master(self):
+        with pytest.raises(InvalidKeyError):
+            derive_subkey(b"short", b"x")
+
+
+class TestKeyRing:
+    def test_initial_version_zero(self):
+        ring = KeyRing("k1", bytes(16))
+        assert ring.current.version == 0
+
+    def test_rotation_advances_current(self):
+        ring = KeyRing("k2", bytes(16))
+        ring.rotate(b"\x01" * 16)
+        assert ring.current.version == 1
+        assert ring.current.material == b"\x01" * 16
+
+    def test_old_versions_still_available(self):
+        ring = KeyRing("k2", bytes(16))
+        ring.rotate(b"\x01" * 16)
+        assert ring.get(0).material == bytes(16)
+        assert len(ring) == 2
+
+    def test_unknown_version_raises(self):
+        ring = KeyRing("k1", bytes(16))
+        with pytest.raises(KeyError):
+            ring.get(5)
+
+    def test_version_rejects_bad_material(self):
+        with pytest.raises(InvalidKeyError):
+            KeyVersion(0, b"short")
+
+
+class TestKeyProvisioner:
+    def test_tds_holds_both_keys(self):
+        prov = KeyProvisioner(random.Random(0))
+        bundle = prov.bundle_for_tds()
+        assert bundle.holds_k1() and bundle.holds_k2()
+
+    def test_querier_holds_only_k1(self):
+        prov = KeyProvisioner(random.Random(0))
+        bundle = prov.bundle_for_querier()
+        assert bundle.holds_k1() and not bundle.holds_k2()
+
+    def test_ssi_holds_nothing(self):
+        prov = KeyProvisioner(random.Random(0))
+        bundle = prov.bundle_for_ssi()
+        assert not bundle.holds_k1() and not bundle.holds_k2()
+
+    def test_all_tds_share_the_same_rings(self):
+        prov = KeyProvisioner(random.Random(0))
+        a = prov.bundle_for_tds()
+        b = prov.bundle_for_tds()
+        assert a.k1 is b.k1 and a.k2 is b.k2
+
+    def test_querier_and_tds_share_k1(self):
+        prov = KeyProvisioner(random.Random(0))
+        assert prov.bundle_for_querier().k1 is prov.bundle_for_tds().k1
+
+    def test_rotate_k2_visible_to_all_tds(self):
+        prov = KeyProvisioner(random.Random(0))
+        bundle = prov.bundle_for_tds()
+        before = bundle.k2.current.version
+        prov.rotate_k2()
+        assert bundle.k2.current.version == before + 1
+
+    def test_seeded_reproducibility(self):
+        a = KeyProvisioner(random.Random(9)).bundle_for_tds().k1.current.material
+        b = KeyProvisioner(random.Random(9)).bundle_for_tds().k1.current.material
+        assert a == b
+
+    def test_random_key_size(self):
+        assert len(random_key(random.Random(0))) == KEY_SIZE
+
+
+class TestBucketHasher:
+    def test_deterministic(self):
+        hasher = BucketHasher(bytes(16))
+        assert hasher.hash_bucket(7) == hasher.hash_bucket(7)
+
+    def test_distinct_buckets_distinct_tags(self):
+        hasher = BucketHasher(bytes(16))
+        tags = {hasher.hash_bucket(i) for i in range(100)}
+        assert len(tags) == 100
+
+    def test_key_separation(self):
+        a = BucketHasher(bytes(16)).hash_bucket(1)
+        b = BucketHasher(b"\x01" + bytes(15)).hash_bucket(1)
+        assert a != b
+
+    def test_negative_bucket_ids_supported(self):
+        hasher = BucketHasher(bytes(16))
+        assert hasher.hash_bucket(-1) != hasher.hash_bucket(1)
+
+    def test_hash_bytes(self):
+        hasher = BucketHasher(bytes(16))
+        assert hasher.hash_bytes(b"Paris") == hasher.hash_bytes(b"Paris")
+        assert hasher.hash_bytes(b"Paris") != hasher.hash_bytes(b"Lyon")
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(InvalidKeyError):
+            BucketHasher(b"short")

@@ -1,0 +1,144 @@
+"""Exposure coefficient tests: the Fig. 8 ordering and limit cases."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.exposure.analysis import compare_protocols
+from repro.exposure.coefficients import (
+    exposure_c_noise,
+    exposure_det_enc,
+    exposure_ed_hist,
+    exposure_ed_hist_bounds,
+    exposure_plaintext,
+    exposure_rnf_noise,
+    exposure_s_agg,
+    product_inverse_cardinalities,
+)
+from repro.tds.histogram import EquiDepthHistogram, frequencies_from_values
+
+
+def zipf_values(n, distinct, seed=0, exponent=1.0):
+    """A Zipf-distributed grouping attribute, as in [11]'s experiments."""
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** exponent for i in range(distinct)]
+    values = [f"v{i}" for i in range(distinct)]
+    return rng.choices(values, weights=weights, k=n)
+
+
+class TestClosedForms:
+    def test_plaintext_is_one(self):
+        assert exposure_plaintext() == 1.0
+
+    def test_product_inverse_cardinalities(self):
+        assert product_inverse_cardinalities([5, 4]) == pytest.approx(1 / 20)
+
+    def test_product_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            product_inverse_cardinalities([5, 0])
+
+    def test_s_agg_equals_c_noise(self):
+        assert exposure_s_agg([7]) == exposure_c_noise([7])
+
+    def test_s_agg_floor_decreases_with_cardinality(self):
+        assert exposure_s_agg([100]) < exposure_s_agg([10])
+
+    def test_det_enc_unique_frequencies_fully_exposed(self):
+        # all frequencies distinct → every value identified
+        values = ["a"] * 5 + ["b"] * 3 + ["c"] * 1
+        assert exposure_det_enc({"AG": values}) == pytest.approx(1.0)
+
+    def test_det_enc_uniform_frequencies_floor(self):
+        values = ["a", "b", "c", "d"] * 10
+        assert exposure_det_enc({"AG": values}) == pytest.approx(0.25)
+
+
+class TestRnfNoise:
+    def test_nf_zero_equals_det_enc(self):
+        values = zipf_values(500, 10)
+        rnf = exposure_rnf_noise(values, sorted(set(values)), 0, random.Random(0))
+        det = exposure_det_enc({"AG": values})
+        # both are frequency-matching on the same distribution; the rank
+        # attacker is at least as successful on unique frequency classes
+        assert rnf == pytest.approx(det, abs=0.15)
+
+    def test_exposure_decreases_with_nf(self):
+        values = zipf_values(400, 8)
+        domain = sorted(set(values))
+        rng = random.Random(1)
+        small = exposure_rnf_noise(values, domain, 1, rng, trials=5)
+        large = exposure_rnf_noise(values, domain, 200, rng, trials=5)
+        assert large < small
+
+    def test_huge_nf_approaches_floor(self):
+        values = zipf_values(200, 5)
+        domain = sorted(set(values))
+        eps = exposure_rnf_noise(values, domain, 500, random.Random(2), trials=5)
+        floor = exposure_s_agg([5])
+        assert eps <= 3 * floor + 0.25
+
+    def test_negative_nf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exposure_rnf_noise(["a"], ["a"], -1, random.Random(0))
+
+
+class TestEDHist:
+    def test_bounds(self):
+        low, high = exposure_ed_hist_bounds([50])
+        assert low == pytest.approx(1 / 50)
+        assert high == pytest.approx(0.4)
+
+    def test_single_bucket_reaches_floor(self):
+        values = zipf_values(300, 10)
+        hist = EquiDepthHistogram.from_distribution(
+            frequencies_from_values(values), 1
+        )
+        eps = exposure_ed_hist(values, hist)
+        assert eps == pytest.approx(1 / 10, abs=0.02)
+
+    def test_smaller_h_increases_exposure(self):
+        """[11]: the smaller h (more buckets), the bigger ε."""
+        values = zipf_values(2000, 40, exponent=1.2)
+        freq = frequencies_from_values(values)
+        coarse = exposure_ed_hist(
+            values, EquiDepthHistogram.from_distribution(freq, 2)
+        )
+        fine = exposure_ed_hist(
+            values, EquiDepthHistogram.from_distribution(freq, 40)
+        )
+        assert fine > coarse
+
+    def test_h_one_is_det_like(self):
+        # one value per bucket: exposure governed by bucket-frequency ties,
+        # i.e. exactly the Det_Enc frequency-class structure
+        values = ["a"] * 5 + ["b"] * 3 + ["c"]
+        hist = EquiDepthHistogram.from_distribution(
+            frequencies_from_values(values), 3
+        )
+        eps = exposure_ed_hist(values, hist)
+        assert eps == pytest.approx(exposure_det_enc({"AG": values}), abs=1e-9)
+
+
+class TestFig8Ordering:
+    def test_ordering_holds_on_zipf(self):
+        values = zipf_values(1000, 20, exponent=1.1)
+        report = compare_protocols(
+            values, sorted(set(values)), nf_values=(0, 2, 100), seed=3
+        )
+        assert report.ordering_holds()
+
+    def test_s_agg_most_secure(self):
+        values = zipf_values(500, 15)
+        report = compare_protocols(values, sorted(set(values)), seed=1)
+        assert report.s_agg <= report.ed_hist + 1e-12
+        assert report.s_agg <= min(report.rnf_noise.values()) + 1e-12
+        assert report.s_agg <= report.det_enc
+        assert report.plaintext == 1.0
+
+    def test_report_fields_populated(self):
+        values = zipf_values(100, 5)
+        report = compare_protocols(values, sorted(set(values)), nf_values=(0,))
+        assert 0 < report.s_agg <= 1
+        assert 0 < report.ed_hist <= 1
+        assert 0 in report.rnf_noise

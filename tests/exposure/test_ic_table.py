@@ -1,0 +1,132 @@
+"""IC table tests, reproducing the Fig. 7 example structure."""
+
+import pytest
+
+from repro.exposure.ic_table import (
+    ic_det,
+    ic_histogram,
+    ic_ndet,
+    ic_plaintext,
+)
+
+
+# The Accounts example in the spirit of [12] / Fig. 7: Alice and balance
+# 200 have unique maximum frequencies, so Det_Enc exposes them fully.
+ACCOUNTS = [
+    {"Account": "Acc1", "Customer": "Alice", "Balance": 100},
+    {"Account": "Acc2", "Customer": "Alice", "Balance": 200},
+    {"Account": "Acc3", "Customer": "Bob", "Balance": 200},
+    {"Account": "Acc4", "Customer": "Chris", "Balance": 200},
+    {"Account": "Acc5", "Customer": "Donna", "Balance": 300},
+    {"Account": "Acc6", "Customer": "Elvis", "Balance": 400},
+]
+COLUMNS = ["Account", "Customer", "Balance"]
+
+
+class TestPlaintext:
+    def test_everything_exposed(self):
+        table = ic_plaintext(ACCOUNTS, COLUMNS)
+        assert table.exposure_coefficient() == 1.0
+        assert all(v == 1.0 for row in table.cells for v in row)
+
+
+class TestDetEnc:
+    def test_unique_frequency_fully_exposed(self):
+        """P(α = Alice) = 1: Alice is the only customer with frequency 2."""
+        table = ic_det(ACCOUNTS, ["Customer"])
+        alice_rows = [i for i, r in enumerate(ACCOUNTS) if r["Customer"] == "Alice"]
+        for i in alice_rows:
+            assert table.cells[i][0] == 1.0
+
+    def test_tied_frequencies_split_probability(self):
+        """Bob/Chris/Donna/Elvis all have frequency 1 → IC = 1/4."""
+        table = ic_det(ACCOUNTS, ["Customer"])
+        bob_row = next(i for i, r in enumerate(ACCOUNTS) if r["Customer"] == "Bob")
+        assert table.cells[bob_row][0] == pytest.approx(0.25)
+
+    def test_balance_200_exposed(self):
+        """P(κ = 200) = 1: 200 is the only balance with frequency 3."""
+        table = ic_det(ACCOUNTS, ["Balance"])
+        for i, row in enumerate(ACCOUNTS):
+            if row["Balance"] == 200:
+                assert table.cells[i][0] == 1.0
+
+    def test_association_inference(self):
+        """P(<α,κ> = <Alice,200>) = 1 for the (Alice, 200) tuple."""
+        table = ic_det(ACCOUNTS, ["Customer", "Balance"])
+        target = next(
+            i
+            for i, r in enumerate(ACCOUNTS)
+            if r["Customer"] == "Alice" and r["Balance"] == 200
+        )
+        assert table.cells[target] == (1.0, 1.0)
+
+    def test_global_distribution_overrides_table(self):
+        prior = {"Customer": {"Alice": 5, "Bob": 5, "Chris": 1}}
+        table = ic_det(ACCOUNTS[:3], ["Customer"], global_distributions=prior)
+        # Alice and Bob tie at frequency 5 → 1/2; Chris unique at 1 → 1
+        assert table.cells[0][0] == pytest.approx(0.5)
+        assert table.cells[2][0] == pytest.approx(0.5)
+
+    def test_exposure_coefficient_is_mean_product(self):
+        table = ic_det(ACCOUNTS, ["Customer"])
+        expected = (1 + 1 + 0.25 * 4) / 6
+        assert table.exposure_coefficient() == pytest.approx(expected)
+
+
+class TestNDetEnc:
+    def test_uniform_inverse_cardinality(self):
+        """With nDet_Enc, P(α = Alice) = 1/5 (5 distinct customers)."""
+        table = ic_ndet(ACCOUNTS, ["Customer"])
+        assert all(row[0] == pytest.approx(1 / 5) for row in table.cells)
+
+    def test_multi_column_product(self):
+        table = ic_ndet(ACCOUNTS, ["Customer", "Balance"])
+        # 5 distinct customers × 4 distinct balances
+        assert table.exposure_coefficient() == pytest.approx(1 / 20)
+
+    def test_below_det_enc(self):
+        ndet = ic_ndet(ACCOUNTS, COLUMNS).exposure_coefficient()
+        det = ic_det(ACCOUNTS, COLUMNS).exposure_coefficient()
+        assert ndet < det
+
+
+class TestHistogram:
+    def test_bucket_members_share_ic(self):
+        bucket_of = {"Customer": {"Alice": 0, "Bob": 0, "Chris": 1, "Donna": 1, "Elvis": 1}}
+        table = ic_histogram(ACCOUNTS, ["Customer"], bucket_of)
+        # bucket 0 holds 2 values, bucket 1 holds 3; bucket frequencies are
+        # 3 and 3 → both buckets are candidates (class of size 2)
+        alice = next(i for i, r in enumerate(ACCOUNTS) if r["Customer"] == "Alice")
+        chris = next(i for i, r in enumerate(ACCOUNTS) if r["Customer"] == "Chris")
+        assert table.cells[alice][0] == pytest.approx(1 / (2 * 2))
+        assert table.cells[chris][0] == pytest.approx(1 / (2 * 3))
+
+    def test_single_bucket_floor(self):
+        """h = G (all values in one bucket): the nDet_Enc floor."""
+        bucket_of = {"Customer": {c: 0 for c in "Alice Bob Chris Donna Elvis".split()}}
+        hist = ic_histogram(ACCOUNTS, ["Customer"], bucket_of)
+        ndet = ic_ndet(ACCOUNTS, ["Customer"])
+        assert hist.exposure_coefficient() == pytest.approx(
+            ndet.exposure_coefficient()
+        )
+
+    def test_one_value_per_bucket_equals_det(self):
+        """h = 1 (distinct values → distinct buckets): Det_Enc exposure."""
+        customers = ["Alice", "Bob", "Chris", "Donna", "Elvis"]
+        bucket_of = {"Customer": {c: i for i, c in enumerate(customers)}}
+        hist = ic_histogram(ACCOUNTS, ["Customer"], bucket_of)
+        det = ic_det(ACCOUNTS, ["Customer"])
+        assert hist.exposure_coefficient() == pytest.approx(
+            det.exposure_coefficient()
+        )
+
+    def test_unhashed_column_gets_ndet_treatment(self):
+        bucket_of = {"Customer": {c: 0 for c in "Alice Bob Chris Donna Elvis".split()}}
+        table = ic_histogram(ACCOUNTS, ["Customer", "Balance"], bucket_of)
+        # Balance column: 4 distinct values → 1/4 everywhere
+        assert all(row[1] == pytest.approx(0.25) for row in table.cells)
+
+    def test_column_mean(self):
+        table = ic_ndet(ACCOUNTS, ["Customer"])
+        assert table.column_mean("Customer") == pytest.approx(0.2)

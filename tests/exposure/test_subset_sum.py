@@ -1,0 +1,100 @@
+"""Multiple-subset-sum tests: the histogram-inversion hardness argument."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.exposure.subset_sum import (
+    count_consistent_assignments,
+    histogram_instance,
+    inversion_probability,
+)
+from repro.tds.histogram import EquiDepthHistogram
+
+
+class TestCounting:
+    def test_unique_assignment(self):
+        """Distinct frequencies and distinct bucket sizes: one solution."""
+        prior = {"a": 5, "b": 3, "c": 1}
+        assert count_consistent_assignments(prior, [5, 3, 1]) == 1
+
+    def test_fully_ambiguous_flat_case(self):
+        """All frequencies equal, all buckets equal: every permutation of
+        the 3 values over 3 unit buckets works → 3! solutions."""
+        prior = {"a": 2, "b": 2, "c": 2}
+        assert count_consistent_assignments(prior, [2, 2, 2]) == 6
+
+    def test_grouped_buckets(self):
+        """Two values per bucket, equal frequencies: choosing which pair
+        goes where → 4!/(2!·2!) · (within-bucket order irrelevant) = 6."""
+        prior = {"a": 1, "b": 1, "c": 1, "d": 1}
+        assert count_consistent_assignments(prior, [2, 2]) == 6
+
+    def test_infeasible_instance(self):
+        prior = {"a": 5, "b": 5}
+        assert count_consistent_assignments(prior, [7, 3]) == 0
+
+    def test_total_mismatch_is_zero(self):
+        assert count_consistent_assignments({"a": 5}, [4]) == 0
+
+    def test_single_bucket_always_one(self):
+        """h = G: one bucket holding everything — exactly one assignment,
+        but it reveals nothing (every value maps to the same tag)."""
+        prior = {"a": 3, "b": 2, "c": 5}
+        assert count_consistent_assignments(prior, [10]) == 1
+
+    def test_size_guard(self):
+        prior = {f"v{i}": 1 for i in range(30)}
+        with pytest.raises(ConfigurationError):
+            count_consistent_assignments(prior, [30])
+
+
+class TestInversionProbability:
+    def test_unique_solution_probability_one(self):
+        assert inversion_probability({"a": 4, "b": 2}, [4, 2]) == 1.0
+
+    def test_flat_probability_factorial(self):
+        prior = {"a": 1, "b": 1, "c": 1, "d": 1}
+        assert inversion_probability(prior, [1, 1, 1, 1]) == pytest.approx(1 / 24)
+
+    def test_infeasible_probability_zero(self):
+        assert inversion_probability({"a": 2}, [3]) == 0.0
+
+
+class TestEquiDepthMaximizesAmbiguity:
+    def test_equi_depth_beats_skewed_bucketization(self):
+        """§4.4's security claim quantified: for the same prior, the
+        equi-depth decomposition admits (weakly) more consistent
+        assignments than a skewed one — the attacker's ambiguity is
+        maximized by flat bucket cardinalities."""
+        prior = {"a": 3, "b": 3, "c": 3, "d": 3}
+        flat = count_consistent_assignments(prior, [6, 6])
+        skewed = count_consistent_assignments(prior, [9, 3])
+        assert flat > skewed
+
+    def test_instance_from_real_histogram(self):
+        prior = {"a": 4, "b": 4, "c": 4, "d": 4}
+        histogram = EquiDepthHistogram.from_distribution(prior, 2)
+        mapping = {
+            value: bucket.bucket_id
+            for bucket in histogram.buckets()
+            for value in bucket.values
+        }
+        cardinalities = histogram_instance(prior, mapping, 2)
+        assert sorted(cardinalities) == [8, 8]
+        # the true assignment is one of several indistinguishable ones
+        assert count_consistent_assignments(prior, cardinalities) >= 6
+
+    def test_histogram_instance_validation(self):
+        with pytest.raises(ConfigurationError):
+            histogram_instance({"a": 1}, {}, 2)
+        with pytest.raises(ConfigurationError):
+            histogram_instance({"a": 1}, {"a": 5}, 2)
+
+    def test_more_buckets_less_ambiguity(self):
+        """h → 1 (one value per bucket): with distinct frequencies the
+        instance becomes uniquely solvable — Det_Enc-level exposure."""
+        prior = {"a": 8, "b": 4, "c": 2, "d": 1}
+        per_value = count_consistent_assignments(prior, [8, 4, 2, 1])
+        merged = count_consistent_assignments(prior, [12, 3])
+        assert per_value == 1
+        assert merged >= 1

@@ -1,0 +1,136 @@
+"""Composite (multi-attribute) GROUP BY and NULL grouping values, across
+the full protocol stack."""
+
+import pytest
+
+from repro.protocols import (
+    CNoiseProtocol,
+    EDHistProtocol,
+    RnfNoiseProtocol,
+    SAggProtocol,
+    Deployment,
+)
+from repro.sql.schema import Database, schema
+from repro.tds.histogram import EquiDepthHistogram
+
+from ..protocols.conftest import run_protocol, sorted_rows
+
+
+COMPOSITE_SQL = (
+    "SELECT district, accomodation, COUNT(*) AS n, SUM(cons) AS s "
+    "FROM Meter GROUP BY district, accomodation"
+)
+
+DISTRICTS = ["north", "south"]
+TYPES = ["house", "flat"]
+
+
+def composite_factory():
+    def factory(index, rng):
+        db = Database()
+        t = db.create_table(
+            schema("Meter", district="TEXT", accomodation="TEXT", cons="REAL")
+        )
+        t.insert(
+            {
+                "district": DISTRICTS[index % 2],
+                "accomodation": TYPES[(index // 2) % 2],
+                "cons": float(index),
+            }
+        )
+        return db
+
+    return factory
+
+
+def null_factory():
+    def factory(index, rng):
+        db = Database()
+        t = db.create_table(schema("Meter", district="TEXT", cons="REAL"))
+        district = None if index % 3 == 0 else DISTRICTS[index % 2]
+        t.insert({"district": district, "cons": float(index)})
+        return db
+
+    return factory
+
+
+@pytest.fixture
+def composite_deployment():
+    return Deployment.build(16, composite_factory(), tables=["Meter"], seed=3)
+
+
+@pytest.fixture
+def null_deployment():
+    return Deployment.build(12, null_factory(), tables=["Meter"], seed=5)
+
+
+COMPOSITE_DOMAIN = [(d, t) for d in DISTRICTS for t in TYPES]
+
+
+class TestCompositeGroups:
+    def test_s_agg(self, composite_deployment):
+        rows, __ = run_protocol(composite_deployment, SAggProtocol, COMPOSITE_SQL)
+        assert rows == sorted_rows(composite_deployment.reference_answer(COMPOSITE_SQL))
+
+    def test_rnf_noise_with_tuple_domain(self, composite_deployment):
+        rows, __ = run_protocol(
+            composite_deployment, RnfNoiseProtocol, COMPOSITE_SQL,
+            domain=COMPOSITE_DOMAIN, nf=2,
+        )
+        assert rows == sorted_rows(composite_deployment.reference_answer(COMPOSITE_SQL))
+
+    def test_c_noise_with_tuple_domain(self, composite_deployment):
+        rows, driver = run_protocol(
+            composite_deployment, CNoiseProtocol, COMPOSITE_SQL,
+            domain=COMPOSITE_DOMAIN,
+        )
+        assert rows == sorted_rows(composite_deployment.reference_answer(COMPOSITE_SQL))
+        # each TDS emits |domain| tuples: a perfectly flat composite cover
+        assert driver.stats.tuples_collected == 16 * len(COMPOSITE_DOMAIN)
+
+    def test_ed_hist_with_composite_buckets(self, composite_deployment):
+        frequencies = {key: 4 for key in COMPOSITE_DOMAIN}
+        histogram = EquiDepthHistogram.from_distribution(frequencies, 2)
+        rows, __ = run_protocol(
+            composite_deployment, EDHistProtocol, COMPOSITE_SQL,
+            histogram=histogram,
+        )
+        assert rows == sorted_rows(composite_deployment.reference_answer(COMPOSITE_SQL))
+
+    def test_composite_tags_flat_under_c_noise(self, composite_deployment):
+        run_protocol(
+            composite_deployment, CNoiseProtocol, COMPOSITE_SQL,
+            domain=COMPOSITE_DOMAIN,
+        )
+        query_id = next(iter(composite_deployment.ssi._storage))
+        counts = composite_deployment.ssi.observer.tag_frequencies(query_id)
+        assert len(counts) == len(COMPOSITE_DOMAIN)
+        assert len(set(counts.values())) == 1
+
+
+class TestNullGroupingValues:
+    SQL = "SELECT district, COUNT(*) AS n FROM Meter GROUP BY district"
+
+    def test_reference_includes_null_group(self, null_deployment):
+        rows = null_deployment.reference_answer(self.SQL)
+        assert any(row["district"] is None for row in rows)
+
+    def test_s_agg_handles_null_group(self, null_deployment):
+        rows, __ = run_protocol(null_deployment, SAggProtocol, self.SQL)
+        assert rows == sorted_rows(null_deployment.reference_answer(self.SQL))
+
+    def test_noise_handles_null_group(self, null_deployment):
+        domain = [("north",), ("south",), (None,)]
+        rows, __ = run_protocol(
+            null_deployment, RnfNoiseProtocol, self.SQL, domain=domain, nf=1
+        )
+        assert rows == sorted_rows(null_deployment.reference_answer(self.SQL))
+
+    def test_ed_hist_handles_null_group(self, null_deployment):
+        histogram = EquiDepthHistogram.from_distribution(
+            {"north": 4, "south": 4, None: 4}, 2
+        )
+        rows, __ = run_protocol(
+            null_deployment, EDHistProtocol, self.SQL, histogram=histogram
+        )
+        assert rows == sorted_rows(null_deployment.reference_answer(self.SQL))

@@ -1,0 +1,39 @@
+"""Discovery protocol tests (§4.3 cardinality / §4.4 distribution)."""
+
+from repro.protocols import build_histogram, discover_distribution, discover_domain
+
+from .conftest import DISTRICTS
+
+
+class TestDiscoverDistribution:
+    def test_matches_true_frequencies(self, deployment):
+        distribution = discover_distribution(deployment, "Consumer", "district")
+        assert distribution == {d: 4 for d in DISTRICTS}
+
+    def test_numeric_column(self, deployment):
+        distribution = discover_distribution(deployment, "Consumer", "cid")
+        assert len(distribution) == len(deployment.tds_list)
+        assert all(count == 1 for count in distribution.values())
+
+
+class TestDiscoverDomain:
+    def test_sorted_distinct_values(self, deployment):
+        domain = discover_domain(deployment, "Consumer", "district")
+        assert domain == sorted(DISTRICTS)
+
+    def test_domain_cardinality(self, deployment):
+        domain = discover_domain(deployment, "Consumer", "accomodation")
+        assert len(domain) == 2
+
+
+class TestBuildHistogram:
+    def test_histogram_covers_domain(self, deployment):
+        histogram = build_histogram(deployment, "Consumer", "district", 2)
+        covered = set()
+        for bucket in histogram.buckets():
+            covered |= bucket.values
+        assert covered == set(DISTRICTS)
+
+    def test_equi_depth_on_uniform_data(self, deployment):
+        histogram = build_histogram(deployment, "Consumer", "district", 2)
+        assert histogram.skew() == 1.0

@@ -1,0 +1,94 @@
+"""Querier and Deployment plumbing tests."""
+
+import random
+
+import pytest
+
+from repro.crypto.keys import KeyProvisioner
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.protocols import Deployment, Querier
+from repro.sql.schema import Database, schema
+
+from .conftest import smartmeter_factory
+
+
+class TestQuerier:
+    def test_querier_must_not_hold_k2(self):
+        provisioner = KeyProvisioner(random.Random(0))
+        with pytest.raises(ProtocolError):
+            Querier(provisioner.bundle_for_tds(), credential=None, rng=random.Random(0))
+
+    def test_querier_needs_k1(self):
+        provisioner = KeyProvisioner(random.Random(0))
+        with pytest.raises(ProtocolError):
+            Querier(provisioner.bundle_for_ssi(), credential=None, rng=random.Random(0))
+
+    def test_envelope_exposes_size_in_cleartext(self, deployment):
+        querier = deployment.make_querier()
+        envelope = querier.make_envelope("SELECT cid FROM Consumer SIZE 10 TUPLES, 60 SECONDS")
+        assert envelope.size_tuples == 10
+        assert envelope.size_seconds == 60.0
+
+    def test_envelope_query_is_ciphertext(self, deployment):
+        querier = deployment.make_querier()
+        envelope = querier.make_envelope("SELECT cid FROM Consumer")
+        assert b"Consumer" not in envelope.encrypted_query
+
+    def test_envelope_ids_unique(self, deployment):
+        querier = deployment.make_querier()
+        a = querier.make_envelope("SELECT cid FROM Consumer")
+        b = querier.make_envelope("SELECT cid FROM Consumer")
+        assert a.query_id != b.query_id
+
+
+class TestDeployment:
+    def test_build_populates_tds(self, deployment):
+        assert len(deployment.tds_list) == 16
+        assert len({t.tds_id for t in deployment.tds_list}) == 16
+
+    def test_connected_tds_fraction(self, deployment):
+        sample = deployment.connected_tds(0.25)
+        assert len(sample) == 4
+
+    def test_connected_tds_minimum_one(self, deployment):
+        assert len(deployment.connected_tds(0.001)) == 1
+
+    def test_connected_tds_invalid_fraction(self, deployment):
+        with pytest.raises(ConfigurationError):
+            deployment.connected_tds(0.0)
+        with pytest.raises(ConfigurationError):
+            deployment.connected_tds(1.5)
+
+    def test_empty_deployment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deployment.build(0, smartmeter_factory(), tables=["Power"], seed=0)
+
+    def test_reference_answer_non_aggregate(self, deployment):
+        rows = deployment.reference_answer("SELECT cid FROM Consumer WHERE cid < 2")
+        assert sorted(r["cid"] for r in rows) == [0, 1]
+
+    def test_reference_answer_join_stays_local(self):
+        """Internal joins never pair rows from different TDSs: a Power row
+        joins only with the Consumer row of the *same* TDS."""
+
+        def factory(index, rng):
+            db = Database()
+            power = db.create_table(schema("Power", cid="INTEGER", cons="REAL"))
+            consumer = db.create_table(schema("Consumer", cid="INTEGER", district="TEXT"))
+            # all TDSs share cid=1: a global join would explode pairings
+            consumer.insert({"cid": 1, "district": f"d{index}"})
+            power.insert({"cid": 1, "cons": 10.0})
+            return db
+
+        deployment = Deployment.build(3, factory, tables=["Power", "Consumer"], seed=0)
+        rows = deployment.reference_answer(
+            "SELECT COUNT(*) AS n FROM Power P, Consumer C WHERE C.cid = P.cid"
+        )
+        assert rows == [{"n": 3}]  # not 9, as a cross-TDS join would give
+
+    def test_seeded_builds_reproducible(self):
+        a = Deployment.build(4, smartmeter_factory(), tables=["Power", "Consumer"], seed=5)
+        b = Deployment.build(4, smartmeter_factory(), tables=["Power", "Consumer"], seed=5)
+        rows_a = a.reference_answer("SELECT COUNT(*) AS n FROM Consumer")
+        rows_b = b.reference_answer("SELECT COUNT(*) AS n FROM Consumer")
+        assert rows_a == rows_b

@@ -1,0 +1,100 @@
+"""Protocol selector tests: §6.4's scenario conclusions must emerge."""
+
+import pytest
+
+from repro.costmodel import PAPER_DEFAULTS
+from repro.exceptions import ConfigurationError
+from repro.protocols.selector import (
+    PCEHR_TOKEN_PRIORITIES,
+    Priorities,
+    Recommendation,
+    SMART_METER_PRIORITIES,
+    recommend_protocol,
+)
+
+
+class TestPaperScenarios:
+    def test_pcehr_tokens_pick_ed_hist(self):
+        """§6.4: 'ED-Hist best matches the above requirements' for
+        seldom-connected personal tokens."""
+        recommendation = recommend_protocol(PCEHR_TOKEN_PRIORITIES)
+        assert recommendation.protocol == "ED_Hist"
+
+    def test_smart_meters_pick_s_agg(self):
+        """§6.4: 'S_Agg is more appropriate in this case' for always-on
+        meters maximizing global computation capacity."""
+        recommendation = recommend_protocol(SMART_METER_PRIORITIES)
+        assert recommendation.protocol == "S_Agg"
+
+    def test_noise_protocols_never_win(self):
+        """Fig. 11: 'Noise_based protocols are always dominated either by
+        S_Agg or ED_Hist' — the recommendation is always one of the two
+        frontier protocols, whatever the weights."""
+        grids = [0.25, 1.0, 3.0]
+        for f in grids:
+            for g in grids:
+                for e in grids:
+                    recommendation = recommend_protocol(
+                        Priorities(
+                            feasibility=f,
+                            responsiveness=1.0,
+                            global_consumption=g,
+                            elasticity=e,
+                            confidentiality=1.0,
+                        )
+                    )
+                    assert recommendation.protocol in ("S_Agg", "ED_Hist")
+
+
+class TestMechanics:
+    def test_scores_cover_all_candidates(self):
+        recommendation = recommend_protocol(Priorities())
+        assert set(recommendation.scores) == {
+            "S_Agg", "R2_Noise", "R1000_Noise", "C_Noise", "ED_Hist",
+        }
+
+    def test_rationale_lists_weighted_axes(self):
+        recommendation = recommend_protocol(Priorities())
+        assert "feasibility_local_consumption" in recommendation.rationale
+        # exactly one responsiveness axis applies
+        responsiveness_axes = [
+            a for a in recommendation.rationale if a.startswith("responsiveness")
+        ]
+        assert len(responsiveness_axes) == 1
+
+    def test_small_g_inference(self):
+        small = recommend_protocol(Priorities(), PAPER_DEFAULTS.with_(g=2))
+        assert "responsiveness_small_g" in small.rationale
+        large = recommend_protocol(Priorities(), PAPER_DEFAULTS.with_(g=100_000))
+        assert "responsiveness_large_g" in large.rationale
+
+    def test_explicit_small_g_override(self):
+        recommendation = recommend_protocol(
+            Priorities(), PAPER_DEFAULTS, expected_groups_small=True
+        )
+        assert "responsiveness_small_g" in recommendation.rationale
+
+    def test_confidentiality_only_picks_s_agg(self):
+        recommendation = recommend_protocol(
+            Priorities(
+                feasibility=0, responsiveness=0, global_consumption=0,
+                elasticity=0, confidentiality=1.0,
+            )
+        )
+        assert recommendation.protocol == "S_Agg"
+
+    def test_returns_recommendation_type(self):
+        assert isinstance(recommend_protocol(Priorities()), Recommendation)
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Priorities(feasibility=-1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Priorities(
+                feasibility=0, responsiveness=0, global_consumption=0,
+                elasticity=0, confidentiality=0,
+            )

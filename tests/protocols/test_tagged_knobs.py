@@ -1,0 +1,48 @@
+"""Tagged-protocol tuning knobs: partition sizing and packing paths."""
+
+import pytest
+
+from repro.protocols import CNoiseProtocol, RnfNoiseProtocol
+
+from .conftest import DISTRICTS, run_protocol, sorted_rows
+
+
+GROUP_SQL = "SELECT district, COUNT(*) AS n FROM Consumer GROUP BY district"
+DOMAIN = [(d,) for d in DISTRICTS]
+
+
+class TestFirstStepPartitionSize:
+    @pytest.mark.parametrize("size", [1, 3, None])
+    def test_correct_at_any_partition_size(self, deployment, size):
+        rows, __ = run_protocol(
+            deployment, CNoiseProtocol, GROUP_SQL, domain=DOMAIN,
+            first_step_partition_size=size,
+        )
+        assert rows == sorted_rows(deployment.reference_answer(GROUP_SQL))
+
+    def test_small_partitions_mean_more_work_items(self, deployment):
+        __, fine = run_protocol(
+            deployment, CNoiseProtocol, GROUP_SQL, domain=DOMAIN,
+            first_step_partition_size=2,
+        )
+        import tests.protocols.conftest as c
+        from repro.protocols import Deployment
+
+        dep2 = Deployment.build(
+            16, c.smartmeter_factory(), tables=["Power", "Consumer"], seed=42
+        )
+        __, coarse = run_protocol(
+            dep2, CNoiseProtocol, GROUP_SQL, domain=DOMAIN,
+            first_step_partition_size=None,
+        )
+        assert fine.stats.partitions_processed > coarse.stats.partitions_processed
+
+    def test_filter_partition_size_knob(self, deployment):
+        rows, driver = run_protocol(
+            deployment, RnfNoiseProtocol, GROUP_SQL, domain=DOMAIN, nf=1,
+            filter_partition_size=1,
+        )
+        assert rows == sorted_rows(deployment.reference_answer(GROUP_SQL))
+        # one final partial per group, one filtering partition each
+        filtering = driver.trace.events_in("filtering")
+        assert len(filtering) == len(DISTRICTS)

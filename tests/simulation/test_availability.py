@@ -1,0 +1,72 @@
+"""Connectivity schedule tests."""
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.availability import always_on, duty_cycle
+
+
+class TestAlwaysOn:
+    def test_connected_everywhere(self):
+        schedule = always_on(["a", "b"], horizon=100.0)
+        assert schedule.is_connected("a", 0.0)
+        assert schedule.is_connected("b", 99.9)
+
+    def test_first_connection_is_now(self):
+        schedule = always_on(["a"], horizon=100.0)
+        assert schedule.first_connection_after("a", 42.0) == (42.0, 100.0)
+
+    def test_online_fraction_is_one(self):
+        schedule = always_on(["a"], horizon=50.0)
+        assert schedule.online_fraction("a") == pytest.approx(1.0)
+
+    def test_unknown_tds_never_connected(self):
+        schedule = always_on(["a"])
+        assert not schedule.is_connected("ghost", 0.0)
+        assert schedule.first_connection_after("ghost", 0.0) is None
+
+
+class TestDutyCycle:
+    def test_online_fraction_near_duty(self):
+        rng = random.Random(0)
+        schedule = duty_cycle(
+            [f"t{i}" for i in range(50)], rng, horizon=36000, duty=0.3,
+            session_length=120,
+        )
+        fractions = [schedule.online_fraction(f"t{i}") for i in range(50)]
+        mean = sum(fractions) / len(fractions)
+        assert 0.2 < mean < 0.45
+
+    def test_intervals_sorted_and_disjoint(self):
+        rng = random.Random(1)
+        schedule = duty_cycle(["x"], rng, horizon=7200, duty=0.2)
+        intervals = schedule.intervals["x"]
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s1 < e1 <= s2 < e2
+
+    def test_every_tds_has_at_least_one_session(self):
+        rng = random.Random(2)
+        schedule = duty_cycle(
+            [f"t{i}" for i in range(20)], rng, horizon=100, duty=0.1,
+            session_length=50,
+        )
+        for i in range(20):
+            assert schedule.intervals[f"t{i}"]
+
+    def test_first_connection_after_gap(self):
+        rng = random.Random(3)
+        schedule = duty_cycle(["x"], rng, horizon=3600, duty=0.2)
+        first = schedule.intervals["x"][0]
+        window = schedule.first_connection_after("x", 0.0)
+        assert window == (first[0], first[1]) or window[0] == 0.0
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            duty_cycle(["x"], rng, duty=0)
+        with pytest.raises(ConfigurationError):
+            duty_cycle(["x"], rng, session_length=0)
+        with pytest.raises(ConfigurationError):
+            duty_cycle(["x"], rng, horizon=-1)

@@ -1,0 +1,58 @@
+"""Network model tests."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.network import NetworkModel
+from repro.tds.device import SECURE_TOKEN, SMARTPHONE
+
+
+class TestTransferTime:
+    def test_latency_plus_throughput(self):
+        net = NetworkModel(round_trip_latency=0.05)
+        expected = 0.05 + SECURE_TOKEN.transfer_time(1000)
+        assert net.transfer_time(1000, SECURE_TOKEN) == pytest.approx(expected)
+
+    def test_zero_bytes_free(self):
+        net = NetworkModel(round_trip_latency=0.05)
+        assert net.transfer_time(0, SECURE_TOKEN) == 0.0
+
+    def test_latency_dominates_tiny_transfers(self):
+        net = NetworkModel(round_trip_latency=0.1)
+        t = net.transfer_time(16, SECURE_TOKEN)
+        assert t == pytest.approx(0.1, rel=0.01)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(round_trip_latency=-1.0)
+
+
+class TestTaskTime:
+    def test_components(self):
+        net = NetworkModel(round_trip_latency=0.0)
+        total = net.task_time(4096, 64, SECURE_TOKEN)
+        expected = (
+            SECURE_TOKEN.transfer_time(4096)
+            + SECURE_TOKEN.crypto_time(4096)
+            + SECURE_TOKEN.cpu_time(4096)
+            + SECURE_TOKEN.crypto_time(64)
+            + SECURE_TOKEN.transfer_time(64)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_two_latencies_per_task(self):
+        flat = NetworkModel(round_trip_latency=0.0).task_time(100, 100, SECURE_TOKEN)
+        lagged = NetworkModel(round_trip_latency=0.5).task_time(100, 100, SECURE_TOKEN)
+        assert lagged == pytest.approx(flat + 1.0)
+
+    def test_upload_free_when_empty(self):
+        net = NetworkModel(round_trip_latency=0.5)
+        with_up = net.task_time(100, 100, SECURE_TOKEN)
+        without_up = net.task_time(100, 0, SECURE_TOKEN)
+        assert without_up < with_up
+
+    def test_faster_device_faster_task(self):
+        net = NetworkModel(round_trip_latency=0.001)
+        assert net.task_time(4096, 64, SMARTPHONE) < net.task_time(
+            4096, 64, SECURE_TOKEN
+        )

@@ -1,0 +1,114 @@
+"""Property tests for the trace scheduler's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import ExecutionTrace
+from repro.simulation.availability import always_on
+from repro.simulation.network import NetworkModel
+from repro.simulation.replay import TraceScheduler
+
+
+events = st.lists(
+    st.tuples(
+        st.sampled_from(["collection", "aggregation", "filtering"]),
+        st.integers(0, 2),
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(1, 10_000),
+        st.integers(0, 2_000),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build(event_list):
+    trace = ExecutionTrace()
+    for phase, round_index, tds, down, up in event_list:
+        trace.record(phase, -1 if phase == "collection" else round_index, tds, down, up)
+    return trace
+
+
+def scheduler():
+    return TraceScheduler(
+        always_on(["a", "b", "c", "d"]),
+        network=NetworkModel(round_trip_latency=0.01),
+    )
+
+
+@given(events)
+@settings(max_examples=60, deadline=None)
+def test_durations_nonnegative_and_additive(event_list):
+    report = scheduler().replay(build(event_list))
+    assert report.collection_duration >= 0
+    assert report.aggregation_duration >= 0
+    assert report.filtering_duration >= 0
+    assert report.total_duration == (
+        report.collection_duration
+        + report.aggregation_duration
+        + report.filtering_duration
+    )
+
+
+@given(events)
+@settings(max_examples=60, deadline=None)
+def test_busy_time_conservation(event_list):
+    """Total busy time equals the sum of per-event task times (always-on:
+    no waiting is billed as busy)."""
+    trace = build(event_list)
+    report = scheduler().replay(trace)
+    network = NetworkModel(round_trip_latency=0.01)
+    from repro.tds.device import SECURE_TOKEN
+
+    expected = sum(
+        network.task_time(e.bytes_down, e.bytes_up, SECURE_TOKEN)
+        for e in trace.events
+    )
+    assert sum(report.busy_time.values()) == __import__("pytest").approx(expected)
+
+
+@given(events)
+@settings(max_examples=60, deadline=None)
+def test_participants_match_trace(event_list):
+    trace = build(event_list)
+    report = scheduler().replay(trace)
+    assert set(report.busy_time) == trace.participants()
+
+
+@given(events)
+@settings(max_examples=40, deadline=None)
+def test_phase_duration_at_least_longest_single_task(event_list):
+    """No phase can finish faster than its longest individual task."""
+    trace = build(event_list)
+    report = scheduler().replay(trace)
+    network = NetworkModel(round_trip_latency=0.01)
+    from repro.tds.device import SECURE_TOKEN
+
+    phase_durations = {
+        "collection": report.collection_duration,
+        "aggregation": report.aggregation_duration,
+        "filtering": report.filtering_duration,
+    }
+    for phase, duration in phase_durations.items():
+        tasks = [
+            network.task_time(e.bytes_down, e.bytes_up, SECURE_TOKEN)
+            for e in trace.events
+            if e.phase == phase
+        ]
+        if tasks:
+            assert duration >= max(tasks) - 1e-12
+
+
+@given(events, st.floats(0.0, 0.2))
+@settings(max_examples=40, deadline=None)
+def test_latency_monotone(event_list, extra_latency):
+    """More network latency never shortens any phase."""
+    trace = build(event_list)
+    fast = TraceScheduler(
+        always_on(["a", "b", "c", "d"]), network=NetworkModel(0.0)
+    ).replay(trace)
+    slow = TraceScheduler(
+        always_on(["a", "b", "c", "d"]),
+        network=NetworkModel(extra_latency),
+    ).replay(trace)
+    assert slow.total_duration >= fast.total_duration - 1e-12

@@ -1,0 +1,226 @@
+"""Aggregate state tests: update/merge/result algebra and portability."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EvaluationError
+from repro.sql.aggregates import (
+    AvgState,
+    CountState,
+    DistinctState,
+    MaxState,
+    MedianState,
+    MinState,
+    SumState,
+    make_state,
+    state_from_portable,
+)
+from repro.sql.ast import AggregateCall, ColumnRef
+
+
+X = ColumnRef("x")
+
+
+class TestBasicResults:
+    def test_count(self):
+        state = CountState()
+        for __ in range(5):
+            state.update(1)
+        assert state.result() == 5
+
+    def test_sum(self):
+        state = SumState()
+        for v in (1, 2, 3):
+            state.update(v)
+        assert state.result() == 6
+
+    def test_sum_empty_is_null(self):
+        assert SumState().result() is None
+
+    def test_avg(self):
+        state = AvgState()
+        for v in (2, 4):
+            state.update(v)
+        assert state.result() == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert AvgState().result() is None
+
+    def test_min_max(self):
+        mn, mx = MinState(), MaxState()
+        for v in (5, 1, 9):
+            mn.update(v)
+            mx.update(v)
+        assert mn.result() == 1
+        assert mx.result() == 9
+
+    def test_min_max_empty_is_null(self):
+        assert MinState().result() is None
+        assert MaxState().result() is None
+
+    def test_median_odd(self):
+        state = MedianState()
+        for v in (5, 1, 9):
+            state.update(v)
+        assert state.result() == 5
+
+    def test_median_even(self):
+        state = MedianState()
+        for v in (1, 2, 3, 4):
+            state.update(v)
+        assert state.result() == 2.5
+
+    def test_median_empty_is_null(self):
+        assert MedianState().result() is None
+
+    def test_count_distinct(self):
+        state = DistinctState("COUNT")
+        for v in (1, 1, 2, 2, 3):
+            state.update(v)
+        assert state.result() == 3
+
+    def test_sum_distinct(self):
+        state = DistinctState("SUM")
+        for v in (1, 1, 2):
+            state.update(v)
+        assert state.result() == 3
+
+    def test_avg_distinct(self):
+        state = DistinctState("AVG")
+        for v in (2, 2, 4):
+            state.update(v)
+        assert state.result() == 3.0
+
+    def test_distinct_empty(self):
+        assert DistinctState("COUNT").result() == 0
+        assert DistinctState("SUM").result() is None
+
+
+class TestMergeAlgebra:
+    def _random_values(self, seed, n):
+        rng = random.Random(seed)
+        return [rng.randint(-100, 100) for __ in range(n)]
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            AggregateCall("COUNT", None),
+            AggregateCall("COUNT", X),
+            AggregateCall("SUM", X),
+            AggregateCall("AVG", X),
+            AggregateCall("MIN", X),
+            AggregateCall("MAX", X),
+            AggregateCall("MEDIAN", X),
+            AggregateCall("COUNT", X, distinct=True),
+            AggregateCall("SUM", X, distinct=True),
+        ],
+        ids=str,
+    )
+    def test_merge_equals_direct(self, call):
+        """Splitting the input and merging partials gives the same answer —
+        the property the whole aggregation phase (§4.1) rests on."""
+        values = self._random_values(7, 50)
+        direct = make_state(call)
+        for v in values:
+            direct.update(v)
+        left, right = make_state(call), make_state(call)
+        for v in values[:20]:
+            left.update(v)
+        for v in values[20:]:
+            right.update(v)
+        left.merge(right)
+        assert left.result() == direct.result()
+
+    def test_merge_with_empty_is_identity(self):
+        state = SumState()
+        state.update(5)
+        state.merge(SumState())
+        assert state.result() == 5
+
+    def test_merge_type_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            SumState().merge(CountState())
+
+    def test_merge_distinct_function_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            DistinctState("COUNT").merge(DistinctState("SUM"))
+
+
+class TestPortable:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            AggregateCall("COUNT", None),
+            AggregateCall("SUM", X),
+            AggregateCall("AVG", X),
+            AggregateCall("MIN", X),
+            AggregateCall("MAX", X),
+            AggregateCall("MEDIAN", X),
+            AggregateCall("COUNT", X, distinct=True),
+        ],
+        ids=str,
+    )
+    def test_portable_roundtrip(self, call):
+        state = make_state(call)
+        for v in (3, 1, 4, 1, 5):
+            state.update(v)
+        restored = state_from_portable(state.to_portable())
+        assert restored.result() == state.result()
+
+    def test_portable_empty_roundtrip(self):
+        for call in [AggregateCall("SUM", X), AggregateCall("MIN", X)]:
+            state = make_state(call)
+            assert state_from_portable(state.to_portable()).result() == state.result()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(EvaluationError):
+            state_from_portable({"kind": "bogus"})
+
+    def test_restored_state_still_mergeable(self):
+        a = AvgState()
+        a.update(2)
+        restored = state_from_portable(a.to_portable())
+        b = AvgState()
+        b.update(4)
+        restored.merge(b)
+        assert restored.result() == 3.0
+
+
+class TestFactoryAndSizes:
+    def test_make_state_unknown_distinct(self):
+        with pytest.raises(EvaluationError):
+            make_state(AggregateCall("MIN", X, distinct=True))
+
+    def test_holistic_flags(self):
+        assert MedianState().holistic
+        assert DistinctState("COUNT").holistic
+        assert not SumState().holistic
+
+    def test_state_size_grows_for_holistic(self):
+        state = MedianState()
+        for v in range(10):
+            state.update(v)
+        assert state.state_size() == 10
+        assert SumState().state_size() == 1
+        assert AvgState().state_size() == 2
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=60), st.integers(0, 59))
+@settings(max_examples=60, deadline=None)
+def test_merge_split_property(values, split_at):
+    """Property: any split point produces the same AVG as direct folding."""
+    split_at = min(split_at, len(values))
+    call = AggregateCall("AVG", X)
+    direct = make_state(call)
+    for v in values:
+        direct.update(v)
+    left, right = make_state(call), make_state(call)
+    for v in values[:split_at]:
+        left.update(v)
+    for v in values[split_at:]:
+        right.update(v)
+    left.merge(right)
+    assert left.result() == pytest.approx(direct.result())

@@ -1,0 +1,214 @@
+"""Local executor tests: FROM/WHERE/GROUP BY/HAVING, joins, validation."""
+
+import pytest
+
+from repro.exceptions import PlanningError
+from repro.sql.executor import execute, local_matching_rows, validate_statement
+from repro.sql.parser import parse
+from repro.sql.schema import Database, schema
+
+
+@pytest.fixture
+def power_db():
+    """The paper's smart-meter example: Power readings + Consumer profile."""
+    db = Database()
+    power = db.create_table(schema("Power", cid="INTEGER", cons="REAL"))
+    consumer = db.create_table(
+        schema("Consumer", cid="INTEGER", district="TEXT", accomodation="TEXT")
+    )
+    rows_power = [
+        (1, 10.0), (1, 12.0), (2, 30.0), (3, 8.0), (4, 100.0),
+    ]
+    rows_consumer = [
+        (1, "North", "detached house"),
+        (2, "North", "flat"),
+        (3, "South", "detached house"),
+        (4, "South", "detached house"),
+    ]
+    for cid, cons in rows_power:
+        power.insert({"cid": cid, "cons": cons})
+    for cid, district, accomodation in rows_consumer:
+        consumer.insert({"cid": cid, "district": district, "accomodation": accomodation})
+    return db
+
+
+@pytest.fixture
+def simple_db():
+    db = Database()
+    t = db.create_table(schema("T", g="TEXT", x="INTEGER", y="REAL"))
+    data = [
+        ("a", 1, 1.0), ("a", 3, 2.0), ("b", 5, 3.0), ("b", 7, 4.0), ("c", 9, None),
+    ]
+    for g, x, y in data:
+        t.insert({"g": g, "x": x, "y": y})
+    return db
+
+
+class TestSelectFromWhere:
+    def test_select_star(self, simple_db):
+        rows = execute(simple_db, parse("SELECT * FROM T"))
+        assert len(rows) == 5
+        assert rows[0] == {"g": "a", "x": 1, "y": 1.0}
+
+    def test_projection(self, simple_db):
+        rows = execute(simple_db, parse("SELECT x FROM T WHERE g = 'a'"))
+        assert rows == [{"x": 1}, {"x": 3}]
+
+    def test_computed_projection(self, simple_db):
+        rows = execute(simple_db, parse("SELECT x * 2 AS double FROM T WHERE x = 5"))
+        assert rows == [{"double": 10}]
+
+    def test_where_filters(self, simple_db):
+        rows = execute(simple_db, parse("SELECT x FROM T WHERE x > 4"))
+        assert [r["x"] for r in rows] == [5, 7, 9]
+
+    def test_where_null_row_dropped(self, simple_db):
+        rows = execute(simple_db, parse("SELECT x FROM T WHERE y > 0"))
+        # the row with y NULL is excluded (NULL predicate is not TRUE)
+        assert [r["x"] for r in rows] == [1, 3, 5, 7]
+
+    def test_empty_result(self, simple_db):
+        assert execute(simple_db, parse("SELECT x FROM T WHERE x > 100")) == []
+
+
+class TestInternalJoin:
+    def test_join_filters_by_key(self, power_db):
+        rows = execute(
+            power_db,
+            parse(
+                "SELECT P.cons FROM Power P, Consumer C "
+                "WHERE C.cid = P.cid AND C.district = 'North'"
+            ),
+        )
+        assert sorted(r["P.cons"] for r in rows) == [10.0, 12.0, 30.0]
+
+    def test_join_star_keeps_qualified_names(self, power_db):
+        rows = execute(
+            power_db,
+            parse("SELECT * FROM Power P, Consumer C WHERE C.cid = P.cid"),
+        )
+        assert len(rows) == 5
+        assert "P.cons" in rows[0] and "C.district" in rows[0]
+
+    def test_paper_example_query(self, power_db):
+        rows = execute(
+            power_db,
+            parse(
+                "SELECT C.district, AVG(P.cons) FROM Power P, Consumer C "
+                "WHERE C.accomodation = 'detached house' AND C.cid = P.cid "
+                "GROUP BY C.district HAVING COUNT(DISTINCT C.cid) > 1"
+            ),
+        )
+        # North has only consumer 1 detached (filtered by HAVING);
+        # South has consumers 3 and 4 → avg(8, 100) = 54.
+        assert rows == [{"C.district": "South", "AVG(P.cons)": 54.0}]
+
+    def test_duplicate_binding_rejected(self, power_db):
+        with pytest.raises(PlanningError):
+            execute(power_db, parse("SELECT * FROM Power P, Consumer P"))
+
+
+class TestGroupBy:
+    def test_sum_per_group(self, simple_db):
+        rows = execute(simple_db, parse("SELECT g, SUM(x) AS s FROM T GROUP BY g"))
+        assert rows == [{"g": "a", "s": 4}, {"g": "b", "s": 12}, {"g": "c", "s": 9}]
+
+    def test_count_star_vs_count_column(self, simple_db):
+        rows = execute(
+            simple_db,
+            parse("SELECT g, COUNT(*) AS n, COUNT(y) AS ny FROM T GROUP BY g"),
+        )
+        by_group = {r["g"]: r for r in rows}
+        assert by_group["c"]["n"] == 1
+        assert by_group["c"]["ny"] == 0  # NULL ignored by COUNT(y)
+
+    def test_global_aggregate_without_group_by(self, simple_db):
+        rows = execute(simple_db, parse("SELECT COUNT(*) AS n, AVG(x) AS m FROM T"))
+        assert rows == [{"n": 5, "m": 5.0}]
+
+    def test_global_aggregate_on_empty_input(self, simple_db):
+        rows = execute(
+            simple_db, parse("SELECT COUNT(*) AS n FROM T WHERE x > 1000")
+        )
+        assert rows == []  # no rows → no groups, matching the protocol model
+
+    def test_having(self, simple_db):
+        rows = execute(
+            simple_db,
+            parse("SELECT g, SUM(x) AS s FROM T GROUP BY g HAVING SUM(x) > 5"),
+        )
+        assert {r["g"] for r in rows} == {"b", "c"}
+
+    def test_having_on_group_column(self, simple_db):
+        rows = execute(
+            simple_db,
+            parse("SELECT g, COUNT(*) AS n FROM T GROUP BY g HAVING g <> 'a'"),
+        )
+        assert {r["g"] for r in rows} == {"b", "c"}
+
+    def test_group_by_expression(self, simple_db):
+        rows = execute(
+            simple_db, parse("SELECT x % 2, COUNT(*) AS n FROM T GROUP BY x % 2")
+        )
+        by_parity = {r["(x % 2)"]: r["n"] for r in rows}
+        assert by_parity == {1: 5}
+
+    def test_median_holistic(self, simple_db):
+        rows = execute(simple_db, parse("SELECT MEDIAN(x) AS m FROM T"))
+        assert rows == [{"m": 5}]
+
+    def test_multi_column_group(self, simple_db):
+        rows = execute(
+            simple_db,
+            parse("SELECT g, x % 2, COUNT(*) FROM T GROUP BY g, x % 2"),
+        )
+        assert len(rows) == 3
+
+
+class TestValidation:
+    def test_unknown_table(self, simple_db):
+        with pytest.raises(PlanningError):
+            execute(simple_db, parse("SELECT * FROM Missing"))
+
+    def test_unknown_column(self, simple_db):
+        with pytest.raises(PlanningError):
+            execute(simple_db, parse("SELECT nope FROM T"))
+
+    def test_unknown_qualified_column(self, power_db):
+        with pytest.raises(PlanningError):
+            execute(power_db, parse("SELECT P.nope FROM Power P"))
+
+    def test_unknown_binding(self, power_db):
+        with pytest.raises(PlanningError):
+            execute(power_db, parse("SELECT Z.cid FROM Power P"))
+
+    def test_ambiguous_column_in_join(self, power_db):
+        with pytest.raises(PlanningError):
+            execute(power_db, parse("SELECT cid FROM Power P, Consumer C"))
+
+    def test_non_grouped_column_rejected(self, simple_db):
+        with pytest.raises(PlanningError):
+            execute(simple_db, parse("SELECT g, x FROM T GROUP BY g"))
+
+    def test_having_without_group_rejected(self, simple_db):
+        with pytest.raises(PlanningError):
+            execute(simple_db, parse("SELECT x FROM T HAVING x > 1"))
+
+    def test_select_star_with_group_rejected(self, simple_db):
+        with pytest.raises(PlanningError):
+            execute(simple_db, parse("SELECT * FROM T GROUP BY g"))
+
+    def test_validate_without_database(self):
+        # Syntactic validation only (querier side).
+        validate_statement(parse("SELECT g, SUM(x) FROM T GROUP BY g"))
+        with pytest.raises(PlanningError):
+            validate_statement(parse("SELECT g, x FROM T GROUP BY g"))
+
+
+class TestLocalMatchingRows:
+    def test_returns_bound_rows(self, simple_db):
+        rows = local_matching_rows(simple_db, parse("SELECT x FROM T WHERE x >= 7"))
+        assert sorted(r["T.x"] for r in rows) == [7, 9]
+
+    def test_empty_when_no_match(self, simple_db):
+        assert local_matching_rows(simple_db, parse("SELECT x FROM T WHERE x < 0")) == []

@@ -1,0 +1,170 @@
+"""Expression evaluator tests, including SQL three-valued logic."""
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.sql.expressions import evaluate, is_true
+from repro.sql.parser import parse_expression
+
+
+def ev(text, row=None):
+    return evaluate(parse_expression(text), row or {})
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert ev("1 + 2") == 3
+        assert ev("7 - 3") == 4
+        assert ev("4 * 5") == 20
+        assert ev("7 / 2") == 3.5
+        assert ev("7 % 3") == 1
+
+    def test_precedence(self):
+        assert ev("2 + 3 * 4") == 14
+        assert ev("(2 + 3) * 4") == 20
+
+    def test_unary(self):
+        assert ev("-5") == -5
+        assert ev("+5") == 5
+        assert ev("-(-5)") == 5  # note: "--" would start a SQL comment
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            ev("1 / 0")
+        with pytest.raises(EvaluationError):
+            ev("1 % 0")
+
+    def test_null_propagates(self):
+        assert ev("1 + NULL") is None
+        assert ev("NULL * 3") is None
+        assert ev("-x", {"x": None}) is None
+
+
+class TestComparisons:
+    def test_numbers(self):
+        assert ev("1 < 2") is True
+        assert ev("2 <= 2") is True
+        assert ev("3 > 4") is False
+        assert ev("1 = 1") is True
+        assert ev("1 <> 1") is False
+
+    def test_strings(self):
+        assert ev("'a' < 'b'") is True
+        assert ev("'abc' = 'abc'") is True
+
+    def test_null_comparisons_are_null(self):
+        assert ev("NULL = NULL") is None
+        assert ev("1 < NULL") is None
+
+    def test_mixed_int_float(self):
+        assert ev("1 = 1.0") is True
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(EvaluationError):
+            ev("1 < 'a'")
+
+
+class TestLogic:
+    def test_and_or(self):
+        assert ev("TRUE AND TRUE") is True
+        assert ev("TRUE AND FALSE") is False
+        assert ev("FALSE OR TRUE") is True
+        assert ev("FALSE OR FALSE") is False
+
+    def test_kleene_and(self):
+        assert ev("FALSE AND NULL") is False
+        assert ev("NULL AND FALSE") is False
+        assert ev("TRUE AND NULL") is None
+        assert ev("NULL AND NULL") is None
+
+    def test_kleene_or(self):
+        assert ev("TRUE OR NULL") is True
+        assert ev("NULL OR TRUE") is True
+        assert ev("FALSE OR NULL") is None
+
+    def test_not(self):
+        assert ev("NOT TRUE") is False
+        assert ev("NOT FALSE") is True
+        assert ev("NOT NULL") is None
+
+    def test_short_circuit_avoids_errors(self):
+        # FALSE AND (1/0) must not evaluate the right side.
+        assert ev("FALSE AND 1 / 0 = 1") is False
+        assert ev("TRUE OR 1 / 0 = 1") is True
+
+    def test_non_boolean_in_logic_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("1 AND TRUE")
+
+
+class TestPredicates:
+    def test_in(self):
+        assert ev("2 IN (1, 2, 3)") is True
+        assert ev("5 IN (1, 2, 3)") is False
+        assert ev("5 NOT IN (1, 2, 3)") is True
+
+    def test_in_with_null_semantics(self):
+        assert ev("2 IN (1, NULL, 2)") is True  # found despite NULL
+        assert ev("5 IN (1, NULL)") is None  # not found, NULL present
+        assert ev("NULL IN (1)") is None
+
+    def test_between(self):
+        assert ev("5 BETWEEN 1 AND 10") is True
+        assert ev("0 BETWEEN 1 AND 10") is False
+        assert ev("0 NOT BETWEEN 1 AND 10") is True
+        assert ev("NULL BETWEEN 1 AND 2") is None
+
+    def test_like(self):
+        assert ev("'Paris' LIKE 'P%'") is True
+        assert ev("'Paris' LIKE '_aris'") is True
+        assert ev("'Paris' LIKE 'paris'") is False
+        assert ev("'Paris' NOT LIKE 'L%'") is True
+        assert ev("x LIKE 'a%'", {"x": None}) is None
+
+    def test_like_escapes_regex_chars(self):
+        assert ev("'a.c' LIKE 'a.c'") is True
+        assert ev("'abc' LIKE 'a.c'") is False
+
+    def test_like_non_string_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("5 LIKE '5'")
+
+    def test_is_null(self):
+        assert ev("NULL IS NULL") is True
+        assert ev("1 IS NULL") is False
+        assert ev("NULL IS NOT NULL") is False
+        assert ev("1 IS NOT NULL") is True
+
+
+class TestColumns:
+    def test_bare_lookup(self):
+        assert ev("x + 1", {"x": 2}) == 3
+
+    def test_qualified_lookup(self):
+        assert ev("C.cid", {"C.cid": 7}) == 7
+
+    def test_bare_matches_unique_qualified(self):
+        assert ev("cid", {"C.cid": 7}) == 7
+
+    def test_ambiguous_bare_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("cid", {"C.cid": 7, "P.cid": 8})
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("missing", {"x": 1})
+
+    def test_aggregate_outside_group_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("COUNT(*)", {"x": 1})
+
+    def test_aggregate_resolved_from_grouped_row(self):
+        assert ev("COUNT(*) > 5", {"COUNT(*)": 10}) is True
+
+
+class TestIsTrue:
+    def test_only_exact_true(self):
+        assert is_true(True)
+        assert not is_true(False)
+        assert not is_true(None)
+        assert not is_true(1)

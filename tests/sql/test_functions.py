@@ -1,0 +1,194 @@
+"""Scalar function and STDDEV/VARIANCE aggregate tests."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EvaluationError, SQLSyntaxError
+from repro.sql.aggregates import VarianceState, make_state, state_from_portable
+from repro.sql.ast import AggregateCall, ColumnRef
+from repro.sql.executor import execute
+from repro.sql.expressions import evaluate
+from repro.sql.functions import call_scalar, is_scalar_function
+from repro.sql.parser import parse, parse_expression
+from repro.sql.schema import Database, schema
+
+
+def ev(text, row=None):
+    return evaluate(parse_expression(text), row or {})
+
+
+class TestScalarFunctions:
+    def test_abs(self):
+        assert ev("ABS(-5)") == 5
+        assert ev("ABS(3.5)") == 3.5
+
+    def test_round(self):
+        assert ev("ROUND(3.7)") == 4
+        assert ev("ROUND(3.14159, 2)") == 3.14
+
+    def test_floor_ceil(self):
+        assert ev("FLOOR(3.7)") == 3
+        assert ev("CEIL(3.2)") == 4
+
+    def test_length(self):
+        assert ev("LENGTH('Paris')") == 5
+        assert ev("LENGTH('')") == 0
+
+    def test_upper_lower(self):
+        assert ev("UPPER('abc')") == "ABC"
+        assert ev("LOWER('ABC')") == "abc"
+
+    def test_substr(self):
+        assert ev("SUBSTR('district-007', 10)") == "007"
+        assert ev("SUBSTR('district-007', 1, 8)") == "district"
+        assert ev("SUBSTR('abc', -2)") == "bc"
+
+    def test_coalesce(self):
+        assert ev("COALESCE(NULL, NULL, 3)") == 3
+        assert ev("COALESCE(NULL, 'x')") == "x"
+        assert ev("COALESCE(NULL, NULL)") is None
+
+    def test_ifnull(self):
+        assert ev("IFNULL(NULL, 7)") == 7
+        assert ev("IFNULL(1, 7)") == 1
+
+    def test_null_propagation(self):
+        assert ev("ABS(NULL)") is None
+        assert ev("LENGTH(x)", {"x": None}) is None
+
+    def test_nested_and_composed(self):
+        assert ev("ROUND(ABS(-3.456), 1)") == 3.5
+        assert ev("UPPER(SUBSTR('paris', 1, 1))") == "P"
+
+    def test_case_insensitive_names(self):
+        assert ev("abs(-1)") == 1
+        assert ev("Round(1.5)") == 2
+
+    def test_unknown_function_rejected_at_parse(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("BOGUS(1)")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(EvaluationError):
+            ev("ABS(1, 2)")
+        with pytest.raises(EvaluationError):
+            ev("SUBSTR('x')")
+
+    def test_type_errors(self):
+        with pytest.raises(EvaluationError):
+            ev("LENGTH(5)")
+        with pytest.raises(EvaluationError):
+            ev("UPPER(5)")
+
+    def test_registry_helpers(self):
+        assert is_scalar_function("abs")
+        assert not is_scalar_function("nope")
+        with pytest.raises(EvaluationError):
+            call_scalar("nope", [1])
+
+    def test_in_where_clause(self):
+        db = Database()
+        t = db.create_table(schema("T", name="TEXT", x="REAL"))
+        for name, x in [("Alice", -5.0), ("bob", 2.0)]:
+            t.insert({"name": name, "x": x})
+        rows = execute(db, parse("SELECT name FROM T WHERE ABS(x) > 3"))
+        assert rows == [{"name": "Alice"}]
+
+    def test_in_group_by(self):
+        db = Database()
+        t = db.create_table(schema("T", name="TEXT"))
+        for name in ["Alice", "alice", "Bob"]:
+            t.insert({"name": name})
+        rows = execute(
+            db,
+            parse("SELECT UPPER(name), COUNT(*) AS n FROM T GROUP BY UPPER(name)"),
+        )
+        by_name = {r["UPPER(name)"]: r["n"] for r in rows}
+        assert by_name == {"ALICE": 2, "BOB": 1}
+
+    def test_inside_aggregate_argument(self):
+        db = Database()
+        t = db.create_table(schema("T", x="REAL"))
+        for x in [-1.0, 2.0, -3.0]:
+            t.insert({"x": x})
+        rows = execute(db, parse("SELECT SUM(ABS(x)) AS s FROM T"))
+        assert rows == [{"s": 6.0}]
+
+
+class TestVarianceAggregates:
+    X = ColumnRef("x")
+
+    def _fill(self, state, values):
+        for v in values:
+            state.update(v)
+        return state
+
+    def test_variance_matches_statistics(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        state = self._fill(make_state(AggregateCall("VARIANCE", self.X)), values)
+        import statistics
+
+        assert state.result() == pytest.approx(statistics.variance(values))
+
+    def test_stddev_is_sqrt_variance(self):
+        values = [1.0, 2.0, 3.0, 10.0]
+        var = self._fill(make_state(AggregateCall("VARIANCE", self.X)), values)
+        std = self._fill(make_state(AggregateCall("STDDEV", self.X)), values)
+        assert std.result() == pytest.approx(math.sqrt(var.result()))
+
+    def test_fewer_than_two_values_null(self):
+        assert make_state(AggregateCall("VARIANCE", self.X)).result() is None
+        one = self._fill(make_state(AggregateCall("STDDEV", self.X)), [5])
+        assert one.result() is None
+
+    def test_merge_equals_direct(self):
+        rng = random.Random(3)
+        values = [rng.uniform(-10, 10) for __ in range(40)]
+        direct = self._fill(VarianceState("VARIANCE"), values)
+        left = self._fill(VarianceState("VARIANCE"), values[:15])
+        right = self._fill(VarianceState("VARIANCE"), values[15:])
+        left.merge(right)
+        assert left.result() == pytest.approx(direct.result())
+
+    def test_merge_function_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            VarianceState("VARIANCE").merge(VarianceState("STDDEV"))
+
+    def test_portable_roundtrip(self):
+        state = self._fill(VarianceState("STDDEV"), [1.0, 2.0, 3.0])
+        restored = state_from_portable(state.to_portable())
+        assert restored.result() == pytest.approx(state.result())
+
+    def test_constant_input_zero_variance(self):
+        state = self._fill(VarianceState("VARIANCE"), [4.0] * 10)
+        assert state.result() == pytest.approx(0.0)
+
+    def test_in_full_query(self):
+        db = Database()
+        t = db.create_table(schema("T", g="TEXT", x="REAL"))
+        for g, x in [("a", 1.0), ("a", 3.0), ("a", 5.0), ("b", 2.0), ("b", 2.0)]:
+            t.insert({"g": g, "x": x})
+        rows = execute(
+            db, parse("SELECT g, VARIANCE(x) AS v, STDDEV(x) AS s FROM T GROUP BY g")
+        )
+        by_group = {r["g"]: r for r in rows}
+        assert by_group["a"]["v"] == pytest.approx(4.0)
+        assert by_group["a"]["s"] == pytest.approx(2.0)
+        assert by_group["b"]["v"] == pytest.approx(0.0)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=30),
+        st.integers(1, 29),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_split_property(self, values, split_at):
+        split_at = min(split_at, len(values) - 1)
+        direct = self._fill(VarianceState("VARIANCE"), values)
+        left = self._fill(VarianceState("VARIANCE"), values[:split_at])
+        right = self._fill(VarianceState("VARIANCE"), values[split_at:])
+        left.merge(right)
+        assert left.result() == pytest.approx(direct.result(), abs=1e-6)

@@ -1,0 +1,112 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+def types(text):
+    return [t.type for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Power P")
+        assert tokens[0].value == "Power"
+        assert tokens[0].type is TokenType.IDENTIFIER
+
+    def test_eof_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+        assert tokenize("SELECT")[-1].type is TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert types("42") == [TokenType.INTEGER]
+
+    def test_float(self):
+        assert types("42.5") == [TokenType.FLOAT]
+
+    def test_leading_dot_float(self):
+        assert types(".5") == [TokenType.FLOAT]
+
+    def test_scientific_notation(self):
+        assert types("1e6 1.5e-3 2E+2") == [TokenType.FLOAT] * 3
+
+    def test_number_then_dot_identifier(self):
+        # "1." should not swallow a following identifier char incorrectly
+        assert values("123 abc") == ["123", "abc"]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tokens = tokenize("'detached house'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "detached house"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert values("<= >= <> !=") == ["<=", ">=", "<>", "!="]
+
+    def test_single_char_operators(self):
+        assert values("= < > + - * / %") == ["=", "<", ">", "+", "-", "*", "/", "%"]
+
+    def test_punctuation(self):
+        assert values("( ) , .") == ["(", ")", ",", "."]
+
+    def test_qualified_name(self):
+        assert values("C.district") == ["C", ".", "district"]
+
+
+class TestCommentsAndErrors:
+    def test_line_comment_skipped(self):
+        assert values("SELECT -- comment\n x") == ["SELECT", "x"]
+
+    def test_comment_at_end(self):
+        assert values("SELECT x -- trailing") == ["SELECT", "x"]
+
+    def test_illegal_character(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT #")
+        assert excinfo.value.position == 7
+
+    def test_whitespace_only(self):
+        assert values("   \n\t  ") == []
+
+
+class TestPaperQuery:
+    def test_full_example_query(self):
+        text = (
+            "SELECT AVG(Cons) FROM Power P, Consumer C "
+            "WHERE C.accomodation='detached house' and C.cid = P.cid "
+            "GROUP BY C.district HAVING Count(distinct C.cid) > 100 SIZE 50000"
+        )
+        tokens = tokenize(text)
+        keyword_values = [t.value for t in tokens if t.type is TokenType.KEYWORD]
+        assert "SIZE" in keyword_values
+        assert "DISTINCT" in keyword_values
+        assert "AVG" in keyword_values

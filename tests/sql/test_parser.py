@@ -1,0 +1,258 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sql.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.parser import parse, parse_expression
+
+
+class TestSelectList:
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM T")
+        assert stmt.select_star
+
+    def test_single_column(self):
+        stmt = parse("SELECT x FROM T")
+        assert stmt.select_items[0].expression == ColumnRef("x")
+
+    def test_alias_with_as(self):
+        stmt = parse("SELECT x AS y FROM T")
+        assert stmt.select_items[0].alias == "y"
+        assert stmt.select_items[0].output_name == "y"
+
+    def test_alias_without_as(self):
+        stmt = parse("SELECT x y FROM T")
+        assert stmt.select_items[0].alias == "y"
+
+    def test_multiple_items(self):
+        stmt = parse("SELECT a, b, SUM(c) FROM T")
+        assert len(stmt.select_items) == 3
+
+    def test_output_name_defaults_to_text(self):
+        stmt = parse("SELECT AVG(Cons) FROM Power")
+        assert stmt.select_items[0].output_name == "AVG(Cons)"
+
+
+class TestFromClause:
+    def test_single_table(self):
+        stmt = parse("SELECT * FROM Power")
+        assert stmt.from_tables[0].name == "Power"
+        assert stmt.from_tables[0].binding == "Power"
+
+    def test_table_alias(self):
+        stmt = parse("SELECT * FROM Power P")
+        assert stmt.from_tables[0].alias == "P"
+        assert stmt.from_tables[0].binding == "P"
+
+    def test_multiple_tables(self):
+        stmt = parse("SELECT * FROM Power P, Consumer C")
+        assert [t.binding for t in stmt.from_tables] == ["P", "C"]
+
+
+class TestClauses:
+    def test_where(self):
+        stmt = parse("SELECT * FROM T WHERE x > 3")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == ">"
+
+    def test_group_by(self):
+        stmt = parse("SELECT g, COUNT(*) FROM T GROUP BY g")
+        assert stmt.group_by == (ColumnRef("g"),)
+
+    def test_group_by_multiple(self):
+        stmt = parse("SELECT a, b, COUNT(*) FROM T GROUP BY a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse("SELECT g, COUNT(*) FROM T GROUP BY g HAVING COUNT(*) > 5")
+        assert isinstance(stmt.having, BinaryOp)
+
+    def test_qualified_group_by(self):
+        stmt = parse("SELECT C.district, AVG(x) FROM T C GROUP BY C.district")
+        assert stmt.group_by == (ColumnRef("district", table="C"),)
+
+
+class TestSizeClause:
+    def test_bare_number(self):
+        stmt = parse("SELECT * FROM T SIZE 50000")
+        assert stmt.size.max_tuples == 50000
+        assert stmt.size.max_seconds is None
+
+    def test_tuples_keyword(self):
+        stmt = parse("SELECT * FROM T SIZE 100 TUPLES")
+        assert stmt.size.max_tuples == 100
+
+    def test_seconds(self):
+        stmt = parse("SELECT * FROM T SIZE 3600 SECONDS")
+        assert stmt.size.max_seconds == 3600.0
+        assert stmt.size.max_tuples is None
+
+    def test_both_bounds(self):
+        stmt = parse("SELECT * FROM T SIZE 100 TUPLES, 60 SECONDS")
+        assert stmt.size.max_tuples == 100
+        assert stmt.size.max_seconds == 60.0
+
+    def test_satisfied_logic(self):
+        stmt = parse("SELECT * FROM T SIZE 10 TUPLES, 60 SECONDS")
+        assert not stmt.size.satisfied(5, 30)
+        assert stmt.size.satisfied(10, 0)
+        assert stmt.size.satisfied(0, 60)
+
+    def test_duplicate_tuple_bound_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM T SIZE 10, 20")
+
+    def test_float_tuple_bound_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT * FROM T SIZE 10.5 TUPLES")
+
+
+class TestAggregates:
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr == AggregateCall("COUNT", None)
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT cid)")
+        assert expr == AggregateCall("COUNT", ColumnRef("cid"), distinct=True)
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("SUM(*)")
+
+    def test_avg(self):
+        expr = parse_expression("AVG(Cons)")
+        assert expr == AggregateCall("AVG", ColumnRef("Cons"))
+
+    def test_median(self):
+        expr = parse_expression("MEDIAN(x)")
+        assert expr == AggregateCall("MEDIAN", ColumnRef("x"))
+
+    def test_aggregates_collected(self):
+        stmt = parse(
+            "SELECT g, AVG(x), COUNT(*) FROM T GROUP BY g HAVING SUM(x) > 1"
+        )
+        functions = [a.function for a in stmt.aggregates()]
+        assert functions == ["AVG", "COUNT", "SUM"]
+
+    def test_duplicate_aggregates_deduplicated(self):
+        stmt = parse("SELECT COUNT(*), COUNT(*) FROM T")
+        assert len(stmt.aggregates()) == 1
+
+    def test_is_aggregate_query(self):
+        assert parse("SELECT COUNT(*) FROM T").is_aggregate_query()
+        assert parse("SELECT g FROM T GROUP BY g").is_aggregate_query()
+        assert not parse("SELECT x FROM T").is_aggregate_query()
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == BinaryOp("+", Literal(1), BinaryOp("*", Literal(2), Literal(3)))
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "*"
+
+    def test_unary_minus(self):
+        assert parse_expression("-x") == UnaryOp("-", ColumnRef("x"))
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_not_in(self):
+        expr = parse_expression("x NOT IN (1)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, Between) and not expr.negated
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert isinstance(expr, Between) and expr.negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert isinstance(expr, Like) and expr.pattern == "a%"
+
+    def test_is_null(self):
+        expr = parse_expression("x IS NULL")
+        assert isinstance(expr, IsNull) and not expr.negated
+
+    def test_is_not_null(self):
+        expr = parse_expression("x IS NOT NULL")
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_not_equal_variants(self):
+        assert parse_expression("a <> b") == parse_expression("a != b")
+
+    def test_literals(self):
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+        assert parse_expression("'s'") == Literal("s")
+
+
+class TestErrors:
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT x FROM T extra stuff here )")
+
+    def test_bad_expression(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT FROM T")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT (1 + 2 FROM T")
+
+    def test_dangling_not(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("x NOT 5")
+
+    def test_like_requires_string(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("x LIKE 5")
+
+
+class TestRoundtripText:
+    def test_paper_query_roundtrips(self):
+        text = (
+            "SELECT AVG(Cons) FROM Power P, Consumer C "
+            "WHERE C.accomodation = 'detached house' AND C.cid = P.cid "
+            "GROUP BY C.district HAVING COUNT(DISTINCT C.cid) > 100 "
+            "SIZE 50000 TUPLES"
+        )
+        stmt = parse(text)
+        # Re-parsing the rendered text yields an equal statement.
+        assert parse(str(stmt)) == stmt
+
+    def test_rendered_text_stable(self):
+        stmt = parse("SELECT g, SUM(x) AS s FROM T WHERE x > 0 GROUP BY g")
+        assert parse(str(stmt)) == stmt

@@ -1,0 +1,181 @@
+"""Partial-aggregation tests: the Ω ⊕ algebra the protocols rely on."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import decode, encode
+from repro.sql.executor import execute, finalize_groups
+from repro.sql.parser import parse
+from repro.sql.partial import PartialAggregation
+from repro.sql.schema import Database, schema
+
+
+STATEMENT = parse("SELECT g, SUM(x) AS s, COUNT(*) AS n FROM T GROUP BY g")
+
+
+def bound_row(g, x):
+    return {"T.g": g, "T.x": x}
+
+
+def make_db(rows):
+    db = Database()
+    t = db.create_table(schema("T", g="TEXT", x="INTEGER"))
+    for g, x in rows:
+        t.insert({"g": g, "x": x})
+    return db
+
+
+class TestBuilding:
+    def test_add_row_creates_groups(self):
+        agg = PartialAggregation(STATEMENT)
+        agg.add_row(bound_row("a", 1))
+        agg.add_row(bound_row("b", 2))
+        agg.add_row(bound_row("a", 3))
+        assert agg.group_count() == 2
+
+    def test_empty(self):
+        agg = PartialAggregation(STATEMENT)
+        assert agg.is_empty()
+        assert agg.group_count() == 0
+
+    def test_finalize_matches_reference_executor(self):
+        rows = [("a", 1), ("a", 3), ("b", 5)]
+        agg = PartialAggregation(STATEMENT)
+        agg.add_rows(bound_row(g, x) for g, x in rows)
+        finalized = finalize_groups(STATEMENT, agg.groups())
+        assert finalized == execute(make_db(rows), STATEMENT)
+
+
+class TestMerge:
+    def test_merge_disjoint_groups(self):
+        a = PartialAggregation(STATEMENT)
+        a.add_row(bound_row("a", 1))
+        b = PartialAggregation(STATEMENT)
+        b.add_row(bound_row("b", 2))
+        a.merge(b)
+        assert a.group_count() == 2
+
+    def test_merge_overlapping_groups(self):
+        a = PartialAggregation(STATEMENT)
+        a.add_row(bound_row("a", 1))
+        b = PartialAggregation(STATEMENT)
+        b.add_row(bound_row("a", 9))
+        a.merge(b)
+        finalized = finalize_groups(STATEMENT, a.groups())
+        assert finalized == [{"g": "a", "s": 10, "n": 2}]
+
+    def test_merge_associative(self):
+        rng = random.Random(5)
+        rows = [(rng.choice("abc"), rng.randint(0, 9)) for __ in range(30)]
+        chunks = [rows[:10], rows[10:20], rows[20:]]
+
+        def build(chunk):
+            agg = PartialAggregation(STATEMENT)
+            agg.add_rows(bound_row(g, x) for g, x in chunk)
+            return agg
+
+        left = build(chunks[0])
+        left.merge(build(chunks[1]))
+        left.merge(build(chunks[2]))
+
+        right_tail = build(chunks[1])
+        right_tail.merge(build(chunks[2]))
+        right = build(chunks[0])
+        right.merge(right_tail)
+
+        assert finalize_groups(STATEMENT, left.groups()) == finalize_groups(
+            STATEMENT, right.groups()
+        )
+
+
+class TestPortable:
+    def test_roundtrip_through_codec(self):
+        agg = PartialAggregation(STATEMENT)
+        agg.add_row(bound_row("a", 1))
+        agg.add_row(bound_row("b", 2))
+        # exactly what a TDS does: portable -> codec bytes -> encrypt ... ->
+        # decrypt -> codec decode -> portable
+        data = encode(agg.to_portable())
+        restored = PartialAggregation.from_portable(STATEMENT, decode(data))
+        assert finalize_groups(STATEMENT, restored.groups()) == finalize_groups(
+            STATEMENT, agg.groups()
+        )
+
+    def test_restored_mergeable(self):
+        a = PartialAggregation(STATEMENT)
+        a.add_row(bound_row("a", 1))
+        restored = PartialAggregation.from_portable(STATEMENT, a.to_portable())
+        b = PartialAggregation(STATEMENT)
+        b.add_row(bound_row("a", 2))
+        restored.merge(b)
+        assert finalize_groups(STATEMENT, restored.groups()) == [
+            {"g": "a", "s": 3, "n": 2}
+        ]
+
+
+class TestSplitAndMemory:
+    def test_split_preserves_union(self):
+        agg = PartialAggregation(STATEMENT)
+        for i in range(10):
+            agg.add_row(bound_row(f"g{i}", i))
+        parts = agg.split(3)
+        assert len(parts) == 3
+        merged = PartialAggregation(STATEMENT)
+        for part in parts:
+            merged.merge(part)
+        by_group = lambda r: r["g"]  # noqa: E731 - local sort key
+        assert sorted(
+            finalize_groups(STATEMENT, merged.groups()), key=by_group
+        ) == sorted(finalize_groups(STATEMENT, agg.groups()), key=by_group)
+
+    def test_split_more_parts_than_groups(self):
+        agg = PartialAggregation(STATEMENT)
+        agg.add_row(bound_row("a", 1))
+        parts = agg.split(5)
+        assert len(parts) == 1
+
+    def test_memory_slots_grow_with_groups(self):
+        agg = PartialAggregation(STATEMENT)
+        agg.add_row(bound_row("a", 1))
+        one_group = agg.memory_slots()
+        agg.add_row(bound_row("b", 2))
+        assert agg.memory_slots() > one_group
+
+    def test_memory_slots_grow_with_holistic_state(self):
+        stmt = parse("SELECT g, MEDIAN(x) FROM T GROUP BY g")
+        agg = PartialAggregation(stmt)
+        agg.add_row(bound_row("a", 1))
+        small = agg.memory_slots()
+        for i in range(20):
+            agg.add_row(bound_row("a", i))
+        assert agg.memory_slots() > small
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c", "d"]), st.integers(-50, 50)),
+        min_size=1,
+        max_size=40,
+    ),
+    st.integers(1, 39),
+)
+@settings(max_examples=50, deadline=None)
+def test_distributed_equals_centralized(rows, split_at):
+    """Property (protocol correctness core): building two partials from any
+    split of the rows and merging them equals the reference executor."""
+    split_at = min(split_at, len(rows))
+    a = PartialAggregation(STATEMENT)
+    a.add_rows(bound_row(g, x) for g, x in rows[:split_at])
+    b = PartialAggregation(STATEMENT)
+    b.add_rows(bound_row(g, x) for g, x in rows[split_at:])
+    a.merge(b)
+    distributed = sorted(
+        finalize_groups(STATEMENT, a.groups()), key=lambda r: r["g"]
+    )
+    centralized = sorted(
+        execute(make_db(rows), STATEMENT), key=lambda r: r["g"]
+    )
+    assert distributed == centralized

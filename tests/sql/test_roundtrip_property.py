@@ -1,0 +1,132 @@
+"""Parser round-trip property: random ASTs render to text that parses back
+to the identical AST."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast import (
+    AggregateCall,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    SelectItem,
+    SelectStatement,
+    SizeClause,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.parser import parse, parse_expression
+
+
+identifiers = st.sampled_from(["x", "y", "district", "cons", "cid"])
+
+literals = st.one_of(
+    st.integers(-1000, 1000).map(Literal),
+    st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+    ).map(lambda f: Literal(round(f, 4))),
+    st.sampled_from(["north", "it's", "", "a%b_c"]).map(Literal),
+    st.just(Literal(None)),
+    st.booleans().map(Literal),
+)
+
+columns = st.one_of(
+    identifiers.map(ColumnRef),
+    st.tuples(identifiers, st.sampled_from(["T", "C", "P"])).map(
+        lambda pair: ColumnRef(pair[0], table=pair[1])
+    ),
+)
+
+
+def expressions(max_depth=3):
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(["+", "-", "*", "/", "%"]), children, children).map(
+                lambda t: BinaryOp(t[0], t[1], t[2])
+            ),
+            st.tuples(
+                st.sampled_from(["=", "<>", "<", "<=", ">", ">="]), children, children
+            ).map(lambda t: BinaryOp(t[0], t[1], t[2])),
+            # unary minus over a numeric literal is folded by the parser
+            # (canonical form is the negative literal), so exclude it
+            children.filter(
+                lambda e: not (
+                    isinstance(e, Literal)
+                    and isinstance(e.value, (int, float))
+                    and not isinstance(e.value, bool)
+                )
+            ).map(lambda e: UnaryOp("-", e)),
+            children.map(lambda e: IsNull(e)),
+            children.map(lambda e: IsNull(e, negated=True)),
+            st.tuples(children, st.lists(literals, min_size=1, max_size=3)).map(
+                lambda t: InList(t[0], tuple(t[1]))
+            ),
+            st.tuples(children, literals, literals).map(
+                lambda t: Between(t[0], t[1], t[2])
+            ),
+            children.map(lambda e: Like(e, "a%_b")),
+            children.map(lambda e: FunctionCall("ABS", (e,))),
+            st.tuples(children, children).map(
+                lambda t: FunctionCall("COALESCE", (t[0], t[1]))
+            ),
+        )
+
+    return st.recursive(st.one_of(literals, columns), extend, max_leaves=8)
+
+
+@given(expressions())
+@settings(max_examples=150, deadline=None)
+def test_expression_roundtrip(expression):
+    assert parse_expression(str(expression)) == expression
+
+
+aggregate_calls = st.one_of(
+    st.just(AggregateCall("COUNT", None)),
+    st.tuples(
+        st.sampled_from(["SUM", "AVG", "MIN", "MAX", "MEDIAN", "STDDEV", "VARIANCE"]),
+        columns,
+    ).map(lambda t: AggregateCall(t[0], t[1])),
+    columns.map(lambda c: AggregateCall("COUNT", c, distinct=True)),
+)
+
+
+@st.composite
+def statements(draw):
+    group_columns = draw(st.lists(columns, min_size=1, max_size=2, unique_by=str))
+    select_items = tuple(
+        [SelectItem(expr) for expr in group_columns]
+        + [SelectItem(draw(aggregate_calls), alias=draw(st.sampled_from([None, "v"])))]
+    )
+    where = draw(st.one_of(st.none(), expressions(max_depth=2)))
+    having = draw(
+        st.one_of(
+            st.none(),
+            aggregate_calls.map(lambda call: BinaryOp(">", call, Literal(1))),
+        )
+    )
+    size = draw(
+        st.one_of(
+            st.none(),
+            st.integers(1, 100000).map(lambda n: SizeClause(max_tuples=n)),
+            st.integers(1, 3600).map(lambda s: SizeClause(max_seconds=float(s))),
+        )
+    )
+    return SelectStatement(
+        select_items=select_items,
+        from_tables=(TableRef("T"),),
+        where=where,
+        group_by=tuple(group_columns),
+        having=having,
+        size=size,
+    )
+
+
+@given(statements())
+@settings(max_examples=100, deadline=None)
+def test_statement_roundtrip(statement):
+    assert parse(str(statement)) == statement

@@ -1,0 +1,107 @@
+"""Schema layer tests: column types, row validation, table/database API."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.sql.schema import Column, ColumnType, Database, Table, TableSchema, schema
+
+
+class TestColumnType:
+    def test_integer_accepts_ints_not_bools(self):
+        assert ColumnType.INTEGER.validate(5)
+        assert ColumnType.INTEGER.validate(None)
+        assert not ColumnType.INTEGER.validate(True)
+        assert not ColumnType.INTEGER.validate(1.5)
+
+    def test_real_accepts_ints_and_floats(self):
+        assert ColumnType.REAL.validate(1)
+        assert ColumnType.REAL.validate(1.5)
+        assert not ColumnType.REAL.validate("x")
+        assert not ColumnType.REAL.validate(False)
+
+    def test_text(self):
+        assert ColumnType.TEXT.validate("abc")
+        assert not ColumnType.TEXT.validate(5)
+
+    def test_boolean(self):
+        assert ColumnType.BOOLEAN.validate(True)
+        assert not ColumnType.BOOLEAN.validate(1)
+
+
+class TestColumn:
+    def test_not_null_enforced(self):
+        column = Column("x", ColumnType.INTEGER, nullable=False)
+        with pytest.raises(SchemaError):
+            column.validate(None)
+        column.validate(3)
+
+    def test_type_enforced(self):
+        column = Column("x", ColumnType.INTEGER)
+        with pytest.raises(SchemaError):
+            column.validate("not an int")
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", (Column("x", ColumnType.INTEGER),) * 2)
+
+    def test_column_lookup(self):
+        s = schema("T", x="INTEGER", y="TEXT")
+        assert s.column("y").type is ColumnType.TEXT
+        assert s.has_column("x")
+        assert not s.has_column("z")
+        with pytest.raises(SchemaError):
+            s.column("z")
+
+    def test_validate_row_unknown_column(self):
+        s = schema("T", x="INTEGER")
+        with pytest.raises(SchemaError):
+            s.validate_row({"x": 1, "zzz": 2})
+
+    def test_validate_row_fills_missing_with_null(self):
+        s = schema("T", x="INTEGER", y="TEXT")
+        assert s.validate_row({"x": 1}) == {"x": 1, "y": None}
+
+    def test_validate_row_order_normalized(self):
+        s = schema("T", a="INTEGER", b="INTEGER")
+        row = s.validate_row({"b": 2, "a": 1})
+        assert list(row) == ["a", "b"]
+
+
+class TestTableAndDatabase:
+    def test_insert_validates(self):
+        table = Table(schema("T", x="INTEGER"))
+        with pytest.raises(SchemaError):
+            table.insert({"x": "nope"})
+        table.insert({"x": 1})
+        assert len(table) == 1
+
+    def test_rows_are_copies(self):
+        table = Table(schema("T", x="INTEGER"))
+        table.insert({"x": 1})
+        row = next(table.rows())
+        row["x"] = 999
+        assert next(table.rows())["x"] == 1
+
+    def test_constructor_seed_rows(self):
+        table = Table(schema("T", x="INTEGER"), rows=[{"x": 1}, {"x": 2}])
+        assert len(table) == 2
+
+    def test_database_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table(schema("T", x="INTEGER"))
+        with pytest.raises(SchemaError):
+            db.create_table(schema("T", y="TEXT"))
+
+    def test_database_missing_table(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.table("nope")
+        assert not db.has_table("nope")
+
+    def test_table_names_sorted(self):
+        db = Database()
+        db.create_table(schema("Zed", x="INTEGER"))
+        db.create_table(schema("Alpha", x="INTEGER"))
+        assert db.table_names() == ["Alpha", "Zed"]

@@ -1,0 +1,310 @@
+"""TrustedDataServer node tests: the TDS-side protocol primitives."""
+
+import random
+
+import pytest
+
+from repro.core.codec import decode, encode
+from repro.core.messages import Partition, QueryEnvelope
+from repro.core.wire import decode_frame
+from repro.crypto.keys import KeyProvisioner, random_key
+from repro.crypto.ndet import NonDeterministicCipher
+from repro.exceptions import (
+    AccessDeniedError,
+    ProtocolError,
+    ResourceExhaustedError,
+)
+from repro.sql.parser import parse
+from repro.sql.schema import Database, schema
+from repro.tds.access_control import Authority, permissive_policy
+from repro.tds.device import SECURE_TOKEN, DeviceProfile
+from repro.tds.histogram import EquiDepthHistogram
+from repro.tds.node import TrustedDataServer, reduced_row
+from repro.tds.noise import ComplementaryNoise, RandomNoise
+
+
+@pytest.fixture
+def setup():
+    rng = random.Random(0)
+    provisioner = KeyProvisioner(rng)
+    authority = Authority(random_key(rng))
+    policy = permissive_policy(["T"])
+
+    def make_tds(i, rows):
+        db = Database()
+        t = db.create_table(schema("T", g="TEXT", x="INTEGER"))
+        for row in rows:
+            t.insert(row)
+        return TrustedDataServer(
+            f"tds-{i}", db, provisioner.bundle_for_tds(), policy, authority,
+            rng=random.Random(i),
+        )
+
+    tds_a = make_tds(0, [{"g": "north", "x": 10}])
+    tds_b = make_tds(1, [{"g": "south", "x": 20}, {"g": "north", "x": 5}])
+    querier_keys = provisioner.bundle_for_querier()
+    credential = authority.issue("q", ["public"])
+
+    def envelope(sql, **size):
+        cipher = NonDeterministicCipher(
+            querier_keys.k1.current.material, random.Random(99)
+        )
+        return QueryEnvelope(
+            query_id="q1",
+            encrypted_query=cipher.encrypt(sql.encode()),
+            credential=credential,
+            **size,
+        )
+
+    return {
+        "tds_a": tds_a,
+        "tds_b": tds_b,
+        "envelope": envelope,
+        "authority": authority,
+        "querier_keys": querier_keys,
+        "provisioner": provisioner,
+    }
+
+
+AGG_SQL = "SELECT g, SUM(x) AS s FROM T GROUP BY g"
+
+
+class TestOpenQuery:
+    def test_decrypts_and_parses(self, setup):
+        statement = setup["tds_a"].open_query(setup["envelope"](AGG_SQL))
+        assert statement.is_aggregate_query()
+
+    def test_bad_credential_rejected(self, setup):
+        from repro.core.messages import Credential
+
+        env = setup["envelope"](AGG_SQL)
+        forged = QueryEnvelope(
+            env.query_id,
+            env.encrypted_query,
+            Credential("q", frozenset({"public"}), b"forged-signature"),
+        )
+        with pytest.raises(AccessDeniedError):
+            setup["tds_a"].open_query(forged)
+
+    def test_policy_denied_query(self, setup):
+        env = setup["envelope"]("SELECT * FROM Secret")
+        with pytest.raises(AccessDeniedError):
+            setup["tds_a"].open_query(env)
+
+
+class TestCollectBasic:
+    def test_matching_rows_encrypted(self, setup):
+        env = setup["envelope"]("SELECT x FROM T WHERE x > 3")
+        tuples = setup["tds_a"].collect_basic(env)
+        assert len(tuples) == 1
+        assert tuples[0].group_tag is None
+
+    def test_dummy_when_no_match(self, setup):
+        env = setup["envelope"]("SELECT x FROM T WHERE x > 1000")
+        tuples = setup["tds_a"].collect_basic(env)
+        assert len(tuples) == 1  # a dummy, indistinguishable to the SSI
+
+    def test_dummy_when_access_denied(self, setup):
+        env = setup["envelope"]("SELECT * FROM Secret")
+        tuples = setup["tds_a"].collect_basic(env)
+        assert len(tuples) == 1
+
+    def test_dummy_same_size_as_data(self, setup):
+        env_match = setup["envelope"]("SELECT x FROM T WHERE x > 3")
+        env_nomatch = setup["envelope"]("SELECT x FROM T WHERE x > 1000")
+        data = setup["tds_a"].collect_basic(env_match)[0]
+        dummy = setup["tds_a"].collect_basic(env_nomatch)[0]
+        assert len(data.payload) == len(dummy.payload)
+
+    def test_payload_is_ciphertext(self, setup):
+        env = setup["envelope"]("SELECT x FROM T WHERE x > 3")
+        payload = setup["tds_a"].collect_basic(env)[0].payload
+        assert b"north" not in payload
+        assert encode(10) not in payload
+
+
+class TestCollectNoise:
+    def test_true_and_fake_tuples_emitted(self, setup):
+        env = setup["envelope"](AGG_SQL)
+        noise = RandomNoise([("north",), ("south",)], nf=3, rng=random.Random(1))
+        tuples = setup["tds_b"].collect_with_noise(env, noise)
+        assert len(tuples) == 2 * (1 + 3)  # two true rows, 3 fakes each
+
+    def test_same_group_same_tag(self, setup):
+        """Det_Enc property: the SSI can group by tag equality."""
+        env = setup["envelope"](AGG_SQL)
+        noise = ComplementaryNoise([("north",), ("south",)])
+        tuples_a = setup["tds_a"].collect_with_noise(env, noise)
+        tuples_b = setup["tds_b"].collect_with_noise(env, noise)
+        tags_a = {t.group_tag for t in tuples_a}
+        tags_b = {t.group_tag for t in tuples_b}
+        assert tags_a == tags_b  # both cover the full domain
+        assert len(tags_a) == 2
+
+    def test_complementary_noise_flat_tag_distribution(self, setup):
+        from collections import Counter
+
+        env = setup["envelope"](AGG_SQL)
+        noise = ComplementaryNoise([("north",), ("south",)])
+        counter = Counter()
+        for tds in (setup["tds_a"], setup["tds_b"]):
+            for t in tds.collect_with_noise(env, noise):
+                counter[t.group_tag] += 1
+        assert len(set(counter.values())) == 1
+
+    def test_denied_tds_contributes_nothing_but_valid_stream(self, setup):
+        env = setup["envelope"]("SELECT nope, SUM(x) FROM Secret GROUP BY nope")
+        noise = ComplementaryNoise([("north",)])
+        assert setup["tds_a"].collect_with_noise(env, noise) == []
+
+
+class TestCollectHistogram:
+    def test_bucket_tags(self, setup):
+        env = setup["envelope"](AGG_SQL)
+        hist = EquiDepthHistogram.from_distribution(
+            {("north",): 2, ("south",): 1}, num_buckets=2
+        )
+        tuples = setup["tds_b"].collect_for_histogram(env, hist)
+        assert len(tuples) == 2
+        assert all(t.group_tag is not None for t in tuples)
+
+    def test_same_bucket_same_tag_across_tds(self, setup):
+        env = setup["envelope"](AGG_SQL)
+        hist = EquiDepthHistogram.from_distribution(
+            {("north",): 2, ("south",): 1}, num_buckets=1
+        )
+        tag_a = setup["tds_a"].collect_for_histogram(env, hist)[0].group_tag
+        tag_b = setup["tds_b"].collect_for_histogram(env, hist)[0].group_tag
+        assert tag_a == tag_b
+
+
+class TestAggregationPhase:
+    def _collect_all(self, setup, env):
+        tuples = []
+        for tds in (setup["tds_a"], setup["tds_b"]):
+            tuples.extend(tds.collect_for_sagg(env))
+        return tuples
+
+    def test_fold_tuples_into_partial(self, setup):
+        env = setup["envelope"](AGG_SQL)
+        statement = setup["tds_a"].open_query(env)
+        partition = Partition(0, tuple(self._collect_all(setup, env)))
+        encrypted = setup["tds_a"].aggregate_partition(statement, partition)
+        rows = setup["tds_b"].finalize_partition(
+            statement, Partition(1, (encrypted,))
+        )
+        k1 = NonDeterministicCipher(
+            setup["querier_keys"].k1.current.material, random.Random(0)
+        )
+        decrypted = sorted(
+            (decode(k1.decrypt(r)) for r in rows), key=lambda r: r["g"]
+        )
+        assert decrypted == [{"g": "north", "s": 15}, {"g": "south", "s": 20}]
+
+    def test_dummies_ignored_in_aggregation(self, setup):
+        env = setup["envelope"](AGG_SQL + " WHERE x > 1000")
+        # re-make env with valid syntax: WHERE precedes GROUP BY
+        env = setup["envelope"]("SELECT g, SUM(x) AS s FROM T WHERE x > 1000 GROUP BY g")
+        statement = setup["tds_a"].open_query(env)
+        tuples = []
+        for tds in (setup["tds_a"], setup["tds_b"]):
+            tuples.extend(tds.collect_for_sagg(env))
+        partition = Partition(0, tuple(tuples))
+        encrypted = setup["tds_a"].aggregate_partition(statement, partition)
+        rows = setup["tds_b"].finalize_partition(statement, Partition(1, (encrypted,)))
+        assert rows == []
+
+    def test_per_group_partials_tagged(self, setup):
+        env = setup["envelope"](AGG_SQL)
+        statement = setup["tds_a"].open_query(env)
+        partition = Partition(0, tuple(self._collect_all(setup, env)))
+        partials = setup["tds_a"].aggregate_partition_per_group(statement, partition)
+        assert len(partials) == 2
+        assert all(p.group_tag is not None for p in partials)
+        assert partials[0].group_tag != partials[1].group_tag
+
+    def test_ram_bound_enforced(self, setup):
+        tiny = DeviceProfile(
+            name="tiny", cpu_hz=1e6, crypto_cycles_per_block=167,
+            cpu_cycles_per_byte=30, link_bps=1e6, ram_bytes=64,
+        )
+        tds = setup["tds_a"]
+        cramped = TrustedDataServer(
+            "cramped", tds.database, setup["provisioner"].bundle_for_tds(),
+            tds._policy, setup["authority"], device=tiny, rng=random.Random(7),
+        )
+        env = setup["envelope"]("SELECT x, COUNT(*) FROM T GROUP BY x")
+        statement = tds.open_query(env)
+        tuples = []
+        for i in range(30):
+            db = Database()
+            t = db.create_table(schema("T", g="TEXT", x="INTEGER"))
+            t.insert({"g": "g", "x": i})
+            node = TrustedDataServer(
+                f"n{i}", db, setup["provisioner"].bundle_for_tds(),
+                tds._policy, setup["authority"], rng=random.Random(i),
+            )
+            tuples.extend(node.collect_for_sagg(env))
+        with pytest.raises(ResourceExhaustedError):
+            cramped.aggregate_partition(statement, Partition(0, tuple(tuples)))
+
+
+class TestFilteringPhase:
+    def test_filter_drops_dummies(self, setup):
+        env = setup["envelope"]("SELECT x FROM T WHERE x > 3")
+        env_miss = setup["envelope"]("SELECT x FROM T WHERE x > 1000")
+        data = setup["tds_a"].collect_basic(env)
+        dummies = setup["tds_a"].collect_basic(env_miss)
+        partition = Partition(0, tuple(data + dummies))
+        rows = setup["tds_b"].filter_partition(partition)
+        assert len(rows) == 1
+
+    def test_filter_rejects_partial_frames(self, setup):
+        env = setup["envelope"](AGG_SQL)
+        statement = setup["tds_a"].open_query(env)
+        tuples = setup["tds_a"].collect_for_sagg(env)
+        partial = setup["tds_a"].aggregate_partition(statement, Partition(0, tuple(tuples)))
+        with pytest.raises(ProtocolError):
+            setup["tds_b"].filter_partition(Partition(1, (partial,)))
+
+    def test_finalize_applies_having(self, setup):
+        sql = "SELECT g, SUM(x) AS s FROM T GROUP BY g HAVING SUM(x) > 16"
+        env = setup["envelope"](sql)
+        statement = setup["tds_a"].open_query(env)
+        tuples = []
+        for tds in (setup["tds_a"], setup["tds_b"]):
+            tuples.extend(tds.collect_for_sagg(env))
+        partial = setup["tds_a"].aggregate_partition(statement, Partition(0, tuple(tuples)))
+        rows = setup["tds_b"].finalize_partition(statement, Partition(1, (partial,)))
+        k1 = NonDeterministicCipher(
+            setup["querier_keys"].k1.current.material, random.Random(0)
+        )
+        decrypted = [decode(k1.decrypt(r)) for r in rows]
+        assert decrypted == [{"g": "south", "s": 20}]
+
+
+class TestReducedRow:
+    def test_keeps_only_needed_columns(self):
+        statement = parse("SELECT g, SUM(x) FROM T GROUP BY g")
+        row = {"T.g": "a", "T.x": 1, "T.noise_col": "zzz"}
+        assert reduced_row(statement, row) == {"T.g": "a", "T.x": 1}
+
+    def test_qualified_references(self):
+        statement = parse(
+            "SELECT C.district, AVG(P.cons) FROM Power P, Consumer C "
+            "WHERE C.cid = P.cid GROUP BY C.district"
+        )
+        row = {"P.cons": 1.0, "P.cid": 7, "C.cid": 7, "C.district": "N", "C.other": 0}
+        reduced = reduced_row(statement, row)
+        assert reduced == {"P.cons": 1.0, "C.district": "N"}
+
+
+class TestConstruction:
+    def test_tds_requires_both_keys(self, setup):
+        from repro.crypto.keys import KeyBundle
+
+        with pytest.raises(ProtocolError):
+            TrustedDataServer(
+                "bad", Database(), KeyBundle(), permissive_policy([]),
+                setup["authority"],
+            )

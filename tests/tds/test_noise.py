@@ -1,0 +1,92 @@
+"""Noise strategy tests: Rnf (random) and C (complementary) fake tuples."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.messages import TupleContent
+from repro.exceptions import ConfigurationError
+from repro.tds.noise import ComplementaryNoise, RandomNoise
+
+
+DOMAIN = ["a", "b", "c", "d"]
+
+
+class TestRandomNoise:
+    def test_emits_nf_fakes(self):
+        noise = RandomNoise(DOMAIN, nf=5, rng=random.Random(0))
+        fakes = noise.fake_tuples("a")
+        assert len(fakes) == 5
+
+    def test_fakes_marked_fake(self):
+        noise = RandomNoise(DOMAIN, nf=3, rng=random.Random(0))
+        for __, content in noise.fake_tuples("a"):
+            assert content.kind == TupleContent.KIND_FAKE
+            assert not content.is_real()
+
+    def test_fake_values_from_domain(self):
+        noise = RandomNoise(DOMAIN, nf=100, rng=random.Random(0))
+        values = {v for v, __ in noise.fake_tuples("a")}
+        assert values <= set(DOMAIN)
+
+    def test_nf_zero_allowed(self):
+        noise = RandomNoise(DOMAIN, nf=0, rng=random.Random(0))
+        assert noise.fake_tuples("a") == []
+        assert noise.expansion_factor() == 1
+
+    def test_expansion_factor(self):
+        assert RandomNoise(DOMAIN, nf=7, rng=random.Random(0)).expansion_factor() == 8
+
+    def test_negative_nf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomNoise(DOMAIN, nf=-1, rng=random.Random(0))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomNoise([], nf=1, rng=random.Random(0))
+
+    def test_large_nf_flattens_distribution(self):
+        """§4.3: with nf ≫ 1 the fake distribution dominates the true one.
+        Simulate 50 TDSs all holding the same (maximally skewed) true value
+        and check the mixed distribution is no longer dominated by it."""
+        noise = RandomNoise(DOMAIN, nf=200, rng=random.Random(1))
+        mixed = Counter()
+        for __ in range(50):
+            mixed["a"] += 1  # the true tuple
+            for value, __c in noise.fake_tuples("a"):
+                mixed[value] += 1
+        frequencies = sorted(mixed.values())
+        assert frequencies[-1] / frequencies[0] < 1.2  # nearly flat
+
+
+class TestComplementaryNoise:
+    def test_one_fake_per_other_value(self):
+        noise = ComplementaryNoise(DOMAIN)
+        fakes = noise.fake_tuples("a")
+        assert len(fakes) == len(DOMAIN) - 1
+        assert {v for v, __ in fakes} == {"b", "c", "d"}
+
+    def test_resulting_distribution_exactly_flat(self):
+        """C_Noise guarantee: every TDS contributes exactly one tuple per
+        domain value, so the mixed distribution is flat by construction."""
+        noise = ComplementaryNoise(DOMAIN)
+        mixed = Counter()
+        true_values = ["a", "a", "a", "b", "c"]  # heavily skewed truth
+        for true in true_values:
+            mixed[true] += 1
+            for value, __ in noise.fake_tuples(true):
+                mixed[value] += 1
+        assert len(set(mixed.values())) == 1  # perfectly flat
+
+    def test_expansion_factor_is_domain_size(self):
+        assert ComplementaryNoise(DOMAIN).expansion_factor() == 4
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComplementaryNoise([])
+
+    def test_value_outside_domain_yields_full_domain_fakes(self):
+        noise = ComplementaryNoise(DOMAIN)
+        fakes = noise.fake_tuples("zzz")
+        assert len(fakes) == len(DOMAIN)

@@ -1,0 +1,89 @@
+"""Encrypted mass-storage tests (Fig. 1's protected flash)."""
+
+import random
+
+import pytest
+
+from repro.exceptions import DecryptionError
+from repro.sql.schema import Database, schema
+from repro.tds.storage import EncryptedStore
+
+
+def sample_db():
+    db = Database()
+    power = db.create_table(schema("Power", cid="INTEGER", cons="REAL"))
+    consumer = db.create_table(schema("Consumer", cid="INTEGER", district="TEXT"))
+    power.insert({"cid": 1, "cons": 10.5})
+    power.insert({"cid": 1, "cons": None})
+    consumer.insert({"cid": 1, "district": "north"})
+    return db
+
+
+KEY = bytes(range(16))
+
+
+class TestRoundtrip:
+    def test_seal_open_roundtrip(self):
+        store = EncryptedStore(KEY, rng=random.Random(0))
+        restored = store.open(store.seal(sample_db()))
+        assert restored.table_names() == ["Consumer", "Power"]
+        assert list(restored.table("Power").rows()) == [
+            {"cid": 1, "cons": 10.5},
+            {"cid": 1, "cons": None},
+        ]
+
+    def test_schema_preserved(self):
+        store = EncryptedStore(KEY, rng=random.Random(0))
+        restored = store.open(store.seal(sample_db()))
+        consumer_schema = restored.table("Consumer").schema
+        assert consumer_schema.column("district").type.value == "TEXT"
+        assert consumer_schema.column("cid").nullable
+
+    def test_empty_database(self):
+        store = EncryptedStore(KEY, rng=random.Random(0))
+        restored = store.open(store.seal(Database()))
+        assert restored.table_names() == []
+
+    def test_restored_database_queryable(self):
+        from repro.sql.executor import execute
+        from repro.sql.parser import parse
+
+        store = EncryptedStore(KEY, rng=random.Random(0))
+        restored = store.open(store.seal(sample_db()))
+        rows = execute(restored, parse("SELECT COUNT(*) AS n FROM Power"))
+        assert rows == [{"n": 2}]
+
+
+class TestSecurity:
+    def test_image_is_opaque(self):
+        store = EncryptedStore(KEY, rng=random.Random(0))
+        image = store.seal(sample_db())
+        assert b"north" not in image
+        assert b"Power" not in image
+
+    def test_tampering_detected(self):
+        store = EncryptedStore(KEY, rng=random.Random(0))
+        image = bytearray(store.seal(sample_db()))
+        image[len(image) // 2] ^= 0xFF
+        with pytest.raises(DecryptionError):
+            store.open(bytes(image))
+
+    def test_foreign_key_rejected(self):
+        image = EncryptedStore(KEY, rng=random.Random(0)).seal(sample_db())
+        other = EncryptedStore(bytes(16), rng=random.Random(0))
+        with pytest.raises(DecryptionError):
+            other.open(image)
+
+    def test_images_nondeterministic(self):
+        store = EncryptedStore(KEY, rng=random.Random(0))
+        db = sample_db()
+        assert store.seal(db) != store.seal(db)
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        store = EncryptedStore(KEY, rng=random.Random(0))
+        path = str(tmp_path / "flash.img")
+        store.save_to(sample_db(), path)
+        restored = store.load_from(path)
+        assert len(restored.table("Power")) == 2

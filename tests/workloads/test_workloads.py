@@ -1,0 +1,156 @@
+"""Workload generator tests."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocols import Deployment
+from repro.sql.parser import parse
+from repro.workloads import (
+    ACCOMMODATION_TYPES,
+    CONDITIONS,
+    FLU_SURVEILLANCE_QUERY,
+    PAPER_EXAMPLE_QUERY,
+    district_names,
+    normal_clamped,
+    pcehr_factory,
+    smart_meter_factory,
+    uniform_sample,
+    zipf_sample,
+    zipf_weights,
+)
+
+
+class TestDistributions:
+    def test_zipf_weights_decreasing(self):
+        weights = zipf_weights(10, 1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_zipf_weights_flat_at_zero_exponent(self):
+        assert len(set(zipf_weights(5, 0.0))) == 1
+
+    def test_zipf_weights_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(5, -1)
+
+    def test_zipf_sample_skewed(self):
+        rng = random.Random(0)
+        sample = zipf_sample(list("abcdef"), 3000, rng, exponent=1.5)
+        counts = Counter(sample)
+        assert counts["a"] > counts["f"] * 2
+
+    def test_uniform_sample_balanced(self):
+        rng = random.Random(0)
+        sample = uniform_sample(list("ab"), 2000, rng)
+        counts = Counter(sample)
+        assert abs(counts["a"] - counts["b"]) < 300
+
+    def test_normal_clamped_bounds(self):
+        rng = random.Random(0)
+        for __ in range(100):
+            value = normal_clamped(rng, 0, 100, -10, 10)
+            assert -10 <= value <= 10
+
+    def test_normal_clamped_validation(self):
+        with pytest.raises(ConfigurationError):
+            normal_clamped(random.Random(0), 0, 1, 10, -10)
+
+    def test_seeded_reproducibility(self):
+        a = zipf_sample(list("abc"), 50, random.Random(7))
+        b = zipf_sample(list("abc"), 50, random.Random(7))
+        assert a == b
+
+
+class TestSmartMeterWorkload:
+    def test_factory_schema(self):
+        factory = smart_meter_factory(num_districts=3, readings_per_meter=2)
+        db = factory(0, random.Random(0))
+        assert db.has_table("Power")
+        assert db.has_table("Consumer")
+        assert len(db.table("Power")) == 2
+        assert len(db.table("Consumer")) == 1
+
+    def test_consumption_positive(self):
+        factory = smart_meter_factory()
+        for i in range(20):
+            db = factory(i, random.Random(i))
+            for row in db.table("Power").rows():
+                assert row["cons"] >= 0
+
+    def test_accommodation_types(self):
+        factory = smart_meter_factory()
+        seen = set()
+        for i in range(60):
+            db = factory(i, random.Random(i))
+            seen.add(next(db.table("Consumer").rows())["accomodation"])
+        assert seen <= set(ACCOMMODATION_TYPES)
+        assert len(seen) > 1
+
+    def test_districts_zipf_skewed(self):
+        factory = smart_meter_factory(num_districts=5, zipf_exponent=1.5)
+        rng = random.Random(3)
+        counts = Counter()
+        for i in range(400):
+            db = factory(i, rng)
+            counts[next(db.table("Consumer").rows())["district"]] += 1
+        ordered = [counts.get(d, 0) for d in district_names(5)]
+        assert ordered[0] > ordered[-1]
+
+    def test_paper_example_query_parses(self):
+        statement = parse(PAPER_EXAMPLE_QUERY)
+        assert statement.size.max_tuples == 50000
+        assert statement.is_aggregate_query()
+
+    def test_works_with_deployment(self):
+        deployment = Deployment.build(
+            8, smart_meter_factory(num_districts=2),
+            tables=["Power", "Consumer"], seed=0,
+        )
+        rows = deployment.reference_answer(
+            "SELECT district, COUNT(*) AS n FROM Consumer GROUP BY district"
+        )
+        assert sum(r["n"] for r in rows) == 8
+
+
+class TestHealthcareWorkload:
+    def test_factory_schema(self):
+        db = pcehr_factory()(0, random.Random(0))
+        assert db.has_table("Patient")
+        row = next(db.table("Patient").rows())
+        assert set(row) == {"pid", "age", "city", "state", "condition"}
+
+    def test_conditions_from_catalog(self):
+        factory = pcehr_factory()
+        for i in range(30):
+            row = next(factory(i, random.Random(i)).table("Patient").rows())
+            assert row["condition"] in CONDITIONS
+
+    def test_city_consistent_with_state(self):
+        from repro.workloads import CITIES_BY_STATE
+
+        factory = pcehr_factory()
+        for i in range(30):
+            row = next(factory(i, random.Random(i)).table("Patient").rows())
+            assert row["city"] in CITIES_BY_STATE[row["state"]]
+
+    def test_elderly_fraction_respected(self):
+        factory = pcehr_factory(elderly_fraction=0.5)
+        rng = random.Random(0)
+        elderly = sum(
+            1
+            for i in range(200)
+            if next(factory(i, rng).table("Patient").rows())["age"] > 80
+        )
+        assert 60 < elderly < 140
+
+    def test_surveillance_query_runs(self):
+        deployment = Deployment.build(
+            30, pcehr_factory(), tables=["Patient"], seed=1
+        )
+        rows = deployment.reference_answer(FLU_SURVEILLANCE_QUERY)
+        assert all(row["flu_cases"] >= 1 for row in rows)

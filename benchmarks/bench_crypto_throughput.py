@@ -1,0 +1,209 @@
+"""Crypto fast-path throughput: T-table/batched AES vs. the seed baseline.
+
+Measures ``nDet_Enc`` encrypt+decrypt throughput two ways:
+
+* **before** — the seed's per-byte AES and chaining loops, preserved
+  verbatim in :mod:`repro.crypto.reference`;
+* **after** — the T-table engine with batched ``encrypt_many`` /
+  ``decrypt_many`` (:mod:`repro.crypto.aes`, :mod:`repro.crypto.modes`).
+
+Running the module directly re-measures both and writes the committed
+baseline ``BENCH_crypto.json`` at the repo root (failing unless the fast
+path is at least ``MIN_SPEEDUP``× the reference).  ``--check`` re-measures
+only the fast path and fails when it has regressed more than
+``CHECK_TOLERANCE`` below the committed figure — the CI smoke test.
+
+The pytest entry runs a lighter version of the same measurement so
+``make bench`` keeps an eye on the fast path too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import secrets
+import sys
+import time
+
+from repro.bench import publish, render_table
+from repro.crypto.ndet import NonDeterministicCipher
+from repro.crypto.keys import derive_subkey
+from repro.crypto.reference import (
+    ReferenceAES128,
+    reference_cbc_mac,
+    reference_ctr_transform,
+)
+from repro.tds.device import SECURE_TOKEN
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_crypto.json")
+
+#: acceptance bar for the fast path (ISSUE: ">= 5x on 1 KB tuples")
+MIN_SPEEDUP = 5.0
+#: --check fails when throughput drops more than this below the baseline
+CHECK_TOLERANCE = 0.30
+
+KEY = bytes(range(16))
+MESSAGE_BYTES = 1024
+
+#: reference workload is small — the per-byte loops run ~60 µs/block
+REF_MESSAGES = 16
+FAST_MESSAGES = 256
+REPEATS = 3
+
+
+def _messages(count: int, size: int = MESSAGE_BYTES) -> list[bytes]:
+    rng = random.Random(20140324)
+    return [rng.getrandbits(8 * size).to_bytes(size, "big") for __ in range(count)]
+
+
+# --------------------------------------------------------------------- #
+# the seed's nDet_Enc, byte for byte
+# --------------------------------------------------------------------- #
+class _ReferenceNDet:
+    def __init__(self, key: bytes) -> None:
+        self._enc = ReferenceAES128(derive_subkey(key, b"nDet/enc"))
+        self._mac = ReferenceAES128(derive_subkey(key, b"nDet/mac"))
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = secrets.token_bytes(8)
+        body = reference_ctr_transform(self._enc, nonce, plaintext)
+        tag = reference_cbc_mac(self._mac, nonce + body)
+        return nonce + body + tag
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        nonce, body, tag = ciphertext[:8], ciphertext[8:-16], ciphertext[-16:]
+        if reference_cbc_mac(self._mac, nonce + body) != tag:
+            raise ValueError("reference tag mismatch")
+        return reference_ctr_transform(self._enc, nonce, body)
+
+
+def _throughput(total_bytes: int, seconds: float) -> float:
+    return total_bytes / seconds / 1e6 if seconds > 0 else float("inf")
+
+
+def measure_reference(num_messages: int = REF_MESSAGES) -> dict[str, float]:
+    cipher = _ReferenceNDet(KEY)
+    plaintexts = _messages(num_messages)
+    total = sum(len(p) for p in plaintexts)
+
+    start = time.perf_counter()
+    ciphertexts = [cipher.encrypt(p) for p in plaintexts]
+    encrypt_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    recovered = [cipher.decrypt(c) for c in ciphertexts]
+    decrypt_s = time.perf_counter() - start
+    assert recovered == plaintexts
+
+    return {
+        "encrypt_mb_s": _throughput(total, encrypt_s),
+        "decrypt_mb_s": _throughput(total, decrypt_s),
+        "combined_mb_s": _throughput(2 * total, encrypt_s + decrypt_s),
+    }
+
+
+def measure_fast(
+    num_messages: int = FAST_MESSAGES, repeats: int = REPEATS
+) -> dict[str, float]:
+    cipher = NonDeterministicCipher(KEY)
+    plaintexts = _messages(num_messages)
+    total = sum(len(p) for p in plaintexts)
+
+    best_encrypt = best_decrypt = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        ciphertexts = cipher.encrypt_many(plaintexts)
+        best_encrypt = min(best_encrypt, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        recovered = cipher.decrypt_many(ciphertexts)
+        best_decrypt = min(best_decrypt, time.perf_counter() - start)
+        assert recovered == plaintexts
+
+    return {
+        "encrypt_mb_s": _throughput(total, best_encrypt),
+        "decrypt_mb_s": _throughput(total, best_decrypt),
+        "combined_mb_s": _throughput(2 * total, best_encrypt + best_decrypt),
+    }
+
+
+def measure_all() -> dict:
+    before = measure_reference()
+    after = measure_fast()
+    return {
+        "workload": {
+            "message_bytes": MESSAGE_BYTES,
+            "reference_messages": REF_MESSAGES,
+            "fast_messages": FAST_MESSAGES,
+            "scheme": "nDet_Enc (CTR + CBC-MAC, 16-byte key)",
+        },
+        "before": before,
+        "after": after,
+        "speedup": after["combined_mb_s"] / before["combined_mb_s"],
+        #: the paper's crypto-coprocessor figure (§6.2), for context
+        "secure_token_model_mb_s": (
+            SECURE_TOKEN.crypto_throughput_bytes_per_second() / 1e6
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
+# pytest entry
+# --------------------------------------------------------------------- #
+def test_crypto_throughput(benchmark):
+    plaintexts = _messages(FAST_MESSAGES)
+    cipher = NonDeterministicCipher(KEY)
+    benchmark(cipher.encrypt_many, plaintexts)
+
+    results = measure_all()
+    publish(
+        "crypto_throughput",
+        render_table(
+            "nDet_Enc throughput: seed baseline vs. batched T-table fast path",
+            ["variant", "encrypt (MB/s)", "decrypt (MB/s)", "combined (MB/s)"],
+            [
+                ("seed (per-byte)",) + tuple(results["before"].values()),
+                ("fast path",) + tuple(results["after"].values()),
+            ],
+        ),
+    )
+    assert results["speedup"] >= MIN_SPEEDUP
+
+
+# --------------------------------------------------------------------- #
+# standalone: write / check the committed baseline
+# --------------------------------------------------------------------- #
+def main(argv: list[str]) -> int:
+    if "--check" in argv:
+        with open(BASELINE_PATH, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        committed = baseline["after"]["combined_mb_s"]
+        current = measure_fast()["combined_mb_s"]
+        floor = committed * (1 - CHECK_TOLERANCE)
+        print(
+            f"fast path: {current:.2f} MB/s "
+            f"(baseline {committed:.2f}, floor {floor:.2f})"
+        )
+        if current < floor:
+            print("FAIL: crypto throughput regressed more than "
+                  f"{CHECK_TOLERANCE:.0%} below the committed baseline")
+            return 1
+        print("OK")
+        return 0
+
+    results = measure_all()
+    with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(results, indent=2))
+    if results["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: speedup {results['speedup']:.1f}x < {MIN_SPEEDUP}x")
+        return 1
+    print(f"OK: {results['speedup']:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -92,6 +92,11 @@ def encode(value: Any) -> bytes:
     return bytes(out)
 
 
+def encode_many(values: list[Any]) -> list[bytes]:
+    """Encode a batch of values (companion to the batched cipher APIs)."""
+    return [encode(value) for value in values]
+
+
 class _Reader:
     """Cursor over an encoded buffer."""
 
@@ -154,3 +159,8 @@ def decode(data: bytes) -> Any:
     if reader.pos != len(data):
         raise CodecError(f"{len(data) - reader.pos} trailing bytes after codec payload")
     return value
+
+
+def decode_many(blobs: list[bytes]) -> list[Any]:
+    """Decode a batch of independently-encoded payloads."""
+    return [decode(blob) for blob in blobs]

@@ -1,4 +1,4 @@
-"""Pure-Python AES-128 block cipher.
+"""Pure-Python AES-128 block cipher — T-table fast path.
 
 The paper's secure device embeds a crypto-coprocessor implementing AES in
 hardware (one 128-bit block costs 167 cycles at 120 MHz, §6.2).  This module
@@ -6,14 +6,34 @@ is the software stand-in: a complete, dependency-free AES-128 used by the
 deterministic and non-deterministic encryption schemes of
 :mod:`repro.crypto.det` and :mod:`repro.crypto.ndet`.
 
+Because every byte a TDS moves is AES ciphertext, this block transform is
+the hottest loop of the whole reproduction.  It therefore uses the classic
+32-bit **T-table** formulation: SubBytes, ShiftRows and MixColumns collapse
+into four 256-entry word tables (plus four inverse tables for decryption),
+so one round of one column is four table lookups and four XORs instead of
+~40 byte operations.  Key schedules are expanded once and memoized per key
+(:data:`_SCHEDULE_CACHE`), which matters because the protocol layer derives
+the same subkeys for every tuple it touches.
+
+The slow-but-obvious byte-loop implementation this replaced lives on in
+:mod:`repro.crypto.reference`; a randomized property test pins the two to
+identical outputs, and the FIPS-197 / NIST SP 800-38A vectors in the test
+suite pin both to the standard.
+
 Only the raw block transform lives here; chaining modes are built on top in
-:mod:`repro.crypto.modes`.  The implementation follows FIPS-197 and is
-validated against the official test vectors in the test suite.
+:mod:`repro.crypto.modes`.
 """
 
 from __future__ import annotations
 
+from struct import Struct
+
 from repro.exceptions import InvalidKeyError
+
+try:  # optional vectorized bulk engine; the scalar T-tables are the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
 
 BLOCK_SIZE = 16
 KEY_SIZE = 16
@@ -38,7 +58,6 @@ _SBOX = bytes.fromhex(
     "e1f8981169d98e949b1e87e9ce5528df"
     "8ca1890dbfe6426841992d0fb054bb16"
 )
-_INV_SBOX = bytes(256)
 _INV_SBOX = bytearray(256)
 for _i, _v in enumerate(_SBOX):
     _INV_SBOX[_v] = _i
@@ -66,13 +85,64 @@ def _gmul(a: int, b: int) -> int:
     return result
 
 
-# Precomputed multiplication tables for MixColumns / InvMixColumns.
+# Byte-wise multiplication tables (shared with the reference implementation
+# and used to build the T-tables below).
 _MUL2 = bytes(_gmul(i, 2) for i in range(256))
 _MUL3 = bytes(_gmul(i, 3) for i in range(256))
 _MUL9 = bytes(_gmul(i, 9) for i in range(256))
 _MUL11 = bytes(_gmul(i, 11) for i in range(256))
 _MUL13 = bytes(_gmul(i, 13) for i in range(256))
 _MUL14 = bytes(_gmul(i, 14) for i in range(256))
+
+# ---------------------------------------------------------------------- #
+# T-tables.  State is four big-endian 32-bit column words; byte (row r,
+# column c) of FIPS-197 is bits [24-8r .. 31-8r] of word c.  _TE[k][x] is
+# the MixColumns output column contributed by S-box output S[x] sitting in
+# row k after ShiftRows; _TD[k][x] is the InvMixColumns column contributed
+# by InvS-box output in row k.  One encryption round of one column is then
+# four lookups and four XORs.
+# ---------------------------------------------------------------------- #
+
+
+def _build_encrypt_tables() -> tuple[tuple[int, ...], ...]:
+    t0, t1, t2, t3 = [], [], [], []
+    for x in range(256):
+        s = _SBOX[x]
+        s2, s3 = _MUL2[s], _MUL3[s]
+        t0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+        t1.append((s3 << 24) | (s2 << 16) | (s << 8) | s)
+        t2.append((s << 24) | (s3 << 16) | (s2 << 8) | s)
+        t3.append((s << 24) | (s << 16) | (s3 << 8) | s2)
+    return tuple(t0), tuple(t1), tuple(t2), tuple(t3)
+
+
+def _build_decrypt_tables() -> tuple[tuple[int, ...], ...]:
+    t0, t1, t2, t3 = [], [], [], []
+    for x in range(256):
+        s = _INV_SBOX[x]
+        s9, s11, s13, s14 = _MUL9[s], _MUL11[s], _MUL13[s], _MUL14[s]
+        t0.append((s14 << 24) | (s9 << 16) | (s13 << 8) | s11)
+        t1.append((s11 << 24) | (s14 << 16) | (s9 << 8) | s13)
+        t2.append((s13 << 24) | (s11 << 16) | (s14 << 8) | s9)
+        t3.append((s9 << 24) | (s13 << 16) | (s11 << 8) | s14)
+    return tuple(t0), tuple(t1), tuple(t2), tuple(t3)
+
+
+_TE0, _TE1, _TE2, _TE3 = _build_encrypt_tables()
+_TD0, _TD1, _TD2, _TD3 = _build_decrypt_tables()
+
+_FOUR_WORDS = Struct(">IIII")
+
+# Vectorized copies of the tables for the optional numpy bulk engine: the
+# same T-table lookups, gathered across every block of a message (and
+# every message of a batch) at once instead of one block at a time.
+if _np is not None:
+    _NP_TE = tuple(_np.array(t, dtype=_np.uint32) for t in (_TE0, _TE1, _TE2, _TE3))
+    _NP_SBOX = _np.array(list(_SBOX), dtype=_np.uint32)
+
+#: below this many blocks the numpy dispatch overhead beats its gains and
+#: the scalar T-table loop wins
+_NP_MIN_BLOCKS = 16
 
 
 def expand_key(key: bytes) -> list[bytes]:
@@ -81,72 +151,95 @@ def expand_key(key: bytes) -> list[bytes]:
     Returns a list of 11 16-byte round keys.  Raises
     :class:`~repro.exceptions.InvalidKeyError` on a wrong-sized key.
     """
+    return list(_schedule(key).round_keys)
+
+
+def _expand_words(key: bytes) -> list[int]:
+    """The 44 32-bit words of the AES-128 key schedule."""
     if len(key) != KEY_SIZE:
         raise InvalidKeyError(f"AES-128 key must be {KEY_SIZE} bytes, got {len(key)}")
-    words = [key[i : i + 4] for i in range(0, 16, 4)]
+    words = list(_FOUR_WORDS.unpack(key))
+    sbox = _SBOX
     for round_index in range(_NUM_ROUNDS):
         prev = words[-1]
-        # RotWord + SubWord + Rcon for the first word of each round.
-        rotated = prev[1:] + prev[:1]
-        substituted = bytes(_SBOX[b] for b in rotated)
-        head = bytes(
-            (substituted[j] ^ words[-4][j] ^ (_RCON[round_index] if j == 0 else 0))
-            for j in range(4)
-        )
-        words.append(head)
-        for __ in range(3):
-            prev = words[-1]
-            words.append(bytes(prev[j] ^ words[-4][j] for j in range(4)))
-    return [b"".join(words[4 * r : 4 * r + 4]) for r in range(_NUM_ROUNDS + 1)]
+        # RotWord + SubWord + Rcon folded into word arithmetic.
+        temp = (
+            (sbox[(prev >> 16) & 0xFF] << 24)
+            | (sbox[(prev >> 8) & 0xFF] << 16)
+            | (sbox[prev & 0xFF] << 8)
+            | sbox[prev >> 24]
+        ) ^ (_RCON[round_index] << 24)
+        for __ in range(4):
+            temp ^= words[-4]
+            words.append(temp)
+            temp = words[-1]
+    return words
 
 
-def _add_round_key(state: bytearray, round_key: bytes) -> None:
-    for i in range(16):
-        state[i] ^= round_key[i]
+def _inv_mix_columns_word(word: int) -> int:
+    """Apply InvMixColumns to one column word (for the equivalent inverse
+    cipher's transformed round keys)."""
+    sbox = _SBOX
+    return (
+        _TD0[sbox[word >> 24]]
+        ^ _TD1[sbox[(word >> 16) & 0xFF]]
+        ^ _TD2[sbox[(word >> 8) & 0xFF]]
+        ^ _TD3[sbox[word & 0xFF]]
+    )
 
 
-def _sub_bytes(state: bytearray) -> None:
-    for i in range(16):
-        state[i] = _SBOX[state[i]]
+class _Schedule:
+    """Fully expanded per-key material: encryption words, equivalent
+    inverse-cipher decryption words, and the FIPS round-key bytes."""
+
+    __slots__ = ("enc", "dec", "round_keys")
+
+    def __init__(self, key: bytes) -> None:
+        words = _expand_words(key)
+        self.enc = tuple(words)
+        # Equivalent inverse cipher: round keys in reverse round order,
+        # with InvMixColumns applied to all but the first and last.
+        dec: list[int] = []
+        for round_index in range(_NUM_ROUNDS, -1, -1):
+            chunk = words[4 * round_index : 4 * round_index + 4]
+            if 0 < round_index < _NUM_ROUNDS:
+                chunk = [_inv_mix_columns_word(w) for w in chunk]
+            dec.extend(chunk)
+        self.dec = tuple(dec)
+        self.round_keys = [
+            _FOUR_WORDS.pack(*words[4 * r : 4 * r + 4])
+            for r in range(_NUM_ROUNDS + 1)
+        ]
 
 
-def _inv_sub_bytes(state: bytearray) -> None:
-    for i in range(16):
-        state[i] = _INV_SBOX[state[i]]
+#: Process-wide key-schedule memo: the protocol layer builds ciphers for
+#: the same handful of (sub)keys over and over; expanding each schedule
+#: once removes that cost from the per-tuple path.  Bounded so adversarial
+#: or fuzzing workloads with millions of distinct keys cannot grow it
+#: without limit.
+_SCHEDULE_CACHE: dict[bytes, _Schedule] = {}
+_SCHEDULE_CACHE_MAX = 1024
 
 
-# State is stored column-major as in FIPS-197: byte (row r, column c) lives
-# at index 4*c + r.
-def _shift_rows(state: bytearray) -> None:
-    s = state
-    s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
-    s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
-    s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+def _schedule(key: bytes) -> _Schedule:
+    key = bytes(key)
+    schedule = _SCHEDULE_CACHE.get(key)
+    if schedule is None:
+        schedule = _Schedule(key)
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            _SCHEDULE_CACHE.clear()
+        _SCHEDULE_CACHE[key] = schedule
+    return schedule
 
 
-def _inv_shift_rows(state: bytearray) -> None:
-    s = state
-    s[5], s[9], s[13], s[1] = s[1], s[5], s[9], s[13]
-    s[10], s[14], s[2], s[6] = s[2], s[6], s[10], s[14]
-    s[15], s[3], s[7], s[11] = s[3], s[7], s[11], s[15]
+def clear_schedule_cache() -> None:
+    """Drop all memoized key schedules (key-rotation hygiene hook)."""
+    _SCHEDULE_CACHE.clear()
 
 
-def _mix_columns(state: bytearray) -> None:
-    for c in range(0, 16, 4):
-        a0, a1, a2, a3 = state[c], state[c + 1], state[c + 2], state[c + 3]
-        state[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
-        state[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
-        state[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
-        state[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
-
-
-def _inv_mix_columns(state: bytearray) -> None:
-    for c in range(0, 16, 4):
-        a0, a1, a2, a3 = state[c], state[c + 1], state[c + 2], state[c + 3]
-        state[c] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
-        state[c + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
-        state[c + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
-        state[c + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+def evict_schedule(key: bytes) -> None:
+    """Forget the schedule of one key (called on key rotation)."""
+    _SCHEDULE_CACHE.pop(bytes(key), None)
 
 
 class AES128:
@@ -158,37 +251,234 @@ class AES128:
     True
     """
 
-    def __init__(self, key: bytes) -> None:
-        self._round_keys = expand_key(key)
+    __slots__ = ("_enc", "_dec")
 
+    def __init__(self, key: bytes) -> None:
+        schedule = _schedule(key)
+        self._enc = schedule.enc
+        self._dec = schedule.dec
+
+    # ------------------------------------------------------------------ #
+    # core word-level transforms
+    # ------------------------------------------------------------------ #
+    def _encrypt_words(self, t0: int, t1: int, t2: int, t3: int):
+        rk = self._enc
+        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
+        t0 ^= rk[0]
+        t1 ^= rk[1]
+        t2 ^= rk[2]
+        t3 ^= rk[3]
+        i = 4
+        for __ in range(_NUM_ROUNDS - 1):
+            s0 = te0[t0 >> 24] ^ te1[(t1 >> 16) & 0xFF] ^ te2[(t2 >> 8) & 0xFF] ^ te3[t3 & 0xFF] ^ rk[i]
+            s1 = te0[t1 >> 24] ^ te1[(t2 >> 16) & 0xFF] ^ te2[(t3 >> 8) & 0xFF] ^ te3[t0 & 0xFF] ^ rk[i + 1]
+            s2 = te0[t2 >> 24] ^ te1[(t3 >> 16) & 0xFF] ^ te2[(t0 >> 8) & 0xFF] ^ te3[t1 & 0xFF] ^ rk[i + 2]
+            s3 = te0[t3 >> 24] ^ te1[(t0 >> 16) & 0xFF] ^ te2[(t1 >> 8) & 0xFF] ^ te3[t2 & 0xFF] ^ rk[i + 3]
+            t0, t1, t2, t3 = s0, s1, s2, s3
+            i += 4
+        sbox = _SBOX
+        return (
+            ((sbox[t0 >> 24] << 24) | (sbox[(t1 >> 16) & 0xFF] << 16)
+             | (sbox[(t2 >> 8) & 0xFF] << 8) | sbox[t3 & 0xFF]) ^ rk[40],
+            ((sbox[t1 >> 24] << 24) | (sbox[(t2 >> 16) & 0xFF] << 16)
+             | (sbox[(t3 >> 8) & 0xFF] << 8) | sbox[t0 & 0xFF]) ^ rk[41],
+            ((sbox[t2 >> 24] << 24) | (sbox[(t3 >> 16) & 0xFF] << 16)
+             | (sbox[(t0 >> 8) & 0xFF] << 8) | sbox[t1 & 0xFF]) ^ rk[42],
+            ((sbox[t3 >> 24] << 24) | (sbox[(t0 >> 16) & 0xFF] << 16)
+             | (sbox[(t1 >> 8) & 0xFF] << 8) | sbox[t2 & 0xFF]) ^ rk[43],
+        )
+
+    def _decrypt_words(self, t0: int, t1: int, t2: int, t3: int):
+        rk = self._dec
+        td0, td1, td2, td3 = _TD0, _TD1, _TD2, _TD3
+        t0 ^= rk[0]
+        t1 ^= rk[1]
+        t2 ^= rk[2]
+        t3 ^= rk[3]
+        i = 4
+        for __ in range(_NUM_ROUNDS - 1):
+            s0 = td0[t0 >> 24] ^ td1[(t3 >> 16) & 0xFF] ^ td2[(t2 >> 8) & 0xFF] ^ td3[t1 & 0xFF] ^ rk[i]
+            s1 = td0[t1 >> 24] ^ td1[(t0 >> 16) & 0xFF] ^ td2[(t3 >> 8) & 0xFF] ^ td3[t2 & 0xFF] ^ rk[i + 1]
+            s2 = td0[t2 >> 24] ^ td1[(t1 >> 16) & 0xFF] ^ td2[(t0 >> 8) & 0xFF] ^ td3[t3 & 0xFF] ^ rk[i + 2]
+            s3 = td0[t3 >> 24] ^ td1[(t2 >> 16) & 0xFF] ^ td2[(t1 >> 8) & 0xFF] ^ td3[t0 & 0xFF] ^ rk[i + 3]
+            t0, t1, t2, t3 = s0, s1, s2, s3
+            i += 4
+        inv = _INV_SBOX
+        return (
+            ((inv[t0 >> 24] << 24) | (inv[(t3 >> 16) & 0xFF] << 16)
+             | (inv[(t2 >> 8) & 0xFF] << 8) | inv[t1 & 0xFF]) ^ rk[40],
+            ((inv[t1 >> 24] << 24) | (inv[(t0 >> 16) & 0xFF] << 16)
+             | (inv[(t3 >> 8) & 0xFF] << 8) | inv[t2 & 0xFF]) ^ rk[41],
+            ((inv[t2 >> 24] << 24) | (inv[(t1 >> 16) & 0xFF] << 16)
+             | (inv[(t0 >> 8) & 0xFF] << 8) | inv[t3 & 0xFF]) ^ rk[42],
+            ((inv[t3 >> 24] << 24) | (inv[(t2 >> 16) & 0xFF] << 16)
+             | (inv[(t1 >> 8) & 0xFF] << 8) | inv[t0 & 0xFF]) ^ rk[43],
+        )
+
+    # ------------------------------------------------------------------ #
+    # public block interface
+    # ------------------------------------------------------------------ #
     def encrypt_block(self, block: bytes) -> bytes:
         """Encrypt exactly one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
-        state = bytearray(block)
-        _add_round_key(state, self._round_keys[0])
-        for round_index in range(1, _NUM_ROUNDS):
-            _sub_bytes(state)
-            _shift_rows(state)
-            _mix_columns(state)
-            _add_round_key(state, self._round_keys[round_index])
-        _sub_bytes(state)
-        _shift_rows(state)
-        _add_round_key(state, self._round_keys[_NUM_ROUNDS])
-        return bytes(state)
+        return _FOUR_WORDS.pack(*self._encrypt_words(*_FOUR_WORDS.unpack(block)))
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt exactly one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
-        state = bytearray(block)
-        _add_round_key(state, self._round_keys[_NUM_ROUNDS])
-        for round_index in range(_NUM_ROUNDS - 1, 0, -1):
-            _inv_shift_rows(state)
-            _inv_sub_bytes(state)
-            _add_round_key(state, self._round_keys[round_index])
-            _inv_mix_columns(state)
-        _inv_shift_rows(state)
-        _inv_sub_bytes(state)
-        _add_round_key(state, self._round_keys[0])
-        return bytes(state)
+        return _FOUR_WORDS.pack(*self._decrypt_words(*_FOUR_WORDS.unpack(block)))
+
+    # ------------------------------------------------------------------ #
+    # bulk interface used by the chaining modes
+    # ------------------------------------------------------------------ #
+    def ctr_keystream(self, nonce: bytes, num_blocks: int) -> bytes:
+        """The CTR keystream for counter blocks ``nonce || 0..num_blocks-1``.
+
+        Generating the whole keystream in one call keeps the per-message
+        Python overhead constant instead of per-block (*nonce* is 8 bytes;
+        the block counter occupies the remaining 8)."""
+        if len(nonce) != 8:
+            raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
+        if _np is not None and num_blocks >= _NP_MIN_BLOCKS:
+            return self.ctr_keystream_many([nonce], [num_blocks])[0]
+        n0, n1 = (
+            int.from_bytes(nonce[:4], "big"),
+            int.from_bytes(nonce[4:], "big"),
+        )
+        out = bytearray(num_blocks * BLOCK_SIZE)
+        pack_into = _FOUR_WORDS.pack_into
+        encrypt = self._encrypt_words
+        for counter in range(num_blocks):
+            pack_into(
+                out,
+                counter * BLOCK_SIZE,
+                *encrypt(n0, n1, counter >> 32, counter & 0xFFFFFFFF),
+            )
+        return bytes(out)
+
+    def ctr_keystream_many(
+        self, nonces: list[bytes], block_counts: list[int]
+    ) -> list[bytes]:
+        """CTR keystreams for a whole batch of messages in one pass.
+
+        All messages share one vectorized AES evaluation over the union of
+        their counter blocks — the engine behind ``encrypt_many`` /
+        ``decrypt_many`` on the protocol ciphers."""
+        if len(nonces) != len(block_counts):
+            raise ValueError("one nonce per block count required")
+        total_blocks = sum(block_counts)
+        if _np is None or total_blocks < _NP_MIN_BLOCKS:
+            return [
+                self.ctr_keystream(nonce, count)
+                for nonce, count in zip(nonces, block_counts)
+            ]
+        for nonce in nonces:
+            if len(nonce) != 8:
+                raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
+        counts = _np.array(block_counts, dtype=_np.int64)
+        nonce_words = _np.frombuffer(b"".join(nonces), dtype=">u4").astype(
+            _np.uint32
+        )
+        t0 = _np.repeat(nonce_words[0::2], counts)
+        t1 = _np.repeat(nonce_words[1::2], counts)
+        # per-message block counters 0..count-1, concatenated
+        offsets = _np.repeat(
+            _np.cumsum(counts) - counts, counts
+        )
+        t3 = (_np.arange(total_blocks, dtype=_np.int64) - offsets).astype(
+            _np.uint32
+        )
+        t2 = _np.zeros(total_blocks, dtype=_np.uint32)
+        s0, s1, s2, s3 = self._np_encrypt_words(t0, t1, t2, t3)
+        flat = _np.stack((s0, s1, s2, s3), axis=1).astype(">u4").tobytes()
+        streams = []
+        cursor = 0
+        for count in block_counts:
+            end = cursor + count * BLOCK_SIZE
+            streams.append(flat[cursor:end])
+            cursor = end
+        return streams
+
+    def cbc_mac_many(self, messages: list[bytes]) -> list[bytes]:
+        """CBC-MAC cores of a batch of block-aligned messages, computed in
+        lockstep: step *b* encrypts block *b* of every still-unfinished
+        message in one vectorized AES evaluation.  Ragged batches are fine
+        (each lane's MAC is captured at its own final block)."""
+        for message in messages:
+            if len(message) % BLOCK_SIZE:
+                raise ValueError("CBC-MAC core needs block-aligned messages")
+        counts = [len(message) // BLOCK_SIZE for message in messages]
+        if _np is None or len(messages) < 2 or sum(counts) < _NP_MIN_BLOCKS:
+            return [self.cbc_mac_words(message) for message in messages]
+        lanes = len(messages)
+        max_blocks = max(counts)
+        words = _np.zeros((lanes, 4 * max_blocks), dtype=_np.uint32)
+        for lane, message in enumerate(messages):
+            w = _np.frombuffer(message, dtype=">u4")
+            words[lane, : w.size] = w
+        t0 = _np.zeros(lanes, dtype=_np.uint32)
+        t1 = t0.copy()
+        t2 = t0.copy()
+        t3 = t0.copy()
+        macs: list[bytes | None] = [None] * lanes
+        for block_index in range(max_blocks):
+            base = 4 * block_index
+            t0, t1, t2, t3 = self._np_encrypt_words(
+                t0 ^ words[:, base],
+                t1 ^ words[:, base + 1],
+                t2 ^ words[:, base + 2],
+                t3 ^ words[:, base + 3],
+            )
+            done = [
+                lane for lane, count in enumerate(counts)
+                if count == block_index + 1
+            ]
+            if done:
+                packed = _np.stack(
+                    (t0[done], t1[done], t2[done], t3[done]), axis=1
+                ).astype(">u4").tobytes()
+                for i, lane in enumerate(done):
+                    macs[lane] = packed[16 * i : 16 * i + 16]
+        return [mac for mac in macs]  # every lane captured exactly once
+
+    def _np_encrypt_words(self, t0, t1, t2, t3):
+        """Vectorized :meth:`_encrypt_words` over arrays of column words."""
+        rk = self._enc
+        te0, te1, te2, te3 = _NP_TE
+        t0 = t0 ^ _np.uint32(rk[0])
+        t1 = t1 ^ _np.uint32(rk[1])
+        t2 = t2 ^ _np.uint32(rk[2])
+        t3 = t3 ^ _np.uint32(rk[3])
+        i = 4
+        for __ in range(_NUM_ROUNDS - 1):
+            s0 = te0[t0 >> 24] ^ te1[(t1 >> 16) & 0xFF] ^ te2[(t2 >> 8) & 0xFF] ^ te3[t3 & 0xFF] ^ _np.uint32(rk[i])
+            s1 = te0[t1 >> 24] ^ te1[(t2 >> 16) & 0xFF] ^ te2[(t3 >> 8) & 0xFF] ^ te3[t0 & 0xFF] ^ _np.uint32(rk[i + 1])
+            s2 = te0[t2 >> 24] ^ te1[(t3 >> 16) & 0xFF] ^ te2[(t0 >> 8) & 0xFF] ^ te3[t1 & 0xFF] ^ _np.uint32(rk[i + 2])
+            s3 = te0[t3 >> 24] ^ te1[(t0 >> 16) & 0xFF] ^ te2[(t1 >> 8) & 0xFF] ^ te3[t2 & 0xFF] ^ _np.uint32(rk[i + 3])
+            t0, t1, t2, t3 = s0, s1, s2, s3
+            i += 4
+        sbox = _NP_SBOX
+        return (
+            ((sbox[t0 >> 24] << 24) | (sbox[(t1 >> 16) & 0xFF] << 16)
+             | (sbox[(t2 >> 8) & 0xFF] << 8) | sbox[t3 & 0xFF]) ^ _np.uint32(rk[40]),
+            ((sbox[t1 >> 24] << 24) | (sbox[(t2 >> 16) & 0xFF] << 16)
+             | (sbox[(t3 >> 8) & 0xFF] << 8) | sbox[t0 & 0xFF]) ^ _np.uint32(rk[41]),
+            ((sbox[t2 >> 24] << 24) | (sbox[(t3 >> 16) & 0xFF] << 16)
+             | (sbox[(t0 >> 8) & 0xFF] << 8) | sbox[t1 & 0xFF]) ^ _np.uint32(rk[42]),
+            ((sbox[t3 >> 24] << 24) | (sbox[(t0 >> 16) & 0xFF] << 16)
+             | (sbox[(t1 >> 8) & 0xFF] << 8) | sbox[t2 & 0xFF]) ^ _np.uint32(rk[43]),
+        )
+
+    def cbc_mac_words(self, message: bytes) -> bytes:
+        """CBC-MAC core over a block-aligned *message* (zero IV)."""
+        if len(message) % BLOCK_SIZE:
+            raise ValueError("CBC-MAC core needs a block-aligned message")
+        unpack_from = _FOUR_WORDS.unpack_from
+        encrypt = self._encrypt_words
+        m0 = m1 = m2 = m3 = 0
+        for offset in range(0, len(message), BLOCK_SIZE):
+            b0, b1, b2, b3 = unpack_from(message, offset)
+            m0, m1, m2, m3 = encrypt(m0 ^ b0, m1 ^ b1, m2 ^ b2, m3 ^ b3)
+        return _FOUR_WORDS.pack(m0, m1, m2, m3)

@@ -1,0 +1,98 @@
+"""Process-wide cipher cache keyed by key material.
+
+The protocol layer builds ciphers *constantly*: every ``Querier._cipher()``
+call, every TDS collection, every partition fold re-derives the enc/MAC
+subkeys (a SHA-256 each) and re-expands two AES key schedules.  For a
+population of thousands of simulated TDSs sharing the same k1/k2, that work
+is identical every time.  This module memoizes it:
+
+* :func:`aes_for_subkey` — the (master, label) → expanded :class:`AES128`
+  engine cache used by :class:`~repro.crypto.ndet.NonDeterministicCipher`
+  and :class:`~repro.crypto.det.DeterministicCipher` construction, making
+  cipher objects cheap throwaway wrappers around shared engines;
+* :func:`det_cipher` / :func:`ndet_cipher` — convenience constructors for
+  the hot call sites;
+* :func:`invalidate_key` — called by :meth:`repro.crypto.keys.KeyRing.rotate`
+  so superseded key epochs do not pin engines in memory forever.  Eviction
+  is a pure memory-hygiene operation: cache entries are deterministic
+  functions of the key material, so a re-build after eviction yields an
+  identical engine.
+
+The cache is bounded; a workload cycling through millions of distinct keys
+(fuzzing, adversarial rotation) degrades to the uncached behaviour instead
+of exhausting memory.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.crypto.aes import AES128, evict_schedule
+from repro.crypto.keys import derive_subkey
+
+_MAX_ENTRIES = 1024
+
+_lock = threading.Lock()
+_engines: dict[tuple[bytes, bytes], AES128] = {}
+_hits = 0
+_misses = 0
+
+
+def aes_for_subkey(master: bytes, label: bytes) -> AES128:
+    """The AES engine for ``derive_subkey(master, label)``, memoized."""
+    global _hits, _misses
+    cache_key = (bytes(master), bytes(label))
+    engine = _engines.get(cache_key)
+    if engine is not None:
+        _hits += 1
+        return engine
+    engine = AES128(derive_subkey(master, label))
+    with _lock:
+        _misses += 1
+        if len(_engines) >= _MAX_ENTRIES:
+            _engines.clear()
+        _engines[cache_key] = engine
+    return engine
+
+
+def ndet_cipher(master: bytes, rng: random.Random | None = None):
+    """A ``nDet_Enc`` cipher over cached engines (cheap to construct)."""
+    from repro.crypto.ndet import NonDeterministicCipher
+
+    return NonDeterministicCipher(master, rng)
+
+
+def det_cipher(master: bytes):
+    """A ``Det_Enc`` cipher over cached engines (cheap to construct)."""
+    from repro.crypto.det import DeterministicCipher
+
+    return DeterministicCipher(master)
+
+
+def invalidate_key(master: bytes) -> None:
+    """Drop every cached engine derived from *master* (key rotation)."""
+    master = bytes(master)
+    with _lock:
+        stale = [k for k in _engines if k[0] == master]
+        for cache_key in stale:
+            del _engines[cache_key]
+    # Also forget the expanded schedules (keyed by subkey material) so the
+    # rotated epoch is fully released.
+    for __, label in stale:
+        evict_schedule(derive_subkey(master, label))
+    evict_schedule(master)
+
+
+def clear() -> None:
+    """Empty the cache (test isolation hook)."""
+    global _hits, _misses
+    with _lock:
+        _engines.clear()
+        _hits = 0
+        _misses = 0
+
+
+def cache_info() -> dict[str, int]:
+    """Observability: entry count and hit/miss counters."""
+    return {"entries": len(_engines), "hits": _hits, "misses": _misses}

@@ -10,13 +10,21 @@ The construction is SIV-style: a CBC-MAC of the plaintext is used both as
 the CTR nonce and as the authentication tag.
 
     ciphertext = SIV(16) || CTR(k_enc, SIV[:8], plaintext)
+
+Subkey derivation and key-schedule expansion go through the process-wide
+cipher cache (:mod:`repro.crypto.cache`); the batched ``*_many`` methods
+run whole covering results through the vectorized AES engine in one pass.
 """
 
 from __future__ import annotations
 
-from repro.crypto.aes import AES128
-from repro.crypto.keys import derive_subkey
-from repro.crypto.modes import cbc_mac, ctr_transform
+from repro.crypto import cache
+from repro.crypto.modes import (
+    cbc_mac,
+    cbc_mac_many,
+    ctr_transform,
+    ctr_transform_many,
+)
 from repro.exceptions import DecryptionError
 
 _SIV_SIZE = 16
@@ -35,8 +43,8 @@ class DeterministicCipher:
     deterministic = True
 
     def __init__(self, key: bytes) -> None:
-        self._enc = AES128(derive_subkey(key, b"Det/enc"))
-        self._mac = AES128(derive_subkey(key, b"Det/mac"))
+        self._enc = cache.aes_for_subkey(key, b"Det/enc")
+        self._mac = cache.aes_for_subkey(key, b"Det/mac")
 
     def encrypt(self, plaintext: bytes) -> bytes:
         """Encrypt *plaintext*; equal plaintexts yield equal ciphertexts."""
@@ -54,6 +62,41 @@ class DeterministicCipher:
         if cbc_mac(self._mac, plaintext) != siv:
             raise DecryptionError("Det_Enc synthetic IV mismatch")
         return plaintext
+
+    # ------------------------------------------------------------------ #
+    # batched interface (protocol hot path)
+    # ------------------------------------------------------------------ #
+    def encrypt_many(self, plaintexts: list[bytes]) -> list[bytes]:
+        """Encrypt a batch in two vectorized passes (SIV MACs, then CTR)."""
+        if not plaintexts:
+            return []
+        sivs = cbc_mac_many(self._mac, plaintexts)
+        bodies = ctr_transform_many(
+            self._enc, [siv[:8] for siv in sivs], plaintexts
+        )
+        return [siv + body for siv, body in zip(sivs, bodies)]
+
+    def decrypt_many(self, ciphertexts: list[bytes]) -> list[bytes]:
+        """Decrypt then verify a batch in two vectorized passes.
+
+        Raises :class:`DecryptionError` if *any* synthetic IV mismatches —
+        a batch is one trust decision."""
+        if not ciphertexts:
+            return []
+        sivs, bodies = [], []
+        for ciphertext in ciphertexts:
+            if len(ciphertext) < _SIV_SIZE:
+                raise DecryptionError("ciphertext too short for Det_Enc framing")
+            sivs.append(ciphertext[:_SIV_SIZE])
+            bodies.append(ciphertext[_SIV_SIZE:])
+        plaintexts = ctr_transform_many(
+            self._enc, [siv[:8] for siv in sivs], bodies
+        )
+        expected = cbc_mac_many(self._mac, plaintexts)
+        for siv, want in zip(sivs, expected):
+            if siv != want:
+                raise DecryptionError("Det_Enc synthetic IV mismatch")
+        return plaintexts
 
     def ciphertext_overhead(self) -> int:
         """Bytes added on top of the plaintext length."""

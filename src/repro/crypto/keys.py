@@ -74,10 +74,19 @@ class KeyRing:
         return self._versions[self._current]
 
     def rotate(self, new_material: bytes) -> KeyVersion:
-        """Install *new_material* as the next version and make it current."""
+        """Install *new_material* as the next version and make it current.
+
+        The superseded epoch's entries in the process-wide cipher cache are
+        evicted (memory hygiene — re-decrypting in-flight data under an old
+        version transparently rebuilds them)."""
+        superseded = self._versions[self._current].material
         self._current += 1
         version = KeyVersion(self._current, new_material)
         self._versions[self._current] = version
+        # Imported here: cache.py imports derive_subkey from this module.
+        from repro.crypto import cache
+
+        cache.invalidate_key(superseded)
         return version
 
     def get(self, version: int) -> KeyVersion:

@@ -4,11 +4,19 @@ Two modes are provided:
 
 * :func:`ctr_transform` — counter mode, the engine behind the
   non-deterministic scheme ``nDet_Enc`` (a fresh random nonce per message
-  makes every encryption of the same plaintext different).
+  makes every encryption of the same plaintext different);
 * :func:`cbc_mac` — a CBC-MAC used as the synthetic-IV derivation of the
   deterministic scheme ``Det_Enc`` (same plaintext, same key → same
   ciphertext, which is exactly the property the noise-based protocols rely
   on for SSI-side grouping).
+
+Both are built for throughput: the whole keystream of a message is
+generated in one call and XORed in bulk via ``int.from_bytes`` /
+``int.to_bytes`` (no per-byte Python loops), and the ``*_many`` variants
+hand an entire batch of messages to the cipher at once so the vectorized
+engine in :mod:`repro.crypto.aes` can process every block of every message
+in one pass.  The seed's per-byte loops survive in
+:mod:`repro.crypto.reference` as the benchmark baseline.
 
 Padding helpers implement PKCS#7 so arbitrary-length tuples round-trip.
 """
@@ -42,6 +50,29 @@ def _counter_block(nonce: bytes, counter: int) -> bytes:
     return nonce + counter.to_bytes(8, "big")
 
 
+def _xor_bulk(data: bytes, keystream: bytes) -> bytes:
+    """XOR *data* against the (at least as long) *keystream* in one shot."""
+    n = len(data)
+    if n == 0:
+        return b""
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(keystream[:n], "big")
+    ).to_bytes(n, "big")
+
+
+def _keystream(cipher: AES128, nonce: bytes, num_blocks: int) -> bytes:
+    """Whole-message keystream; falls back to per-block ECB for foreign
+    cipher objects that only expose ``encrypt_block`` (e.g. the reference
+    implementation)."""
+    generate = getattr(cipher, "ctr_keystream", None)
+    if generate is not None:
+        return generate(nonce, num_blocks)
+    return b"".join(
+        cipher.encrypt_block(_counter_block(nonce, counter))
+        for counter in range(num_blocks)
+    )
+
+
 def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
     """Encrypt or decrypt *data* in CTR mode (the operation is symmetric).
 
@@ -50,25 +81,56 @@ def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
     """
     if len(nonce) != 8:
         raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
-    out = bytearray(len(data))
-    for block_index in range((len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE):
-        keystream = cipher.encrypt_block(_counter_block(nonce, block_index))
-        offset = block_index * BLOCK_SIZE
-        chunk = data[offset : offset + BLOCK_SIZE]
-        for i, byte in enumerate(chunk):
-            out[offset + i] = byte ^ keystream[i]
-    return bytes(out)
+    num_blocks = (len(data) + BLOCK_SIZE - 1) // BLOCK_SIZE
+    return _xor_bulk(data, _keystream(cipher, nonce, num_blocks))
+
+
+def ctr_transform_many(
+    cipher: AES128, nonces: list[bytes], messages: list[bytes]
+) -> list[bytes]:
+    """CTR-transform a batch of messages in one vectorized keystream pass."""
+    if len(nonces) != len(messages):
+        raise ValueError("one nonce per message required")
+    block_counts = [
+        (len(message) + BLOCK_SIZE - 1) // BLOCK_SIZE for message in messages
+    ]
+    generate_many = getattr(cipher, "ctr_keystream_many", None)
+    if generate_many is not None:
+        streams = generate_many(nonces, block_counts)
+    else:
+        streams = [
+            _keystream(cipher, nonce, count)
+            for nonce, count in zip(nonces, block_counts)
+        ]
+    return [
+        _xor_bulk(message, stream)
+        for message, stream in zip(messages, streams)
+    ]
+
+
+def _mac_message(data: bytes) -> bytes:
+    """Length-prefix then pad: the framing under every CBC-MAC."""
+    return pkcs7_pad(len(data).to_bytes(8, "big") + data)
 
 
 def cbc_mac(cipher: AES128, data: bytes) -> bytes:
     """Compute a CBC-MAC over *data* (length-prefixed to avoid extension
     ambiguities between messages of different lengths)."""
-    message = len(data).to_bytes(8, "big") + data
-    message = pkcs7_pad(message)
+    message = _mac_message(data)
+    core = getattr(cipher, "cbc_mac_words", None)
+    if core is not None:
+        return core(message)
     mac = bytes(BLOCK_SIZE)
     for offset in range(0, len(message), BLOCK_SIZE):
-        block = bytes(
-            message[offset + i] ^ mac[i] for i in range(BLOCK_SIZE)
-        )
+        block = _xor_bulk(message[offset : offset + BLOCK_SIZE], mac)
         mac = cipher.encrypt_block(block)
     return mac
+
+
+def cbc_mac_many(cipher: AES128, datas: list[bytes]) -> list[bytes]:
+    """CBC-MACs of a batch of messages, vectorized across the batch."""
+    messages = [_mac_message(data) for data in datas]
+    core_many = getattr(cipher, "cbc_mac_many", None)
+    if core_many is not None:
+        return core_many(messages)
+    return [cbc_mac(cipher, data) for data in datas]

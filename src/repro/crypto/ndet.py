@@ -9,6 +9,14 @@ encrypt-then-MAC:
 
 Sub-keys ``k_enc`` and ``k_mac`` are derived from the shared key so a single
 16-byte key (k1 or k2 of the paper) is all that TDSs need to exchange.
+Derivation and key-schedule expansion go through the process-wide cipher
+cache (:mod:`repro.crypto.cache`), so constructing one of these objects is
+cheap enough to do per call — key rotation is picked up for free.
+
+The batched :meth:`NonDeterministicCipher.encrypt_many` /
+:meth:`~NonDeterministicCipher.decrypt_many` hand a whole covering result
+to the vectorized AES engine in one pass; protocol hot paths should prefer
+them over per-tuple calls.
 
 A seedable :class:`random.Random` may be injected for reproducible
 simulations; by default nonces come from :mod:`secrets`.
@@ -19,9 +27,13 @@ from __future__ import annotations
 import random
 import secrets
 
-from repro.crypto.aes import AES128
-from repro.crypto.keys import derive_subkey
-from repro.crypto.modes import cbc_mac, ctr_transform
+from repro.crypto import cache
+from repro.crypto.modes import (
+    cbc_mac,
+    cbc_mac_many,
+    ctr_transform,
+    ctr_transform_many,
+)
 from repro.exceptions import DecryptionError
 
 _NONCE_SIZE = 8
@@ -43,8 +55,8 @@ class NonDeterministicCipher:
     deterministic = False
 
     def __init__(self, key: bytes, rng: random.Random | None = None) -> None:
-        self._enc = AES128(derive_subkey(key, b"nDet/enc"))
-        self._mac = AES128(derive_subkey(key, b"nDet/mac"))
+        self._enc = cache.aes_for_subkey(key, b"nDet/enc")
+        self._mac = cache.aes_for_subkey(key, b"nDet/mac")
         self._rng = rng
 
     def _fresh_nonce(self) -> bytes:
@@ -70,6 +82,47 @@ class NonDeterministicCipher:
         if cbc_mac(self._mac, nonce + body) != tag:
             raise DecryptionError("nDet_Enc authentication tag mismatch")
         return ctr_transform(self._enc, nonce, body)
+
+    # ------------------------------------------------------------------ #
+    # batched interface (protocol hot path)
+    # ------------------------------------------------------------------ #
+    def encrypt_many(self, plaintexts: list[bytes]) -> list[bytes]:
+        """Encrypt a batch in two vectorized passes (CTR, then MAC)."""
+        if not plaintexts:
+            return []
+        nonces = [self._fresh_nonce() for __ in plaintexts]
+        bodies = ctr_transform_many(self._enc, nonces, plaintexts)
+        tags = cbc_mac_many(
+            self._mac,
+            [nonce + body for nonce, body in zip(nonces, bodies)],
+        )
+        return [
+            nonce + body + tag
+            for nonce, body, tag in zip(nonces, bodies, tags)
+        ]
+
+    def decrypt_many(self, ciphertexts: list[bytes]) -> list[bytes]:
+        """Authenticate then decrypt a batch in two vectorized passes.
+
+        Raises :class:`DecryptionError` if *any* element is truncated or
+        tampered — a batch is one trust decision."""
+        if not ciphertexts:
+            return []
+        nonces, bodies, tags = [], [], []
+        for ciphertext in ciphertexts:
+            if len(ciphertext) < _NONCE_SIZE + _TAG_SIZE:
+                raise DecryptionError("ciphertext too short for nDet_Enc framing")
+            nonces.append(ciphertext[:_NONCE_SIZE])
+            bodies.append(ciphertext[_NONCE_SIZE:-_TAG_SIZE])
+            tags.append(ciphertext[-_TAG_SIZE:])
+        expected = cbc_mac_many(
+            self._mac,
+            [nonce + body for nonce, body in zip(nonces, bodies)],
+        )
+        for tag, want in zip(tags, expected):
+            if tag != want:
+                raise DecryptionError("nDet_Enc authentication tag mismatch")
+        return ctr_transform_many(self._enc, nonces, bodies)
 
     def ciphertext_overhead(self) -> int:
         """Bytes added on top of the plaintext length."""

@@ -68,8 +68,8 @@ class Querier:
 
     def decrypt_result(self, result: QueryResult) -> list[Row]:
         """Step 13: download and decrypt the final rows."""
-        cipher = self._cipher()
-        return [decode(cipher.decrypt(blob)) for blob in result.encrypted_rows]
+        plaintexts = self._cipher().decrypt_many(list(result.encrypted_rows))
+        return [decode(plaintext) for plaintext in plaintexts]
 
 
 @dataclass
@@ -124,16 +124,22 @@ class ProtocolDriver:
         workers: Sequence[TrustedDataServer],
         rng: random.Random,
         failure_injector: FailureInjector | None = None,
+        collection_interval: float = 1.0,
     ) -> None:
         if not collectors:
             raise ProtocolError("at least one collector TDS is required")
         if not workers:
             raise ProtocolError("at least one worker TDS is required")
+        if collection_interval < 0:
+            raise ProtocolError("collection_interval must be >= 0")
         self.ssi = ssi
         self.collectors = list(collectors)
         self.workers = list(workers)
         self.rng = rng
         self.failure_injector = failure_injector
+        #: logical seconds between consecutive collector connections; the
+        #: clock a ``SIZE n SECONDS`` clause is evaluated against
+        self.collection_interval = collection_interval
         self.stats = ProtocolStats()
         #: what happened, for the timed simulator to replay
         self.trace = ExecutionTrace()
@@ -155,12 +161,54 @@ class ProtocolDriver:
         Uses the first worker; any TDS yields the same statement."""
         return self.workers[0].open_query(envelope)
 
+    def account(
+        self,
+        phase: str,
+        round_index: int,
+        tds_id: str,
+        bytes_down: int,
+        bytes_up: int,
+    ) -> None:
+        """Charge one unit of TDS work to the stats *and* the trace.
+
+        LoadQ counts every byte a TDS moves — downloads and uploads — so
+        going through this single choke point keeps the invariant
+        ``stats.bytes_processed == trace.total_bytes()``."""
+        self.stats.charge(tds_id, bytes_down + bytes_up)
+        self.trace.record(phase, round_index, tds_id, bytes_down, bytes_up)
+
     def record_collection(self, envelope: QueryEnvelope, tds_id: str, bytes_up: int) -> None:
-        """Trace one collector's contribution (query download + tuple
+        """Account one collector's contribution (query download + tuple
         upload)."""
-        self.trace.record(
+        self.account(
             "collection", -1, tds_id, len(envelope.encrypted_query), bytes_up
         )
+
+    def run_collection(
+        self,
+        envelope: QueryEnvelope,
+        collect: Callable[[TrustedDataServer, QueryEnvelope], Sequence[Any]],
+    ) -> None:
+        """Shared collection phase: collectors connect one by one until the
+        SIZE clause closes the query (or every collector has answered).
+
+        Collector *i* connects at logical time ``i * collection_interval``
+        seconds; a ``SIZE n SECONDS`` clause is evaluated against that
+        clock *before* each contribution (so ``SIZE 0 SECONDS`` closes
+        with zero tuples) and the tuple-count clause immediately after
+        each upload."""
+        for index, tds in enumerate(self.collectors):
+            elapsed = index * self.collection_interval
+            if self.ssi.evaluate_size_clause(envelope.query_id, elapsed):
+                break
+            tuples = collect(tds, envelope)
+            self.ssi.submit_tuples(envelope.query_id, tuples)
+            uploaded = sum(len(t.payload) for t in tuples)
+            self.record_collection(envelope, tds.tds_id, uploaded)
+            if self.ssi.evaluate_size_clause(envelope.query_id, elapsed):
+                break
+        self.ssi.close_collection(envelope.query_id)
+        self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
 
     def run_partitions(
         self,
@@ -205,8 +253,7 @@ class ProtocolDriver:
             bytes_up = handler(worker, partition) or 0
             tracker.complete(partition.partition_id, worker.tds_id)
             self.stats.partitions_processed += 1
-            self.stats.charge(worker.tds_id, partition.byte_size())
-            self.trace.record(
+            self.account(
                 phase, round_index, worker.tds_id, partition.byte_size(), bytes_up
             )
 

@@ -53,16 +53,7 @@ class SAggProtocol(ProtocolDriver):
 
     # ------------------------------------------------------------------ #
     def _collection_phase(self, envelope: QueryEnvelope) -> None:
-        for tds in self.collectors:
-            tuples = tds.collect_for_sagg(envelope)
-            self.ssi.submit_tuples(envelope.query_id, tuples)
-            uploaded = sum(len(t.payload) for t in tuples)
-            self.stats.charge(tds.tds_id, uploaded)
-            self.record_collection(envelope, tds.tds_id, uploaded)
-            if self.ssi.evaluate_size_clause(envelope.query_id):
-                break
-        self.ssi.close_collection(envelope.query_id)
-        self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
+        self.run_collection(envelope, lambda tds, env: tds.collect_for_sagg(env))
 
     def _aggregation_phase(self, envelope, statement) -> EncryptedPartial:
         """Iterate: random partitions of size ⌈α⌉ → one partial per
@@ -103,8 +94,7 @@ class SAggProtocol(ProtocolDriver):
         partition = Partition(partition_id=-1, items=(final_partial,))
         worker = self.workers[self.rng.randrange(len(self.workers))]
         rows = worker.finalize_partition(statement, partition)
-        self.stats.charge(worker.tds_id, partition.byte_size())
-        self.trace.record(
+        self.account(
             "filtering",
             0,
             worker.tds_id,

@@ -43,16 +43,7 @@ class SelectWhereProtocol(ProtocolDriver):
     def _collection_phase(self, envelope: QueryEnvelope) -> None:
         """TDSs connect one by one until the SIZE clause closes the query
         (or every collector has answered)."""
-        for tds in self.collectors:
-            tuples = tds.collect_basic(envelope)
-            self.ssi.submit_tuples(envelope.query_id, tuples)
-            uploaded = sum(len(t.payload) for t in tuples)
-            self.stats.charge(tds.tds_id, uploaded)
-            self.record_collection(envelope, tds.tds_id, uploaded)
-            if self.ssi.evaluate_size_clause(envelope.query_id):
-                break
-        self.ssi.close_collection(envelope.query_id)
-        self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
+        self.run_collection(envelope, lambda tds, env: tds.collect_basic(env))
 
     def _filtering_phase(self, envelope: QueryEnvelope) -> None:
         covering_result = self.ssi.covering_result(envelope.query_id)

@@ -53,16 +53,7 @@ class TaggedAggregationProtocol(ProtocolDriver):
         self._filtering_phase(envelope, statement, final_partials)
 
     def _collection_phase(self, envelope: QueryEnvelope) -> None:
-        for tds in self.collectors:
-            tuples = self.collect_from(tds, envelope)
-            self.ssi.submit_tuples(envelope.query_id, tuples)
-            uploaded = sum(len(t.payload) for t in tuples)
-            self.stats.charge(tds.tds_id, uploaded)
-            self.record_collection(envelope, tds.tds_id, uploaded)
-            if self.ssi.evaluate_size_clause(envelope.query_id):
-                break
-        self.ssi.close_collection(envelope.query_id)
-        self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
+        self.run_collection(envelope, self.collect_from)
 
     def _aggregation_phase(
         self, envelope: QueryEnvelope, statement: SelectStatement

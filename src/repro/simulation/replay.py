@@ -11,7 +11,9 @@ The protocol drivers decide *what* work happens (see
 * a task that overruns its window is interrupted; the SSI notices after
   ``timeout`` seconds and the task restarts in the worker's next window
   (the §3.2 reassignment discipline, here charged to the same logical
-  worker for scheduling simplicity).
+  worker for scheduling simplicity).  Each interrupted attempt still kept
+  the device busy until the disconnection, so that partial-window work is
+  charged to busy time (and reported separately as wasted time).
 
 The output :class:`SimulationReport` carries the timed counterparts of
 the cost-model metrics: phase durations (TQ), per-TDS busy time (Tlocal)
@@ -36,7 +38,11 @@ class SimulationReport:
     collection_duration: float = 0.0
     aggregation_duration: float = 0.0
     filtering_duration: float = 0.0
+    #: total seconds each TDS spent working, including partial attempts
+    #: that a disconnection threw away
     busy_time: dict[str, float] = field(default_factory=dict)
+    #: the thrown-away part alone: seconds of work lost to interruptions
+    wasted_time: dict[str, float] = field(default_factory=dict)
     interruptions: int = 0
 
     @property
@@ -169,7 +175,14 @@ class TraceScheduler:
             if begin + duration <= end:
                 return begin + duration
             # Interrupted: SSI notices after `timeout` and reassigns; the
-            # work restarts in the next window.
+            # work restarts in the next window.  The partial attempt kept
+            # the device busy from `begin` until the disconnection — that
+            # work is real (and lost), so it must show up in Tlocal.
+            wasted = end - begin
+            self._charge(report, tds_id, wasted)
+            report.wasted_time[tds_id] = (
+                report.wasted_time.get(tds_id, 0.0) + wasted
+            )
             report.interruptions += 1
             at = end + self.timeout
         raise QueryAbortedError(

@@ -58,6 +58,12 @@ class DeviceProfile:
         blocks = (num_bytes + AES_BLOCK_BYTES - 1) // AES_BLOCK_BYTES
         return blocks * self.crypto_cycles_per_block / self.cpu_hz
 
+    def crypto_throughput_bytes_per_second(self) -> float:
+        """Sustained coprocessor throughput in bytes/second — the model
+        figure benchmarks (e.g. ``bench_crypto_throughput``) compare the
+        software AES fast path against."""
+        return AES_BLOCK_BYTES * self.cpu_hz / self.crypto_cycles_per_block
+
     def cpu_time(self, num_bytes: int) -> float:
         """General CPU time to process *num_bytes* of decrypted payload."""
         return num_bytes * self.cpu_cycles_per_byte / self.cpu_hz

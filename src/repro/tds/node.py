@@ -95,7 +95,9 @@ class TrustedDataServer:
         self._rng = rng if rng is not None else random.Random()
 
     # ------------------------------------------------------------------ #
-    # cipher access (rebuilt on use so key rotation is picked up)
+    # cipher access (rebuilt on use so key rotation is picked up; the
+    # process-wide cipher cache makes each rebuild a dictionary lookup
+    # rather than a subkey derivation + key-schedule expansion)
     # ------------------------------------------------------------------ #
     def _k1_cipher(self) -> NonDeterministicCipher:
         return NonDeterministicCipher(self._keys.k1.current.material, self._rng)
@@ -140,12 +142,16 @@ class TrustedDataServer:
             return [self._dummy_tuple()]
         if not rows:
             return [self._dummy_tuple()]
-        cipher = self._k2_cipher()
-        output = []
-        for row in rows:
-            content = TupleContent(TupleContent.KIND_DATA, project_row(statement, row))
-            output.append(EncryptedTuple(cipher.encrypt(encode_tuple_frame(content))))
-        return output
+        frames = [
+            encode_tuple_frame(
+                TupleContent(TupleContent.KIND_DATA, project_row(statement, row))
+            )
+            for row in rows
+        ]
+        return [
+            EncryptedTuple(payload)
+            for payload in self._k2_cipher().encrypt_many(frames)
+        ]
 
     def collect_for_sagg(self, envelope: QueryEnvelope) -> list[EncryptedTuple]:
         """S_Agg collection: fully nDet-encrypted tuples, no group tag."""
@@ -156,14 +162,16 @@ class TrustedDataServer:
             return [self._dummy_tuple()]
         if not rows:
             return [self._dummy_tuple()]
-        cipher = self._k2_cipher()
-        output = []
-        for row in rows:
-            content = TupleContent(
-                TupleContent.KIND_DATA, reduced_row(statement, row)
+        frames = [
+            encode_tuple_frame(
+                TupleContent(TupleContent.KIND_DATA, reduced_row(statement, row))
             )
-            output.append(EncryptedTuple(cipher.encrypt(encode_tuple_frame(content))))
-        return output
+            for row in rows
+        ]
+        return [
+            EncryptedTuple(payload)
+            for payload in self._k2_cipher().encrypt_many(frames)
+        ]
 
     def collect_with_noise(
         self, envelope: QueryEnvelope, noise: NoiseStrategy
@@ -172,33 +180,29 @@ class TrustedDataServer:
         SSI can group tuples, plus *noise* fake tuples hiding the real
         distribution (§4.3).  Denied/empty TDSs still contribute their fake
         tuples only."""
-        det = self._k2_det_cipher()
-        ndet = self._k2_cipher()
-        output: list[EncryptedTuple] = []
         try:
             statement = self.open_query(envelope)
             rows = local_matching_rows(self.database, statement)
         except AccessDeniedError:
             statement, rows = None, []
+        frames: list[bytes] = []
+        tag_plaintexts: list[bytes] = []
         for row in rows:
             assert statement is not None
             key = group_key(statement, row)
             content = TupleContent(TupleContent.KIND_DATA, reduced_row(statement, row))
-            output.append(
-                EncryptedTuple(
-                    payload=ndet.encrypt(encode_tuple_frame(content)),
-                    group_tag=det.encrypt(encode(list(key))),
-                )
-            )
+            frames.append(encode_tuple_frame(content))
+            tag_plaintexts.append(encode(list(key)))
             for fake_value, fake_content in noise.fake_tuples(key):
                 fake_key = fake_value if isinstance(fake_value, tuple) else (fake_value,)
-                output.append(
-                    EncryptedTuple(
-                        payload=ndet.encrypt(encode_tuple_frame(fake_content)),
-                        group_tag=det.encrypt(encode(list(fake_key))),
-                    )
-                )
-        return output
+                frames.append(encode_tuple_frame(fake_content))
+                tag_plaintexts.append(encode(list(fake_key)))
+        payloads = self._k2_cipher().encrypt_many(frames)
+        tags = self._k2_det_cipher().encrypt_many(tag_plaintexts)
+        return [
+            EncryptedTuple(payload=payload, group_tag=tag)
+            for payload, tag in zip(payloads, tags)
+        ]
 
     def collect_for_histogram(
         self, envelope: QueryEnvelope, histogram: EquiDepthHistogram
@@ -211,19 +215,19 @@ class TrustedDataServer:
         except AccessDeniedError:
             return []
         hasher = self._bucket_hasher()
-        ndet = self._k2_cipher()
-        output = []
+        frames: list[bytes] = []
+        tags: list[bytes] = []
         for row in rows:
             key = group_key(statement, row)
             bucket_id = histogram.bucket_of(key if len(key) > 1 else key[0])
             content = TupleContent(TupleContent.KIND_DATA, reduced_row(statement, row))
-            output.append(
-                EncryptedTuple(
-                    payload=ndet.encrypt(encode_tuple_frame(content)),
-                    group_tag=hasher.hash_bucket(bucket_id),
-                )
-            )
-        return output
+            frames.append(encode_tuple_frame(content))
+            tags.append(hasher.hash_bucket(bucket_id))
+        payloads = self._k2_cipher().encrypt_many(frames)
+        return [
+            EncryptedTuple(payload=payload, group_tag=tag)
+            for payload, tag in zip(payloads, tags)
+        ]
 
     def _dummy_tuple(self) -> EncryptedTuple:
         content = TupleContent(TupleContent.KIND_DUMMY)
@@ -250,19 +254,19 @@ class TrustedDataServer:
         encrypted partial *per group*, tagged ``Det_Enc(group)`` so the SSI
         can route same-group partials together for the next step."""
         partial = self._fold_partition(statement, partition)
-        det = self._k2_det_cipher()
-        ndet = self._k2_cipher()
-        output = []
+        frames: list[bytes] = []
+        tag_plaintexts: list[bytes] = []
         for key in partial.groups():
             single = PartialAggregation(statement)
             single.groups()[key] = partial.groups()[key]
-            output.append(
-                EncryptedPartial(
-                    payload=ndet.encrypt(encode_partial_frame(single.to_portable())),
-                    group_tag=det.encrypt(encode(list(key))),
-                )
-            )
-        return output
+            frames.append(encode_partial_frame(single.to_portable()))
+            tag_plaintexts.append(encode(list(key)))
+        payloads = self._k2_cipher().encrypt_many(frames)
+        tags = self._k2_det_cipher().encrypt_many(tag_plaintexts)
+        return [
+            EncryptedPartial(payload=payload, group_tag=tag)
+            for payload, tag in zip(payloads, tags)
+        ]
 
     def _fold_partition(
         self, statement: SelectStatement, partition: Partition
@@ -271,11 +275,13 @@ class TrustedDataServer:
 
         Enforces the §4.2 RAM bound: the partial aggregate must fit in the
         device's RAM, otherwise :class:`ResourceExhaustedError`."""
-        cipher = self._k2_cipher()
         partial = PartialAggregation(statement)
         max_slots = self.device.ram_bytes // SLOT_BYTES
-        for item in partition.items:
-            kind, body = decode_frame(cipher.decrypt(item.payload))
+        plaintexts = self._k2_cipher().decrypt_many(
+            [item.payload for item in partition.items]
+        )
+        for plaintext in plaintexts:
+            kind, body = decode_frame(plaintext)
             if kind == "tuple":
                 if body.is_real():
                     partial.add_row(body.row)
@@ -295,32 +301,34 @@ class TrustedDataServer:
     def filter_partition(self, partition: Partition) -> list[bytes]:
         """Basic protocol filtering: drop dummies, re-encrypt true rows
         under k1 for the querier."""
-        k2 = self._k2_cipher()
-        k1 = self._k1_cipher()
-        output = []
-        for item in partition.items:
-            kind, body = decode_frame(k2.decrypt(item.payload))
+        plaintexts = self._k2_cipher().decrypt_many(
+            [item.payload for item in partition.items]
+        )
+        rows: list[bytes] = []
+        for plaintext in plaintexts:
+            kind, body = decode_frame(plaintext)
             if kind != "tuple":
                 raise ProtocolError("filtering phase expects tuple frames")
             if body.is_real():
-                output.append(k1.encrypt(encode(body.row)))
-        return output
+                rows.append(encode(body.row))
+        return self._k1_cipher().encrypt_many(rows)
 
     def finalize_partition(
         self, statement: SelectStatement, partition: Partition
     ) -> list[bytes]:
         """Aggregation filtering: merge final partials, evaluate HAVING and
         the SELECT projection, re-encrypt result rows under k1."""
-        k2 = self._k2_cipher()
-        k1 = self._k1_cipher()
+        plaintexts = self._k2_cipher().decrypt_many(
+            [item.payload for item in partition.items]
+        )
         partial = PartialAggregation(statement)
-        for item in partition.items:
-            kind, body = decode_frame(k2.decrypt(item.payload))
+        for plaintext in plaintexts:
+            kind, body = decode_frame(plaintext)
             if kind != "partial":
                 raise ProtocolError("finalization expects partial frames")
             partial.merge(PartialAggregation.from_portable(statement, body))
         rows = finalize_groups(statement, partial.groups())
-        return [k1.encrypt(encode(row)) for row in rows]
+        return self._k1_cipher().encrypt_many([encode(row) for row in rows])
 
 
 def reduced_row(statement: SelectStatement, row: Row) -> Row:

@@ -126,3 +126,13 @@ def test_roundtrip_property(value):
 @settings(max_examples=50, deadline=None)
 def test_encoding_deterministic_property(value):
     assert encode(value) == encode(value)
+
+
+def test_encode_decode_many_roundtrip():
+    from repro.core.codec import decode_many, encode_many
+
+    values = [None, True, 42, "row", {"a": 1}, [1, 2.5, "x"]]
+    blobs = encode_many(values)
+    assert blobs == [encode(v) for v in values]
+    assert decode_many(blobs) == values
+    assert encode_many([]) == [] and decode_many([]) == []

@@ -111,6 +111,42 @@ class TestWindows:
         assert report.interruptions == 1
         assert report.aggregation_duration == pytest.approx(50.0 + one)
 
+    def test_interruption_charges_wasted_work(self):
+        """The partial attempt cut short by a disconnection kept the device
+        busy — busy time must include it, and it is reported separately."""
+        one = NetworkModel(0.0).task_time(100_000, 0, SECURE_TOKEN)
+        first_window = one / 2
+        schedule = ConnectivitySchedule(
+            {"a": [(0.0, first_window), (50.0, 50.0 + 2 * one)]}, horizon=1000.0
+        )
+        trace = make_trace([("aggregation", 0, "a", 100_000, 0)])
+        report = scheduler_for(schedule, timeout=5.0).replay(trace)
+        assert report.interruptions == 1
+        assert report.wasted_time["a"] == pytest.approx(first_window)
+        assert report.busy_time["a"] == pytest.approx(one + first_window)
+
+    def test_uninterrupted_run_wastes_nothing(self):
+        trace = make_trace([("aggregation", 0, "a", 1000, 100)])
+        report = scheduler_for(always_on(["a"])).replay(trace)
+        assert report.wasted_time == {}
+        one = NetworkModel(0.0).task_time(1000, 100, SECURE_TOKEN)
+        assert report.busy_time["a"] == pytest.approx(one)
+
+    def test_every_interruption_charged(self):
+        """Two short windows → two wasted attempts before completion."""
+        one = NetworkModel(0.0).task_time(100_000, 0, SECURE_TOKEN)
+        windows = [
+            (0.0, one / 4),
+            (100.0, 100.0 + one / 2),
+            (300.0, 300.0 + 2 * one),
+        ]
+        schedule = ConnectivitySchedule({"a": windows}, horizon=1000.0)
+        trace = make_trace([("aggregation", 0, "a", 100_000, 0)])
+        report = scheduler_for(schedule, timeout=5.0).replay(trace)
+        assert report.interruptions == 2
+        assert report.wasted_time["a"] == pytest.approx(one / 4 + one / 2)
+        assert report.busy_time["a"] == pytest.approx(one + one / 4 + one / 2)
+
     def test_never_reconnecting_tds_aborts(self):
         one = NetworkModel(0.0).task_time(100_000, 0, SECURE_TOKEN)
         schedule = ConnectivitySchedule({"a": [(0.0, one / 2)]}, horizon=100.0)

@@ -1,12 +1,37 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test bench examples figures clean \
+	lint lint-privacy lint-ruff lint-mypy
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# ----------------------------------------------------------------------- #
+# Static analysis.  privacy-lint (tools/privacy_lint, stdlib-only) always
+# runs and is the gate for the paper's trust-boundary invariants; ruff and
+# mypy run when installed (CI installs them; the bare container may not).
+# ----------------------------------------------------------------------- #
+lint: lint-privacy lint-ruff lint-mypy
+
+lint-privacy:
+	python -m tools.privacy_lint src/repro
+
+lint-ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "lint-ruff: ruff not installed — skipping (CI runs it)"; \
+	fi
+
+lint-mypy:
+	@if python -c "import mypy" >/dev/null 2>&1; then \
+		python -m mypy; \
+	else \
+		echo "lint-mypy: mypy not installed — skipping (CI runs it)"; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -27,6 +27,7 @@ Only the raw block transform lives here; chaining modes are built on top in
 from __future__ import annotations
 
 from struct import Struct
+from typing import Any
 
 from repro.exceptions import InvalidKeyError
 
@@ -261,7 +262,9 @@ class AES128:
     # ------------------------------------------------------------------ #
     # core word-level transforms
     # ------------------------------------------------------------------ #
-    def _encrypt_words(self, t0: int, t1: int, t2: int, t3: int):
+    def _encrypt_words(
+        self, t0: int, t1: int, t2: int, t3: int
+    ) -> tuple[int, int, int, int]:
         rk = self._enc
         te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
         t0 ^= rk[0]
@@ -288,7 +291,9 @@ class AES128:
              | (sbox[(t1 >> 8) & 0xFF] << 8) | sbox[t2 & 0xFF]) ^ rk[43],
         )
 
-    def _decrypt_words(self, t0: int, t1: int, t2: int, t3: int):
+    def _decrypt_words(
+        self, t0: int, t1: int, t2: int, t3: int
+    ) -> tuple[int, int, int, int]:
         rk = self._dec
         td0, td1, td2, td3 = _TD0, _TD1, _TD2, _TD3
         t0 ^= rk[0]
@@ -443,7 +448,7 @@ class AES128:
                     macs[lane] = packed[16 * i : 16 * i + 16]
         return [mac for mac in macs]  # every lane captured exactly once
 
-    def _np_encrypt_words(self, t0, t1, t2, t3):
+    def _np_encrypt_words(self, t0: Any, t1: Any, t2: Any, t3: Any) -> Any:
         """Vectorized :meth:`_encrypt_words` over arrays of column words."""
         rk = self._enc
         te0, te1, te2, te3 = _NP_TE

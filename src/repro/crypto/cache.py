@@ -27,9 +27,14 @@ from __future__ import annotations
 
 import random
 import threading
+from typing import TYPE_CHECKING
 
 from repro.crypto.aes import AES128, evict_schedule
 from repro.crypto.keys import derive_subkey
+
+if TYPE_CHECKING:
+    from repro.crypto.det import DeterministicCipher
+    from repro.crypto.ndet import NonDeterministicCipher
 
 _MAX_ENTRIES = 1024
 
@@ -56,14 +61,16 @@ def aes_for_subkey(master: bytes, label: bytes) -> AES128:
     return engine
 
 
-def ndet_cipher(master: bytes, rng: random.Random | None = None):
+def ndet_cipher(
+    master: bytes, rng: random.Random | None = None
+) -> NonDeterministicCipher:
     """A ``nDet_Enc`` cipher over cached engines (cheap to construct)."""
     from repro.crypto.ndet import NonDeterministicCipher
 
     return NonDeterministicCipher(master, rng)
 
 
-def det_cipher(master: bytes):
+def det_cipher(master: bytes) -> DeterministicCipher:
     """A ``Det_Enc`` cipher over cached engines (cheap to construct)."""
     from repro.crypto.det import DeterministicCipher
 

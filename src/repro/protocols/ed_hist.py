@@ -13,10 +13,13 @@ merged per group in step 2).
 
 from __future__ import annotations
 
-from repro.core.messages import QueryEnvelope
+from typing import Any
+
+from repro.core.messages import EncryptedTuple, QueryEnvelope
 from repro.exceptions import ConfigurationError
 from repro.protocols.tagged import TaggedAggregationProtocol
 from repro.tds.histogram import EquiDepthHistogram
+from repro.tds.node import TrustedDataServer
 
 
 class EDHistProtocol(TaggedAggregationProtocol):
@@ -24,11 +27,15 @@ class EDHistProtocol(TaggedAggregationProtocol):
 
     name = "ed_hist"
 
-    def __init__(self, *args, histogram: EquiDepthHistogram, **kwargs) -> None:
+    def __init__(
+        self, *args: Any, histogram: EquiDepthHistogram, **kwargs: Any
+    ) -> None:
         super().__init__(*args, **kwargs)
         if histogram.bucket_count() < 1:
             raise ConfigurationError("histogram must have at least one bucket")
         self.histogram = histogram
 
-    def collect_from(self, tds, envelope: QueryEnvelope) -> list:
+    def collect_from(
+        self, tds: TrustedDataServer, envelope: QueryEnvelope
+    ) -> list[EncryptedTuple]:
         return tds.collect_for_histogram(envelope, self.histogram)

@@ -19,9 +19,10 @@ from __future__ import annotations
 import random
 from typing import Any, Sequence
 
-from repro.core.messages import QueryEnvelope
+from repro.core.messages import EncryptedTuple, QueryEnvelope
 from repro.exceptions import ConfigurationError
 from repro.protocols.tagged import TaggedAggregationProtocol
+from repro.tds.node import TrustedDataServer
 from repro.tds.noise import ComplementaryNoise, RandomNoise
 
 
@@ -31,7 +32,7 @@ class RnfNoiseProtocol(TaggedAggregationProtocol):
     name = "rnf_noise"
 
     def __init__(
-        self, *args, domain: Sequence[Any], nf: int = 2, **kwargs
+        self, *args: Any, domain: Sequence[Any], nf: int = 2, **kwargs: Any
     ) -> None:
         super().__init__(*args, **kwargs)
         if not domain:
@@ -40,7 +41,9 @@ class RnfNoiseProtocol(TaggedAggregationProtocol):
         self.nf = nf
         self.domain = list(domain)
 
-    def collect_from(self, tds, envelope: QueryEnvelope) -> list:
+    def collect_from(
+        self, tds: TrustedDataServer, envelope: QueryEnvelope
+    ) -> list[EncryptedTuple]:
         noise = RandomNoise(
             self.domain, self.nf, random.Random(self.rng.getrandbits(64))
         )
@@ -57,11 +60,13 @@ class CNoiseProtocol(TaggedAggregationProtocol):
 
     name = "c_noise"
 
-    def __init__(self, *args, domain: Sequence[Any], **kwargs) -> None:
+    def __init__(self, *args: Any, domain: Sequence[Any], **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         if not domain:
             raise ConfigurationError("C_Noise needs the full grouping domain")
         self.domain = list(domain)
 
-    def collect_from(self, tds, envelope: QueryEnvelope) -> list:
+    def collect_from(
+        self, tds: TrustedDataServer, envelope: QueryEnvelope
+    ) -> list[EncryptedTuple]:
         return tds.collect_with_noise(envelope, ComplementaryNoise(self.domain))

@@ -15,10 +15,17 @@ confidential of the proposed protocols (Fig. 8).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Any
+
 from repro.core.messages import EncryptedPartial, EncryptedTuple, Partition, QueryEnvelope
 from repro.exceptions import ProtocolError
 from repro.protocols.base import ProtocolDriver
+from repro.sql.ast import SelectStatement
 from repro.ssi.partitioner import RandomPartitioner
+from repro.tds.node import TrustedDataServer
+
+if TYPE_CHECKING:
+    from repro.protocols.verification import SpotChecker
 
 #: optimal reduction factor derived in §6.1.1 (dTQ/dα = 0 → α ≈ 3.6);
 #: partitions must hold at least 2 items for the iteration to converge.
@@ -31,7 +38,11 @@ class SAggProtocol(ProtocolDriver):
     name = "s_agg"
 
     def __init__(
-        self, *args, alpha: float = ALPHA_OPTIMAL, spot_checker=None, **kwargs
+        self,
+        *args: Any,
+        alpha: float = ALPHA_OPTIMAL,
+        spot_checker: "SpotChecker | None" = None,
+        **kwargs: Any,
     ) -> None:
         super().__init__(*args, **kwargs)
         if alpha < 2:
@@ -55,7 +66,9 @@ class SAggProtocol(ProtocolDriver):
     def _collection_phase(self, envelope: QueryEnvelope) -> None:
         self.run_collection(envelope, lambda tds, env: tds.collect_for_sagg(env))
 
-    def _aggregation_phase(self, envelope, statement) -> EncryptedPartial:
+    def _aggregation_phase(
+        self, envelope: QueryEnvelope, statement: SelectStatement
+    ) -> EncryptedPartial:
         """Iterate: random partitions of size ⌈α⌉ → one partial per
         partition → repeat on the partials until one remains."""
         items: list[EncryptedTuple | EncryptedPartial] = list(
@@ -68,7 +81,7 @@ class SAggProtocol(ProtocolDriver):
             partitioner = RandomPartitioner(partition_size, self.rng)
             partitions = partitioner.partition(items)
 
-            def handle(worker, partition: Partition) -> int:
+            def handle(worker: TrustedDataServer, partition: Partition) -> int:
                 partial = worker.aggregate_partition(statement, partition)
                 if self.spot_checker is not None:
                     partial = self.spot_checker.audit_and_correct(
@@ -88,7 +101,12 @@ class SAggProtocol(ProtocolDriver):
                 return round_outputs[0]
             items = list(round_outputs)
 
-    def _filtering_phase(self, envelope, statement, final_partial) -> None:
+    def _filtering_phase(
+        self,
+        envelope: QueryEnvelope,
+        statement: SelectStatement,
+        final_partial: EncryptedPartial,
+    ) -> None:
         """One TDS evaluates HAVING + projection on the final aggregation
         and re-encrypts the result under k1 (steps 9-12)."""
         partition = Partition(partition_id=-1, items=(final_partial,))

@@ -12,10 +12,13 @@ dummies and re-encrypt the true tuples under k1 for the querier.
 
 from __future__ import annotations
 
-from repro.core.messages import QueryEnvelope
+from typing import Any
+
+from repro.core.messages import Partition, QueryEnvelope
 from repro.exceptions import ProtocolError
 from repro.protocols.base import ProtocolDriver
 from repro.ssi.partitioner import RandomPartitioner
+from repro.tds.node import TrustedDataServer
 
 
 class SelectWhereProtocol(ProtocolDriver):
@@ -23,7 +26,7 @@ class SelectWhereProtocol(ProtocolDriver):
 
     name = "basic"
 
-    def __init__(self, *args, partition_size: int = 64, **kwargs) -> None:
+    def __init__(self, *args: Any, partition_size: int = 64, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         if partition_size < 1:
             raise ProtocolError("partition_size must be >= 1")
@@ -51,7 +54,7 @@ class SelectWhereProtocol(ProtocolDriver):
         partitions = partitioner.partition(covering_result)
         result_rows: list[bytes] = []
 
-        def handle(worker, partition):
+        def handle(worker: TrustedDataServer, partition: Partition) -> int:
             rows = worker.filter_partition(partition)
             result_rows.extend(rows)
             return sum(len(r) for r in rows)

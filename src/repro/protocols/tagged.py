@@ -16,11 +16,19 @@ parallelism/elasticity axes of Fig. 11.
 
 from __future__ import annotations
 
-from repro.core.messages import EncryptedPartial, Partition, QueryEnvelope
+from typing import Any
+
+from repro.core.messages import (
+    EncryptedPartial,
+    EncryptedTuple,
+    Partition,
+    QueryEnvelope,
+)
 from repro.exceptions import ProtocolError
 from repro.protocols.base import ProtocolDriver
 from repro.ssi.partitioner import RandomPartitioner, TagPartitioner
 from repro.sql.ast import SelectStatement
+from repro.tds.node import TrustedDataServer
 
 
 class TaggedAggregationProtocol(ProtocolDriver):
@@ -28,17 +36,19 @@ class TaggedAggregationProtocol(ProtocolDriver):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         first_step_partition_size: int | None = 64,
         filter_partition_size: int = 64,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(*args, **kwargs)
         self.first_step_partition_size = first_step_partition_size
         self.filter_partition_size = filter_partition_size
 
     # -- subclass hook --------------------------------------------------- #
-    def collect_from(self, tds, envelope: QueryEnvelope) -> list:
+    def collect_from(
+        self, tds: TrustedDataServer, envelope: QueryEnvelope
+    ) -> list[EncryptedTuple]:
         raise NotImplementedError
 
     # -- template -------------------------------------------------------- #
@@ -63,7 +73,7 @@ class TaggedAggregationProtocol(ProtocolDriver):
         step1 = TagPartitioner(max_partition_size=self.first_step_partition_size)
         partitions = step1.partition(covering_result)
 
-        def fold(worker, partition: Partition) -> int:
+        def fold(worker: TrustedDataServer, partition: Partition) -> int:
             partials = worker.aggregate_partition_per_group(statement, partition)
             self.ssi.submit_partials(envelope.query_id, partials)
             return sum(len(p.payload) for p in partials)
@@ -77,7 +87,7 @@ class TaggedAggregationProtocol(ProtocolDriver):
         merge_partitions = step2.partition(intermediate)
         final_partials: list[EncryptedPartial] = []
 
-        def merge(worker, partition: Partition) -> int:
+        def merge(worker: TrustedDataServer, partition: Partition) -> int:
             merged = worker.aggregate_partition_per_group(statement, partition)
             final_partials.extend(merged)
             self.ssi.submit_partials(envelope.query_id, merged)
@@ -100,7 +110,7 @@ class TaggedAggregationProtocol(ProtocolDriver):
         partitions = partitioner.partition(final_partials)
         result_rows: list[bytes] = []
 
-        def finalize(worker, partition: Partition) -> int:
+        def finalize(worker: TrustedDataServer, partition: Partition) -> int:
             rows = worker.finalize_partition(statement, partition)
             result_rows.extend(rows)
             return sum(len(r) for r in rows)

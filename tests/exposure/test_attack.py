@@ -68,7 +68,6 @@ def run(deployment, cls, **kwargs):
 def ground_truth_tags(deployment, query_id):
     """God's-eye mapping tag → district, reconstructed with k2 (which the
     SSI does NOT have — this is for scoring only)."""
-    from repro.core.codec import decode
     from repro.crypto.det import DeterministicCipher
     from repro.core.codec import encode
 

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.core.messages import EncryptedPartial, Partition
-from repro.core.trace import ExecutionTrace
 from repro.exceptions import ConfigurationError
 from repro.exposure.compromise import (
     analyze_trace_leakage,
@@ -134,7 +133,7 @@ class TestSpotCheckVerification:
         fabricated = EncryptedPartial(
             deployment.tds_list[0]._k2_cipher().encrypt(b"\x00" * 64)
         )
-        from repro.exceptions import ProtocolError, ReproError
+        from repro.exceptions import ReproError
 
         with pytest.raises(ReproError):
             verify_partition(verifier, statement, partition, fabricated)

@@ -3,7 +3,6 @@ executor on randomized populations and randomized aggregate queries."""
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

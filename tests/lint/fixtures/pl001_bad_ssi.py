@@ -1,0 +1,15 @@
+"""Known-bad PL001 fixture: an ssi-role module naming trusted-side APIs.
+
+Never imported — only parsed by the privacy linter.
+"""
+
+import repro.tds.node  # line 6: forbidden module prefix
+from repro.core.messages import TupleContent  # line 7: plaintext constructor
+from repro.crypto.keys import KeyRing  # line 8: master-key API
+from repro.core import codec  # line 9: plaintext codec via from-import
+
+
+def peek(payload: bytes) -> object:
+    content = TupleContent("data", {})
+    ring = KeyRing("k2", b"\x00" * 16)
+    return codec, content, ring, repro.tds.node

@@ -1,0 +1,10 @@
+"""Known-good PL001 fixture: an ssi-role module touching ciphertext only."""
+
+from repro.core.messages import EncryptedTuple, Partition, QueryEnvelope
+from repro.exceptions import ProtocolError
+
+
+def store(envelope: QueryEnvelope, items: list[EncryptedTuple]) -> Partition:
+    if not items:
+        raise ProtocolError("nothing to store")
+    return Partition(partition_id=0, items=tuple(items))

@@ -1,0 +1,24 @@
+"""Known-bad PL002 fixture: plaintext flowing into SSI-bound containers."""
+
+from repro.core.codec import encode
+from repro.core.messages import EncryptedTuple, TupleContent
+
+
+def leak_encoded_row(row: dict) -> EncryptedTuple:
+    return EncryptedTuple(payload=encode(row))  # line 8: encode() is plaintext
+
+
+def leak_named_plaintext(plaintext: bytes) -> EncryptedTuple:
+    return EncryptedTuple(payload=plaintext)  # line 12: plaintext-named value
+
+
+def leak_constant() -> EncryptedTuple:
+    return EncryptedTuple(payload=b"Paris")  # line 16: constant payload
+
+
+def leak_via_submit(ssi, query_id: str, decrypted_rows: list) -> None:
+    ssi.submit_tuples(query_id, decrypted_rows)  # line 20: decrypted egress
+
+
+def leak_content(content: TupleContent) -> EncryptedTuple:
+    return EncryptedTuple(TupleContent("data", {}))  # line 24: raw constructor

@@ -1,0 +1,26 @@
+"""Known-good PL002 fixture: ciphertext-only egress, sanitizers respected."""
+
+from repro.core.messages import EncryptedPartial, EncryptedTuple
+
+
+def encrypted_tuple(cipher, frame: bytes) -> EncryptedTuple:
+    return EncryptedTuple(payload=cipher.encrypt(frame))
+
+
+def tagged_tuples(ndet, det, frames: list, tag_plaintexts: list) -> list:
+    payloads = ndet.encrypt_many(frames)
+    tags = det.encrypt_many(tag_plaintexts)  # sanitized: inside encrypt_many
+    return [
+        EncryptedTuple(payload=payload, group_tag=tag)
+        for payload, tag in zip(payloads, tags)
+    ]
+
+
+def submit_ciphertext(ssi, query_id: str, partials: list) -> None:
+    ssi.submit_partials(query_id, partials)
+
+
+def bucket_tagged(cipher, hasher, frame: bytes, bucket_id: int) -> EncryptedPartial:
+    return EncryptedPartial(
+        payload=cipher.encrypt(frame), group_tag=hasher.hash_bucket(bucket_id)
+    )

@@ -1,0 +1,10 @@
+"""Known-bad PL003 fixture: Det_Enc acquired outside the allowlist."""
+
+from repro.crypto.det import DeterministicCipher  # line 3: forbidden import
+from repro.crypto import cache
+
+
+def tag_everything(key: bytes, values: list) -> list:
+    cipher = DeterministicCipher(key)  # line 8: forbidden construction
+    shortcut = cache.det_cipher(key)  # line 9: forbidden convenience ctor
+    return [cipher.encrypt(value) for value in values] + [shortcut]

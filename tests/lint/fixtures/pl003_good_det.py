@@ -1,0 +1,7 @@
+"""Known-good PL003 fixture: this path is on the fixture allowlist."""
+
+from repro.crypto.det import DeterministicCipher
+
+
+def group_tag_cipher(k2: bytes) -> DeterministicCipher:
+    return DeterministicCipher(k2)

@@ -1,0 +1,19 @@
+"""Known-bad PL004 fixture: transfers that bypass the accounting choke point."""
+
+
+class LeakyDriver:
+    def collection(self, envelope) -> None:
+        tuples = self.make_tuples(envelope)
+        self.ssi.submit_tuples(envelope.query_id, tuples)  # line 7: no account
+
+    def drain(self, envelope) -> list:
+        return self.ssi.take_partials(envelope.query_id)  # line 10: no account
+
+
+def module_scope_leak(ssi, query_id: str) -> None:
+    ssi.store_result_rows(query_id, [])  # line 14: no account in function
+
+
+GLOBAL_SSI = None
+if GLOBAL_SSI is not None:
+    GLOBAL_SSI.submit_partials("q1", [])  # line 19: module-scope transfer

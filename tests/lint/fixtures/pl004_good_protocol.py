@@ -1,0 +1,26 @@
+"""Known-good PL004 fixture: every transfer is charged through account()."""
+
+
+class AccountingDriver:
+    def collection(self, envelope) -> None:
+        tuples = self.make_tuples(envelope)
+        self.ssi.submit_tuples(envelope.query_id, tuples)
+        self.account("collection", -1, "tds-1", 0, sum(len(t) for t in tuples))
+
+    def aggregation(self, envelope, statement) -> None:
+        items = self.ssi.covering_result(envelope.query_id)
+        partitions = self.partitioner.partition(items)
+
+        def handle(worker, partition) -> int:
+            partials = worker.fold(statement, partition)
+            self.ssi.submit_partials(envelope.query_id, partials)
+            return sum(len(p.payload) for p in partials)
+
+        # The nested handler's transfer is charged by run_partitions here.
+        self.run_partitions(partitions, handle)
+
+    def collection_via_helper(self, envelope) -> None:
+        self.run_collection(envelope, lambda tds, env: tds.collect(env))
+
+    def quiet_phase(self) -> int:
+        return 42

@@ -1,0 +1,18 @@
+"""Known-bad PL005 fixture: wall clock and global RNG in simulation code."""
+
+import random
+import time
+from datetime import datetime
+
+
+def schedule_next() -> float:
+    return time.time() + random.random()  # line 9: wall clock + global RNG
+
+
+def jitter() -> float:
+    rng = random.Random()  # line 13: unseeded generator
+    return rng.random() + random.randint(0, 10)  # line 14: global randint
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()  # line 18: wall-clock datetime

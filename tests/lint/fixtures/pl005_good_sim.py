@@ -1,0 +1,11 @@
+"""Known-good PL005 fixture: seeded RNGs and the logical clock only."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def advance(clock: float, interval: float, rng: random.Random) -> float:
+    return clock + interval * rng.random()

@@ -1,0 +1,16 @@
+"""Pragma fixture: same violations as pl001_bad_ssi, all suppressed inline.
+
+The second import demonstrates ``disable=all``; the module-level file
+pragma below covers PL001 for the rest of the file.
+"""
+
+import repro.tds.node  # privacy-lint: disable=PL001  test fixture
+from repro.crypto.keys import KeyRing  # privacy-lint: disable=all
+# privacy-lint: disable-file=PL002
+
+from repro.core.messages import EncryptedTuple
+
+
+def constant_payload() -> EncryptedTuple:
+    # PL002 would fire here, but the file pragma suppresses it.
+    return EncryptedTuple(payload=b"not-really-ciphertext")

@@ -1,0 +1,91 @@
+"""Baseline round-trip: write, reload, suppress, and expire on code change."""
+
+from pathlib import Path
+
+from tools.privacy_lint import Manifest
+from tools.privacy_lint.baseline import Baseline
+from tools.privacy_lint.engine import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_manifest() -> Manifest:
+    return Manifest.load(FIXTURES / "manifest.cfg")
+
+
+def make_tree(tmp_path: Path) -> Path:
+    # Role pattern pl005_* applies relative to the lint root.
+    target = tmp_path / "tests" / "lint" / "fixtures"
+    target.mkdir(parents=True)
+    module = target / "pl005_generated.py"
+    module.write_text(
+        "import time\n\n\ndef now() -> float:\n    return time.time()\n"
+    )
+    return module
+
+
+def test_baseline_round_trip(tmp_path):
+    module = make_tree(tmp_path)
+    manifest = fixture_manifest()
+
+    report = lint_paths([module], manifest, root=tmp_path)
+    assert [f.rule for f in report.findings] == ["PL005"]
+
+    baseline_path = tmp_path / "baseline.txt"
+    Baseline.from_findings(report.findings).save(baseline_path)
+
+    reloaded = Baseline.load(baseline_path)
+    assert len(reloaded) == 1
+
+    suppressed = lint_paths([module], manifest, baseline=reloaded, root=tmp_path)
+    assert suppressed.findings == []
+    assert suppressed.baseline_suppressed == 1
+    assert suppressed.clean
+
+
+def test_baseline_expires_when_line_changes(tmp_path):
+    module = make_tree(tmp_path)
+    manifest = fixture_manifest()
+    report = lint_paths([module], manifest, root=tmp_path)
+    baseline = Baseline.from_findings(report.findings)
+
+    # Change the offending line: the stale entry must stop matching.
+    module.write_text(
+        "import time\n\n\ndef now() -> float:\n    return time.time() + 1.0\n"
+    )
+    rerun = lint_paths([module], manifest, baseline=baseline, root=tmp_path)
+    assert [f.rule for f in rerun.findings] == ["PL005"]
+    assert rerun.baseline_suppressed == 0
+
+
+def test_baseline_keeps_existing_justifications(tmp_path):
+    module = make_tree(tmp_path)
+    manifest = fixture_manifest()
+    report = lint_paths([module], manifest, root=tmp_path)
+
+    baseline_path = tmp_path / "baseline.txt"
+    first = Baseline.from_findings(report.findings)
+    key = next(iter(first.entries))
+    first.entries[key] = "intentional: fixture"
+    first.save(baseline_path)
+
+    rewritten = Baseline.from_findings(
+        report.findings, previous=Baseline.load(baseline_path)
+    )
+    assert rewritten.entries[key] == "intentional: fixture"
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.txt")
+    assert len(baseline) == 0
+
+
+def test_baseline_rejects_malformed_entries(tmp_path):
+    path = tmp_path / "baseline.txt"
+    path.write_text("PL004 only-two-fields\n")
+    try:
+        Baseline.load(path)
+    except ValueError as exc:
+        assert "malformed" in str(exc)
+    else:
+        raise AssertionError("malformed entry should raise")

@@ -1,0 +1,58 @@
+"""Inline pragma handling: line pragmas, disable=all, file-wide pragmas."""
+
+from pathlib import Path
+
+from tools.privacy_lint import Manifest, lint_source
+from tools.privacy_lint.pragmas import PragmaIndex
+from tools.privacy_lint.diagnostics import Finding
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_manifest() -> Manifest:
+    return Manifest.load(FIXTURES / "manifest.cfg")
+
+
+def test_pragma_fixture_fully_suppressed():
+    findings = lint_source(
+        "tests/lint/fixtures/pragma_suppressed.py",
+        (FIXTURES / "pragma_suppressed.py").read_text(),
+        fixture_manifest(),
+    )
+    assert findings == []
+
+
+def test_pragma_is_rule_specific():
+    # A PL002 pragma must not silence the PL001 finding on the same line.
+    source = "import repro.tds.node  # privacy-lint: disable=PL002\n"
+    findings = lint_source(
+        "tests/lint/fixtures/pl001_x.py", source, fixture_manifest()
+    )
+    assert [f.rule for f in findings] == ["PL001"]
+
+
+def test_pragma_multiple_codes():
+    source = "import repro.tds.node  # privacy-lint: disable=PL002, PL001\n"
+    findings = lint_source(
+        "tests/lint/fixtures/pl001_x.py", source, fixture_manifest()
+    )
+    assert findings == []
+
+
+def test_file_pragma_only_in_header_window():
+    # A disable-file pragma buried past the first 10 lines is inert.
+    source = "\n" * 12 + "# privacy-lint: disable-file=PL001\nimport repro.tds.node\n"
+    findings = lint_source(
+        "tests/lint/fixtures/pl001_x.py", source, fixture_manifest()
+    )
+    assert [f.rule for f in findings] == ["PL001"]
+
+
+def test_pragma_index_direct():
+    index = PragmaIndex("x = 1  # privacy-lint: disable=PL004\n")
+    hit = Finding(path="p.py", line=1, col=1, rule="PL004", message="m")
+    miss = Finding(path="p.py", line=1, col=1, rule="PL001", message="m")
+    other_line = Finding(path="p.py", line=2, col=1, rule="PL004", message="m")
+    assert index.suppresses(hit)
+    assert not index.suppresses(miss)
+    assert not index.suppresses(other_line)

@@ -1,0 +1,108 @@
+"""The real tree must lint clean, and the acceptance-criteria injections
+must each trip the correct rule (ISSUE 2 acceptance list).
+
+These tests run the production manifest + baseline against ``src/repro``
+exactly as ``make lint`` does, so a privacy regression fails the tier-1
+suite even before CI runs the standalone linter.
+"""
+
+from pathlib import Path
+
+from tools.privacy_lint import Manifest, lint_source
+from tools.privacy_lint.baseline import Baseline
+from tools.privacy_lint.cli import main as lint_main
+from tools.privacy_lint.engine import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "tools" / "privacy_lint" / "baseline.txt"
+
+
+def production_manifest() -> Manifest:
+    return Manifest.load(None)
+
+
+def test_src_repro_lints_clean():
+    report = lint_paths(
+        [REPO_ROOT / "src" / "repro"],
+        production_manifest(),
+        baseline=Baseline.load(BASELINE),
+        root=REPO_ROOT,
+    )
+    assert report.errors == []
+    assert report.findings == [], "\n".join(f.render() for f in report.findings)
+
+
+def test_baseline_entries_all_still_match():
+    # Every committed baseline entry must still suppress something: dead
+    # entries mean the offending code changed and must be re-decided.
+    baseline = Baseline.load(BASELINE)
+    report = lint_paths(
+        [REPO_ROOT / "src" / "repro"],
+        production_manifest(),
+        baseline=baseline,
+        root=REPO_ROOT,
+    )
+    assert report.baseline_suppressed == len(baseline)
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    exit_code = lint_main([str(REPO_ROOT / "src" / "repro")])
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.out + captured.err
+
+
+# --------------------------------------------------------------------- #
+# acceptance-criteria injections (run against real file contents)
+# --------------------------------------------------------------------- #
+def _real_source(rel: str) -> str:
+    return (REPO_ROOT / rel).read_text(encoding="utf-8")
+
+
+def test_injected_tds_import_in_ssi_server_trips_pl001():
+    source = "import repro.tds.node\n" + _real_source("src/repro/ssi/server.py")
+    findings = lint_source(
+        "src/repro/ssi/server.py", source, production_manifest()
+    )
+    assert "PL001" in {f.rule for f in findings}
+
+
+def test_injected_raw_transfer_trips_pl004():
+    source = _real_source("src/repro/protocols/s_agg.py") + (
+        "\n\ndef leak(driver, envelope):\n"
+        "    driver.ssi.submit_tuples(envelope.query_id, [])\n"
+    )
+    findings = lint_source(
+        "src/repro/protocols/s_agg.py", source, production_manifest()
+    )
+    assert "PL004" in {f.rule for f in findings}
+
+
+def test_injected_det_enc_in_s_agg_trips_pl003():
+    source = _real_source("src/repro/protocols/s_agg.py") + (
+        "\nfrom repro.crypto.det import DeterministicCipher\n"
+        "_tagger = DeterministicCipher(bytes(16))\n"
+    )
+    findings = lint_source(
+        "src/repro/protocols/s_agg.py", source, production_manifest()
+    )
+    assert {f.rule for f in findings} >= {"PL003"}
+
+
+def test_injected_wall_clock_in_runner_trips_pl005():
+    source = _real_source("src/repro/simulation/runner.py") + (
+        "\nimport time\n\n\ndef _stamp() -> float:\n    return time.time()\n"
+    )
+    findings = lint_source(
+        "src/repro/simulation/runner.py", source, production_manifest()
+    )
+    assert "PL005" in {f.rule for f in findings}
+
+
+def test_injected_plaintext_egress_trips_pl002():
+    source = _real_source("src/repro/tds/node.py") + (
+        "\n\ndef leak(content):\n"
+        "    from repro.core.messages import EncryptedTuple\n"
+        "    return EncryptedTuple(payload=encode_tuple_frame(content))\n"
+    )
+    findings = lint_source("src/repro/tds/node.py", source, production_manifest())
+    assert "PL002" in {f.rule for f in findings}

@@ -1,7 +1,5 @@
 """Windowed (streaming) query tests."""
 
-import random
-
 import pytest
 
 from repro.exceptions import ConfigurationError

@@ -12,7 +12,7 @@ from repro.core.messages import (
 from repro.exceptions import ProtocolError
 from repro.ssi.querybox import GlobalQuerybox, PersonalQuerybox
 from repro.ssi.server import SupportingServerInfrastructure
-from repro.ssi.storage import PartitionState, PartitionTracker
+from repro.ssi.storage import PartitionTracker
 
 
 def make_envelope(query_id="q1", size_tuples=None, size_seconds=None):

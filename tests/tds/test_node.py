@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.codec import decode, encode
 from repro.core.messages import Partition, QueryEnvelope
-from repro.core.wire import decode_frame
 from repro.crypto.keys import KeyProvisioner, random_key
 from repro.crypto.ndet import NonDeterministicCipher
 from repro.exceptions import (
@@ -17,7 +16,7 @@ from repro.exceptions import (
 from repro.sql.parser import parse
 from repro.sql.schema import Database, schema
 from repro.tds.access_control import Authority, permissive_policy
-from repro.tds.device import SECURE_TOKEN, DeviceProfile
+from repro.tds.device import DeviceProfile
 from repro.tds.histogram import EquiDepthHistogram
 from repro.tds.node import TrustedDataServer, reduced_row
 from repro.tds.noise import ComplementaryNoise, RandomNoise

@@ -1,0 +1,42 @@
+"""privacy-lint: static enforcement of the paper's trust-boundary invariants.
+
+The reproduction's security argument (DESIGN.md, "Statically enforced
+invariants") rests on properties the code can only promise by convention:
+
+* the SSI never touches plaintext or key material (§2.1, §3.1);
+* everything crossing the TDS <-> SSI boundary is ciphertext (§3.2);
+* deterministic encryption is legal only on grouping attributes of the
+  noise-based / ED_Hist protocols (§4.3, §4.4);
+* every byte a TDS moves is charged to LoadQ through one choke point
+  (EXPERIMENTS.md, the PR 1 bug class);
+* the simulator is deterministic — logical clock and seeded RNGs only.
+
+This package machine-checks those invariants on every commit with a small
+AST-based rule engine (stdlib only).  Rules are numbered PL001..PL005; see
+:mod:`tools.privacy_lint.rules` for one module per rule.
+
+Usage::
+
+    python -m tools.privacy_lint [paths...]
+    python -m tools.privacy_lint --list-rules
+    python -m tools.privacy_lint --write-baseline
+
+Findings can be suppressed three ways, in order of preference: fix the
+code, add a ``# privacy-lint: disable=PL00X`` pragma on the offending line
+(with a justification comment), or grandfather it in ``baseline.txt``.
+"""
+
+from tools.privacy_lint.diagnostics import Finding
+from tools.privacy_lint.engine import LintReport, lint_paths, lint_source
+from tools.privacy_lint.manifest import Manifest
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Manifest",
+    "lint_paths",
+    "lint_source",
+    "__version__",
+]

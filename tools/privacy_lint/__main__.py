@@ -1,0 +1,6 @@
+"""``python -m tools.privacy_lint`` dispatches to the CLI."""
+
+from tools.privacy_lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

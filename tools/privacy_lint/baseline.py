@@ -1,0 +1,89 @@
+"""Committed baseline of grandfathered findings.
+
+Format — one entry per line, ``#`` comments and blank lines ignored::
+
+    RULE | repo/relative/path.py | normalized offending line | justification
+
+An entry suppresses every finding with the same (rule, path, normalized
+source line) key, so entries survive line-number churn but die as soon as
+the offending code changes — exactly when a human should re-decide.
+``--write-baseline`` regenerates the file from the current findings
+(keeping a TODO justification for new entries).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from tools.privacy_lint.diagnostics import Finding
+
+_HEADER = """\
+# privacy-lint baseline — grandfathered findings.
+#
+# One entry per line:  RULE | path | normalized source line | justification
+# An entry stops matching (and must be revisited) as soon as the offending
+# line changes.  Prefer fixing the code or an inline pragma with a
+# justification; use the baseline only for findings that are intentional
+# and too noisy to pragma individually.
+"""
+
+BaselineKey = tuple[str, str, str]
+
+
+def _key(rule: str, path: str, normalized: str) -> BaselineKey:
+    return (rule.upper(), path, normalized)
+
+
+class Baseline:
+    """Set of grandfathered finding keys, with load/save round-trip."""
+
+    def __init__(self, entries: dict[BaselineKey, str] | None = None) -> None:
+        #: key -> justification
+        self.entries: dict[BaselineKey, str] = dict(entries or {})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def suppresses(self, finding: Finding) -> bool:
+        return _key(finding.rule, finding.path, finding.normalized_source()) in self.entries
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        baseline = cls()
+        baseline_path = Path(path)
+        if not baseline_path.exists():
+            return baseline
+        for raw in baseline_path.read_text(encoding="utf-8").splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = [part.strip() for part in line.split("|", 3)]
+            if len(parts) < 3:
+                raise ValueError(f"malformed baseline entry: {raw!r}")
+            rule, entry_path, normalized = parts[0], parts[1], parts[2]
+            justification = parts[3] if len(parts) == 4 else ""
+            baseline.entries[_key(rule, entry_path, normalized)] = justification
+        return baseline
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Baseline for *findings*, keeping justifications already written."""
+        baseline = cls()
+        for finding in findings:
+            key = _key(finding.rule, finding.path, finding.normalized_source())
+            justification = "TODO: justify or fix"
+            if previous is not None and key in previous.entries:
+                justification = previous.entries[key] or justification
+            baseline.entries[key] = justification
+        return baseline
+
+    def save(self, path: str | Path) -> None:
+        lines = [_HEADER]
+        for (rule, entry_path, normalized), justification in sorted(
+            self.entries.items()
+        ):
+            lines.append(f"{rule} | {entry_path} | {normalized} | {justification}")
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,126 @@
+"""Command-line entry point: ``python -m tools.privacy_lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.privacy_lint.baseline import Baseline
+from tools.privacy_lint.engine import lint_paths
+from tools.privacy_lint.manifest import Manifest
+from tools.privacy_lint.rules import ALL_RULES
+
+_PACKAGE_DIR = Path(__file__).parent
+DEFAULT_PATHS = ["src/repro"]
+DEFAULT_BASELINE = _PACKAGE_DIR / "baseline.txt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="privacy-lint",
+        description=(
+            "Static enforcement of the paper's trust-boundary invariants "
+            "(PL001-PL005); see tools/privacy_lint/__init__.py"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=DEFAULT_PATHS,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="trust manifest INI (default: the committed manifest.cfg)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report baselined findings too",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name:28s} {rule.rationale}")
+        return 0
+
+    try:
+        manifest = Manifest.load(args.manifest)
+    except (OSError, ValueError) as exc:
+        print(f"privacy-lint: cannot load manifest: {exc}", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",")}
+
+    baseline: Baseline | None = None
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"privacy-lint: {exc}", file=sys.stderr)
+            return 2
+
+    report = lint_paths(args.paths, manifest, baseline=baseline, select=select)
+
+    if args.write_baseline:
+        previous = Baseline.load(args.baseline)
+        Baseline.from_findings(report.findings, previous).save(args.baseline)
+        print(
+            f"privacy-lint: wrote {len(report.findings)} entr"
+            f"{'y' if len(report.findings) == 1 else 'ies'} to {args.baseline}"
+        )
+        return 0
+
+    for error in report.errors:
+        print(f"privacy-lint: error: {error}", file=sys.stderr)
+    for finding in report.findings:
+        print(finding.render())
+    if not args.quiet:
+        summary = (
+            f"privacy-lint: {report.files_checked} files, "
+            f"{len(report.findings)} finding(s)"
+        )
+        if report.baseline_suppressed:
+            summary += f", {report.baseline_suppressed} baselined"
+        if report.pragma_suppressed:
+            summary += f", {report.pragma_suppressed} pragma-suppressed"
+        print(summary)
+    return 1 if (report.findings or report.errors) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

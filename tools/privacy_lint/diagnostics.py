@@ -1,0 +1,30 @@
+"""Finding: one diagnostic emitted by a privacy-lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """A single diagnostic, sortable into file/line order.
+
+    ``path`` is repo-relative and POSIX-style so findings are stable across
+    machines (baseline entries key on it).  ``source_line`` carries the
+    stripped offending line; the baseline keys on its whitespace-normalized
+    form so entries survive reformatting and line-number churn.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    source_line: str = ""
+
+    def normalized_source(self) -> str:
+        """The offending line with whitespace collapsed (baseline key)."""
+        return " ".join(self.source_line.split())
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

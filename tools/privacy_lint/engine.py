@@ -1,0 +1,125 @@
+"""The lint engine: file discovery, rule dispatch, pragma/baseline filters."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from tools.privacy_lint.baseline import Baseline
+from tools.privacy_lint.diagnostics import Finding
+from tools.privacy_lint.manifest import Manifest
+from tools.privacy_lint.pragmas import PragmaIndex
+from tools.privacy_lint.rules import ALL_RULES, ModuleContext
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    pragma_suppressed: int = 0
+    baseline_suppressed: int = 0
+    files_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def _select_rules(select: set[str] | None) -> tuple[type, ...]:
+    if select is None:
+        return ALL_RULES
+    return tuple(rule for rule in ALL_RULES if rule.code in select)
+
+
+def _lint_source_counting(
+    path: str,
+    source: str,
+    manifest: Manifest,
+    select: set[str] | None,
+) -> tuple[list[Finding], int]:
+    tree = ast.parse(source, filename=path)
+    context = ModuleContext(path=path, source=source, tree=tree, manifest=manifest)
+    pragmas = PragmaIndex(source)
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule_cls in _select_rules(select):
+        for finding in rule_cls(context).run():
+            if pragmas.suppresses(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return sorted(findings), suppressed
+
+
+def lint_source(
+    path: str,
+    source: str,
+    manifest: Manifest,
+    select: set[str] | None = None,
+) -> list[Finding]:
+    """Lint one module given its source text (pragma-filtered, unbaselined).
+
+    *path* is the repo-relative POSIX path the manifest patterns are
+    matched against — callers may lint hypothetical content for a real
+    path (the injection tests do exactly that).
+    """
+    findings, _ = _lint_source_counting(path, source, manifest, select)
+    return findings
+
+
+def iter_python_files(paths: list[str | Path], root: Path) -> list[Path]:
+    """Expand *paths* (files or directories) into sorted .py files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: list[str | Path],
+    manifest: Manifest,
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+    select: set[str] | None = None,
+) -> LintReport:
+    """Lint every Python file under *paths*; returns the filtered report.
+
+    Pragma-suppressed findings never surface; baseline-suppressed ones are
+    counted but dropped.  Unparseable files are reported as errors (the
+    linter must not silently skip what it cannot vouch for).
+    """
+    root_path = Path(root) if root is not None else Path.cwd()
+    report = LintReport()
+    for file_path in iter_python_files(paths, root_path):
+        try:
+            rel = file_path.resolve().relative_to(root_path.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            findings, suppressed = _lint_source_counting(rel, source, manifest, select)
+        except (OSError, SyntaxError) as exc:
+            report.errors.append(f"{rel}: {exc}")
+            continue
+        report.files_checked += 1
+        report.pragma_suppressed += suppressed
+        for finding in findings:
+            if baseline is not None and baseline.suppresses(finding):
+                report.baseline_suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.findings.sort()
+    return report

@@ -1,0 +1,103 @@
+"""The trust manifest: which module plays which architectural role.
+
+The paper's parties (querier, SSI, TDS) do not coincide with Python
+packages one-to-one — protocol drivers orchestrate both sides, ``crypto/``
+is shared — so the mapping is declared here instead of being inferred.
+The committed ``manifest.cfg`` (INI, stdlib :mod:`configparser` so it
+works on every supported Python) assigns a *role* to each path pattern and
+parameterizes the individual rules; tests build custom manifests to lint
+fixture files under synthetic roles.
+
+Patterns are :func:`fnmatch.fnmatchcase` globs over repo-relative POSIX
+paths; the first matching pattern wins.
+"""
+
+from __future__ import annotations
+
+import configparser
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+
+_DEFAULT_MANIFEST = Path(__file__).with_name("manifest.cfg")
+
+
+def _split_list(raw: str) -> list[str]:
+    parts: list[str] = []
+    for chunk in raw.replace("\n", ",").split(","):
+        chunk = chunk.strip()
+        if chunk:
+            parts.append(chunk)
+    return parts
+
+
+@dataclass
+class Manifest:
+    """Role map plus per-rule parameters (see ``manifest.cfg``)."""
+
+    #: (pattern, role) pairs; first match wins.  Unmatched files have role
+    #: ``None`` and only the role-independent rules apply to them.
+    roles: list[tuple[str, str]] = field(default_factory=list)
+
+    #: PL001 — module-prefix -> reason; SSI-role files may not import these.
+    forbidden_modules: dict[str, str] = field(default_factory=dict)
+    #: PL001 — ("module", "name") -> reason; forbidden from-imports.
+    forbidden_names: dict[tuple[str, str], str] = field(default_factory=dict)
+
+    #: PL003 — path patterns where Det_Enc may be constructed/acquired.
+    det_enc_allowed: list[str] = field(default_factory=list)
+    #: PL003 — callables whose invocation means "acquire a Det_Enc cipher".
+    det_enc_callables: set[str] = field(default_factory=set)
+    #: PL003 — modules whose import implies Det_Enc access.
+    det_enc_modules: set[str] = field(default_factory=set)
+
+    #: PL004 — attribute names that move bytes across the TDS<->SSI boundary.
+    transfer_methods: set[str] = field(default_factory=set)
+    #: PL004 — attribute names that charge work to the LoadQ choke point.
+    account_methods: set[str] = field(default_factory=set)
+
+    def role_of(self, path: str) -> str | None:
+        for pattern, role in self.roles:
+            if fnmatchcase(path, pattern):
+                return role
+        return None
+
+    def det_enc_allows(self, path: str) -> bool:
+        return any(fnmatchcase(path, pattern) for pattern in self.det_enc_allowed)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: str | Path | None = None) -> "Manifest":
+        """Load a manifest from INI; ``None`` loads the committed default."""
+        # "=" only: pl001.forbidden_names keys embed ":" (module:name).
+        parser = configparser.ConfigParser(delimiters=("=",))
+        parser.optionxform = str  # type: ignore[assignment]  # keep case
+        manifest_path = Path(path) if path is not None else _DEFAULT_MANIFEST
+        with open(manifest_path, encoding="utf-8") as handle:
+            parser.read_file(handle)
+
+        manifest = cls()
+        if parser.has_section("roles"):
+            for pattern, role in parser.items("roles"):
+                manifest.roles.append((pattern, role.strip()))
+        if parser.has_section("pl001.forbidden_modules"):
+            for prefix, reason in parser.items("pl001.forbidden_modules"):
+                manifest.forbidden_modules[prefix] = reason.strip()
+        if parser.has_section("pl001.forbidden_names"):
+            for spec, reason in parser.items("pl001.forbidden_names"):
+                module, _, name = spec.partition(":")
+                manifest.forbidden_names[(module, name)] = reason.strip()
+        if parser.has_section("pl003"):
+            section = parser["pl003"]
+            manifest.det_enc_allowed = _split_list(section.get("allowed", ""))
+            manifest.det_enc_callables = set(_split_list(section.get("callables", "")))
+            manifest.det_enc_modules = set(_split_list(section.get("modules", "")))
+        if parser.has_section("pl004"):
+            section = parser["pl004"]
+            manifest.transfer_methods = set(
+                _split_list(section.get("transfer_methods", ""))
+            )
+            manifest.account_methods = set(
+                _split_list(section.get("account_methods", ""))
+            )
+        return manifest

@@ -1,0 +1,58 @@
+"""Inline suppression pragmas.
+
+Two forms, mirroring the usual linter conventions:
+
+* line pragma — suppresses matching findings on that physical line::
+
+      self.ssi.store_result_rows(...)  # privacy-lint: disable=PL004  <why>
+
+* file pragma — anywhere in the first ``_FILE_PRAGMA_WINDOW`` lines,
+  suppresses matching findings in the whole file::
+
+      # privacy-lint: disable-file=PL003
+
+``disable=all`` suppresses every rule.  A pragma never ships without a
+justification in the surrounding comment; that convention is enforced in
+review, not here.
+"""
+
+from __future__ import annotations
+
+import re
+
+from tools.privacy_lint.diagnostics import Finding
+
+# Codes are comma-separated identifiers; trailing prose ("  why ...")
+# after the list must not be swallowed into the last code.
+_CODES = r"((?:[A-Za-z0-9_]+\s*,\s*)*[A-Za-z0-9_]+)"
+_LINE_RE = re.compile(r"#\s*privacy-lint:\s*disable=" + _CODES)
+_FILE_RE = re.compile(r"#\s*privacy-lint:\s*disable-file=" + _CODES)
+_FILE_PRAGMA_WINDOW = 10
+
+
+def _parse_codes(raw: str) -> set[str]:
+    return {code.strip().upper() for code in raw.split(",") if code.strip()}
+
+
+class PragmaIndex:
+    """Per-file index of suppression pragmas, built once from the source."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+        lines = source.splitlines()
+        for lineno, text in enumerate(lines, start=1):
+            match = _LINE_RE.search(text)
+            if match:
+                self._by_line[lineno] = _parse_codes(match.group(1))
+            if lineno <= _FILE_PRAGMA_WINDOW:
+                match = _FILE_RE.search(text)
+                if match:
+                    self._file_wide |= _parse_codes(match.group(1))
+
+    def suppresses(self, finding: Finding) -> bool:
+        rule = finding.rule.upper()
+        if "ALL" in self._file_wide or rule in self._file_wide:
+            return True
+        codes = self._by_line.get(finding.line, set())
+        return "ALL" in codes or rule in codes

@@ -1,0 +1,36 @@
+"""Rule registry: one module per PL rule, discovered statically.
+
+Each rule is a class with ``code`` (``PL00X``), ``name``, a one-line
+``rationale`` citing the paper invariant it protects, and
+``run(context)`` yielding :class:`~tools.privacy_lint.diagnostics.Finding`.
+"""
+
+from __future__ import annotations
+
+from tools.privacy_lint.rules.context import ModuleContext
+from tools.privacy_lint.rules.pl001_trust_boundary import TrustBoundaryImports
+from tools.privacy_lint.rules.pl002_plaintext_egress import PlaintextEgress
+from tools.privacy_lint.rules.pl003_det_enc_allowlist import DetEncAllowlist
+from tools.privacy_lint.rules.pl004_accounting import AccountingChokePoint
+from tools.privacy_lint.rules.pl005_determinism import SimulationDeterminism
+
+ALL_RULES = (
+    TrustBoundaryImports,
+    PlaintextEgress,
+    DetEncAllowlist,
+    AccountingChokePoint,
+    SimulationDeterminism,
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "ModuleContext",
+    "TrustBoundaryImports",
+    "PlaintextEgress",
+    "DetEncAllowlist",
+    "AccountingChokePoint",
+    "SimulationDeterminism",
+]

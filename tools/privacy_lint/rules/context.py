@@ -1,0 +1,56 @@
+"""Per-module analysis context shared by all rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from tools.privacy_lint.manifest import Manifest
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The rightmost identifier of a Name/Attribute chain, else None.
+
+    ``DeterministicCipher`` -> ``DeterministicCipher``;
+    ``cache.det_cipher`` -> ``det_cipher``; ``self.ssi.submit_tuples`` ->
+    ``submit_tuples``; anything else -> ``None``.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted_path(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string when the chain is pure Name/Attribute."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to analyse one source file."""
+
+    path: str  # repo-relative POSIX path
+    source: str
+    tree: ast.AST
+    manifest: Manifest
+    lines: list[str] = field(init=False)
+    role: str | None = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+        self.role = self.manifest.role_of(self.path)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""

@@ -1,0 +1,72 @@
+"""PL001 — trust-boundary imports.
+
+The SSI is "powerful, highly available but untrusted" (§2.1): it stores
+and routes ciphertext, evaluates the cleartext SIZE clause, and nothing
+more.  An ``ssi``-role module importing TDS internals, master-key APIs or
+the plaintext tuple codec would let SSI-side code *name* secrets, which is
+one refactor away from holding them.  The manifest lists the forbidden
+module prefixes / names together with the reason each is off-limits.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.privacy_lint.diagnostics import Finding
+from tools.privacy_lint.rules.context import ModuleContext
+
+
+class TrustBoundaryImports:
+    code = "PL001"
+    name = "trust-boundary-imports"
+    rationale = "SSI-role modules must not import TDS/key/plaintext APIs (§2.1, §3.1)"
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+
+    def run(self) -> Iterator[Finding]:
+        if self.context.role != "ssi":
+            return
+        manifest = self.context.manifest
+        for node in ast.walk(self.context.tree):  # type: ignore[arg-type]
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield from self._check_module(node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay inside the package
+                yield from self._check_module(node, node.module)
+                for alias in node.names:
+                    # "from repro import tds" names the package too.
+                    yield from self._check_module(
+                        node, f"{node.module}.{alias.name}"
+                    )
+                    reason = manifest.forbidden_names.get(
+                        (node.module, alias.name)
+                    )
+                    if reason is not None:
+                        yield self._finding(
+                            node,
+                            f"ssi-role module imports {node.module}.{alias.name}"
+                            f" — {reason}",
+                        )
+
+    def _check_module(self, node: ast.stmt, module: str) -> Iterator[Finding]:
+        for prefix, reason in self.context.manifest.forbidden_modules.items():
+            if module == prefix or module.startswith(prefix + "."):
+                yield self._finding(
+                    node,
+                    f"ssi-role module imports {module} — {reason}",
+                )
+                return
+
+    def _finding(self, node: ast.stmt, message: str) -> Finding:
+        return Finding(
+            path=self.context.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            rule=self.code,
+            message=message,
+            source_line=self.context.line_text(node.lineno),
+        )

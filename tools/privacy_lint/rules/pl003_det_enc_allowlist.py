@@ -1,0 +1,69 @@
+"""PL003 — deterministic-encryption allowlist.
+
+``Det_Enc`` leaks ciphertext equality by design: the paper licenses that
+leak *only* for grouping attributes — the ``Det_Enc(AG)`` tags of the
+noise-based protocols, whose frequency distribution the injected fake
+tuples then hide (§4.3), and ED_Hist's keyed bucket tags (§4.4).  A
+``Det_Enc`` call anywhere else (say, on tuple payloads in S_Agg, which the
+paper ranks most confidential precisely because it is all-nDet, Fig. 8)
+silently downgrades security without breaking any test.
+
+The manifest's ``[pl003] allowed`` patterns name the files where acquiring
+a deterministic cipher is legitimate; everywhere else both the import of
+``repro.crypto.det`` and calls to ``DeterministicCipher`` / ``det_cipher``
+are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.privacy_lint.diagnostics import Finding
+from tools.privacy_lint.rules.context import ModuleContext, terminal_name
+
+
+class DetEncAllowlist:
+    code = "PL003"
+    name = "det-enc-allowlist"
+    rationale = "Det_Enc only on grouping attributes (§4.3, §4.4)"
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+
+    def run(self) -> Iterator[Finding]:
+        if self.context.manifest.det_enc_allows(self.context.path):
+            return
+        modules = self.context.manifest.det_enc_modules
+        callables = self.context.manifest.det_enc_callables
+        for node in ast.walk(self.context.tree):  # type: ignore[arg-type]
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in modules:
+                        yield self._finding(
+                            node, f"imports {alias.name} (Det_Enc implementation)"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in modules:
+                    yield self._finding(
+                        node, f"imports from {node.module} (Det_Enc implementation)"
+                    )
+            elif isinstance(node, ast.Call):
+                name = terminal_name(node.func)
+                if name in callables:
+                    yield self._finding(node, f"acquires a Det_Enc cipher via {name}()")
+
+    def _finding(self, node: ast.stmt | ast.expr, message: str) -> Finding:
+        return Finding(
+            path=self.context.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            rule=self.code,
+            message=(
+                f"{message} outside the grouping-attribute allowlist — "
+                "deterministic encryption reveals ciphertext equality, which "
+                "the paper permits only for noise-based/ED_Hist group tags "
+                "(§4.3, §4.4)"
+            ),
+            source_line=self.context.line_text(node.lineno),
+        )

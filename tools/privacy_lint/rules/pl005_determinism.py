@@ -1,0 +1,111 @@
+"""PL005 — simulation determinism.
+
+The discrete-event simulator replays execution traces on a *logical*
+clock; reproducibility of every figure (and the replay equivalence tests)
+requires that no wall-clock time or process-global randomness sneaks in.
+Within ``simulation``-role modules this rule flags:
+
+* wall-clock reads — ``time.time() / time_ns / monotonic / perf_counter /
+  localtime / gmtime / ctime`` and ``datetime.now / utcnow / today``;
+* the process-global RNG — any ``random.<func>()`` module-level call
+  (``random.random``, ``random.randint``, ``random.shuffle``, ...), which
+  shares unseeded state across the whole process;
+* unseeded generators — ``random.Random()`` with no arguments (seeds from
+  the OS).
+
+Seeded ``random.Random(seed)`` instances threaded through as ``rng``
+parameters are the sanctioned source of randomness.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.privacy_lint.diagnostics import Finding
+from tools.privacy_lint.rules.context import ModuleContext, dotted_path
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: module-level functions of the global RNG (shared, unseeded state)
+_GLOBAL_RANDOM = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "getrandbits",
+    "randbytes",
+    "seed",
+}
+
+
+class SimulationDeterminism:
+    code = "PL005"
+    name = "simulation-determinism"
+    rationale = "the simulator runs on a logical clock with seeded RNGs only"
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+
+    def run(self) -> Iterator[Finding]:
+        if self.context.role != "simulation":
+            return
+        for node in ast.walk(self.context.tree):  # type: ignore[arg-type]
+            if not isinstance(node, ast.Call):
+                continue
+            path = dotted_path(node.func)
+            if path is None:
+                continue
+            if path in _WALL_CLOCK:
+                yield self._finding(
+                    node,
+                    f"wall-clock read {path}() — use the logical clock "
+                    "(collection_interval / trace timestamps) instead",
+                )
+            elif path == "random.Random" and not node.args and not node.keywords:
+                yield self._finding(
+                    node,
+                    "unseeded random.Random() — construct with an explicit "
+                    "seed and thread it through as an rng parameter",
+                )
+            elif path.startswith("random.") and path.split(".", 1)[1] in _GLOBAL_RANDOM:
+                yield self._finding(
+                    node,
+                    f"process-global RNG call {path}() — use a seeded "
+                    "random.Random instance passed in as rng",
+                )
+
+    def _finding(self, call: ast.Call, message: str) -> Finding:
+        return Finding(
+            path=self.context.path,
+            line=call.lineno,
+            col=call.col_offset + 1,
+            rule=self.code,
+            message=message + " (simulation runs must replay bit-identically)",
+            source_line=self.context.line_text(call.lineno),
+        )

@@ -1,6 +1,6 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench examples figures clean \
+.PHONY: install test bench examples figures clean serve-demo \
 	lint lint-privacy lint-ruff lint-mypy
 
 install:
@@ -35,6 +35,23 @@ lint-mypy:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Three real processes over localhost TCP: an SSI server, a fleet of TDS
+# clients and one querier.  The querier's exit status is the demo's; the
+# server and fleet are torn down afterwards.
+SERVE_DEMO_PORT ?= 7464
+serve-demo:
+	@set -e; \
+	PYTHONPATH=src python -m repro serve --port $(SERVE_DEMO_PORT) --partition-timeout 2.0 & \
+	SERVE_PID=$$!; \
+	trap 'kill $$SERVE_PID 2>/dev/null || true' EXIT; \
+	sleep 1.5; \
+	PYTHONPATH=src python -m repro fleet --port $(SERVE_DEMO_PORT) --tds 8 --seed 3 --queries 2 & \
+	FLEET_PID=$$!; \
+	sleep 0.5; \
+	PYTHONPATH=src python -m repro query --port $(SERVE_DEMO_PORT) --tds 8 --seed 3 --protocol s_agg; \
+	PYTHONPATH=src python -m repro query --port $(SERVE_DEMO_PORT) --tds 8 --seed 3 --protocol ed_hist; \
+	wait $$FLEET_PID
 
 examples:
 	@for script in examples/*.py; do \

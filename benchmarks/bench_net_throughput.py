@@ -1,0 +1,252 @@
+"""Network runtime throughput: wire overhead measured, not guessed.
+
+Measures the :mod:`repro.net` stack at three levels:
+
+* **RPC floor** — ping round-trips/second over loopback (codec cost
+  only) and over localhost TCP (codec + sockets);
+* **submission throughput** — encrypted tuples/second through
+  ``submit_tuples`` in batches, over TCP, including server-side
+  application to the SSI store;
+* **query wall-clock** — one full S_Agg query in driver-mode, run
+  in-process / over loopback / over TCP, plus fleet-mode over TCP — the
+  end-to-end price of each added layer.
+
+Running the module directly writes ``BENCH_net.json`` at the repo root
+and publishes a table under ``benchmarks/results/``.  The pytest entry
+re-runs a light version so the wire path stays under observation in
+``make bench``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import sys
+import time
+
+from repro.bench import publish, render_table
+from repro.core.messages import EncryptedTuple
+from repro.net.client import AsyncSSIClient, QuerierClient, RetryPolicy
+from repro.net.fleet import FleetRunner
+from repro.net.frames import QueryMeta
+from repro.net.server import SSIDispatcher, SSIServer
+from repro.net.transport import LoopbackTransport, RemoteSSI, TCPTransport
+from repro.protocols import Deployment, SAggProtocol
+from repro.sql.schema import Database, schema
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_net.json")
+
+PING_COUNT = 2000
+TUPLE_BATCHES = 50
+TUPLES_PER_BATCH = 200
+TUPLE_BYTES = 256
+QUERY_SQL = "SELECT district, COUNT(*) AS n FROM Consumer GROUP BY district"
+
+
+def _factory(index, rng):
+    db = Database()
+    consumer = db.create_table(
+        schema("Consumer", cid="INTEGER", district="TEXT")
+    )
+    consumer.insert({"cid": index, "district": f"d{index % 4}"})
+    power = db.create_table(schema("Power", cid="INTEGER", cons="REAL"))
+    power.insert({"cid": index, "cons": float(index)})
+    return db
+
+
+def _deployment(num_tds=16, seed=11):
+    return Deployment.build(num_tds, _factory, tables=["Power", "Consumer"], seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# measurements
+# --------------------------------------------------------------------- #
+async def _measure_ping(client, count):
+    await client.ping()  # warm up / connect
+    start = time.perf_counter()
+    for __ in range(count):
+        await client.ping()
+    return count / (time.perf_counter() - start)
+
+
+def measure_rpc_floor(count=PING_COUNT):
+    async def run():
+        dispatcher = SSIDispatcher()
+        loopback = AsyncSSIClient(LoopbackTransport(dispatcher.dispatch))
+        loop_rps = await _measure_ping(loopback, count)
+
+        server = SSIServer(SSIDispatcher())
+        await server.start()
+        tcp = AsyncSSIClient(TCPTransport("127.0.0.1", server.port))
+        tcp_rps = await _measure_ping(tcp, count)
+        await tcp.close()
+        await server.close()
+        return {"ping_rps_loopback": loop_rps, "ping_rps_tcp": tcp_rps}
+
+    return asyncio.run(run())
+
+
+def measure_submission(batches=TUPLE_BATCHES, per_batch=TUPLES_PER_BATCH):
+    async def run():
+        dep = _deployment(num_tds=2)
+        querier = dep.make_querier()
+        envelope = querier.make_envelope(QUERY_SQL)
+        server = SSIServer(SSIDispatcher(dep.ssi))
+        await server.start()
+        client = AsyncSSIClient(TCPTransport("127.0.0.1", server.port))
+        await client.post_query(envelope)
+        rng = random.Random(3)
+        batch = [
+            EncryptedTuple(rng.getrandbits(8 * TUPLE_BYTES).to_bytes(TUPLE_BYTES, "big"), None)
+            for __ in range(per_batch)
+        ]
+        start = time.perf_counter()
+        for __ in range(batches):
+            await client.submit_tuples(envelope.query_id, batch)
+        elapsed = time.perf_counter() - start
+        await client.close()
+        await server.close()
+        total = batches * per_batch
+        return {
+            "tuples_per_s_tcp": total / elapsed,
+            "tuple_mb_per_s_tcp": total * TUPLE_BYTES / elapsed / 1e6,
+        }
+
+    return asyncio.run(run())
+
+
+def _run_driver(ssi_for, cleanup=None):
+    dep = _deployment()
+    querier = dep.make_querier()
+    envelope = querier.make_envelope(QUERY_SQL)
+    ssi = ssi_for(dep)
+    try:
+        start = time.perf_counter()
+        ssi.post_query(envelope)
+        driver = SAggProtocol(
+            ssi, collectors=dep.tds_list, workers=dep.tds_list,
+            rng=random.Random(7),
+        )
+        driver.execute(envelope)
+        rows = querier.decrypt_result(ssi.fetch_result(envelope.query_id))
+        elapsed = time.perf_counter() - start
+        assert rows
+        return elapsed
+    finally:
+        if cleanup is not None:
+            cleanup()
+
+
+def measure_driver_modes():
+    results = {}
+    results["driver_query_s_inproc"] = _run_driver(lambda dep: dep.ssi)
+
+    state = {}
+
+    def loopback_ssi(dep):
+        remote = RemoteSSI.loopback(SSIDispatcher(dep.ssi).dispatch)
+        state["cleanup"] = remote.close
+        return remote
+
+    results["driver_query_s_loopback"] = _run_driver(
+        loopback_ssi, cleanup=lambda: state["cleanup"]()
+    )
+
+    def tcp_ssi(dep):
+        from repro.net.transport import SyncBridge
+
+        bridge = SyncBridge()
+        server = SSIServer(SSIDispatcher(dep.ssi))
+        bridge.run(server.start())
+        remote = RemoteSSI.tcp("127.0.0.1", server.port)
+
+        def cleanup():
+            remote.close()
+            bridge.run(server.close())
+            bridge.close()
+
+        state["cleanup"] = cleanup
+        return remote
+
+    results["driver_query_s_tcp"] = _run_driver(
+        tcp_ssi, cleanup=lambda: state["cleanup"]()
+    )
+    return results
+
+
+def measure_fleet_mode():
+    async def run():
+        dep = _deployment()
+        dispatcher = SSIDispatcher(dep.ssi, partition_timeout=5.0)
+        server = SSIServer(dispatcher)
+        await server.start()
+        fleet = FleetRunner(
+            dep.tds_list,
+            lambda: TCPTransport("127.0.0.1", server.port),
+            policy=RetryPolicy(backoff_base=0.01),
+            poll_interval=0.01,
+            rng=random.Random(5),
+        )
+        fleet_task = asyncio.create_task(fleet.run(until_queries_done=1))
+        querier = dep.make_querier()
+        envelope = querier.make_envelope(QUERY_SQL)
+        client = QuerierClient(TCPTransport("127.0.0.1", server.port))
+        start = time.perf_counter()
+        await client.post_query(envelope, meta=QueryMeta("s_agg", {"alpha": 3.6}))
+        result = await client.wait_result(envelope.query_id, poll_interval=0.01)
+        elapsed = time.perf_counter() - start
+        assert querier.decrypt_result(result)
+        await client.close()
+        await fleet_task
+        await server.close()
+        return {"fleet_query_s_tcp": elapsed}
+
+    return asyncio.run(run())
+
+
+def measure_all(ping_count=PING_COUNT, batches=TUPLE_BATCHES):
+    results = {}
+    results.update(measure_rpc_floor(ping_count))
+    results.update(measure_submission(batches))
+    results.update(measure_driver_modes())
+    results.update(measure_fleet_mode())
+    return results
+
+
+def _render(results):
+    rows = [[key, f"{value:,.1f}"] for key, value in sorted(results.items())]
+    return render_table("repro.net throughput", ["metric", "value"], rows)
+
+
+# --------------------------------------------------------------------- #
+# entry points
+# --------------------------------------------------------------------- #
+def test_net_throughput_smoke(benchmark):
+    """Light pytest version: the wire path must stay functional and the
+    TCP ping floor must not collapse."""
+    results = benchmark(lambda: measure_all(ping_count=200, batches=5))
+    publish("net_throughput", _render(results))
+    assert results["ping_rps_tcp"] > 50
+    assert results["tuples_per_s_tcp"] > 500
+    assert results["fleet_query_s_tcp"] < 60.0
+
+
+def main(argv):
+    results = measure_all()
+    print(_render(results))
+    payload = {
+        "description": "repro.net wire throughput baseline",
+        "metrics": {k: round(v, 3) for k, v in sorted(results.items())},
+    }
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

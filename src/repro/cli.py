@@ -1,19 +1,28 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands:
+Subcommands:
 
 * ``demo``      — run one private query over a synthetic smart-meter
   population with any of the protocols and print the result + stats;
 * ``figures``   — regenerate the paper's figure series without pytest;
 * ``costmodel`` — evaluate the calibrated cost model at one parameter
   point (all four metrics, all five protocols);
-* ``attack``    — replay the frequency-based attack against each
-  protocol's observation log.
+* ``recommend`` — pick a protocol for a deployment scenario (§6.4);
+* ``serve``     — run the SSI as an asyncio TCP service;
+* ``fleet``     — run a population of TDS clients against a served SSI;
+* ``query``     — post one query to a served SSI and await the result.
+
+``serve``/``fleet``/``query`` are three independent processes speaking
+the :mod:`repro.net` wire protocol; ``fleet`` and ``query`` must agree
+on ``--tds/--districts/--seed`` so both rebuild the same deterministic
+deployment (same keys, same credential authority) — the served SSI
+itself never holds either.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import random
 import sys
 from typing import Sequence
@@ -170,6 +179,134 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+_FLEET_QUERY = "SELECT district, COUNT(*) AS meters FROM Consumer GROUP BY district"
+
+NET_PROTOCOLS = ("s_agg", "ed_hist")
+
+
+def _fleet_deployment(args: argparse.Namespace) -> Deployment:
+    """The deterministic population ``fleet`` and ``query`` both rebuild
+    (identical keys/authority under identical --tds/--districts/--seed)."""
+    return Deployment.build(
+        args.tds,
+        smart_meter_factory(num_districts=args.districts),
+        tables=["Power", "Consumer"],
+        seed=args.seed,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.server import SSIDispatcher, SSIServer
+    from repro.ssi.server import SupportingServerInfrastructure
+
+    async def _serve() -> None:
+        dispatcher = SSIDispatcher(
+            SupportingServerInfrastructure(),
+            partition_timeout=args.partition_timeout,
+        )
+        server = SSIServer(
+            dispatcher,
+            host=args.host,
+            port=args.port,
+            read_timeout=args.read_timeout,
+        )
+        await server.start()
+        print(f"SSI listening on {server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("SSI stopped")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.net.fleet import FleetRunner
+    from repro.net.transport import TCPTransport
+    from repro.protocols import build_histogram
+
+    deployment = _fleet_deployment(args)
+    histogram = build_histogram(
+        deployment, "Consumer", "district", num_buckets=args.buckets
+    )
+
+    async def _run() -> None:
+        fleet = FleetRunner(
+            deployment.tds_list,
+            lambda: TCPTransport(args.host, args.port),
+            histogram=histogram,
+            concurrency=args.concurrency,
+            poll_interval=args.poll_interval,
+            rng=random.Random(args.seed + 1),
+        )
+        print(
+            f"fleet of {len(deployment.tds_list)} TDS clients -> "
+            f"{args.host}:{args.port}",
+            flush=True,
+        )
+        stats = await fleet.run(until_queries_done=args.queries)
+        print(
+            f"fleet done: {stats.contributions} contributions, "
+            f"{stats.tuples_submitted} tuples, "
+            f"{stats.partitions_processed} partitions, "
+            f"{len(stats.queries_completed)} query(ies) completed"
+        )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("fleet stopped")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    import uuid
+
+    from repro.net.client import QuerierClient
+    from repro.net.frames import QueryMeta
+    from repro.net.transport import TCPTransport
+    from repro.protocols import ALPHA_OPTIMAL
+
+    deployment = _fleet_deployment(args)
+    querier = deployment.make_querier()
+    # fresh_query_id() is only process-unique; independent `query`
+    # processes hitting one served SSI need globally unique ids.
+    query_id = args.query_id or f"q-{uuid.uuid4().hex[:12]}"
+    envelope = querier.make_envelope(args.query, query_id=query_id)
+    meta = QueryMeta(
+        args.protocol,
+        {
+            "alpha": ALPHA_OPTIMAL,
+            "first_step_partition_size": 64.0,
+            "filter_partition_size": 64.0,
+            "partition_timeout": args.partition_timeout,
+        },
+    )
+
+    async def _run() -> list[dict]:
+        client = QuerierClient(TCPTransport(args.host, args.port))
+        try:
+            await client.post_query(envelope, meta=meta)
+            result = await client.wait_result(
+                envelope.query_id, timeout=args.timeout
+            )
+        finally:
+            await client.close()
+        return querier.decrypt_result(result)
+
+    rows = asyncio.run(_run())
+    print(f"protocol : {args.protocol} (fleet-mode over TCP)")
+    print(f"query    : {args.query}")
+    print(f"result   : {len(rows)} row(s)")
+    for row in sorted(rows, key=str):
+        print(f"  {row}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -207,6 +344,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recommend.add_argument("--g", type=int, default=PAPER_DEFAULTS.g)
     recommend.set_defaults(func=cmd_recommend)
+
+    serve = sub.add_parser("serve", help="run the SSI as an asyncio TCP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7464)
+    serve.add_argument(
+        "--partition-timeout", type=float, default=5.0,
+        help="seconds before an assigned partition is reassigned",
+    )
+    serve.add_argument(
+        "--read-timeout", type=float, default=30.0,
+        help="per-connection idle read timeout in seconds",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    fleet = sub.add_parser(
+        "fleet", help="run a population of TDS clients against a served SSI"
+    )
+    fleet.add_argument("--host", default="127.0.0.1")
+    fleet.add_argument("--port", type=int, default=7464)
+    fleet.add_argument("--tds", type=int, default=16, help="population size")
+    fleet.add_argument("--districts", type=int, default=4)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--buckets", type=int, default=2, help="ed_hist buckets")
+    fleet.add_argument("--concurrency", type=int, default=8)
+    fleet.add_argument("--poll-interval", type=float, default=0.05)
+    fleet.add_argument(
+        "--queries", type=int, default=None,
+        help="stop after this many completed queries (default: run forever)",
+    )
+    fleet.set_defaults(func=cmd_fleet)
+
+    query = sub.add_parser(
+        "query", help="post one query to a served SSI and await the result"
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7464)
+    query.add_argument("--protocol", choices=NET_PROTOCOLS, default="s_agg")
+    query.add_argument("--query", default=_FLEET_QUERY)
+    query.add_argument("--tds", type=int, default=16, help="population size")
+    query.add_argument("--districts", type=int, default=4)
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument("--partition-timeout", type=float, default=5.0)
+    query.add_argument("--timeout", type=float, default=60.0)
+    query.add_argument(
+        "--query-id", default=None,
+        help="explicit query id (default: a fresh globally unique id)",
+    )
+    query.set_defaults(func=cmd_query)
 
     return parser
 

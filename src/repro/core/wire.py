@@ -17,12 +17,18 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.core.codec import decode, encode
+from repro.core.codec import CodecError, decode, encode
 from repro.core.messages import TupleContent
 from repro.exceptions import ProtocolError
 
 #: payload sizes are rounded up to a multiple of this many bytes
 SIZE_QUANTUM = 64
+
+#: ceiling on the *declared* inner length of a padded frame.  The length
+#: field is attacker-controlled once frames travel over a real transport;
+#: anything beyond this is rejected before interpretation rather than
+#: trusted into allocations.
+MAX_INNER_LENGTH = 16 * 1024 * 1024
 
 #: tuple frames use a larger quantum so a dummy tuple (empty row) and a
 #: typical data tuple land in the *same* size class — otherwise the SSI
@@ -46,8 +52,15 @@ def _unpad(data: bytes) -> bytes:
     if len(data) < 4:
         raise ProtocolError("padded frame too short")
     length = int.from_bytes(data[:4], "big")
+    if length > MAX_INNER_LENGTH:
+        raise ProtocolError(
+            f"padded frame declares {length} bytes, above the "
+            f"{MAX_INNER_LENGTH}-byte limit"
+        )
     if 4 + length > len(data):
         raise ProtocolError("padded frame length field corrupt")
+    if any(data[4 + length :]):
+        raise ProtocolError("padded frame has nonzero padding bytes")
     return data[4 : 4 + length]
 
 
@@ -63,10 +76,28 @@ def encode_partial_frame(portable: list[Any], quantum: int = SIZE_QUANTUM) -> by
 
 def decode_frame(data: bytes) -> tuple[str, Any]:
     """Decode a frame into ``("tuple", TupleContent)`` or
-    ``("partial", portable)``."""
-    kind, body = decode(_unpad(data))
+    ``("partial", portable)``.
+
+    Every malformation — truncated or oversized length prefixes, codec
+    corruption, invalid UTF-8, structurally wrong bodies, unknown frame
+    kinds — surfaces as :class:`ProtocolError`; nothing from the byte
+    level (``IndexError``, ``UnicodeDecodeError``, ``TypeError``...) may
+    cross this boundary, because frames arrive from the network."""
+    try:
+        decoded = decode(_unpad(data))
+    except ProtocolError:
+        raise
+    except (CodecError, UnicodeDecodeError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from None
+    try:
+        kind, body = decoded
+    except (TypeError, ValueError):
+        raise ProtocolError("frame body is not a [kind, body] pair") from None
     if kind == _FRAME_TUPLE:
-        return "tuple", TupleContent.from_portable(body)
+        try:
+            return "tuple", TupleContent.from_portable(body)
+        except (KeyError, TypeError, AttributeError):
+            raise ProtocolError("malformed tuple frame body") from None
     if kind == _FRAME_PARTIAL:
         return "partial", body
     raise ProtocolError(f"unknown frame kind {kind!r}")

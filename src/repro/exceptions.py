@@ -53,6 +53,28 @@ class ProtocolError(ReproError):
     """Base class for distributed-protocol failures."""
 
 
+class DuplicateQueryError(ProtocolError):
+    """A query id was posted twice (each posting must be fresh)."""
+
+
+class UnknownQueryError(ProtocolError):
+    """An operation referenced a query id the SSI has never seen."""
+
+
+class ResultNotReadyError(ProtocolError):
+    """The result of a query was fetched before it was published."""
+
+
+class BackpressureError(ProtocolError):
+    """The SSI refused a submission because a bounded per-query queue is
+    full; the submitter should back off and retry."""
+
+
+class TransportError(ReproError):
+    """A network-transport failure (connection refused/dropped, framing
+    violation on the byte stream). Retryable at the client layer."""
+
+
 class AccessDeniedError(ProtocolError):
     """The querier's credential does not satisfy the access-control policy."""
 

@@ -1,0 +1,49 @@
+"""repro.net — the asyncio network runtime for the SSI.
+
+Serves the :class:`~repro.ssi.server.SupportingServerInfrastructure`
+over a length-prefixed binary wire protocol (:mod:`repro.net.frames`),
+with an asyncio TCP server (:mod:`repro.net.server`), retrying clients
+(:mod:`repro.net.client`), pluggable transports plus the synchronous
+``RemoteSSI`` driver adapter (:mod:`repro.net.transport`), fleet-mode
+scheduling (:mod:`repro.net.coordinator`) and an async TDS client fleet
+(:mod:`repro.net.fleet`).
+"""
+
+from repro.net.client import (
+    AsyncSSIClient,
+    QuerierClient,
+    RetryPolicy,
+    TDSClient,
+)
+from repro.net.coordinator import QueryCoordinator
+from repro.net.fleet import FaultPlan, FleetRunner, FleetStats
+from repro.net.frames import PROTOCOL_VERSION, QueryMeta, WorkUnit
+from repro.net.server import SSIDispatcher, SSIServer
+from repro.net.transport import (
+    LoopbackTransport,
+    RemoteSSI,
+    SyncBridge,
+    TCPTransport,
+    Transport,
+)
+
+__all__ = [
+    "AsyncSSIClient",
+    "FaultPlan",
+    "FleetRunner",
+    "FleetStats",
+    "LoopbackTransport",
+    "PROTOCOL_VERSION",
+    "QuerierClient",
+    "QueryCoordinator",
+    "QueryMeta",
+    "RemoteSSI",
+    "RetryPolicy",
+    "SSIDispatcher",
+    "SSIServer",
+    "SyncBridge",
+    "TCPTransport",
+    "TDSClient",
+    "Transport",
+    "WorkUnit",
+]

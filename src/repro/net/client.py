@@ -1,0 +1,314 @@
+"""Async clients for the SSI wire protocol.
+
+:class:`AsyncSSIClient` is the low-level RPC surface: one typed method
+per wire operation, with a configurable request timeout and bounded
+retries under jittered exponential backoff (:class:`RetryPolicy`).
+Transport failures (drops, timeouts) and ``ERR_BACKPRESSURE`` responses
+are retried; *typed* application errors (duplicate/unknown query ids,
+result-not-ready) are raised immediately as the matching exception from
+:mod:`repro.exceptions` — the same types the in-process SSI raises, so
+callers cannot tell a remote SSI from a local one by its failures.
+
+:class:`TDSClient` and :class:`QuerierClient` are role-named views of the
+same surface (a TDS polls queries/partitions and submits ciphertext; a
+querier posts queries and fetches results).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Awaitable, Callable, Sequence
+
+from repro.core.messages import (
+    EncryptedPartial,
+    EncryptedTuple,
+    QueryEnvelope,
+    QueryResult,
+)
+from repro.exceptions import (
+    BackpressureError,
+    DuplicateQueryError,
+    ProtocolError,
+    ResultNotReadyError,
+    TransportError,
+    UnknownQueryError,
+)
+from repro.net import frames
+from repro.net.frames import QueryMeta, Reader, WorkUnit, Writer
+
+if TYPE_CHECKING:  # transport.py imports this module (RemoteSSI wiring)
+    from repro.net.transport import Transport
+
+_CODE_TO_EXC: dict[int, type[ProtocolError]] = {
+    frames.ERR_DUPLICATE_QUERY: DuplicateQueryError,
+    frames.ERR_UNKNOWN_QUERY: UnknownQueryError,
+    frames.ERR_RESULT_NOT_READY: ResultNotReadyError,
+    frames.ERR_BACKPRESSURE: BackpressureError,
+}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with jittered exponential backoff.
+
+    ``attempt`` 0 is the first *retry*; its delay is ``backoff_base``,
+    doubling (``backoff_factor``) up to ``backoff_max``, plus a jitter
+    fraction drawn from the caller's seeded RNG — deterministic under a
+    fixed seed, decorrelated across a fleet."""
+
+    request_timeout: float = 5.0
+    max_retries: int = 4
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.1
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(
+            self.backoff_max, self.backoff_base * self.backoff_factor**attempt
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+
+class AsyncSSIClient:
+    """One logical client connection to a (possibly remote) SSI."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ) -> None:
+        self.transport = transport
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        #: transport-level retries performed so far (observability/tests)
+        self.retries = 0
+
+    async def close(self) -> None:
+        await self.transport.close()
+
+    # ------------------------------------------------------------------ #
+    # core call loop: timeout -> typed error mapping -> bounded retry
+    # ------------------------------------------------------------------ #
+    async def _call(self, msg_type: int, payload: bytes) -> Reader:
+        request = frames.pack_frame(msg_type, payload)
+        attempt = 0
+        while True:
+            try:
+                body = await asyncio.wait_for(
+                    self.transport.request(request),
+                    timeout=self.policy.request_timeout,
+                )
+                return self._unwrap(body)
+            except (TransportError, asyncio.TimeoutError, BackpressureError):
+                if attempt >= self.policy.max_retries:
+                    raise
+                await self._sleep(self.policy.delay(attempt, self._rng))
+                attempt += 1
+                self.retries += 1
+
+    def _unwrap(self, body: bytes) -> Reader:
+        msg_type, reader = frames.unpack_frame_body(body)
+        if msg_type == frames.MSG_OK:
+            return reader
+        if msg_type == frames.MSG_ERROR:
+            code = reader.u8()
+            message = reader.text()
+            raise _CODE_TO_EXC.get(code, ProtocolError)(message)
+        raise ProtocolError(f"unexpected response type 0x{msg_type:02x}")
+
+    # ------------------------------------------------------------------ #
+    # wire operations
+    # ------------------------------------------------------------------ #
+    async def ping(self) -> None:
+        (await self._call(frames.MSG_PING, b"")).expect_end()
+
+    async def post_query(
+        self,
+        envelope: QueryEnvelope,
+        tds_id: str | None = None,
+        meta: QueryMeta | None = None,
+    ) -> None:
+        w = Writer()
+        frames.write_envelope(w, envelope)
+        w.opt_text(tds_id)
+        frames.write_meta(w, meta if meta is not None else QueryMeta())
+        (await self._call(frames.MSG_POST_QUERY, w.getvalue())).expect_end()
+
+    async def fetch_query(self, query_id: str) -> tuple[QueryEnvelope, QueryMeta]:
+        r = await self._call(frames.MSG_FETCH_QUERY, Writer().text(query_id).getvalue())
+        envelope = frames.read_envelope(r)
+        meta = frames.read_meta(r)
+        r.expect_end()
+        return envelope, meta
+
+    async def active_queries(self) -> list[tuple[QueryEnvelope, QueryMeta]]:
+        r = await self._call(frames.MSG_ACTIVE_QUERIES, b"")
+        result = []
+        for _ in range(r.count(limit=100_000)):
+            envelope = frames.read_envelope(r)
+            meta = frames.read_meta(r)
+            result.append((envelope, meta))
+        r.expect_end()
+        return result
+
+    async def submit_tuples(
+        self, query_id: str, tuples: Sequence[EncryptedTuple]
+    ) -> None:
+        w = Writer().text(query_id)
+        frames.write_items(w, list(tuples))
+        (await self._call(frames.MSG_SUBMIT_TUPLES, w.getvalue())).expect_end()
+
+    async def submit_partials(
+        self, query_id: str, partials: Sequence[EncryptedPartial]
+    ) -> None:
+        w = Writer().text(query_id)
+        frames.write_items(w, list(partials))
+        (await self._call(frames.MSG_SUBMIT_PARTIALS, w.getvalue())).expect_end()
+
+    async def collected_count(self, query_id: str) -> int:
+        r = await self._call(
+            frames.MSG_COLLECTED_COUNT, Writer().text(query_id).getvalue()
+        )
+        count = r.i64()
+        r.expect_end()
+        return count
+
+    async def evaluate_size_clause(
+        self, query_id: str, elapsed_seconds: float = 0.0
+    ) -> bool:
+        w = Writer().text(query_id)
+        w.f64(elapsed_seconds)
+        r = await self._call(frames.MSG_EVALUATE_SIZE, w.getvalue())
+        met = r.boolean()
+        r.expect_end()
+        return met
+
+    async def close_collection(self, query_id: str) -> None:
+        (
+            await self._call(
+                frames.MSG_CLOSE_COLLECTION, Writer().text(query_id).getvalue()
+            )
+        ).expect_end()
+
+    async def covering_result(self, query_id: str) -> list[EncryptedTuple]:
+        r = await self._call(
+            frames.MSG_COVERING_RESULT, Writer().text(query_id).getvalue()
+        )
+        items = frames.read_tuples(r)
+        r.expect_end()
+        return items
+
+    async def take_partials(self, query_id: str) -> list[EncryptedPartial]:
+        r = await self._call(
+            frames.MSG_TAKE_PARTIALS, Writer().text(query_id).getvalue()
+        )
+        items = frames.read_partials(r)
+        r.expect_end()
+        return items
+
+    async def partial_count(self, query_id: str) -> int:
+        r = await self._call(
+            frames.MSG_PARTIAL_COUNT, Writer().text(query_id).getvalue()
+        )
+        count = r.i64()
+        r.expect_end()
+        return count
+
+    async def store_result_rows(
+        self, query_id: str, rows: Sequence[bytes]
+    ) -> None:
+        w = Writer().text(query_id)
+        frames.write_rows(w, list(rows))
+        (await self._call(frames.MSG_STORE_RESULT_ROWS, w.getvalue())).expect_end()
+
+    async def publish_result(self, query_id: str) -> None:
+        (
+            await self._call(
+                frames.MSG_PUBLISH_RESULT, Writer().text(query_id).getvalue()
+            )
+        ).expect_end()
+
+    async def result_ready(self, query_id: str) -> bool:
+        r = await self._call(
+            frames.MSG_RESULT_READY, Writer().text(query_id).getvalue()
+        )
+        ready = r.boolean()
+        r.expect_end()
+        return ready
+
+    async def fetch_result(self, query_id: str) -> QueryResult:
+        r = await self._call(
+            frames.MSG_FETCH_RESULT, Writer().text(query_id).getvalue()
+        )
+        result = frames.read_result(r)
+        r.expect_end()
+        return result
+
+    async def fetch_partition(
+        self, query_id: str, tds_id: str
+    ) -> tuple[int, WorkUnit | None]:
+        w = Writer().text(query_id)
+        w.text(tds_id)
+        r = await self._call(frames.MSG_FETCH_PARTITION, w.getvalue())
+        status = r.u8()
+        if status == frames.STATUS_WORK:
+            unit = frames.read_work_unit(r)
+            r.expect_end()
+            return status, unit
+        if status not in (frames.STATUS_WAIT, frames.STATUS_DONE):
+            raise ProtocolError(f"unknown fetch_partition status 0x{status:02x}")
+        r.expect_end()
+        return status, None
+
+    async def submit_partition_result(
+        self,
+        query_id: str,
+        partition_id: int,
+        tds_id: str,
+        *,
+        partials: Sequence[EncryptedPartial] | None = None,
+        rows: Sequence[bytes] | None = None,
+    ) -> None:
+        if (partials is None) == (rows is None):
+            raise ProtocolError("submit exactly one of partials or rows")
+        w = Writer().text(query_id)
+        w.i64(partition_id)
+        w.text(tds_id)
+        if partials is not None:
+            w.u8(frames.RESULT_PARTIALS)
+            frames.write_items(w, list(partials))
+        else:
+            w.u8(frames.RESULT_ROWS)
+            frames.write_rows(w, list(rows or []))
+        (
+            await self._call(frames.MSG_SUBMIT_PARTITION_RESULT, w.getvalue())
+        ).expect_end()
+
+
+class TDSClient(AsyncSSIClient):
+    """A TDS-side connection: poll queries and partitions, push ciphertext."""
+
+
+class QuerierClient(AsyncSSIClient):
+    """A querier-side connection: post queries, await published results."""
+
+    async def wait_result(
+        self, query_id: str, poll_interval: float = 0.05, timeout: float = 60.0
+    ) -> QueryResult:
+        """Poll ``result_ready`` until the result is published, then fetch
+        it.  Raises :class:`TransportError` on overall timeout."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            if await self.result_ready(query_id):
+                return await self.fetch_result(query_id)
+            if asyncio.get_running_loop().time() >= deadline:
+                raise TransportError(
+                    f"result of {query_id!r} not published within {timeout}s"
+                )
+            await self._sleep(poll_interval)

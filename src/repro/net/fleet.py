@@ -1,0 +1,288 @@
+"""An async fleet of TDS clients serving the SSI over the wire.
+
+Each :class:`TrustedDataServer` gets its own :class:`TDSClient` (own
+transport, own connection) and runs the paper's device loop: poll the
+global querybox, contribute encrypted tuples for new queries, then poll
+``fetch_partition`` and fold/finalize whatever work the SSI assigns —
+exactly the connect/contribute/disconnect cycle of §3.2, but concurrent
+and over real sockets.  A semaphore caps how many devices do heavy work
+simultaneously.
+
+Failure injection reuses the shapes in :mod:`repro.simulation.failures`:
+the same ``(tds_id, partition) -> bool`` injectors drive *network*
+faults here — a firing injector makes the client drop its connection (or
+stall past the partition timeout) instead of submitting, so the SSI-side
+tracker must detect the timeout and reassign, end-to-end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Sequence
+
+from repro.core.messages import Partition, QueryEnvelope
+from repro.exceptions import ProtocolError, TransportError, UnknownQueryError
+from repro.net import frames
+from repro.net.client import RetryPolicy, TDSClient
+from repro.net.coordinator import SUPPORTED_PROTOCOLS
+from repro.net.frames import QueryMeta, WorkUnit
+from repro.net.transport import TCPTransport, Transport
+from repro.simulation.failures import FailureInjector
+from repro.sql.ast import SelectStatement
+from repro.tds.histogram import EquiDepthHistogram
+from repro.tds.node import TrustedDataServer
+
+
+@dataclass
+class FaultPlan:
+    """How a firing injector manifests on the wire.
+
+    * ``drop`` — close the connection without submitting (the tracker
+      times the partition out and reassigns it);
+    * ``stall`` — hold the response past ``stall_seconds`` first, then
+      drop (a hung device rather than a dead one)."""
+
+    injector: FailureInjector
+    mode: str = "drop"
+    stall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("drop", "stall"):
+            raise ProtocolError(f"unknown fault mode {self.mode!r}")
+
+
+@dataclass
+class FleetStats:
+    """Aggregate observability for one fleet run."""
+
+    contributions: int = 0
+    tuples_submitted: int = 0
+    partitions_processed: int = 0
+    injected_faults: int = 0
+    queries_completed: set[str] = field(default_factory=set)
+    participants: set[str] = field(default_factory=set)
+
+
+class FleetRunner:
+    """Drive N TDS clients concurrently against one SSI endpoint."""
+
+    def __init__(
+        self,
+        tds_list: Sequence[TrustedDataServer],
+        transport_factory: Callable[[], Transport],
+        *,
+        histogram: EquiDepthHistogram | None = None,
+        fault_plan: FaultPlan | None = None,
+        policy: RetryPolicy | None = None,
+        concurrency: int = 8,
+        poll_interval: float = 0.02,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ) -> None:
+        if not tds_list:
+            raise ProtocolError("a fleet needs at least one TDS")
+        if concurrency < 1:
+            raise ProtocolError("concurrency must be >= 1")
+        self.tds_list = list(tds_list)
+        self.transport_factory = transport_factory
+        self.histogram = histogram
+        self.fault_plan = fault_plan
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.concurrency = concurrency
+        self.poll_interval = poll_interval
+        self.stats = FleetStats()
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._stop = asyncio.Event()
+        self._semaphore: asyncio.Semaphore | None = None
+        self._until: int | None = None
+        # shared across workers
+        self._known: dict[str, tuple[QueryEnvelope, QueryMeta]] = {}
+        self._contributed: dict[str, set[str]] = {}
+        self._done: set[str] = set()
+        self._closed: set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    def stop(self) -> None:
+        self._stop.set()
+
+    async def run(self, until_queries_done: int | None = None) -> FleetStats:
+        """Run every TDS worker until :meth:`stop` (or until
+        *until_queries_done* queries have completed)."""
+        self._semaphore = asyncio.Semaphore(self.concurrency)
+        self._until = until_queries_done
+        workers = [
+            asyncio.create_task(self._serve_tds(tds)) for tds in self.tds_list
+        ]
+        closer = asyncio.create_task(self._close_collections())
+        try:
+            await self._stop.wait()
+        finally:
+            for task in [closer, *workers]:
+                task.cancel()
+            await asyncio.gather(closer, *workers, return_exceptions=True)
+        return self.stats
+
+    # ------------------------------------------------------------------ #
+    # per-device loop
+    # ------------------------------------------------------------------ #
+    async def _serve_tds(self, tds: TrustedDataServer) -> None:
+        client = TDSClient(
+            self.transport_factory(),
+            self.policy,
+            rng=random.Random(self._rng.getrandbits(64)),
+            sleep=self._sleep,
+        )
+        statements: dict[str, SelectStatement] = {}
+        contributed: set[str] = set()
+        try:
+            while not self._stop.is_set():
+                try:
+                    await self._poll_once(tds, client, statements, contributed)
+                except (TransportError, asyncio.TimeoutError):
+                    pass  # server briefly unreachable: back off and retry
+                await self._sleep(self.poll_interval)
+        finally:
+            await client.close()
+
+    async def _poll_once(
+        self,
+        tds: TrustedDataServer,
+        client: TDSClient,
+        statements: dict[str, SelectStatement],
+        contributed: set[str],
+    ) -> None:
+        for envelope, meta in await client.active_queries():
+            query_id = envelope.query_id
+            if meta.protocol not in SUPPORTED_PROTOCOLS:
+                continue
+            self._known.setdefault(query_id, (envelope, meta))
+            if query_id not in contributed:
+                contributed.add(query_id)
+                await self._contribute(tds, client, envelope, meta)
+        for query_id in list(self._known):
+            if query_id in self._done:
+                continue
+            try:
+                status, unit = await client.fetch_partition(query_id, tds.tds_id)
+            except UnknownQueryError:
+                self._done.add(query_id)
+                continue
+            if status == frames.STATUS_DONE:
+                self._done.add(query_id)
+                self.stats.queries_completed.add(query_id)
+                if self._until is not None and len(
+                    self.stats.queries_completed
+                ) >= self._until:
+                    self.stop()
+            elif status == frames.STATUS_WORK and unit is not None:
+                await self._process_unit(tds, client, unit, statements)
+
+    async def _contribute(
+        self,
+        tds: TrustedDataServer,
+        client: TDSClient,
+        envelope: QueryEnvelope,
+        meta: QueryMeta,
+    ) -> None:
+        assert self._semaphore is not None
+        async with self._semaphore:
+            if meta.protocol == "s_agg":
+                tuples = tds.collect_for_sagg(envelope)
+            elif meta.protocol == "ed_hist":
+                if self.histogram is None:
+                    raise ProtocolError(
+                        "fleet has no histogram; ed_hist queries need one"
+                    )
+                tuples = tds.collect_for_histogram(envelope, self.histogram)
+            else:  # pragma: no cover - filtered by SUPPORTED_PROTOCOLS
+                return
+            await client.submit_tuples(envelope.query_id, tuples)
+        self.stats.contributions += 1
+        self.stats.tuples_submitted += len(tuples)
+        self.stats.participants.add(tds.tds_id)
+        self._contributed.setdefault(envelope.query_id, set()).add(tds.tds_id)
+
+    async def _process_unit(
+        self,
+        tds: TrustedDataServer,
+        client: TDSClient,
+        unit: WorkUnit,
+        statements: dict[str, SelectStatement],
+    ) -> None:
+        assert self._semaphore is not None
+        partition = Partition(unit.partition_id, unit.items)
+        if self.fault_plan is not None and self.fault_plan.injector(
+            tds.tds_id, partition
+        ):
+            await self._inject_fault(client)
+            return
+        envelope, _meta = self._known[unit.query_id]
+        statement = statements.get(unit.query_id)
+        if statement is None:
+            statement = tds.open_query(envelope)
+            statements[unit.query_id] = statement
+        async with self._semaphore:
+            if unit.kind == frames.WORK_FOLD:
+                partials = [tds.aggregate_partition(statement, partition)]
+                rows = None
+            elif unit.kind == frames.WORK_FOLD_PER_GROUP:
+                partials = tds.aggregate_partition_per_group(statement, partition)
+                rows = None
+            elif unit.kind == frames.WORK_FINALIZE:
+                partials = None
+                rows = tds.finalize_partition(statement, partition)
+            else:  # pragma: no cover - validated at decode time
+                raise ProtocolError(f"unknown work kind {unit.kind}")
+            await client.submit_partition_result(
+                unit.query_id,
+                unit.partition_id,
+                tds.tds_id,
+                partials=partials,
+                rows=rows,
+            )
+        self.stats.partitions_processed += 1
+        self.stats.participants.add(tds.tds_id)
+
+    async def _inject_fault(self, client: TDSClient) -> None:
+        """The §3.2 failure, on a real wire: go silent mid-partition."""
+        self.stats.injected_faults += 1
+        plan = self.fault_plan
+        assert plan is not None
+        if plan.mode == "stall":
+            await self._sleep(plan.stall_seconds)
+        transport = client.transport
+        if isinstance(transport, TCPTransport):
+            await transport.drop()
+
+    # ------------------------------------------------------------------ #
+    # collection closing (queries without a SIZE clause)
+    # ------------------------------------------------------------------ #
+    async def _close_collections(self) -> None:
+        """The drivers stop collection after their collector list; the
+        fleet analogue closes a no-SIZE query once every device has
+        contributed (the SSI closes SIZE-clause queries itself)."""
+        client = TDSClient(
+            self.transport_factory(), self.policy, sleep=self._sleep
+        )
+        all_ids = {tds.tds_id for tds in self.tds_list}
+        try:
+            while not self._stop.is_set():
+                for query_id, (envelope, _meta) in list(self._known.items()):
+                    if query_id in self._closed or query_id in self._done:
+                        continue
+                    if envelope.size_tuples is not None:
+                        continue
+                    if envelope.size_seconds is not None:
+                        continue
+                    if self._contributed.get(query_id) == all_ids:
+                        try:
+                            await client.close_collection(query_id)
+                            self._closed.add(query_id)
+                        except (TransportError, asyncio.TimeoutError):
+                            pass
+                await self._sleep(self.poll_interval)
+        finally:
+            await client.close()

@@ -1,0 +1,462 @@
+"""Wire framing for the repro network runtime.
+
+Every message on the wire is one *frame*::
+
+    +----------------+---------+----------+---------------------+
+    | length (u32 BE)| version | msg type |       payload       |
+    +----------------+---------+----------+---------------------+
+          4 bytes      1 byte    1 byte      length - 2 bytes
+
+``length`` covers the version byte, the type byte and the payload, and is
+capped by :data:`MAX_FRAME_BYTES` — a peer declaring more is cut off
+before a single payload byte is read.  The payload encoding is a small
+hand-rolled struct layer (*not* :mod:`repro.core.codec`: that codec can
+express plaintext rows, and this module sits on the SSI side of the trust
+boundary — messages here carry only what the SSI may legitimately see:
+query envelopes, opaque ciphertext blobs and partition/query ids).
+
+All malformed input raises :class:`~repro.exceptions.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from dataclasses import dataclass
+
+from repro.core.messages import (
+    Credential,
+    EncryptedPartial,
+    EncryptedTuple,
+    QueryEnvelope,
+    QueryResult,
+)
+from repro.exceptions import ProtocolError
+
+#: protocol version spoken by this build; bumped on incompatible changes
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on one frame (version + type + payload)
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: ceiling on any single variable-length field inside a payload
+MAX_FIELD_BYTES = MAX_FRAME_BYTES
+
+#: ceiling on item counts (tuples / partials / rows per message)
+MAX_ITEMS = 1_000_000
+
+# --------------------------------------------------------------------- #
+# message types
+# --------------------------------------------------------------------- #
+MSG_POST_QUERY = 0x01
+MSG_FETCH_QUERY = 0x02
+MSG_ACTIVE_QUERIES = 0x03
+MSG_SUBMIT_TUPLES = 0x04
+MSG_COLLECTED_COUNT = 0x05
+MSG_EVALUATE_SIZE = 0x06
+MSG_CLOSE_COLLECTION = 0x07
+MSG_COVERING_RESULT = 0x08
+MSG_SUBMIT_PARTIALS = 0x09
+MSG_TAKE_PARTIALS = 0x0A
+MSG_PARTIAL_COUNT = 0x0B
+MSG_STORE_RESULT_ROWS = 0x0C
+MSG_PUBLISH_RESULT = 0x0D
+MSG_RESULT_READY = 0x0E
+MSG_FETCH_RESULT = 0x0F
+MSG_FETCH_PARTITION = 0x10
+MSG_SUBMIT_PARTITION_RESULT = 0x11
+MSG_PING = 0x12
+
+MSG_OK = 0x40
+MSG_ERROR = 0x41
+
+REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_PING + 1))
+
+# --------------------------------------------------------------------- #
+# wire-level error codes (satellite: typed errors, no tracebacks)
+# --------------------------------------------------------------------- #
+ERR_MALFORMED = 1
+ERR_UNSUPPORTED_VERSION = 2
+ERR_UNKNOWN_OP = 3
+ERR_DUPLICATE_QUERY = 4
+ERR_UNKNOWN_QUERY = 5
+ERR_RESULT_NOT_READY = 6
+ERR_BACKPRESSURE = 7
+ERR_TOO_LARGE = 8
+ERR_INTERNAL = 9
+
+# fetch_partition statuses
+STATUS_WAIT = 0
+STATUS_WORK = 1
+STATUS_DONE = 2
+
+# work-unit kinds (what a fleet TDS should do with the partition)
+WORK_FOLD = 1  # S_Agg: fold to a single partial
+WORK_FOLD_PER_GROUP = 2  # tagged protocols: fold to per-group partials
+WORK_FINALIZE = 3  # filtering: merge, HAVING, re-encrypt under k1
+
+# partition-result kinds
+RESULT_PARTIALS = 1
+RESULT_ROWS = 2
+
+_ITEM_TUPLE = 0
+_ITEM_PARTIAL = 1
+
+Item = EncryptedTuple | EncryptedPartial
+
+
+@dataclass(frozen=True)
+class QueryMeta:
+    """Cleartext scheduling metadata riding next to an envelope.
+
+    ``protocol`` names the protocol *shape* so the SSI knows how to
+    partition (randomly vs. by tag) — information the paper's SSI holds
+    anyway (it executes steps 5/9).  ``params`` are numeric scheduling
+    knobs (reduction factor, partition sizes, timeouts); never query
+    content."""
+
+    protocol: str = ""
+    params: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        # Accept a {key: value} mapping for convenience; store pairs.
+        if isinstance(self.params, dict):
+            object.__setattr__(
+                self,
+                "params",
+                tuple((str(k), float(v)) for k, v in self.params.items()),
+            )
+
+    def param(self, key: str, default: float) -> float:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One partition of work handed to a polling TDS."""
+
+    query_id: str
+    kind: int
+    partition_id: int
+    items: tuple[Item, ...]
+
+
+# --------------------------------------------------------------------- #
+# primitive writer / reader
+# --------------------------------------------------------------------- #
+class Writer:
+    """Append-only struct writer over a bytearray."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def u8(self, value: int) -> "Writer":
+        self._buf += struct.pack(">B", value)
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        self._buf += struct.pack(">I", value)
+        return self
+
+    def i64(self, value: int) -> "Writer":
+        self._buf += struct.pack(">q", value)
+        return self
+
+    def f64(self, value: float) -> "Writer":
+        self._buf += struct.pack(">d", value)
+        return self
+
+    def boolean(self, value: bool) -> "Writer":
+        return self.u8(1 if value else 0)
+
+    def blob(self, value: bytes) -> "Writer":
+        if len(value) > MAX_FIELD_BYTES:
+            raise ProtocolError(f"field of {len(value)} bytes exceeds the frame limit")
+        self.u32(len(value))
+        self._buf += value
+        return self
+
+    def text(self, value: str) -> "Writer":
+        return self.blob(value.encode("utf-8"))
+
+    def opt_blob(self, value: bytes | None) -> "Writer":
+        if value is None:
+            return self.boolean(False)
+        self.boolean(True)
+        return self.blob(value)
+
+    def opt_text(self, value: str | None) -> "Writer":
+        if value is None:
+            return self.boolean(False)
+        self.boolean(True)
+        return self.text(value)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+
+class Reader:
+    """Bounds-checked cursor over a received payload; every violation is a
+    :class:`ProtocolError`, never an ``IndexError``/``struct.error``."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if n < 0 or self._pos + n > len(self._data):
+            raise ProtocolError("truncated message payload")
+        chunk = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        (value,) = struct.unpack(">I", self._take(4))
+        return int(value)
+
+    def i64(self) -> int:
+        (value,) = struct.unpack(">q", self._take(8))
+        return int(value)
+
+    def f64(self) -> float:
+        (value,) = struct.unpack(">d", self._take(8))
+        return float(value)
+
+    def boolean(self) -> bool:
+        flag = self.u8()
+        if flag not in (0, 1):
+            raise ProtocolError(f"invalid boolean byte 0x{flag:02x}")
+        return flag == 1
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        if length > MAX_FIELD_BYTES:
+            raise ProtocolError(
+                f"field declares {length} bytes, above the frame limit"
+            )
+        return self._take(length)
+
+    def text(self) -> str:
+        raw = self.blob()
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError:
+            raise ProtocolError("text field is not valid UTF-8") from None
+
+    def opt_blob(self) -> bytes | None:
+        return self.blob() if self.boolean() else None
+
+    def opt_text(self) -> str | None:
+        return self.text() if self.boolean() else None
+
+    def count(self, limit: int = MAX_ITEMS) -> int:
+        value = self.u32()
+        if value > limit:
+            raise ProtocolError(f"count {value} exceeds the limit of {limit}")
+        return value
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise ProtocolError(
+                f"{len(self._data) - self._pos} trailing bytes after payload"
+            )
+
+
+# --------------------------------------------------------------------- #
+# frame layer
+# --------------------------------------------------------------------- #
+def pack_frame(msg_type: int, payload: bytes) -> bytes:
+    """Length-prefixed frame: header + version + type + payload."""
+    body_len = 2 + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES")
+    return (
+        struct.pack(">I", body_len)
+        + struct.pack(">BB", PROTOCOL_VERSION, msg_type)
+        + payload
+    )
+
+
+def unpack_frame_body(body: bytes) -> tuple[int, Reader]:
+    """Split a frame body into (msg_type, payload reader), checking the
+    protocol version."""
+    if len(body) < 2:
+        raise ProtocolError("frame body shorter than its fixed header")
+    version, msg_type = body[0], body[1]
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (speaking "
+            f"{PROTOCOL_VERSION})",
+        )
+    return msg_type, Reader(body[2:])
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> bytes:
+    """Read one frame body from a stream, enforcing the size limit before
+    any payload byte is consumed.  Raises ``asyncio.IncompleteReadError``
+    on EOF mid-frame and :class:`ProtocolError` on oversized frames."""
+    header = await reader.readexactly(4)
+    (body_len,) = struct.unpack(">I", header)
+    if body_len > max_bytes:
+        raise ProtocolError(
+            f"peer declared a {body_len}-byte frame, above the "
+            f"{max_bytes}-byte limit"
+        )
+    if body_len < 2:
+        raise ProtocolError("peer declared a frame too short for its header")
+    return await reader.readexactly(body_len)
+
+
+# --------------------------------------------------------------------- #
+# composite field encodings
+# --------------------------------------------------------------------- #
+def write_envelope(w: Writer, envelope: QueryEnvelope) -> None:
+    w.text(envelope.query_id)
+    w.blob(envelope.encrypted_query)
+    w.text(envelope.credential.subject)
+    roles = sorted(envelope.credential.roles)
+    w.u32(len(roles))
+    for role in roles:
+        w.text(role)
+    w.blob(envelope.credential.signature)
+    if envelope.size_tuples is None:
+        w.boolean(False)
+    else:
+        w.boolean(True)
+        w.i64(envelope.size_tuples)
+    if envelope.size_seconds is None:
+        w.boolean(False)
+    else:
+        w.boolean(True)
+        w.f64(envelope.size_seconds)
+
+
+def read_envelope(r: Reader) -> QueryEnvelope:
+    query_id = r.text()
+    encrypted_query = r.blob()
+    subject = r.text()
+    roles = frozenset(r.text() for _ in range(r.count(limit=1024)))
+    signature = r.blob()
+    size_tuples = r.i64() if r.boolean() else None
+    size_seconds = r.f64() if r.boolean() else None
+    return QueryEnvelope(
+        query_id=query_id,
+        encrypted_query=encrypted_query,
+        credential=Credential(subject, roles, signature),
+        size_tuples=size_tuples,
+        size_seconds=size_seconds,
+    )
+
+
+def write_meta(w: Writer, meta: QueryMeta) -> None:
+    w.text(meta.protocol)
+    w.u32(len(meta.params))
+    for key, value in meta.params:
+        w.text(key)
+        w.f64(value)
+
+
+def read_meta(r: Reader) -> QueryMeta:
+    protocol = r.text()
+    params = tuple(
+        (r.text(), r.f64()) for _ in range(r.count(limit=256))
+    )
+    return QueryMeta(protocol=protocol, params=params)
+
+
+def write_items(w: Writer, items: tuple[Item, ...] | list[Item]) -> None:
+    if len(items) > MAX_ITEMS:
+        raise ProtocolError(f"{len(items)} items exceed the per-message limit")
+    w.u32(len(items))
+    for item in items:
+        w.u8(_ITEM_PARTIAL if isinstance(item, EncryptedPartial) else _ITEM_TUPLE)
+        w.blob(item.payload)
+        w.opt_blob(item.group_tag)
+
+
+def read_items(r: Reader) -> list[Item]:
+    items: list[Item] = []
+    for _ in range(r.count()):
+        item_kind = r.u8()
+        payload = r.blob()
+        tag = r.opt_blob()
+        if item_kind == _ITEM_TUPLE:
+            items.append(EncryptedTuple(payload, tag))
+        elif item_kind == _ITEM_PARTIAL:
+            items.append(EncryptedPartial(payload, tag))
+        else:
+            raise ProtocolError(f"unknown item kind 0x{item_kind:02x}")
+    return items
+
+
+def read_tuples(r: Reader) -> list[EncryptedTuple]:
+    tuples: list[EncryptedTuple] = []
+    for item in read_items(r):
+        if not isinstance(item, EncryptedTuple):
+            raise ProtocolError("expected tuple items, got a partial")
+        tuples.append(item)
+    return tuples
+
+
+def read_partials(r: Reader) -> list[EncryptedPartial]:
+    partials: list[EncryptedPartial] = []
+    for item in read_items(r):
+        if not isinstance(item, EncryptedPartial):
+            raise ProtocolError("expected partial items, got a tuple")
+        partials.append(item)
+    return partials
+
+
+def write_rows(w: Writer, rows: tuple[bytes, ...] | list[bytes]) -> None:
+    if len(rows) > MAX_ITEMS:
+        raise ProtocolError(f"{len(rows)} rows exceed the per-message limit")
+    w.u32(len(rows))
+    for row in rows:
+        w.blob(row)
+
+
+def read_rows(r: Reader) -> list[bytes]:
+    return [r.blob() for _ in range(r.count())]
+
+
+def write_work_unit(w: Writer, unit: WorkUnit) -> None:
+    w.text(unit.query_id)
+    w.u8(unit.kind)
+    w.i64(unit.partition_id)
+    write_items(w, unit.items)
+
+
+def read_work_unit(r: Reader) -> WorkUnit:
+    query_id = r.text()
+    kind = r.u8()
+    if kind not in (WORK_FOLD, WORK_FOLD_PER_GROUP, WORK_FINALIZE):
+        raise ProtocolError(f"unknown work-unit kind 0x{kind:02x}")
+    partition_id = r.i64()
+    items = tuple(read_items(r))
+    return WorkUnit(query_id, kind, partition_id, items)
+
+
+def write_result(w: Writer, result: QueryResult) -> None:
+    w.text(result.query_id)
+    write_rows(w, result.encrypted_rows)
+
+
+def read_result(r: Reader) -> QueryResult:
+    query_id = r.text()
+    rows = read_rows(r)
+    return QueryResult(query_id, tuple(rows))
+
+
+def pack_error(code: int, message: str) -> bytes:
+    w = Writer()
+    w.u8(code)
+    w.text(message)
+    return pack_frame(MSG_ERROR, w.getvalue())

@@ -1,0 +1,436 @@
+"""The SSI as a network service.
+
+:class:`SSIDispatcher` maps wire requests onto one
+:class:`~repro.ssi.server.SupportingServerInfrastructure` (plus the
+per-query :class:`~repro.net.coordinator.QueryCoordinator` for fleet-mode
+queries).  It is transport-agnostic: the in-memory loopback transport
+calls :meth:`SSIDispatcher.dispatch` directly, and :class:`SSIServer`
+exposes the same dispatcher over ``asyncio.start_server`` TCP.
+
+Trust boundary: this module is ``ssi``-role under the privacy lint — it
+may never name plaintext rows, key material or TDS internals.  Everything
+it handles is a ciphertext blob, a partition id or paper-sanctioned
+cleartext (SIZE clause, credentials, protocol shape).
+
+Error discipline: SSI-side failures are mapped to *typed* wire error
+codes; Python tracebacks never cross the transport.
+
+Backpressure: tuple/partial submissions land in a bounded per-query
+queue.  A full queue answers ``ERR_BACKPRESSURE`` (clients back off and
+retry); reads force a flush first so a single connection always observes
+its own writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Awaitable, Callable
+
+from repro.core.messages import EncryptedTuple
+from repro.exceptions import (
+    BackpressureError,
+    DuplicateQueryError,
+    ProtocolError,
+    ResultNotReadyError,
+    UnknownQueryError,
+)
+from repro.net import frames
+from repro.net.coordinator import SUPPORTED_PROTOCOLS, QueryCoordinator
+from repro.net.frames import QueryMeta, Reader, Writer
+from repro.ssi.server import SupportingServerInfrastructure
+
+logger = logging.getLogger(__name__)
+
+#: exception -> wire error code (the typed-error satellite)
+_ERROR_CODES: tuple[tuple[type[ProtocolError], int], ...] = (
+    (DuplicateQueryError, frames.ERR_DUPLICATE_QUERY),
+    (UnknownQueryError, frames.ERR_UNKNOWN_QUERY),
+    (ResultNotReadyError, frames.ERR_RESULT_NOT_READY),
+    (BackpressureError, frames.ERR_BACKPRESSURE),
+)
+
+
+def _error_code(exc: ProtocolError) -> int:
+    for exc_type, code in _ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return frames.ERR_INTERNAL
+
+
+class _SubmissionQueue:
+    """Bounded buffer of not-yet-applied submissions for one query."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self.pending: list[tuple[str, list]] = []
+
+    def push(self, kind: str, items: list) -> None:
+        if len(self.pending) >= self.maxsize:
+            raise BackpressureError(
+                f"submission queue full ({self.maxsize} batches pending); "
+                "back off and retry"
+            )
+        self.pending.append((kind, items))
+
+
+class SSIDispatcher:
+    """Decode request frames, execute them against the SSI, encode the
+    response.  One dispatcher instance == one logical SSI."""
+
+    def __init__(
+        self,
+        ssi: SupportingServerInfrastructure | None = None,
+        *,
+        max_pending_batches: int = 256,
+        partition_timeout: float = 5.0,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.ssi = ssi if ssi is not None else SupportingServerInfrastructure()
+        self.coordinators: dict[str, QueryCoordinator] = {}
+        self.metas: dict[str, QueryMeta] = {}
+        self.partition_timeout = partition_timeout
+        self._queues: dict[str, _SubmissionQueue] = {}
+        self._max_pending = max_pending_batches
+        self._posted_at: dict[str, float] = {}
+        self._clock = clock
+        #: test hook — while True, submissions buffer instead of applying
+        self.drain_paused = False
+
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock()
+        return asyncio.get_running_loop().time()
+
+    async def dispatch(self, body: bytes) -> bytes:
+        """One request frame body in, one response frame out."""
+        try:
+            msg_type, reader = frames.unpack_frame_body(body)
+        except ProtocolError as exc:
+            return frames.pack_error(frames.ERR_MALFORMED, str(exc))
+        if msg_type not in frames.REQUEST_TYPES:
+            return frames.pack_error(
+                frames.ERR_UNKNOWN_OP, f"unknown request type 0x{msg_type:02x}"
+            )
+        try:
+            payload = self._handle(msg_type, reader)
+        except (DuplicateQueryError, UnknownQueryError, ResultNotReadyError,
+                BackpressureError) as exc:
+            return frames.pack_error(_error_code(exc), str(exc))
+        except ProtocolError as exc:
+            # Includes payload-decoding failures: report them as malformed
+            # rather than internal.
+            return frames.pack_error(frames.ERR_MALFORMED, str(exc))
+        except Exception:
+            # Never leak a traceback across the transport (satellite).
+            logger.exception("internal error handling request 0x%02x", msg_type)
+            return frames.pack_error(
+                frames.ERR_INTERNAL, "internal server error (see SSI logs)"
+            )
+        return frames.pack_frame(frames.MSG_OK, payload)
+
+    # ------------------------------------------------------------------ #
+    # request handlers
+    # ------------------------------------------------------------------ #
+    def _handle(self, msg_type: int, r: Reader) -> bytes:
+        w = Writer()
+        if msg_type == frames.MSG_PING:
+            r.expect_end()
+            return w.getvalue()
+
+        if msg_type == frames.MSG_POST_QUERY:
+            envelope = frames.read_envelope(r)
+            tds_id = r.opt_text()
+            meta = frames.read_meta(r)
+            r.expect_end()
+            if meta.protocol and meta.protocol not in SUPPORTED_PROTOCOLS:
+                raise ProtocolError(
+                    f"no coordinator for protocol {meta.protocol!r}"
+                )
+            self.ssi.post_query(envelope, tds_id)
+            self.metas[envelope.query_id] = meta
+            self._posted_at[envelope.query_id] = self._now()
+            self._queues[envelope.query_id] = _SubmissionQueue(self._max_pending)
+            if meta.protocol:
+                self.coordinators[envelope.query_id] = QueryCoordinator(
+                    self.ssi,
+                    envelope.query_id,
+                    meta,
+                    partition_timeout=self.partition_timeout,
+                )
+            return w.getvalue()
+
+        if msg_type == frames.MSG_FETCH_QUERY:
+            query_id = r.text()
+            r.expect_end()
+            envelope = self.ssi.envelope(query_id)
+            frames.write_envelope(w, envelope)
+            frames.write_meta(w, self.metas.get(query_id, QueryMeta()))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_ACTIVE_QUERIES:
+            r.expect_end()
+            active = self.ssi.active_queries()
+            w.u32(len(active))
+            for envelope in active:
+                frames.write_envelope(w, envelope)
+                frames.write_meta(w, self.metas.get(envelope.query_id, QueryMeta()))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_SUBMIT_TUPLES:
+            query_id = r.text()
+            tuples = frames.read_tuples(r)
+            r.expect_end()
+            self.ssi.envelope(query_id)  # typed error for unknown ids
+            self._queue_for(query_id).push("tuples", tuples)
+            self._maybe_flush(query_id)
+            return w.getvalue()
+
+        if msg_type == frames.MSG_SUBMIT_PARTIALS:
+            query_id = r.text()
+            partials = frames.read_partials(r)
+            r.expect_end()
+            self.ssi.envelope(query_id)
+            self._queue_for(query_id).push("partials", partials)
+            self._maybe_flush(query_id)
+            return w.getvalue()
+
+        if msg_type == frames.MSG_COLLECTED_COUNT:
+            query_id = r.text()
+            r.expect_end()
+            self._flush(query_id)
+            w.i64(self.ssi.collected_count(query_id))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_EVALUATE_SIZE:
+            query_id = r.text()
+            elapsed = r.f64()
+            r.expect_end()
+            self._flush(query_id)
+            w.boolean(self.ssi.evaluate_size_clause(query_id, elapsed))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_CLOSE_COLLECTION:
+            query_id = r.text()
+            r.expect_end()
+            self._flush(query_id)
+            self.ssi.close_collection(query_id)
+            return w.getvalue()
+
+        if msg_type == frames.MSG_COVERING_RESULT:
+            query_id = r.text()
+            r.expect_end()
+            self._flush(query_id)
+            frames.write_items(w, list(self.ssi.covering_result(query_id)))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_TAKE_PARTIALS:
+            query_id = r.text()
+            r.expect_end()
+            self._flush(query_id)
+            frames.write_items(w, self.ssi.take_partials(query_id))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_PARTIAL_COUNT:
+            query_id = r.text()
+            r.expect_end()
+            self._flush(query_id)
+            w.i64(self.ssi.partial_count(query_id))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_STORE_RESULT_ROWS:
+            query_id = r.text()
+            rows = frames.read_rows(r)
+            r.expect_end()
+            self.ssi.store_result_rows(query_id, rows)
+            return w.getvalue()
+
+        if msg_type == frames.MSG_PUBLISH_RESULT:
+            query_id = r.text()
+            r.expect_end()
+            self.ssi.publish_result(query_id)
+            return w.getvalue()
+
+        if msg_type == frames.MSG_RESULT_READY:
+            query_id = r.text()
+            r.expect_end()
+            w.boolean(self.ssi.result_ready(query_id))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_FETCH_RESULT:
+            query_id = r.text()
+            r.expect_end()
+            frames.write_result(w, self.ssi.fetch_result(query_id))
+            return w.getvalue()
+
+        if msg_type == frames.MSG_FETCH_PARTITION:
+            query_id = r.text()
+            tds_id = r.text()
+            r.expect_end()
+            return self._fetch_partition(query_id, tds_id)
+
+        if msg_type == frames.MSG_SUBMIT_PARTITION_RESULT:
+            query_id = r.text()
+            partition_id = r.i64()
+            tds_id = r.text()
+            result_kind = r.u8()
+            if result_kind == frames.RESULT_PARTIALS:
+                partials = frames.read_partials(r)
+                rows: list[bytes] = []
+            elif result_kind == frames.RESULT_ROWS:
+                partials = []
+                rows = frames.read_rows(r)
+            else:
+                raise ProtocolError(f"unknown result kind 0x{result_kind:02x}")
+            r.expect_end()
+            coordinator = self._coordinator(query_id)
+            coordinator.complete(partition_id, tds_id, result_kind, partials, rows)
+            return w.getvalue()
+
+        raise ProtocolError(f"unhandled request type 0x{msg_type:02x}")
+
+    # ------------------------------------------------------------------ #
+    # fleet-mode helpers
+    # ------------------------------------------------------------------ #
+    def _fetch_partition(self, query_id: str, tds_id: str) -> bytes:
+        w = Writer()
+        self.ssi.envelope(query_id)  # typed error for unknown ids
+        self._flush(query_id)
+        coordinator = self.coordinators.get(query_id)
+        if coordinator is None or coordinator.done():
+            w.u8(frames.STATUS_DONE)
+            return w.getvalue()
+        self._auto_close(query_id)
+        unit = coordinator.next_work(tds_id, self._now())
+        if coordinator.done():
+            w.u8(frames.STATUS_DONE)
+            return w.getvalue()
+        if unit is None:
+            w.u8(frames.STATUS_WAIT)
+            return w.getvalue()
+        w.u8(frames.STATUS_WORK)
+        frames.write_work_unit(w, unit)
+        return w.getvalue()
+
+    def _coordinator(self, query_id: str) -> QueryCoordinator:
+        coordinator = self.coordinators.get(query_id)
+        if coordinator is None:
+            raise UnknownQueryError(
+                f"query {query_id!r} has no server-side coordinator"
+            )
+        return coordinator
+
+    def _queue_for(self, query_id: str) -> _SubmissionQueue:
+        queue = self._queues.get(query_id)
+        if queue is None:
+            queue = _SubmissionQueue(self._max_pending)
+            self._queues[query_id] = queue
+        return queue
+
+    def _maybe_flush(self, query_id: str) -> None:
+        if not self.drain_paused:
+            self._flush(query_id)
+            self._auto_close(query_id)
+
+    def _flush(self, query_id: str) -> None:
+        """Apply buffered submissions in arrival order."""
+        queue = self._queues.get(query_id)
+        if queue is None or not queue.pending:
+            return
+        pending, queue.pending = queue.pending, []
+        for kind, items in pending:
+            if kind == "tuples":
+                self.ssi.submit_tuples(query_id, items)
+            else:
+                self.ssi.submit_partials(query_id, items)
+
+    def _auto_close(self, query_id: str) -> None:
+        """Fleet-mode queries with a SIZE clause close on the server's
+        clock (the paper's SSI evaluates SIZE, §3.1)."""
+        if query_id not in self.coordinators:
+            return
+        if self.ssi.collection_closed(query_id):
+            return
+        envelope = self.ssi.envelope(query_id)
+        if envelope.size_tuples is None and envelope.size_seconds is None:
+            return
+        elapsed = self._now() - self._posted_at.get(query_id, self._now())
+        self.ssi.evaluate_size_clause(query_id, elapsed)
+
+
+DispatchFn = Callable[[bytes], Awaitable[bytes]]
+
+
+class SSIServer:
+    """``asyncio.start_server``-based TCP front end for a dispatcher."""
+
+    def __init__(
+        self,
+        dispatcher: SSIDispatcher | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        read_timeout: float = 30.0,
+        max_frame_bytes: int = frames.MAX_FRAME_BYTES,
+    ) -> None:
+        self.dispatcher = dispatcher if dispatcher is not None else SSIDispatcher()
+        self.host = host
+        self.port = port
+        self.read_timeout = read_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            self.port = sock.getsockname()[1]
+            break
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    body = await asyncio.wait_for(
+                        frames.read_frame(reader, self.max_frame_bytes),
+                        timeout=self.read_timeout,
+                    )
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                        ConnectionError):
+                    return  # idle timeout, clean EOF or peer drop: hang up
+                except ProtocolError as exc:
+                    # Framing violation: answer once, then hang up (the
+                    # stream position can no longer be trusted).
+                    writer.write(frames.pack_error(frames.ERR_TOO_LARGE, str(exc)))
+                    await writer.drain()
+                    return
+                response = await self.dispatcher.dispatch(body)
+                writer.write(response)
+                await writer.drain()
+        except ConnectionError:
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass

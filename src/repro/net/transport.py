@@ -1,0 +1,267 @@
+"""Transports and the driver-facing ``RemoteSSI`` adapter.
+
+A :class:`Transport` moves one request frame to the SSI and returns one
+response frame.  Two implementations:
+
+* :class:`LoopbackTransport` — calls an :class:`SSIDispatcher` coroutine
+  directly.  Deterministic, no sockets; the default for tests.
+* :class:`TCPTransport` — a real ``asyncio`` stream connection with
+  reconnect-on-drop; every failure surfaces as
+  :class:`~repro.exceptions.TransportError` so the client layer can
+  retry.
+
+:class:`RemoteSSI` is the bridge back to the synchronous world: it
+satisfies the exact SSI surface the five protocol drivers in
+:mod:`repro.protocols` use (``post_query`` ... ``fetch_result``), routing
+every call over a transport via a private event loop.  Drivers execute
+unchanged against it — over loopback or over real TCP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from typing import Awaitable, Callable, Coroutine, Iterable, TypeVar
+
+from repro.core.messages import (
+    EncryptedPartial,
+    EncryptedTuple,
+    QueryEnvelope,
+    QueryResult,
+)
+from repro.exceptions import TransportError
+from repro.net import frames
+from repro.net.client import AsyncSSIClient, RetryPolicy
+
+T = TypeVar("T")
+
+DispatchFn = Callable[[bytes], Awaitable[bytes]]
+
+
+class Transport:
+    """One request frame out, one response frame body back."""
+
+    async def request(self, message: bytes) -> bytes:
+        raise NotImplementedError
+
+    async def close(self) -> None:  # pragma: no cover - trivial default
+        return None
+
+
+class LoopbackTransport(Transport):
+    """In-memory transport: full encode/decode round trip, no sockets.
+
+    The request frame is split exactly as the TCP server would split it
+    (length header off, body through the dispatcher), so a protocol bug
+    cannot hide in the loopback path."""
+
+    def __init__(self, dispatch: DispatchFn) -> None:
+        self._dispatch = dispatch
+
+    async def request(self, message: bytes) -> bytes:
+        if len(message) < 6:
+            raise TransportError("runt frame")
+        body = message[4:]
+        response = await self._dispatch(body)
+        # Responses come back framed; strip the length header like a
+        # stream reader would.
+        return response[4:]
+
+
+class TCPTransport(Transport):
+    """A persistent TCP connection, re-established on demand.
+
+    Any connection failure tears the stream down and raises
+    :class:`TransportError`; the next request reconnects from scratch
+    (reconnect-on-drop)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        max_frame_bytes: int = frames.MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None:
+            return
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                timeout=self.connect_timeout,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from None
+
+    async def request(self, message: bytes) -> bytes:
+        await self._ensure_connected()
+        assert self._reader is not None and self._writer is not None
+        try:
+            self._writer.write(message)
+            await self._writer.drain()
+            body = await frames.read_frame(self._reader, self.max_frame_bytes)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+            await self._teardown()
+            raise TransportError(f"connection to SSI dropped: {exc}") from None
+        return body
+
+    async def drop(self) -> None:
+        """Abruptly abandon the current connection (failure injection:
+        'the TDS went offline mid-request')."""
+        await self._teardown()
+
+    async def close(self) -> None:
+        await self._teardown()
+
+    async def _teardown(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+class SyncBridge:
+    """A private event loop on a daemon thread, for synchronous callers.
+
+    The protocol drivers are synchronous; the network runtime is async.
+    The bridge runs coroutines on its own loop so a driver can block on
+    network calls without owning (or interfering with) any caller loop."""
+
+    def __init__(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-net-bridge", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    def run(self, coro: Coroutine[object, object, T]) -> T:
+        if not self._thread.is_alive():
+            raise TransportError("bridge loop is closed")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)
+        self._loop.close()
+
+
+class RemoteSSI:
+    """Synchronous :class:`SupportingServerInfrastructure` look-alike.
+
+    Implements every SSI method the protocol drivers call, so
+    ``SAggProtocol(RemoteSSI.tcp(...), collectors, workers, rng)`` runs
+    the unmodified driver over a real wire."""
+
+    def __init__(self, client: AsyncSSIClient, bridge: SyncBridge | None = None) -> None:
+        self._client = client
+        self._bridge = bridge if bridge is not None else SyncBridge()
+
+    # -- construction ---------------------------------------------------- #
+    @classmethod
+    def loopback(
+        cls,
+        dispatch: DispatchFn,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> "RemoteSSI":
+        client = AsyncSSIClient(LoopbackTransport(dispatch), policy, rng)
+        return cls(client)
+
+    @classmethod
+    def tcp(
+        cls,
+        host: str,
+        port: int,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> "RemoteSSI":
+        client = AsyncSSIClient(TCPTransport(host, port), policy, rng)
+        return cls(client)
+
+    def close(self) -> None:
+        self._bridge.run(self._client.close())
+        self._bridge.close()
+
+    # -- the SSI surface drivers use ------------------------------------- #
+    def post_query(self, envelope: QueryEnvelope, tds_id: str | None = None) -> None:
+        self._bridge.run(self._client.post_query(envelope, tds_id))
+
+    def active_queries(self) -> list[QueryEnvelope]:
+        return [
+            envelope
+            for envelope, _meta in self._bridge.run(self._client.active_queries())
+        ]
+
+    def envelope(self, query_id: str) -> QueryEnvelope:
+        envelope, _meta = self._bridge.run(self._client.fetch_query(query_id))
+        return envelope
+
+    def submit_tuples(
+        self, query_id: str, tuples: Iterable[EncryptedTuple]
+    ) -> None:
+        self._bridge.run(self._client.submit_tuples(query_id, list(tuples)))
+
+    def collected_count(self, query_id: str) -> int:
+        return self._bridge.run(self._client.collected_count(query_id))
+
+    def evaluate_size_clause(
+        self, query_id: str, elapsed_seconds: float = 0.0
+    ) -> bool:
+        return self._bridge.run(
+            self._client.evaluate_size_clause(query_id, elapsed_seconds)
+        )
+
+    def close_collection(self, query_id: str) -> None:
+        self._bridge.run(self._client.close_collection(query_id))
+
+    def collection_closed(self, query_id: str) -> bool:
+        # Not wire-exposed separately: closed queries leave the global
+        # querybox, which active_queries reflects; drivers do not call
+        # this, it exists for interface parity with the local SSI.
+        return all(
+            envelope.query_id != query_id for envelope in self.active_queries()
+        )
+
+    def covering_result(self, query_id: str) -> list[EncryptedTuple]:
+        return self._bridge.run(self._client.covering_result(query_id))
+
+    def submit_partials(
+        self, query_id: str, partials: Iterable[EncryptedPartial]
+    ) -> None:
+        self._bridge.run(self._client.submit_partials(query_id, list(partials)))
+
+    def take_partials(self, query_id: str) -> list[EncryptedPartial]:
+        return self._bridge.run(self._client.take_partials(query_id))
+
+    def partial_count(self, query_id: str) -> int:
+        return self._bridge.run(self._client.partial_count(query_id))
+
+    def store_result_rows(self, query_id: str, rows: Iterable[bytes]) -> None:
+        self._bridge.run(self._client.store_result_rows(query_id, list(rows)))
+
+    def publish_result(self, query_id: str) -> None:
+        self._bridge.run(self._client.publish_result(query_id))
+
+    def result_ready(self, query_id: str) -> bool:
+        return self._bridge.run(self._client.result_ready(query_id))
+
+    def fetch_result(self, query_id: str) -> QueryResult:
+        return self._bridge.run(self._client.fetch_result(query_id))

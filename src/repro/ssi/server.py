@@ -20,7 +20,11 @@ from repro.core.messages import (
     QueryEnvelope,
     QueryResult,
 )
-from repro.exceptions import ProtocolError
+from repro.exceptions import (
+    DuplicateQueryError,
+    ResultNotReadyError,
+    UnknownQueryError,
+)
 from repro.ssi.observer import Observer
 from repro.ssi.querybox import GlobalQuerybox, PersonalQuerybox
 from repro.ssi.storage import PartitionTracker, QueryStorage
@@ -43,7 +47,7 @@ class SupportingServerInfrastructure:
         """Post to the global querybox, or to one personal querybox when
         *tds_id* is given."""
         if envelope.query_id in self._envelopes:
-            raise ProtocolError(f"duplicate query id {envelope.query_id!r}")
+            raise DuplicateQueryError(f"duplicate query id {envelope.query_id!r}")
         self._envelopes[envelope.query_id] = envelope
         self._storage[envelope.query_id] = QueryStorage()
         if tds_id is None:
@@ -58,7 +62,7 @@ class SupportingServerInfrastructure:
         try:
             return self._envelopes[query_id]
         except KeyError:
-            raise ProtocolError(f"unknown query {query_id!r}") from None
+            raise UnknownQueryError(f"unknown query {query_id!r}") from None
 
     # ------------------------------------------------------------------ #
     # collection phase (step 4, SIZE evaluation)
@@ -98,6 +102,9 @@ class SupportingServerInfrastructure:
     def close_collection(self, query_id: str) -> None:
         self._require(query_id).collection_closed = True
         self.global_querybox.close(query_id)
+
+    def collection_closed(self, query_id: str) -> bool:
+        return self._require(query_id).collection_closed
 
     def covering_result(self, query_id: str) -> list[EncryptedTuple]:
         return list(self._require(query_id).collected)
@@ -151,11 +158,11 @@ class SupportingServerInfrastructure:
     def fetch_result(self, query_id: str) -> QueryResult:
         storage = self._require(query_id)
         if not storage.result_ready:
-            raise ProtocolError(f"result of {query_id!r} not ready")
+            raise ResultNotReadyError(f"result of {query_id!r} not ready")
         return QueryResult(query_id, tuple(storage.result_rows))
 
     def _require(self, query_id: str) -> QueryStorage:
         try:
             return self._storage[query_id]
         except KeyError:
-            raise ProtocolError(f"unknown query {query_id!r}") from None
+            raise UnknownQueryError(f"unknown query {query_id!r}") from None

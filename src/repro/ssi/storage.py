@@ -88,6 +88,14 @@ class PartitionTracker:
             tracked.assignee = None
             tracked.deadline = None
 
+    def is_done(self, partition_id: int) -> bool:
+        """Whether a specific partition has completed (used to drop the
+        duplicate results a reassignment race can produce)."""
+        tracked = self._tracked.get(partition_id)
+        if tracked is None:
+            raise ProtocolError(f"unknown partition {partition_id}")
+        return tracked.state is PartitionState.DONE
+
     def all_done(self) -> bool:
         return all(t.state is PartitionState.DONE for t in self._tracked.values())
 

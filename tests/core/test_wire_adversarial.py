@@ -1,0 +1,129 @@
+"""Adversarial wire-format tests.
+
+Frames arrive at the SSI from the network; the length prefix, padding
+and body are all attacker-controlled.  Every malformation must surface
+as :class:`ProtocolError` — never ``IndexError``/``UnicodeDecodeError``/
+``TypeError`` leaking out of the byte layer (satellite of the repro.net
+PR; see DESIGN.md §7).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import encode
+from repro.core.messages import TupleContent
+from repro.core.wire import (
+    MAX_INNER_LENGTH,
+    decode_frame,
+    encode_partial_frame,
+    encode_tuple_frame,
+)
+from repro.exceptions import ProtocolError
+
+
+def good_tuple_frame() -> bytes:
+    content = TupleContent(TupleContent.KIND_DATA, {"g": "north", "x": 42})
+    return encode_tuple_frame(content)
+
+
+class TestLengthPrefix:
+    def test_empty_input(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"")
+
+    @pytest.mark.parametrize("size", [1, 2, 3])
+    def test_truncated_prefix(self, size):
+        with pytest.raises(ProtocolError):
+            decode_frame(b"\xff" * size)
+
+    def test_declared_length_past_buffer(self):
+        frame = bytearray(good_tuple_frame())
+        frame[:4] = (len(frame) + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            decode_frame(bytes(frame))
+
+    def test_declared_length_maximum_u32(self):
+        # 0xFFFFFFFF would be a 4 GiB allocation if trusted.
+        frame = b"\xff\xff\xff\xff" + b"\x00" * 64
+        with pytest.raises(ProtocolError, match="limit"):
+            decode_frame(frame)
+
+    def test_declared_length_just_above_cap(self):
+        frame = (MAX_INNER_LENGTH + 1).to_bytes(4, "big") + b"\x00" * 64
+        with pytest.raises(ProtocolError, match="limit"):
+            decode_frame(frame)
+
+    def test_nonzero_padding_rejected(self):
+        # Padding bytes are a covert channel if they may carry data.
+        frame = bytearray(good_tuple_frame())
+        assert frame[-1] == 0
+        frame[-1] = 1
+        with pytest.raises(ProtocolError, match="padding"):
+            decode_frame(bytes(frame))
+
+
+def _pad_raw(data: bytes) -> bytes:
+    framed = len(data).to_bytes(4, "big") + data
+    if len(framed) % 64:
+        framed += bytes(64 - len(framed) % 64)
+    return framed
+
+
+class TestBody:
+    def test_garbage_body(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(_pad_raw(b"\x9e\x01\x02garbage"))
+
+    def test_non_utf8_text(self):
+        # A codec 'text' header pointing at invalid UTF-8 bytes.
+        with pytest.raises(ProtocolError):
+            decode_frame(_pad_raw(b"s\x00\x00\x00\x02\xff\xfe"))
+
+    def test_body_not_a_pair(self):
+        with pytest.raises(ProtocolError, match="pair"):
+            decode_frame(_pad_raw(encode(["t"])))
+
+    def test_body_wrong_container(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(_pad_raw(encode(42)))
+
+    def test_unknown_frame_kind(self):
+        with pytest.raises(ProtocolError, match="unknown frame kind"):
+            decode_frame(_pad_raw(encode(["z", {}])))
+
+    def test_tuple_frame_with_malformed_content(self):
+        with pytest.raises(ProtocolError, match="tuple frame"):
+            decode_frame(_pad_raw(encode(["t", ["not", "a", "mapping"]])))
+
+    def test_tuple_frame_with_missing_keys(self):
+        with pytest.raises(ProtocolError, match="tuple frame"):
+            decode_frame(_pad_raw(encode(["t", {"unexpected": 1}])))
+
+
+class TestFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=512))
+    def test_random_bytes_never_leak_raw_errors(self, data):
+        try:
+            decode_frame(data)
+        except ProtocolError:
+            pass  # the only allowed failure mode
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=256), st.integers(min_value=0, max_value=255))
+    def test_bit_flipped_good_frames(self, noise, position):
+        frame = bytearray(good_tuple_frame())
+        for i, byte in enumerate(noise):
+            frame[(position + i) % len(frame)] ^= byte
+        try:
+            kind, __ = decode_frame(bytes(frame))
+            assert kind in ("tuple", "partial")
+        except ProtocolError:
+            pass
+
+    def test_partial_roundtrip_still_works(self):
+        # The hardening must not reject well-formed frames.
+        kind, body = decode_frame(encode_partial_frame([["g"], {"n": 3}]))
+        assert kind == "partial"
+        assert body == [["g"], {"n": 3}]

@@ -1,0 +1,219 @@
+"""Frame codec tests: round-trips and malformed-input behavior."""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (
+    Credential,
+    EncryptedPartial,
+    EncryptedTuple,
+    QueryEnvelope,
+    QueryResult,
+)
+from repro.exceptions import ProtocolError
+from repro.net import frames
+from repro.net.frames import QueryMeta, Reader, WorkUnit, Writer
+
+
+def make_envelope(query_id="q1", size_tuples=None, size_seconds=None):
+    return QueryEnvelope(
+        query_id=query_id,
+        encrypted_query=b"\x01\x02ciphertext",
+        credential=Credential("alice", frozenset({"public", "admin"}), b"sig"),
+        size_tuples=size_tuples,
+        size_seconds=size_seconds,
+    )
+
+
+class TestPrimitives:
+    def test_scalar_roundtrip(self):
+        w = Writer().u8(7).u32(1 << 30).i64(-5).f64(2.5).boolean(True)
+        w.blob(b"abc").text("héllo").opt_blob(None).opt_text("x")
+        r = Reader(w.getvalue())
+        assert r.u8() == 7
+        assert r.u32() == 1 << 30
+        assert r.i64() == -5
+        assert r.f64() == 2.5
+        assert r.boolean() is True
+        assert r.blob() == b"abc"
+        assert r.text() == "héllo"
+        assert r.opt_blob() is None
+        assert r.opt_text() == "x"
+        r.expect_end()
+
+    def test_truncated_reads_raise_protocol_error(self):
+        r = Reader(b"\x01")
+        r.u8()
+        with pytest.raises(ProtocolError, match="truncated"):
+            r.u32()
+
+    def test_blob_declaring_more_than_available(self):
+        r = Reader(b"\x00\x00\x00\xff" + b"x" * 8)
+        with pytest.raises(ProtocolError, match="truncated"):
+            r.blob()
+
+    def test_invalid_boolean_byte(self):
+        with pytest.raises(ProtocolError, match="boolean"):
+            Reader(b"\x02").boolean()
+
+    def test_invalid_utf8_text(self):
+        payload = Writer().blob(b"\xff\xfe").getvalue()
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            Reader(payload).text()
+
+    def test_count_limit(self):
+        payload = Writer().u32(10_000).getvalue()
+        with pytest.raises(ProtocolError, match="exceeds the limit"):
+            Reader(payload).count(limit=100)
+
+    def test_trailing_bytes_detected(self):
+        r = Reader(b"\x01\x02")
+        r.u8()
+        with pytest.raises(ProtocolError, match="trailing"):
+            r.expect_end()
+
+
+class TestFrameLayer:
+    def test_frame_roundtrip(self):
+        frame = frames.pack_frame(frames.MSG_PING, b"\x00\x00\x00\x07payload")
+        msg_type, reader = frames.unpack_frame_body(frame[4:])
+        assert msg_type == frames.MSG_PING
+        assert reader.blob() == b"payload"
+        assert frame[4] == frames.PROTOCOL_VERSION
+
+    def test_version_mismatch_rejected(self):
+        frame = bytearray(frames.pack_frame(frames.MSG_PING, b""))
+        frame[4] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            frames.unpack_frame_body(bytes(frame[4:]))
+
+    def test_runt_body_rejected(self):
+        with pytest.raises(ProtocolError, match="shorter"):
+            frames.unpack_frame_body(b"\x01")
+
+    def test_oversized_frame_refused_at_pack_time(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            frames.pack_frame(frames.MSG_PING, b"x" * frames.MAX_FRAME_BYTES)
+
+    def test_read_frame_rejects_oversized_declaration(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\xff\xff\xff\xff")
+            with pytest.raises(ProtocolError, match="limit"):
+                await frames.read_frame(reader)
+
+        asyncio.run(run())
+
+    def test_read_frame_eof_mid_frame(self):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00\x00\x08\x01\x02")
+            reader.feed_eof()
+            with pytest.raises(asyncio.IncompleteReadError):
+                await frames.read_frame(reader)
+
+        asyncio.run(run())
+
+
+class TestComposites:
+    @pytest.mark.parametrize(
+        "envelope",
+        [
+            make_envelope(),
+            make_envelope(size_tuples=100),
+            make_envelope(size_seconds=3.5),
+            make_envelope(size_tuples=7, size_seconds=0.25),
+        ],
+    )
+    def test_envelope_roundtrip(self, envelope):
+        w = Writer()
+        frames.write_envelope(w, envelope)
+        got = frames.read_envelope(Reader(w.getvalue()))
+        assert got == envelope
+
+    def test_meta_roundtrip_and_dict_params(self):
+        meta = QueryMeta("s_agg", {"alpha": 3.6, "partition_timeout": 2.0})
+        w = Writer()
+        frames.write_meta(w, meta)
+        got = frames.read_meta(Reader(w.getvalue()))
+        assert got.protocol == "s_agg"
+        assert got.param("alpha", 0.0) == 3.6
+        assert got.param("missing", 1.25) == 1.25
+
+    def test_items_roundtrip_preserves_kind(self):
+        items = [
+            EncryptedTuple(b"ct1", None),
+            EncryptedTuple(b"ct2", b"tag"),
+            EncryptedPartial(b"cp", b"tag2"),
+        ]
+        w = Writer()
+        frames.write_items(w, items)
+        got = frames.read_items(Reader(w.getvalue()))
+        assert got == items
+        assert [type(i) for i in got] == [type(i) for i in items]
+
+    def test_read_tuples_rejects_partials(self):
+        w = Writer()
+        frames.write_items(w, [EncryptedPartial(b"cp", None)])
+        with pytest.raises(ProtocolError, match="expected tuple"):
+            frames.read_tuples(Reader(w.getvalue()))
+
+    def test_read_partials_rejects_tuples(self):
+        w = Writer()
+        frames.write_items(w, [EncryptedTuple(b"ct", None)])
+        with pytest.raises(ProtocolError, match="expected partial"):
+            frames.read_partials(Reader(w.getvalue()))
+
+    def test_unknown_item_kind(self):
+        payload = Writer().u32(1).u8(9).blob(b"x").boolean(False).getvalue()
+        with pytest.raises(ProtocolError, match="item kind"):
+            frames.read_items(Reader(payload))
+
+    def test_work_unit_roundtrip(self):
+        unit = WorkUnit("q9", frames.WORK_FOLD, 3, (EncryptedPartial(b"c", None),))
+        w = Writer()
+        frames.write_work_unit(w, unit)
+        assert frames.read_work_unit(Reader(w.getvalue())) == unit
+
+    def test_work_unit_unknown_kind(self):
+        w = Writer()
+        w.text("q9")
+        w.u8(0x7F)
+        w.i64(0)
+        frames.write_items(w, [])
+        with pytest.raises(ProtocolError, match="work-unit kind"):
+            frames.read_work_unit(Reader(w.getvalue()))
+
+    def test_result_roundtrip(self):
+        result = QueryResult("q1", (b"row1", b"row2"))
+        w = Writer()
+        frames.write_result(w, result)
+        assert frames.read_result(Reader(w.getvalue())) == result
+
+
+class TestFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_random_payloads_only_raise_protocol_error(self, data):
+        for parse in (
+            frames.read_envelope,
+            frames.read_meta,
+            frames.read_items,
+            frames.read_work_unit,
+            frames.read_result,
+        ):
+            try:
+                parse(Reader(data))
+            except ProtocolError:
+                pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_unpack_frame_body_total(self, body):
+        try:
+            frames.unpack_frame_body(body)
+        except ProtocolError:
+            pass

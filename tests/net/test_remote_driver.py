@@ -1,0 +1,117 @@
+"""Driver-mode tests: the unmodified protocol drivers over RemoteSSI.
+
+The tentpole contract: ``SAggProtocol(RemoteSSI.tcp(...), ...)`` must
+behave byte-for-byte like ``SAggProtocol(local_ssi, ...)`` — same rows,
+same stats — whether the transport is in-memory loopback or localhost
+TCP.
+"""
+
+import random
+
+from repro.net.server import SSIDispatcher, SSIServer
+from repro.net.transport import RemoteSSI, SyncBridge
+from repro.protocols import EDHistProtocol, SAggProtocol, SelectWhereProtocol
+
+from .conftest import (
+    AVG_SQL,
+    GROUP_SQL,
+    build_deployment,
+    make_histogram,
+    run_driver_inproc,
+    sorted_rows,
+)
+
+
+def run_driver_remote(remote_factory, driver_cls, sql, **kwargs):
+    """Run a driver against a RemoteSSI built by *remote_factory*, using
+    the same deployment/seed choices as :func:`run_driver_inproc`."""
+    dep = build_deployment()
+    dispatcher = SSIDispatcher(dep.ssi)
+    remote, cleanup = remote_factory(dispatcher)
+    try:
+        querier = dep.make_querier()
+        envelope = querier.make_envelope(sql)
+        remote.post_query(envelope)
+        if "histogram" in kwargs and kwargs["histogram"] is None:
+            kwargs["histogram"] = make_histogram(dep)
+        driver = driver_cls(
+            remote,
+            collectors=dep.tds_list,
+            workers=dep.tds_list,
+            rng=random.Random(7),
+            **kwargs,
+        )
+        driver.execute(envelope)
+        rows = querier.decrypt_result(remote.fetch_result(envelope.query_id))
+        return sorted_rows(rows), driver
+    finally:
+        cleanup()
+
+
+def loopback_factory(dispatcher):
+    remote = RemoteSSI.loopback(dispatcher.dispatch)
+    return remote, remote.close
+
+
+def tcp_factory(dispatcher):
+    """A real localhost TCP server on a private event loop."""
+    bridge = SyncBridge()
+    server = SSIServer(dispatcher)
+    bridge.run(server.start())
+    remote = RemoteSSI.tcp("127.0.0.1", server.port)
+
+    def cleanup():
+        remote.close()
+        bridge.run(server.close())
+        bridge.close()
+
+    return remote, cleanup
+
+
+class TestLoopback:
+    def test_sagg_matches_in_process(self):
+        rows, driver = run_driver_remote(loopback_factory, SAggProtocol, AVG_SQL)
+        assert rows == run_driver_inproc(SAggProtocol, AVG_SQL)
+        assert driver.stats.aggregation_rounds >= 1
+
+    def test_edhist_matches_in_process(self):
+        rows, __ = run_driver_remote(
+            loopback_factory, EDHistProtocol, GROUP_SQL, histogram=None
+        )
+        dep = build_deployment()
+        assert rows == run_driver_inproc(
+            EDHistProtocol, GROUP_SQL, histogram=make_histogram(dep)
+        )
+
+    def test_select_where_matches_in_process(self):
+        sql = "SELECT district FROM Consumer WHERE accomodation = 'flat'"
+        rows, __ = run_driver_remote(loopback_factory, SelectWhereProtocol, sql)
+        assert rows == run_driver_inproc(SelectWhereProtocol, sql)
+
+    def test_matches_reference_answer(self):
+        rows, __ = run_driver_remote(loopback_factory, SAggProtocol, GROUP_SQL)
+        dep = build_deployment()
+        assert rows == sorted_rows(dep.reference_answer(GROUP_SQL))
+
+
+class TestTCP:
+    def test_sagg_matches_in_process_over_real_sockets(self):
+        rows, driver = run_driver_remote(tcp_factory, SAggProtocol, AVG_SQL)
+        assert rows == run_driver_inproc(SAggProtocol, AVG_SQL)
+        assert len(driver.stats.participants) > 0
+
+    def test_edhist_matches_in_process_over_real_sockets(self):
+        rows, __ = run_driver_remote(
+            tcp_factory, EDHistProtocol, GROUP_SQL, histogram=None
+        )
+        dep = build_deployment()
+        assert rows == run_driver_inproc(
+            EDHistProtocol, GROUP_SQL, histogram=make_histogram(dep)
+        )
+
+    def test_size_clause_closes_collection_remotely(self):
+        sql = GROUP_SQL + " SIZE 4 TUPLES"
+        rows, driver = run_driver_remote(tcp_factory, SAggProtocol, sql)
+        # The driver stopped collection at the SIZE bound, remotely
+        # evaluated by the SSI process.
+        assert driver.stats.tuples_collected == 4

@@ -1,0 +1,363 @@
+"""Typed wire errors, traceback hygiene, backpressure and retries.
+
+The satellite requirements: a duplicate or unknown ``query_id`` must
+surface as a *typed* wire-level error (and the same exception type the
+in-process SSI raises) on both the loopback and the TCP path, and no
+Python traceback may ever cross the transport.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.exceptions import (
+    BackpressureError,
+    DuplicateQueryError,
+    ProtocolError,
+    ResultNotReadyError,
+    TransportError,
+    UnknownQueryError,
+)
+from repro.net import frames
+from repro.net.client import AsyncSSIClient, RetryPolicy
+from repro.net.server import SSIDispatcher, SSIServer
+from repro.net.transport import LoopbackTransport, TCPTransport, Transport
+
+from .conftest import build_deployment, run_async
+from .test_frames import make_envelope
+
+
+def loopback_client(dispatcher, **policy_kw):
+    policy = RetryPolicy(**policy_kw) if policy_kw else None
+    return AsyncSSIClient(
+        LoopbackTransport(dispatcher.dispatch), policy, rng=random.Random(1)
+    )
+
+
+async def tcp_fixture(**policy_kw):
+    """(server, client) pair over a real localhost socket."""
+    server = SSIServer(SSIDispatcher())
+    await server.start()
+    policy = RetryPolicy(**policy_kw) if policy_kw else None
+    client = AsyncSSIClient(
+        TCPTransport("127.0.0.1", server.port), policy, rng=random.Random(1)
+    )
+    return server, client
+
+
+class TestTypedErrors:
+    def test_duplicate_query_loopback(self):
+        async def run():
+            client = loopback_client(SSIDispatcher())
+            await client.post_query(make_envelope("q1"))
+            with pytest.raises(DuplicateQueryError):
+                await client.post_query(make_envelope("q1"))
+
+        run_async(run())
+
+    def test_duplicate_query_tcp(self):
+        async def run():
+            server, client = await tcp_fixture()
+            try:
+                await client.post_query(make_envelope("q1"))
+                with pytest.raises(DuplicateQueryError):
+                    await client.post_query(make_envelope("q1"))
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(run())
+
+    def test_unknown_query_loopback(self):
+        async def run():
+            client = loopback_client(SSIDispatcher())
+            with pytest.raises(UnknownQueryError):
+                await client.fetch_query("never-posted")
+            with pytest.raises(UnknownQueryError):
+                await client.submit_tuples("never-posted", [])
+
+        run_async(run())
+
+    def test_unknown_query_tcp(self):
+        async def run():
+            server, client = await tcp_fixture()
+            try:
+                with pytest.raises(UnknownQueryError):
+                    await client.fetch_query("never-posted")
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(run())
+
+    def test_result_not_ready(self):
+        async def run():
+            client = loopback_client(SSIDispatcher())
+            await client.post_query(make_envelope("q1"))
+            with pytest.raises(ResultNotReadyError):
+                await client.fetch_result("q1")
+
+        run_async(run())
+
+    def test_error_messages_never_contain_tracebacks(self):
+        async def run():
+            client = loopback_client(SSIDispatcher())
+            await client.post_query(make_envelope("q1"))
+            for exc_type, call in [
+                (DuplicateQueryError, client.post_query(make_envelope("q1"))),
+                (UnknownQueryError, client.fetch_query("nope")),
+                (ResultNotReadyError, client.fetch_result("q1")),
+            ]:
+                with pytest.raises(exc_type) as info:
+                    await call
+                assert "Traceback" not in str(info.value)
+                assert "File \"" not in str(info.value)
+
+        run_async(run())
+
+    def test_internal_errors_are_scrubbed(self):
+        async def run():
+            dispatcher = SSIDispatcher()
+            secret = "secret-internal-detail-12345"
+
+            def boom(*args, **kwargs):
+                raise RuntimeError(secret)
+
+            dispatcher.ssi.result_ready = boom
+            client = loopback_client(dispatcher)
+            with pytest.raises(ProtocolError) as info:
+                await client.result_ready("q1")
+            assert secret not in str(info.value)
+            assert "internal server error" in str(info.value)
+
+        run_async(run())
+
+
+class TestWireDiscipline:
+    def test_malformed_payload_is_typed(self):
+        async def run():
+            dispatcher = SSIDispatcher()
+            transport = LoopbackTransport(dispatcher.dispatch)
+            # A submit_tuples request whose payload is garbage.
+            response = await transport.request(
+                frames.pack_frame(frames.MSG_SUBMIT_TUPLES, b"\xff\xff")
+            )
+            msg_type, reader = frames.unpack_frame_body(response)
+            assert msg_type == frames.MSG_ERROR
+            assert reader.u8() == frames.ERR_MALFORMED
+
+        run_async(run())
+
+    def test_unknown_request_type(self):
+        async def run():
+            dispatcher = SSIDispatcher()
+            transport = LoopbackTransport(dispatcher.dispatch)
+            response = await transport.request(frames.pack_frame(0x3F, b""))
+            msg_type, reader = frames.unpack_frame_body(response)
+            assert msg_type == frames.MSG_ERROR
+            assert reader.u8() == frames.ERR_UNKNOWN_OP
+
+        run_async(run())
+
+    def test_version_mismatch_rejected_by_dispatcher(self):
+        async def run():
+            dispatcher = SSIDispatcher()
+            body = bytes([99, frames.MSG_PING])
+            response = await dispatcher.dispatch(body)
+            msg_type, reader = frames.unpack_frame_body(response[4:])
+            assert msg_type == frames.MSG_ERROR
+            assert reader.u8() == frames.ERR_MALFORMED
+            assert "version" in reader.text()
+
+        run_async(run())
+
+    def test_oversized_frame_over_tcp_answered_then_disconnected(self):
+        async def run():
+            server = SSIServer(SSIDispatcher())
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(b"\xff\xff\xff\xff")  # 4 GiB declared frame
+                await writer.drain()
+                body = await frames.read_frame(reader)
+                msg_type, r = frames.unpack_frame_body(body)
+                assert msg_type == frames.MSG_ERROR
+                assert r.u8() == frames.ERR_TOO_LARGE
+                assert await reader.read(1) == b""  # server hung up
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.close()
+
+        run_async(run())
+
+    def test_idle_read_timeout_disconnects(self):
+        async def run():
+            server = SSIServer(SSIDispatcher(), read_timeout=0.05)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                assert await reader.read(1) == b""  # hung up after timeout
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.close()
+
+        run_async(run())
+
+
+class TestBackpressureAndRetry:
+    def test_backpressure_without_retries_raises(self):
+        async def run():
+            dispatcher = SSIDispatcher(max_pending_batches=1)
+            dispatcher.drain_paused = True
+            client = loopback_client(dispatcher, max_retries=0)
+            # post goes around the queue; two submissions overflow it
+            dispatcher.drain_paused = False
+            await client.post_query(make_envelope("q1"))
+            dispatcher.drain_paused = True
+            await client.submit_tuples("q1", [])
+            with pytest.raises(BackpressureError):
+                await client.submit_tuples("q1", [])
+
+        run_async(run())
+
+    def test_backpressure_retry_succeeds_after_drain(self):
+        async def run():
+            dispatcher = SSIDispatcher(max_pending_batches=1)
+            client = loopback_client(dispatcher, max_retries=3, backoff_base=0.001)
+            await client.post_query(make_envelope("q1"))
+            dispatcher.drain_paused = True
+            await client.submit_tuples("q1", [])
+
+            async def unpausing_sleep(delay):
+                dispatcher.drain_paused = False
+                await client.collected_count("q1")  # forces a flush
+
+            client._sleep = unpausing_sleep
+            await client.submit_tuples("q1", [])  # retried, then applied
+            assert client.retries >= 1
+
+        run_async(run())
+
+    def test_retry_backoff_is_deterministic_under_a_seed(self):
+        class FlakyTransport(Transport):
+            def __init__(self, failures):
+                self.failures = failures
+
+            async def request(self, message):
+                if self.failures > 0:
+                    self.failures -= 1
+                    raise TransportError("injected")
+                return frames.pack_frame(frames.MSG_OK, b"")[4:]
+
+        async def delays_for(seed):
+            delays = []
+
+            async def capture(delay):
+                delays.append(delay)
+
+            client = AsyncSSIClient(
+                FlakyTransport(3),
+                RetryPolicy(max_retries=4, backoff_base=0.05),
+                rng=random.Random(seed),
+                sleep=capture,
+            )
+            await client.ping()
+            assert client.retries == 3
+            return delays
+
+        first = run_async(delays_for(7))
+        second = run_async(delays_for(7))
+        other = run_async(delays_for(8))
+        assert first == second  # same seed, same schedule
+        assert first != other  # jitter is seed-dependent
+        assert len(first) == 3
+        # exponential shape: each base delay doubles, jitter <= 10%
+        assert 0.05 <= first[0] <= 0.055
+        assert 0.10 <= first[1] <= 0.11
+        assert 0.20 <= first[2] <= 0.22
+
+    def test_retries_exhausted_raises_transport_error(self):
+        class DeadTransport(Transport):
+            def __init__(self):
+                self.attempts = 0
+
+            async def request(self, message):
+                self.attempts += 1
+                raise TransportError("down")
+
+        async def run():
+            transport = DeadTransport()
+            client = AsyncSSIClient(
+                transport,
+                RetryPolicy(max_retries=2, backoff_base=0.0),
+                rng=random.Random(0),
+            )
+            with pytest.raises(TransportError):
+                await client.ping()
+            assert transport.attempts == 3  # initial try + 2 retries
+
+        run_async(run())
+
+    def test_tcp_reconnect_after_drop(self):
+        async def run():
+            server, client = await tcp_fixture(backoff_base=0.001)
+            try:
+                await client.ping()
+                assert isinstance(client.transport, TCPTransport)
+                await client.transport.drop()
+                await client.ping()  # lazily reconnects
+                await client.post_query(make_envelope("q1"))
+                envelope, __ = await client.fetch_query("q1")
+                assert envelope.query_id == "q1"
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(run())
+
+
+class TestRemoteSSIParity:
+    """RemoteSSI raises the same typed exceptions as the local SSI."""
+
+    def test_driver_visible_errors_match(self, deployment):
+        from repro.net.transport import RemoteSSI
+
+        dispatcher = SSIDispatcher(deployment.ssi)
+        remote = RemoteSSI.loopback(dispatcher.dispatch)
+        try:
+            querier = deployment.make_querier()
+            envelope = querier.make_envelope(
+                "SELECT COUNT(*) AS n FROM Consumer"
+            )
+            remote.post_query(envelope)
+            with pytest.raises(DuplicateQueryError):
+                remote.post_query(envelope)
+            with pytest.raises(UnknownQueryError):
+                remote.envelope("missing")
+            with pytest.raises(ResultNotReadyError):
+                remote.fetch_result(envelope.query_id)
+        finally:
+            remote.close()
+
+    def test_local_ssi_raises_the_same_types(self, deployment):
+        querier = deployment.make_querier()
+        envelope = querier.make_envelope("SELECT COUNT(*) AS n FROM Consumer")
+        deployment.ssi.post_query(envelope)
+        with pytest.raises(DuplicateQueryError):
+            deployment.ssi.post_query(envelope)
+        with pytest.raises(UnknownQueryError):
+            deployment.ssi.envelope("missing")
+        with pytest.raises(ResultNotReadyError):
+            deployment.ssi.fetch_result(envelope.query_id)
+
+
+def test_build_deployment_helper_smoke():
+    deployment = build_deployment(num_tds=4)
+    assert len(deployment.tds_list) == 4

@@ -75,6 +75,12 @@ class TransportError(ReproError):
     violation on the byte stream). Retryable at the client layer."""
 
 
+class FrameTooLargeError(ProtocolError):
+    """A peer declared a frame above the negotiated size limit (answered
+    with ``ERR_TOO_LARGE`` on the wire, unlike other framing violations
+    which are ``ERR_MALFORMED``)."""
+
+
 class AccessDeniedError(ProtocolError):
     """The querier's credential does not satisfy the access-control policy."""
 

@@ -9,6 +9,15 @@ result-not-ready) are raised immediately as the matching exception from
 :mod:`repro.exceptions` — the same types the in-process SSI raises, so
 callers cannot tell a remote SSI from a local one by its failures.
 
+Mutating requests (post_query, tuple/partial submissions, result rows)
+carry an idempotency key — a per-client id plus a sequence number baked
+into the request bytes once per *logical* call — so a retry after a lost
+response replays the identical request and the dispatcher drops the
+duplicate instead of applying it twice.  Semantics are therefore
+exactly-once per logical client call while the client keeps retrying;
+only a caller that gives up and later re-issues the operation as a *new*
+call reintroduces at-least-once behaviour.
+
 :class:`TDSClient` and :class:`QuerierClient` are role-named views of the
 same surface (a TDS polls queries/partitions and submits ciphertext; a
 querier posts queries and fetches results).
@@ -88,6 +97,11 @@ class AsyncSSIClient:
         self._sleep = sleep
         #: transport-level retries performed so far (observability/tests)
         self.retries = 0
+        # Idempotency identity: a connection-layer pseudonym (not a TDS
+        # id) plus a per-call sequence number; retried requests reuse the
+        # bytes of the original, so the server can drop replays.
+        self._client_id = f"{self._rng.getrandbits(64):016x}"
+        self._seq = 0
 
     async def close(self) -> None:
         await self.transport.close()
@@ -105,12 +119,30 @@ class AsyncSSIClient:
                     timeout=self.policy.request_timeout,
                 )
                 return self._unwrap(body)
-            except (TransportError, asyncio.TimeoutError, BackpressureError):
+            except (TransportError, asyncio.TimeoutError, BackpressureError) as exc:
+                if isinstance(exc, asyncio.TimeoutError):
+                    # The request was abandoned mid-flight; its response
+                    # may still be (partially) in the stream.  Reset so
+                    # the retry — and any later request — starts on a
+                    # clean connection instead of reading a stale frame.
+                    await self.transport.reset()
                 if attempt >= self.policy.max_retries:
                     raise
                 await self._sleep(self.policy.delay(attempt, self._rng))
                 attempt += 1
                 self.retries += 1
+
+    def _idem(self, w: Writer) -> Writer:
+        """Stamp a mutating request with this client's idempotency key.
+
+        Called once per logical operation (not per attempt): retries
+        resend the identical bytes, so the dispatcher can recognise and
+        drop a replay whose first application succeeded but whose
+        response was lost."""
+        self._seq += 1
+        w.text(self._client_id)
+        w.i64(self._seq)
+        return w
 
     def _unwrap(self, body: bytes) -> Reader:
         msg_type, reader = frames.unpack_frame_body(body)
@@ -134,7 +166,7 @@ class AsyncSSIClient:
         tds_id: str | None = None,
         meta: QueryMeta | None = None,
     ) -> None:
-        w = Writer()
+        w = self._idem(Writer())
         frames.write_envelope(w, envelope)
         w.opt_text(tds_id)
         frames.write_meta(w, meta if meta is not None else QueryMeta())
@@ -160,14 +192,14 @@ class AsyncSSIClient:
     async def submit_tuples(
         self, query_id: str, tuples: Sequence[EncryptedTuple]
     ) -> None:
-        w = Writer().text(query_id)
+        w = self._idem(Writer()).text(query_id)
         frames.write_items(w, list(tuples))
         (await self._call(frames.MSG_SUBMIT_TUPLES, w.getvalue())).expect_end()
 
     async def submit_partials(
         self, query_id: str, partials: Sequence[EncryptedPartial]
     ) -> None:
-        w = Writer().text(query_id)
+        w = self._idem(Writer()).text(query_id)
         frames.write_items(w, list(partials))
         (await self._call(frames.MSG_SUBMIT_PARTIALS, w.getvalue())).expect_end()
 
@@ -223,7 +255,7 @@ class AsyncSSIClient:
     async def store_result_rows(
         self, query_id: str, rows: Sequence[bytes]
     ) -> None:
-        w = Writer().text(query_id)
+        w = self._idem(Writer()).text(query_id)
         frames.write_rows(w, list(rows))
         (await self._call(frames.MSG_STORE_RESULT_ROWS, w.getvalue())).expect_end()
 

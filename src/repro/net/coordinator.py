@@ -125,11 +125,14 @@ class QueryCoordinator:
     ) -> None:
         """Record one partition's result; advances the stage when the
         current tracker drains.  Duplicate completions (a reassignment
-        race) are dropped — partial folding is idempotent per partition."""
-        if self._tracker is None:
-            raise ProtocolError(
-                f"no partition work outstanding for query {self.query_id!r}"
-            )
+        race) are dropped — partial folding is idempotent per partition.
+        So are *stale* completions: partition ids are coordinator-unique
+        across rounds (:meth:`_renumber`), so an id the current tracker
+        never issued is a timed-out TDS finally replying after the round
+        advanced — dropping it (rather than erroring) keeps slow-but-
+        healthy workers polling."""
+        if self._tracker is None or not self._tracker.knows(partition_id):
+            return
         if self._tracker.is_done(partition_id):
             return
         expected = RESULT_ROWS if self._stage == _STAGE_FINALIZE else RESULT_PARTIALS

@@ -18,6 +18,7 @@ tracker must detect the timeout and reassign, end-to-end.
 from __future__ import annotations
 
 import asyncio
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Sequence
@@ -33,6 +34,8 @@ from repro.simulation.failures import FailureInjector
 from repro.sql.ast import SelectStatement
 from repro.tds.histogram import EquiDepthHistogram
 from repro.tds.node import TrustedDataServer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -143,6 +146,15 @@ class FleetRunner:
                     await self._poll_once(tds, client, statements, contributed)
                 except (TransportError, asyncio.TimeoutError):
                     pass  # server briefly unreachable: back off and retry
+                except ProtocolError as exc:
+                    # e.g. a typed server error outside the handled set;
+                    # log and keep polling — one bad exchange must not
+                    # silently retire the worker for the whole run.
+                    logger.warning(
+                        "tds %s: protocol error (continuing): %s",
+                        tds.tds_id,
+                        exc,
+                    )
                 await self._sleep(self.poll_interval)
         finally:
             await client.close()
@@ -160,8 +172,11 @@ class FleetRunner:
                 continue
             self._known.setdefault(query_id, (envelope, meta))
             if query_id not in contributed:
-                contributed.add(query_id)
+                # Marked contributed only once the submission succeeded:
+                # if retries are exhausted mid-submit, the next poll must
+                # try again, or a no-SIZE query would never close.
                 await self._contribute(tds, client, envelope, meta)
+                contributed.add(query_id)
         for query_id in list(self._known):
             if query_id in self._done:
                 continue

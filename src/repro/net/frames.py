@@ -31,10 +31,11 @@ from repro.core.messages import (
     QueryEnvelope,
     QueryResult,
 )
-from repro.exceptions import ProtocolError
+from repro.exceptions import FrameTooLargeError, ProtocolError
 
 #: protocol version spoken by this build; bumped on incompatible changes
-PROTOCOL_VERSION = 1
+#: (v2: mutating requests carry a client-id + sequence idempotency key)
+PROTOCOL_VERSION = 2
 
 #: hard ceiling on one frame (version + type + payload)
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -302,11 +303,12 @@ async def read_frame(
 ) -> bytes:
     """Read one frame body from a stream, enforcing the size limit before
     any payload byte is consumed.  Raises ``asyncio.IncompleteReadError``
-    on EOF mid-frame and :class:`ProtocolError` on oversized frames."""
+    on EOF mid-frame, :class:`FrameTooLargeError` on oversized frames and
+    :class:`ProtocolError` on undersized ones."""
     header = await reader.readexactly(4)
     (body_len,) = struct.unpack(">I", header)
     if body_len > max_bytes:
-        raise ProtocolError(
+        raise FrameTooLargeError(
             f"peer declared a {body_len}-byte frame, above the "
             f"{max_bytes}-byte limit"
         )

@@ -31,6 +31,7 @@ from repro.core.messages import EncryptedTuple
 from repro.exceptions import (
     BackpressureError,
     DuplicateQueryError,
+    FrameTooLargeError,
     ProtocolError,
     ResultNotReadyError,
     UnknownQueryError,
@@ -94,6 +95,11 @@ class SSIDispatcher:
         self._max_pending = max_pending_batches
         self._posted_at: dict[str, float] = {}
         self._clock = clock
+        # Idempotency bookkeeping: highest sequence number *applied* per
+        # client id.  Clients are sequential (one in-flight request), so
+        # a seq at or below the watermark is a retry of a request whose
+        # response was lost — acknowledge it without re-applying.
+        self._applied_seq: dict[str, int] = {}
         #: test hook — while True, submissions buffer instead of applying
         self.drain_paused = False
 
@@ -140,6 +146,7 @@ class SSIDispatcher:
             return w.getvalue()
 
         if msg_type == frames.MSG_POST_QUERY:
+            client_id, seq = self._read_idem(r)
             envelope = frames.read_envelope(r)
             tds_id = r.opt_text()
             meta = frames.read_meta(r)
@@ -148,6 +155,8 @@ class SSIDispatcher:
                 raise ProtocolError(
                     f"no coordinator for protocol {meta.protocol!r}"
                 )
+            if self._replayed(client_id, seq):
+                return w.getvalue()
             self.ssi.post_query(envelope, tds_id)
             self.metas[envelope.query_id] = meta
             self._posted_at[envelope.query_id] = self._now()
@@ -159,6 +168,7 @@ class SSIDispatcher:
                     meta,
                     partition_timeout=self.partition_timeout,
                 )
+            self._mark_applied(client_id, seq)
             return w.getvalue()
 
         if msg_type == frames.MSG_FETCH_QUERY:
@@ -179,20 +189,28 @@ class SSIDispatcher:
             return w.getvalue()
 
         if msg_type == frames.MSG_SUBMIT_TUPLES:
+            client_id, seq = self._read_idem(r)
             query_id = r.text()
             tuples = frames.read_tuples(r)
             r.expect_end()
             self.ssi.envelope(query_id)  # typed error for unknown ids
+            if self._replayed(client_id, seq):
+                return w.getvalue()
             self._queue_for(query_id).push("tuples", tuples)
+            self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
             return w.getvalue()
 
         if msg_type == frames.MSG_SUBMIT_PARTIALS:
+            client_id, seq = self._read_idem(r)
             query_id = r.text()
             partials = frames.read_partials(r)
             r.expect_end()
             self.ssi.envelope(query_id)
+            if self._replayed(client_id, seq):
+                return w.getvalue()
             self._queue_for(query_id).push("partials", partials)
+            self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
             return w.getvalue()
 
@@ -240,10 +258,14 @@ class SSIDispatcher:
             return w.getvalue()
 
         if msg_type == frames.MSG_STORE_RESULT_ROWS:
+            client_id, seq = self._read_idem(r)
             query_id = r.text()
             rows = frames.read_rows(r)
             r.expect_end()
+            if self._replayed(client_id, seq):
+                return w.getvalue()
             self.ssi.store_result_rows(query_id, rows)
+            self._mark_applied(client_id, seq)
             return w.getvalue()
 
         if msg_type == frames.MSG_PUBLISH_RESULT:
@@ -320,6 +342,26 @@ class SSIDispatcher:
                 f"query {query_id!r} has no server-side coordinator"
             )
         return coordinator
+
+    # ------------------------------------------------------------------ #
+    # idempotency (at-least-once transport, exactly-once application)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _read_idem(r: Reader) -> tuple[str, int]:
+        client_id = r.text()
+        seq = r.i64()
+        if seq < 1:
+            raise ProtocolError(f"invalid idempotency sequence {seq}")
+        return client_id, seq
+
+    def _replayed(self, client_id: str, seq: int) -> bool:
+        return seq <= self._applied_seq.get(client_id, 0)
+
+    def _mark_applied(self, client_id: str, seq: int) -> None:
+        # Only called once the side effect landed; a request rejected
+        # with e.g. ERR_BACKPRESSURE keeps its seq unapplied so the
+        # client's retry (same bytes) is executed, not dropped.
+        self._applied_seq[client_id] = seq
 
     def _queue_for(self, query_id: str) -> _SubmissionQueue:
         queue = self._queues.get(query_id)
@@ -417,10 +459,16 @@ class SSIServer:
                 except (asyncio.TimeoutError, asyncio.IncompleteReadError,
                         ConnectionError):
                     return  # idle timeout, clean EOF or peer drop: hang up
-                except ProtocolError as exc:
-                    # Framing violation: answer once, then hang up (the
-                    # stream position can no longer be trusted).
+                except FrameTooLargeError as exc:
+                    # Size-limit violation: answer once, then hang up
+                    # (the stream position can no longer be trusted).
                     writer.write(frames.pack_error(frames.ERR_TOO_LARGE, str(exc)))
+                    await writer.drain()
+                    return
+                except ProtocolError as exc:
+                    # Any other framing violation (e.g. a frame too
+                    # short for its header): malformed, then hang up.
+                    writer.write(frames.pack_error(frames.ERR_MALFORMED, str(exc)))
                     await writer.drain()
                     return
                 response = await self.dispatcher.dispatch(body)

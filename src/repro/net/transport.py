@@ -30,7 +30,7 @@ from repro.core.messages import (
     QueryEnvelope,
     QueryResult,
 )
-from repro.exceptions import TransportError
+from repro.exceptions import ProtocolError, TransportError
 from repro.net import frames
 from repro.net.client import AsyncSSIClient, RetryPolicy
 
@@ -44,6 +44,12 @@ class Transport:
 
     async def request(self, message: bytes) -> bytes:
         raise NotImplementedError
+
+    async def reset(self) -> None:
+        """Discard any connection state so the next request starts on a
+        clean stream.  Called by the client after a request is abandoned
+        mid-flight (timeout); stateless transports need do nothing."""
+        return None
 
     async def close(self) -> None:  # pragma: no cover - trivial default
         return None
@@ -110,9 +116,23 @@ class TCPTransport(Transport):
             self._writer.write(message)
             await self._writer.drain()
             body = await frames.read_frame(self._reader, self.max_frame_bytes)
+        except asyncio.CancelledError:
+            # A request timeout (asyncio.wait_for) or task cancellation
+            # lands here mid-write/mid-read: the stream may still carry
+            # this request's (possibly half-read) response, so a reused
+            # connection would hand that stale frame to the *next*
+            # request.  Abort synchronously — awaiting inside a
+            # cancellation handler is not safe — and reconnect later.
+            self._abort()
+            raise
         except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
             await self._teardown()
             raise TransportError(f"connection to SSI dropped: {exc}") from None
+        except ProtocolError as exc:
+            # A framing violation in the response: the stream position
+            # can no longer be trusted, so treat it like a drop.
+            await self._teardown()
+            raise TransportError(f"unreadable frame from SSI: {exc}") from None
         return body
 
     async def drop(self) -> None:
@@ -120,8 +140,17 @@ class TCPTransport(Transport):
         'the TDS went offline mid-request')."""
         await self._teardown()
 
+    async def reset(self) -> None:
+        await self._teardown()
+
     async def close(self) -> None:
         await self._teardown()
+
+    def _abort(self) -> None:
+        """Synchronously abandon the connection (no graceful close)."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
 
     async def _teardown(self) -> None:
         writer, self._reader, self._writer = self._writer, None, None

@@ -88,6 +88,11 @@ class PartitionTracker:
             tracked.assignee = None
             tracked.deadline = None
 
+    def knows(self, partition_id: int) -> bool:
+        """Whether this tracker ever issued *partition_id* — false for
+        stale ids from a previous round's tracker."""
+        return partition_id in self._tracked
+
     def is_done(self, partition_id: int) -> bool:
         """Whether a specific partition has completed (used to drop the
         duplicate results a reassignment race can produce)."""

@@ -194,6 +194,29 @@ class TestWireDiscipline:
 
         run_async(run())
 
+    def test_undersized_frame_answered_malformed_then_disconnected(self):
+        async def run():
+            server = SSIServer(SSIDispatcher())
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # declared body of 1 byte: too short to hold version+type
+                writer.write(b"\x00\x00\x00\x01\x00")
+                await writer.drain()
+                body = await frames.read_frame(reader)
+                msg_type, r = frames.unpack_frame_body(body)
+                assert msg_type == frames.MSG_ERROR
+                assert r.u8() == frames.ERR_MALFORMED  # not ERR_TOO_LARGE
+                assert await reader.read(1) == b""  # server hung up
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.close()
+
+        run_async(run())
+
     def test_idle_read_timeout_disconnects(self):
         async def run():
             server = SSIServer(SSIDispatcher(), read_timeout=0.05)

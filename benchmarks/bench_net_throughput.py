@@ -1,20 +1,25 @@
 """Network runtime throughput: wire overhead measured, not guessed.
 
-Measures the :mod:`repro.net` stack at three levels:
+Measures the :mod:`repro.net` data plane at four levels:
 
-* **RPC floor** — ping round-trips/second over loopback (codec cost
-  only) and over localhost TCP (codec + sockets);
-* **submission throughput** — encrypted tuples/second through
-  ``submit_tuples`` in batches, over TCP, including server-side
-  application to the SSI store;
-* **query wall-clock** — one full S_Agg query in driver-mode, run
-  in-process / over loopback / over TCP, plus fleet-mode over TCP — the
-  end-to-end price of each added layer.
+* **RPC floor** — ping round-trips/second over loopback and TCP, both
+  serial and pipelined (many correlation ids in flight on one stream);
+* **submission throughput** — encrypted tuples/second into the SSI
+  store, sweeping the v3 knobs: pipeline *window* (in-flight requests
+  per connection) and *batch* size (tuples per columnar
+  ``MSG_SUBMIT_TUPLES_BATCH`` frame), against the sequential
+  ``submit_tuples`` path as the PR 3-shaped baseline;
+* **query wall-clock** — one full S_Agg query in driver-mode
+  (in-process / loopback / TCP) and fleet-mode over TCP with batching;
+* **shard scaling** — the same fleet query driven by a
+  :class:`ShardedFleetRunner` splitting the population across worker
+  processes (spawn cost included, so small machines report it honestly).
 
 Running the module directly writes ``BENCH_net.json`` at the repo root
-and publishes a table under ``benchmarks/results/``.  The pytest entry
-re-runs a light version so the wire path stays under observation in
-``make bench``.
+(BENCH_crypto-style schema: environment, before/after, speedup, plus
+the knob sweep and the winning settings) and publishes a table under
+``benchmarks/results/``.  The pytest entry re-runs a light version so
+the wire path stays under observation in ``make bench``.
 """
 
 from __future__ import annotations
@@ -22,28 +27,56 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import platform
 import random
 import sys
 import time
 
 from repro.bench import publish, render_table
-from repro.core.messages import EncryptedTuple
+from repro.core.messages import EncryptedTuple, EncryptedTupleBlock
 from repro.net.client import AsyncSSIClient, QuerierClient, RetryPolicy
-from repro.net.fleet import FleetRunner
+from repro.net.fleet import FleetRunner, ShardedFleetRunner
 from repro.net.frames import QueryMeta
 from repro.net.server import SSIDispatcher, SSIServer
 from repro.net.transport import LoopbackTransport, RemoteSSI, TCPTransport
 from repro.protocols import Deployment, SAggProtocol
 from repro.sql.schema import Database, schema
+from repro.workloads.smartmeter import smart_meter_factory
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_net.json")
 
 PING_COUNT = 2000
-TUPLE_BATCHES = 50
-TUPLES_PER_BATCH = 200
+SUBMIT_TUPLES = 100_000
 TUPLE_BYTES = 256
 QUERY_SQL = "SELECT district, COUNT(*) AS n FROM Consumer GROUP BY district"
+
+# The serial request/response data plane as recorded at the PR 3 commit
+# on this machine (BENCH_net.json before this change) — the "before"
+# column of the speedup claim.
+PR3_BASELINE = {
+    "driver_query_s_inproc": 0.077,
+    "driver_query_s_loopback": 0.084,
+    "driver_query_s_tcp": 0.091,
+    "fleet_query_s_tcp": 0.147,
+    "ping_rps_loopback": 40814.667,
+    "ping_rps_tcp": 11180.628,
+    "tuple_mb_per_s_tcp": 48.512,
+    "tuples_per_s_tcp": 189498.512,
+}
+
+# (window, batch) combinations swept for the submission plane; batch=0
+# means the sequential per-call submit_tuples path.
+SWEEP = [
+    (1, 0),
+    (8, 0),
+    (1, 1024),
+    (8, 1024),
+    (32, 1024),
+    (8, 4096),
+    (32, 4096),
+    (32, 8192),
+]
 
 
 def _factory(index, rng):
@@ -61,8 +94,18 @@ def _deployment(num_tds=16, seed=11):
     return Deployment.build(num_tds, _factory, tables=["Power", "Consumer"], seed=seed)
 
 
+def _tuples(count, rng=None):
+    rng = rng if rng is not None else random.Random(3)
+    return [
+        EncryptedTuple(
+            rng.getrandbits(8 * TUPLE_BYTES).to_bytes(TUPLE_BYTES, "big"), None
+        )
+        for __ in range(count)
+    ]
+
+
 # --------------------------------------------------------------------- #
-# measurements
+# RPC floor
 # --------------------------------------------------------------------- #
 async def _measure_ping(client, count):
     await client.ping()  # warm up / connect
@@ -72,7 +115,20 @@ async def _measure_ping(client, count):
     return count / (time.perf_counter() - start)
 
 
-def measure_rpc_floor(count=PING_COUNT):
+async def _measure_ping_pipelined(client, count, window):
+    await client.ping()
+    sem = asyncio.Semaphore(window)
+
+    async def one():
+        async with sem:
+            await client.ping()
+
+    start = time.perf_counter()
+    await asyncio.gather(*(one() for __ in range(count)))
+    return count / (time.perf_counter() - start)
+
+
+def measure_rpc_floor(count=PING_COUNT, window=32):
     async def run():
         dispatcher = SSIDispatcher()
         loopback = AsyncSSIClient(LoopbackTransport(dispatcher.dispatch))
@@ -80,44 +136,86 @@ def measure_rpc_floor(count=PING_COUNT):
 
         server = SSIServer(SSIDispatcher())
         await server.start()
-        tcp = AsyncSSIClient(TCPTransport("127.0.0.1", server.port))
+        tcp = AsyncSSIClient(TCPTransport("127.0.0.1", server.port, window=window))
         tcp_rps = await _measure_ping(tcp, count)
+        tcp_pipelined = await _measure_ping_pipelined(tcp, count, window)
         await tcp.close()
         await server.close()
-        return {"ping_rps_loopback": loop_rps, "ping_rps_tcp": tcp_rps}
-
-    return asyncio.run(run())
-
-
-def measure_submission(batches=TUPLE_BATCHES, per_batch=TUPLES_PER_BATCH):
-    async def run():
-        dep = _deployment(num_tds=2)
-        querier = dep.make_querier()
-        envelope = querier.make_envelope(QUERY_SQL)
-        server = SSIServer(SSIDispatcher(dep.ssi))
-        await server.start()
-        client = AsyncSSIClient(TCPTransport("127.0.0.1", server.port))
-        await client.post_query(envelope)
-        rng = random.Random(3)
-        batch = [
-            EncryptedTuple(rng.getrandbits(8 * TUPLE_BYTES).to_bytes(TUPLE_BYTES, "big"), None)
-            for __ in range(per_batch)
-        ]
-        start = time.perf_counter()
-        for __ in range(batches):
-            await client.submit_tuples(envelope.query_id, batch)
-        elapsed = time.perf_counter() - start
-        await client.close()
-        await server.close()
-        total = batches * per_batch
         return {
-            "tuples_per_s_tcp": total / elapsed,
-            "tuple_mb_per_s_tcp": total * TUPLE_BYTES / elapsed / 1e6,
+            "ping_rps_loopback": loop_rps,
+            "ping_rps_tcp": tcp_rps,
+            "ping_rps_tcp_pipelined": tcp_pipelined,
         }
 
     return asyncio.run(run())
 
 
+# --------------------------------------------------------------------- #
+# submission plane: window x batch sweep
+# --------------------------------------------------------------------- #
+async def _submission_run(total, window, batch):
+    """Tuples/second into the SSI store for one knob combination."""
+    dep = _deployment(num_tds=2)
+    querier = dep.make_querier()
+    envelope = querier.make_envelope(QUERY_SQL)
+    server = SSIServer(SSIDispatcher(dep.ssi))
+    await server.start()
+    client = AsyncSSIClient(
+        TCPTransport("127.0.0.1", server.port, window=window)
+    )
+    await client.post_query(envelope)
+    try:
+        if batch == 0:
+            # the PR 3 shape: one MSG_SUBMIT_TUPLES frame of 200 tuples
+            # per awaited call
+            per_call = 200
+            chunk = _tuples(per_call)
+            calls = total // per_call
+            start = time.perf_counter()
+            if window == 1:
+                for __ in range(calls):
+                    await client.submit_tuples(envelope.query_id, chunk)
+            else:
+                sem = asyncio.Semaphore(window)
+
+                async def one_seq():
+                    async with sem:
+                        await client.submit_tuples(envelope.query_id, chunk)
+
+                await asyncio.gather(*(one_seq() for __ in range(calls)))
+            elapsed = time.perf_counter() - start
+            sent = calls * per_call
+        else:
+            block = EncryptedTupleBlock.from_tuples(_tuples(batch))
+            calls = max(1, total // batch)
+            sem = asyncio.Semaphore(window)
+
+            async def one_block():
+                async with sem:
+                    await client.submit_tuples_batch(envelope.query_id, block)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(one_block() for __ in range(calls)))
+            elapsed = time.perf_counter() - start
+            sent = calls * batch
+        return {
+            "window": window,
+            "batch": batch,
+            "tuples_per_s": sent / elapsed,
+            "mb_per_s": sent * TUPLE_BYTES / elapsed / 1e6,
+        }
+    finally:
+        await client.close()
+        await server.close()
+
+
+def sweep_submission(total=SUBMIT_TUPLES, combos=SWEEP):
+    return [asyncio.run(_submission_run(total, w, b)) for w, b in combos]
+
+
+# --------------------------------------------------------------------- #
+# driver-mode and fleet-mode query wall clock
+# --------------------------------------------------------------------- #
 def _run_driver(ssi_for, cleanup=None):
     dep = _deployment()
     querier = dep.make_querier()
@@ -177,7 +275,7 @@ def measure_driver_modes():
     return results
 
 
-def measure_fleet_mode():
+def measure_fleet_mode(batch=64, window=32):
     async def run():
         dep = _deployment()
         dispatcher = SSIDispatcher(dep.ssi, partition_timeout=5.0)
@@ -185,9 +283,11 @@ def measure_fleet_mode():
         await server.start()
         fleet = FleetRunner(
             dep.tds_list,
-            lambda: TCPTransport("127.0.0.1", server.port),
+            lambda: TCPTransport("127.0.0.1", server.port, window=window),
             policy=RetryPolicy(backoff_base=0.01),
             poll_interval=0.01,
+            batch_size=batch,
+            batch_flush_interval=0.005,
             rng=random.Random(5),
         )
         fleet_task = asyncio.create_task(fleet.run(until_queries_done=1))
@@ -207,17 +307,140 @@ def measure_fleet_mode():
     return asyncio.run(run())
 
 
-def measure_all(ping_count=PING_COUNT, batches=TUPLE_BATCHES):
-    results = {}
-    results.update(measure_rpc_floor(ping_count))
-    results.update(measure_submission(batches))
-    results.update(measure_driver_modes())
-    results.update(measure_fleet_mode())
-    return results
+def measure_sharded_fleet(shards=2, num_tds=8, batch=64, window=32):
+    """Wall clock of one SIZE-bounded fleet query with the population
+    split across *shards* spawn worker processes (process startup is
+    deliberately inside the clock — that is the price of a shard)."""
+    districts, seed, buckets = 4, 11, 2
+    dep = Deployment.build(
+        num_tds,
+        smart_meter_factory(num_districts=districts),
+        tables=["Power", "Consumer"],
+        seed=seed,
+    )
+    sql = QUERY_SQL + f" SIZE {num_tds} TUPLES"
+
+    async def run():
+        dispatcher = SSIDispatcher(dep.ssi, partition_timeout=5.0)
+        server = SSIServer(dispatcher)
+        await server.start()
+        runner = ShardedFleetRunner(
+            "127.0.0.1",
+            server.port,
+            "repro.cli:fleet_shard_builder",
+            (num_tds, districts, seed, buckets),
+            shards=shards,
+            seed=99,
+            batch_size=batch,
+            window=window,
+            poll_interval=0.01,
+        )
+        start = time.perf_counter()
+        fleet_task = asyncio.create_task(runner.run(until_queries_done=1))
+        querier = dep.make_querier()
+        envelope = querier.make_envelope(sql)
+        client = QuerierClient(TCPTransport("127.0.0.1", server.port))
+        try:
+            await client.post_query(
+                envelope, meta=QueryMeta("s_agg", {"partition_timeout": 5.0})
+            )
+            result = await client.wait_result(
+                envelope.query_id, poll_interval=0.05, timeout=120.0
+            )
+            assert querier.decrypt_result(result)
+            await fleet_task
+            return time.perf_counter() - start
+        finally:
+            await client.close()
+            await server.close()
+
+    return asyncio.run(run())
 
 
-def _render(results):
-    rows = [[key, f"{value:,.1f}"] for key, value in sorted(results.items())]
+def loopback_smoke(total=4_000, batch=1024, repeats=3):
+    """CI smoke: sequential vs batched submission over loopback (no
+    sockets, no processes).  Returns best-of-N rates for each path."""
+
+    async def run():
+        dep = _deployment(num_tds=2)
+        querier = dep.make_querier()
+        envelope = querier.make_envelope(QUERY_SQL)
+        dispatcher = SSIDispatcher(dep.ssi)
+        client = AsyncSSIClient(LoopbackTransport(dispatcher.dispatch))
+        await client.post_query(envelope)
+        chunk = _tuples(200)
+        block = EncryptedTupleBlock.from_tuples(_tuples(batch))
+        sequential = batched = 0.0
+        for __ in range(repeats):
+            start = time.perf_counter()
+            for ___ in range(total // 200):
+                await client.submit_tuples(envelope.query_id, chunk)
+            sequential = max(
+                sequential, total / (time.perf_counter() - start)
+            )
+            calls = max(1, total // batch)
+            start = time.perf_counter()
+            for ___ in range(calls):
+                await client.submit_tuples_batch(envelope.query_id, block)
+            batched = max(
+                batched, calls * batch / (time.perf_counter() - start)
+            )
+        await client.close()
+        return sequential, batched
+
+    return asyncio.run(run())
+
+
+# --------------------------------------------------------------------- #
+# aggregation
+# --------------------------------------------------------------------- #
+def environment():
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "tuple_bytes": TUPLE_BYTES,
+        "submit_tuples_per_combo": SUBMIT_TUPLES,
+    }
+
+
+def measure_all(ping_count=PING_COUNT, submit_total=SUBMIT_TUPLES, shards=True):
+    sweep = sweep_submission(submit_total)
+    best = max(sweep, key=lambda row: row["tuples_per_s"])
+    after = {}
+    after.update(measure_rpc_floor(ping_count))
+    after["tuples_per_s_tcp"] = best["tuples_per_s"]
+    after["tuple_mb_per_s_tcp"] = best["mb_per_s"]
+    after.update(measure_driver_modes())
+    after.update(measure_fleet_mode())
+    shard_timings = {}
+    if shards:
+        shard_timings = {
+            "fleet_query_s_tcp_shards1": measure_sharded_fleet(shards=1),
+            "fleet_query_s_tcp_shards2": measure_sharded_fleet(shards=2),
+        }
+    return sweep, best, after, shard_timings
+
+
+def _render(sweep, best, after, shard_timings):
+    rows = [
+        [f"submit w={row['window']} b={row['batch'] or 'seq'}",
+         f"{row['tuples_per_s']:,.0f} tuples/s"]
+        for row in sweep
+    ]
+    rows.append(
+        ["best knobs", f"window={best['window']} batch={best['batch']}"]
+    )
+    rows.extend(
+        [key, f"{value:,.3f}"]
+        for key, value in sorted({**after, **shard_timings}.items())
+    )
+    rows.append(
+        [
+            "speedup tuples_per_s_tcp",
+            f"{after['tuples_per_s_tcp'] / PR3_BASELINE['tuples_per_s_tcp']:.2f}x",
+        ]
+    )
     return render_table("repro.net throughput", ["metric", "value"], rows)
 
 
@@ -225,22 +448,81 @@ def _render(results):
 # entry points
 # --------------------------------------------------------------------- #
 def test_net_throughput_smoke(benchmark):
-    """Light pytest version: the wire path must stay functional and the
-    TCP ping floor must not collapse."""
-    results = benchmark(lambda: measure_all(ping_count=200, batches=5))
-    publish("net_throughput", _render(results))
-    assert results["ping_rps_tcp"] > 50
-    assert results["tuples_per_s_tcp"] > 500
-    assert results["fleet_query_s_tcp"] < 60.0
+    """Light pytest version: the wire path must stay functional, the
+    TCP ping floor must not collapse, and the batched path must at
+    least match the sequential one."""
+
+    def quick():
+        floor = measure_rpc_floor(count=200)
+        sequential = asyncio.run(_submission_run(4_000, 1, 0))
+        batched = asyncio.run(_submission_run(4_000, 8, 1024))
+        fleet = measure_fleet_mode()
+        return floor, sequential, batched, fleet
+
+    floor, sequential, batched, fleet = benchmark(quick)
+    publish(
+        "net_throughput",
+        _render(
+            [sequential, batched],
+            batched,
+            {**floor, "tuples_per_s_tcp": batched["tuples_per_s"],
+             "tuple_mb_per_s_tcp": batched["mb_per_s"], **fleet},
+            {},
+        ),
+    )
+    assert floor["ping_rps_tcp"] > 50
+    assert batched["tuples_per_s"] > 500
+    assert batched["tuples_per_s"] >= sequential["tuples_per_s"]
+    assert fleet["fleet_query_s_tcp"] < 60.0
 
 
 def main(argv):
-    results = measure_all()
-    print(_render(results))
+    if "--smoke" in argv:
+        sequential, batched = loopback_smoke()
+        print(f"sequential: {sequential:,.0f} tuples/s (loopback)")
+        print(f"batched:    {batched:,.0f} tuples/s (loopback)")
+        if batched < sequential:
+            print("FAIL: batched path slower than sequential")
+            return 1
+        print("ok: batched >= sequential")
+        return 0
+    quick = "--quick" in argv
+    if quick:
+        sweep, best, after, shard_timings = measure_all(
+            ping_count=200, submit_total=8_000, shards=False
+        )
+    else:
+        sweep, best, after, shard_timings = measure_all()
+    table = _render(sweep, best, after, shard_timings)
+    print(table)
+    publish("net_throughput", table)
+    if quick:
+        # quick mode exercises the plumbing; it must not overwrite the
+        # recorded full-run numbers
+        print("quick mode: not rewriting BENCH_net.json")
+        return 0
     payload = {
-        "description": "repro.net wire throughput baseline",
-        "metrics": {k: round(v, 3) for k, v in sorted(results.items())},
+        "description": (
+            "repro.net wire throughput: PR 3 serial data plane (before) "
+            "vs pipelined+batched v3 data plane (after)"
+        ),
+        "environment": environment(),
+        "before": PR3_BASELINE,
+        "after": {k: round(v, 3) for k, v in sorted(after.items())},
+        "sweep": [
+            {k: round(v, 3) if isinstance(v, float) else v for k, v in row.items()}
+            for row in sweep
+        ],
+        "best": {"window": best["window"], "batch": best["batch"], "shards": 1},
+        "sharding": {k: round(v, 3) for k, v in sorted(shard_timings.items())},
+        "speedup": round(
+            after["tuples_per_s_tcp"] / PR3_BASELINE["tuples_per_s_tcp"], 3
+        ),
     }
+    if shard_timings and shard_timings["fleet_query_s_tcp_shards2"] < (
+        shard_timings["fleet_query_s_tcp_shards1"]
+    ):
+        payload["best"]["shards"] = 2
     with open(BASELINE_PATH, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -224,10 +224,66 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def fleet_shard_builder(
+    tds: int, districts: int, seed: int, buckets: int
+) -> tuple[list, object]:
+    """Shard-worker builder (``"repro.cli:fleet_shard_builder"``):
+    rebuild the deterministic fleet deployment and histogram inside a
+    spawn worker so every shard agrees on keys and credentials."""
+    from repro.protocols import build_histogram
+
+    deployment = Deployment.build(
+        tds,
+        smart_meter_factory(num_districts=districts),
+        tables=["Power", "Consumer"],
+        seed=seed,
+    )
+    histogram = build_histogram(
+        deployment, "Consumer", "district", num_buckets=buckets
+    )
+    return deployment.tds_list, histogram
+
+
 def cmd_fleet(args: argparse.Namespace) -> int:
-    from repro.net.fleet import FleetRunner
+    from repro.net.fleet import FleetRunner, ShardedFleetRunner
     from repro.net.transport import TCPTransport
     from repro.protocols import build_histogram
+
+    def report(stats) -> None:
+        print(
+            f"fleet done: {stats.contributions} contributions, "
+            f"{stats.tuples_submitted} tuples, "
+            f"{stats.partitions_processed} partitions, "
+            f"{len(stats.queries_completed)} query(ies) completed"
+        )
+
+    if args.shards > 1:
+
+        async def _run_sharded() -> None:
+            runner = ShardedFleetRunner(
+                args.host,
+                args.port,
+                "repro.cli:fleet_shard_builder",
+                (args.tds, args.districts, args.seed, args.buckets),
+                shards=args.shards,
+                seed=args.seed + 1,
+                batch_size=args.batch,
+                window=args.window,
+                concurrency=args.concurrency,
+                poll_interval=args.poll_interval,
+            )
+            print(
+                f"sharded fleet: {args.tds} TDS across {args.shards} "
+                f"workers -> {args.host}:{args.port}",
+                flush=True,
+            )
+            report(await runner.run(until_queries_done=args.queries))
+
+        try:
+            asyncio.run(_run_sharded())
+        except KeyboardInterrupt:
+            print("fleet stopped")
+        return 0
 
     deployment = _fleet_deployment(args)
     histogram = build_histogram(
@@ -237,10 +293,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     async def _run() -> None:
         fleet = FleetRunner(
             deployment.tds_list,
-            lambda: TCPTransport(args.host, args.port),
+            lambda: TCPTransport(args.host, args.port, window=args.window),
             histogram=histogram,
             concurrency=args.concurrency,
             poll_interval=args.poll_interval,
+            batch_size=args.batch,
             rng=random.Random(args.seed + 1),
         )
         print(
@@ -248,13 +305,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             f"{args.host}:{args.port}",
             flush=True,
         )
-        stats = await fleet.run(until_queries_done=args.queries)
-        print(
-            f"fleet done: {stats.contributions} contributions, "
-            f"{stats.tuples_submitted} tuples, "
-            f"{stats.partitions_processed} partitions, "
-            f"{len(stats.queries_completed)} query(ies) completed"
-        )
+        report(await fleet.run(until_queries_done=args.queries))
 
     try:
         asyncio.run(_run())
@@ -369,6 +420,24 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--buckets", type=int, default=2, help="ed_hist buckets")
     fleet.add_argument("--concurrency", type=int, default=8)
     fleet.add_argument("--poll-interval", type=float, default=0.05)
+    fleet.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker processes to partition the population across",
+    )
+    fleet.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        help="coalesce contributions into batch frames of this size (0=off)",
+    )
+    fleet.add_argument(
+        "--window",
+        type=int,
+        default=32,
+        help="max in-flight pipelined requests per connection",
+    )
     fleet.add_argument(
         "--queries", type=int, default=None,
         help="stop after this many completed queries (default: run forever)",

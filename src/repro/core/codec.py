@@ -93,8 +93,32 @@ def encode(value: Any) -> bytes:
 
 
 def encode_many(values: list[Any]) -> list[bytes]:
-    """Encode a batch of values (companion to the batched cipher APIs)."""
-    return [encode(value) for value in values]
+    """Encode a batch of values (companion to the batched cipher APIs).
+
+    Vectorized: all values are encoded into *one* growing buffer with an
+    offsets table, then sliced out in a single pass — one large
+    allocation instead of a bytearray + bytes copy per value."""
+    out = bytearray()
+    offsets = [0]
+    for value in values:
+        _encode_into(value, out)
+        offsets.append(len(out))
+    view = memoryview(out)
+    return [
+        bytes(view[offsets[i] : offsets[i + 1]]) for i in range(len(values))
+    ]
+
+
+def encode_packed(values: list[Any]) -> tuple[bytes, list[int]]:
+    """Encode a batch into one contiguous buffer, returning the buffer
+    and its offsets table (``len(values) + 1`` entries) — the zero-copy
+    companion for columnar batch framing."""
+    out = bytearray()
+    offsets = [0]
+    for value in values:
+        _encode_into(value, out)
+        offsets.append(len(out))
+    return bytes(out), offsets
 
 
 class _Reader:
@@ -162,5 +186,37 @@ def decode(data: bytes) -> Any:
 
 
 def decode_many(blobs: list[bytes]) -> list[Any]:
-    """Decode a batch of independently-encoded payloads."""
-    return [decode(blob) for blob in blobs]
+    """Decode a batch of independently-encoded payloads.
+
+    Vectorized: the blobs are joined into one buffer and decoded with a
+    single cursor, checking each value lands exactly on its segment
+    boundary — one reader for the whole batch instead of one per blob."""
+    reader = _Reader(b"".join(blobs))
+    values = []
+    boundary = 0
+    for blob in blobs:
+        boundary += len(blob)
+        values.append(_decode_from(reader))
+        if reader.pos > boundary:
+            raise CodecError("codec payload crossed its segment boundary")
+        if reader.pos < boundary:
+            raise CodecError(
+                f"{boundary - reader.pos} trailing bytes after codec payload"
+            )
+    return values
+
+
+def decode_packed(buffer: bytes, offsets: list[int]) -> list[Any]:
+    """Decode values packed by :func:`encode_packed` (or sliced by an
+    offsets table) without materializing per-value byte strings."""
+    reader = _Reader(buffer)
+    values = []
+    for boundary in offsets[1:]:
+        values.append(_decode_from(reader))
+        if reader.pos > boundary:
+            raise CodecError("codec payload crossed its segment boundary")
+        if reader.pos < boundary:
+            raise CodecError(
+                f"{boundary - reader.pos} trailing bytes after codec payload"
+            )
+    return values

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator, Sequence
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Credential:
     """A querier credential signed by an authority (§3.1: "its credential C
     signed by an authority")."""
@@ -34,7 +34,7 @@ class Credential:
         return f"{self.subject}|{roles}".encode("utf-8")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueryEnvelope:
     """What the querier posts to a querybox (step 1 of Fig. 2).
 
@@ -52,7 +52,7 @@ class QueryEnvelope:
     size_seconds: float | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EncryptedTuple:
     """One collected tuple as stored by the SSI (steps 4/4' of Fig. 2).
 
@@ -64,7 +64,67 @@ class EncryptedTuple:
     group_tag: bytes | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
+class EncryptedTupleBlock:
+    """A columnar batch of encrypted tuples: one shared payload buffer
+    plus an offsets table, instead of one object per tuple.
+
+    This is the storage/wire shape of the batched collection path: the
+    fleet packs many contributions into one block, the SSI stores the
+    block as-is and only materializes individual
+    :class:`EncryptedTuple` objects when the aggregation phase needs
+    them.  The SSI's legitimate view is unchanged — payload *sizes* and
+    cleartext group tags are still derivable (and observed), the payload
+    bytes stay opaque ciphertext.
+
+    ``offsets`` has ``count + 1`` entries; tuple *i*'s payload is
+    ``payloads[offsets[i]:offsets[i + 1]]``.  ``tags`` has ``count``
+    entries (``None`` for fully nDet-encrypted dataflows).
+    """
+
+    payloads: bytes
+    offsets: tuple[int, ...]
+    tags: tuple[bytes | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.offsets) != len(self.tags) + 1:
+            raise ValueError(
+                f"offsets table of {len(self.offsets)} entries does not "
+                f"match {len(self.tags)} tags"
+            )
+        if self.offsets[0] != 0 or self.offsets[-1] != len(self.payloads):
+            raise ValueError("offsets table does not span the payload buffer")
+        if any(a > b for a, b in zip(self.offsets, self.offsets[1:])):
+            raise ValueError("offsets table is not monotonically increasing")
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def payload_sizes(self) -> list[int]:
+        return [b - a for a, b in zip(self.offsets, self.offsets[1:])]
+
+    def tuples(self) -> Iterator[EncryptedTuple]:
+        """Materialize per-tuple objects (the aggregation-phase view)."""
+        view = memoryview(self.payloads)
+        offsets = self.offsets
+        for i, tag in enumerate(self.tags):
+            yield EncryptedTuple(bytes(view[offsets[i] : offsets[i + 1]]), tag)
+
+    @classmethod
+    def from_tuples(cls, tuples: Sequence[EncryptedTuple]) -> "EncryptedTupleBlock":
+        offsets = [0]
+        total = 0
+        for item in tuples:
+            total += len(item.payload)
+            offsets.append(total)
+        return cls(
+            payloads=b"".join(item.payload for item in tuples),
+            offsets=tuple(offsets),
+            tags=tuple(item.group_tag for item in tuples),
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class EncryptedPartial:
     """One encrypted partial aggregation Ω travelling back to the SSI
     during the aggregation phase (step 8 of Fig. 2)."""
@@ -73,7 +133,7 @@ class EncryptedPartial:
     group_tag: bytes | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Partition:
     """A chunk of work the SSI hands to a connected TDS (steps 5/9).
 
@@ -88,7 +148,7 @@ class Partition:
         return sum(len(item.payload) for item in self.items)
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryResult:
     """What the querier finally downloads (step 13): result rows under k1."""
 
@@ -104,7 +164,7 @@ def fresh_query_id(prefix: str = "q") -> str:
     return f"{prefix}{next(_COUNTER)}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TupleContent:
     """The *plaintext* structure inside an :class:`EncryptedTuple` payload.
 

@@ -1,0 +1,141 @@
+"""Client-side tuple batching for the v3 collection fast path.
+
+The fleet's contribution traffic is many small ``submit_tuples`` calls —
+a few tuples per TDS per query.  :class:`TupleBatcher` coalesces them:
+contributions accumulate in a per-query buffer and are flushed as one
+columnar ``MSG_SUBMIT_TUPLES_BATCH`` frame when the buffer reaches
+``max_tuples`` *or* has aged past ``max_delay`` seconds, whichever comes
+first.
+
+Contribution semantics are preserved: :meth:`submit` resolves only once
+the batch containing those tuples has been acknowledged by the SSI (or
+raises if the flush failed), so callers can keep the rule "mark
+contributed only after the submission succeeded" without knowing whether
+batching is on.
+
+This module is ``tds``-role code: it handles ciphertext produced by the
+TDSs and talks *to* the SSI through a client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Sequence
+
+from repro.core.messages import EncryptedTuple, EncryptedTupleBlock
+from repro.exceptions import ProtocolError
+from repro.net.client import AsyncSSIClient
+
+
+class _PendingBatch:
+    """Tuples awaiting flush for one query, plus their waiters."""
+
+    __slots__ = ("tuples", "waiters", "born")
+
+    def __init__(self, born: float) -> None:
+        self.tuples: list[EncryptedTuple] = []
+        self.waiters: list[asyncio.Future[None]] = []
+        self.born = born
+
+
+class TupleBatcher:
+    """Coalesce many small tuple submissions into columnar batch frames.
+
+    One batcher owns one :class:`AsyncSSIClient` (its own connection and
+    idempotency identity).  Batches are per-query; a size threshold
+    flushes inline, and :meth:`run` (a background task) flushes batches
+    that aged past ``max_delay`` so a trickle of contributions is never
+    stranded."""
+
+    def __init__(
+        self,
+        client: AsyncSSIClient,
+        *,
+        max_tuples: int = 256,
+        max_delay: float = 0.02,
+        sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
+    ) -> None:
+        if max_tuples < 1:
+            raise ProtocolError("batch size must be >= 1")
+        if max_delay <= 0:
+            raise ProtocolError("batch flush delay must be > 0")
+        self.client = client
+        self.max_tuples = max_tuples
+        self.max_delay = max_delay
+        self._sleep = sleep
+        self._pending: dict[str, _PendingBatch] = {}
+        self._flush_lock = asyncio.Lock()
+        #: batches flushed / tuples coalesced (observability)
+        self.batches_flushed = 0
+        self.tuples_flushed = 0
+
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self, query_id: str, tuples: Sequence[EncryptedTuple]
+    ) -> None:
+        """Queue *tuples* for *query_id* and return once the batch they
+        joined has been acknowledged by the SSI."""
+        if not tuples:
+            return
+        loop = asyncio.get_running_loop()
+        batch = self._pending.get(query_id)
+        if batch is None:
+            batch = _PendingBatch(born=loop.time())
+            self._pending[query_id] = batch
+        batch.tuples.extend(tuples)
+        future: asyncio.Future[None] = loop.create_future()
+        batch.waiters.append(future)
+        if len(batch.tuples) >= self.max_tuples:
+            await self.flush(query_id)
+        await future
+
+    async def flush(self, query_id: str | None = None) -> None:
+        """Flush one query's batch (or every batch when *query_id* is
+        None) as columnar frames, resolving or failing its waiters."""
+        async with self._flush_lock:
+            ids = [query_id] if query_id is not None else list(self._pending)
+            for qid in ids:
+                batch = self._pending.pop(qid, None)
+                if batch is None or not batch.tuples:
+                    continue
+                try:
+                    await self.client.submit_tuples_batch(
+                        qid, EncryptedTupleBlock.from_tuples(batch.tuples)
+                    )
+                except BaseException as exc:
+                    for waiter in batch.waiters:
+                        if not waiter.done():
+                            waiter.set_exception(exc)
+                    raise
+                self.batches_flushed += 1
+                self.tuples_flushed += len(batch.tuples)
+                for waiter in batch.waiters:
+                    if not waiter.done():
+                        waiter.set_result(None)
+
+    async def run(self, stop: asyncio.Event) -> None:
+        """Background flusher: wake every ``max_delay`` and flush batches
+        that have aged past it.  Flush failures surface to the waiters
+        (their ``submit`` raises), never kill the flusher."""
+        loop = asyncio.get_running_loop()
+        while not stop.is_set():
+            await self._sleep(self.max_delay)
+            now = loop.time()
+            stale = [
+                qid
+                for qid, batch in self._pending.items()
+                if now - batch.born >= self.max_delay
+            ]
+            for qid in stale:
+                try:
+                    await self.flush(qid)
+                except Exception:
+                    pass  # reported through the batch's waiters
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Final flush of everything still pending (shutdown path)."""
+        try:
+            await self.flush()
+        except Exception:
+            pass  # reported through the waiters

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Awaitable, Callable, Sequence
 from repro.core.messages import (
     EncryptedPartial,
     EncryptedTuple,
+    EncryptedTupleBlock,
     QueryEnvelope,
     QueryResult,
 )
@@ -121,10 +122,12 @@ class AsyncSSIClient:
                 return self._unwrap(body)
             except (TransportError, asyncio.TimeoutError, BackpressureError) as exc:
                 if isinstance(exc, asyncio.TimeoutError):
-                    # The request was abandoned mid-flight; its response
-                    # may still be (partially) in the stream.  Reset so
-                    # the retry — and any later request — starts on a
-                    # clean connection instead of reading a stale frame.
+                    # The request was abandoned mid-flight.  On the
+                    # pipelined TCP transport the timed-out correlation
+                    # id is already dropped and the stream stays up, so
+                    # reset() is a no-op; transports without response
+                    # routing use it to discard connection state so the
+                    # retry starts on a clean stream.
                     await self.transport.reset()
                 if attempt >= self.policy.max_retries:
                     raise
@@ -145,7 +148,7 @@ class AsyncSSIClient:
         return w
 
     def _unwrap(self, body: bytes) -> Reader:
-        msg_type, reader = frames.unpack_frame_body(body)
+        msg_type, _corr, reader = frames.unpack_frame_body(body)
         if msg_type == frames.MSG_OK:
             return reader
         if msg_type == frames.MSG_ERROR:
@@ -195,6 +198,26 @@ class AsyncSSIClient:
         w = self._idem(Writer()).text(query_id)
         frames.write_items(w, list(tuples))
         (await self._call(frames.MSG_SUBMIT_TUPLES, w.getvalue())).expect_end()
+
+    async def submit_tuples_batch(
+        self,
+        query_id: str,
+        tuples: Sequence[EncryptedTuple] | EncryptedTupleBlock,
+    ) -> None:
+        """Submit many tuples as one columnar ``MSG_SUBMIT_TUPLES_BATCH``
+        frame (the v3 fast path): one lengths vector and one payload
+        buffer instead of per-tuple framing.  Semantically identical to
+        :meth:`submit_tuples` — same idempotency key discipline, same
+        server-side observations."""
+        if isinstance(tuples, EncryptedTupleBlock):
+            block = tuples
+        else:
+            block = EncryptedTupleBlock.from_tuples(list(tuples))
+        w = self._idem(Writer()).text(query_id)
+        frames.write_tuple_block(w, block)
+        (
+            await self._call(frames.MSG_SUBMIT_TUPLES_BATCH, w.getvalue())
+        ).expect_end()
 
     async def submit_partials(
         self, query_id: str, partials: Sequence[EncryptedPartial]

@@ -18,7 +18,10 @@ tracker must detect the timeout and reassign, end-to-end.
 from __future__ import annotations
 
 import asyncio
+import importlib
 import logging
+import multiprocessing
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Sequence
@@ -26,6 +29,7 @@ from typing import Awaitable, Callable, Sequence
 from repro.core.messages import Partition, QueryEnvelope
 from repro.exceptions import ProtocolError, TransportError, UnknownQueryError
 from repro.net import frames
+from repro.net.batch import TupleBatcher
 from repro.net.client import RetryPolicy, TDSClient
 from repro.net.coordinator import SUPPORTED_PROTOCOLS
 from repro.net.frames import QueryMeta, WorkUnit
@@ -81,6 +85,9 @@ class FleetRunner:
         policy: RetryPolicy | None = None,
         concurrency: int = 8,
         poll_interval: float = 0.02,
+        batch_size: int = 0,
+        batch_flush_interval: float = 0.02,
+        close_no_size_queries: bool = True,
         rng: random.Random | None = None,
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
     ) -> None:
@@ -88,6 +95,10 @@ class FleetRunner:
             raise ProtocolError("a fleet needs at least one TDS")
         if concurrency < 1:
             raise ProtocolError("concurrency must be >= 1")
+        if batch_size < 0:
+            raise ProtocolError("batch size must be >= 0 (0 disables batching)")
+        if batch_flush_interval <= 0:
+            raise ProtocolError("batch flush interval must be > 0")
         self.tds_list = list(tds_list)
         self.transport_factory = transport_factory
         self.histogram = histogram
@@ -95,12 +106,19 @@ class FleetRunner:
         self.policy = policy if policy is not None else RetryPolicy()
         self.concurrency = concurrency
         self.poll_interval = poll_interval
+        #: > 0 coalesces contributions into MSG_SUBMIT_TUPLES_BATCH frames
+        self.batch_size = batch_size
+        self.batch_flush_interval = batch_flush_interval
+        #: shard workers set this False: their device subset must not close
+        #: a no-SIZE collection other shards are still contributing to
+        self.close_no_size_queries = close_no_size_queries
         self.stats = FleetStats()
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
         self._stop = asyncio.Event()
         self._semaphore: asyncio.Semaphore | None = None
         self._until: int | None = None
+        self._batcher: TupleBatcher | None = None
         # shared across workers
         self._known: dict[str, tuple[QueryEnvelope, QueryMeta]] = {}
         self._contributed: dict[str, set[str]] = {}
@@ -116,6 +134,22 @@ class FleetRunner:
         *until_queries_done* queries have completed)."""
         self._semaphore = asyncio.Semaphore(self.concurrency)
         self._until = until_queries_done
+        batch_client: TDSClient | None = None
+        flusher: asyncio.Task[None] | None = None
+        if self.batch_size > 0:
+            # The batcher gets its own client (own connection and
+            # idempotency identity) so batch frames never interleave
+            # with a worker's request stream mid-retry.
+            batch_client = TDSClient(
+                self.transport_factory(), self.policy, sleep=self._sleep
+            )
+            self._batcher = TupleBatcher(
+                batch_client,
+                max_tuples=self.batch_size,
+                max_delay=self.batch_flush_interval,
+                sleep=self._sleep,
+            )
+            flusher = asyncio.create_task(self._batcher.run(self._stop))
         workers = [
             asyncio.create_task(self._serve_tds(tds)) for tds in self.tds_list
         ]
@@ -123,9 +157,15 @@ class FleetRunner:
         try:
             await self._stop.wait()
         finally:
-            for task in [closer, *workers]:
+            self._stop.set()
+            tasks = [closer, *workers]
+            if flusher is not None:
+                tasks.append(flusher)
+            for task in tasks:
                 task.cancel()
-            await asyncio.gather(closer, *workers, return_exceptions=True)
+            await asyncio.gather(*tasks, return_exceptions=True)
+            if batch_client is not None:
+                await batch_client.close()
         return self.stats
 
     # ------------------------------------------------------------------ #
@@ -214,7 +254,12 @@ class FleetRunner:
                 tuples = tds.collect_for_histogram(envelope, self.histogram)
             else:  # pragma: no cover - filtered by SUPPORTED_PROTOCOLS
                 return
-            await client.submit_tuples(envelope.query_id, tuples)
+            if self._batcher is None:
+                await client.submit_tuples(envelope.query_id, tuples)
+        if self._batcher is not None:
+            # Awaited outside the semaphore: a waiter parked on a batch
+            # ack must not pin a concurrency slot for up to max_delay.
+            await self._batcher.submit(envelope.query_id, tuples)
         self.stats.contributions += 1
         self.stats.tuples_submitted += len(tuples)
         self.stats.participants.add(tds.tds_id)
@@ -279,6 +324,8 @@ class FleetRunner:
         """The drivers stop collection after their collector list; the
         fleet analogue closes a no-SIZE query once every device has
         contributed (the SSI closes SIZE-clause queries itself)."""
+        if not self.close_no_size_queries:
+            return
         client = TDSClient(
             self.transport_factory(), self.policy, sleep=self._sleep
         )
@@ -301,3 +348,187 @@ class FleetRunner:
                 await self._sleep(self.poll_interval)
         finally:
             await client.close()
+
+
+# ---------------------------------------------------------------------- #
+# sharded multiprocess fleet
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardSpec:
+    """Picklable description of one shard worker process.
+
+    ``builder`` is a ``"module:function"`` string; the resolved function
+    is called with ``*builder_args`` in the worker and must return
+    ``(tds_list, histogram_or_None)`` for the *full* population — every
+    worker builds the same deployment (same seed, same keys) and serves
+    the slice ``tds_list[shard_index::shard_count]``.  Strings rather
+    than callables because spawn workers re-import rather than fork."""
+
+    host: str
+    port: int
+    shard_index: int
+    shard_count: int
+    builder: str
+    builder_args: tuple
+    seed: int
+    batch_size: int = 0
+    batch_flush_interval: float = 0.02
+    window: int = 32
+    concurrency: int = 8
+    poll_interval: float = 0.02
+    until_queries_done: int | None = None
+
+
+def resolve_builder(spec: str) -> Callable[..., tuple]:
+    """Resolve a ``"module:function"`` builder string."""
+    module_name, sep, func_name = spec.partition(":")
+    if not sep or not module_name or not func_name:
+        raise ProtocolError(
+            f"builder must be a 'module:function' string, got {spec!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+        builder = getattr(module, func_name)
+    except (ImportError, AttributeError) as exc:
+        raise ProtocolError(f"cannot resolve builder {spec!r}: {exc}") from exc
+    if not callable(builder):
+        raise ProtocolError(f"builder {spec!r} is not callable")
+    return builder
+
+
+def run_shard(spec: ShardSpec) -> dict[str, object]:
+    """Entry point of one shard worker process (module-level so spawn
+    can pickle it).  Returns the shard's stats as primitives."""
+    builder = resolve_builder(spec.builder)
+    tds_list, histogram = builder(*spec.builder_args)
+    shard = list(tds_list)[spec.shard_index :: spec.shard_count]
+    if not shard:
+        return _stats_to_dict(FleetStats())
+
+    async def main() -> FleetStats:
+        runner = FleetRunner(
+            shard,
+            lambda: TCPTransport(spec.host, spec.port, window=spec.window),
+            histogram=histogram,
+            concurrency=spec.concurrency,
+            poll_interval=spec.poll_interval,
+            batch_size=spec.batch_size,
+            batch_flush_interval=spec.batch_flush_interval,
+            # One shard seeing "all my devices contributed" says nothing
+            # about the other shards; only the SSI (SIZE clause) may
+            # close a sharded collection.
+            close_no_size_queries=False,
+            rng=random.Random(spec.seed),
+        )
+        return await runner.run(spec.until_queries_done)
+
+    return _stats_to_dict(asyncio.run(main()))
+
+
+def _stats_to_dict(stats: FleetStats) -> dict[str, object]:
+    return {
+        "contributions": stats.contributions,
+        "tuples_submitted": stats.tuples_submitted,
+        "partitions_processed": stats.partitions_processed,
+        "injected_faults": stats.injected_faults,
+        "queries_completed": sorted(stats.queries_completed),
+        "participants": sorted(stats.participants),
+    }
+
+
+class ShardedFleetRunner:
+    """Partition the TDS population across spawn worker processes.
+
+    Each worker rebuilds the deployment from the shared seed (so keys
+    and credentials agree), takes the strided slice of the population
+    for its shard index, and runs a :class:`FleetRunner` against the
+    same SSI endpoint with its own deterministic per-shard rng seed.
+
+    ``shards=None`` sizes the pool to ``os.cpu_count()``; an explicit
+    count is honored as given (useful for tests and for oversubscribing
+    I/O-bound runs on small machines).  Sharded runs rely on the SSI to
+    close collections — give queries a SIZE clause."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        builder: str,
+        builder_args: tuple = (),
+        *,
+        shards: int | None = None,
+        seed: int = 0,
+        batch_size: int = 0,
+        batch_flush_interval: float = 0.02,
+        window: int = 32,
+        concurrency: int = 8,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if shards is None:
+            shards = os.cpu_count() or 1
+        if shards < 1:
+            raise ProtocolError("shard count must be >= 1")
+        resolve_builder(builder)  # fail fast, before any process spawns
+        self.host = host
+        self.port = port
+        self.builder = builder
+        self.builder_args = tuple(builder_args)
+        self.shards = shards
+        self.seed = seed
+        self.batch_size = batch_size
+        self.batch_flush_interval = batch_flush_interval
+        self.window = window
+        self.concurrency = concurrency
+        self.poll_interval = poll_interval
+
+    def specs(self, until_queries_done: int | None = None) -> list[ShardSpec]:
+        rng = random.Random(self.seed)
+        return [
+            ShardSpec(
+                host=self.host,
+                port=self.port,
+                shard_index=index,
+                shard_count=self.shards,
+                builder=self.builder,
+                builder_args=self.builder_args,
+                seed=rng.getrandbits(64),
+                batch_size=self.batch_size,
+                batch_flush_interval=self.batch_flush_interval,
+                window=self.window,
+                concurrency=self.concurrency,
+                poll_interval=self.poll_interval,
+                until_queries_done=until_queries_done,
+            )
+            for index in range(self.shards)
+        ]
+
+    async def run(self, until_queries_done: int | None = None) -> FleetStats:
+        """Run every shard worker to completion and merge their stats.
+
+        Workers stop on their own once *until_queries_done* queries have
+        reported ``STATUS_DONE`` (every shard observes the same terminal
+        status from the SSI), so no cross-process signalling is needed."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        loop = asyncio.get_running_loop()
+        ctx = multiprocessing.get_context("spawn")
+        specs = self.specs(until_queries_done)
+        with ProcessPoolExecutor(
+            max_workers=self.shards, mp_context=ctx
+        ) as pool:
+            results = await asyncio.gather(
+                *(loop.run_in_executor(pool, run_shard, spec) for spec in specs)
+            )
+        return self.merge(results)
+
+    @staticmethod
+    def merge(shard_stats: Sequence[dict[str, object]]) -> FleetStats:
+        merged = FleetStats()
+        for entry in shard_stats:
+            merged.contributions += int(entry["contributions"])  # type: ignore[call-overload]
+            merged.tuples_submitted += int(entry["tuples_submitted"])  # type: ignore[call-overload]
+            merged.partitions_processed += int(entry["partitions_processed"])  # type: ignore[call-overload]
+            merged.injected_faults += int(entry["injected_faults"])  # type: ignore[call-overload]
+            merged.queries_completed.update(entry["queries_completed"])  # type: ignore[arg-type]
+            merged.participants.update(entry["participants"])  # type: ignore[arg-type]
+        return merged

@@ -2,18 +2,26 @@
 
 Every message on the wire is one *frame*::
 
-    +----------------+---------+----------+---------------------+
-    | length (u32 BE)| version | msg type |       payload       |
-    +----------------+---------+----------+---------------------+
-          4 bytes      1 byte    1 byte      length - 2 bytes
+    +----------------+---------+----------+--------------+---------+
+    | length (u32 BE)| version | msg type | corr id (u32)| payload |
+    +----------------+---------+----------+--------------+---------+
+          4 bytes      1 byte    1 byte       4 bytes     length-6
 
-``length`` covers the version byte, the type byte and the payload, and is
-capped by :data:`MAX_FRAME_BYTES` — a peer declaring more is cut off
-before a single payload byte is read.  The payload encoding is a small
-hand-rolled struct layer (*not* :mod:`repro.core.codec`: that codec can
-express plaintext rows, and this module sits on the SSI side of the trust
-boundary — messages here carry only what the SSI may legitimately see:
-query envelopes, opaque ciphertext blobs and partition/query ids).
+``length`` covers the version byte, the type byte, the correlation id
+and the payload, and is capped by :data:`MAX_FRAME_BYTES` — a peer
+declaring more is cut off before a single payload byte is read.  The
+*correlation id* (v3) lets one connection carry a window of concurrent
+requests: a response echoes the id of the request it answers, so the
+transport routes it to the right waiter regardless of completion order.
+The id is routing state only — retried requests carry fresh ids while
+their idempotency key (the payload-level client-id + sequence) stays
+fixed.
+
+The payload encoding is a small hand-rolled struct layer (*not*
+:mod:`repro.core.codec`: that codec can express plaintext rows, and this
+module sits on the SSI side of the trust boundary — messages here carry
+only what the SSI may legitimately see: query envelopes, opaque
+ciphertext blobs and partition/query ids).
 
 All malformed input raises :class:`~repro.exceptions.ProtocolError`.
 """
@@ -28,16 +36,32 @@ from repro.core.messages import (
     Credential,
     EncryptedPartial,
     EncryptedTuple,
+    EncryptedTupleBlock,
     QueryEnvelope,
     QueryResult,
 )
 from repro.exceptions import FrameTooLargeError, ProtocolError
 
 #: protocol version spoken by this build; bumped on incompatible changes
-#: (v2: mutating requests carry a client-id + sequence idempotency key)
-PROTOCOL_VERSION = 2
+#: (v2: mutating requests carry a client-id + sequence idempotency key;
+#: v3: frames carry a correlation id for pipelined RPC, and tuples may
+#: travel as columnar MSG_SUBMIT_TUPLES_BATCH blocks)
+PROTOCOL_VERSION = 3
 
-#: hard ceiling on one frame (version + type + payload)
+#: bytes of the length prefix preceding every frame body
+LENGTH_PREFIX_BYTES = 4
+
+#: fixed body header: version (1) + msg type (1) + correlation id (4)
+BODY_HEADER_BYTES = 6
+
+#: the smallest well-formed frame on the wire (prefix + body header)
+MIN_FRAME_BYTES = LENGTH_PREFIX_BYTES + BODY_HEADER_BYTES
+
+#: correlation ids are u32; 0 is reserved for unsolicited/connection-
+#: scoped frames (e.g. a framing error answered before the id is known)
+MAX_CORRELATION_ID = 0xFFFFFFFF
+
+#: hard ceiling on one frame (version + type + corr id + payload)
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 #: ceiling on any single variable-length field inside a payload
@@ -67,11 +91,12 @@ MSG_FETCH_RESULT = 0x0F
 MSG_FETCH_PARTITION = 0x10
 MSG_SUBMIT_PARTITION_RESULT = 0x11
 MSG_PING = 0x12
+MSG_SUBMIT_TUPLES_BATCH = 0x13
 
 MSG_OK = 0x40
 MSG_ERROR = 0x41
 
-REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_PING + 1))
+REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_SUBMIT_TUPLES_BATCH + 1))
 
 # --------------------------------------------------------------------- #
 # wire-level error codes (satellite: typed errors, no tracebacks)
@@ -272,21 +297,23 @@ class Reader:
 # --------------------------------------------------------------------- #
 # frame layer
 # --------------------------------------------------------------------- #
-def pack_frame(msg_type: int, payload: bytes) -> bytes:
-    """Length-prefixed frame: header + version + type + payload."""
-    body_len = 2 + len(payload)
+def pack_frame(msg_type: int, payload: bytes, correlation_id: int = 0) -> bytes:
+    """Length-prefixed frame: header + version + type + corr id + payload."""
+    body_len = BODY_HEADER_BYTES + len(payload)
     if body_len > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES")
+    if not 0 <= correlation_id <= MAX_CORRELATION_ID:
+        raise ProtocolError(f"correlation id {correlation_id} out of range")
     return (
         struct.pack(">I", body_len)
-        + struct.pack(">BB", PROTOCOL_VERSION, msg_type)
+        + struct.pack(">BBI", PROTOCOL_VERSION, msg_type, correlation_id)
         + payload
     )
 
 
-def unpack_frame_body(body: bytes) -> tuple[int, Reader]:
-    """Split a frame body into (msg_type, payload reader), checking the
-    protocol version."""
+def unpack_frame_body(body: bytes) -> tuple[int, int, Reader]:
+    """Split a frame body into (msg_type, correlation_id, payload reader),
+    checking the protocol version."""
     if len(body) < 2:
         raise ProtocolError("frame body shorter than its fixed header")
     version, msg_type = body[0], body[1]
@@ -295,7 +322,19 @@ def unpack_frame_body(body: bytes) -> tuple[int, Reader]:
             f"unsupported protocol version {version} (speaking "
             f"{PROTOCOL_VERSION})",
         )
-    return msg_type, Reader(body[2:])
+    if len(body) < BODY_HEADER_BYTES:
+        raise ProtocolError("frame body shorter than its fixed header")
+    correlation_id = int.from_bytes(body[2:BODY_HEADER_BYTES], "big")
+    return msg_type, correlation_id, Reader(body[BODY_HEADER_BYTES:])
+
+
+def peek_correlation_id(body: bytes) -> int:
+    """Read a frame body's correlation id without decoding the payload —
+    the transport's response-routing fast path.  Returns 0 (the
+    connection-scoped id) for bodies too short to carry one."""
+    if len(body) < BODY_HEADER_BYTES:
+        return 0
+    return int.from_bytes(body[2:BODY_HEADER_BYTES], "big")
 
 
 async def read_frame(
@@ -305,14 +344,14 @@ async def read_frame(
     any payload byte is consumed.  Raises ``asyncio.IncompleteReadError``
     on EOF mid-frame, :class:`FrameTooLargeError` on oversized frames and
     :class:`ProtocolError` on undersized ones."""
-    header = await reader.readexactly(4)
+    header = await reader.readexactly(LENGTH_PREFIX_BYTES)
     (body_len,) = struct.unpack(">I", header)
     if body_len > max_bytes:
         raise FrameTooLargeError(
             f"peer declared a {body_len}-byte frame, above the "
             f"{max_bytes}-byte limit"
         )
-    if body_len < 2:
+    if body_len < BODY_HEADER_BYTES:
         raise ProtocolError("peer declared a frame too short for its header")
     return await reader.readexactly(body_len)
 
@@ -457,8 +496,83 @@ def read_result(r: Reader) -> QueryResult:
     return QueryResult(query_id, tuple(rows))
 
 
-def pack_error(code: int, message: str) -> bytes:
+# --------------------------------------------------------------------- #
+# batched tuple submission (v3)
+# --------------------------------------------------------------------- #
+#: tag-length sentinel marking "no group tag" in the tag-lengths vector
+_NO_TAG = 0xFFFFFFFF
+
+
+def write_tuple_block(w: Writer, block: EncryptedTupleBlock) -> None:
+    """Columnar encoding of a tuple batch: one lengths vector, one tag-
+    lengths vector (``0xFFFFFFFF`` = no tag), one payload buffer and one
+    tag buffer — four blobs total, independent of the tuple count."""
+    count = len(block)
+    if count > MAX_ITEMS:
+        raise ProtocolError(f"{count} tuples exceed the per-message limit")
+    offsets = block.offsets
+    lengths = [offsets[i + 1] - offsets[i] for i in range(count)]
+    tag_lengths = [
+        _NO_TAG if tag is None else len(tag) for tag in block.tags
+    ]
+    w.u32(count)
+    w.blob(struct.pack(f">{count}I", *lengths))
+    w.blob(struct.pack(f">{count}I", *tag_lengths))
+    w.blob(block.payloads)
+    w.blob(b"".join(tag for tag in block.tags if tag is not None))
+
+
+def read_tuple_block(r: Reader) -> EncryptedTupleBlock:
+    """Decode a columnar tuple batch.  The payload buffer is kept whole
+    (no per-tuple copies); only the small tag buffer is sliced."""
+    count = r.count()
+    lengths_raw = r.blob()
+    if len(lengths_raw) != 4 * count:
+        raise ProtocolError(
+            f"lengths vector of {len(lengths_raw)} bytes does not match "
+            f"{count} tuples"
+        )
+    tag_lengths_raw = r.blob()
+    if len(tag_lengths_raw) != 4 * count:
+        raise ProtocolError(
+            f"tag-lengths vector of {len(tag_lengths_raw)} bytes does not "
+            f"match {count} tuples"
+        )
+    lengths = struct.unpack(f">{count}I", lengths_raw)
+    tag_lengths = struct.unpack(f">{count}I", tag_lengths_raw)
+    payloads = r.blob()
+    tags_raw = r.blob()
+    offsets = [0] * (count + 1)
+    total = 0
+    for i, length in enumerate(lengths):
+        total += length
+        offsets[i + 1] = total
+    if total != len(payloads):
+        raise ProtocolError(
+            f"payload buffer of {len(payloads)} bytes does not match the "
+            f"declared {total}"
+        )
+    tags: list[bytes | None] = [None] * count
+    tag_view = memoryview(tags_raw)
+    tag_pos = 0
+    for i, tag_length in enumerate(tag_lengths):
+        if tag_length == _NO_TAG:
+            continue
+        if tag_pos + tag_length > len(tags_raw):
+            raise ProtocolError("tag buffer shorter than its declared lengths")
+        tags[i] = bytes(tag_view[tag_pos : tag_pos + tag_length])
+        tag_pos += tag_length
+    if tag_pos != len(tags_raw):
+        raise ProtocolError(
+            f"{len(tags_raw) - tag_pos} trailing bytes in the tag buffer"
+        )
+    return EncryptedTupleBlock(
+        payloads=payloads, offsets=tuple(offsets), tags=tuple(tags)
+    )
+
+
+def pack_error(code: int, message: str, correlation_id: int = 0) -> bytes:
     w = Writer()
     w.u8(code)
     w.text(message)
-    return pack_frame(MSG_ERROR, w.getvalue())
+    return pack_frame(MSG_ERROR, w.getvalue(), correlation_id)

@@ -27,7 +27,7 @@ import asyncio
 import logging
 from typing import Awaitable, Callable
 
-from repro.core.messages import EncryptedTuple
+from repro.core.messages import EncryptedTupleBlock
 from repro.exceptions import (
     BackpressureError,
     DuplicateQueryError,
@@ -60,13 +60,17 @@ def _error_code(exc: ProtocolError) -> int:
 
 
 class _SubmissionQueue:
-    """Bounded buffer of not-yet-applied submissions for one query."""
+    """Bounded buffer of not-yet-applied submissions for one query.
+
+    An entry is either a list of tuples/partials ("tuples"/"partials")
+    or one columnar :class:`~repro.core.messages.EncryptedTupleBlock`
+    ("block") — a whole batch frame counts as one pending entry."""
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
-        self.pending: list[tuple[str, list]] = []
+        self.pending: list[tuple[str, list | EncryptedTupleBlock]] = []
 
-    def push(self, kind: str, items: list) -> None:
+    def push(self, kind: str, items: list | EncryptedTupleBlock) -> None:
         if len(self.pending) >= self.maxsize:
             raise BackpressureError(
                 f"submission queue full ({self.maxsize} batches pending); "
@@ -95,11 +99,14 @@ class SSIDispatcher:
         self._max_pending = max_pending_batches
         self._posted_at: dict[str, float] = {}
         self._clock = clock
-        # Idempotency bookkeeping: highest sequence number *applied* per
-        # client id.  Clients are sequential (one in-flight request), so
-        # a seq at or below the watermark is a retry of a request whose
-        # response was lost — acknowledge it without re-applying.
+        # Idempotency bookkeeping: a contiguous watermark (every seq at
+        # or below it has been applied) plus an "ahead" set of applied
+        # seqs above it.  Pipelined clients have several requests in
+        # flight, so seqs can *apply* out of order — the ahead set keeps
+        # a late-arriving lower seq from being mistaken for a replay,
+        # and drains into the watermark as the gaps fill.
         self._applied_seq: dict[str, int] = {}
+        self._applied_ahead: dict[str, set[int]] = {}
         #: test hook — while True, submissions buffer instead of applying
         self.drain_paused = False
 
@@ -110,31 +117,38 @@ class SSIDispatcher:
         return asyncio.get_running_loop().time()
 
     async def dispatch(self, body: bytes) -> bytes:
-        """One request frame body in, one response frame out."""
+        """One request frame body in, one response frame out.  Responses
+        echo the request's correlation id so a pipelining client can
+        route them; a body too malformed to carry one answers on the
+        connection-scoped id 0."""
         try:
-            msg_type, reader = frames.unpack_frame_body(body)
+            msg_type, corr, reader = frames.unpack_frame_body(body)
         except ProtocolError as exc:
-            return frames.pack_error(frames.ERR_MALFORMED, str(exc))
+            return frames.pack_error(
+                frames.ERR_MALFORMED, str(exc), frames.peek_correlation_id(body)
+            )
         if msg_type not in frames.REQUEST_TYPES:
             return frames.pack_error(
-                frames.ERR_UNKNOWN_OP, f"unknown request type 0x{msg_type:02x}"
+                frames.ERR_UNKNOWN_OP,
+                f"unknown request type 0x{msg_type:02x}",
+                corr,
             )
         try:
             payload = self._handle(msg_type, reader)
         except (DuplicateQueryError, UnknownQueryError, ResultNotReadyError,
                 BackpressureError) as exc:
-            return frames.pack_error(_error_code(exc), str(exc))
+            return frames.pack_error(_error_code(exc), str(exc), corr)
         except ProtocolError as exc:
             # Includes payload-decoding failures: report them as malformed
             # rather than internal.
-            return frames.pack_error(frames.ERR_MALFORMED, str(exc))
+            return frames.pack_error(frames.ERR_MALFORMED, str(exc), corr)
         except Exception:
             # Never leak a traceback across the transport (satellite).
             logger.exception("internal error handling request 0x%02x", msg_type)
             return frames.pack_error(
-                frames.ERR_INTERNAL, "internal server error (see SSI logs)"
+                frames.ERR_INTERNAL, "internal server error (see SSI logs)", corr
             )
-        return frames.pack_frame(frames.MSG_OK, payload)
+        return frames.pack_frame(frames.MSG_OK, payload, corr)
 
     # ------------------------------------------------------------------ #
     # request handlers
@@ -197,6 +211,19 @@ class SSIDispatcher:
             if self._replayed(client_id, seq):
                 return w.getvalue()
             self._queue_for(query_id).push("tuples", tuples)
+            self._mark_applied(client_id, seq)
+            self._maybe_flush(query_id)
+            return w.getvalue()
+
+        if msg_type == frames.MSG_SUBMIT_TUPLES_BATCH:
+            client_id, seq = self._read_idem(r)
+            query_id = r.text()
+            block = frames.read_tuple_block(r)
+            r.expect_end()
+            self.ssi.envelope(query_id)  # typed error for unknown ids
+            if self._replayed(client_id, seq):
+                return w.getvalue()
+            self._queue_for(query_id).push("block", block)
             self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
             return w.getvalue()
@@ -355,13 +382,21 @@ class SSIDispatcher:
         return client_id, seq
 
     def _replayed(self, client_id: str, seq: int) -> bool:
-        return seq <= self._applied_seq.get(client_id, 0)
+        if seq <= self._applied_seq.get(client_id, 0):
+            return True
+        return seq in self._applied_ahead.get(client_id, ())
 
     def _mark_applied(self, client_id: str, seq: int) -> None:
         # Only called once the side effect landed; a request rejected
         # with e.g. ERR_BACKPRESSURE keeps its seq unapplied so the
         # client's retry (same bytes) is executed, not dropped.
-        self._applied_seq[client_id] = seq
+        ahead = self._applied_ahead.setdefault(client_id, set())
+        ahead.add(seq)
+        watermark = self._applied_seq.get(client_id, 0)
+        while watermark + 1 in ahead:
+            watermark += 1
+            ahead.discard(watermark)
+        self._applied_seq[client_id] = watermark
 
     def _queue_for(self, query_id: str) -> _SubmissionQueue:
         queue = self._queues.get(query_id)
@@ -384,6 +419,8 @@ class SSIDispatcher:
         for kind, items in pending:
             if kind == "tuples":
                 self.ssi.submit_tuples(query_id, items)
+            elif kind == "block":
+                self.ssi.submit_tuple_block(query_id, items)
             else:
                 self.ssi.submit_partials(query_id, items)
 
@@ -405,7 +442,15 @@ DispatchFn = Callable[[bytes], Awaitable[bytes]]
 
 
 class SSIServer:
-    """``asyncio.start_server``-based TCP front end for a dispatcher."""
+    """``asyncio.start_server``-based TCP front end for a dispatcher.
+
+    Requests from one connection are dispatched *concurrently* (v3
+    pipelining): the read loop keeps pulling frames while up to
+    ``max_concurrent_requests`` handler tasks run, and each response is
+    written — under a per-connection write lock — as soon as its handler
+    finishes, in completion order rather than arrival order.  The
+    correlation id echoed by the dispatcher is what lets the client
+    reassemble the conversation."""
 
     def __init__(
         self,
@@ -415,12 +460,16 @@ class SSIServer:
         *,
         read_timeout: float = 30.0,
         max_frame_bytes: int = frames.MAX_FRAME_BYTES,
+        max_concurrent_requests: int = 32,
     ) -> None:
+        if max_concurrent_requests < 1:
+            raise ProtocolError("max_concurrent_requests must be >= 1")
         self.dispatcher = dispatcher if dispatcher is not None else SSIDispatcher()
         self.host = host
         self.port = port
         self.read_timeout = read_timeout
         self.max_frame_bytes = max_frame_bytes
+        self.max_concurrent_requests = max_concurrent_requests
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> None:
@@ -449,6 +498,21 @@ class SSIServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        write_lock = asyncio.Lock()
+        slots = asyncio.Semaphore(self.max_concurrent_requests)
+        tasks: set[asyncio.Task[None]] = set()
+
+        async def handle(body: bytes) -> None:
+            try:
+                response = await self.dispatcher.dispatch(body)
+                async with write_lock:
+                    writer.write(response)
+                    await writer.drain()
+            except (ConnectionError, ConnectionResetError):
+                pass  # peer went away mid-response; the read loop exits too
+            finally:
+                slots.release()
+
         try:
             while True:
                 try:
@@ -456,27 +520,47 @@ class SSIServer:
                         frames.read_frame(reader, self.max_frame_bytes),
                         timeout=self.read_timeout,
                     )
-                except (asyncio.TimeoutError, asyncio.IncompleteReadError,
-                        ConnectionError):
-                    return  # idle timeout, clean EOF or peer drop: hang up
+                except asyncio.TimeoutError:
+                    if tasks:
+                        continue  # busy connection, not an idle one
+                    return  # idle timeout: hang up
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # clean EOF or peer drop: hang up
                 except FrameTooLargeError as exc:
-                    # Size-limit violation: answer once, then hang up
-                    # (the stream position can no longer be trusted).
-                    writer.write(frames.pack_error(frames.ERR_TOO_LARGE, str(exc)))
-                    await writer.drain()
+                    # Size-limit violation: answer once (on the
+                    # connection-scoped correlation id 0, the body was
+                    # never read), then hang up — the stream position
+                    # can no longer be trusted.
+                    async with write_lock:
+                        writer.write(
+                            frames.pack_error(frames.ERR_TOO_LARGE, str(exc))
+                        )
+                        await writer.drain()
                     return
                 except ProtocolError as exc:
                     # Any other framing violation (e.g. a frame too
                     # short for its header): malformed, then hang up.
-                    writer.write(frames.pack_error(frames.ERR_MALFORMED, str(exc)))
-                    await writer.drain()
+                    async with write_lock:
+                        writer.write(
+                            frames.pack_error(frames.ERR_MALFORMED, str(exc))
+                        )
+                        await writer.drain()
                     return
-                response = await self.dispatcher.dispatch(body)
-                writer.write(response)
-                await writer.drain()
+                # Bounded per-connection task group: when every slot is
+                # busy this stalls the read loop — pipelining backpressure
+                # lands on the socket instead of growing an unbounded
+                # task pile.
+                await slots.acquire()
+                task = asyncio.create_task(handle(body))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
         except ConnectionError:
             return
         finally:
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()

@@ -6,12 +6,20 @@ recorded here: opaque payload sizes and group tags.  The attack module
 exactly the frequency-based attack of §3.1/§5 — and the tests assert the
 attack succeeds against Det_Enc-style tags but fails against nDet_Enc /
 flattened distributions.
+
+The log is *lazy*: the batched collection path records a whole tuple
+block as one O(1) entry (its sizes stay implicit in the offsets table),
+and per-:class:`Observation` objects are only materialized when an
+analysis method (or the :attr:`Observer.observations` property) reads
+the log.  What the adversary can see is unchanged — only when the
+notebook is transcribed.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass
@@ -24,11 +32,46 @@ class Observation:
     group_tag: bytes | None
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
+class _BatchEntry:
+    """A not-yet-expanded block of observations (one per stored block)."""
+
+    query_id: str
+    phase: str
+    offsets: Sequence[int]  # count + 1 entries; sizes are the diffs
+    tags: Sequence[bytes | None]
+
+
 class Observer:
     """Accumulates what the SSI sees; query-able by the attack simulator."""
 
-    observations: list[Observation] = field(default_factory=list)
+    def __init__(self) -> None:
+        self._entries: list[Observation | _BatchEntry] = []
+        self._flat: list[Observation] | None = []
+
+    @property
+    def observations(self) -> list[Observation]:
+        """The fully-transcribed log, in arrival order.  Batch entries
+        are expanded on first read and the result cached until the next
+        record."""
+        if self._flat is None:
+            flat: list[Observation] = []
+            for entry in self._entries:
+                if isinstance(entry, Observation):
+                    flat.append(entry)
+                    continue
+                offsets = entry.offsets
+                flat.extend(
+                    Observation(
+                        entry.query_id,
+                        entry.phase,
+                        offsets[i + 1] - offsets[i],
+                        tag,
+                    )
+                    for i, tag in enumerate(entry.tags)
+                )
+            self._flat = flat
+        return self._flat
 
     def record(
         self,
@@ -37,9 +80,23 @@ class Observer:
         payload_size: int,
         group_tag: bytes | None,
     ) -> None:
-        self.observations.append(
+        self._entries.append(
             Observation(query_id, phase, payload_size, group_tag)
         )
+        self._flat = None
+
+    def record_block(
+        self,
+        query_id: str,
+        phase: str,
+        offsets: Sequence[int],
+        tags: Sequence[bytes | None],
+    ) -> None:
+        """Record a whole columnar block in O(1): payload sizes stay
+        implicit in *offsets* (``count + 1`` entries) until the log is
+        read."""
+        self._entries.append(_BatchEntry(query_id, phase, offsets, tags))
+        self._flat = None
 
     # ------------------------------------------------------------------ #
     # what an attacker computes from the log

@@ -16,6 +16,7 @@ from typing import Iterable, Sequence
 from repro.core.messages import (
     EncryptedPartial,
     EncryptedTuple,
+    EncryptedTupleBlock,
     Partition,
     QueryEnvelope,
     QueryResult,
@@ -79,14 +80,30 @@ class SupportingServerInfrastructure:
                 query_id, "collection", len(item.payload), item.group_tag
             )
 
+    def submit_tuple_block(
+        self, query_id: str, block: EncryptedTupleBlock
+    ) -> None:
+        """Batched collection (the v3 wire path): store one columnar
+        block as-is — O(1) per block, no per-tuple objects until the
+        aggregation phase materializes the covering result.  The
+        observer still sees exactly the per-tuple sizes and tags it
+        would have seen item-by-item."""
+        storage = self._require(query_id)
+        if storage.collection_closed:
+            return  # late arrivals after the SIZE clause closed: dropped
+        storage.collected_blocks.append(block)
+        self.observer.record_block(
+            query_id, "collection", block.offsets, block.tags
+        )
+
     def collected_count(self, query_id: str) -> int:
-        return len(self._require(query_id).collected)
+        return self._require(query_id).collected_count()
 
     def evaluate_size_clause(self, query_id: str, elapsed_seconds: float = 0.0) -> bool:
         """Cleartext SIZE evaluation (§3.1); closes collection when met."""
         envelope = self.envelope(query_id)
         storage = self._require(query_id)
-        count = len(storage.collected)
+        count = storage.collected_count()
         met = False
         if envelope.size_tuples is not None and count >= envelope.size_tuples:
             met = True
@@ -107,7 +124,7 @@ class SupportingServerInfrastructure:
         return self._require(query_id).collection_closed
 
     def covering_result(self, query_id: str) -> list[EncryptedTuple]:
-        return list(self._require(query_id).collected)
+        return self._require(query_id).all_collected()
 
     # ------------------------------------------------------------------ #
     # aggregation phase storage (steps 5-8)

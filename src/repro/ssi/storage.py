@@ -13,7 +13,12 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.core.messages import EncryptedPartial, EncryptedTuple, Partition
+from repro.core.messages import (
+    EncryptedPartial,
+    EncryptedTuple,
+    EncryptedTupleBlock,
+    Partition,
+)
 from repro.exceptions import ProtocolError
 
 
@@ -115,10 +120,28 @@ class PartitionTracker:
 
 @dataclass
 class QueryStorage:
-    """All SSI-side state for one query."""
+    """All SSI-side state for one query.
+
+    Collected tuples arrive either as individual :class:`EncryptedTuple`
+    objects (``collected``) or as columnar :class:`EncryptedTupleBlock`
+    batches (``collected_blocks``); the batched path defers per-tuple
+    materialization until the aggregation phase reads the covering
+    result."""
 
     collected: list[EncryptedTuple] = field(default_factory=list)
+    collected_blocks: list[EncryptedTupleBlock] = field(default_factory=list)
     partials: list[EncryptedPartial] = field(default_factory=list)
     result_rows: list[bytes] = field(default_factory=list)
     collection_closed: bool = False
     result_ready: bool = False
+
+    def collected_count(self) -> int:
+        return len(self.collected) + sum(len(b) for b in self.collected_blocks)
+
+    def all_collected(self) -> list[EncryptedTuple]:
+        """Materialize the full covering result (per-tuple objects first,
+        then blocks, each in arrival order)."""
+        items = list(self.collected)
+        for block in self.collected_blocks:
+            items.extend(block.tuples())
+        return items

@@ -79,10 +79,28 @@ class TestPrimitives:
 class TestFrameLayer:
     def test_frame_roundtrip(self):
         frame = frames.pack_frame(frames.MSG_PING, b"\x00\x00\x00\x07payload")
-        msg_type, reader = frames.unpack_frame_body(frame[4:])
+        msg_type, corr, reader = frames.unpack_frame_body(frame[4:])
         assert msg_type == frames.MSG_PING
+        assert corr == 0
         assert reader.blob() == b"payload"
         assert frame[4] == frames.PROTOCOL_VERSION
+
+    def test_correlation_id_roundtrip(self):
+        frame = frames.pack_frame(frames.MSG_PING, b"", correlation_id=0xDEADBEEF)
+        msg_type, corr, reader = frames.unpack_frame_body(frame[4:])
+        assert msg_type == frames.MSG_PING
+        assert corr == 0xDEADBEEF
+        reader.expect_end()
+        assert frames.peek_correlation_id(frame[4:]) == 0xDEADBEEF
+
+    def test_peek_correlation_id_of_runt_body_is_connection_scoped(self):
+        assert frames.peek_correlation_id(b"\x03\x12") == 0
+
+    def test_correlation_id_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError, match="correlation id"):
+            frames.pack_frame(frames.MSG_PING, b"", correlation_id=1 << 32)
+        with pytest.raises(ProtocolError, match="correlation id"):
+            frames.pack_frame(frames.MSG_PING, b"", correlation_id=-1)
 
     def test_version_mismatch_rejected(self):
         frame = bytearray(frames.pack_frame(frames.MSG_PING, b""))

@@ -318,3 +318,162 @@ class TestContributionRetry:
 
         rows = run_async(run())
         assert rows == run_driver_inproc(SAggProtocol, GROUP_SQL, num_tds=4)
+
+
+class ConcurrencyProbeDispatcher(SSIDispatcher):
+    """Counts how many requests are inside ``dispatch`` simultaneously;
+    pings are held open so overlap is observable."""
+
+    def __init__(self, *args, hold=0.03, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.hold = hold
+        self.in_flight = 0
+        self.max_in_flight = 0
+
+    async def dispatch(self, body):
+        self.in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self.in_flight)
+        try:
+            if body[1] == frames.MSG_PING:
+                await asyncio.sleep(self.hold)
+            return await super().dispatch(body)
+        finally:
+            self.in_flight -= 1
+
+
+class JitterDispatcher(SSIDispatcher):
+    """Delays each response by a seeded random amount so responses come
+    back in a different order than the requests went out."""
+
+    def __init__(self, *args, seed=9, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._jitter = random.Random(seed)
+
+    async def dispatch(self, body):
+        response = await super().dispatch(body)
+        await asyncio.sleep(self._jitter.uniform(0.0, 0.05))
+        return response
+
+
+async def pipelined_tcp_fixture(dispatcher, window):
+    server = SSIServer(dispatcher)
+    await server.start()
+    client = AsyncSSIClient(
+        TCPTransport("127.0.0.1", server.port, window=window),
+        RetryPolicy(max_retries=0, backoff_base=0.001),
+        rng=random.Random(4),
+    )
+    return server, client
+
+
+class TestPipelining:
+    """The v3 multiplexed exchange: many requests in flight on one
+    connection, responses routed by correlation id."""
+
+    def test_requests_overlap_on_one_connection(self):
+        async def run():
+            dispatcher = ConcurrencyProbeDispatcher()
+            server, client = await pipelined_tcp_fixture(dispatcher, window=8)
+            try:
+                await asyncio.gather(*(client.ping() for __ in range(5)))
+                assert dispatcher.max_in_flight >= 2
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(run())
+
+    def test_window_full_applies_backpressure(self):
+        """window=1 degrades to serial request/response: the second
+        request must not reach the server while the first is open."""
+
+        async def run():
+            dispatcher = ConcurrencyProbeDispatcher()
+            server, client = await pipelined_tcp_fixture(dispatcher, window=1)
+            try:
+                await asyncio.gather(*(client.ping() for __ in range(5)))
+                assert dispatcher.max_in_flight == 1
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(run())
+
+    def test_out_of_order_completion(self):
+        """A slow request must not head-of-line-block a fast one issued
+        after it; each completion resolves its own caller."""
+
+        async def run():
+            dispatcher = ConcurrencyProbeDispatcher(hold=0.15)
+            server, client = await pipelined_tcp_fixture(dispatcher, window=8)
+            try:
+                await client.post_query(make_envelope("q1"))
+                order = []
+
+                async def slow_ping():
+                    await client.ping()  # held 0.15s server-side
+                    order.append("ping")
+
+                async def fast_fetch():
+                    envelope, __ = await client.fetch_query("q1")
+                    order.append("fetch")
+                    return envelope
+
+                __, envelope = await asyncio.gather(slow_ping(), fast_fetch())
+                assert order == ["fetch", "ping"]
+                assert envelope.query_id == "q1"
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(run())
+
+    def test_interleaved_responses_route_by_correlation_id(self):
+        async def run():
+            dispatcher = JitterDispatcher()
+            server, client = await pipelined_tcp_fixture(dispatcher, window=16)
+            try:
+                ids = [f"q{i}" for i in range(8)]
+                for query_id in ids:
+                    await client.post_query(make_envelope(query_id))
+                envelopes = await asyncio.gather(
+                    *(client.fetch_query(query_id) for query_id in ids)
+                )
+                assert [e.query_id for e, __ in envelopes] == ids
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(run())
+
+    def test_timed_out_corr_id_is_dropped_without_reconnect(self):
+        """PR 3 reconnected after a timeout because one stream carried
+        one exchange; under pipelining the timed-out correlation id is
+        simply abandoned — its late response is dropped on arrival and
+        the *same* connection keeps serving."""
+
+        async def run():
+            dispatcher, server, client = await delayed_tcp_fixture()
+            try:
+                await client.ping()  # establish the connection
+                transport = client.transport
+                writer_before = transport._writer
+                assert writer_before is not None
+                dispatcher.arm = True
+                await client.ping()  # attempt 1 times out; retry succeeds
+                assert client.retries >= 1
+                assert transport._writer is writer_before
+                # the timed-out exchange left nothing pending
+                assert not transport._pending
+                # let the delayed (late) response for the abandoned corr
+                # id arrive: it must be dropped, not desync the stream
+                await asyncio.sleep(0.5)
+                assert transport._writer is writer_before
+                await client.post_query(make_envelope("q9"))
+                envelope, __ = await client.fetch_query("q9")
+                assert envelope.query_id == "q9"
+            finally:
+                await client.close()
+                await server.close()
+
+        run_async(run())

@@ -143,7 +143,7 @@ class TestWireDiscipline:
             response = await transport.request(
                 frames.pack_frame(frames.MSG_SUBMIT_TUPLES, b"\xff\xff")
             )
-            msg_type, reader = frames.unpack_frame_body(response)
+            msg_type, _corr, reader = frames.unpack_frame_body(response)
             assert msg_type == frames.MSG_ERROR
             assert reader.u8() == frames.ERR_MALFORMED
 
@@ -154,7 +154,7 @@ class TestWireDiscipline:
             dispatcher = SSIDispatcher()
             transport = LoopbackTransport(dispatcher.dispatch)
             response = await transport.request(frames.pack_frame(0x3F, b""))
-            msg_type, reader = frames.unpack_frame_body(response)
+            msg_type, _corr, reader = frames.unpack_frame_body(response)
             assert msg_type == frames.MSG_ERROR
             assert reader.u8() == frames.ERR_UNKNOWN_OP
 
@@ -165,7 +165,7 @@ class TestWireDiscipline:
             dispatcher = SSIDispatcher()
             body = bytes([99, frames.MSG_PING])
             response = await dispatcher.dispatch(body)
-            msg_type, reader = frames.unpack_frame_body(response[4:])
+            msg_type, _corr, reader = frames.unpack_frame_body(response[4:])
             assert msg_type == frames.MSG_ERROR
             assert reader.u8() == frames.ERR_MALFORMED
             assert "version" in reader.text()
@@ -183,7 +183,7 @@ class TestWireDiscipline:
                 writer.write(b"\xff\xff\xff\xff")  # 4 GiB declared frame
                 await writer.drain()
                 body = await frames.read_frame(reader)
-                msg_type, r = frames.unpack_frame_body(body)
+                msg_type, _corr, r = frames.unpack_frame_body(body)
                 assert msg_type == frames.MSG_ERROR
                 assert r.u8() == frames.ERR_TOO_LARGE
                 assert await reader.read(1) == b""  # server hung up
@@ -206,7 +206,7 @@ class TestWireDiscipline:
                 writer.write(b"\x00\x00\x00\x01\x00")
                 await writer.drain()
                 body = await frames.read_frame(reader)
-                msg_type, r = frames.unpack_frame_body(body)
+                msg_type, _corr, r = frames.unpack_frame_body(body)
                 assert msg_type == frames.MSG_ERROR
                 assert r.u8() == frames.ERR_MALFORMED  # not ERR_TOO_LARGE
                 assert await reader.read(1) == b""  # server hung up

@@ -36,13 +36,16 @@ lint-mypy:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Three real processes over localhost TCP: an SSI server, a fleet of TDS
-# clients and one querier.  The querier's exit status is the demo's; the
-# server and fleet are torn down afterwards.
+# Three real processes over localhost TCP: an SSI server (with its
+# Prometheus endpoint up), a fleet of TDS clients and one querier.  After
+# the queries, the metrics endpoint is scraped and asserted on, and
+# `repro stats` fetches the same registry over the wire protocol.
 SERVE_DEMO_PORT ?= 7464
+SERVE_DEMO_METRICS_PORT ?= 9464
 serve-demo:
 	@set -e; \
-	PYTHONPATH=src python -m repro serve --port $(SERVE_DEMO_PORT) --partition-timeout 2.0 & \
+	PYTHONPATH=src python -m repro serve --port $(SERVE_DEMO_PORT) \
+		--metrics-port $(SERVE_DEMO_METRICS_PORT) --partition-timeout 2.0 & \
 	SERVE_PID=$$!; \
 	trap 'kill $$SERVE_PID 2>/dev/null || true' EXIT; \
 	sleep 1.5; \
@@ -51,7 +54,10 @@ serve-demo:
 	sleep 0.5; \
 	PYTHONPATH=src python -m repro query --port $(SERVE_DEMO_PORT) --tds 8 --seed 3 --protocol s_agg; \
 	PYTHONPATH=src python -m repro query --port $(SERVE_DEMO_PORT) --tds 8 --seed 3 --protocol ed_hist; \
-	wait $$FLEET_PID
+	wait $$FLEET_PID; \
+	python tools/check_metrics_endpoint.py --port $(SERVE_DEMO_METRICS_PORT) --min-requests 10; \
+	PYTHONPATH=src python -m repro stats --port $(SERVE_DEMO_PORT) | grep -q 'repro_ssi_requests_total{msg_type="post_query",outcome="ok"} 2' \
+		&& echo "ok: repro stats sees both demo queries"
 
 examples:
 	@for script in examples/*.py; do \

@@ -39,12 +39,16 @@ from repro.net.fleet import FleetRunner, ShardedFleetRunner
 from repro.net.frames import QueryMeta
 from repro.net.server import SSIDispatcher, SSIServer
 from repro.net.transport import LoopbackTransport, RemoteSSI, TCPTransport
+from repro.obs import spans as obs_spans
 from repro.protocols import Deployment, SAggProtocol
 from repro.sql.schema import Database, schema
 from repro.workloads.smartmeter import smart_meter_factory
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_net.json")
+SPAN_EXPORT_PATH = os.path.join(
+    REPO_ROOT, "benchmarks", "results", "spans_net.jsonl"
+)
 
 PING_COUNT = 2000
 SUBMIT_TUPLES = 100_000
@@ -275,7 +279,32 @@ def measure_driver_modes():
     return results
 
 
-def measure_fleet_mode(batch=64, window=32):
+def span_breakdown(records):
+    """Split fleet wall-clock into queue-wait vs crypto vs wire.
+
+    The fleet annotates every ``contribution``/``partition`` span with
+    ``queue_seconds`` (semaphore wait), ``crypto_seconds`` (TDS-side
+    collect/aggregate/finalize) and ``wire_seconds`` (RPC ack wait);
+    summing them over a JSONL export answers *where the time went*
+    without re-running anything.
+    """
+    keys = ("queue_seconds", "crypto_seconds", "wire_seconds")
+    totals = {key: 0.0 for key in keys}
+    spans = 0
+    for record in records:
+        attrs = record.get("attributes", {})
+        if not all(key in attrs for key in keys):
+            continue
+        spans += 1
+        for key in keys:
+            totals[key] += float(attrs[key])
+    totals["spans"] = spans
+    return totals
+
+
+def measure_fleet_mode(batch=64, window=32, span_path=SPAN_EXPORT_PATH):
+    obs_spans.RECORDER.reset()
+
     async def run():
         dep = _deployment()
         dispatcher = SSIDispatcher(dep.ssi, partition_timeout=5.0)
@@ -304,7 +333,18 @@ def measure_fleet_mode(batch=64, window=32):
         await server.close()
         return {"fleet_query_s_tcp": elapsed}
 
-    return asyncio.run(run())
+    results = asyncio.run(run())
+    if span_path is not None:
+        os.makedirs(os.path.dirname(span_path), exist_ok=True)
+        with open(span_path, "w") as fh:
+            obs_spans.RECORDER.export_jsonl(fh)
+        # Consume the export the way an operator would: reload the JSONL
+        # and aggregate — proves the exporter round-trips.
+        with open(span_path) as fh:
+            results["span_breakdown"] = span_breakdown(
+                list(obs_spans.load_jsonl(fh))
+            )
+    return results
 
 
 def measure_sharded_fleet(shards=2, num_tds=8, batch=64, window=32):
@@ -412,17 +452,19 @@ def measure_all(ping_count=PING_COUNT, submit_total=SUBMIT_TUPLES, shards=True):
     after["tuples_per_s_tcp"] = best["tuples_per_s"]
     after["tuple_mb_per_s_tcp"] = best["mb_per_s"]
     after.update(measure_driver_modes())
-    after.update(measure_fleet_mode())
+    fleet = measure_fleet_mode()
+    breakdown = fleet.pop("span_breakdown", None)
+    after.update(fleet)
     shard_timings = {}
     if shards:
         shard_timings = {
             "fleet_query_s_tcp_shards1": measure_sharded_fleet(shards=1),
             "fleet_query_s_tcp_shards2": measure_sharded_fleet(shards=2),
         }
-    return sweep, best, after, shard_timings
+    return sweep, best, after, shard_timings, breakdown
 
 
-def _render(sweep, best, after, shard_timings):
+def _render(sweep, best, after, shard_timings, breakdown=None):
     rows = [
         [f"submit w={row['window']} b={row['batch'] or 'seq'}",
          f"{row['tuples_per_s']:,.0f} tuples/s"]
@@ -441,6 +483,14 @@ def _render(sweep, best, after, shard_timings):
             f"{after['tuples_per_s_tcp'] / PR3_BASELINE['tuples_per_s_tcp']:.2f}x",
         ]
     )
+    if breakdown and breakdown["spans"]:
+        for key in ("queue_seconds", "crypto_seconds", "wire_seconds"):
+            rows.append(
+                [
+                    f"fleet {key} ({breakdown['spans']} spans)",
+                    f"{breakdown[key]:,.3f}",
+                ]
+            )
     return render_table("repro.net throughput", ["metric", "value"], rows)
 
 
@@ -460,6 +510,7 @@ def test_net_throughput_smoke(benchmark):
         return floor, sequential, batched, fleet
 
     floor, sequential, batched, fleet = benchmark(quick)
+    breakdown = fleet.pop("span_breakdown", None)
     publish(
         "net_throughput",
         _render(
@@ -468,12 +519,17 @@ def test_net_throughput_smoke(benchmark):
             {**floor, "tuples_per_s_tcp": batched["tuples_per_s"],
              "tuple_mb_per_s_tcp": batched["mb_per_s"], **fleet},
             {},
+            breakdown,
         ),
     )
     assert floor["ping_rps_tcp"] > 50
     assert batched["tuples_per_s"] > 500
     assert batched["tuples_per_s"] >= sequential["tuples_per_s"]
     assert fleet["fleet_query_s_tcp"] < 60.0
+    # The span export must reconstruct where the fleet's time went.
+    assert breakdown is not None and breakdown["spans"] > 0
+    assert all(breakdown[k] >= 0 for k in
+               ("queue_seconds", "crypto_seconds", "wire_seconds"))
 
 
 def main(argv):
@@ -488,12 +544,12 @@ def main(argv):
         return 0
     quick = "--quick" in argv
     if quick:
-        sweep, best, after, shard_timings = measure_all(
+        sweep, best, after, shard_timings, breakdown = measure_all(
             ping_count=200, submit_total=8_000, shards=False
         )
     else:
-        sweep, best, after, shard_timings = measure_all()
-    table = _render(sweep, best, after, shard_timings)
+        sweep, best, after, shard_timings, breakdown = measure_all()
+    table = _render(sweep, best, after, shard_timings, breakdown)
     print(table)
     publish("net_throughput", table)
     if quick:
@@ -519,6 +575,11 @@ def main(argv):
             after["tuples_per_s_tcp"] / PR3_BASELINE["tuples_per_s_tcp"], 3
         ),
     }
+    if breakdown is not None:
+        payload["span_breakdown"] = {
+            k: round(v, 3) if isinstance(v, float) else v
+            for k, v in sorted(breakdown.items())
+        }
     if shard_timings and shard_timings["fleet_query_s_tcp_shards2"] < (
         shard_timings["fleet_query_s_tcp_shards1"]
     ):

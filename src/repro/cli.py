@@ -10,7 +10,8 @@ Subcommands:
 * ``recommend`` — pick a protocol for a deployment scenario (§6.4);
 * ``serve``     — run the SSI as an asyncio TCP service;
 * ``fleet``     — run a population of TDS clients against a served SSI;
-* ``query``     — post one query to a served SSI and await the result.
+* ``query``     — post one query to a served SSI and await the result;
+* ``stats``     — fetch a served SSI's metrics (Prometheus text form).
 
 ``serve``/``fleet``/``query`` are three independent processes speaking
 the :mod:`repro.net` wire protocol; ``fleet`` and ``query`` must agree
@@ -197,7 +198,14 @@ def _fleet_deployment(args: argparse.Namespace) -> Deployment:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.net.server import SSIDispatcher, SSIServer
+    from repro.obs import spans as obs_spans
+    from repro.obs.http import start_metrics_server
+    from repro.obs.logs import configure_json_logging
     from repro.ssi.server import SupportingServerInfrastructure
+
+    obs_spans.set_process_label("ssi")
+    if args.json_logs:
+        configure_json_logging()
 
     async def _serve() -> None:
         dispatcher = SSIDispatcher(
@@ -211,10 +219,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             read_timeout=args.read_timeout,
         )
         await server.start()
+        metrics_server = None
+        if args.metrics_port is not None:
+            metrics_server = await start_metrics_server(
+                host=args.host, port=args.metrics_port
+            )
+            metrics_port = metrics_server.sockets[0].getsockname()[1]
+            print(
+                f"metrics on http://{args.host}:{metrics_port}/metrics",
+                flush=True,
+            )
         print(f"SSI listening on {server.host}:{server.port}", flush=True)
         try:
             await server.serve_forever()
         finally:
+            if metrics_server is not None:
+                metrics_server.close()
+                await metrics_server.wait_closed()
             await server.close()
 
     try:
@@ -247,7 +268,10 @@ def fleet_shard_builder(
 def cmd_fleet(args: argparse.Namespace) -> int:
     from repro.net.fleet import FleetRunner, ShardedFleetRunner
     from repro.net.transport import TCPTransport
+    from repro.obs import spans as obs_spans
     from repro.protocols import build_histogram
+
+    obs_spans.set_process_label("fleet")
 
     def report(stats) -> None:
         print(
@@ -271,6 +295,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                 window=args.window,
                 concurrency=args.concurrency,
                 poll_interval=args.poll_interval,
+                span_export=args.span_export,
             )
             print(
                 f"sharded fleet: {args.tds} TDS across {args.shards} "
@@ -311,6 +336,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("fleet stopped")
+    finally:
+        if args.span_export:
+            with open(f"{args.span_export}.jsonl", "w", encoding="utf-8") as fp:
+                exported = obs_spans.RECORDER.export_jsonl(fp)
+            print(f"spans    : {exported} -> {args.span_export}.jsonl")
     return 0
 
 
@@ -320,8 +350,10 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.net.client import QuerierClient
     from repro.net.frames import QueryMeta
     from repro.net.transport import TCPTransport
+    from repro.obs import spans as obs_spans
     from repro.protocols import ALPHA_OPTIMAL
 
+    obs_spans.set_process_label("querier")
     deployment = _fleet_deployment(args)
     querier = deployment.make_querier()
     # fresh_query_id() is only process-unique; independent `query`
@@ -337,9 +369,16 @@ def cmd_query(args: argparse.Namespace) -> int:
             "partition_timeout": args.partition_timeout,
         },
     )
+    trace_id = obs_spans.derive_trace_id(query_id)
+    root = obs_spans.RECORDER.start(
+        "query", trace_id=trace_id, query_id=query_id, protocol=args.protocol
+    )
 
     async def _run() -> list[dict]:
         client = QuerierClient(TCPTransport(args.host, args.port))
+        client.set_trace_context(
+            obs_spans.TraceContext(trace_id, root.context.span_id)
+        )
         try:
             await client.post_query(envelope, meta=meta)
             result = await client.wait_result(
@@ -349,12 +388,33 @@ def cmd_query(args: argparse.Namespace) -> int:
             await client.close()
         return querier.decrypt_result(result)
 
-    rows = asyncio.run(_run())
+    try:
+        rows = asyncio.run(_run())
+    finally:
+        root.finish()
+        if args.span_export:
+            with open(f"{args.span_export}.jsonl", "w", encoding="utf-8") as fp:
+                obs_spans.RECORDER.export_jsonl(fp)
     print(f"protocol : {args.protocol} (fleet-mode over TCP)")
     print(f"query    : {args.query}")
     print(f"result   : {len(rows)} row(s)")
     for row in sorted(rows, key=str):
         print(f"  {row}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.net.client import AsyncSSIClient
+    from repro.net.transport import TCPTransport
+
+    async def _run() -> str:
+        client = AsyncSSIClient(TCPTransport(args.host, args.port))
+        try:
+            return await client.get_stats()
+        finally:
+            await client.close()
+
+    sys.stdout.write(asyncio.run(_run()))
     return 0
 
 
@@ -407,6 +467,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--read-timeout", type=float, default=30.0,
         help="per-connection idle read timeout in seconds",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="also expose GET /metrics on this HTTP port (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--json-logs", action="store_true",
+        help="emit structured JSON logs (redaction-filtered) on stderr",
+    )
     serve.set_defaults(func=cmd_serve)
 
     fleet = sub.add_parser(
@@ -442,6 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--queries", type=int, default=None,
         help="stop after this many completed queries (default: run forever)",
     )
+    fleet.add_argument(
+        "--span-export", default=None,
+        help="write lifecycle spans to <prefix>[.shardN].jsonl on exit",
+    )
     fleet.set_defaults(func=cmd_fleet)
 
     query = sub.add_parser(
@@ -460,7 +532,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-id", default=None,
         help="explicit query id (default: a fresh globally unique id)",
     )
+    query.add_argument(
+        "--span-export", default=None,
+        help="write the querier-side lifecycle spans to <prefix>.jsonl",
+    )
     query.set_defaults(func=cmd_query)
+
+    stats = sub.add_parser(
+        "stats", help="fetch a served SSI's metrics (Prometheus text form)"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=7464)
+    stats.set_defaults(func=cmd_stats)
 
     return parser
 

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING
 
 from repro.crypto.aes import AES128, evict_schedule
 from repro.crypto.keys import derive_subkey
+from repro.obs import metrics as obs_metrics
 
 if TYPE_CHECKING:
     from repro.crypto.det import DeterministicCipher
@@ -43,6 +44,14 @@ _engines: dict[tuple[bytes, bytes], AES128] = {}
 _hits = 0
 _misses = 0
 
+_LOOKUPS = obs_metrics.REGISTRY.counter(
+    "repro_crypto_cache_lookups_total",
+    "Cipher-engine cache lookups, by outcome.",
+    ("outcome",),
+)
+_c_hits = _LOOKUPS.labels(outcome="hit")
+_c_misses = _LOOKUPS.labels(outcome="miss")
+
 
 def aes_for_subkey(master: bytes, label: bytes) -> AES128:
     """The AES engine for ``derive_subkey(master, label)``, memoized."""
@@ -51,10 +60,12 @@ def aes_for_subkey(master: bytes, label: bytes) -> AES128:
     engine = _engines.get(cache_key)
     if engine is not None:
         _hits += 1
+        _c_hits.inc()
         return engine
     engine = AES128(derive_subkey(master, label))
     with _lock:
         _misses += 1
+        _c_misses.inc()
         if len(_engines) >= _MAX_ENTRIES:
             _engines.clear()
         _engines[cache_key] = engine

@@ -25,6 +25,24 @@ from typing import Awaitable, Callable, Sequence
 from repro.core.messages import EncryptedTuple, EncryptedTupleBlock
 from repro.exceptions import ProtocolError
 from repro.net.client import AsyncSSIClient
+from repro.obs import metrics as obs_metrics
+
+_FLUSHES = obs_metrics.REGISTRY.counter(
+    "repro_batch_flushes_total",
+    "Batch flushes, by what triggered them (size threshold, age, or a "
+    "shutdown/explicit drain).",
+    ("reason",),
+)
+_BATCH_SIZE = obs_metrics.REGISTRY.histogram(
+    "repro_batch_size_tuples",
+    "Tuples per flushed batch.",
+    buckets=obs_metrics.SIZE_BUCKETS,
+)
+
+_c_flush_size = _FLUSHES.labels(reason="size")
+_c_flush_age = _FLUSHES.labels(reason="age")
+_c_flush_drain = _FLUSHES.labels(reason="drain")
+_h_batch_size = _BATCH_SIZE.labels()
 
 
 class _PendingBatch:
@@ -86,12 +104,22 @@ class TupleBatcher:
         future: asyncio.Future[None] = loop.create_future()
         batch.waiters.append(future)
         if len(batch.tuples) >= self.max_tuples:
-            await self.flush(query_id)
+            await self.flush(query_id, reason="size")
         await future
 
-    async def flush(self, query_id: str | None = None) -> None:
+    async def flush(
+        self, query_id: str | None = None, *, reason: str = "drain"
+    ) -> None:
         """Flush one query's batch (or every batch when *query_id* is
-        None) as columnar frames, resolving or failing its waiters."""
+        None) as columnar frames, resolving or failing its waiters.
+        ``reason`` ("size" | "age" | "drain") is recorded per flushed
+        batch so the flush-trigger mix is visible in the metrics."""
+        if reason == "size":
+            flush_counter = _c_flush_size
+        elif reason == "age":
+            flush_counter = _c_flush_age
+        else:
+            flush_counter = _c_flush_drain
         async with self._flush_lock:
             ids = [query_id] if query_id is not None else list(self._pending)
             for qid in ids:
@@ -109,6 +137,8 @@ class TupleBatcher:
                     raise
                 self.batches_flushed += 1
                 self.tuples_flushed += len(batch.tuples)
+                flush_counter.inc()
+                _h_batch_size.observe(len(batch.tuples))
                 for waiter in batch.waiters:
                     if not waiter.done():
                         waiter.set_result(None)
@@ -128,7 +158,7 @@ class TupleBatcher:
             ]
             for qid in stale:
                 try:
-                    await self.flush(qid)
+                    await self.flush(qid, reason="age")
                 except Exception:
                     pass  # reported through the batch's waiters
         await self.drain()

@@ -47,6 +47,8 @@ from repro.exceptions import (
 )
 from repro.net import frames
 from repro.net.frames import QueryMeta, Reader, WorkUnit, Writer
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import TraceContext
 
 if TYPE_CHECKING:  # transport.py imports this module (RemoteSSI wiring)
     from repro.net.transport import Transport
@@ -57,6 +59,21 @@ _CODE_TO_EXC: dict[int, type[ProtocolError]] = {
     frames.ERR_RESULT_NOT_READY: ResultNotReadyError,
     frames.ERR_BACKPRESSURE: BackpressureError,
 }
+
+_RETRIES = obs_metrics.REGISTRY.counter(
+    "repro_client_retries_total",
+    "Client-side request retries, by what triggered them.",
+    ("reason",),
+)
+_TIMEOUTS = obs_metrics.REGISTRY.counter(
+    "repro_client_request_timeouts_total",
+    "Requests abandoned mid-flight on timeout (each abandons its "
+    "correlation id on a pipelined transport).",
+)
+_c_retry_timeout = _RETRIES.labels(reason="timeout")
+_c_retry_transport = _RETRIES.labels(reason="transport")
+_c_retry_backpressure = _RETRIES.labels(reason="backpressure")
+_c_timeouts = _TIMEOUTS.labels()
 
 
 @dataclass(frozen=True)
@@ -103,15 +120,86 @@ class AsyncSSIClient:
         # bytes of the original, so the server can drop replays.
         self._client_id = f"{self._rng.getrandbits(64):016x}"
         self._seq = 0
+        # Version negotiation state.  Until hello() has run, requests are
+        # encoded at the floor version (every supported peer parses it);
+        # hello upgrades the connection to min(ours, theirs) and learns
+        # the peer's capability bits — a pre-v4 peer answers hello with
+        # ERR_UNKNOWN_OP, which settles the connection on v3/no-caps.
+        self._wire_version = frames.MIN_PROTOCOL_VERSION
+        self._peer_caps = 0
+        self._hello_done = False
+        #: trace context attached (as the v4 EXT_TRACE extension) to
+        #: every request once negotiated; None = no propagation.
+        self.trace_context: TraceContext | None = None
 
     async def close(self) -> None:
         await self.transport.close()
 
     # ------------------------------------------------------------------ #
+    # version/capability handshake (wire v4)
+    # ------------------------------------------------------------------ #
+    def set_trace_context(self, context: TraceContext | None) -> None:
+        """Propagate *context* with every subsequent request.  Triggers a
+        lazy hello() on the next call so a v3 peer is never sent a v4
+        frame it cannot parse."""
+        self.trace_context = context
+
+    async def hello(self) -> tuple[int, int]:
+        """Negotiate (version, capabilities) with the peer; idempotent."""
+        if self._hello_done:
+            return self._wire_version, self._peer_caps
+        w = Writer()
+        frames.write_hello(w, frames.PROTOCOL_VERSION, frames.CAPABILITIES)
+        request = frames.pack_frame(
+            frames.MSG_HELLO, w.getvalue(), version=frames.MIN_PROTOCOL_VERSION
+        )
+        try:
+            r = await self._send(request)
+            peer_version, peer_caps = frames.read_hello(r)
+            r.expect_end()
+            self._wire_version = min(frames.PROTOCOL_VERSION, peer_version)
+            if self._wire_version < frames.MIN_PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"peer speaks protocol {peer_version}, below our floor "
+                    f"{frames.MIN_PROTOCOL_VERSION}"
+                )
+            self._peer_caps = peer_caps
+        except (UnknownQueryError, DuplicateQueryError, ResultNotReadyError):
+            raise  # impossible for hello; don't mask a server bug
+        except ProtocolError:
+            # ERR_UNKNOWN_OP from a pre-v4 peer: settle on the floor.
+            self._wire_version = frames.MIN_PROTOCOL_VERSION
+            self._peer_caps = 0
+        self._hello_done = True
+        return self._wire_version, self._peer_caps
+
+    async def get_stats(self) -> str:
+        """Fetch the SSI's metrics in Prometheus text form (v4 peers)."""
+        r = await self._call(frames.MSG_GET_STATS, b"")
+        text = r.text()
+        r.expect_end()
+        return text
+
+    # ------------------------------------------------------------------ #
     # core call loop: timeout -> typed error mapping -> bounded retry
     # ------------------------------------------------------------------ #
     async def _call(self, msg_type: int, payload: bytes) -> Reader:
-        request = frames.pack_frame(msg_type, payload)
+        extensions: tuple[tuple[int, bytes], ...] = ()
+        if self.trace_context is not None:
+            if not self._hello_done:
+                await self.hello()
+            if self._wire_version >= 4 and (
+                self._peer_caps & frames.CAP_TRACE_CONTEXT
+            ):
+                extensions = (
+                    (frames.EXT_TRACE, self.trace_context.to_wire()),
+                )
+        request = frames.pack_frame(
+            msg_type, payload, version=self._wire_version, extensions=extensions
+        )
+        return await self._send(request)
+
+    async def _send(self, request: bytes) -> Reader:
         attempt = 0
         while True:
             try:
@@ -128,9 +216,16 @@ class AsyncSSIClient:
                     # reset() is a no-op; transports without response
                     # routing use it to discard connection state so the
                     # retry starts on a clean stream.
+                    _c_timeouts.inc()
                     await self.transport.reset()
                 if attempt >= self.policy.max_retries:
                     raise
+                if isinstance(exc, asyncio.TimeoutError):
+                    _c_retry_timeout.inc()
+                elif isinstance(exc, BackpressureError):
+                    _c_retry_backpressure.inc()
+                else:
+                    _c_retry_transport.inc()
                 await self._sleep(self.policy.delay(attempt, self._rng))
                 attempt += 1
                 self.retries += 1

@@ -23,6 +23,7 @@ import logging
 import multiprocessing
 import os
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Sequence
 
@@ -34,12 +35,36 @@ from repro.net.client import RetryPolicy, TDSClient
 from repro.net.coordinator import SUPPORTED_PROTOCOLS
 from repro.net.frames import QueryMeta, WorkUnit
 from repro.net.transport import TCPTransport, Transport
+from repro.obs import logs as obs_logs
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.simulation.failures import FailureInjector
 from repro.sql.ast import SelectStatement
 from repro.tds.histogram import EquiDepthHistogram
 from repro.tds.node import TrustedDataServer
 
 logger = logging.getLogger(__name__)
+
+_CONTRIBUTIONS = obs_metrics.REGISTRY.counter(
+    "repro_fleet_contributions_total",
+    "Successful per-device tuple contributions, by shard.",
+    ("shard",),
+)
+_TUPLES_SUBMITTED = obs_metrics.REGISTRY.counter(
+    "repro_fleet_tuples_submitted_total",
+    "Encrypted tuples submitted by fleet devices, by shard.",
+    ("shard",),
+)
+_PARTITIONS = obs_metrics.REGISTRY.counter(
+    "repro_fleet_partitions_total",
+    "Partition work units processed by fleet devices, by shard.",
+    ("shard",),
+)
+_PROTOCOL_ERRORS = obs_metrics.REGISTRY.counter(
+    "repro_fleet_protocol_errors_total",
+    "ProtocolErrors absorbed by the per-device poll loop, by shard.",
+    ("shard",),
+)
 
 
 @dataclass
@@ -88,6 +113,7 @@ class FleetRunner:
         batch_size: int = 0,
         batch_flush_interval: float = 0.02,
         close_no_size_queries: bool = True,
+        shard_label: str = "local",
         rng: random.Random | None = None,
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
     ) -> None:
@@ -112,6 +138,12 @@ class FleetRunner:
         #: shard workers set this False: their device subset must not close
         #: a no-SIZE collection other shards are still contributing to
         self.close_no_size_queries = close_no_size_queries
+        #: labels this runner's samples in the per-shard metric families
+        self.shard_label = shard_label
+        self._c_contributions = _CONTRIBUTIONS.labels(shard=shard_label)
+        self._c_tuples = _TUPLES_SUBMITTED.labels(shard=shard_label)
+        self._c_partitions = _PARTITIONS.labels(shard=shard_label)
+        self._c_protocol_errors = _PROTOCOL_ERRORS.labels(shard=shard_label)
         self.stats = FleetStats()
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
@@ -189,11 +221,20 @@ class FleetRunner:
                 except ProtocolError as exc:
                     # e.g. a typed server error outside the handled set;
                     # log and keep polling — one bad exchange must not
-                    # silently retire the worker for the whole run.
-                    logger.warning(
-                        "tds %s: protocol error (continuing): %s",
-                        tds.tds_id,
-                        exc,
+                    # silently retire the worker for the whole run.  The
+                    # structured fields (tds_id, cumulative retry count,
+                    # shard) make a stalled shard diagnosable from one
+                    # line; str(exc) is a typed wire-error message, never
+                    # payload bytes.
+                    self._c_protocol_errors.inc()
+                    obs_logs.log_event(
+                        logger,
+                        "fleet_protocol_error",
+                        level=logging.WARNING,
+                        tds_id=tds.tds_id,
+                        shard=self.shard_label,
+                        retries=client.retries,
+                        error=str(exc),
                     )
                 await self._sleep(self.poll_interval)
         finally:
@@ -243,7 +284,16 @@ class FleetRunner:
         meta: QueryMeta,
     ) -> None:
         assert self._semaphore is not None
+        span = obs_spans.RECORDER.start(
+            "contribution",
+            trace_id=obs_spans.derive_trace_id(envelope.query_id),
+            tds_id=tds.tds_id,
+            shard=self.shard_label,
+        )
+        queued = time.perf_counter()
         async with self._semaphore:
+            queue_seconds = time.perf_counter() - queued
+            crypto_started = time.perf_counter()
             if meta.protocol == "s_agg":
                 tuples = tds.collect_for_sagg(envelope)
             elif meta.protocol == "ed_hist":
@@ -253,16 +303,28 @@ class FleetRunner:
                     )
                 tuples = tds.collect_for_histogram(envelope, self.histogram)
             else:  # pragma: no cover - filtered by SUPPORTED_PROTOCOLS
+                span.finish()
                 return
+            crypto_seconds = time.perf_counter() - crypto_started
+            wire_started = time.perf_counter()
             if self._batcher is None:
                 await client.submit_tuples(envelope.query_id, tuples)
         if self._batcher is not None:
             # Awaited outside the semaphore: a waiter parked on a batch
             # ack must not pin a concurrency slot for up to max_delay.
             await self._batcher.submit(envelope.query_id, tuples)
+        span.annotate(
+            count=len(tuples),
+            queue_seconds=round(queue_seconds, 6),
+            crypto_seconds=round(crypto_seconds, 6),
+            wire_seconds=round(time.perf_counter() - wire_started, 6),
+        )
+        span.finish()
         self.stats.contributions += 1
         self.stats.tuples_submitted += len(tuples)
         self.stats.participants.add(tds.tds_id)
+        self._c_contributions.inc()
+        self._c_tuples.inc(len(tuples))
         self._contributed.setdefault(envelope.query_id, set()).add(tds.tds_id)
 
     async def _process_unit(
@@ -284,7 +346,18 @@ class FleetRunner:
         if statement is None:
             statement = tds.open_query(envelope)
             statements[unit.query_id] = statement
+        span = obs_spans.RECORDER.start(
+            "partition",
+            trace_id=obs_spans.derive_trace_id(unit.query_id),
+            tds_id=tds.tds_id,
+            shard=self.shard_label,
+            partition_id=unit.partition_id,
+            kind=unit.kind,
+        )
+        queued = time.perf_counter()
         async with self._semaphore:
+            queue_seconds = time.perf_counter() - queued
+            crypto_started = time.perf_counter()
             if unit.kind == frames.WORK_FOLD:
                 partials = [tds.aggregate_partition(statement, partition)]
                 rows = None
@@ -295,7 +368,10 @@ class FleetRunner:
                 partials = None
                 rows = tds.finalize_partition(statement, partition)
             else:  # pragma: no cover - validated at decode time
+                span.finish()
                 raise ProtocolError(f"unknown work kind {unit.kind}")
+            crypto_seconds = time.perf_counter() - crypto_started
+            wire_started = time.perf_counter()
             await client.submit_partition_result(
                 unit.query_id,
                 unit.partition_id,
@@ -303,8 +379,16 @@ class FleetRunner:
                 partials=partials,
                 rows=rows,
             )
+        span.annotate(
+            count=len(partition.items),
+            queue_seconds=round(queue_seconds, 6),
+            crypto_seconds=round(crypto_seconds, 6),
+            wire_seconds=round(time.perf_counter() - wire_started, 6),
+        )
+        span.finish()
         self.stats.partitions_processed += 1
         self.stats.participants.add(tds.tds_id)
+        self._c_partitions.inc()
 
     async def _inject_fault(self, client: TDSClient) -> None:
         """The §3.2 failure, on a real wire: go silent mid-partition."""
@@ -377,6 +461,10 @@ class ShardSpec:
     concurrency: int = 8
     poll_interval: float = 0.02
     until_queries_done: int | None = None
+    #: when set, the worker writes its span log to
+    #: ``{span_export}.shard{index}.jsonl`` on exit (spans otherwise die
+    #: with the process)
+    span_export: str | None = None
 
 
 def resolve_builder(spec: str) -> Callable[..., tuple]:
@@ -404,6 +492,7 @@ def run_shard(spec: ShardSpec) -> dict[str, object]:
     shard = list(tds_list)[spec.shard_index :: spec.shard_count]
     if not shard:
         return _stats_to_dict(FleetStats())
+    obs_spans.set_process_label(f"fleet-{spec.shard_index}")
 
     async def main() -> FleetStats:
         runner = FleetRunner(
@@ -418,11 +507,17 @@ def run_shard(spec: ShardSpec) -> dict[str, object]:
             # about the other shards; only the SSI (SIZE clause) may
             # close a sharded collection.
             close_no_size_queries=False,
+            shard_label=f"shard{spec.shard_index}",
             rng=random.Random(spec.seed),
         )
         return await runner.run(spec.until_queries_done)
 
-    return _stats_to_dict(asyncio.run(main()))
+    stats = _stats_to_dict(asyncio.run(main()))
+    if spec.span_export is not None:
+        path = f"{spec.span_export}.shard{spec.shard_index}.jsonl"
+        with open(path, "w", encoding="utf-8") as fp:
+            obs_spans.RECORDER.export_jsonl(fp)
+    return stats
 
 
 def _stats_to_dict(stats: FleetStats) -> dict[str, object]:
@@ -463,6 +558,7 @@ class ShardedFleetRunner:
         window: int = 32,
         concurrency: int = 8,
         poll_interval: float = 0.02,
+        span_export: str | None = None,
     ) -> None:
         if shards is None:
             shards = os.cpu_count() or 1
@@ -480,6 +576,7 @@ class ShardedFleetRunner:
         self.window = window
         self.concurrency = concurrency
         self.poll_interval = poll_interval
+        self.span_export = span_export
 
     def specs(self, until_queries_done: int | None = None) -> list[ShardSpec]:
         rng = random.Random(self.seed)
@@ -498,6 +595,7 @@ class ShardedFleetRunner:
                 concurrency=self.concurrency,
                 poll_interval=self.poll_interval,
                 until_queries_done=until_queries_done,
+                span_export=self.span_export,
             )
             for index in range(self.shards)
         ]

@@ -45,13 +45,25 @@ from repro.exceptions import FrameTooLargeError, ProtocolError
 #: protocol version spoken by this build; bumped on incompatible changes
 #: (v2: mutating requests carry a client-id + sequence idempotency key;
 #: v3: frames carry a correlation id for pipelined RPC, and tuples may
-#: travel as columnar MSG_SUBMIT_TUPLES_BATCH blocks)
-PROTOCOL_VERSION = 3
+#: travel as columnar MSG_SUBMIT_TUPLES_BATCH blocks;
+#: v4: an optional extension block follows the fixed header — currently
+#: carrying trace context — plus MSG_HELLO capability negotiation and
+#: MSG_GET_STATS)
+PROTOCOL_VERSION = 4
+
+#: oldest version this build still accepts; peers speaking it simply
+#: never carry extensions.  MSG_HELLO is always encoded at this version
+#: so that *any* peer can parse the handshake frame itself.
+MIN_PROTOCOL_VERSION = 3
 
 #: bytes of the length prefix preceding every frame body
 LENGTH_PREFIX_BYTES = 4
 
-#: fixed body header: version (1) + msg type (1) + correlation id (4)
+#: fixed body header: version (1) + msg type (1) + correlation id (4).
+#: In v4 an extension block (u8 count, then per-extension u8 type +
+#: u16 BE length + bytes) sits between this header and the payload; the
+#: correlation id stays at a fixed offset so response routing and the
+#: transport's in-place corr-id rewrite are version-independent.
 BODY_HEADER_BYTES = 6
 
 #: the smallest well-formed frame on the wire (prefix + body header)
@@ -92,11 +104,30 @@ MSG_FETCH_PARTITION = 0x10
 MSG_SUBMIT_PARTITION_RESULT = 0x11
 MSG_PING = 0x12
 MSG_SUBMIT_TUPLES_BATCH = 0x13
+MSG_GET_STATS = 0x14
+MSG_HELLO = 0x15
 
 MSG_OK = 0x40
 MSG_ERROR = 0x41
 
-REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_SUBMIT_TUPLES_BATCH + 1))
+REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_HELLO + 1))
+
+# --------------------------------------------------------------------- #
+# v4 frame extensions + capability flags
+# --------------------------------------------------------------------- #
+#: extension carrying a 16-byte trace context (u64 trace id + u64 span
+#: id, big-endian); see repro.obs.spans.TraceContext
+EXT_TRACE = 0x01
+
+#: ceiling on extensions per frame (a routing header, not a data lane)
+MAX_EXTENSIONS = 8
+
+#: capability bits exchanged in MSG_HELLO
+CAP_TRACE_CONTEXT = 1 << 0
+CAP_STATS = 1 << 1
+
+#: everything this build implements
+CAPABILITIES = CAP_TRACE_CONTEXT | CAP_STATS
 
 # --------------------------------------------------------------------- #
 # wire-level error codes (satellite: typed errors, no tracebacks)
@@ -297,35 +328,109 @@ class Reader:
 # --------------------------------------------------------------------- #
 # frame layer
 # --------------------------------------------------------------------- #
-def pack_frame(msg_type: int, payload: bytes, correlation_id: int = 0) -> bytes:
-    """Length-prefixed frame: header + version + type + corr id + payload."""
-    body_len = BODY_HEADER_BYTES + len(payload)
-    if body_len > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES")
+def pack_frame(
+    msg_type: int,
+    payload: bytes,
+    correlation_id: int = 0,
+    version: int = PROTOCOL_VERSION,
+    extensions: tuple[tuple[int, bytes], ...] | list[tuple[int, bytes]] = (),
+) -> bytes:
+    """Length-prefixed frame: header + version + type + corr id
+    [+ v4 extension block] + payload.
+
+    ``extensions`` is a sequence of ``(ext_type, raw_bytes)`` pairs;
+    only encodable at ``version >= 4`` (a v3 frame cannot carry them).
+    """
+    if not MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION:
+        raise ProtocolError(f"cannot encode protocol version {version}")
     if not 0 <= correlation_id <= MAX_CORRELATION_ID:
         raise ProtocolError(f"correlation id {correlation_id} out of range")
+    ext_block = b""
+    if version >= 4:
+        if len(extensions) > MAX_EXTENSIONS:
+            raise ProtocolError(
+                f"{len(extensions)} extensions exceed the per-frame limit"
+            )
+        parts = [struct.pack(">B", len(extensions))]
+        for ext_type, raw in extensions:
+            if not 0 <= ext_type <= 0xFF:
+                raise ProtocolError(f"extension type {ext_type} out of range")
+            if len(raw) > 0xFFFF:
+                raise ProtocolError(
+                    f"extension of {len(raw)} bytes exceeds the u16 limit"
+                )
+            parts.append(struct.pack(">BH", ext_type, len(raw)))
+            parts.append(raw)
+        ext_block = b"".join(parts)
+    elif extensions:
+        raise ProtocolError(f"protocol version {version} cannot carry extensions")
+    body_len = BODY_HEADER_BYTES + len(ext_block) + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES")
     return (
-        struct.pack(">I", body_len)
-        + struct.pack(">BBI", PROTOCOL_VERSION, msg_type, correlation_id)
+        struct.pack(">IBBI", body_len, version, msg_type, correlation_id)
+        + ext_block
         + payload
     )
 
 
-def unpack_frame_body(body: bytes) -> tuple[int, int, Reader]:
-    """Split a frame body into (msg_type, correlation_id, payload reader),
-    checking the protocol version."""
+#: Shared read-only dict returned for frames with no extension block —
+#: the overwhelmingly common case; never mutate it.
+_NO_EXTENSIONS: dict[int, bytes] = {}
+
+
+def unpack_frame_ext(
+    body: bytes,
+) -> tuple[int, int, int, dict[int, bytes], Reader]:
+    """Split a frame body into (version, msg_type, correlation_id,
+    extensions, payload reader), checking the protocol version range.
+
+    Unknown extension types are length-validated and ignored (carried in
+    the returned dict for the caller to consult); a duplicated extension
+    type keeps the first occurrence.
+    """
     if len(body) < 2:
         raise ProtocolError("frame body shorter than its fixed header")
     version, msg_type = body[0], body[1]
-    if version != PROTOCOL_VERSION:
+    if not MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION:
         raise ProtocolError(
             f"unsupported protocol version {version} (speaking "
-            f"{PROTOCOL_VERSION})",
+            f"{MIN_PROTOCOL_VERSION}..{PROTOCOL_VERSION})",
         )
     if len(body) < BODY_HEADER_BYTES:
         raise ProtocolError("frame body shorter than its fixed header")
     correlation_id = int.from_bytes(body[2:BODY_HEADER_BYTES], "big")
-    return msg_type, correlation_id, Reader(body[BODY_HEADER_BYTES:])
+    pos = BODY_HEADER_BYTES
+    extensions = _NO_EXTENSIONS
+    if version >= 4:
+        if len(body) < pos + 1:
+            raise ProtocolError("v4 frame body missing its extension count")
+        ext_count = body[pos]
+        pos += 1
+        if ext_count:
+            extensions = {}
+        if ext_count > MAX_EXTENSIONS:
+            raise ProtocolError(
+                f"{ext_count} extensions exceed the per-frame limit"
+            )
+        for _ in range(ext_count):
+            if len(body) < pos + 3:
+                raise ProtocolError("truncated frame extension header")
+            ext_type = body[pos]
+            ext_len = int.from_bytes(body[pos + 1 : pos + 3], "big")
+            pos += 3
+            if len(body) < pos + ext_len:
+                raise ProtocolError("truncated frame extension body")
+            extensions.setdefault(ext_type, bytes(body[pos : pos + ext_len]))
+            pos += ext_len
+    return version, msg_type, correlation_id, extensions, Reader(body[pos:])
+
+
+def unpack_frame_body(body: bytes) -> tuple[int, int, Reader]:
+    """Back-compat view of :func:`unpack_frame_ext`: (msg_type,
+    correlation_id, payload reader), extensions dropped."""
+    _, msg_type, correlation_id, _, reader = unpack_frame_ext(body)
+    return msg_type, correlation_id, reader
 
 
 def peek_correlation_id(body: bytes) -> int:
@@ -575,4 +680,28 @@ def pack_error(code: int, message: str, correlation_id: int = 0) -> bytes:
     w = Writer()
     w.u8(code)
     w.text(message)
-    return pack_frame(MSG_ERROR, w.getvalue(), correlation_id)
+    # Errors are encoded at the floor version: every peer must be able
+    # to parse a rejection, whatever version its request spoke.
+    return pack_frame(
+        MSG_ERROR, w.getvalue(), correlation_id, version=MIN_PROTOCOL_VERSION
+    )
+
+
+# --------------------------------------------------------------------- #
+# capability handshake (v4)
+# --------------------------------------------------------------------- #
+def write_hello(w: Writer, max_version: int, capabilities: int) -> None:
+    """HELLO payload: the sender's best version + capability bitmask.
+
+    The HELLO *frame* is always packed at :data:`MIN_PROTOCOL_VERSION`
+    so a peer of any supported vintage can parse it; a pre-v4 peer
+    answers ``ERR_UNKNOWN_OP`` for the unknown msg type, which the
+    client treats as "settle on v3, no capabilities"."""
+    w.u8(max_version)
+    w.u32(capabilities)
+
+
+def read_hello(r: Reader) -> tuple[int, int]:
+    max_version = r.u8()
+    capabilities = r.u32()
+    return max_version, capabilities

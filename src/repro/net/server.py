@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import time
 from typing import Awaitable, Callable
 
 from repro.core.messages import EncryptedTupleBlock
@@ -39,9 +40,104 @@ from repro.exceptions import (
 from repro.net import frames
 from repro.net.coordinator import SUPPORTED_PROTOCOLS, QueryCoordinator
 from repro.net.frames import QueryMeta, Reader, Writer
+from repro.obs import logs as obs_logs
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.ssi.server import SupportingServerInfrastructure
 
 logger = logging.getLogger(__name__)
+
+# --------------------------------------------------------------------- #
+# instruments (declared once at import; children resolved up front so
+# the dispatch hot path is a plain `+=`)
+# --------------------------------------------------------------------- #
+_REQUESTS = obs_metrics.REGISTRY.counter(
+    "repro_ssi_requests_total",
+    "Requests dispatched by the SSI, by message type and outcome.",
+    ("msg_type", "outcome"),
+)
+_REQUEST_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_ssi_request_seconds",
+    "Wall time spent inside SSIDispatcher.dispatch, by message type.",
+    ("msg_type",),
+)
+_BACKPRESSURE = obs_metrics.REGISTRY.counter(
+    "repro_ssi_backpressure_total",
+    "Submissions rejected because a per-query queue was full.",
+)
+_REPLAYS = obs_metrics.REGISTRY.counter(
+    "repro_ssi_replays_total",
+    "Mutating requests dropped as idempotent replays.",
+)
+_INTERNAL_ERRORS = obs_metrics.REGISTRY.counter(
+    "server_internal_errors_total",
+    "Unhandled exceptions answered as ERR_INTERNAL, by message type.",
+    ("msg_type",),
+)
+_FRAMES = obs_metrics.REGISTRY.counter(
+    "repro_ssi_frames_total",
+    "Frames crossing SSI TCP connections, by direction.",
+    ("direction",),
+)
+_BYTES = obs_metrics.REGISTRY.counter(
+    "repro_ssi_bytes_total",
+    "Bytes crossing SSI TCP connections (incl. length prefix), by direction.",
+    ("direction",),
+)
+_CONNECTIONS_OPEN = obs_metrics.REGISTRY.gauge(
+    "repro_ssi_connections_open",
+    "Currently open SSI TCP connections.",
+)
+_CONNECTIONS_TOTAL = obs_metrics.REGISTRY.counter(
+    "repro_ssi_connections_total",
+    "SSI TCP connections accepted since process start.",
+)
+_INFLIGHT = obs_metrics.REGISTRY.gauge(
+    "repro_ssi_inflight_requests",
+    "Requests currently being handled across all connections.",
+)
+
+_c_backpressure = _BACKPRESSURE.labels()
+_c_replays = _REPLAYS.labels()
+
+
+def _per_name(metric, **fixed):
+    """Lazily cache one labelled child per message-type name.
+
+    ``labels(**kwargs)`` costs ~1.7µs (key build + validation); at
+    dispatch rates that is measurable, so the ok/latency instruments on
+    the hot path resolve their child through a plain dict instead."""
+    cache: dict[str, object] = {}
+
+    def resolve(name: str):
+        child = cache.get(name)
+        if child is None:
+            child = cache[name] = metric.labels(msg_type=name, **fixed)
+        return child
+
+    return resolve
+
+
+_req_ok = _per_name(_REQUESTS, outcome="ok")
+_req_seconds = _per_name(_REQUEST_SECONDS)
+_c_frames_in = _FRAMES.labels(direction="in")
+_c_frames_out = _FRAMES.labels(direction="out")
+_c_bytes_in = _BYTES.labels(direction="in")
+_c_bytes_out = _BYTES.labels(direction="out")
+_g_connections = _CONNECTIONS_OPEN.labels()
+_c_connections = _CONNECTIONS_TOTAL.labels()
+_g_inflight = _INFLIGHT.labels()
+
+#: msg-type byte -> stable lowercase label ("post_query", "ping", ...)
+_MSG_NAMES = {
+    value: name[len("MSG_") :].lower()
+    for name, value in vars(frames).items()
+    if name.startswith("MSG_") and isinstance(value, int)
+}
+
+
+def _msg_name(msg_type: int) -> str:
+    return _MSG_NAMES.get(msg_type, f"0x{msg_type:02x}")
 
 #: exception -> wire error code (the typed-error satellite)
 _ERROR_CODES: tuple[tuple[type[ProtocolError], int], ...] = (
@@ -109,6 +205,11 @@ class SSIDispatcher:
         self._applied_ahead: dict[str, set[int]] = {}
         #: test hook — while True, submissions buffer instead of applying
         self.drain_paused = False
+        #: query id of the request currently being decoded/handled;
+        #: written only inside the synchronous _handle call, so the
+        #: value is coherent when the error path reads it (the event
+        #: loop cannot interleave another dispatch in between).
+        self._ctx_query_id: str | None = None
 
     # ------------------------------------------------------------------ #
     def _now(self) -> float:
@@ -118,50 +219,104 @@ class SSIDispatcher:
 
     async def dispatch(self, body: bytes) -> bytes:
         """One request frame body in, one response frame out.  Responses
-        echo the request's correlation id so a pipelining client can
-        route them; a body too malformed to carry one answers on the
+        echo the request's correlation id *and protocol version* so a
+        pipelining client routes them and a v3 peer never sees a v4
+        body; a body too malformed to carry an id answers on the
         connection-scoped id 0."""
+        started = time.perf_counter()
         try:
-            msg_type, corr, reader = frames.unpack_frame_body(body)
+            version, msg_type, corr, exts, reader = frames.unpack_frame_ext(body)
         except ProtocolError as exc:
+            _REQUESTS.labels(msg_type="unparsed", outcome="malformed").inc()
             return frames.pack_error(
                 frames.ERR_MALFORMED, str(exc), frames.peek_correlation_id(body)
             )
+        name = _msg_name(msg_type)
         if msg_type not in frames.REQUEST_TYPES:
+            _REQUESTS.labels(msg_type=name, outcome="unknown_op").inc()
             return frames.pack_error(
                 frames.ERR_UNKNOWN_OP,
                 f"unknown request type 0x{msg_type:02x}",
                 corr,
             )
+        trace = obs_spans.TraceContext.from_wire(exts[frames.EXT_TRACE]) \
+            if frames.EXT_TRACE in exts else None
+        self._ctx_query_id = None
         try:
             payload = self._handle(msg_type, reader)
         except (DuplicateQueryError, UnknownQueryError, ResultNotReadyError,
                 BackpressureError) as exc:
-            return frames.pack_error(_error_code(exc), str(exc), corr)
+            code = _error_code(exc)
+            if code == frames.ERR_BACKPRESSURE:
+                _c_backpressure.inc()
+            _REQUESTS.labels(msg_type=name, outcome=f"err_{code}").inc()
+            return frames.pack_error(code, str(exc), corr)
         except ProtocolError as exc:
             # Includes payload-decoding failures: report them as malformed
             # rather than internal.
+            _REQUESTS.labels(msg_type=name, outcome="malformed").inc()
             return frames.pack_error(frames.ERR_MALFORMED, str(exc), corr)
         except Exception:
             # Never leak a traceback across the transport (satellite).
-            logger.exception("internal error handling request 0x%02x", msg_type)
+            # The structured log carries the request's query context —
+            # query_id/corr_id/msg_type — so the failing query is
+            # identifiable from the SSI log alone; the redaction layer
+            # guarantees no request bytes reach the record.
+            _INTERNAL_ERRORS.labels(msg_type=name).inc()
+            obs_logs.log_event(
+                logger,
+                "server_internal_error",
+                level=logging.ERROR,
+                exc_info=True,
+                query_id=self._ctx_query_id,
+                corr_id=corr,
+                msg_type=name,
+            )
             return frames.pack_error(
                 frames.ERR_INTERNAL, "internal server error (see SSI logs)", corr
             )
-        return frames.pack_frame(frames.MSG_OK, payload, corr)
+        finally:
+            _req_seconds(name).observe(time.perf_counter() - started)
+        _req_ok(name).inc()
+        if trace is not None and self._ctx_query_id is not None:
+            # Exact cross-process parent link for wire-propagated traces
+            # (v4 peers); v3 peers fall back to the derived trace id.
+            self.ssi.lifecycle.adopt(self._ctx_query_id, trace)
+        return frames.pack_frame(frames.MSG_OK, payload, corr, version=version)
 
     # ------------------------------------------------------------------ #
     # request handlers
     # ------------------------------------------------------------------ #
+    def _note_query(self, query_id: str) -> str:
+        """Record the query id a request targets, for error context."""
+        self._ctx_query_id = query_id
+        return query_id
+
     def _handle(self, msg_type: int, r: Reader) -> bytes:
         w = Writer()
         if msg_type == frames.MSG_PING:
             r.expect_end()
             return w.getvalue()
 
+        if msg_type == frames.MSG_HELLO:
+            peer_version, peer_caps = frames.read_hello(r)
+            r.expect_end()
+            del peer_version, peer_caps  # symmetric: we only advertise ours
+            frames.write_hello(w, frames.PROTOCOL_VERSION, frames.CAPABILITIES)
+            return w.getvalue()
+
+        if msg_type == frames.MSG_GET_STATS:
+            r.expect_end()
+            # The one canonical serialization: the same Prometheus text
+            # the --metrics-port endpoint serves, so the two surfaces
+            # can never disagree about a counter.
+            w.text(obs_metrics.REGISTRY.render_prometheus())
+            return w.getvalue()
+
         if msg_type == frames.MSG_POST_QUERY:
             client_id, seq = self._read_idem(r)
             envelope = frames.read_envelope(r)
+            self._note_query(envelope.query_id)
             tds_id = r.opt_text()
             meta = frames.read_meta(r)
             r.expect_end()
@@ -186,7 +341,7 @@ class SSIDispatcher:
             return w.getvalue()
 
         if msg_type == frames.MSG_FETCH_QUERY:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             envelope = self.ssi.envelope(query_id)
             frames.write_envelope(w, envelope)
@@ -204,7 +359,7 @@ class SSIDispatcher:
 
         if msg_type == frames.MSG_SUBMIT_TUPLES:
             client_id, seq = self._read_idem(r)
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             tuples = frames.read_tuples(r)
             r.expect_end()
             self.ssi.envelope(query_id)  # typed error for unknown ids
@@ -217,7 +372,7 @@ class SSIDispatcher:
 
         if msg_type == frames.MSG_SUBMIT_TUPLES_BATCH:
             client_id, seq = self._read_idem(r)
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             block = frames.read_tuple_block(r)
             r.expect_end()
             self.ssi.envelope(query_id)  # typed error for unknown ids
@@ -230,7 +385,7 @@ class SSIDispatcher:
 
         if msg_type == frames.MSG_SUBMIT_PARTIALS:
             client_id, seq = self._read_idem(r)
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             partials = frames.read_partials(r)
             r.expect_end()
             self.ssi.envelope(query_id)
@@ -242,14 +397,14 @@ class SSIDispatcher:
             return w.getvalue()
 
         if msg_type == frames.MSG_COLLECTED_COUNT:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             self._flush(query_id)
             w.i64(self.ssi.collected_count(query_id))
             return w.getvalue()
 
         if msg_type == frames.MSG_EVALUATE_SIZE:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             elapsed = r.f64()
             r.expect_end()
             self._flush(query_id)
@@ -257,28 +412,28 @@ class SSIDispatcher:
             return w.getvalue()
 
         if msg_type == frames.MSG_CLOSE_COLLECTION:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             self._flush(query_id)
             self.ssi.close_collection(query_id)
             return w.getvalue()
 
         if msg_type == frames.MSG_COVERING_RESULT:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             self._flush(query_id)
             frames.write_items(w, list(self.ssi.covering_result(query_id)))
             return w.getvalue()
 
         if msg_type == frames.MSG_TAKE_PARTIALS:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             self._flush(query_id)
             frames.write_items(w, self.ssi.take_partials(query_id))
             return w.getvalue()
 
         if msg_type == frames.MSG_PARTIAL_COUNT:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             self._flush(query_id)
             w.i64(self.ssi.partial_count(query_id))
@@ -286,7 +441,7 @@ class SSIDispatcher:
 
         if msg_type == frames.MSG_STORE_RESULT_ROWS:
             client_id, seq = self._read_idem(r)
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             rows = frames.read_rows(r)
             r.expect_end()
             if self._replayed(client_id, seq):
@@ -296,31 +451,31 @@ class SSIDispatcher:
             return w.getvalue()
 
         if msg_type == frames.MSG_PUBLISH_RESULT:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             self.ssi.publish_result(query_id)
             return w.getvalue()
 
         if msg_type == frames.MSG_RESULT_READY:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             w.boolean(self.ssi.result_ready(query_id))
             return w.getvalue()
 
         if msg_type == frames.MSG_FETCH_RESULT:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             r.expect_end()
             frames.write_result(w, self.ssi.fetch_result(query_id))
             return w.getvalue()
 
         if msg_type == frames.MSG_FETCH_PARTITION:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             tds_id = r.text()
             r.expect_end()
             return self._fetch_partition(query_id, tds_id)
 
         if msg_type == frames.MSG_SUBMIT_PARTITION_RESULT:
-            query_id = r.text()
+            query_id = self._note_query(r.text())
             partition_id = r.i64()
             tds_id = r.text()
             result_kind = r.u8()
@@ -382,9 +537,12 @@ class SSIDispatcher:
         return client_id, seq
 
     def _replayed(self, client_id: str, seq: int) -> bool:
-        if seq <= self._applied_seq.get(client_id, 0):
-            return True
-        return seq in self._applied_ahead.get(client_id, ())
+        replayed = seq <= self._applied_seq.get(client_id, 0) or (
+            seq in self._applied_ahead.get(client_id, ())
+        )
+        if replayed:
+            _c_replays.inc()
+        return replayed
 
     def _mark_applied(self, client_id: str, seq: int) -> None:
         # Only called once the side effect landed; a request rejected
@@ -501,16 +659,22 @@ class SSIServer:
         write_lock = asyncio.Lock()
         slots = asyncio.Semaphore(self.max_concurrent_requests)
         tasks: set[asyncio.Task[None]] = set()
+        _c_connections.inc()
+        _g_connections.inc()
 
         async def handle(body: bytes) -> None:
+            _g_inflight.inc()
             try:
                 response = await self.dispatcher.dispatch(body)
                 async with write_lock:
                     writer.write(response)
                     await writer.drain()
+                _c_frames_out.inc()
+                _c_bytes_out.inc(len(response))
             except (ConnectionError, ConnectionResetError):
                 pass  # peer went away mid-response; the read loop exits too
             finally:
+                _g_inflight.dec()
                 slots.release()
 
         try:
@@ -546,6 +710,8 @@ class SSIServer:
                         )
                         await writer.drain()
                     return
+                _c_frames_in.inc()
+                _c_bytes_in.inc(frames.LENGTH_PREFIX_BYTES + len(body))
                 # Bounded per-connection task group: when every slot is
                 # busy this stalls the read loop — pipelining backpressure
                 # lands on the socket instead of growing an unbounded
@@ -557,6 +723,7 @@ class SSIServer:
         except ConnectionError:
             return
         finally:
+            _g_connections.dec()
             for task in tasks:
                 task.cancel()
             if tasks:

@@ -33,8 +33,34 @@ from repro.core.messages import (
 from repro.exceptions import ProtocolError, TransportError
 from repro.net import frames
 from repro.net.client import AsyncSSIClient, RetryPolicy
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import TraceContext
 
 T = TypeVar("T")
+
+_CONNECTS = obs_metrics.REGISTRY.counter(
+    "repro_transport_connects_total",
+    "TCP connections established by client transports (first connect "
+    "plus every reconnect-on-drop).",
+)
+_STREAM_FAILURES = obs_metrics.REGISTRY.counter(
+    "repro_transport_stream_failures_total",
+    "Client streams torn down (drop, EOF, framing violation, close).",
+)
+_LATE_RESPONSES = obs_metrics.REGISTRY.counter(
+    "repro_transport_late_responses_total",
+    "Responses dropped because their correlation id was already "
+    "abandoned by a timed-out request.",
+)
+_WINDOW_INUSE = obs_metrics.REGISTRY.gauge(
+    "repro_transport_window_inuse",
+    "Requests currently occupying client send-window slots.",
+)
+
+_c_connects = _CONNECTS.labels()
+_c_stream_failures = _STREAM_FAILURES.labels()
+_c_late_responses = _LATE_RESPONSES.labels()
+_g_window = _WINDOW_INUSE.labels()
 
 DispatchFn = Callable[[bytes], Awaitable[bytes]]
 
@@ -136,6 +162,7 @@ class TCPTransport(Transport):
             self._reader_task = asyncio.create_task(
                 self._read_loop(reader, writer)
             )
+            _c_connects.inc()
 
     async def _read_loop(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -152,6 +179,8 @@ class TCPTransport(Transport):
                 )
                 if future is not None and not future.done():
                     future.set_result(body)
+                else:
+                    _c_late_responses.inc()
         except asyncio.CancelledError:
             raise
         except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
@@ -170,6 +199,8 @@ class TCPTransport(Transport):
         tearing down its successor."""
         if owner is not None and owner is not self._writer:
             return
+        if self._writer is not None:
+            _c_stream_failures.inc()
         self._abort()
         pending, self._pending = self._pending, {}
         for future in pending.values():
@@ -185,33 +216,38 @@ class TCPTransport(Transport):
         if len(message) < frames.MIN_FRAME_BYTES:
             raise TransportError("runt frame")
         async with self._window_sem:  # bounded send window (backpressure)
-            await self._ensure_connected()
-            writer = self._writer
-            assert writer is not None
-            corr = self._next_correlation_id()
-            future: asyncio.Future[bytes] = (
-                asyncio.get_running_loop().create_future()
-            )
-            self._pending[corr] = future
-            framed = bytearray(message)
-            framed[
-                frames.LENGTH_PREFIX_BYTES + 2 : frames.MIN_FRAME_BYTES
-            ] = corr.to_bytes(4, "big")
+            _g_window.inc()
             try:
-                async with self._write_lock:
-                    writer.write(bytes(framed))
-                    await writer.drain()
-                return await future
-            except (ConnectionError, OSError) as exc:
-                self._stream_failed(f"connection to SSI dropped: {exc}")
-                raise TransportError(
-                    f"connection to SSI dropped: {exc}"
-                ) from None
+                await self._ensure_connected()
+                writer = self._writer
+                assert writer is not None
+                corr = self._next_correlation_id()
+                future: asyncio.Future[bytes] = (
+                    asyncio.get_running_loop().create_future()
+                )
+                self._pending[corr] = future
+                framed = bytearray(message)
+                framed[
+                    frames.LENGTH_PREFIX_BYTES + 2 : frames.MIN_FRAME_BYTES
+                ] = corr.to_bytes(4, "big")
+                try:
+                    async with self._write_lock:
+                        writer.write(bytes(framed))
+                        await writer.drain()
+                    return await future
+                except (ConnectionError, OSError) as exc:
+                    self._stream_failed(f"connection to SSI dropped: {exc}")
+                    raise TransportError(
+                        f"connection to SSI dropped: {exc}"
+                    ) from None
+                finally:
+                    # Covers success, stream failure *and* cancellation
+                    # (a request timeout): the correlation id is
+                    # forgotten, so a late response is dropped — the
+                    # stream is NOT reset.
+                    self._pending.pop(corr, None)
             finally:
-                # Covers success, stream failure *and* cancellation (a
-                # request timeout): the correlation id is forgotten, so a
-                # late response is dropped — the stream is NOT reset.
-                self._pending.pop(corr, None)
+                _g_window.dec()
 
     async def drop(self) -> None:
         """Abruptly abandon the current connection (failure injection:
@@ -315,6 +351,18 @@ class RemoteSSI:
     def close(self) -> None:
         self._bridge.run(self._client.close())
         self._bridge.close()
+
+    # -- observability ---------------------------------------------------- #
+    def hello(self) -> tuple[int, int]:
+        """Negotiate wire version/capabilities with the peer SSI."""
+        return self._bridge.run(self._client.hello())
+
+    def stats(self) -> str:
+        """The SSI's metrics in Prometheus text form (MSG_GET_STATS)."""
+        return self._bridge.run(self._client.get_stats())
+
+    def set_trace_context(self, context: TraceContext | None) -> None:
+        self._client.set_trace_context(context)
 
     # -- the SSI surface drivers use ------------------------------------- #
     def post_query(self, envelope: QueryEnvelope, tds_id: str | None = None) -> None:

@@ -1,0 +1,42 @@
+"""repro.obs — privacy-aware observability for the reproduction.
+
+Three pillars, all stdlib-only:
+
+* :mod:`repro.obs.metrics` — process-wide Counter/Gauge/Histogram
+  registries with labels, a lock-free hot path and a Prometheus text
+  exposition writer;
+* :mod:`repro.obs.spans`   — query-lifecycle tracing: one span per
+  protocol phase (collection / aggregation round *k* / filtering) with
+  a trace context that can ride the wire, so the distributed timeline
+  of a query is reconstructable from the merged span logs of the
+  querier, the SSI and the TDS fleet;
+* :mod:`repro.obs.logs`    — structured JSON logging with a redaction
+  discipline: log fields may carry only scalars and ciphertext
+  *lengths*, never payload bytes, plaintext or key material.
+
+The privacy stance is load-bearing, not cosmetic: an instrumented SSI
+is exactly the honest-but-curious adversary of the paper (§5), so
+everything this package is allowed to record is limited to what the
+:class:`~repro.ssi.observer.Observer` model already concedes the SSI
+can see — sizes, tags, counts, timings.  The PL006 lint rule enforces
+the field allowlist statically at every call site.
+"""
+
+from repro.obs import logs, metrics, spans
+from repro.obs.logs import log_event, sanitize_fields
+from repro.obs.metrics import REGISTRY, MetricsRegistry
+from repro.obs.spans import RECORDER, SpanRecorder, TraceContext, derive_trace_id
+
+__all__ = [
+    "logs",
+    "metrics",
+    "spans",
+    "log_event",
+    "sanitize_fields",
+    "REGISTRY",
+    "MetricsRegistry",
+    "RECORDER",
+    "SpanRecorder",
+    "TraceContext",
+    "derive_trace_id",
+]

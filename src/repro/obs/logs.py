@@ -1,0 +1,129 @@
+"""Structured JSON logging with a hard redaction boundary.
+
+Every log line emitted through this module is a single JSON object with
+a fixed envelope (``ts``, ``level``, ``logger``, ``event``) plus
+caller-supplied fields.  Fields pass through :func:`sanitize_fields`
+before serialization:
+
+* scalars (``str``/``int``/``float``/``bool``/``None``) pass through;
+* ``bytes``/``bytearray``/``memoryview`` are replaced by a
+  length-only marker — the *length* of a ciphertext is exactly what the
+  paper's §5 exposure model already concedes to the SSI, the bytes
+  themselves are never serialized;
+* anything else (``TupleContent``, key objects, dataclasses, lists…)
+  is replaced by a type-name marker.  There is deliberately no "repr"
+  escape hatch: an object that wants to be logged must be decomposed
+  into allowlisted scalar fields by the caller.
+
+The static counterpart is lint rule PL006 (tools/privacy_lint), which
+checks at every ``log_event`` call site that field names come from the
+manifest allowlist and that field value expressions never reference
+payload/key material except under ``len(...)``.  Runtime redaction here
+is the backstop for what static analysis cannot see.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "JsonFormatter",
+    "sanitize_fields",
+    "log_event",
+    "configure_json_logging",
+]
+
+_SCALARS = (str, int, float, bool)
+_BYTESY = (bytes, bytearray, memoryview)
+
+#: Attribute name used to carry structured fields on a LogRecord.
+_FIELDS_ATTR = "repro_fields"
+#: Attribute name carrying the short event name on a LogRecord.
+_EVENT_ATTR = "repro_event"
+
+
+def _redact(value: Any) -> Any:
+    if value is None or isinstance(value, _SCALARS):
+        if isinstance(value, float) and (value != value or value in (float("inf"), float("-inf"))):
+            return repr(value)  # NaN/Inf are not valid JSON scalars
+        return value
+    if isinstance(value, _BYTESY):
+        return f"<redacted bytes len={len(value)}>"
+    return f"<redacted {type(value).__name__}>"
+
+
+def sanitize_fields(fields: Mapping[str, Any]) -> Dict[str, Any]:
+    """Return a JSON-safe copy of ``fields`` with non-scalars redacted."""
+    return {str(k): _redact(v) for k, v in fields.items()}
+
+
+class JsonFormatter(logging.Formatter):
+    """Format records as one-line JSON with redacted structured fields.
+
+    Plain (non-``log_event``) records still format safely: their
+    pre-rendered message string becomes the ``event`` field.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = getattr(record, _EVENT_ATTR, None)
+        doc: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": event if event is not None else record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            # Fields were sanitized at log_event() time; sanitize again
+            # here so a record forged without log_event stays safe.
+            doc.update(sanitize_fields(fields))
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exc_type"] = record.exc_info[0].__name__
+        return json.dumps(doc, sort_keys=False, separators=(",", ":"))
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.INFO,
+    exc_info: bool = False,
+    **fields: Any,
+) -> None:
+    """The single structured-logging sink (PL006 applies at call sites).
+
+    ``event`` is a short machine-readable name (``snake_case``); all
+    context travels as keyword fields, which are redacted via
+    :func:`sanitize_fields` before they reach any handler.  Exception
+    text is intentionally *not* interpolated into the message — pass
+    ``exc_info=True`` and the formatter records only the exception
+    type; pass an explicit ``error=str(exc)`` field when the message is
+    known not to carry payload data (e.g. typed wire errors).
+    """
+    if not logger.isEnabledFor(level):
+        return
+    extra = {_FIELDS_ATTR: sanitize_fields(fields), _EVENT_ATTR: event}
+    logger.log(level, event, extra=extra, exc_info=exc_info)
+
+
+def configure_json_logging(
+    level: int = logging.INFO, stream: Optional[Any] = None
+) -> logging.Handler:
+    """Install a JSON handler on the root logger (idempotent-ish).
+
+    Returns the handler so CLI entry points can flush/remove it.  Used
+    by ``repro serve``/``fleet``/``query`` so multi-process demo output
+    stays machine-parseable.
+    """
+    root = logging.getLogger()
+    for existing in root.handlers:
+        if isinstance(existing.formatter, JsonFormatter):
+            root.setLevel(min(root.level or level, level))
+            return existing
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,459 @@
+"""Process-wide metric registries with a Prometheus text writer.
+
+Design constraints, in order:
+
+1. **Hot-path cost.**  The instrumented paths (frame dispatch, tuple
+   batching, AES cache lookups) run hundreds of thousands of times per
+   second in the benchmarks, so an observation must be a handful of
+   Python bytecodes.  Callers are expected to resolve the labelled
+   child *once* (``child = COUNTER.labels(op="submit")``) and then call
+   ``child.inc()`` in the loop: ``inc`` is a plain float ``+=`` with no
+   locking.  Under the GIL an occasional lost update between threads is
+   possible and accepted — these are operational metrics, not ledgers
+   (the accounting invariants of :mod:`repro.core.trace` stay
+   authoritative).  Registry *structure* (creating metrics/children) is
+   lock-protected; only the per-sample mutation is not.
+2. **Test isolation.**  Everything hangs off a registry object;
+   :func:`MetricsRegistry.reset` zeroes samples in place (children keep
+   identity so cached handles in long-lived objects stay valid) and
+   ``snapshot()`` returns plain dicts for assertions.
+3. **Privacy.**  Label *values* pass through the same scalar discipline
+   as log fields (see :mod:`repro.obs.logs`): bytes are refused
+   outright.  Nothing here can serialize tuple payloads.
+
+Exposition follows the Prometheus text format 0.0.4 closely enough for
+real scrapers: ``# HELP`` / ``# TYPE`` lines, label escaping, histogram
+``_bucket``/``_sum``/``_count`` series with cumulative ``le`` buckets.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+LabelValue = Union[str, int, float, bool]
+
+#: Default histogram buckets, tuned for seconds-scale latencies from
+#: sub-millisecond RPCs up to multi-second protocol phases.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: Buckets for size-ish histograms (batch sizes, frame byte counts).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1.0,
+    2.0,
+    4.0,
+    8.0,
+    16.0,
+    32.0,
+    64.0,
+    128.0,
+    256.0,
+    512.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+)
+
+
+def _coerce_label(name: str, value: LabelValue) -> str:
+    """Render a label value as text, refusing non-scalar types.
+
+    Bytes are rejected rather than decoded: a label value must never be
+    able to smuggle ciphertext (let alone plaintext) into exposition
+    output.
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value) if isinstance(value, float) else str(value)
+    if isinstance(value, str):
+        return value
+    raise TypeError(
+        f"label {name!r} must be a str/int/float/bool scalar, "
+        f"got {type(value).__name__}"
+    )
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    if value == as_int:
+        return str(as_int)
+    return repr(value)
+
+
+def _render_labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class _Child:
+    """A single labelled time series. Mutation is the lock-free path."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class CounterChild(_Child):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class GaugeChild(_Child):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class HistogramChild:
+    """Cumulative-bucket histogram; ``observe`` is allocation-free."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1 for the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        i = 0
+        buckets = self.buckets
+        n = len(buckets)
+        while i < n and value > buckets[i]:
+            i += 1
+        self.counts[i] += 1
+        self.sum += value
+        self.count += 1
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+class _Metric:
+    """Shared metric-family plumbing: name, help, labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, label_names: Tuple[str, ...]):
+        _validate_metric_name(name)
+        for label in label_names:
+            _validate_label_name(label)
+        self.name = name
+        self.help_text = help_text
+        self.label_names = label_names
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _new_child(self) -> object:
+        raise NotImplementedError
+
+    def _labels_key(self, labels: Mapping[str, LabelValue]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(_coerce_label(k, labels[k]) for k in self.label_names)
+
+    def _get_child(self, key: Tuple[str, ...]) -> object:
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._new_child()
+                    self._children[key] = child
+        return child
+
+    def reset(self) -> None:
+        with self._lock:
+            for child in self._children.values():
+                if isinstance(child, HistogramChild):
+                    child._reset()
+                else:
+                    assert isinstance(child, _Child)
+                    child.value = 0.0
+
+    def _series(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def _new_child(self) -> object:
+        return CounterChild()
+
+    def labels(self, **labels: LabelValue) -> CounterChild:
+        child = self._get_child(self._labels_key(labels))
+        assert isinstance(child, CounterChild)
+        return child
+
+    def inc(self, amount: float = 1.0, **labels: LabelValue) -> None:
+        self.labels(**labels).inc(amount)
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def _new_child(self) -> object:
+        return GaugeChild()
+
+    def labels(self, **labels: LabelValue) -> GaugeChild:
+        child = self._get_child(self._labels_key(labels))
+        assert isinstance(child, GaugeChild)
+        return child
+
+    def inc(self, amount: float = 1.0, **labels: LabelValue) -> None:
+        self.labels(**labels).inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: LabelValue) -> None:
+        self.labels(**labels).dec(amount)
+
+    def set(self, value: float, **labels: LabelValue) -> None:
+        self.labels(**labels).set(value)
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        label_names: Tuple[str, ...],
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be sorted and distinct")
+        if not buckets:
+            raise ValueError("histogram needs at least one finite bucket")
+        super().__init__(name, help_text, label_names)
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _new_child(self) -> object:
+        return HistogramChild(self.buckets)
+
+    def labels(self, **labels: LabelValue) -> HistogramChild:
+        child = self._get_child(self._labels_key(labels))
+        assert isinstance(child, HistogramChild)
+        return child
+
+    def observe(self, value: float, **labels: LabelValue) -> None:
+        self.labels(**labels).observe(value)
+
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+_LABEL_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+
+def _validate_metric_name(name: str) -> None:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise ValueError(f"invalid metric name {name!r}")
+
+
+def _validate_label_name(name: str) -> None:
+    if (
+        not name
+        or name[0].isdigit()
+        or name.startswith("__")
+        or not set(name) <= _LABEL_OK
+    ):
+        raise ValueError(f"invalid label name {name!r}")
+
+
+class MetricsRegistry:
+    """A namespace of metric families with get-or-create semantics.
+
+    ``counter``/``gauge``/``histogram`` are idempotent for identical
+    declarations, so modules can declare their instruments at import
+    time without coordinating; re-declaring a name with a different
+    type or label set is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _declare(self, cls: type, name: str, help_text: str, labels: Sequence[str], **kw: object) -> _Metric:
+        label_names = tuple(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}{existing.label_names}"
+                    )
+                if cls is Histogram and kw.get("buckets") is not None:
+                    assert isinstance(existing, Histogram)
+                    if existing.buckets != tuple(
+                        float(b) for b in kw["buckets"]  # type: ignore[union-attr]
+                    ):
+                        raise ValueError(
+                            f"histogram {name!r} already registered with "
+                            "different buckets"
+                        )
+                return existing
+            if cls is Histogram:
+                buckets = kw.get("buckets") or DEFAULT_BUCKETS
+                metric: _Metric = Histogram(name, help_text, label_names, tuple(buckets))  # type: ignore[arg-type]
+            else:
+                metric = cls(name, help_text, label_names)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Counter:
+        metric = self._declare(Counter, name, help_text, labels)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help_text: str, labels: Sequence[str] = ()) -> Gauge:
+        metric = self._declare(Gauge, name, help_text, labels)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        metric = self._declare(Histogram, name, help_text, labels, buckets=buckets)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def reset(self) -> None:
+        """Zero every sample in place; cached child handles stay valid."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def snapshot(self) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], object]]:
+        """Plain-data view: name -> {((label, value), ...): sample}.
+
+        Counter/gauge samples are floats; histogram samples are dicts
+        with ``count``/``sum``/``buckets``.
+        """
+        out: Dict[str, Dict[Tuple[Tuple[str, str], ...], object]] = {}
+        with self._lock:
+            metrics = list(self._metrics.items())
+        for name, metric in metrics:
+            series: Dict[Tuple[Tuple[str, str], ...], object] = {}
+            for key, child in metric._series():
+                label_pairs = tuple(zip(metric.label_names, key))
+                if isinstance(child, HistogramChild):
+                    series[label_pairs] = {
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": dict(
+                            zip(
+                                [*child.buckets, float("inf")],
+                                _cumulative(child.counts),
+                            )
+                        ),
+                    }
+                else:
+                    assert isinstance(child, _Child)
+                    series[label_pairs] = child.value
+            out[name] = series
+        return out
+
+    def render_prometheus(self) -> str:
+        """Render every family in Prometheus text exposition format."""
+        lines: List[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        for name, metric in metrics:
+            lines.append(f"# HELP {name} {_escape_help(metric.help_text)}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for key, child in metric._series():
+                pairs = list(zip(metric.label_names, key))
+                if isinstance(child, HistogramChild):
+                    cumulative = _cumulative(child.counts)
+                    edges = [*child.buckets, float("inf")]
+                    for edge, cum in zip(edges, cumulative):
+                        bucket_pairs = pairs + [("le", _format_value(edge))]
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bucket_pairs)}"
+                            f" {cum}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_render_labels(pairs)}"
+                        f" {_format_value(child.sum)}"
+                    )
+                    lines.append(f"{name}_count{_render_labels(pairs)} {child.count}")
+                else:
+                    assert isinstance(child, _Child)
+                    lines.append(
+                        f"{name}{_render_labels(pairs)} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _cumulative(counts: Iterable[int]) -> List[int]:
+    out: List[int] = []
+    total = 0
+    for c in counts:
+        total += c
+        out.append(total)
+    return out
+
+
+#: The process-wide default registry.  Library code declares its
+#: instruments here; tests call ``REGISTRY.reset()`` (see
+#: ``tests/obs/conftest.py``) for isolation.
+REGISTRY = MetricsRegistry()

@@ -20,6 +20,7 @@ concrete counterparts of the cost-model metrics (PTDS, LoadQ, Tlocal).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -29,12 +30,23 @@ from repro.core.trace import ExecutionTrace
 from repro.crypto.keys import KeyBundle
 from repro.crypto.ndet import NonDeterministicCipher
 from repro.exceptions import ProtocolError, QueryAbortedError
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 from repro.sql.ast import SelectStatement
 from repro.sql.parser import parse
 from repro.sql.schema import Row
 from repro.ssi.server import SupportingServerInfrastructure
 from repro.ssi.storage import PartitionTracker
 from repro.tds.node import TrustedDataServer
+
+#: wall time per protocol phase, on top of the logical ExecutionTrace —
+#: the trace stays the accounting ledger (bytes, rounds); this histogram
+#: is the operational view (where did the seconds go).
+_PHASE_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_protocol_phase_seconds",
+    "Wall time spent per driver phase, by protocol.",
+    ("protocol", "phase"),
+)
 
 
 class Querier:
@@ -143,6 +155,9 @@ class ProtocolDriver:
         self.stats = ProtocolStats()
         #: what happened, for the timed simulator to replay
         self.trace = ExecutionTrace()
+        #: query id of the run in flight, so phases after collection can
+        #: tag their spans with the query's trace id
+        self._query_id: str | None = None
 
     # ------------------------------------------------------------------ #
     # subclass interface
@@ -197,18 +212,32 @@ class ProtocolDriver:
         clock *before* each contribution (so ``SIZE 0 SECONDS`` closes
         with zero tuples) and the tuple-count clause immediately after
         each upload."""
-        for index, tds in enumerate(self.collectors):
-            elapsed = index * self.collection_interval
-            if self.ssi.evaluate_size_clause(envelope.query_id, elapsed):
-                break
-            tuples = collect(tds, envelope)
-            self.ssi.submit_tuples(envelope.query_id, tuples)
-            uploaded = sum(len(t.payload) for t in tuples)
-            self.record_collection(envelope, tds.tds_id, uploaded)
-            if self.ssi.evaluate_size_clause(envelope.query_id, elapsed):
-                break
-        self.ssi.close_collection(envelope.query_id)
-        self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
+        self._query_id = envelope.query_id
+        span = obs_spans.RECORDER.start(
+            "driver:collection",
+            trace_id=obs_spans.derive_trace_id(envelope.query_id),
+            protocol=self.name,
+        )
+        started = time.perf_counter()
+        try:
+            for index, tds in enumerate(self.collectors):
+                elapsed = index * self.collection_interval
+                if self.ssi.evaluate_size_clause(envelope.query_id, elapsed):
+                    break
+                tuples = collect(tds, envelope)
+                self.ssi.submit_tuples(envelope.query_id, tuples)
+                uploaded = sum(len(t.payload) for t in tuples)
+                self.record_collection(envelope, tds.tds_id, uploaded)
+                if self.ssi.evaluate_size_clause(envelope.query_id, elapsed):
+                    break
+            self.ssi.close_collection(envelope.query_id)
+            self.stats.tuples_collected = self.ssi.collected_count(envelope.query_id)
+        finally:
+            span.annotate(count=self.stats.tuples_collected)
+            span.finish()
+            _PHASE_SECONDS.labels(protocol=self.name, phase="collection").observe(
+                time.perf_counter() - started
+            )
 
     def run_partitions(
         self,
@@ -223,40 +252,72 @@ class ProtocolDriver:
         (failure injector) never completes, and the tracker re-issues the
         partition to the next worker.  *handler* returns the bytes it
         uploaded (None → 0), which feeds the execution trace."""
-        tracker = PartitionTracker(list(partitions), timeout)
-        now = 0.0
-        worker_cycle = 0
-        max_attempts = len(partitions) * (len(self.workers) + 2) + 10
-        attempts = 0
-        while not tracker.all_done():
-            attempts += 1
-            if attempts > max_attempts:
-                raise QueryAbortedError(
-                    "partition processing did not converge (all workers failing?)"
+        trace_id = (
+            obs_spans.derive_trace_id(self._query_id)
+            if self._query_id is not None
+            else 0
+        )
+        span = obs_spans.RECORDER.start(
+            f"driver:{phase}",
+            trace_id=trace_id,
+            protocol=self.name,
+            round=round_index,
+            count=len(partitions),
+        )
+        started = time.perf_counter()
+        try:
+            tracker = PartitionTracker(list(partitions), timeout)
+            now = 0.0
+            worker_cycle = 0
+            max_attempts = len(partitions) * (len(self.workers) + 2) + 10
+            attempts = 0
+            while not tracker.all_done():
+                attempts += 1
+                if attempts > max_attempts:
+                    raise QueryAbortedError(
+                        "partition processing did not converge (all workers failing?)"
+                    )
+                worker = self.workers[worker_cycle % len(self.workers)]
+                worker_cycle += 1
+                partition = tracker.assign_next(worker.tds_id, now)
+                if partition is None:
+                    # Everything assigned but not done: simulate timeouts firing.
+                    now += tracker.timeout
+                    expired = tracker.expire(now)
+                    if expired:
+                        self.stats.reassigned_partitions += len(expired)
+                    continue
+                if self.failure_injector is not None and self.failure_injector(
+                    worker.tds_id, partition
+                ):
+                    tracker.fail(partition.partition_id)
+                    self.stats.reassigned_partitions += 1
+                    continue
+                bytes_up = handler(worker, partition) or 0
+                tracker.complete(partition.partition_id, worker.tds_id)
+                self.stats.partitions_processed += 1
+                self.account(
+                    phase, round_index, worker.tds_id, partition.byte_size(), bytes_up
                 )
-            worker = self.workers[worker_cycle % len(self.workers)]
-            worker_cycle += 1
-            partition = tracker.assign_next(worker.tds_id, now)
-            if partition is None:
-                # Everything assigned but not done: simulate timeouts firing.
-                now += tracker.timeout
-                expired = tracker.expire(now)
-                if expired:
-                    self.stats.reassigned_partitions += len(expired)
-                continue
-            if self.failure_injector is not None and self.failure_injector(
-                worker.tds_id, partition
-            ):
-                tracker.fail(partition.partition_id)
-                self.stats.reassigned_partitions += 1
-                continue
-            bytes_up = handler(worker, partition) or 0
-            tracker.complete(partition.partition_id, worker.tds_id)
-            self.stats.partitions_processed += 1
-            self.account(
-                phase, round_index, worker.tds_id, partition.byte_size(), bytes_up
+        finally:
+            span.finish()
+            _PHASE_SECONDS.labels(protocol=self.name, phase=phase).observe(
+                time.perf_counter() - started
             )
 
     def publish(self, envelope: QueryEnvelope, encrypted_rows: Sequence[bytes]) -> None:
-        self.ssi.store_result_rows(envelope.query_id, encrypted_rows)
-        self.ssi.publish_result(envelope.query_id)
+        span = obs_spans.RECORDER.start(
+            "driver:publish",
+            trace_id=obs_spans.derive_trace_id(envelope.query_id),
+            protocol=self.name,
+            count=len(encrypted_rows),
+        )
+        started = time.perf_counter()
+        try:
+            self.ssi.store_result_rows(envelope.query_id, encrypted_rows)
+            self.ssi.publish_result(envelope.query_id)
+        finally:
+            span.finish()
+            _PHASE_SECONDS.labels(protocol=self.name, phase="publish").observe(
+                time.perf_counter() - started
+            )

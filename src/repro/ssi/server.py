@@ -26,6 +26,7 @@ from repro.exceptions import (
     ResultNotReadyError,
     UnknownQueryError,
 )
+from repro.obs.spans import QueryLifecycle
 from repro.ssi.observer import Observer
 from repro.ssi.querybox import GlobalQuerybox, PersonalQuerybox
 from repro.ssi.storage import PartitionTracker, QueryStorage
@@ -40,6 +41,11 @@ class SupportingServerInfrastructure:
         self.observer = observer if observer is not None else Observer()
         self._storage: dict[str, QueryStorage] = {}
         self._envelopes: dict[str, QueryEnvelope] = {}
+        # Phase spans hang off the facade because both the dispatcher
+        # and the server-side coordinator call these methods directly —
+        # this is the one choke point that sees every phase transition.
+        # A lifecycle transition may record spans, never raise.
+        self.lifecycle = QueryLifecycle()
 
     # ------------------------------------------------------------------ #
     # query posting / download (steps 1-2)
@@ -55,6 +61,7 @@ class SupportingServerInfrastructure:
             self.global_querybox.post(envelope)
         else:
             self.personal_querybox.post(tds_id, envelope)
+        self.lifecycle.opened(envelope.query_id)
 
     def active_queries(self) -> list[QueryEnvelope]:
         return self.global_querybox.active()
@@ -114,11 +121,16 @@ class SupportingServerInfrastructure:
         if met:
             storage.collection_closed = True
             self.global_querybox.close(query_id)
+            self.lifecycle.collection_closed(query_id, collected=count)
         return met
 
     def close_collection(self, query_id: str) -> None:
-        self._require(query_id).collection_closed = True
+        storage = self._require(query_id)
+        storage.collection_closed = True
         self.global_querybox.close(query_id)
+        self.lifecycle.collection_closed(
+            query_id, collected=storage.collected_count()
+        )
 
     def collection_closed(self, query_id: str) -> bool:
         return self._require(query_id).collection_closed
@@ -133,6 +145,7 @@ class SupportingServerInfrastructure:
         self, query_id: str, partials: Iterable[EncryptedPartial]
     ) -> None:
         storage = self._require(query_id)
+        self.lifecycle.partials_submitted(query_id)
         for item in partials:
             storage.partials.append(item)
             self.observer.record(
@@ -144,6 +157,8 @@ class SupportingServerInfrastructure:
         them)."""
         storage = self._require(query_id)
         partials, storage.partials = storage.partials, []
+        if partials:
+            self.lifecycle.partials_taken(query_id, count=len(partials))
         return partials
 
     def partial_count(self, query_id: str) -> int:
@@ -162,12 +177,16 @@ class SupportingServerInfrastructure:
     # ------------------------------------------------------------------ #
     def store_result_rows(self, query_id: str, rows: Iterable[bytes]) -> None:
         storage = self._require(query_id)
+        stored = 0
         for row in rows:
             storage.result_rows.append(row)
             self.observer.record(query_id, "filtering", len(row), None)
+            stored += 1
+        self.lifecycle.result_stored(query_id, rows=stored)
 
     def publish_result(self, query_id: str) -> None:
         self._require(query_id).result_ready = True
+        self.lifecycle.published(query_id)
 
     def result_ready(self, query_id: str) -> bool:
         return self._require(query_id).result_ready

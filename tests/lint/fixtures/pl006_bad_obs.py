@@ -1,0 +1,15 @@
+"""Known-bad fixture: obs sink calls violating every PL006 check."""
+
+import logging
+
+from repro.obs.logs import log_event
+
+logger = logging.getLogger(__name__)
+
+
+def leaky(payload, extra, event_name, block):
+    log_event(logger, event_name, query_id="q")
+    log_event(logger, "leak", payload=payload)
+    log_event(logger, "splat", **extra)
+    log_event(logger, "rogue", tuple_dump=1)
+    log_event(logger, "indirect", count=block.tuples)

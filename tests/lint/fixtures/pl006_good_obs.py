@@ -1,0 +1,21 @@
+"""Known-good fixture: obs sink usage the redaction rule accepts."""
+
+import logging
+
+from repro.obs.logs import log_event
+
+logger = logging.getLogger(__name__)
+
+
+def report(tuples, exc, tds_id, corr):
+    log_event(
+        logger,
+        "fleet_protocol_error",
+        level=logging.WARNING,
+        exc_info=True,
+        tds_id=tds_id,
+        corr_id=corr,
+        retries=3,
+        error=str(exc),
+        count=len(tuples),
+    )

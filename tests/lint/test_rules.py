@@ -128,6 +128,35 @@ def test_pl005_good_sim_clean():
 
 
 # --------------------------------------------------------------------- #
+# PL006 — obs sink redaction
+# --------------------------------------------------------------------- #
+def test_pl006_flags_each_violation():
+    findings = [f for f in lint_fixture("pl006_bad_obs.py") if f.rule == "PL006"]
+    assert {f.line for f in findings} == {11, 12, 13, 14, 15}
+    # payload=payload is doubly wrong: rogue field name AND forbidden value
+    assert sum(1 for f in findings if f.line == 12) == 2
+    messages = " ".join(f.message for f in findings)
+    assert "string literal" in messages
+    assert "**kwargs" in messages
+    assert "allowlist" in messages
+    assert "len(...)" in messages
+
+
+def test_pl006_len_exemption():
+    # len(tuples) is the size channel the SSI already observes — clean.
+    source = (
+        "from repro.obs.logs import log_event\n"
+        "def f(logger, tuples):\n"
+        "    log_event(logger, 'flush', count=len(tuples))\n"
+    )
+    assert lint_source("x.py", source, fixture_manifest()) == []
+
+
+def test_pl006_good_obs_clean():
+    assert "PL006" not in codes(lint_fixture("pl006_good_obs.py"))
+
+
+# --------------------------------------------------------------------- #
 # engine behaviour
 # --------------------------------------------------------------------- #
 def test_select_restricts_rules():
@@ -171,6 +200,7 @@ def test_findings_sorted_and_rendered():
         "pl003_good_det.py",
         "pl004_good_protocol.py",
         "pl005_good_sim.py",
+        "pl006_good_obs.py",
     ],
 )
 def test_good_fixtures_fully_clean(name):

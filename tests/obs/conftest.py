@@ -1,0 +1,21 @@
+"""Observability-test isolation: zero the process-wide registries.
+
+Metrics children are reset *in place* (cached handles inside library
+modules stay valid); the span recorder is emptied and its id counter
+rewound so span ids are reproducible per test.
+"""
+
+import pytest
+
+from repro.obs import metrics, spans
+
+
+@pytest.fixture(autouse=True)
+def reset_obs():
+    metrics.REGISTRY.reset()
+    spans.RECORDER.reset()
+    spans.RECORDER.process = "proc"
+    yield
+    metrics.REGISTRY.reset()
+    spans.RECORDER.reset()
+    spans.RECORDER.process = "proc"

@@ -1,0 +1,123 @@
+"""The /metrics HTTP endpoint: scrapeable, minimal, shared-loop."""
+
+import asyncio
+
+from repro.obs.http import start_metrics_server
+from repro.obs.metrics import MetricsRegistry
+
+from ..net.conftest import run_async
+
+
+async def http_get(port, path, raw_request=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    request = raw_request or f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"
+    writer.write(request.encode("latin-1"))
+    await writer.drain()
+    response = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n")[0].decode()
+    headers = {
+        k.lower(): v.strip()
+        for k, v in (
+            line.decode().split(":", 1)
+            for line in head.split(b"\r\n")[1:]
+            if b":" in line
+        )
+    }
+    return status, headers, body
+
+
+def serve(registry):
+    async def _start():
+        server = await start_metrics_server(port=0, registry=registry)
+        return server, server.sockets[0].getsockname()[1]
+
+    return _start
+
+
+class TestMetricsEndpoint:
+    def test_scrape_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", "demo", ("op",)).labels(op="x").inc(3)
+
+        async def run():
+            server, port = await serve(registry)()
+            try:
+                status, headers, body = await http_get(port, "/metrics")
+                assert status == "HTTP/1.1 200 OK"
+                assert headers["content-type"].startswith("text/plain; version=0.0.4")
+                text = body.decode()
+                assert "# TYPE demo_total counter" in text
+                assert 'demo_total{op="x"} 3' in text
+                assert int(headers["content-length"]) == len(body)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run_async(run())
+
+    def test_healthz_and_404_and_405(self):
+        registry = MetricsRegistry()
+
+        async def run():
+            server, port = await serve(registry)()
+            try:
+                status, _, body = await http_get(port, "/healthz")
+                assert status == "HTTP/1.1 200 OK" and body == b"ok\n"
+                status, _, _ = await http_get(port, "/nope")
+                assert status.startswith("HTTP/1.1 404")
+                status, _, _ = await http_get(
+                    port, "/", raw_request="POST /metrics HTTP/1.1\r\n\r\n"
+                )
+                assert status.startswith("HTTP/1.1 405")
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run_async(run())
+
+    def test_spans_endpoint_serves_recorder_jsonl(self):
+        from repro.obs import spans
+
+        registry = MetricsRegistry()
+        spans.RECORDER.start(
+            "query", trace_id=spans.derive_trace_id("q-http"), query_id="q-http"
+        ).finish()
+
+        async def run():
+            server, port = await serve(registry)()
+            try:
+                status, headers, body = await http_get(port, "/spans")
+                assert status == "HTTP/1.1 200 OK"
+                assert headers["content-type"].startswith("application/jsonl")
+                import io
+
+                records = list(spans.load_jsonl(io.StringIO(body.decode())))
+                assert any(
+                    r["name"] == "query"
+                    and r["attributes"]["query_id"] == "q-http"
+                    for r in records
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run_async(run())
+
+    def test_query_string_ignored(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "g").labels().set(1)
+
+        async def run():
+            server, port = await serve(registry)()
+            try:
+                status, _, body = await http_get(port, "/metrics?format=text")
+                assert status == "HTTP/1.1 200 OK"
+                assert b"# TYPE g gauge" in body
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        run_async(run())

@@ -1,0 +1,126 @@
+"""Structured logging: redaction boundary and JSON envelope."""
+
+import json
+import logging
+
+import pytest
+
+from repro.core.messages import EncryptedTuple
+from repro.obs.logs import (
+    JsonFormatter,
+    configure_json_logging,
+    log_event,
+    sanitize_fields,
+)
+
+
+class TestSanitizeFields:
+    def test_scalars_pass_through(self):
+        fields = {"a": 1, "b": 1.5, "c": "x", "d": True, "e": None}
+        assert sanitize_fields(fields) == fields
+
+    def test_bytes_become_length_markers(self):
+        out = sanitize_fields({"x": b"\x00" * 37, "y": bytearray(5), "z": memoryview(b"ab")})
+        assert out == {
+            "x": "<redacted bytes len=37>",
+            "y": "<redacted bytes len=5>",
+            "z": "<redacted bytes len=2>",
+        }
+
+    def test_objects_become_type_markers(self):
+        t = EncryptedTuple(payload=b"ciphertext-bytes", group_tag=None)
+        out = sanitize_fields({"t": t, "lst": [1, 2], "d": {"k": 1}})
+        assert out["t"] == "<redacted EncryptedTuple>"
+        assert out["lst"] == "<redacted list>"
+        assert out["d"] == "<redacted dict>"
+
+    def test_nan_inf_are_stringified(self):
+        out = sanitize_fields({"a": float("nan"), "b": float("inf")})
+        assert out == {"a": "nan", "b": "inf"}
+
+
+def capture(logger_name="test.obs", level=logging.DEBUG):
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(level)
+    logger.propagate = False
+    records = []
+
+    class _Capture(logging.Handler):
+        def emit(self, record):
+            records.append(record)
+
+    logger.handlers = [_Capture()]
+    return logger, records
+
+
+class TestLogEvent:
+    def test_json_line_envelope(self):
+        logger, records = capture()
+        log_event(logger, "thing_happened", query_id="q1", count=3)
+        assert len(records) == 1
+        doc = json.loads(JsonFormatter().format(records[0]))
+        assert doc["event"] == "thing_happened"
+        assert doc["level"] == "INFO"
+        assert doc["logger"] == "test.obs"
+        assert doc["query_id"] == "q1"
+        assert doc["count"] == 3
+        assert isinstance(doc["ts"], float)
+
+    def test_disabled_level_short_circuits(self):
+        logger, records = capture(level=logging.WARNING)
+        log_event(logger, "quiet", level=logging.DEBUG)
+        assert records == []
+
+    def test_ciphertext_never_reaches_formatted_output(self):
+        logger, records = capture()
+        payload = b"\x13SECRET-CIPHERTEXT\x37" * 4
+        log_event(
+            logger,
+            "submit_failed",
+            query_id="q1",
+            count=len(payload),
+            blob=payload,
+        )
+        line = JsonFormatter().format(records[0])
+        assert "SECRET-CIPHERTEXT" not in line
+        assert payload.hex() not in line
+        assert json.loads(line)["blob"] == f"<redacted bytes len={len(payload)}>"
+
+    def test_exc_info_records_type_only(self):
+        logger, records = capture()
+        secret = "the-plaintext-value"
+        try:
+            raise ValueError(secret)
+        except ValueError:
+            log_event(logger, "boom", level=logging.ERROR, exc_info=True)
+        doc = json.loads(JsonFormatter().format(records[0]))
+        assert doc["exc_type"] == "ValueError"
+        assert secret not in JsonFormatter().format(records[0])
+
+    def test_plain_records_still_format(self):
+        # A record not created via log_event must format safely too.
+        logger, records = capture()
+        logger.warning("plain %s message", "interpolated")
+        doc = json.loads(JsonFormatter().format(records[0]))
+        assert doc["event"] == "plain interpolated message"
+
+
+class TestConfigureJsonLogging:
+    @pytest.fixture(autouse=True)
+    def restore_root(self):
+        root = logging.getLogger()
+        handlers, level = list(root.handlers), root.level
+        yield
+        root.handlers = handlers
+        root.setLevel(level)
+
+    def test_idempotent_install(self):
+        first = configure_json_logging()
+        second = configure_json_logging()
+        assert first is second
+        json_handlers = [
+            h
+            for h in logging.getLogger().handlers
+            if isinstance(h.formatter, JsonFormatter)
+        ]
+        assert len(json_handlers) == 1

@@ -1,0 +1,180 @@
+"""Metric registries: semantics, isolation, and Prometheus exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_labels(self, registry):
+        c = registry.counter("ops_total", "ops", ("op",))
+        c.labels(op="a").inc()
+        c.labels(op="a").inc(2)
+        c.labels(op="b").inc()
+        snap = registry.snapshot()["ops_total"]
+        assert snap[(("op", "a"),)] == 3.0
+        assert snap[(("op", "b"),)] == 1.0
+
+    def test_counters_only_go_up(self, registry):
+        c = registry.counter("c_total", "c")
+        with pytest.raises(ValueError):
+            c.labels().inc(-1)
+
+    def test_label_set_must_match_declaration(self, registry):
+        c = registry.counter("c_total", "c", ("op",))
+        with pytest.raises(ValueError):
+            c.labels()
+        with pytest.raises(ValueError):
+            c.labels(op="x", extra="y")
+
+    def test_bytes_label_values_refused(self, registry):
+        c = registry.counter("c_total", "c", ("op",))
+        with pytest.raises(TypeError):
+            c.labels(op=b"ciphertext")
+
+    def test_scalar_label_coercion(self, registry):
+        c = registry.counter("c_total", "c", ("shard", "ok"))
+        c.labels(shard=3, ok=True).inc()
+        assert registry.snapshot()["c_total"][(("shard", "3"), ("ok", "true"))] == 1.0
+
+
+class TestGauge:
+    def test_inc_dec_set(self, registry):
+        g = registry.gauge("inflight", "g")
+        child = g.labels()
+        child.inc()
+        child.inc()
+        child.dec()
+        assert registry.snapshot()["inflight"][()] == 1.0
+        child.set(7)
+        assert registry.snapshot()["inflight"][()] == 7.0
+
+
+class TestHistogram:
+    def test_observe_buckets_cumulative(self, registry):
+        h = registry.histogram("lat", "h", buckets=(0.1, 1.0, 10.0))
+        child = h.labels()
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            child.observe(v)
+        sample = registry.snapshot()["lat"][()]
+        assert sample["count"] == 5
+        assert sample["sum"] == pytest.approx(56.05)
+        assert sample["buckets"][0.1] == 1
+        assert sample["buckets"][1.0] == 3
+        assert sample["buckets"][10.0] == 4
+        assert sample["buckets"][float("inf")] == 5
+
+    def test_buckets_must_be_sorted_distinct(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h1", "h", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            registry.histogram("h2", "h", buckets=(1.0, 1.0))
+
+    def test_default_bucket_sets_are_valid(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)
+
+
+class TestRegistry:
+    def test_redeclaration_is_idempotent(self, registry):
+        a = registry.counter("x_total", "x", ("op",))
+        b = registry.counter("x_total", "x", ("op",))
+        assert a is b
+
+    def test_conflicting_redeclaration_raises(self, registry):
+        registry.counter("x_total", "x", ("op",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "x", ("op",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "x", ("other",))
+        registry.histogram("h", "h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", "h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("1bad", "x")
+        with pytest.raises(ValueError):
+            registry.counter("bad-name", "x")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "x", ("__reserved",))
+
+    def test_reset_keeps_child_identity(self, registry):
+        c = registry.counter("x_total", "x", ("op",))
+        child = c.labels(op="a")
+        child.inc(5)
+        registry.reset()
+        assert registry.snapshot()["x_total"][(("op", "a"),)] == 0.0
+        # The cached handle must still feed the same series after reset.
+        child.inc()
+        assert registry.snapshot()["x_total"][(("op", "a"),)] == 1.0
+
+    def test_concurrent_child_creation_single_series(self, registry):
+        c = registry.counter("x_total", "x", ("op",))
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(100):
+                c.labels(op="same").inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = registry.snapshot()["x_total"]
+        assert set(snap) == {(("op", "same"),)}
+        # Lock-free inc tolerates lost updates; creation must not lose any.
+        assert 0 < snap[(("op", "same"),)] <= 800
+
+
+class TestPrometheusRendering:
+    def test_families_render_even_with_zero_children(self, registry):
+        registry.counter("empty_total", "nothing observed yet")
+        text = registry.render_prometheus()
+        assert "# HELP empty_total nothing observed yet" in text
+        assert "# TYPE empty_total counter" in text
+
+    def test_counter_and_label_escaping(self, registry):
+        c = registry.counter("x_total", 'help with "quotes"\nand newline', ("op",))
+        c.labels(op='a"b\nc\\d').inc()
+        text = registry.render_prometheus()
+        assert '# HELP x_total help with "quotes"\\nand newline' in text
+        assert 'x_total{op="a\\"b\\nc\\\\d"} 1' in text
+
+    def test_histogram_series_shape(self, registry):
+        h = registry.histogram("lat_seconds", "h", ("op",), buckets=(0.5, 1.0))
+        h.labels(op="q").observe(0.2)
+        h.labels(op="q").observe(2.0)
+        text = registry.render_prometheus()
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{op="q",le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{op="q",le="1"} 1' in text
+        assert 'lat_seconds_bucket{op="q",le="+Inf"} 2' in text
+        assert 'lat_seconds_sum{op="q"} 2.2' in text
+        assert 'lat_seconds_count{op="q"} 2' in text
+
+    def test_output_parses_as_prometheus_text(self, registry):
+        registry.counter("a_total", "a", ("x",)).labels(x="1").inc()
+        registry.gauge("b", "b").labels().set(3)
+        registry.histogram("c_seconds", "c").labels().observe(0.1)
+        for line in registry.render_prometheus().splitlines():
+            assert line == line.strip()
+            if line.startswith("#"):
+                assert line.split(" ", 2)[1] in ("HELP", "TYPE")
+                continue
+            name_and_labels, _, value = line.rpartition(" ")
+            assert name_and_labels
+            float(value)  # every sample value must parse

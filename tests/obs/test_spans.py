@@ -1,0 +1,214 @@
+"""Span recorder, trace derivation, and the SSI query-lifecycle machine."""
+
+import io
+import json
+
+from repro.obs.spans import (
+    QueryLifecycle,
+    RECORDER,
+    SpanRecorder,
+    TraceContext,
+    derive_trace_id,
+    load_jsonl,
+    merge_timeline,
+)
+
+
+class TestDeriveTraceId:
+    def test_deterministic_and_nonzero(self):
+        a = derive_trace_id("q-1")
+        assert a == derive_trace_id("q-1")
+        assert a != derive_trace_id("q-2")
+        assert 0 < a < 2**64
+
+    def test_cross_process_agreement_needs_no_propagation(self):
+        ssi = SpanRecorder(process="ssi")
+        fleet = SpanRecorder(process="fleet-0")
+        ssi.start("phase:collection", trace_id=derive_trace_id("q")).finish()
+        fleet.start("contribution", trace_id=derive_trace_id("q")).finish()
+        trace = derive_trace_id("q")
+        assert ssi.by_trace(trace) and fleet.by_trace(trace)
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext(trace_id=0x1122334455667788, span_id=0xAABBCCDD)
+        raw = ctx.to_wire()
+        assert len(raw) == 16
+        assert TraceContext.from_wire(raw) == ctx
+
+    def test_zero_trace_and_bad_length_rejected(self):
+        assert TraceContext.from_wire(b"\x00" * 16) is None
+        assert TraceContext.from_wire(b"\x01" * 15) is None
+
+
+class TestSpanRecorder:
+    def test_start_finish_and_attributes(self):
+        rec = SpanRecorder(process="t")
+        handle = rec.start("rpc:post_query", trace_id=7, count=3)
+        handle.annotate(outcome="ok", blob=b"\x00\x01")
+        handle.finish()
+        (span,) = rec.finished()
+        assert span.name == "rpc:post_query"
+        assert span.process == "t"
+        assert span.duration >= 0
+        assert span.attributes["count"] == 3
+        assert span.attributes["outcome"] == "ok"
+        # span attributes pass the same redaction boundary as log fields
+        assert span.attributes["blob"] == "<redacted bytes len=2>"
+
+    def test_span_ids_unique_and_deterministic(self):
+        rec_a = SpanRecorder(process="a")
+        ids_a = [rec_a.start("s", trace_id=1).span.span_id for _ in range(10)]
+        assert len(set(ids_a)) == 10
+        rec_a2 = SpanRecorder(process="a")
+        ids_a2 = [rec_a2.start("s", trace_id=1).span.span_id for _ in range(10)]
+        assert ids_a == ids_a2  # reproducible per (process, seq)
+        rec_b = SpanRecorder(process="b")
+        ids_b = [rec_b.start("s", trace_id=1).span.span_id for _ in range(10)]
+        assert not set(ids_a) & set(ids_b)  # distinct across processes
+
+    def test_cap_counts_drops(self):
+        rec = SpanRecorder(max_spans=2)
+        for _ in range(5):
+            rec.start("s", trace_id=1).finish()
+        assert len(rec.snapshot()) == 2
+        assert rec.dropped == 3
+
+    def test_context_manager_finishes(self):
+        rec = SpanRecorder()
+        with rec.span("s", trace_id=1):
+            pass
+        assert rec.finished()
+
+    def test_export_and_load_jsonl(self):
+        rec = SpanRecorder(process="exp")
+        with rec.span("query", trace_id=derive_trace_id("q"), query_id="q"):
+            rec.start(
+                "phase:collection", trace_id=derive_trace_id("q")
+            ).finish()
+        buffer = io.StringIO()
+        assert rec.export_jsonl(buffer) == 2
+        buffer.seek(0)
+        records = list(load_jsonl(buffer))
+        assert [r["name"] for r in records] == ["query", "phase:collection"]
+        for record in records:
+            json.dumps(record)  # plain data, round-trips
+            assert record["process"] == "exp"
+
+    def test_reset_rewinds_ids(self):
+        rec = SpanRecorder()
+        first = rec.start("s", trace_id=1).span.span_id
+        rec.reset()
+        assert rec.start("s", trace_id=1).span.span_id == first
+
+
+class TestMergeTimeline:
+    def test_orders_across_processes(self):
+        trace = derive_trace_id("q")
+        ssi = SpanRecorder(process="ssi")
+        fleet = SpanRecorder(process="fleet-0")
+        ssi.start("phase:collection", trace_id=trace, at=1.0).finish(at=4.0)
+        fleet.start("contribution", trace_id=trace, at=2.0).finish(at=3.0)
+        fleet.start("unrelated", trace_id=trace + 1, at=0.0).finish(at=9.0)
+        out_a, out_b = io.StringIO(), io.StringIO()
+        ssi.export_jsonl(out_a)
+        fleet.export_jsonl(out_b)
+        out_a.seek(0)
+        out_b.seek(0)
+        records = list(load_jsonl(out_a)) + list(load_jsonl(out_b))
+        timeline = merge_timeline(records, f"{trace:016x}")
+        assert [(p, n) for _, p, n, _ in timeline] == [
+            ("ssi", "phase:collection"),
+            ("fleet-0", "contribution"),
+        ]
+        assert timeline[0][3] == 3.0
+        assert timeline[1][3] == 1.0
+
+
+class TestQueryLifecycle:
+    def names(self, rec, qid):
+        return [s.name for s in rec.by_trace(derive_trace_id(qid))]
+
+    def test_full_phase_sequence(self):
+        rec = SpanRecorder(process="ssi")
+        lc = QueryLifecycle(rec)
+        lc.opened("q")
+        lc.collection_closed("q", collected=12)
+        lc.partials_submitted("q")
+        lc.partials_taken("q", count=4)
+        lc.partials_submitted("q")
+        lc.partials_taken("q", count=2)
+        lc.result_stored("q", rows=2)
+        lc.published("q")
+        spans = rec.by_trace(derive_trace_id("q"))
+        assert all(s.end is not None for s in spans)
+        by_name = {}
+        for s in spans:
+            by_name.setdefault(s.name, []).append(s)
+        assert len(by_name["query"]) == 1
+        assert len(by_name["phase:collection"]) == 1
+        assert by_name["phase:collection"][0].attributes["count"] == 12
+        rounds = [s.attributes["round"] for s in by_name["phase:aggregation"]]
+        assert rounds == [0, 1]
+        assert len(by_name["phase:filtering"]) == 1
+        root = by_name["query"][0]
+        for s in spans:
+            if s is not root:
+                assert s.parent_id == root.span_id
+
+    def test_transitions_are_idempotent_and_replay_safe(self):
+        rec = SpanRecorder(process="ssi")
+        lc = QueryLifecycle(rec)
+        lc.opened("q")
+        lc.opened("q")  # duplicate post (replay)
+        lc.collection_closed("q", collected=1)
+        lc.collection_closed("q", collected=1)
+        lc.partials_taken("q")  # take with no aggregation open: no-op
+        lc.result_stored("q")
+        lc.result_stored("q")
+        lc.published("q")
+        lc.published("q")
+        lc.partials_submitted("q")  # after publish: query is gone, no-op
+        spans = rec.by_trace(derive_trace_id("q"))
+        assert sorted(s.name for s in spans) == [
+            "phase:collection",
+            "phase:filtering",
+            "query",
+        ]
+
+    def test_unknown_query_transitions_never_raise(self):
+        lc = QueryLifecycle(SpanRecorder())
+        lc.collection_closed("ghost")
+        lc.partials_submitted("ghost")
+        lc.partials_taken("ghost")
+        lc.result_stored("ghost")
+        lc.published("ghost")
+
+    def test_skip_aggregation_protocols(self):
+        # basic SELECT...WHERE: collection straight to filtering.
+        rec = SpanRecorder()
+        lc = QueryLifecycle(rec)
+        lc.opened("q")
+        lc.result_stored("q", rows=5)
+        lc.published("q")
+        names = sorted(s.name for s in rec.by_trace(derive_trace_id("q")))
+        assert names == ["phase:collection", "phase:filtering", "query"]
+
+    def test_adopt_links_wire_context(self):
+        rec = SpanRecorder()
+        lc = QueryLifecycle(rec)
+        lc.opened("q")
+        ctx = TraceContext(trace_id=999, span_id=1234)
+        lc.adopt("q", ctx)
+        lc.adopt("q", TraceContext(trace_id=5, span_id=6))  # first wins
+        lc.published("q")
+        root = [s for s in rec.snapshot() if s.name == "query"][0]
+        assert root.trace_id == 999
+        assert root.parent_id == 1234
+        lc.adopt("gone", ctx)  # unknown query: no-op
+        lc.adopt("q", None)  # absent context: no-op
+
+    def test_default_recorder_is_module_singleton(self):
+        lc = QueryLifecycle()
+        assert lc._recorder is RECORDER

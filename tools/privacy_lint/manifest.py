@@ -56,6 +56,14 @@ class Manifest:
     #: PL004 — attribute names that charge work to the LoadQ choke point.
     account_methods: set[str] = field(default_factory=set)
 
+    #: PL006 — callables that emit structured observability records.
+    obs_sinks: set[str] = field(default_factory=set)
+    #: PL006 — field keywords a sink call may carry.
+    obs_allowed_fields: set[str] = field(default_factory=set)
+    #: PL006 — identifier substrings banned from field value expressions
+    #: (except inside ``len(...)``).
+    obs_forbidden_value_names: set[str] = field(default_factory=set)
+
     def role_of(self, path: str) -> str | None:
         for pattern, role in self.roles:
             if fnmatchcase(path, pattern):
@@ -99,5 +107,14 @@ class Manifest:
             )
             manifest.account_methods = set(
                 _split_list(section.get("account_methods", ""))
+            )
+        if parser.has_section("pl006"):
+            section = parser["pl006"]
+            manifest.obs_sinks = set(_split_list(section.get("sinks", "")))
+            manifest.obs_allowed_fields = set(
+                _split_list(section.get("allowed_fields", ""))
+            )
+            manifest.obs_forbidden_value_names = set(
+                _split_list(section.get("forbidden_value_names", ""))
             )
         return manifest

@@ -13,6 +13,7 @@ from tools.privacy_lint.rules.pl002_plaintext_egress import PlaintextEgress
 from tools.privacy_lint.rules.pl003_det_enc_allowlist import DetEncAllowlist
 from tools.privacy_lint.rules.pl004_accounting import AccountingChokePoint
 from tools.privacy_lint.rules.pl005_determinism import SimulationDeterminism
+from tools.privacy_lint.rules.pl006_obs_redaction import ObsRedaction
 
 ALL_RULES = (
     TrustBoundaryImports,
@@ -20,6 +21,7 @@ ALL_RULES = (
     DetEncAllowlist,
     AccountingChokePoint,
     SimulationDeterminism,
+    ObsRedaction,
 )
 
 RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
@@ -33,4 +35,5 @@ __all__ = [
     "DetEncAllowlist",
     "AccountingChokePoint",
     "SimulationDeterminism",
+    "ObsRedaction",
 ]

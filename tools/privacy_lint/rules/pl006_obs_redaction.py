@@ -1,0 +1,123 @@
+"""PL006 — observability sinks receive only allowlisted scalar fields.
+
+The obs layer (``repro.obs``) may record exactly what the paper's SSI
+observer model already concedes to an honest-but-curious host: sizes,
+tags, counts and timings — never tuple payloads, key material or any
+other ciphertext/plaintext object.  ``sanitize_fields`` enforces this at
+runtime by redacting bytes-ish values; this rule enforces it statically
+at every sink *call site* so a leak is caught in review, not in the log.
+
+Mechanics: any call to a manifest-listed obs sink (``log_event`` by
+default) is checked, in every module:
+
+* the event name must be a string literal — events are a closed,
+  greppable vocabulary, never data;
+* ``**kwargs`` splats are rejected — the field set must be visible at
+  the call site;
+* every field keyword must come from the manifest allowlist
+  (``level``/``exc_info`` are the sink's own structural parameters);
+* a field's value expression may not mention an identifier whose name
+  contains a forbidden substring (``payload``, ``key``, ``tuple``, ...)
+  unless it appears inside ``len(...)`` — lengths of sensitive objects
+  are exactly the size channel the SSI already observes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.privacy_lint.diagnostics import Finding
+from tools.privacy_lint.rules.context import ModuleContext, terminal_name
+
+#: keyword parameters of the sink itself, not log fields
+_STRUCTURAL_KWARGS = {"level", "exc_info"}
+
+
+def _names_outside_len(node: ast.AST) -> Iterator[str]:
+    """Every identifier mentioned in *node*, skipping ``len(...)`` subtrees."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+    ):
+        return
+    if isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+    for child in ast.iter_child_nodes(node):
+        yield from _names_outside_len(child)
+
+
+class ObsRedaction:
+    code = "PL006"
+    name = "obs-redaction"
+    rationale = "obs sinks may carry only allowlisted scalar fields (§2.1 observer model)"
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+
+    def run(self) -> Iterator[Finding]:
+        sinks = self.context.manifest.obs_sinks
+        if not sinks:
+            return
+        allowed = self.context.manifest.obs_allowed_fields
+        forbidden = self.context.manifest.obs_forbidden_value_names
+        for node in ast.walk(self.context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if terminal_name(node.func) not in sinks:
+                continue
+            yield from self._check_call(node, allowed, forbidden)
+
+    def _check_call(
+        self, call: ast.Call, allowed: set[str], forbidden: set[str]
+    ) -> Iterator[Finding]:
+        sink = terminal_name(call.func)
+        if len(call.args) >= 2 and not (
+            isinstance(call.args[1], ast.Constant)
+            and isinstance(call.args[1].value, str)
+        ):
+            yield self._finding(
+                call,
+                f"{sink}() event name must be a string literal, not an "
+                "expression — events are a closed vocabulary, never data",
+            )
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                yield self._finding(
+                    call,
+                    f"{sink}(**kwargs) hides the field set from review — "
+                    "spell every field out at the call site",
+                )
+                continue
+            if keyword.arg in _STRUCTURAL_KWARGS:
+                continue
+            if keyword.arg not in allowed:
+                yield self._finding(
+                    call,
+                    f"field {keyword.arg!r} is not in the obs field "
+                    "allowlist ([pl006] allowed_fields in manifest.cfg) — "
+                    "obs records sizes/tags/counts/timings only",
+                )
+            for ident in _names_outside_len(keyword.value):
+                lowered = ident.lower()
+                hits = sorted(sub for sub in forbidden if sub in lowered)
+                if hits:
+                    yield self._finding(
+                        call,
+                        f"field {keyword.arg!r} is computed from {ident!r} "
+                        f"(matches forbidden name(s): {', '.join(hits)}) — "
+                        "only len(...) of such objects may reach an obs sink",
+                    )
+
+    def _finding(self, call: ast.Call, message: str) -> Finding:
+        return Finding(
+            path=self.context.path,
+            line=call.lineno,
+            col=call.col_offset + 1,
+            rule=self.code,
+            message=message,
+            source_line=self.context.line_text(call.lineno),
+        )

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import random
 import sys
 from typing import Sequence
@@ -266,12 +267,19 @@ def fleet_shard_builder(
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.crypto import cache as crypto_cache
+    from repro.crypto.pool import CryptoPool
     from repro.net.fleet import FleetRunner, ShardedFleetRunner
     from repro.net.transport import TCPTransport
     from repro.obs import spans as obs_spans
     from repro.protocols import build_histogram
 
     obs_spans.set_process_label("fleet")
+    if args.crypto_engine != "auto":
+        # The env var (inherited by spawn workers) and the in-process
+        # selection both follow the flag.
+        os.environ[crypto_cache.ENGINE_ENV] = args.crypto_engine
+    crypto_cache.use_engine(args.crypto_engine)
 
     def report(stats) -> None:
         print(
@@ -292,6 +300,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                 shards=args.shards,
                 seed=args.seed + 1,
                 batch_size=args.batch,
+                crypto_workers=args.crypto_workers,
                 window=args.window,
                 concurrency=args.concurrency,
                 poll_interval=args.poll_interval,
@@ -315,6 +324,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         deployment, "Consumer", "district", num_buckets=args.buckets
     )
 
+    pool = (
+        CryptoPool(args.crypto_workers) if args.crypto_workers > 0 else None
+    )
+
     async def _run() -> None:
         fleet = FleetRunner(
             deployment.tds_list,
@@ -323,6 +336,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             concurrency=args.concurrency,
             poll_interval=args.poll_interval,
             batch_size=args.batch,
+            crypto_pool=pool,
             rng=random.Random(args.seed + 1),
         )
         print(
@@ -337,6 +351,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("fleet stopped")
     finally:
+        if pool is not None:
+            pool.close()
         if args.span_export:
             with open(f"{args.span_export}.jsonl", "w", encoding="utf-8") as fp:
                 exported = obs_spans.RECORDER.export_jsonl(fp)
@@ -505,6 +521,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=32,
         help="max in-flight pipelined requests per connection",
+    )
+    fleet.add_argument(
+        "--crypto-workers",
+        type=int,
+        default=0,
+        help="crypto worker processes per fleet/shard (0=encrypt inline)",
+    )
+    fleet.add_argument(
+        "--crypto-engine",
+        choices=("auto", "cryptography", "ttable", "reference"),
+        default="auto",
+        help="AES engine (auto prefers the cryptography package)",
     )
     fleet.add_argument(
         "--queries", type=int, default=None,

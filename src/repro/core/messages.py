@@ -123,6 +123,26 @@ class EncryptedTupleBlock:
             tags=tuple(item.group_tag for item in tuples),
         )
 
+    @classmethod
+    def concat(cls, blocks: Sequence["EncryptedTupleBlock"]) -> "EncryptedTupleBlock":
+        """Merge blocks into one without re-framing any payload bytes —
+        how the batcher coalesces per-contribution blocks into one
+        wire frame."""
+        if len(blocks) == 1:
+            return blocks[0]
+        offsets = [0]
+        tags: list[bytes | None] = []
+        base = 0
+        for block in blocks:
+            offsets.extend(base + offset for offset in block.offsets[1:])
+            tags.extend(block.tags)
+            base += len(block.payloads)
+        return cls(
+            payloads=b"".join(block.payloads for block in blocks),
+            offsets=tuple(offsets),
+            tags=tuple(tags),
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class EncryptedPartial:

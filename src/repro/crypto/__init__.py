@@ -24,6 +24,7 @@ from repro.crypto.keys import (
     random_key,
 )
 from repro.crypto.ndet import NonDeterministicCipher
+from repro.crypto.pool import CryptoPool, TupleFrameBlock
 
 __all__ = [
     "AES128",
@@ -33,8 +34,10 @@ __all__ = [
     "BucketHasher",
     "DeviceKeyStore",
     "KeyBroadcast",
+    "CryptoPool",
     "DeterministicCipher",
     "NonDeterministicCipher",
+    "TupleFrameBlock",
     "KeyBundle",
     "KeyProvisioner",
     "KeyRing",

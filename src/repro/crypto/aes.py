@@ -27,9 +27,22 @@ Only the raw block transform lives here; chaining modes are built on top in
 from __future__ import annotations
 
 from struct import Struct
-from typing import Any
+from typing import Any, Protocol
 
 from repro.exceptions import InvalidKeyError
+
+
+class CipherEngine(Protocol):
+    """The engine surface the chaining modes require.
+
+    Engines *may* additionally expose the bulk methods
+    (``ctr_keystream`` / ``ctr_keystream_many`` / ``ctr_keystream_packed``
+    / ``cbc_mac_words`` / ``cbc_mac_many``); :mod:`repro.crypto.modes`
+    discovers those by duck typing and falls back to per-block loops."""
+
+    def encrypt_block(self, block: bytes) -> bytes: ...
+
+    def decrypt_block(self, block: bytes) -> bytes: ...
 
 try:  # optional vectorized bulk engine; the scalar T-tables are the fallback
     import numpy as _np
@@ -137,13 +150,42 @@ _FOUR_WORDS = Struct(">IIII")
 # Vectorized copies of the tables for the optional numpy bulk engine: the
 # same T-table lookups, gathered across every block of a message (and
 # every message of a batch) at once instead of one block at a time.
+#
+# The bulk kernel goes one step further than the scalar path and pairs
+# adjacent state bytes into 16-bit indices: _NP_TE01[a << 8 | b] is
+# TE0[a] ^ TE1[b] (and _NP_TE23 likewise for TE2/TE3), so a round costs
+# two 65536-entry gathers per output word instead of four 256-entry ones.
+# The pair indices come for free from a uint16 view of the mixed words
+# (t_hi & 0xFF00FF00) | (t_lo & 0x00FF00FF) — no shifts or masks per
+# lookup.  The view trick depends on host byte order, hence _NP_HI/_NP_LO.
 if _np is not None:
     _NP_TE = tuple(_np.array(t, dtype=_np.uint32) for t in (_TE0, _TE1, _TE2, _TE3))
     _NP_SBOX = _np.array(list(_SBOX), dtype=_np.uint32)
+    _NP_TE01 = (_NP_TE[0][:, None] ^ _NP_TE[1][None, :]).ravel()
+    _NP_TE23 = (_NP_TE[2][:, None] ^ _NP_TE[3][None, :]).ravel()
+    _NP_PAIR_IDX = _np.arange(65536, dtype=_np.uint32)
+    _NP_SBOX_PAIR = (
+        (_NP_SBOX[_NP_PAIR_IDX >> 8] << 8) | _NP_SBOX[_NP_PAIR_IDX & 0xFF]
+    )
+    _NP_MASK_HI = _np.uint32(0xFF00FF00)
+    _NP_MASK_LO = _np.uint32(0x00FF00FF)
+    #: which uint16 half of a native uint32 holds its high 16 bits
+    _NP_HI = 1 if _np.little_endian else 0
+    _NP_LO = 1 - _NP_HI
+    #: row permutations of the stacked (4, lanes) state: row j's pair word
+    #: mixes state rows (j, j+1), and its TE23 index comes from pair row
+    #: j+2 (the ShiftRows geometry expressed on whole rows)
+    _NP_ROLL1 = _np.array([1, 2, 3, 0])
+    _NP_ROLL2 = _np.array([2, 3, 0, 1])
 
 #: below this many blocks the numpy dispatch overhead beats its gains and
 #: the scalar T-table loop wins
 _NP_MIN_BLOCKS = 16
+
+#: below this many lanes per call the stacked (4, lanes) round body wins;
+#: above it the word-wise body's contiguous ops beat the stacked form's
+#: row-permutation copies
+_NP_STACK_MAX_LANES = 8192
 
 
 def expand_key(key: bytes) -> list[bytes]:
@@ -252,12 +294,15 @@ class AES128:
     True
     """
 
-    __slots__ = ("_enc", "_dec")
+    __slots__ = ("_enc", "_dec", "_np_rk")
 
     def __init__(self, key: bytes) -> None:
         schedule = _schedule(key)
         self._enc = schedule.enc
         self._dec = schedule.dec
+        self._np_rk = (
+            _np.array(schedule.enc, dtype=_np.uint32) if _np is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     # core word-level transforms
@@ -363,25 +408,27 @@ class AES128:
             )
         return bytes(out)
 
-    def ctr_keystream_many(
+    def ctr_keystream_packed(
         self, nonces: list[bytes], block_counts: list[int]
-    ) -> list[bytes]:
-        """CTR keystreams for a whole batch of messages in one pass.
+    ) -> bytes:
+        """Concatenated CTR keystreams for a batch of messages.
 
-        All messages share one vectorized AES evaluation over the union of
-        their counter blocks — the engine behind ``encrypt_many`` /
-        ``decrypt_many`` on the protocol ciphers."""
+        Like :meth:`ctr_keystream_many` but the per-message streams come
+        back as one flat buffer (message *i* occupies
+        ``block_counts[i] * 16`` bytes starting where message *i - 1*
+        ended) — the shape the packed block APIs consume, with no
+        per-message slicing."""
         if len(nonces) != len(block_counts):
             raise ValueError("one nonce per block count required")
-        total_blocks = sum(block_counts)
-        if _np is None or total_blocks < _NP_MIN_BLOCKS:
-            return [
-                self.ctr_keystream(nonce, count)
-                for nonce, count in zip(nonces, block_counts)
-            ]
         for nonce in nonces:
             if len(nonce) != 8:
                 raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
+        total_blocks = sum(block_counts)
+        if _np is None or total_blocks < _NP_MIN_BLOCKS:
+            return b"".join(
+                self.ctr_keystream(nonce, count)
+                for nonce, count in zip(nonces, block_counts)
+            )
         counts = _np.array(block_counts, dtype=_np.int64)
         nonce_words = _np.frombuffer(b"".join(nonces), dtype=">u4").astype(
             _np.uint32
@@ -397,7 +444,24 @@ class AES128:
         )
         t2 = _np.zeros(total_blocks, dtype=_np.uint32)
         s0, s1, s2, s3 = self._np_encrypt_words(t0, t1, t2, t3)
-        flat = _np.stack((s0, s1, s2, s3), axis=1).astype(">u4").tobytes()
+        out = _np.empty((total_blocks, 4), dtype=_np.uint32)
+        out[:, 0] = s0
+        out[:, 1] = s1
+        out[:, 2] = s2
+        out[:, 3] = s3
+        if _np.little_endian:  # keystream bytes are big-endian words
+            out.byteswap(inplace=True)
+        return out.tobytes()
+
+    def ctr_keystream_many(
+        self, nonces: list[bytes], block_counts: list[int]
+    ) -> list[bytes]:
+        """CTR keystreams for a whole batch of messages in one pass.
+
+        All messages share one vectorized AES evaluation over the union of
+        their counter blocks — the engine behind ``encrypt_many`` /
+        ``decrypt_many`` on the protocol ciphers."""
+        flat = self.ctr_keystream_packed(nonces, block_counts)
         streams = []
         cursor = 0
         for count in block_counts:
@@ -419,10 +483,20 @@ class AES128:
             return [self.cbc_mac_words(message) for message in messages]
         lanes = len(messages)
         max_blocks = max(counts)
-        words = _np.zeros((lanes, 4 * max_blocks), dtype=_np.uint32)
-        for lane, message in enumerate(messages):
-            w = _np.frombuffer(message, dtype=">u4")
-            words[lane, : w.size] = w
+        uniform = min(counts) == max_blocks
+        if uniform:
+            # Equal-length batch (the packed block APIs): one frombuffer
+            # over the joined messages, and no per-step done-lane scan.
+            words = (
+                _np.frombuffer(b"".join(messages), dtype=">u4")
+                .astype(_np.uint32)
+                .reshape(lanes, 4 * max_blocks)
+            )
+        else:
+            words = _np.zeros((lanes, 4 * max_blocks), dtype=_np.uint32)
+            for lane, message in enumerate(messages):
+                w = _np.frombuffer(message, dtype=">u4").astype(_np.uint32)
+                words[lane, : w.size] = w
         t0 = _np.zeros(lanes, dtype=_np.uint32)
         t1 = t0.copy()
         t2 = t0.copy()
@@ -436,6 +510,8 @@ class AES128:
                 t2 ^ words[:, base + 2],
                 t3 ^ words[:, base + 3],
             )
+            if uniform:
+                continue
             done = [
                 lane for lane, count in enumerate(counts)
                 if count == block_index + 1
@@ -446,35 +522,126 @@ class AES128:
                 ).astype(">u4").tobytes()
                 for i, lane in enumerate(done):
                     macs[lane] = packed[16 * i : 16 * i + 16]
-        return [mac for mac in macs]  # every lane captured exactly once
+        if uniform:
+            out = _np.empty((lanes, 4), dtype=_np.uint32)
+            out[:, 0] = t0
+            out[:, 1] = t1
+            out[:, 2] = t2
+            out[:, 3] = t3
+            if _np.little_endian:
+                out.byteswap(inplace=True)
+            flat = out.tobytes()
+            return [flat[16 * i : 16 * i + 16] for i in range(lanes)]
+        # every non-empty lane captured exactly once; an empty message's
+        # MAC core is the zero IV itself
+        return [mac if mac is not None else bytes(BLOCK_SIZE) for mac in macs]
 
     def _np_encrypt_words(self, t0: Any, t1: Any, t2: Any, t3: Any) -> Any:
-        """Vectorized :meth:`_encrypt_words` over arrays of column words."""
-        rk = self._enc
-        te0, te1, te2, te3 = _NP_TE
-        t0 = t0 ^ _np.uint32(rk[0])
-        t1 = t1 ^ _np.uint32(rk[1])
-        t2 = t2 ^ _np.uint32(rk[2])
-        t3 = t3 ^ _np.uint32(rk[3])
+        """Vectorized :meth:`_encrypt_words` over arrays of column words.
+
+        Two bodies, same math: below ``_NP_STACK_MAX_LANES`` the four
+        state words are stacked into one (4, lanes) array so each round
+        costs ~8 numpy dispatches instead of ~30 — this is the CBC-MAC
+        lockstep regime, where 66 sequential steps over a few hundred
+        lanes are dominated by per-op dispatch overhead, not gathers.
+        Large batches (the one-shot CTR keystream of a whole block) stay
+        on the word-wise body, which is faster once arrays are big enough
+        that the fancy row indexing of the stacked form costs real
+        memory traffic."""
+        if t0.shape[0] < _NP_STACK_MAX_LANES:
+            return self._np_encrypt_words_stacked(t0, t1, t2, t3)
+        return self._np_encrypt_words_wide(t0, t1, t2, t3)
+
+    def _np_encrypt_words_stacked(
+        self, t0: Any, t1: Any, t2: Any, t3: Any
+    ) -> Any:
+        """The dispatch-lean body: one (4, lanes) state array per round."""
+        rk = self._np_rk
+        te01, te23 = _NP_TE01, _NP_TE23
+        mask_hi, mask_lo = _NP_MASK_HI, _NP_MASK_LO
+        hi, lo = _NP_HI, _NP_LO
+        roll1, roll2 = _NP_ROLL1, _NP_ROLL2
+        n = t0.shape[0]
+        t = _np.empty((4, n), dtype=_np.uint32)
+        t[0] = t0 ^ rk[0]
+        t[1] = t1 ^ rk[1]
+        t[2] = t2 ^ rk[2]
+        t[3] = t3 ^ rk[3]
         i = 4
         for __ in range(_NUM_ROUNDS - 1):
-            s0 = te0[t0 >> 24] ^ te1[(t1 >> 16) & 0xFF] ^ te2[(t2 >> 8) & 0xFF] ^ te3[t3 & 0xFF] ^ _np.uint32(rk[i])
-            s1 = te0[t1 >> 24] ^ te1[(t2 >> 16) & 0xFF] ^ te2[(t3 >> 8) & 0xFF] ^ te3[t0 & 0xFF] ^ _np.uint32(rk[i + 1])
-            s2 = te0[t2 >> 24] ^ te1[(t3 >> 16) & 0xFF] ^ te2[(t0 >> 8) & 0xFF] ^ te3[t1 & 0xFF] ^ _np.uint32(rk[i + 2])
-            s3 = te0[t3 >> 24] ^ te1[(t0 >> 16) & 0xFF] ^ te2[(t1 >> 8) & 0xFF] ^ te3[t2 & 0xFF] ^ _np.uint32(rk[i + 3])
-            t0, t1, t2, t3 = s0, s1, s2, s3
+            pairs = t & mask_hi
+            pairs |= t[roll1] & mask_lo
+            halves = pairs.view(_np.uint16).reshape(4, n, 2)
+            t = te01[halves[:, :, hi]]
+            t ^= te23[halves[roll2][:, :, lo]]
+            t ^= rk[i : i + 4, None]
             i += 4
-        sbox = _NP_SBOX
-        return (
-            ((sbox[t0 >> 24] << 24) | (sbox[(t1 >> 16) & 0xFF] << 16)
-             | (sbox[(t2 >> 8) & 0xFF] << 8) | sbox[t3 & 0xFF]) ^ _np.uint32(rk[40]),
-            ((sbox[t1 >> 24] << 24) | (sbox[(t2 >> 16) & 0xFF] << 16)
-             | (sbox[(t3 >> 8) & 0xFF] << 8) | sbox[t0 & 0xFF]) ^ _np.uint32(rk[41]),
-            ((sbox[t2 >> 24] << 24) | (sbox[(t3 >> 16) & 0xFF] << 16)
-             | (sbox[(t0 >> 8) & 0xFF] << 8) | sbox[t1 & 0xFF]) ^ _np.uint32(rk[42]),
-            ((sbox[t3 >> 24] << 24) | (sbox[(t0 >> 16) & 0xFF] << 16)
-             | (sbox[(t1 >> 8) & 0xFF] << 8) | sbox[t2 & 0xFF]) ^ _np.uint32(rk[43]),
-        )
+        sp = _NP_SBOX_PAIR
+        pairs = t & mask_hi
+        pairs |= t[roll1] & mask_lo
+        halves = pairs.view(_np.uint16).reshape(4, n, 2)
+        s = sp[halves[:, :, hi]] << 16
+        s |= sp[halves[roll2][:, :, lo]]
+        s ^= rk[40:44, None]
+        return s[0], s[1], s[2], s[3]
+
+    def _np_encrypt_words_wide(
+        self, t0: Any, t1: Any, t2: Any, t3: Any
+    ) -> Any:
+        """The gather-lean body, word by word.
+
+        Uses the paired 16-bit T-tables: each round mixes the state into
+        four pair-index arrays whose uint16 halves address _NP_TE01 /
+        _NP_TE23 directly.  The word ``(t_hi & 0xFF00FF00) |
+        (t_lo & 0x00FF00FF)`` carries exactly the two byte pairs
+        (t_hi.b3, t_lo.b2) and (t_hi.b1, t_lo.b0) that the round function
+        consumes, one in each 16-bit half."""
+        rk = self._np_rk
+        te01, te23 = _NP_TE01, _NP_TE23
+        mask_hi, mask_lo = _NP_MASK_HI, _NP_MASK_LO
+        hi, lo = _NP_HI, _NP_LO
+        u16 = _np.uint16
+        t0 = (t0 ^ rk[0]).astype(_np.uint32, copy=False)
+        t1 = (t1 ^ rk[1]).astype(_np.uint32, copy=False)
+        t2 = (t2 ^ rk[2]).astype(_np.uint32, copy=False)
+        t3 = (t3 ^ rk[3]).astype(_np.uint32, copy=False)
+        i = 4
+        for __ in range(_NUM_ROUNDS - 1):
+            pa = ((t0 & mask_hi) | (t1 & mask_lo)).view(u16).reshape(-1, 2)
+            pb = ((t1 & mask_hi) | (t2 & mask_lo)).view(u16).reshape(-1, 2)
+            pc = ((t2 & mask_hi) | (t3 & mask_lo)).view(u16).reshape(-1, 2)
+            pd = ((t3 & mask_hi) | (t0 & mask_lo)).view(u16).reshape(-1, 2)
+            t0 = te01[pa[:, hi]]
+            t0 ^= te23[pc[:, lo]]
+            t0 ^= rk[i]
+            t1 = te01[pb[:, hi]]
+            t1 ^= te23[pd[:, lo]]
+            t1 ^= rk[i + 1]
+            t2 = te01[pc[:, hi]]
+            t2 ^= te23[pa[:, lo]]
+            t2 ^= rk[i + 2]
+            t3 = te01[pd[:, hi]]
+            t3 ^= te23[pb[:, lo]]
+            t3 ^= rk[i + 3]
+            i += 4
+        sp = _NP_SBOX_PAIR
+        pa = ((t0 & mask_hi) | (t1 & mask_lo)).view(u16).reshape(-1, 2)
+        pb = ((t1 & mask_hi) | (t2 & mask_lo)).view(u16).reshape(-1, 2)
+        pc = ((t2 & mask_hi) | (t3 & mask_lo)).view(u16).reshape(-1, 2)
+        pd = ((t3 & mask_hi) | (t0 & mask_lo)).view(u16).reshape(-1, 2)
+        s0 = sp[pa[:, hi]] << 16
+        s0 |= sp[pc[:, lo]]
+        s0 ^= rk[40]
+        s1 = sp[pb[:, hi]] << 16
+        s1 |= sp[pd[:, lo]]
+        s1 ^= rk[41]
+        s2 = sp[pc[:, hi]] << 16
+        s2 |= sp[pa[:, lo]]
+        s2 ^= rk[42]
+        s3 = sp[pd[:, hi]] << 16
+        s3 |= sp[pb[:, lo]]
+        s3 ^= rk[43]
+        return s0, s1, s2, s3
 
     def cbc_mac_words(self, message: bytes) -> bytes:
         """CBC-MAC core over a block-aligned *message* (zero IV)."""

@@ -18,12 +18,16 @@ run whole covering results through the vectorized AES engine in one pass.
 
 from __future__ import annotations
 
+import hmac
+from typing import Sequence
+
 from repro.crypto import cache
 from repro.crypto.modes import (
     cbc_mac,
     cbc_mac_many,
     ctr_transform,
     ctr_transform_many,
+    ctr_transform_packed,
 )
 from repro.exceptions import DecryptionError
 
@@ -59,7 +63,7 @@ class DeterministicCipher:
         siv = ciphertext[:_SIV_SIZE]
         body = ciphertext[_SIV_SIZE:]
         plaintext = ctr_transform(self._enc, siv[:8], body)
-        if cbc_mac(self._mac, plaintext) != siv:
+        if not hmac.compare_digest(cbc_mac(self._mac, plaintext), siv):
             raise DecryptionError("Det_Enc synthetic IV mismatch")
         return plaintext
 
@@ -93,10 +97,87 @@ class DeterministicCipher:
             self._enc, [siv[:8] for siv in sivs], bodies
         )
         expected = cbc_mac_many(self._mac, plaintexts)
+        valid = True
         for siv, want in zip(sivs, expected):
-            if siv != want:
-                raise DecryptionError("Det_Enc synthetic IV mismatch")
+            # constant-time per IV, and no early exit across the batch
+            valid = hmac.compare_digest(siv, want) and valid
+        if not valid:
+            raise DecryptionError("Det_Enc synthetic IV mismatch")
         return plaintexts
+
+    # ------------------------------------------------------------------ #
+    # packed-block interface (the block crypto plane)
+    # ------------------------------------------------------------------ #
+    def encrypt_block(
+        self, payloads: bytes | memoryview, offsets: Sequence[int]
+    ) -> tuple[bytes, tuple[int, ...]]:
+        """Encrypt a packed buffer of messages in one pass (SIV MACs,
+        then one packed CTR pass).  Returns the packed ciphertext buffer
+        and its offsets; each message grows by :meth:`ciphertext_overhead`
+        bytes.  Determinism is preserved message-wise: each output segment
+        equals :meth:`encrypt` of the corresponding input segment."""
+        count = len(offsets) - 1
+        view = memoryview(payloads)
+        sivs = cbc_mac_many(
+            self._mac,
+            [bytes(view[offsets[i] : offsets[i + 1]]) for i in range(count)],
+        )
+        bodies = ctr_transform_packed(
+            self._enc, [siv[:8] for siv in sivs], payloads, offsets
+        )
+        body_view = memoryview(bodies)
+        pieces: list[bytes | memoryview] = []
+        out_offsets = [0] * (count + 1)
+        cursor = 0
+        for i in range(count):
+            segment = body_view[offsets[i] : offsets[i + 1]]
+            pieces.append(sivs[i])
+            pieces.append(segment)
+            cursor += _SIV_SIZE + len(segment)
+            out_offsets[i + 1] = cursor
+        return b"".join(pieces), tuple(out_offsets)
+
+    def decrypt_block(
+        self, payloads: bytes | memoryview, offsets: Sequence[int]
+    ) -> tuple[bytes, tuple[int, ...]]:
+        """Decrypt then verify a packed buffer of ciphertexts.
+
+        Raises :class:`DecryptionError` if *any* synthetic IV mismatches —
+        the block is one trust decision, and every IV is compared
+        (constant-time) before any verdict is returned."""
+        count = len(offsets) - 1
+        view = memoryview(payloads)
+        sivs: list[bytes] = []
+        body_offsets = [0] * (count + 1)
+        cursor = 0
+        for i in range(count):
+            start, end = offsets[i], offsets[i + 1]
+            if end - start < _SIV_SIZE:
+                raise DecryptionError("ciphertext too short for Det_Enc framing")
+            sivs.append(bytes(view[start : start + _SIV_SIZE]))
+            cursor += (end - start) - _SIV_SIZE
+            body_offsets[i + 1] = cursor
+        packed_bodies = b"".join(
+            bytes(view[offsets[i] + _SIV_SIZE : offsets[i + 1]])
+            for i in range(count)
+        )
+        plain = ctr_transform_packed(
+            self._enc, [siv[:8] for siv in sivs], packed_bodies, body_offsets
+        )
+        plain_view = memoryview(plain)
+        expected = cbc_mac_many(
+            self._mac,
+            [
+                bytes(plain_view[body_offsets[i] : body_offsets[i + 1]])
+                for i in range(count)
+            ],
+        )
+        valid = True
+        for siv, want in zip(sivs, expected):
+            valid = hmac.compare_digest(siv, want) and valid
+        if not valid:
+            raise DecryptionError("Det_Enc synthetic IV mismatch")
+        return plain, tuple(body_offsets)
 
     def ciphertext_overhead(self) -> int:
         """Bytes added on top of the plaintext length."""

@@ -23,8 +23,15 @@ Padding helpers implement PKCS#7 so arbitrary-length tuples round-trip.
 
 from __future__ import annotations
 
-from repro.crypto.aes import AES128, BLOCK_SIZE
+from typing import Sequence
+
+from repro.crypto.aes import BLOCK_SIZE, CipherEngine
 from repro.exceptions import DecryptionError
+
+try:  # vectorized packed-buffer XOR; per-message slices are the fallback
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment without numpy
+    _np = None
 
 
 def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
@@ -60,7 +67,7 @@ def _xor_bulk(data: bytes, keystream: bytes) -> bytes:
     ).to_bytes(n, "big")
 
 
-def _keystream(cipher: AES128, nonce: bytes, num_blocks: int) -> bytes:
+def _keystream(cipher: CipherEngine, nonce: bytes, num_blocks: int) -> bytes:
     """Whole-message keystream; falls back to per-block ECB for foreign
     cipher objects that only expose ``encrypt_block`` (e.g. the reference
     implementation)."""
@@ -73,7 +80,7 @@ def _keystream(cipher: AES128, nonce: bytes, num_blocks: int) -> bytes:
     )
 
 
-def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
+def ctr_transform(cipher: CipherEngine, nonce: bytes, data: bytes) -> bytes:
     """Encrypt or decrypt *data* in CTR mode (the operation is symmetric).
 
     *nonce* must be exactly 8 bytes; the remaining 8 bytes of the counter
@@ -86,7 +93,7 @@ def ctr_transform(cipher: AES128, nonce: bytes, data: bytes) -> bytes:
 
 
 def ctr_transform_many(
-    cipher: AES128, nonces: list[bytes], messages: list[bytes]
+    cipher: CipherEngine, nonces: list[bytes], messages: list[bytes]
 ) -> list[bytes]:
     """CTR-transform a batch of messages in one vectorized keystream pass."""
     if len(nonces) != len(messages):
@@ -113,7 +120,7 @@ def _mac_message(data: bytes) -> bytes:
     return pkcs7_pad(len(data).to_bytes(8, "big") + data)
 
 
-def cbc_mac(cipher: AES128, data: bytes) -> bytes:
+def cbc_mac(cipher: CipherEngine, data: bytes) -> bytes:
     """Compute a CBC-MAC over *data* (length-prefixed to avoid extension
     ambiguities between messages of different lengths)."""
     message = _mac_message(data)
@@ -127,10 +134,104 @@ def cbc_mac(cipher: AES128, data: bytes) -> bytes:
     return mac
 
 
-def cbc_mac_many(cipher: AES128, datas: list[bytes]) -> list[bytes]:
+def cbc_mac_many(cipher: CipherEngine, datas: list[bytes]) -> list[bytes]:
     """CBC-MACs of a batch of messages, vectorized across the batch."""
     messages = [_mac_message(data) for data in datas]
     core_many = getattr(cipher, "cbc_mac_many", None)
     if core_many is not None:
         return core_many(messages)
     return [cbc_mac(cipher, data) for data in datas]
+
+
+# ---------------------------------------------------------------------- #
+# packed-buffer interface (the block crypto plane)
+# ---------------------------------------------------------------------- #
+
+
+def block_counts_for_sizes(sizes: Sequence[int]) -> list[int]:
+    """CTR block counts covering messages of the given byte *sizes*."""
+    return [(size + BLOCK_SIZE - 1) // BLOCK_SIZE for size in sizes]
+
+
+def keystream_packed(
+    cipher: CipherEngine, nonces: Sequence[bytes], sizes: Sequence[int]
+) -> bytes:
+    """One flat CTR keystream buffer covering a batch of messages.
+
+    Message *i*'s keystream occupies ``block_counts[i] * 16`` bytes
+    starting where message *i - 1*'s ended (block-aligned, so a message's
+    stream is longer than the message unless its size is a multiple of
+    16).  This is the precomputable half of :func:`ctr_transform_packed`:
+    a worker can generate it ahead of time — overlapped with socket I/O —
+    and hand it in via the ``keystream`` parameter."""
+    if len(nonces) != len(sizes):
+        raise ValueError("one nonce per message size required")
+    counts = block_counts_for_sizes(sizes)
+    generate_packed = getattr(cipher, "ctr_keystream_packed", None)
+    if generate_packed is not None:
+        return generate_packed(list(nonces), counts)
+    return b"".join(
+        _keystream(cipher, nonce, count)
+        for nonce, count in zip(nonces, counts)
+    )
+
+
+def ctr_transform_packed(
+    cipher: CipherEngine,
+    nonces: Sequence[bytes],
+    buffer: bytes | memoryview,
+    offsets: Sequence[int],
+    *,
+    keystream: bytes | None = None,
+) -> bytes:
+    """CTR-transform messages packed in one buffer, returning a packed
+    buffer of the same shape (CTR is length-preserving).
+
+    ``offsets`` has one entry per message boundary (``len(messages) + 1``
+    entries, first 0, last ``len(buffer)``) — the
+    :func:`repro.core.codec.encode_packed` convention.  A precomputed
+    *keystream* (from :func:`keystream_packed` with the same nonces and
+    sizes) skips the AES pass entirely."""
+    count = len(offsets) - 1
+    if count < 0:
+        raise ValueError("offsets must have at least one entry")
+    if len(nonces) != count:
+        raise ValueError("one nonce per packed message required")
+    for nonce in nonces:
+        if len(nonce) != 8:
+            raise ValueError(f"CTR nonce must be 8 bytes, got {len(nonce)}")
+    view = memoryview(buffer)
+    if offsets[0] != 0 or offsets[-1] != len(view):
+        raise ValueError("offsets must span the packed buffer exactly")
+    sizes = [offsets[i + 1] - offsets[i] for i in range(count)]
+    if any(size < 0 for size in sizes):
+        raise ValueError("offsets must be non-decreasing")
+    if keystream is None:
+        keystream = keystream_packed(cipher, nonces, sizes)
+    if _np is not None and len(view) >= 512:
+        data = _np.frombuffer(view, dtype=_np.uint8)
+        stream = _np.frombuffer(keystream, dtype=_np.uint8)
+        if len(keystream) == len(view):
+            # Every message is block-aligned, so the packed keystream
+            # lines up byte-for-byte with the packed data: one flat XOR,
+            # no gather.
+            return (data ^ stream).tobytes()
+        # Per-byte keystream positions: message i's data byte j maps to
+        # keystream byte (16 * cum_blocks[i]) + (j - offsets[i]).
+        counts = _np.array(block_counts_for_sizes(sizes), dtype=_np.int64)
+        sizes_arr = _np.array(sizes, dtype=_np.int64)
+        ks_starts = (_np.cumsum(counts) - counts) * BLOCK_SIZE
+        msg_starts = _np.array(offsets[:-1], dtype=_np.int64)
+        positions = (
+            _np.repeat(ks_starts - msg_starts, sizes_arr)
+            + _np.arange(len(view), dtype=_np.int64)
+        ).astype(_np.intp, copy=False)
+        return (data ^ stream[positions]).tobytes()
+    pieces = []
+    cursor = 0
+    for i in range(count):
+        segment = bytes(view[offsets[i] : offsets[i + 1]])
+        span = len(segment) + (-len(segment) % BLOCK_SIZE)
+        pieces.append(_xor_bulk(segment, keystream[cursor : cursor + span]))
+        cursor += span
+    return b"".join(pieces)

@@ -24,8 +24,10 @@ simulations; by default nonces come from :mod:`secrets`.
 
 from __future__ import annotations
 
+import hmac
 import random
 import secrets
+from typing import Sequence
 
 from repro.crypto import cache
 from repro.crypto.modes import (
@@ -33,6 +35,8 @@ from repro.crypto.modes import (
     cbc_mac_many,
     ctr_transform,
     ctr_transform_many,
+    ctr_transform_packed,
+    keystream_packed,
 )
 from repro.exceptions import DecryptionError
 
@@ -64,6 +68,15 @@ class NonDeterministicCipher:
             return self._rng.getrandbits(64).to_bytes(8, "big")
         return secrets.token_bytes(_NONCE_SIZE)
 
+    def fresh_nonces(self, count: int) -> list[bytes]:
+        """*count* fresh CTR nonces (one :mod:`secrets` call, not *count*)."""
+        if self._rng is not None:
+            return [self._fresh_nonce() for __ in range(count)]
+        pool = secrets.token_bytes(_NONCE_SIZE * count)
+        return [
+            pool[i * _NONCE_SIZE : (i + 1) * _NONCE_SIZE] for i in range(count)
+        ]
+
     def encrypt(self, plaintext: bytes) -> bytes:
         """Encrypt *plaintext* under a fresh nonce."""
         nonce = self._fresh_nonce()
@@ -79,7 +92,7 @@ class NonDeterministicCipher:
         nonce = ciphertext[:_NONCE_SIZE]
         body = ciphertext[_NONCE_SIZE:-_TAG_SIZE]
         tag = ciphertext[-_TAG_SIZE:]
-        if cbc_mac(self._mac, nonce + body) != tag:
+        if not hmac.compare_digest(cbc_mac(self._mac, nonce + body), tag):
             raise DecryptionError("nDet_Enc authentication tag mismatch")
         return ctr_transform(self._enc, nonce, body)
 
@@ -119,10 +132,111 @@ class NonDeterministicCipher:
             self._mac,
             [nonce + body for nonce, body in zip(nonces, bodies)],
         )
+        valid = True
         for tag, want in zip(tags, expected):
-            if tag != want:
-                raise DecryptionError("nDet_Enc authentication tag mismatch")
+            # constant-time per tag, and no early exit: the comparison
+            # work is independent of *where* a forgery sits in the batch
+            valid = hmac.compare_digest(tag, want) and valid
+        if not valid:
+            raise DecryptionError("nDet_Enc authentication tag mismatch")
         return ctr_transform_many(self._enc, nonces, bodies)
+
+    # ------------------------------------------------------------------ #
+    # packed-block interface (the block crypto plane)
+    # ------------------------------------------------------------------ #
+    def keystream_block(
+        self, nonces: Sequence[bytes], sizes: Sequence[int]
+    ) -> bytes:
+        """Precompute the packed CTR keystream for a future
+        :meth:`encrypt_block` call with the same *nonces* over messages of
+        the given *sizes* — the half of the work that can overlap with
+        socket I/O."""
+        return keystream_packed(self._enc, nonces, sizes)
+
+    def encrypt_block(
+        self,
+        payloads: bytes | memoryview,
+        offsets: Sequence[int],
+        *,
+        nonces: Sequence[bytes] | None = None,
+        keystream: bytes | None = None,
+    ) -> tuple[bytes, tuple[int, ...]]:
+        """Encrypt a packed buffer of messages in one pass.
+
+        *payloads* + *offsets* follow the
+        :func:`repro.core.codec.encode_packed` convention (``count + 1``
+        offsets spanning the buffer).  Returns the packed ciphertext
+        buffer and its offsets; each message grows by
+        :meth:`ciphertext_overhead` bytes.  Explicit *nonces* (with an
+        optional matching precomputed *keystream*) make the output
+        reproducible and let worker processes share one entropy draw."""
+        count = len(offsets) - 1
+        if nonces is None:
+            nonces = self.fresh_nonces(count)
+        elif len(nonces) != count:
+            raise ValueError("one nonce per packed message required")
+        bodies = ctr_transform_packed(
+            self._enc, nonces, payloads, offsets, keystream=keystream
+        )
+        view = memoryview(bodies)
+        tags = cbc_mac_many(
+            self._mac,
+            [
+                nonces[i] + bytes(view[offsets[i] : offsets[i + 1]])
+                for i in range(count)
+            ],
+        )
+        pieces: list[bytes | memoryview] = []
+        out_offsets = [0] * (count + 1)
+        cursor = 0
+        for i in range(count):
+            segment = view[offsets[i] : offsets[i + 1]]
+            pieces.append(nonces[i])
+            pieces.append(segment)
+            pieces.append(tags[i])
+            cursor += _NONCE_SIZE + len(segment) + _TAG_SIZE
+            out_offsets[i + 1] = cursor
+        return b"".join(pieces), tuple(out_offsets)
+
+    def decrypt_block(
+        self, payloads: bytes | memoryview, offsets: Sequence[int]
+    ) -> tuple[bytes, tuple[int, ...]]:
+        """Authenticate then decrypt a packed buffer of ciphertexts.
+
+        Returns the packed plaintext buffer and its offsets.  Raises
+        :class:`DecryptionError` if *any* message is truncated or
+        tampered — the block is one trust decision, and every tag is
+        compared (constant-time) before any verdict is returned."""
+        count = len(offsets) - 1
+        view = memoryview(payloads)
+        nonces: list[bytes] = []
+        bodies: list[memoryview] = []
+        tags: list[bytes] = []
+        body_offsets = [0] * (count + 1)
+        cursor = 0
+        for i in range(count):
+            start, end = offsets[i], offsets[i + 1]
+            if end - start < _NONCE_SIZE + _TAG_SIZE:
+                raise DecryptionError("ciphertext too short for nDet_Enc framing")
+            nonces.append(bytes(view[start : start + _NONCE_SIZE]))
+            bodies.append(view[start + _NONCE_SIZE : end - _TAG_SIZE])
+            tags.append(bytes(view[end - _TAG_SIZE : end]))
+            cursor += (end - start) - _NONCE_SIZE - _TAG_SIZE
+            body_offsets[i + 1] = cursor
+        expected = cbc_mac_many(
+            self._mac,
+            [nonce + bytes(body) for nonce, body in zip(nonces, bodies)],
+        )
+        valid = True
+        for tag, want in zip(tags, expected):
+            valid = hmac.compare_digest(tag, want) and valid
+        if not valid:
+            raise DecryptionError("nDet_Enc authentication tag mismatch")
+        packed_bodies = b"".join(bytes(body) for body in bodies)
+        plain = ctr_transform_packed(
+            self._enc, nonces, packed_bodies, body_offsets
+        )
+        return plain, tuple(body_offsets)
 
     def ciphertext_overhead(self) -> int:
         """Bytes added on top of the plaintext length."""

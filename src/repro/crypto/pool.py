@@ -1,0 +1,300 @@
+"""Multiprocess crypto worker pool — block encryption off the event loop.
+
+The paper's TDS offloads bulk AES to a dedicated crypto-coprocessor that
+runs concurrently with the device's communication stack (§6.2).  This
+module is that coprocessor's software analogue: a pool of worker
+processes that encrypt/MAC whole packed tuple blocks — **one IPC round
+per block, not per tuple** — while the asyncio event loop keeps the
+sockets busy.  With ``workers=0`` the pool degrades to inline (in-process)
+execution, which is also the right choice on single-core hosts where an
+extra process only adds IPC cost.
+
+Trust boundary: a :class:`TupleFrameBlock` holds *unencrypted* tuple
+frames.  It exists only on the TDS side of the dataflow — it is built by
+:meth:`repro.tds.node.TrustedDataServer.collect_frames` and consumed by
+:meth:`CryptoPool.encrypt_tuple_block`, whose output is the
+:class:`~repro.core.messages.EncryptedTupleBlock` that may travel to the
+SSI.  The worker processes are TDS-role compute, exactly like the
+paper's coprocessor sits inside the tamper-resistant perimeter.
+
+Everything a worker needs travels in the job (master key bytes, packed
+buffer, offsets, nonces); workers rebuild ciphers through the
+process-wide :mod:`repro.crypto.cache`, so repeated jobs under the same
+key skip the schedule expansion.  Nonces are drawn in the *parent* (one
+``secrets`` call per block) so injected-rng reproducibility and the
+single-entropy-source property survive the process hop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Sequence
+
+from repro.core.messages import EncryptedTupleBlock
+from repro.crypto import cache
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class TupleFrameBlock:
+    """A packed buffer of yet-to-be-encrypted tuple frames plus their
+    cleartext group tags — the TDS-side input to the crypto plane.
+
+    Same shape as :class:`~repro.core.messages.EncryptedTupleBlock`
+    (``count + 1`` offsets spanning ``frames``), but the payload bytes
+    are cleartext: instances must never cross the TDS trust boundary.
+    """
+
+    frames: bytes
+    offsets: tuple[int, ...]
+    tags: tuple[bytes | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.offsets) != len(self.tags) + 1:
+            raise ValueError(
+                f"offsets table of {len(self.offsets)} entries does not "
+                f"match {len(self.tags)} tags"
+            )
+        if self.offsets[0] != 0 or self.offsets[-1] != len(self.frames):
+            raise ValueError("offsets table does not span the frame buffer")
+        if any(a > b for a, b in zip(self.offsets, self.offsets[1:])):
+            raise ValueError("offsets table is not monotonically increasing")
+
+    def __len__(self) -> int:
+        return len(self.tags)
+
+    def frame_sizes(self) -> list[int]:
+        return [b - a for a, b in zip(self.offsets, self.offsets[1:])]
+
+    @classmethod
+    def from_frames(
+        cls,
+        frames: Sequence[bytes],
+        tags: Sequence[bytes | None] | None = None,
+    ) -> "TupleFrameBlock":
+        offsets = [0]
+        total = 0
+        for frame in frames:
+            total += len(frame)
+            offsets.append(total)
+        if tags is None:
+            tags = [None] * len(frames)
+        return cls(
+            frames=b"".join(frames),
+            offsets=tuple(offsets),
+            tags=tuple(tags),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# worker-side job functions (module-level: must pickle under spawn)
+# ---------------------------------------------------------------------- #
+
+
+def _worker_init(engine: str) -> None:
+    cache.use_engine(engine)
+
+
+def _job_encrypt_ndet(
+    master: bytes,
+    payloads: bytes,
+    offsets: tuple[int, ...],
+    nonces: list[bytes],
+) -> tuple[bytes, tuple[int, ...]]:
+    return cache.ndet_cipher(master).encrypt_block(
+        payloads, offsets, nonces=nonces
+    )
+
+
+def _job_decrypt_ndet(
+    master: bytes, payloads: bytes, offsets: tuple[int, ...]
+) -> tuple[bytes, tuple[int, ...]]:
+    return cache.ndet_cipher(master).decrypt_block(payloads, offsets)
+
+
+def _job_encrypt_det(
+    master: bytes, payloads: bytes, offsets: tuple[int, ...]
+) -> tuple[bytes, tuple[int, ...]]:
+    return cache.det_cipher(master).encrypt_block(payloads, offsets)
+
+
+def _job_decrypt_det(
+    master: bytes, payloads: bytes, offsets: tuple[int, ...]
+) -> tuple[bytes, tuple[int, ...]]:
+    return cache.det_cipher(master).decrypt_block(payloads, offsets)
+
+
+def _job_keystream_ndet(
+    master: bytes, nonces: list[bytes], sizes: list[int]
+) -> bytes:
+    return cache.ndet_cipher(master).keystream_block(nonces, sizes)
+
+
+class CryptoPool:
+    """A pool of crypto workers operating on packed tuple blocks.
+
+    ``workers=0`` runs every job inline (no processes, no IPC): correct
+    everywhere, fastest on single-core hosts.  ``workers=N`` spawns *N*
+    processes; each block is one ``submit`` round-trip, and the async
+    methods let the event loop overlap socket I/O with the encryption of
+    other devices' blocks.  ``workers=None`` picks ``cpu_count - 1``
+    (inline when that is zero).
+
+    Use as a context manager or call :meth:`close` — idle worker
+    processes otherwise outlive the fleet run.
+    """
+
+    def __init__(
+        self, workers: int | None = None, *, engine: str | None = None
+    ) -> None:
+        if workers is None:
+            workers = max(0, (os.cpu_count() or 1) - 1)
+        if workers < 0:
+            raise ConfigurationError("crypto pool workers must be >= 0")
+        self.workers = workers
+        self.engine = engine if engine is not None else cache.selected_engine()
+        self._executor: ProcessPoolExecutor | None = None
+        if workers > 0:
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=get_context("spawn"),
+                initializer=_worker_init,
+                initargs=(self.engine,),
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "CryptoPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # packed-buffer jobs
+    # ------------------------------------------------------------------ #
+    def _run(self, fn, /, *args):  # type: ignore[no-untyped-def]
+        if self._executor is None:
+            return fn(*args)
+        return self._executor.submit(fn, *args).result()
+
+    async def _run_async(self, fn, /, *args):  # type: ignore[no-untyped-def]
+        if self._executor is None:
+            return fn(*args)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, _call, fn, args
+        )
+
+    def encrypt_ndet_block(
+        self,
+        master: bytes,
+        payloads: bytes,
+        offsets: Sequence[int],
+        *,
+        nonces: Sequence[bytes] | None = None,
+    ) -> tuple[bytes, tuple[int, ...]]:
+        """``nDet_Enc`` a packed buffer; nonces are drawn here (parent
+        process) unless supplied."""
+        if nonces is None:
+            nonces = cache.ndet_cipher(master).fresh_nonces(len(offsets) - 1)
+        return self._run(
+            _job_encrypt_ndet, bytes(master), bytes(payloads),
+            tuple(offsets), list(nonces),
+        )
+
+    def decrypt_ndet_block(
+        self, master: bytes, payloads: bytes, offsets: Sequence[int]
+    ) -> tuple[bytes, tuple[int, ...]]:
+        return self._run(
+            _job_decrypt_ndet, bytes(master), bytes(payloads), tuple(offsets)
+        )
+
+    def encrypt_det_block(
+        self, master: bytes, payloads: bytes, offsets: Sequence[int]
+    ) -> tuple[bytes, tuple[int, ...]]:
+        return self._run(
+            _job_encrypt_det, bytes(master), bytes(payloads), tuple(offsets)
+        )
+
+    def decrypt_det_block(
+        self, master: bytes, payloads: bytes, offsets: Sequence[int]
+    ) -> tuple[bytes, tuple[int, ...]]:
+        return self._run(
+            _job_decrypt_det, bytes(master), bytes(payloads), tuple(offsets)
+        )
+
+    def precompute_keystream(
+        self, master: bytes, nonces: Sequence[bytes], sizes: Sequence[int]
+    ) -> bytes:
+        """The CTR keystream for a future nDet block with these nonces —
+        the precomputable half of encryption (pipeline it against I/O)."""
+        return self._run(
+            _job_keystream_ndet, bytes(master), list(nonces), list(sizes)
+        )
+
+    # ------------------------------------------------------------------ #
+    # tuple-block facade (what the fleet calls)
+    # ------------------------------------------------------------------ #
+    def encrypt_tuple_block(
+        self,
+        master: bytes,
+        frames: TupleFrameBlock,
+        *,
+        nonces: Sequence[bytes] | None = None,
+    ) -> EncryptedTupleBlock:
+        """Encrypt a frame block into the SSI-bound columnar shape.
+
+        Group tags pass through unchanged — they are already either
+        ``None`` or Det-encrypted/hashed upstream."""
+        payloads, offsets = self.encrypt_ndet_block(
+            master, frames.frames, frames.offsets, nonces=nonces
+        )
+        return EncryptedTupleBlock(
+            payloads=payloads, offsets=offsets, tags=frames.tags
+        )
+
+    async def encrypt_tuple_block_async(
+        self,
+        master: bytes,
+        frames: TupleFrameBlock,
+        *,
+        nonces: Sequence[bytes] | None = None,
+    ) -> EncryptedTupleBlock:
+        """Async :meth:`encrypt_tuple_block`: with worker processes the
+        event loop services other connections while this block is being
+        encrypted (crypto/wire overlap); inline it degenerates to the
+        synchronous call."""
+        if nonces is None:
+            nonces = cache.ndet_cipher(master).fresh_nonces(len(frames))
+        payloads, offsets = await self._run_async(
+            _job_encrypt_ndet, bytes(master), frames.frames,
+            frames.offsets, list(nonces),
+        )
+        return EncryptedTupleBlock(
+            payloads=payloads, offsets=offsets, tags=frames.tags
+        )
+
+    async def precompute_keystream_async(
+        self, master: bytes, nonces: Sequence[bytes], sizes: Sequence[int]
+    ) -> bytes:
+        return await self._run_async(
+            _job_keystream_ndet, bytes(master), list(nonces), list(sizes)
+        )
+
+
+def _call(fn, args):  # type: ignore[no-untyped-def]
+    """run_in_executor takes a no-arg callable; partials of module-level
+    functions pickle fine, but a plain trampoline is cheaper to build."""
+    return fn(*args)

@@ -46,12 +46,17 @@ _h_batch_size = _BATCH_SIZE.labels()
 
 
 class _PendingBatch:
-    """Tuples awaiting flush for one query, plus their waiters."""
+    """Blocks awaiting flush for one query, plus their waiters.
 
-    __slots__ = ("tuples", "waiters", "born")
+    Contributions are kept in their already-columnar block form; a flush
+    concatenates them (offset rebase only, no payload re-framing) into
+    one wire frame."""
+
+    __slots__ = ("blocks", "count", "waiters", "born")
 
     def __init__(self, born: float) -> None:
-        self.tuples: list[EncryptedTuple] = []
+        self.blocks: list[EncryptedTupleBlock] = []
+        self.count = 0
         self.waiters: list[asyncio.Future[None]] = []
         self.born = born
 
@@ -95,16 +100,38 @@ class TupleBatcher:
         joined has been acknowledged by the SSI."""
         if not tuples:
             return
+        await self.submit_block(query_id, EncryptedTupleBlock.from_tuples(tuples))
+
+    async def submit_block(
+        self, query_id: str, block: EncryptedTupleBlock
+    ) -> None:
+        """Queue an already-columnar *block* for *query_id* — the zero-copy
+        entry point for the block crypto plane — and return once the batch
+        it joined has been acknowledged by the SSI."""
+        if not len(block):
+            return
         loop = asyncio.get_running_loop()
         batch = self._pending.get(query_id)
         if batch is None:
             batch = _PendingBatch(born=loop.time())
             self._pending[query_id] = batch
-        batch.tuples.extend(tuples)
+        batch.blocks.append(block)
+        batch.count += len(block)
         future: asyncio.Future[None] = loop.create_future()
         batch.waiters.append(future)
-        if len(batch.tuples) >= self.max_tuples:
-            await self.flush(query_id, reason="size")
+        if batch.count >= self.max_tuples:
+            try:
+                await self.flush(query_id, reason="size")
+            except BaseException:
+                # flush() already failed our own waiter with the same
+                # exception; retrieve it so the future never hits the
+                # event loop's "exception was never retrieved" reporter,
+                # then surface the flush error (once) to the caller.
+                if future.done():
+                    future.exception()
+                else:
+                    future.cancel()
+                raise
         await future
 
     async def flush(
@@ -124,11 +151,11 @@ class TupleBatcher:
             ids = [query_id] if query_id is not None else list(self._pending)
             for qid in ids:
                 batch = self._pending.pop(qid, None)
-                if batch is None or not batch.tuples:
+                if batch is None or not batch.count:
                     continue
                 try:
                     await self.client.submit_tuples_batch(
-                        qid, EncryptedTupleBlock.from_tuples(batch.tuples)
+                        qid, EncryptedTupleBlock.concat(batch.blocks)
                     )
                 except BaseException as exc:
                     for waiter in batch.waiters:
@@ -136,9 +163,9 @@ class TupleBatcher:
                             waiter.set_exception(exc)
                     raise
                 self.batches_flushed += 1
-                self.tuples_flushed += len(batch.tuples)
+                self.tuples_flushed += batch.count
                 flush_counter.inc()
-                _h_batch_size.observe(len(batch.tuples))
+                _h_batch_size.observe(batch.count)
                 for waiter in batch.waiters:
                     if not waiter.done():
                         waiter.set_result(None)

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Awaitable, Callable, Sequence
 
 from repro.core.messages import Partition, QueryEnvelope
+from repro.crypto.pool import CryptoPool
 from repro.exceptions import ProtocolError, TransportError, UnknownQueryError
 from repro.net import frames
 from repro.net.batch import TupleBatcher
@@ -112,6 +113,7 @@ class FleetRunner:
         poll_interval: float = 0.02,
         batch_size: int = 0,
         batch_flush_interval: float = 0.02,
+        crypto_pool: CryptoPool | None = None,
         close_no_size_queries: bool = True,
         shard_label: str = "local",
         rng: random.Random | None = None,
@@ -135,6 +137,9 @@ class FleetRunner:
         #: > 0 coalesces contributions into MSG_SUBMIT_TUPLES_BATCH frames
         self.batch_size = batch_size
         self.batch_flush_interval = batch_flush_interval
+        #: block encryption runs on this pool's workers (overlapped with
+        #: socket I/O); None seals blocks inline on the event loop
+        self.crypto_pool = crypto_pool
         #: shard workers set this False: their device subset must not close
         #: a no-SIZE collection other shards are still contributing to
         self.close_no_size_queries = close_no_size_queries
@@ -295,36 +300,46 @@ class FleetRunner:
             queue_seconds = time.perf_counter() - queued
             crypto_started = time.perf_counter()
             if meta.protocol == "s_agg":
-                tuples = tds.collect_for_sagg(envelope)
+                frame_block = tds.collect_frames(envelope, "s_agg")
             elif meta.protocol == "ed_hist":
                 if self.histogram is None:
                     raise ProtocolError(
                         "fleet has no histogram; ed_hist queries need one"
                     )
-                tuples = tds.collect_for_histogram(envelope, self.histogram)
+                frame_block = tds.collect_frames(
+                    envelope, "ed_hist", histogram=self.histogram
+                )
             else:  # pragma: no cover - filtered by SUPPORTED_PROTOCOLS
                 span.finish()
                 return
+            if self.crypto_pool is not None:
+                # The event loop services other devices' sockets while a
+                # worker process encrypts this block.
+                block = await tds.seal_frames_async(frame_block, self.crypto_pool)
+            else:
+                block = tds.seal_frames(frame_block)
             crypto_seconds = time.perf_counter() - crypto_started
             wire_started = time.perf_counter()
             if self._batcher is None:
-                await client.submit_tuples(envelope.query_id, tuples)
+                await client.submit_tuples(
+                    envelope.query_id, list(block.tuples())
+                )
         if self._batcher is not None:
             # Awaited outside the semaphore: a waiter parked on a batch
             # ack must not pin a concurrency slot for up to max_delay.
-            await self._batcher.submit(envelope.query_id, tuples)
+            await self._batcher.submit_block(envelope.query_id, block)
         span.annotate(
-            count=len(tuples),
+            count=len(block),
             queue_seconds=round(queue_seconds, 6),
             crypto_seconds=round(crypto_seconds, 6),
             wire_seconds=round(time.perf_counter() - wire_started, 6),
         )
         span.finish()
         self.stats.contributions += 1
-        self.stats.tuples_submitted += len(tuples)
+        self.stats.tuples_submitted += len(block)
         self.stats.participants.add(tds.tds_id)
         self._c_contributions.inc()
-        self._c_tuples.inc(len(tuples))
+        self._c_tuples.inc(len(block))
         self._contributed.setdefault(envelope.query_id, set()).add(tds.tds_id)
 
     async def _process_unit(
@@ -457,6 +472,8 @@ class ShardSpec:
     seed: int
     batch_size: int = 0
     batch_flush_interval: float = 0.02
+    #: > 0 gives the shard a CryptoPool with that many worker processes
+    crypto_workers: int = 0
     window: int = 32
     concurrency: int = 8
     poll_interval: float = 0.02
@@ -493,6 +510,7 @@ def run_shard(spec: ShardSpec) -> dict[str, object]:
     if not shard:
         return _stats_to_dict(FleetStats())
     obs_spans.set_process_label(f"fleet-{spec.shard_index}")
+    pool = CryptoPool(spec.crypto_workers) if spec.crypto_workers > 0 else None
 
     async def main() -> FleetStats:
         runner = FleetRunner(
@@ -503,6 +521,7 @@ def run_shard(spec: ShardSpec) -> dict[str, object]:
             poll_interval=spec.poll_interval,
             batch_size=spec.batch_size,
             batch_flush_interval=spec.batch_flush_interval,
+            crypto_pool=pool,
             # One shard seeing "all my devices contributed" says nothing
             # about the other shards; only the SSI (SIZE clause) may
             # close a sharded collection.
@@ -512,7 +531,11 @@ def run_shard(spec: ShardSpec) -> dict[str, object]:
         )
         return await runner.run(spec.until_queries_done)
 
-    stats = _stats_to_dict(asyncio.run(main()))
+    try:
+        stats = _stats_to_dict(asyncio.run(main()))
+    finally:
+        if pool is not None:
+            pool.close()
     if spec.span_export is not None:
         path = f"{spec.span_export}.shard{spec.shard_index}.jsonl"
         with open(path, "w", encoding="utf-8") as fp:
@@ -555,6 +578,7 @@ class ShardedFleetRunner:
         seed: int = 0,
         batch_size: int = 0,
         batch_flush_interval: float = 0.02,
+        crypto_workers: int = 0,
         window: int = 32,
         concurrency: int = 8,
         poll_interval: float = 0.02,
@@ -573,6 +597,7 @@ class ShardedFleetRunner:
         self.seed = seed
         self.batch_size = batch_size
         self.batch_flush_interval = batch_flush_interval
+        self.crypto_workers = crypto_workers
         self.window = window
         self.concurrency = concurrency
         self.poll_interval = poll_interval
@@ -591,6 +616,7 @@ class ShardedFleetRunner:
                 seed=rng.getrandbits(64),
                 batch_size=self.batch_size,
                 batch_flush_interval=self.batch_flush_interval,
+                crypto_workers=self.crypto_workers,
                 window=self.window,
                 concurrency=self.concurrency,
                 poll_interval=self.poll_interval,

@@ -79,9 +79,24 @@ class Querier:
         )
 
     def decrypt_result(self, result: QueryResult) -> list[Row]:
-        """Step 13: download and decrypt the final rows."""
-        plaintexts = self._cipher().decrypt_many(list(result.encrypted_rows))
-        return [decode(plaintext) for plaintext in plaintexts]
+        """Step 13: download and decrypt the final rows — one packed
+        authenticate-then-decrypt pass over the whole result set."""
+        rows = result.encrypted_rows
+        if not rows:
+            return []
+        offsets = [0]
+        total = 0
+        for row in rows:
+            total += len(row)
+            offsets.append(total)
+        plain, plain_offsets = self._cipher().decrypt_block(
+            b"".join(rows), offsets
+        )
+        view = memoryview(plain)
+        return [
+            decode(bytes(view[plain_offsets[i] : plain_offsets[i + 1]]))
+            for i in range(len(rows))
+        ]
 
 
 @dataclass

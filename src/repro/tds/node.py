@@ -20,6 +20,7 @@ from repro.core.codec import encode
 from repro.core.messages import (
     EncryptedPartial,
     EncryptedTuple,
+    EncryptedTupleBlock,
     Partition,
     QueryEnvelope,
     TupleContent,
@@ -29,6 +30,7 @@ from repro.crypto.det import DeterministicCipher
 from repro.crypto.hashing import BucketHasher
 from repro.crypto.keys import KeyBundle
 from repro.crypto.ndet import NonDeterministicCipher
+from repro.crypto.pool import CryptoPool, TupleFrameBlock
 from repro.exceptions import (
     AccessDeniedError,
     ProtocolError,
@@ -135,43 +137,11 @@ class TrustedDataServer:
         """Basic protocol: project matching rows, or emit one dummy tuple
         when nothing matches or access is denied (so the SSI never learns
         query selectivity, §3.2)."""
-        try:
-            statement = self.open_query(envelope)
-            rows = local_matching_rows(self.database, statement)
-        except AccessDeniedError:
-            return [self._dummy_tuple()]
-        if not rows:
-            return [self._dummy_tuple()]
-        frames = [
-            encode_tuple_frame(
-                TupleContent(TupleContent.KIND_DATA, project_row(statement, row))
-            )
-            for row in rows
-        ]
-        return [
-            EncryptedTuple(payload)
-            for payload in self._k2_cipher().encrypt_many(frames)
-        ]
+        return list(self.collect_block(envelope, "basic").tuples())
 
     def collect_for_sagg(self, envelope: QueryEnvelope) -> list[EncryptedTuple]:
         """S_Agg collection: fully nDet-encrypted tuples, no group tag."""
-        try:
-            statement = self.open_query(envelope)
-            rows = local_matching_rows(self.database, statement)
-        except AccessDeniedError:
-            return [self._dummy_tuple()]
-        if not rows:
-            return [self._dummy_tuple()]
-        frames = [
-            encode_tuple_frame(
-                TupleContent(TupleContent.KIND_DATA, reduced_row(statement, row))
-            )
-            for row in rows
-        ]
-        return [
-            EncryptedTuple(payload)
-            for payload in self._k2_cipher().encrypt_many(frames)
-        ]
+        return list(self.collect_block(envelope, "s_agg").tuples())
 
     def collect_with_noise(
         self, envelope: QueryEnvelope, noise: NoiseStrategy
@@ -180,62 +150,169 @@ class TrustedDataServer:
         SSI can group tuples, plus *noise* fake tuples hiding the real
         distribution (§4.3).  Denied/empty TDSs still contribute their fake
         tuples only."""
-        try:
-            statement = self.open_query(envelope)
-            rows = local_matching_rows(self.database, statement)
-        except AccessDeniedError:
-            statement, rows = None, []
-        frames: list[bytes] = []
-        tag_plaintexts: list[bytes] = []
-        for row in rows:
-            assert statement is not None
-            key = group_key(statement, row)
-            content = TupleContent(TupleContent.KIND_DATA, reduced_row(statement, row))
-            frames.append(encode_tuple_frame(content))
-            tag_plaintexts.append(encode(list(key)))
-            for fake_value, fake_content in noise.fake_tuples(key):
-                fake_key = fake_value if isinstance(fake_value, tuple) else (fake_value,)
-                frames.append(encode_tuple_frame(fake_content))
-                tag_plaintexts.append(encode(list(fake_key)))
-        payloads = self._k2_cipher().encrypt_many(frames)
-        tags = self._k2_det_cipher().encrypt_many(tag_plaintexts)
-        return [
-            EncryptedTuple(payload=payload, group_tag=tag)
-            for payload, tag in zip(payloads, tags)
-        ]
+        return list(self.collect_block(envelope, "noise", noise=noise).tuples())
 
     def collect_for_histogram(
         self, envelope: QueryEnvelope, histogram: EquiDepthHistogram
     ) -> list[EncryptedTuple]:
         """ED_Hist collection: tuples tagged with the keyed hash of their
         equi-depth bucket (§4.4)."""
-        try:
-            statement = self.open_query(envelope)
-            rows = local_matching_rows(self.database, statement)
-        except AccessDeniedError:
-            return []
-        hasher = self._bucket_hasher()
-        frames: list[bytes] = []
-        tags: list[bytes] = []
-        for row in rows:
-            key = group_key(statement, row)
-            bucket_id = histogram.bucket_of(key if len(key) > 1 else key[0])
-            content = TupleContent(TupleContent.KIND_DATA, reduced_row(statement, row))
-            frames.append(encode_tuple_frame(content))
-            tags.append(hasher.hash_bucket(bucket_id))
-        payloads = self._k2_cipher().encrypt_many(frames)
-        return [
-            EncryptedTuple(payload=payload, group_tag=tag)
-            for payload, tag in zip(payloads, tags)
-        ]
+        return list(
+            self.collect_block(envelope, "ed_hist", histogram=histogram).tuples()
+        )
+
+    def collect_frames(
+        self,
+        envelope: QueryEnvelope,
+        protocol: str = "basic",
+        *,
+        noise: NoiseStrategy | None = None,
+        histogram: EquiDepthHistogram | None = None,
+    ) -> TupleFrameBlock:
+        """Build the *plaintext* tuple frames (plus routing tags) for one
+        contribution, without encrypting yet — the TDS-side input of the
+        block crypto plane.  The returned block must never leave the TDS:
+        hand it to :meth:`seal_frames` (or a :class:`CryptoPool`) to get
+        the SSI-bound :class:`EncryptedTupleBlock`.
+
+        Tags are already in their final over-the-wire form (``None``,
+        ``Det_Enc(group)`` or ``h(bucket)``) because the nDet pass does
+        not touch them."""
+        if protocol == "basic" or protocol == "s_agg":
+            project = project_row if protocol == "basic" else reduced_row
+            try:
+                statement = self.open_query(envelope)
+                rows = local_matching_rows(self.database, statement)
+            except AccessDeniedError:
+                rows = []
+            if not rows:
+                return TupleFrameBlock.from_frames([self._dummy_frame()])
+            frames = [
+                encode_tuple_frame(
+                    TupleContent(TupleContent.KIND_DATA, project(statement, row))
+                )
+                for row in rows
+            ]
+            return TupleFrameBlock.from_frames(frames)
+        if protocol == "noise":
+            if noise is None:
+                raise ProtocolError("noise-based collection needs a NoiseStrategy")
+            try:
+                statement = self.open_query(envelope)
+                rows = local_matching_rows(self.database, statement)
+            except AccessDeniedError:
+                statement, rows = None, []
+            frames = []
+            tag_plaintexts: list[bytes] = []
+            for row in rows:
+                assert statement is not None
+                key = group_key(statement, row)
+                content = TupleContent(
+                    TupleContent.KIND_DATA, reduced_row(statement, row)
+                )
+                frames.append(encode_tuple_frame(content))
+                tag_plaintexts.append(encode(list(key)))
+                for fake_value, fake_content in noise.fake_tuples(key):
+                    fake_key = (
+                        fake_value if isinstance(fake_value, tuple) else (fake_value,)
+                    )
+                    frames.append(encode_tuple_frame(fake_content))
+                    tag_plaintexts.append(encode(list(fake_key)))
+            tags = self._k2_det_cipher().encrypt_many(tag_plaintexts)
+            return TupleFrameBlock.from_frames(frames, tags)
+        if protocol == "ed_hist":
+            if histogram is None:
+                raise ProtocolError("ED_Hist collection needs an EquiDepthHistogram")
+            try:
+                statement = self.open_query(envelope)
+                rows = local_matching_rows(self.database, statement)
+            except AccessDeniedError:
+                return TupleFrameBlock.from_frames([])
+            hasher = self._bucket_hasher()
+            frames = []
+            hash_tags: list[bytes | None] = []
+            for row in rows:
+                key = group_key(statement, row)
+                bucket_id = histogram.bucket_of(key if len(key) > 1 else key[0])
+                content = TupleContent(
+                    TupleContent.KIND_DATA, reduced_row(statement, row)
+                )
+                frames.append(encode_tuple_frame(content))
+                hash_tags.append(hasher.hash_bucket(bucket_id))
+            return TupleFrameBlock.from_frames(frames, hash_tags)
+        raise ProtocolError(f"unknown collection protocol {protocol!r}")
+
+    def seal_frames(self, frames: TupleFrameBlock) -> EncryptedTupleBlock:
+        """nDet-encrypt a frame block under k2 in one packed pass — the
+        moment the data crosses the trust boundary."""
+        cipher = self._k2_cipher()
+        nonces = cipher.fresh_nonces(len(frames))
+        payloads, offsets = cipher.encrypt_block(
+            frames.frames, frames.offsets, nonces=nonces
+        )
+        return EncryptedTupleBlock(
+            payloads=payloads, offsets=offsets, tags=frames.tags
+        )
+
+    async def seal_frames_async(
+        self, frames: TupleFrameBlock, pool: CryptoPool
+    ) -> EncryptedTupleBlock:
+        """:meth:`seal_frames` on a :class:`CryptoPool`: the packed AES
+        work runs in a worker process while the caller's event loop keeps
+        servicing sockets.  Nonces are still drawn here (in the TDS, from
+        its rng/entropy source) so reproducibility and the key's entropy
+        discipline survive the process hop."""
+        nonces = self._k2_cipher().fresh_nonces(len(frames))
+        return await pool.encrypt_tuple_block_async(
+            self._keys.k2.current.material, frames, nonces=nonces
+        )
+
+    def collect_block(
+        self,
+        envelope: QueryEnvelope,
+        protocol: str = "basic",
+        *,
+        noise: NoiseStrategy | None = None,
+        histogram: EquiDepthHistogram | None = None,
+    ) -> EncryptedTupleBlock:
+        """One contribution as a single columnar block: build the frames,
+        then encrypt them in one packed pass.  Per-tuple ciphertext bytes
+        are identical to the ``collect_*`` methods (same nonce draw order,
+        same construction), so the two shapes interoperate freely."""
+        return self.seal_frames(
+            self.collect_frames(
+                envelope, protocol, noise=noise, histogram=histogram
+            )
+        )
+
+    def _dummy_frame(self) -> bytes:
+        return encode_tuple_frame(TupleContent(TupleContent.KIND_DUMMY))
 
     def _dummy_tuple(self) -> EncryptedTuple:
-        content = TupleContent(TupleContent.KIND_DUMMY)
-        return EncryptedTuple(self._k2_cipher().encrypt(encode_tuple_frame(content)))
+        return EncryptedTuple(self._k2_cipher().encrypt(self._dummy_frame()))
 
     # ------------------------------------------------------------------ #
     # aggregation phase (steps 6-8)
     # ------------------------------------------------------------------ #
+    def _decrypt_partition(self, partition: Partition) -> list[bytes]:
+        """Authenticate-then-decrypt a partition's payloads in one packed
+        pass (one keystream buffer, one MAC batch) instead of per item."""
+        items = partition.items
+        if not items:
+            return []
+        offsets = [0]
+        total = 0
+        for item in items:
+            total += len(item.payload)
+            offsets.append(total)
+        packed = b"".join(item.payload for item in items)
+        plain, plain_offsets = self._k2_cipher().decrypt_block(packed, offsets)
+        view = memoryview(plain)
+        return [
+            bytes(view[plain_offsets[i] : plain_offsets[i + 1]])
+            for i in range(len(items))
+        ]
+
     def aggregate_partition(
         self, statement: SelectStatement, partition: Partition
     ) -> EncryptedPartial:
@@ -277,9 +354,7 @@ class TrustedDataServer:
         device's RAM, otherwise :class:`ResourceExhaustedError`."""
         partial = PartialAggregation(statement)
         max_slots = self.device.ram_bytes // SLOT_BYTES
-        plaintexts = self._k2_cipher().decrypt_many(
-            [item.payload for item in partition.items]
-        )
+        plaintexts = self._decrypt_partition(partition)
         for plaintext in plaintexts:
             kind, body = decode_frame(plaintext)
             if kind == "tuple":
@@ -301,9 +376,7 @@ class TrustedDataServer:
     def filter_partition(self, partition: Partition) -> list[bytes]:
         """Basic protocol filtering: drop dummies, re-encrypt true rows
         under k1 for the querier."""
-        plaintexts = self._k2_cipher().decrypt_many(
-            [item.payload for item in partition.items]
-        )
+        plaintexts = self._decrypt_partition(partition)
         rows: list[bytes] = []
         for plaintext in plaintexts:
             kind, body = decode_frame(plaintext)
@@ -318,9 +391,7 @@ class TrustedDataServer:
     ) -> list[bytes]:
         """Aggregation filtering: merge final partials, evaluate HAVING and
         the SELECT projection, re-encrypt result rows under k1."""
-        plaintexts = self._k2_cipher().decrypt_many(
-            [item.payload for item in partition.items]
-        )
+        plaintexts = self._decrypt_partition(partition)
         partial = PartialAggregation(statement)
         for plaintext in plaintexts:
             kind, body = decode_frame(plaintext)

@@ -1,0 +1,88 @@
+"""Regression tests for the constant-time tag comparisons.
+
+The seed compared MAC tags with ``==`` — a timing side channel: an
+attacker submitting forgeries to a TDS could learn a tag byte-by-byte
+from how fast rejection happens.  Every verification path must now go
+through :func:`hmac.compare_digest`, and batched verification must
+compare *every* tag even after the first mismatch (no early exit that
+leaks the forgery's position)."""
+
+import hmac
+import random
+
+import pytest
+
+from repro.crypto.det import DeterministicCipher
+from repro.crypto.ndet import NonDeterministicCipher
+from repro.exceptions import DecryptionError
+
+KEY = bytes(range(32, 48))
+
+
+@pytest.fixture
+def spy(monkeypatch):
+    calls = []
+    real = hmac.compare_digest
+
+    def spying(a, b):
+        calls.append((bytes(a), bytes(b)))
+        return real(a, b)
+
+    monkeypatch.setattr(hmac, "compare_digest", spying)
+    return calls
+
+
+def tamper(ciphertext: bytes, index: int = 0) -> bytes:
+    return (
+        ciphertext[:index]
+        + bytes([ciphertext[index] ^ 0x01])
+        + ciphertext[index + 1 :]
+    )
+
+
+class TestNDet:
+    def test_decrypt_verifies_via_compare_digest(self, spy):
+        cipher = NonDeterministicCipher(KEY, random.Random(1))
+        assert cipher.decrypt(cipher.encrypt(b"secret")) == b"secret"
+        assert len(spy) == 1
+
+    def test_decrypt_many_compares_every_tag(self, spy):
+        cipher = NonDeterministicCipher(KEY, random.Random(1))
+        batch = cipher.encrypt_many([b"a", b"b", b"c", b"d"])
+        batch[0] = tamper(batch[0], len(batch[0]) - 1)  # first tag bad
+        with pytest.raises(DecryptionError):
+            cipher.decrypt_many(batch)
+        # no early exit: all four tags were compared despite the first
+        # one already failing
+        assert len(spy) == 4
+
+    def test_decrypt_block_compares_every_tag(self, spy):
+        cipher = NonDeterministicCipher(KEY, random.Random(1))
+        payloads = [b"a", b"bb", b"ccc"]
+        offsets = (0, 1, 3, 6)
+        ct, ct_offsets = cipher.encrypt_block(b"abbccc", offsets)
+        with pytest.raises(DecryptionError):
+            cipher.decrypt_block(tamper(ct), ct_offsets)
+        assert len(spy) == len(payloads)
+
+
+class TestDet:
+    def test_decrypt_verifies_via_compare_digest(self, spy):
+        cipher = DeterministicCipher(KEY)
+        assert cipher.decrypt(cipher.encrypt(b"group")) == b"group"
+        assert len(spy) == 1
+
+    def test_decrypt_many_compares_every_siv(self, spy):
+        cipher = DeterministicCipher(KEY)
+        batch = cipher.encrypt_many([b"a", b"b", b"c"])
+        batch[1] = tamper(batch[1])
+        with pytest.raises(DecryptionError):
+            cipher.decrypt_many(batch)
+        assert len(spy) == 3
+
+    def test_decrypt_block_compares_every_siv(self, spy):
+        cipher = DeterministicCipher(KEY)
+        ct, ct_offsets = cipher.encrypt_block(b"xxyyzz", (0, 2, 4, 6))
+        with pytest.raises(DecryptionError):
+            cipher.decrypt_block(tamper(ct), ct_offsets)
+        assert len(spy) == 3

@@ -1,0 +1,161 @@
+"""CryptoPool: inline and multiprocess block encryption parity, the
+TupleFrameBlock container, and the async facade."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.crypto import cache
+from repro.crypto.ndet import NonDeterministicCipher
+from repro.crypto.pool import CryptoPool, TupleFrameBlock
+from repro.exceptions import ConfigurationError, DecryptionError
+
+KEY = bytes(range(16, 32))
+FRAMES = [b"frame-one", b"", b"frame-three-longer", b"x" * 50]
+
+
+class TestTupleFrameBlock:
+    def test_from_frames(self):
+        block = TupleFrameBlock.from_frames(FRAMES, [None, b"t", None, b""])
+        assert len(block) == 4
+        assert block.frame_sizes() == [len(f) for f in FRAMES]
+        assert block.frames == b"".join(FRAMES)
+
+    def test_default_tags_are_none(self):
+        block = TupleFrameBlock.from_frames(FRAMES)
+        assert block.tags == (None,) * len(FRAMES)
+
+    def test_invariants_rejected(self):
+        with pytest.raises(ValueError):
+            TupleFrameBlock(b"ab", (0, 1), (None, None))
+        with pytest.raises(ValueError):
+            TupleFrameBlock(b"ab", (0, 3), (None,))
+        with pytest.raises(ValueError):
+            TupleFrameBlock(b"ab", (0, 2, 1), (None, None))
+
+
+class TestInlinePool:
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CryptoPool(-1)
+
+    def test_encrypt_tuple_block_parity(self):
+        frames = TupleFrameBlock.from_frames(FRAMES, [None, b"t1", None, b"t2"])
+        nonces = [i.to_bytes(8, "big") for i in range(len(FRAMES))]
+        with CryptoPool(0) as pool:
+            block = pool.encrypt_tuple_block(KEY, frames, nonces=nonces)
+        cipher = NonDeterministicCipher(KEY)
+        expected, __ = cipher.encrypt_block(
+            frames.frames, frames.offsets, nonces=nonces
+        )
+        assert block.payloads == expected
+        assert block.tags == frames.tags
+        assert [
+            cipher.decrypt(t.payload) for t in block.tuples()
+        ] == FRAMES
+
+    def test_ndet_round_trip(self):
+        frames = TupleFrameBlock.from_frames(FRAMES)
+        with CryptoPool(0) as pool:
+            ct, offsets = pool.encrypt_ndet_block(
+                KEY, frames.frames, frames.offsets
+            )
+            plain, plain_offsets = pool.decrypt_ndet_block(KEY, ct, offsets)
+        assert plain == frames.frames
+        assert plain_offsets == frames.offsets
+
+    def test_det_round_trip(self):
+        frames = TupleFrameBlock.from_frames(FRAMES)
+        with CryptoPool(0) as pool:
+            ct, offsets = pool.encrypt_det_block(
+                KEY, frames.frames, frames.offsets
+            )
+            plain, plain_offsets = pool.decrypt_det_block(KEY, ct, offsets)
+        assert plain == frames.frames
+        assert plain_offsets == frames.offsets
+
+    def test_tamper_rejected_through_pool(self):
+        frames = TupleFrameBlock.from_frames(FRAMES)
+        with CryptoPool(0) as pool:
+            ct, offsets = pool.encrypt_ndet_block(
+                KEY, frames.frames, frames.offsets
+            )
+            with pytest.raises(DecryptionError):
+                pool.decrypt_ndet_block(
+                    KEY, bytes([ct[0] ^ 1]) + ct[1:], offsets
+                )
+
+    def test_precompute_keystream_matches(self):
+        nonces = [i.to_bytes(8, "big") for i in range(3)]
+        sizes = [5, 0, 33]
+        with CryptoPool(0) as pool:
+            stream = pool.precompute_keystream(KEY, nonces, sizes)
+        assert stream == NonDeterministicCipher(KEY).keystream_block(
+            nonces, sizes
+        )
+
+    def test_async_inline(self):
+        frames = TupleFrameBlock.from_frames(FRAMES)
+        nonces = [i.to_bytes(8, "big") for i in range(len(FRAMES))]
+
+        async def run():
+            with CryptoPool(0) as pool:
+                return await pool.encrypt_tuple_block_async(
+                    KEY, frames, nonces=nonces
+                )
+
+        block = asyncio.run(run())
+        expected, __ = NonDeterministicCipher(KEY).encrypt_block(
+            frames.frames, frames.offsets, nonces=nonces
+        )
+        assert block.payloads == expected
+
+
+class TestWorkerPool:
+    """One spawn worker: the IPC path must produce the same bytes the
+    inline path does (nonces cross the process boundary with the job)."""
+
+    @pytest.fixture(scope="class")
+    def pool(self):
+        with CryptoPool(1, engine=cache.selected_engine()) as pool:
+            yield pool
+
+    def test_worker_parity_with_inline(self, pool):
+        frames = TupleFrameBlock.from_frames(FRAMES, [b"g"] * len(FRAMES))
+        nonces = [i.to_bytes(8, "big") for i in range(len(FRAMES))]
+        block = pool.encrypt_tuple_block(KEY, frames, nonces=nonces)
+        with CryptoPool(0) as inline:
+            expected = inline.encrypt_tuple_block(KEY, frames, nonces=nonces)
+        assert block == expected
+
+    def test_worker_round_trip_async(self, pool):
+        frames = TupleFrameBlock.from_frames(FRAMES)
+
+        async def run():
+            block = await pool.encrypt_tuple_block_async(KEY, frames)
+            return pool.decrypt_ndet_block(KEY, block.payloads, block.offsets)
+
+        plain, offsets = asyncio.run(run())
+        assert plain == frames.frames
+        assert offsets == frames.offsets
+
+    def test_close_is_idempotent(self):
+        pool = CryptoPool(0)
+        pool.close()
+        pool.close()
+
+
+def test_fresh_nonces_drawn_in_parent():
+    """Pool encryption with an rng-seeded cipher's nonces reproduces the
+    per-tuple path bit-for-bit — entropy never comes from the worker."""
+    frames = TupleFrameBlock.from_frames(FRAMES)
+    nonces = NonDeterministicCipher(KEY, random.Random(21)).fresh_nonces(
+        len(FRAMES)
+    )
+    with CryptoPool(0) as pool:
+        block = pool.encrypt_tuple_block(KEY, frames, nonces=nonces)
+    expected = NonDeterministicCipher(KEY, random.Random(21)).encrypt_many(
+        list(FRAMES)
+    )
+    assert [t.payload for t in block.tuples()] == expected

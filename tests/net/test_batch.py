@@ -299,6 +299,76 @@ class TestTupleBatcher:
         with pytest.raises(ProtocolError):
             TupleBatcher(client, max_delay=0.0)
 
+    def test_size_flush_failure_leaves_no_unretrieved_future(self):
+        """Regression: when the caller's own submit triggers the size
+        flush and that flush fails, flush() sets the exception on the
+        caller's waiter *and* re-raises.  The old code path then never
+        awaited the waiter, so its exception was never retrieved and the
+        event loop reported 'Future exception was never retrieved' at GC
+        time.  The handler must stay silent."""
+        import gc
+
+        async def run():
+            __, client = loopback_client()  # no query posted -> flush fails
+            batcher = TupleBatcher(client, max_tuples=1, max_delay=60.0)
+            reports = []
+            asyncio.get_running_loop().set_exception_handler(
+                lambda loop, context: reports.append(context)
+            )
+            with pytest.raises(UnknownQueryError):
+                await batcher.submit("missing", TUPLES[:1])
+            gc.collect()  # would fire Future.__del__ -> handler on the bug
+            await asyncio.sleep(0)
+            assert reports == []
+
+        run_async(run())
+
+    def test_submit_block_coalesces_blocks(self):
+        async def run():
+            __, client = loopback_client()
+            await client.post_query(make_envelope("q1"))
+            batcher = TupleBatcher(client, max_tuples=4, max_delay=60.0)
+            await asyncio.gather(
+                batcher.submit_block(
+                    "q1", EncryptedTupleBlock.from_tuples(TUPLES[:2])
+                ),
+                batcher.submit_block(
+                    "q1", EncryptedTupleBlock.from_tuples(TUPLES[2:])
+                ),
+            )
+            assert batcher.batches_flushed == 1
+            assert batcher.tuples_flushed == len(TUPLES)
+            assert await client.collected_count("q1") == len(TUPLES)
+
+        run_async(run())
+
+    def test_submit_block_empty_is_a_noop(self):
+        async def run():
+            __, client = loopback_client()
+            batcher = TupleBatcher(client, max_tuples=1, max_delay=60.0)
+            await batcher.submit_block(
+                "q1", EncryptedTupleBlock.from_tuples([])
+            )
+            assert batcher.batches_flushed == 0
+
+        run_async(run())
+
+
+class TestBlockConcat:
+    def test_concat_preserves_tuples(self):
+        blocks = [
+            EncryptedTupleBlock.from_tuples(TUPLES[:2]),
+            EncryptedTupleBlock.from_tuples([]),
+            EncryptedTupleBlock.from_tuples(TUPLES[2:]),
+        ]
+        merged = EncryptedTupleBlock.concat(blocks)
+        assert list(merged.tuples()) == TUPLES
+        assert merged.offsets[-1] == sum(len(t.payload) for t in TUPLES)
+
+    def test_concat_single_block_is_identity(self):
+        block = EncryptedTupleBlock.from_tuples(TUPLES)
+        assert EncryptedTupleBlock.concat([block]) is block
+
 
 class TestBatchedFleetParity:
     def test_batched_fleet_matches_in_process_driver(self):

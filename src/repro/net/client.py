@@ -128,6 +128,10 @@ class AsyncSSIClient:
         self._wire_version = frames.MIN_PROTOCOL_VERSION
         self._peer_caps = 0
         self._hello_done = False
+        # Serializes the handshake: without it, two coroutines issuing
+        # their first request concurrently would both run hello() and the
+        # loser could clobber the winner's negotiated state.
+        self._hello_lock = asyncio.Lock()
         #: trace context attached (as the v4 EXT_TRACE extension) to
         #: every request once negotiated; None = no propagation.
         self.trace_context: TraceContext | None = None
@@ -148,29 +152,32 @@ class AsyncSSIClient:
         """Negotiate (version, capabilities) with the peer; idempotent."""
         if self._hello_done:
             return self._wire_version, self._peer_caps
-        w = Writer()
-        frames.write_hello(w, frames.PROTOCOL_VERSION, frames.CAPABILITIES)
-        request = frames.pack_frame(
-            frames.MSG_HELLO, w.getvalue(), version=frames.MIN_PROTOCOL_VERSION
-        )
-        try:
-            r = await self._send(request)
-            peer_version, peer_caps = frames.read_hello(r)
-            r.expect_end()
-            self._wire_version = min(frames.PROTOCOL_VERSION, peer_version)
-            if self._wire_version < frames.MIN_PROTOCOL_VERSION:
-                raise ProtocolError(
-                    f"peer speaks protocol {peer_version}, below our floor "
-                    f"{frames.MIN_PROTOCOL_VERSION}"
-                )
-            self._peer_caps = peer_caps
-        except (UnknownQueryError, DuplicateQueryError, ResultNotReadyError):
-            raise  # impossible for hello; don't mask a server bug
-        except ProtocolError:
-            # ERR_UNKNOWN_OP from a pre-v4 peer: settle on the floor.
-            self._wire_version = frames.MIN_PROTOCOL_VERSION
-            self._peer_caps = 0
-        self._hello_done = True
+        async with self._hello_lock:
+            if self._hello_done:  # raced another first caller; it won
+                return self._wire_version, self._peer_caps
+            w = Writer()
+            frames.write_hello(w, frames.PROTOCOL_VERSION, frames.CAPABILITIES)
+            request = frames.pack_frame(
+                frames.MSG_HELLO, w.getvalue(), version=frames.MIN_PROTOCOL_VERSION
+            )
+            try:
+                r = await self._send(request)
+                peer_version, peer_caps = frames.read_hello(r)
+                r.expect_end()
+                self._wire_version = min(frames.PROTOCOL_VERSION, peer_version)
+                if self._wire_version < frames.MIN_PROTOCOL_VERSION:
+                    raise ProtocolError(
+                        f"peer speaks protocol {peer_version}, below our floor "
+                        f"{frames.MIN_PROTOCOL_VERSION}"
+                    )
+                self._peer_caps = peer_caps
+            except (UnknownQueryError, DuplicateQueryError, ResultNotReadyError):
+                raise  # impossible for hello; don't mask a server bug
+            except ProtocolError:
+                # ERR_UNKNOWN_OP from a pre-v4 peer: settle on the floor.
+                self._wire_version = frames.MIN_PROTOCOL_VERSION
+                self._peer_caps = 0
+            self._hello_done = True
         return self._wire_version, self._peer_caps
 
     async def get_stats(self) -> str:

@@ -1,0 +1,17 @@
+"""Client-role fixture: a secret routed to the ssi-role sink via helpers.
+
+Syntactically innocent — no forbidden import, no literal egress call the
+PL002 matcher knows — the leak only exists across three function hops.
+"""
+
+
+def fetch():
+    return read_secret()
+
+
+def shape(value):
+    return [value]
+
+
+def push(store):
+    store.put_rows("q1", shape(fetch()))

@@ -1,0 +1,6 @@
+"""SSI-role fixture: the store the secret must never reach in the clear."""
+
+
+class Store:
+    def put_rows(self, query_id, rows):
+        self.rows = rows

@@ -1,0 +1,17 @@
+"""Client-role fixture: the same flow as pl007_leak, sanitized by encrypt.
+
+``encrypt_rows`` matches the manifest sanitizer prefix, so the value that
+reaches the ssi-role sink is ciphertext — PL007 must stay quiet.
+"""
+
+
+def fetch():
+    return read_secret()
+
+
+def shape(value):
+    return [value]
+
+
+def push(store):
+    store.put_rows("q1", encrypt_rows(shape(fetch())))

@@ -1,0 +1,6 @@
+"""SSI-role fixture (sealed variant): same store as the leak pack."""
+
+
+class Store:
+    def put_rows(self, query_id, rows):
+        self.rows = rows

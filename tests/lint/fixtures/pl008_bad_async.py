@@ -1,0 +1,37 @@
+"""Known-bad async fixture: every PL008 bug class in one module.
+
+* ``handle`` blocks the loop *transitively* — the sync helper ``_grind``
+  ends in ``time.sleep``;
+* ``step`` reads ``self._busy`` before an await and writes it after,
+  holding no lock;
+* ``kick`` calls the coroutine ``work`` without awaiting it;
+* ``spawn`` drops the task handle from ``create_task``.
+"""
+
+import asyncio
+import time
+
+
+def _grind():
+    time.sleep(0.5)
+
+
+async def work():
+    await asyncio.sleep(0)
+
+
+class Poller:
+    async def step(self):
+        if self._busy:
+            return
+        await asyncio.sleep(0)
+        self._busy = True
+
+    async def handle(self):
+        _grind()
+
+    def kick(self):
+        work()
+
+    async def spawn(self):
+        asyncio.create_task(work())

@@ -1,0 +1,34 @@
+"""Known-good async fixture: the same shapes, done correctly.
+
+Bulk crypto is offloaded to an executor, both cross-await mutations hold
+their guard (one named ``*lock*``, one manifest-listed ``state_guard``),
+and the coroutine is awaited.
+"""
+
+import asyncio
+
+
+async def work():
+    await asyncio.sleep(0)
+
+
+class Worker:
+    async def seal(self, loop, cipher, block):
+        return await loop.run_in_executor(None, cipher.encrypt_block, block)
+
+    async def step(self):
+        async with self._lock:
+            if self._busy:
+                return
+            await asyncio.sleep(0)
+            self._busy = True
+
+    async def mark(self):
+        async with self.state_guard:
+            if self._n:
+                return
+            await asyncio.sleep(0)
+            self._n = 1
+
+    async def kick(self):
+        await work()

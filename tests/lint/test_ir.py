@@ -1,0 +1,316 @@
+"""Unit tests for the dataflow IR, the call graph, and the IR cache.
+
+The property-based half generates small *valid-by-construction* Python
+modules and asserts the whole analysis stack — extraction, linking, taint
+and blocking solving — never raises on any of them; the IR builder's
+contract is "any parseable module in, IR out", never a crash.
+"""
+
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tools.privacy_lint.analysis.cache import IRCache
+from tools.privacy_lint.analysis.ir import IR_VERSION, extract_module
+from tools.privacy_lint.analysis.program import BlockSpec, Program, TaintSpec
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _functions(path: str, source: str) -> dict:
+    ir = extract_module(path, source)
+    return {fn["qual"]: fn for fn in ir["functions"]}
+
+
+# --------------------------------------------------------------------- #
+# IR extraction
+# --------------------------------------------------------------------- #
+def test_ir_records_signature_and_async():
+    fns = _functions(
+        "pkg/mod.py",
+        "async def go(a, b, *, c=1):\n    await a.run()\n    return b\n",
+    )
+    fn = fns["pkg.mod::go"]
+    assert fn["is_async"]
+    assert fn["params"] == ["a", "b"]
+    assert [ln for _step, ln in fn["awaits"]] == [2]
+
+
+def test_ir_qualifies_methods_and_records_accesses():
+    fns = _functions(
+        "pkg/mod.py",
+        "class C:\n"
+        "    async def go(self):\n"
+        "        if self.busy:\n"
+        "            return\n"
+        "        async with self._lock:\n"
+        "            self.items.append(1)\n"
+        "        self.busy = True\n",
+    )
+    fn = fns["pkg.mod::C.go"]
+    by_obj = {(a["obj"], a["mode"]): a for a in fn["accesses"]}
+    assert ("self.busy", "read") in by_obj
+    assert ("self.busy", "write") in by_obj
+    call = by_obj[("self.items", "call")]
+    assert call["meth"] == "append"
+    # the mutation ran under the async-with lock; the later write did not
+    assert call["locks"] == ["_lock"]
+    assert by_obj[("self.busy", "write")]["locks"] == []
+
+
+def test_ir_linearizes_branches_and_keeps_ternary_test_as_guard():
+    fns = _functions(
+        "m.py",
+        "def f(a, b, size):\n"
+        "    x = a if size else b\n"
+        "    return x\n",
+    )
+    steps = fns["m::f"]["steps"]
+    kinds = [step[0] for step in steps]
+    assert kinds == ["assign", "ret"]
+    atom = steps[0][2]
+    assert atom["k"] == "many"
+    # the ternary's *test* is a guard — scanned for calls, not a value part
+    part_ids = {p.get("id") for p in atom["parts"]}
+    guard_ids = {g.get("id") for g in atom["guards"]}
+    assert part_ids == {"a", "b"}
+    assert guard_ids == {"size"}
+
+
+def test_ir_survives_every_repo_module():
+    for sub in ("src/repro", "tools/privacy_lint"):
+        for path in sorted((REPO_ROOT / sub).rglob("*.py")):
+            rel = path.relative_to(REPO_ROOT).as_posix()
+            ir = extract_module(rel, path.read_text(encoding="utf-8"))
+            assert ir["version"] == IR_VERSION
+            assert ir["path"] == rel
+
+
+# --------------------------------------------------------------------- #
+# call graph
+# --------------------------------------------------------------------- #
+def _program(sources: dict[str, str], roles: dict[str, str] | None = None) -> Program:
+    modules = {p: extract_module(p, s) for p, s in sources.items()}
+    return Program(modules, roles or dict.fromkeys(sources))
+
+
+def _last_call(fn: dict) -> dict:
+    atom = fn["steps"][-1][1 if fn["steps"][-1][0] != "assign" else 2]
+    assert atom["k"] == "call"
+    return atom
+
+
+def test_resolve_local_and_imported_calls():
+    program = _program(
+        {
+            "pkg/a.py": "from pkg.b import helper\n\ndef f(x):\n    helper(x)\n",
+            "pkg/b.py": "def helper(x):\n    return x\n",
+        }
+    )
+    caller = program.functions["pkg.a::f"]
+    assert program.resolve_call(_last_call(caller), caller) == ["pkg.b::helper"]
+
+
+def test_resolve_self_method_and_constructor():
+    program = _program(
+        {
+            "pkg/a.py": (
+                "from pkg.b import Store\n"
+                "class C:\n"
+                "    def one(self):\n"
+                "        return 1\n"
+                "    def two(self):\n"
+                "        self.one()\n"
+                "def make():\n"
+                "    Store(3)\n"
+            ),
+            "pkg/b.py": "class Store:\n    def __init__(self, n):\n        self.n = n\n",
+        }
+    )
+    two = program.functions["pkg.a::C.two"]
+    assert program.resolve_call(_last_call(two), two) == ["pkg.a::C.one"]
+    make = program.functions["pkg.a::make"]
+    assert program.resolve_call(_last_call(make), make) == ["pkg.b::Store.__init__"]
+
+
+def test_taint_flows_through_helper_and_stops_at_sanitizer():
+    spec = TaintSpec(
+        source_call_prefixes=(),
+        source_calls=frozenset({"read_secret"}),
+        source_constructors=frozenset(),
+        source_attributes=frozenset(),
+        sanitizer_prefixes=("encrypt",),
+        sanitizers=frozenset(),
+        sanitizer_attributes=frozenset(),
+        sink_roles=frozenset({"ssi"}),
+        sink_callables=frozenset(),
+    )
+    sink = "class Store:\n    def put_rows(self, rows):\n        self.rows = rows\n"
+    leak = (
+        "def mid(v):\n    return [v]\n"
+        "def go(store):\n    store.put_rows(mid(read_secret()))\n"
+    )
+    sealed = leak.replace("mid(read_secret())", "encrypt_rows(mid(read_secret()))")
+    roles = {"sink.py": "ssi", "flow.py": "client"}
+    leaky = _program({"sink.py": sink, "flow.py": leak}, roles).taint_analyze(spec)
+    assert [(f.sink_path, f.source_desc) for f in leaky] == [
+        ("flow.py", "read_secret() result")
+    ]
+    clean = _program({"sink.py": sink, "flow.py": sealed}, roles).taint_analyze(spec)
+    assert clean == []
+
+
+# --------------------------------------------------------------------- #
+# IR cache
+# --------------------------------------------------------------------- #
+def test_cache_round_trip_and_content_keying(tmp_path):
+    cache = IRCache(tmp_path)
+    source = "def f(x):\n    return x\n"
+    assert cache.get("m.py", source) is None
+    ir = extract_module("m.py", source)
+    cache.put("m.py", source, ir)
+    assert cache.get("m.py", source) == ir
+    # any content change misses; the stale entry is never returned
+    assert cache.get("m.py", source + "\n# touched\n") is None
+    assert (cache.hits, cache.misses) == (1, 2)
+
+
+# --------------------------------------------------------------------- #
+# property-based: the IR builder never crashes on valid Python
+# --------------------------------------------------------------------- #
+_NAMES = st.sampled_from(["a", "b", "c", "rows", "value"])
+_CALLEES = st.sampled_from(
+    ["f", "g", "len", "encrypt_rows", "read_secret", "obj.meth", "a.items.append"]
+)
+_CONSTS = st.sampled_from(["0", "1.5", "'x'", "None", "b'z'", "True"])
+
+
+@st.composite
+def _expr(draw, depth=0):
+    kinds = ["name", "const"]
+    if depth < 2:
+        kinds += ["call", "attr", "list", "ifexp", "comp", "fstring"]
+    kind = draw(st.sampled_from(kinds))
+    if kind == "name":
+        return draw(_NAMES)
+    if kind == "const":
+        return draw(_CONSTS)
+    if kind == "attr":
+        return f"{draw(_NAMES)}.{draw(_NAMES)}"
+    if kind == "call":
+        args = [draw(_expr(depth=depth + 1)) for _ in range(draw(st.integers(0, 2)))]
+        if draw(st.booleans()):
+            args.append(f"key={draw(_expr(depth=depth + 1))}")
+        return f"{draw(_CALLEES)}({', '.join(args)})"
+    if kind == "list":
+        return f"[{draw(_expr(depth=depth + 1))}, {draw(_expr(depth=depth + 1))}]"
+    if kind == "ifexp":
+        return (
+            f"({draw(_expr(depth=depth + 1))} if {draw(_expr(depth=depth + 1))} "
+            f"else {draw(_expr(depth=depth + 1))})"
+        )
+    if kind == "comp":
+        return (
+            f"[{draw(_expr(depth=depth + 1))} for {draw(_NAMES)} in "
+            f"{draw(_expr(depth=depth + 1))} if {draw(_expr(depth=depth + 1))}]"
+        )
+    return f"f'{{{draw(_NAMES)}}}-tail'"
+
+
+@st.composite
+def _stmt(draw, is_async, depth=0):
+    kinds = ["assign", "aug", "ret", "bare", "pass"]
+    if is_async:
+        kinds += ["await", "await_assign", "async_with"]
+    if depth == 0:
+        kinds += ["if", "for", "while", "with", "try"]
+    kind = draw(st.sampled_from(kinds))
+    e = lambda: draw(_expr())  # noqa: E731
+    if kind == "assign":
+        target = draw(st.sampled_from(["a", "b", "self.state", "a.field"]))
+        return [f"{target} = {e()}"]
+    if kind == "aug":
+        return [f"a += {e()}"]
+    if kind == "ret":
+        return [f"return {e()}"]
+    if kind == "bare":
+        return [f"{draw(_CALLEES)}({e()})"]
+    if kind == "pass":
+        return ["pass"]
+    if kind == "await":
+        return [f"await {draw(_CALLEES)}({e()})"]
+    if kind == "await_assign":
+        return [f"b = await {draw(_CALLEES)}({e()})"]
+    if kind == "async_with":
+        body = draw(_stmt(is_async, depth=1))
+        return [f"async with self._lock:"] + [f"    {ln}" for ln in body]
+    body = draw(_stmt(is_async, depth=1))
+    indented = [f"    {ln}" for ln in body]
+    if kind == "if":
+        return [f"if {e()}:"] + indented
+    if kind == "for":
+        return [f"for {draw(_NAMES)} in {e()}:"] + indented
+    if kind == "while":
+        return ["while a:"] + indented + ["    break"]
+    if kind == "with":
+        return [f"with {draw(_CALLEES)}({e()}) as b:"] + indented
+    return ["try:"] + indented + ["except Exception:", "    pass"]
+
+
+@st.composite
+def _module(draw):
+    lines = ["import asyncio", "from helpers import mix"]
+    for i in range(draw(st.integers(1, 3))):
+        is_async = draw(st.booleans())
+        as_method = draw(st.booleans())
+        head = "async def" if is_async else "def"
+        body = []
+        for _ in range(draw(st.integers(1, 3))):
+            body.extend(draw(_stmt(is_async)))
+        if as_method:
+            lines.append(f"class K{i}:")
+            lines.append(f"    {head} m(self, a, b=1):")
+            lines.extend(f"        {ln}" for ln in body)
+        else:
+            lines.append(f"{head} fn{i}(a, b=1):")
+            lines.extend(f"    {ln}" for ln in body)
+    source = "\n".join(lines) + "\n"
+    compile(source, "<fuzz>", "exec")  # the strategy must emit valid Python
+    return source
+
+
+_FUZZ_TAINT = TaintSpec(
+    source_call_prefixes=("decrypt",),
+    source_calls=frozenset({"read_secret"}),
+    source_constructors=frozenset({"K0"}),
+    source_attributes=frozenset({"field"}),
+    sanitizer_prefixes=("encrypt",),
+    sanitizers=frozenset({"len"}),
+    sanitizer_attributes=frozenset({"state"}),
+    sink_roles=frozenset({"ssi"}),
+    sink_callables=frozenset({"g"}),
+)
+_FUZZ_BLOCK = BlockSpec(
+    blocking_calls=frozenset({"time.sleep"}),
+    blocking_methods=frozenset({"meth"}),
+    offload_callables=frozenset({"run_in_executor"}),
+)
+
+
+@settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(source=_module())
+def test_analysis_stack_never_crashes_on_valid_python(source):
+    modules = {
+        "fuzz/mod.py": extract_module("fuzz/mod.py", source),
+        # a second, fixed module so cross-module resolution paths run too
+        "helpers.py": extract_module(
+            "helpers.py", "def mix(x):\n    return read_secret() if x else x\n"
+        ),
+    }
+    program = Program(modules, {"fuzz/mod.py": "client", "helpers.py": "ssi"})
+    program.taint_analyze(_FUZZ_TAINT)
+    summaries = program.blocking_summaries(_FUZZ_BLOCK)
+    assert set(summaries) == set(program.functions)

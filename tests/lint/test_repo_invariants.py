@@ -35,14 +35,18 @@ def test_src_repro_lints_clean():
 def test_baseline_entries_all_still_match():
     # Every committed baseline entry must still suppress something: dead
     # entries mean the offending code changed and must be re-decided.
+    # (One entry may cover several findings — a single blocking line can
+    # reach multiple crypto leaves — so compare keys, not counts.)
     baseline = Baseline.load(BASELINE)
     report = lint_paths(
         [REPO_ROOT / "src" / "repro"],
         production_manifest(),
-        baseline=baseline,
+        baseline=None,
         root=REPO_ROOT,
     )
-    assert report.baseline_suppressed == len(baseline)
+    live = {(f.rule, f.path, f.normalized_source()) for f in report.findings}
+    for key in baseline.entries:
+        assert key in live, f"dead baseline entry: {key}"
 
 
 def test_cli_exit_zero_on_clean_tree(capsys):

@@ -1,0 +1,66 @@
+"""On-disk cache of per-module IR, keyed by file content hash.
+
+The IR for one file depends only on that file's bytes (and the extractor
+version), so the cache key is ``sha256(IR_VERSION || path || source)``.
+Entries are one JSON file each under the cache directory — no index to
+corrupt, concurrent writers at worst both write the same bytes, and a
+stale entry is simply never looked up again.
+
+The full-repo CI run budget (cold < 60s, warm < 10s) rides on this:
+warm runs deserialize JSON instead of re-parsing and re-walking every
+AST.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from tools.privacy_lint.analysis.ir import IR_VERSION, ModuleIR
+
+
+class IRCache:
+    """Content-addressed store of extracted module IR."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(path: str, source: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"ir-v{IR_VERSION}\x00{path}\x00".encode("utf-8"))
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _entry(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, path: str, source: str) -> Optional[ModuleIR]:
+        entry = self._entry(self.key(path, source))
+        try:
+            raw = entry.read_text(encoding="utf-8")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            ir: ModuleIR = json.loads(raw)
+        except ValueError:
+            self.misses += 1
+            return None
+        if ir.get("version") != IR_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ir
+
+    def put(self, path: str, source: str, ir: ModuleIR) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = self._entry(self.key(path, source))
+        tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(ir, separators=(",", ":")), encoding="utf-8")
+        os.replace(tmp, entry)

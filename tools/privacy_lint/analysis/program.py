@@ -1,0 +1,849 @@
+"""Whole-program linking and interprocedural dataflow over the module IR.
+
+:class:`Program` links every extracted module into one namespace:
+
+* **module-qualified resolution** — ``frames.write_envelope(...)``
+  resolves through the caller's import table to
+  ``repro.net.frames::write_envelope``; ``self.seal_frames(...)``
+  resolves to the enclosing class's method; ``obj.submit_tuples(...)``
+  falls back to a method-name index over every known class (capped, and
+  never for generic container-method names).
+* **taint summaries** (PL007) — per function: which taints its return
+  value carries (concrete sources, or "whatever flows into parameter p")
+  and which parameters reach a sink inside it.  Summaries compose over
+  the call graph to a fixpoint, so a plaintext value laundered through
+  any number of helper functions still connects source to sink, and the
+  engine stays linear-ish in program size.
+* **may-block summaries** (PL008) — per function: the blocking calls it
+  can reach through synchronous callees, with the call chain preserved
+  for the diagnostic.
+
+Summary maps are insert-only (keyed without their traces), which makes
+both fixpoints monotone and guarantees termination; traces are capped at
+``MAX_TRACE`` hops so recursion cannot grow them without bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple, Optional
+
+from tools.privacy_lint.analysis.ir import Expr, FunctionIR, ModuleIR
+
+#: method names too generic to resolve through the method-name index —
+#: they would bind list.append/dict.get/... to unrelated classes.
+GENERIC_METHODS = frozenset(
+    {
+        "append", "add", "insert", "extend", "update", "setdefault", "pop",
+        "popitem", "clear", "remove", "discard", "get", "keys", "values",
+        "items", "copy", "join", "split", "strip", "encode", "decode",
+        "format", "read", "write", "readline", "sort", "reverse", "index",
+        "count", "close", "open", "items", "cast", "len",
+    }
+)
+
+#: sink-classification fan-out cap (see :meth:`Program.resolve_for_sink`).
+MAX_SINK_CANDIDATES = 8
+
+#: maximum hops kept in a diagnostic trace (source -> ... -> sink).
+MAX_TRACE = 6
+
+#: local dataflow passes per function (loop-carried flows converge).
+LOCAL_PASSES = 2
+
+
+class Taint(NamedTuple):
+    """One tainted value: a concrete source or a parameter dependency."""
+
+    kind: str    # "src" | "param"
+    detail: str  # source description, or the parameter name
+    path: str    # where the source is (declaration site for params)
+    ln: int
+    trace: tuple[tuple[str, int, str], ...]  # hops from source to here
+
+
+class TaintFinding(NamedTuple):
+    """A source-to-sink flow discovered by the taint engine."""
+
+    sink_path: str
+    sink_ln: int
+    sink_desc: str
+    source_desc: str
+    source_path: str
+    source_ln: int
+    trace: tuple[tuple[str, int, str], ...]
+    via: str  # qualname of the function containing the sink call site
+
+
+class BlockEntry(NamedTuple):
+    """One (possibly transitive) blocking call reachable from a function."""
+
+    desc: str
+    site_ln: int   # call-site line inside the summarized function
+    leaf_path: str
+    leaf_ln: int
+    trace: tuple[tuple[str, int, str], ...]
+
+
+@dataclass
+class TaintSpec:
+    """PL007 configuration (populated from the manifest)."""
+
+    source_call_prefixes: tuple[str, ...] = ()
+    source_calls: frozenset[str] = frozenset()
+    source_constructors: frozenset[str] = frozenset()
+    source_attributes: frozenset[str] = frozenset()
+    sanitizer_prefixes: tuple[str, ...] = ()
+    sanitizers: frozenset[str] = frozenset()
+    sanitizer_attributes: frozenset[str] = frozenset()
+    sink_roles: frozenset[str] = frozenset()
+    sink_callables: frozenset[str] = frozenset()
+
+
+@dataclass
+class BlockSpec:
+    """PL008 blocking-call configuration (populated from the manifest)."""
+
+    blocking_calls: frozenset[str] = frozenset()    # dotted or bare names
+    blocking_methods: frozenset[str] = frozenset()  # match any receiver
+    offload_callables: frozenset[str] = frozenset()
+
+
+def _strip(name: str) -> str:
+    return name.lstrip("_")
+
+
+def iter_exprs(expr: Expr) -> Iterator[Expr]:
+    """Every atom in an expression tree, preorder."""
+    yield expr
+    kind = expr.get("k")
+    if kind == "call":
+        fexpr = expr.get("fexpr")
+        if fexpr is not None:
+            yield from iter_exprs(fexpr)
+        for arg in expr["args"]:
+            yield from iter_exprs(arg)
+        for _, value in expr["kw"]:
+            yield from iter_exprs(value)
+    elif kind == "attr":
+        base = expr.get("base")
+        if base is not None:
+            yield from iter_exprs(base)
+    elif kind == "many":
+        for part in expr["parts"]:
+            yield from iter_exprs(part)
+        for guard in expr.get("guards", ()):
+            yield from iter_exprs(guard)
+
+
+class Program:
+    """Linked whole-program view over a set of module IRs."""
+
+    def __init__(
+        self, modules: dict[str, ModuleIR], roles: dict[str, Optional[str]]
+    ) -> None:
+        #: path -> ModuleIR
+        self.modules = modules
+        #: path -> manifest role (None when unmapped)
+        self.roles = roles
+        #: dotted module name -> path
+        self.module_paths: dict[str, str] = {
+            ir["module"]: path for path, ir in modules.items()
+        }
+        #: qualname -> FunctionIR
+        self.functions: dict[str, FunctionIR] = {}
+        #: method name -> [qualname, ...]
+        self.methods_by_name: dict[str, list[str]] = {}
+        for ir in modules.values():
+            for fn in ir["functions"]:
+                self.functions[fn["qual"]] = fn
+                if fn["cls"] is not None:
+                    self.methods_by_name.setdefault(fn["name"], []).append(
+                        fn["qual"]
+                    )
+        for quals in self.methods_by_name.values():
+            quals.sort()
+
+    # ------------------------------------------------------------------ #
+    # name resolution
+    # ------------------------------------------------------------------ #
+    def role_of_function(self, qual: str) -> Optional[str]:
+        fn = self.functions.get(qual)
+        if fn is None:
+            return None
+        return self.roles.get(fn["path"])
+
+    def find_module(self, name: str) -> Optional[str]:
+        """Dotted module name -> canonical module name, allowing a unique
+        suffix match so fixture packs can use short import names."""
+        if name in self.module_paths:
+            return name
+        suffix = "." + name
+        matches = [m for m in self.module_paths if m.endswith(suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def _function(self, qual: str) -> Optional[str]:
+        return qual if qual in self.functions else None
+
+    def resolve_call(self, call: Expr, caller: FunctionIR) -> list[str]:
+        """Callee qualnames for dataflow binding: qualified resolution,
+        with the method-name fallback only when it is unambiguous —
+        binding arguments across same-named methods of unrelated classes
+        would manufacture flows that do not exist."""
+        cached = call.get("_r")
+        if cached is not None:
+            return list(cached)
+        candidates = self._resolve_uncached(call, caller, fallback_limit=1)
+        call["_r"] = tuple(candidates)
+        return candidates
+
+    def resolve_for_sink(self, call: Expr, caller: FunctionIR) -> list[str]:
+        """Callee qualnames for sink *classification*: here ambiguity is
+        tolerable (several same-named methods, cap ``MAX_SINK_CANDIDATES``)
+        because the caller only asks what role the callee lives in, not
+        which parameters bind."""
+        cached = call.get("_rs")
+        if cached is not None:
+            return list(cached)
+        candidates = self._resolve_uncached(
+            call, caller, fallback_limit=MAX_SINK_CANDIDATES
+        )
+        call["_rs"] = tuple(candidates)
+        return candidates
+
+    def _resolve_uncached(
+        self, call: Expr, caller: FunctionIR, fallback_limit: int
+    ) -> list[str]:
+        dotted: Optional[str] = call.get("dotted")
+        name: Optional[str] = call.get("name")
+        module = caller["module"]
+        module_ir = self.modules.get(caller["path"])
+        imports: dict[str, list[Optional[str]]] = (
+            module_ir["imports"] if module_ir is not None else {}
+        )
+        if dotted is not None:
+            segs = dotted.split(".")
+            if len(segs) == 1:
+                resolved = self._resolve_bare(segs[0], module, imports)
+                if resolved:
+                    return resolved
+            elif segs[0] in ("self", "cls") and caller["cls"] is not None:
+                if len(segs) == 2:
+                    qual = self._function(
+                        f"{module}::{caller['cls']}.{segs[1]}"
+                    )
+                    if qual:
+                        return [qual]
+            else:
+                resolved = self._resolve_qualified(segs, module, imports)
+                if resolved:
+                    return resolved
+        if name and name not in GENERIC_METHODS:
+            methods = self.methods_by_name.get(name, [])
+            if 0 < len(methods) <= fallback_limit:
+                return list(methods)
+        return []
+
+    def _resolve_bare(
+        self, name: str, module: str, imports: dict[str, list[Optional[str]]]
+    ) -> list[str]:
+        qual = self._function(f"{module}::{name}")
+        if qual:
+            return [qual]
+        entry = imports.get(name)
+        if entry is not None:
+            base, member = entry[0], entry[1]
+            if member is not None and base is not None:
+                target = self.find_module(base)
+                if target is not None:
+                    qual = self._function(f"{target}::{member}")
+                    if qual:
+                        return [qual]
+                    # imported class used as constructor
+                    qual = self._function(f"{target}::{member}.__init__")
+                    if qual:
+                        return [qual]
+        # local class constructor
+        qual = self._function(f"{module}::{name}.__init__")
+        if qual:
+            return [qual]
+        return []
+
+    def _resolve_qualified(
+        self,
+        segs: list[str],
+        module: str,
+        imports: dict[str, list[Optional[str]]],
+    ) -> list[str]:
+        entry = imports.get(segs[0])
+        bases: list[str] = []
+        if entry is not None:
+            base, member = entry[0], entry[1]
+            if base is not None:
+                if member is None:
+                    bases.append(base)
+                else:
+                    bases.append(f"{base}.{member}")  # submodule import
+                    # `from mod import Class` -> Class.method(...)
+                    target = self.find_module(base)
+                    if target is not None:
+                        qual = self._function(
+                            f"{target}::{member}.{'.'.join(segs[1:])}"
+                        )
+                        if qual:
+                            return [qual]
+        # local class: ClassName.method(...)
+        qual = self._function(f"{module}::{'.'.join(segs)}")
+        if qual:
+            return [qual]
+        for base in bases:
+            target = self.find_module(base)
+            if target is None:
+                continue
+            qual = self._function(f"{target}::{'.'.join(segs[1:])}")
+            if qual:
+                return [qual]
+        return []
+
+    def expand_dotted(self, call: Expr, caller: FunctionIR) -> Optional[str]:
+        """The call's dotted name with its first segment expanded through
+        the caller's imports (``sleep`` -> ``time.sleep`` after
+        ``from time import sleep``), for matching configured call lists."""
+        dotted = call.get("dotted")
+        module_ir = self.modules.get(caller["path"])
+        imports = module_ir["imports"] if module_ir is not None else {}
+        if dotted is None:
+            return None
+        segs = dotted.split(".")
+        entry = imports.get(segs[0])
+        if entry is not None and entry[0] is not None:
+            base, member = entry[0], entry[1]
+            head = base if member is None else f"{base}.{member}"
+            return ".".join([head] + segs[1:])
+        return dotted
+
+    # ------------------------------------------------------------------ #
+    # PL007: interprocedural taint
+    # ------------------------------------------------------------------ #
+    def taint_analyze(self, spec: TaintSpec) -> list[TaintFinding]:
+        engine = _TaintEngine(self, spec)
+        engine.solve()
+        return engine.report()
+
+    # ------------------------------------------------------------------ #
+    # PL008: may-block summaries
+    # ------------------------------------------------------------------ #
+    def blocking_summaries(self, spec: BlockSpec) -> dict[str, list[BlockEntry]]:
+        engine = _BlockEngine(self, spec)
+        return engine.solve()
+
+
+# ---------------------------------------------------------------------- #
+# taint engine
+# ---------------------------------------------------------------------- #
+@dataclass
+class _Summary:
+    #: (kind, detail) -> representative Taint returned by the function
+    ret: dict[tuple[str, str], Taint] = field(default_factory=dict)
+    #: (param, sink_path, sink_ln, sink_desc) -> chain from the call of
+    #: the function to the sink (tuple of hops)
+    param_sinks: dict[
+        tuple[str, str, int, str], tuple[tuple[str, int, str], ...]
+    ] = field(default_factory=dict)
+
+
+def _dedupe(taints: set[Taint]) -> set[Taint]:
+    """One representative per underlying taint.
+
+    ``Taint`` equality includes the trace, so repeated propagation of the
+    same source through different call paths would otherwise accumulate a
+    combinatorial number of trace variants in every environment set.  The
+    identity of a taint is (kind, detail, path, ln); the shortest trace
+    wins so diagnostics show the most direct route.
+    """
+    best: dict[tuple[str, str, str, int], Taint] = {}
+    for taint in taints:
+        key = (taint.kind, taint.detail, taint.path, taint.ln)
+        kept = best.get(key)
+        if kept is None or len(taint.trace) < len(kept.trace):
+            best[key] = taint
+    return set(best.values())
+
+
+def _extend(
+    trace: tuple[tuple[str, int, str], ...], hop: tuple[str, int, str]
+) -> tuple[tuple[str, int, str], ...]:
+    if len(trace) >= MAX_TRACE:
+        return trace
+    if trace and trace[-1] == hop:
+        return trace
+    return trace + (hop,)
+
+
+class _TaintEngine:
+    def __init__(self, program: Program, spec: TaintSpec) -> None:
+        self.program = program
+        self.spec = spec
+        self.summaries: dict[str, _Summary] = {
+            qual: _Summary() for qual in program.functions
+        }
+        self.findings: dict[tuple[str, int, str, str, int], TaintFinding] = {}
+
+    # -- classification ------------------------------------------------ #
+    def _is_sanitizer(self, name: Optional[str]) -> bool:
+        if not name:
+            return False
+        stripped = _strip(name)
+        return (
+            stripped == "len"
+            or stripped in self.spec.sanitizers
+            or stripped.startswith(self.spec.sanitizer_prefixes)
+        )
+
+    def _is_source_call(self, name: Optional[str]) -> bool:
+        if not name:
+            return False
+        stripped = _strip(name)
+        return (
+            stripped in self.spec.source_calls
+            or name in self.spec.source_constructors
+            or stripped.startswith(self.spec.source_call_prefixes)
+        )
+
+    def _sink_desc(self, call: Expr, caller: FunctionIR) -> Optional[str]:
+        name = call.get("name")
+        caller_role = self.program.roles.get(caller["path"])
+        if caller_role in self.spec.sink_roles:
+            return None  # taint already inside the sink role: flagged upstream
+        if name in self.spec.sink_callables:
+            return f"observability sink {name}()"
+        # Any plausible callee in a sink role counts: the client-side RPC
+        # proxies deliberately mirror the SSI server API name-for-name,
+        # and data passed to either ends up on the SSI-visible wire.
+        for qual in self.program.resolve_for_sink(call, caller):
+            role = self.program.role_of_function(qual)
+            if role in self.spec.sink_roles:
+                fn = self.program.functions[qual]
+                return (
+                    f"{name}() [{qual.replace('::', ':')}, "
+                    f"{role}-role {fn['path']}]"
+                )
+        return None
+
+    # -- solving -------------------------------------------------------- #
+    def solve(self) -> None:
+        order = sorted(self.program.functions)
+        for _ in range(16):
+            changed = False
+            for qual in order:
+                if self._analyze(self.program.functions[qual], report=False):
+                    changed = True
+            if not changed:
+                break
+
+    def report(self) -> list[TaintFinding]:
+        for qual in sorted(self.program.functions):
+            self._analyze(self.program.functions[qual], report=True)
+        return sorted(self.findings.values())
+
+    # -- local analysis -------------------------------------------------- #
+    def _analyze(self, fn: FunctionIR, *, report: bool) -> bool:
+        summary = self.summaries[fn["qual"]]
+        before = (len(summary.ret), len(summary.param_sinks))
+        env: dict[str, set[Taint]] = {}
+        params = list(fn["params"]) + list(fn["kwonly"])
+        for param in params:
+            env[param] = {
+                Taint("param", param, fn["path"], fn["ln"], ())
+            }
+        for _ in range(LOCAL_PASSES):
+            for step in fn["steps"]:
+                kind = step[0]
+                if kind in ("assign", "aug"):
+                    taints = self._eval(step[2], env, fn, summary, report)
+                    for target in step[1]:
+                        if kind == "aug":
+                            env[target] = _dedupe(
+                                env.get(target, set()) | taints
+                            )
+                        else:
+                            env[target] = _dedupe(taints)
+                elif kind == "ret":
+                    taints = self._eval(step[1], env, fn, summary, report)
+                    for taint in taints:
+                        summary.ret.setdefault(
+                            (taint.kind, taint.detail), taint
+                        )
+                elif kind == "expr":
+                    self._eval(step[1], env, fn, summary, report)
+        after = (len(summary.ret), len(summary.param_sinks))
+        return after != before
+
+    def _dotted_taints(
+        self, dotted: str, ln: int, env: dict[str, set[Taint]], fn: FunctionIR
+    ) -> set[Taint]:
+        """Taint of an ``a.b.c`` chain: env lookup on the longest known
+        prefix, then attribute projection (sources add, sanitized
+        projections clear)."""
+        segs = dotted.split(".")
+        taints: set[Taint] = set()
+        start = 0
+        for cut in range(len(segs), 0, -1):
+            prefix = ".".join(segs[:cut])
+            if prefix in env:
+                taints = set(env[prefix])
+                start = cut
+                break
+        for seg in segs[start:]:
+            if seg in self.spec.source_attributes:
+                taints.add(
+                    Taint("src", f"attribute .{seg} (key material)",
+                          fn["path"], ln, ())
+                )
+            elif seg in self.spec.sanitizer_attributes:
+                taints = set()
+        return taints
+
+    def _eval(
+        self,
+        expr: Expr,
+        env: dict[str, set[Taint]],
+        fn: FunctionIR,
+        summary: _Summary,
+        report: bool,
+    ) -> set[Taint]:
+        kind = expr["k"]
+        if kind == "const":
+            return set()
+        if kind == "name":
+            return set(env.get(expr["id"], ()))
+        if kind == "attr":
+            base = expr.get("base")
+            attr = expr["attr"]
+            if expr.get("dotted"):
+                return self._dotted_taints(expr["dotted"], expr["ln"], env, fn)
+            taints: set[Taint] = set()
+            if base is not None:
+                taints = self._eval(base, env, fn, summary, report)
+            if attr in self.spec.source_attributes:
+                taints = taints | {
+                    Taint("src", f"attribute .{attr} (key material)",
+                          fn["path"], expr["ln"], ())
+                }
+            elif attr in self.spec.sanitizer_attributes:
+                taints = set()
+            return taints
+        if kind == "many":
+            taints = set()
+            for part in expr["parts"]:
+                taints |= self._eval(part, env, fn, summary, report)
+            for guard in expr.get("guards", ()):
+                # evaluated for sink detection only; a guard decides which
+                # branch runs, it does not flow into the value
+                self._eval(guard, env, fn, summary, report)
+            return _dedupe(taints)
+        # call
+        return self._eval_call(expr, env, fn, summary, report)
+
+    def _receiver_taints(
+        self, call: Expr, env: dict[str, set[Taint]], fn: FunctionIR,
+        summary: _Summary, report: bool,
+    ) -> set[Taint]:
+        dotted = call.get("dotted")
+        if dotted is not None and "." in dotted:
+            receiver = dotted.rsplit(".", 1)[0]
+            return self._dotted_taints(receiver, call["ln"], env, fn)
+        fexpr = call.get("fexpr")
+        if fexpr is not None:
+            return self._eval(fexpr, env, fn, summary, report)
+        return set()
+
+    def _eval_call(
+        self,
+        call: Expr,
+        env: dict[str, set[Taint]],
+        fn: FunctionIR,
+        summary: _Summary,
+        report: bool,
+    ) -> set[Taint]:
+        name = call.get("name")
+        ln = call["ln"]
+        arg_taints: list[set[Taint]] = [
+            self._eval(arg, env, fn, summary, report) for arg in call["args"]
+        ]
+        kw_taints: list[tuple[Optional[str], set[Taint]]] = [
+            (kw_name, self._eval(value, env, fn, summary, report))
+            for kw_name, value in call["kw"]
+        ]
+        if self._is_sanitizer(name):
+            return set()
+        if self._is_source_call(name):
+            return {
+                Taint("src", f"{name}() result", fn["path"], ln, ())
+            }
+        candidates = self.program.resolve_call(call, fn)
+        sink = self._sink_desc(call, fn)
+        if sink is not None:
+            for taints in arg_taints + [t for _, t in kw_taints]:
+                for taint in taints:
+                    self._record_flow(taint, sink, fn, ln, summary, report)
+        result: set[Taint] = set()
+        receiver = self._receiver_taints(call, env, fn, summary, report)
+        if not candidates:
+            for taints in arg_taints:
+                result |= taints
+            for _, taints in kw_taints:
+                result |= taints
+            result |= receiver
+            result = _dedupe(result)
+            self._mutate_receiver(call, env, result)
+            return result
+        for qual in candidates:
+            callee = self.program.functions[qual]
+            callee_summary = self.summaries[qual]
+            binding = self._bind_args(
+                callee, call, arg_taints, kw_taints, receiver
+            )
+            hop = (fn["path"], ln, f"via {name}()")
+            # list(): the callee may be the caller (recursion), in which
+            # case these are the same dicts we are inserting into.
+            for taint in list(callee_summary.ret.values()):
+                if taint.kind == "src":
+                    result.add(taint._replace(trace=_extend(taint.trace, hop)))
+                else:  # param dependency: substitute the caller's argument
+                    for arg_taint in binding.get(taint.detail, set()):
+                        result.add(
+                            arg_taint._replace(
+                                trace=_extend(arg_taint.trace, hop)
+                            )
+                        )
+            for key, chain in list(callee_summary.param_sinks.items()):
+                param, sink_path, sink_ln, sink_desc = key
+                for arg_taint in binding.get(param, set()):
+                    self._record_chain_flow(
+                        arg_taint, sink_path, sink_ln, sink_desc,
+                        (fn["path"], ln, f"into {name}()"), chain,
+                        summary, report,
+                    )
+            if qual.endswith(".__init__"):
+                # constructor: the object carries whatever its fields do
+                for taints in arg_taints:
+                    result |= taints
+                for _, taints in kw_taints:
+                    result |= taints
+        result = _dedupe(result)
+        self._mutate_receiver(call, env, result)
+        return result
+
+    def _mutate_receiver(
+        self, call: Expr, env: dict[str, set[Taint]], taints: set[Taint]
+    ) -> None:
+        """``frames.append(tainted)`` taints ``frames`` (weak update)."""
+        if not taints:
+            return
+        dotted = call.get("dotted")
+        if dotted is None or "." not in dotted:
+            return
+        receiver = dotted.rsplit(".", 1)[0]
+        if "." in receiver or receiver in ("self", "cls"):
+            # Only plain locals: tainting `self` on every
+            # `self.helper(tainted)` call would smear taint over every
+            # later `self.*` read; calls on self resolve through
+            # summaries instead.
+            return
+        env[receiver] = _dedupe(env.get(receiver, set()) | taints)
+
+    def _bind_args(
+        self,
+        callee: FunctionIR,
+        call: Expr,
+        arg_taints: list[set[Taint]],
+        kw_taints: list[tuple[Optional[str], set[Taint]]],
+        receiver: set[Taint],
+    ) -> dict[str, set[Taint]]:
+        params = list(callee["params"])
+        binding: dict[str, set[Taint]] = {}
+        positional = params
+        dotted = call.get("dotted") or ""
+        is_attr_call = "." in dotted or call.get("fexpr") is not None
+        if callee["kind"] in ("method", "class") and params:
+            if is_attr_call:
+                binding[params[0]] = set(receiver)
+                positional = params[1:]
+            # bare-name call of a method: alignment unknown; keep 1:1
+        for index, taints in enumerate(arg_taints):
+            if index < len(positional):
+                binding.setdefault(positional[index], set()).update(taints)
+        valid = set(params) | set(callee["kwonly"])
+        for kw_name, taints in kw_taints:
+            if kw_name is not None and kw_name in valid:
+                binding.setdefault(kw_name, set()).update(taints)
+        return binding
+
+    def _record_flow(
+        self,
+        taint: Taint,
+        sink_desc: str,
+        fn: FunctionIR,
+        ln: int,
+        summary: _Summary,
+        report: bool,
+    ) -> None:
+        if taint.kind == "param":
+            summary.param_sinks.setdefault(
+                (taint.detail, fn["path"], ln, sink_desc), taint.trace
+            )
+            return
+        if report:
+            key = (fn["path"], ln, sink_desc, taint.detail, taint.ln)
+            self.findings.setdefault(
+                key,
+                TaintFinding(
+                    sink_path=fn["path"], sink_ln=ln, sink_desc=sink_desc,
+                    source_desc=taint.detail, source_path=taint.path,
+                    source_ln=taint.ln, trace=taint.trace, via=fn["qual"],
+                ),
+            )
+
+    def _record_chain_flow(
+        self,
+        taint: Taint,
+        sink_path: str,
+        sink_ln: int,
+        sink_desc: str,
+        hop: tuple[str, int, str],
+        chain: tuple[tuple[str, int, str], ...],
+        summary: _Summary,
+        report: bool,
+    ) -> None:
+        if taint.kind == "param":
+            chain_through = taint.trace
+            chain_through = _extend(chain_through, hop)
+            for link in chain:
+                chain_through = _extend(chain_through, link)
+            summary.param_sinks.setdefault(
+                (taint.detail, sink_path, sink_ln, sink_desc), chain_through
+            )
+            return
+        if report:
+            trace = taint.trace
+            trace = _extend(trace, hop)
+            for link in chain:
+                trace = _extend(trace, link)
+            key = (sink_path, sink_ln, sink_desc, taint.detail, taint.ln)
+            self.findings.setdefault(
+                key,
+                TaintFinding(
+                    sink_path=sink_path, sink_ln=sink_ln, sink_desc=sink_desc,
+                    source_desc=taint.detail, source_path=taint.path,
+                    source_ln=taint.ln, trace=trace, via=hop[0],
+                ),
+            )
+
+
+# ---------------------------------------------------------------------- #
+# blocking engine
+# ---------------------------------------------------------------------- #
+class _BlockEngine:
+    def __init__(self, program: Program, spec: BlockSpec) -> None:
+        self.program = program
+        self.spec = spec
+        self.summaries: dict[str, dict[tuple[str, int], BlockEntry]] = {
+            qual: {} for qual in program.functions
+        }
+
+    def solve(self) -> dict[str, list[BlockEntry]]:
+        order = sorted(self.program.functions)
+        for _ in range(16):
+            changed = False
+            for qual in order:
+                if self._analyze(self.program.functions[qual]):
+                    changed = True
+            if not changed:
+                break
+        return {
+            qual: sorted(entries.values())
+            for qual, entries in self.summaries.items()
+        }
+
+    def _blocking_desc(self, call: Expr, fn: FunctionIR) -> Optional[str]:
+        name = call.get("name")
+        dotted = call.get("dotted")
+        expanded = self.program.expand_dotted(call, fn)
+        if expanded is not None and expanded in self.spec.blocking_calls:
+            return f"{expanded}()"
+        if (
+            dotted is not None
+            and "." not in dotted
+            and dotted in self.spec.blocking_calls
+        ):
+            return f"{dotted}()"
+        if name is not None and _strip(name) in self.spec.blocking_methods:
+            return f"{name}() [synchronous bulk crypto]"
+        return None
+
+    def _scan_calls(self, expr: Expr) -> Iterator[Expr]:
+        """Call atoms in *expr*, skipping offloaded subtrees
+        (``run_in_executor``/``to_thread`` arguments run off-loop by
+        design)."""
+        kind = expr.get("k")
+        if kind == "call":
+            name = expr.get("name")
+            if name in self.spec.offload_callables:
+                return
+            yield expr
+            fexpr = expr.get("fexpr")
+            if fexpr is not None:
+                yield from self._scan_calls(fexpr)
+            for arg in expr["args"]:
+                yield from self._scan_calls(arg)
+            for _, value in expr["kw"]:
+                yield from self._scan_calls(value)
+        elif kind == "attr":
+            base = expr.get("base")
+            if base is not None:
+                yield from self._scan_calls(base)
+        elif kind == "many":
+            for part in expr["parts"]:
+                yield from self._scan_calls(part)
+            for guard in expr.get("guards", ()):
+                yield from self._scan_calls(guard)
+
+    def _analyze(self, fn: FunctionIR) -> bool:
+        summary = self.summaries[fn["qual"]]
+        before = len(summary)
+        for step in fn["steps"]:
+            exprs = [step[2]] if step[0] in ("assign", "aug") else [step[1]]
+            for expr in exprs:
+                for call in self._scan_calls(expr):
+                    if call.get("awaited"):
+                        continue
+                    ln = call["ln"]
+                    desc = self._blocking_desc(call, fn)
+                    if desc is not None:
+                        summary.setdefault(
+                            (desc, ln),
+                            BlockEntry(desc, ln, fn["path"], ln, ()),
+                        )
+                        continue
+                    for qual in self.program.resolve_call(call, fn):
+                        callee = self.program.functions[qual]
+                        if callee["is_async"]:
+                            continue
+                        # list(): self-recursive functions share this dict
+                        for entry in list(self.summaries[qual].values()):
+                            hop = (
+                                fn["path"], ln,
+                                f"calls {call.get('name')}()",
+                            )
+                            summary.setdefault(
+                                (entry.desc, ln),
+                                BlockEntry(
+                                    entry.desc, ln, entry.leaf_path,
+                                    entry.leaf_ln,
+                                    ((hop,) + entry.trace)[:MAX_TRACE],
+                                ),
+                            )
+        return len(summary) != before

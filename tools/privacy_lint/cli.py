@@ -3,17 +3,20 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from tools.privacy_lint.baseline import Baseline
 from tools.privacy_lint.engine import lint_paths
 from tools.privacy_lint.manifest import Manifest
-from tools.privacy_lint.rules import ALL_RULES
+from tools.privacy_lint.rules import ALL_RULES, PROGRAM_RULES
+from tools.privacy_lint.sarif import to_sarif
 
 _PACKAGE_DIR = Path(__file__).parent
 DEFAULT_PATHS = ["src/repro"]
 DEFAULT_BASELINE = _PACKAGE_DIR / "baseline.txt"
+DEFAULT_CACHE_DIR = ".privacy_lint_cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -21,7 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="privacy-lint",
         description=(
             "Static enforcement of the paper's trust-boundary invariants "
-            "(PL001-PL005); see tools/privacy_lint/__init__.py"
+            "(PL001-PL008); see tools/privacy_lint/__init__.py"
         ),
     )
     parser.add_argument(
@@ -65,6 +68,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the summary line",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format: human-readable text (default) or SARIF 2.1.0 "
+        "JSON on stdout (for CI artifact upload)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="directory for the on-disk dataflow-IR cache used by the "
+        f"interprocedural rules (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the IR cache (every file is re-analysed)",
+    )
     return parser
 
 
@@ -72,7 +93,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in ALL_RULES + PROGRAM_RULES:
             print(f"{rule.code}  {rule.name:28s} {rule.rationale}")
         return 0
 
@@ -94,7 +115,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"privacy-lint: {exc}", file=sys.stderr)
             return 2
 
-    report = lint_paths(args.paths, manifest, baseline=baseline, select=select)
+    cache_dir = None if args.no_cache else args.cache_dir
+    report = lint_paths(
+        args.paths,
+        manifest,
+        baseline=baseline,
+        select=select,
+        cache_dir=cache_dir,
+    )
 
     if args.write_baseline:
         previous = Baseline.load(args.baseline)
@@ -104,6 +132,11 @@ def main(argv: list[str] | None = None) -> int:
             f"{'y' if len(report.findings) == 1 else 'ies'} to {args.baseline}"
         )
         return 0
+
+    if args.format == "sarif":
+        json.dump(to_sarif(report), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 1 if (report.findings or report.errors) else 0
 
     for error in report.errors:
         print(f"privacy-lint: error: {error}", file=sys.stderr)

@@ -13,6 +13,13 @@ class Finding:
     machines (baseline entries key on it).  ``source_line`` carries the
     stripped offending line; the baseline keys on its whitespace-normalized
     form so entries survive reformatting and line-number churn.
+
+    ``related`` carries secondary locations for interprocedural findings —
+    the source and every call hop of a PL007 taint trace, or the blocking
+    leaf of a transitive PL008 chain — as ``(path, line, note)`` tuples.
+    The primary location stays the *sink*/call site (that is the line a
+    reviewer must justify), but a pragma at any related location also
+    suppresses the finding.
     """
 
     path: str
@@ -21,10 +28,14 @@ class Finding:
     rule: str
     message: str
     source_line: str = ""
+    related: tuple[tuple[str, int, str], ...] = ()
 
     def normalized_source(self) -> str:
         """The offending line with whitespace collapsed (baseline key)."""
         return " ".join(self.source_line.split())
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        for rel_path, rel_line, note in self.related:
+            text += f"\n    {rel_path}:{rel_line}: {note}"
+        return text

@@ -1,4 +1,18 @@
-"""The lint engine: file discovery, rule dispatch, pragma/baseline filters."""
+"""The lint engine: file discovery, rule dispatch, pragma/baseline filters.
+
+Two phases per :func:`lint_paths` run:
+
+1. **syntactic** — PL001–PL006 run per file over the AST, exactly as in
+   PR 2;
+2. **whole-program** — every parsed file's dataflow IR (cached on disk by
+   content hash when a cache directory is given) is linked into one
+   :class:`~tools.privacy_lint.analysis.program.Program`, and the
+   interprocedural rules (PL007/PL008) run once over it.
+
+Interprocedural findings carry related locations (taint source, call
+hops, blocking leaf); a pragma at the primary *or* any related line
+suppresses them.  The baseline keys on the primary location only.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +20,15 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from tools.privacy_lint.analysis.cache import IRCache
+from tools.privacy_lint.analysis.ir import ModuleIR, extract_module
+from tools.privacy_lint.analysis.program import Program
 from tools.privacy_lint.baseline import Baseline
 from tools.privacy_lint.diagnostics import Finding
 from tools.privacy_lint.manifest import Manifest
 from tools.privacy_lint.pragmas import PragmaIndex
-from tools.privacy_lint.rules import ALL_RULES, ModuleContext
+from tools.privacy_lint.rules import ALL_RULES, PROGRAM_RULES, ModuleContext
+from tools.privacy_lint.rules.context import ProgramContext
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build"}
 
@@ -24,6 +42,9 @@ class LintReport:
     baseline_suppressed: int = 0
     files_checked: int = 0
     errors: list[str] = field(default_factory=list)
+    #: IR cache statistics (both zero when no cache directory was given)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def clean(self) -> bool:
@@ -34,6 +55,12 @@ def _select_rules(select: set[str] | None) -> tuple[type, ...]:
     if select is None:
         return ALL_RULES
     return tuple(rule for rule in ALL_RULES if rule.code in select)
+
+
+def _select_program_rules(select: set[str] | None) -> tuple[type, ...]:
+    if select is None:
+        return PROGRAM_RULES
+    return tuple(rule for rule in PROGRAM_RULES if rule.code in select)
 
 
 def _lint_source_counting(
@@ -64,6 +91,10 @@ def lint_source(
 ) -> list[Finding]:
     """Lint one module given its source text (pragma-filtered, unbaselined).
 
+    Syntactic rules only — interprocedural analysis needs the whole
+    program; use :func:`lint_paths` (optionally with ``overrides``) for
+    PL007/PL008.
+
     *path* is the repo-relative POSIX path the manifest patterns are
     matched against — callers may lint hypothetical content for a real
     path (the injection tests do exactly that).
@@ -88,32 +119,62 @@ def iter_python_files(paths: list[str | Path], root: Path) -> list[Path]:
     return files
 
 
+def _program_suppressed(
+    finding: Finding, pragma_indexes: dict[str, PragmaIndex]
+) -> bool:
+    """An interprocedural finding is suppressed by a pragma at the sink
+    (primary) line or at any related location — source or hop."""
+    index = pragma_indexes.get(finding.path)
+    if index is not None and index.suppresses(finding):
+        return True
+    for rel_path, rel_line, _note in finding.related:
+        index = pragma_indexes.get(rel_path)
+        if index is not None and index.suppresses_line(finding.rule, rel_line):
+            return True
+    return False
+
+
 def lint_paths(
     paths: list[str | Path],
     manifest: Manifest,
     baseline: Baseline | None = None,
     root: str | Path | None = None,
     select: set[str] | None = None,
+    overrides: dict[str, str] | None = None,
+    cache_dir: str | Path | None = None,
 ) -> LintReport:
     """Lint every Python file under *paths*; returns the filtered report.
 
     Pragma-suppressed findings never surface; baseline-suppressed ones are
     counted but dropped.  Unparseable files are reported as errors (the
     linter must not silently skip what it cannot vouch for).
+
+    *overrides* maps repo-relative paths to replacement source text —
+    the acceptance-injection tests lint the real repository with one
+    hypothetical file swapped in.  *cache_dir* enables the on-disk IR
+    cache for the whole-program phase.
     """
     root_path = Path(root) if root is not None else Path.cwd()
     report = LintReport()
+    overrides = overrides or {}
+    cache = IRCache(cache_dir) if cache_dir is not None else None
+
+    sources: dict[str, str] = {}
+    modules: dict[str, ModuleIR] = {}
     for file_path in iter_python_files(paths, root_path):
         try:
             rel = file_path.resolve().relative_to(root_path.resolve()).as_posix()
         except ValueError:
             rel = file_path.as_posix()
         try:
-            source = file_path.read_text(encoding="utf-8")
+            source = overrides.get(rel)
+            if source is None:
+                source = file_path.read_text(encoding="utf-8")
             findings, suppressed = _lint_source_counting(rel, source, manifest, select)
         except (OSError, SyntaxError) as exc:
             report.errors.append(f"{rel}: {exc}")
             continue
+        sources[rel] = source
         report.files_checked += 1
         report.pragma_suppressed += suppressed
         for finding in findings:
@@ -121,5 +182,52 @@ def lint_paths(
                 report.baseline_suppressed += 1
             else:
                 report.findings.append(finding)
+
+    # Overrides for paths that do not exist on disk inject brand-new
+    # modules into the program — how the acceptance tests plant a leak.
+    for rel, source in overrides.items():
+        if rel in sources:
+            continue
+        try:
+            findings, suppressed = _lint_source_counting(rel, source, manifest, select)
+        except SyntaxError as exc:
+            report.errors.append(f"{rel}: {exc}")
+            continue
+        sources[rel] = source
+        report.files_checked += 1
+        report.pragma_suppressed += suppressed
+        for finding in findings:
+            if baseline is not None and baseline.suppresses(finding):
+                report.baseline_suppressed += 1
+            else:
+                report.findings.append(finding)
+
+    program_rules = _select_program_rules(select)
+    if program_rules and sources:
+        for rel, source in sources.items():
+            ir = cache.get(rel, source) if cache is not None else None
+            if ir is None:
+                ir = extract_module(rel, source)
+                if cache is not None:
+                    cache.put(rel, source, ir)
+            modules[rel] = ir
+        if cache is not None:
+            report.cache_hits = cache.hits
+            report.cache_misses = cache.misses
+        roles = {rel: manifest.role_of(rel) for rel in modules}
+        program = Program(modules, roles)
+        context = ProgramContext(
+            program=program, manifest=manifest, sources=sources
+        )
+        pragma_indexes = {rel: PragmaIndex(src) for rel, src in sources.items()}
+        for rule_cls in program_rules:
+            for finding in rule_cls(context).run():
+                if _program_suppressed(finding, pragma_indexes):
+                    report.pragma_suppressed += 1
+                elif baseline is not None and baseline.suppresses(finding):
+                    report.baseline_suppressed += 1
+                else:
+                    report.findings.append(finding)
+
     report.findings.sort()
     return report

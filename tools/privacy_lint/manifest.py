@@ -64,6 +64,38 @@ class Manifest:
     #: (except inside ``len(...)``).
     obs_forbidden_value_names: set[str] = field(default_factory=set)
 
+    #: PL007 — call-name prefixes whose results carry plaintext (decrypt_*).
+    taint_source_call_prefixes: tuple[str, ...] = ()
+    #: PL007 — exact call names whose results carry plaintext.
+    taint_source_calls: set[str] = field(default_factory=set)
+    #: PL007 — constructors that build plaintext values (TupleContent).
+    taint_source_constructors: set[str] = field(default_factory=set)
+    #: PL007 — attribute names whose read yields plaintext/key material.
+    taint_source_attributes: set[str] = field(default_factory=set)
+    #: PL007 — call-name prefixes that sanitize (encrypt_*, seal_*, hash*).
+    taint_sanitizer_prefixes: tuple[str, ...] = ()
+    #: PL007 — exact call names that sanitize.
+    taint_sanitizers: set[str] = field(default_factory=set)
+    #: PL007 — attribute projections that yield only SSI-visible scalars.
+    taint_sanitizer_attributes: set[str] = field(default_factory=set)
+    #: PL007 — roles whose functions are egress sinks.
+    taint_sink_roles: set[str] = field(default_factory=set)
+    #: PL007 — observability callables whose arguments are sinks.
+    taint_sink_callables: set[str] = field(default_factory=set)
+
+    #: PL008 — roles whose ``async def`` bodies must not block the loop.
+    async_roles: set[str] = field(default_factory=set)
+    #: PL008 — dotted (or bare builtin) call names that block.
+    blocking_calls: set[str] = field(default_factory=set)
+    #: PL008 — method names that block regardless of receiver.
+    blocking_methods: set[str] = field(default_factory=set)
+    #: PL008 — callables whose argument subtrees run off-loop by design.
+    offload_callables: set[str] = field(default_factory=set)
+    #: PL008 — container methods that mutate shared state.
+    mutating_methods: set[str] = field(default_factory=set)
+    #: PL008 — context-manager names that count as the owning lock.
+    lock_names: set[str] = field(default_factory=set)
+
     def role_of(self, path: str) -> str | None:
         for pattern, role in self.roles:
             if fnmatchcase(path, pattern):
@@ -117,4 +149,49 @@ class Manifest:
             manifest.obs_forbidden_value_names = set(
                 _split_list(section.get("forbidden_value_names", ""))
             )
+        if parser.has_section("pl007"):
+            section = parser["pl007"]
+            manifest.taint_source_call_prefixes = tuple(
+                _split_list(section.get("source_call_prefixes", ""))
+            )
+            manifest.taint_source_calls = set(
+                _split_list(section.get("source_calls", ""))
+            )
+            manifest.taint_source_constructors = set(
+                _split_list(section.get("source_constructors", ""))
+            )
+            manifest.taint_source_attributes = set(
+                _split_list(section.get("source_attributes", ""))
+            )
+            manifest.taint_sanitizer_prefixes = tuple(
+                _split_list(section.get("sanitizer_prefixes", ""))
+            )
+            manifest.taint_sanitizers = set(
+                _split_list(section.get("sanitizers", ""))
+            )
+            manifest.taint_sanitizer_attributes = set(
+                _split_list(section.get("sanitizer_attributes", ""))
+            )
+            manifest.taint_sink_roles = set(
+                _split_list(section.get("sink_roles", ""))
+            )
+            manifest.taint_sink_callables = set(
+                _split_list(section.get("sink_callables", ""))
+            )
+        if parser.has_section("pl008"):
+            section = parser["pl008"]
+            manifest.async_roles = set(_split_list(section.get("async_roles", "")))
+            manifest.blocking_calls = set(
+                _split_list(section.get("blocking_calls", ""))
+            )
+            manifest.blocking_methods = set(
+                _split_list(section.get("blocking_methods", ""))
+            )
+            manifest.offload_callables = set(
+                _split_list(section.get("offload_callables", ""))
+            )
+            manifest.mutating_methods = set(
+                _split_list(section.get("mutating_methods", ""))
+            )
+            manifest.lock_names = set(_split_list(section.get("locks", "")))
         return manifest

@@ -50,9 +50,18 @@ class PragmaIndex:
                 if match:
                     self._file_wide |= _parse_codes(match.group(1))
 
-    def suppresses(self, finding: Finding) -> bool:
-        rule = finding.rule.upper()
+    def suppresses_line(self, rule: str, line: int) -> bool:
+        """Is *rule* disabled on *line* (or file-wide)?
+
+        Interprocedural findings call this for every related location, so
+        a ``# privacy-lint: disable=PL007`` works at either the source or
+        the sink line.
+        """
+        rule = rule.upper()
         if "ALL" in self._file_wide or rule in self._file_wide:
             return True
-        codes = self._by_line.get(finding.line, set())
+        codes = self._by_line.get(line, set())
         return "ALL" in codes or rule in codes
+
+    def suppresses(self, finding: Finding) -> bool:
+        return self.suppresses_line(finding.rule, finding.line)

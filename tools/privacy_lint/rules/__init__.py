@@ -1,20 +1,28 @@
 """Rule registry: one module per PL rule, discovered statically.
 
-Each rule is a class with ``code`` (``PL00X``), ``name``, a one-line
-``rationale`` citing the paper invariant it protects, and
-``run(context)`` yielding :class:`~tools.privacy_lint.diagnostics.Finding`.
+Each syntactic rule is a class with ``code`` (``PL00X``), ``name``, a
+one-line ``rationale`` citing the paper invariant it protects, and
+``run()`` yielding :class:`~tools.privacy_lint.diagnostics.Finding`.
+
+Rules with ``requires_program = True`` (PL007/PL008) are constructed with
+a :class:`~tools.privacy_lint.rules.context.ProgramContext` — the linked
+whole-program IR — instead of a per-module context, and run once per lint
+invocation rather than once per file.
 """
 
 from __future__ import annotations
 
-from tools.privacy_lint.rules.context import ModuleContext
+from tools.privacy_lint.rules.context import ModuleContext, ProgramContext
 from tools.privacy_lint.rules.pl001_trust_boundary import TrustBoundaryImports
 from tools.privacy_lint.rules.pl002_plaintext_egress import PlaintextEgress
 from tools.privacy_lint.rules.pl003_det_enc_allowlist import DetEncAllowlist
 from tools.privacy_lint.rules.pl004_accounting import AccountingChokePoint
 from tools.privacy_lint.rules.pl005_determinism import SimulationDeterminism
 from tools.privacy_lint.rules.pl006_obs_redaction import ObsRedaction
+from tools.privacy_lint.rules.pl007_taint import PlaintextTaint
+from tools.privacy_lint.rules.pl008_async import AsyncConcurrency
 
+#: per-file syntactic rules
 ALL_RULES = (
     TrustBoundaryImports,
     PlaintextEgress,
@@ -24,16 +32,26 @@ ALL_RULES = (
     ObsRedaction,
 )
 
-RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES}
+#: whole-program rules (need the linked IR, run once per invocation)
+PROGRAM_RULES = (
+    PlaintextTaint,
+    AsyncConcurrency,
+)
+
+RULES_BY_CODE = {rule.code: rule for rule in ALL_RULES + PROGRAM_RULES}
 
 __all__ = [
     "ALL_RULES",
+    "PROGRAM_RULES",
     "RULES_BY_CODE",
     "ModuleContext",
+    "ProgramContext",
     "TrustBoundaryImports",
     "PlaintextEgress",
     "DetEncAllowlist",
     "AccountingChokePoint",
     "SimulationDeterminism",
     "ObsRedaction",
+    "PlaintextTaint",
+    "AsyncConcurrency",
 ]

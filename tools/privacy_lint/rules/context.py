@@ -1,11 +1,15 @@
-"""Per-module analysis context shared by all rules."""
+"""Per-module and whole-program analysis contexts shared by all rules."""
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from tools.privacy_lint.manifest import Manifest
+
+if TYPE_CHECKING:
+    from tools.privacy_lint.analysis.program import Program
 
 
 def terminal_name(node: ast.expr) -> str | None:
@@ -53,4 +57,24 @@ class ModuleContext:
     def line_text(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.lines):
             return self.lines[lineno - 1].strip()
+        return ""
+
+
+@dataclass
+class ProgramContext:
+    """Everything an interprocedural rule needs: the linked program plus
+    the source text of every linted file (for diagnostics)."""
+
+    program: "Program"
+    manifest: Manifest
+    sources: dict[str, str]
+    _lines: dict[str, list[str]] = field(init=False, default_factory=dict)
+
+    def line_text(self, path: str, lineno: int) -> str:
+        lines = self._lines.get(path)
+        if lines is None:
+            lines = self.sources.get(path, "").splitlines()
+            self._lines[path] = lines
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1].strip()
         return ""

@@ -1,0 +1,90 @@
+"""PL007 — interprocedural plaintext/key-material taint.
+
+The paper's whole guarantee is a dataflow property: plaintext tuples,
+decrypted query results and key material exist only inside trusted
+parties (querier, TDS), and everything the untrusted SSI observes is
+ciphertext, deterministic tags or sizes (§2.1, §3.2).  PL002/PL003 check
+this syntactically at single call sites, which a one-function detour
+defeats: ``rows = helper(statement); ssi.store_result_rows(qid, rows)``
+looks innocent in both files.
+
+This rule runs the summary-based taint engine over the linked program:
+
+* **sources** — manifest ``[pl007]``: ``decrypt_*``/``open_query``
+  results, ``TupleContent(...)`` construction, key-material attribute
+  reads;
+* **sanitizers** — ``encrypt_*``/``seal_*``/hashing call results,
+  ``len()``, and the attribute projections the paper licenses the SSI to
+  see (tags, offsets, query ids, the SIZE clause);
+* **sinks** — arguments of any function resolved into an ssi-role module
+  (or its client-side RPC mirror) and of the observability emitters
+  (``log_event``/``labels``/``annotate``).
+
+The finding's primary location is the sink call site; the source and
+every interprocedural hop are attached as related locations, and a
+pragma at any of them suppresses the finding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from tools.privacy_lint.analysis.program import TaintSpec
+from tools.privacy_lint.diagnostics import Finding
+from tools.privacy_lint.rules.context import ProgramContext
+
+
+def _taint_spec(context: ProgramContext) -> TaintSpec:
+    manifest = context.manifest
+    return TaintSpec(
+        source_call_prefixes=manifest.taint_source_call_prefixes,
+        source_calls=frozenset(manifest.taint_source_calls),
+        source_constructors=frozenset(manifest.taint_source_constructors),
+        source_attributes=frozenset(manifest.taint_source_attributes),
+        sanitizer_prefixes=manifest.taint_sanitizer_prefixes,
+        sanitizers=frozenset(manifest.taint_sanitizers),
+        sanitizer_attributes=frozenset(manifest.taint_sanitizer_attributes),
+        sink_roles=frozenset(manifest.taint_sink_roles),
+        sink_callables=frozenset(manifest.taint_sink_callables),
+    )
+
+
+class PlaintextTaint:
+    code = "PL007"
+    name = "plaintext-taint"
+    rationale = (
+        "plaintext/key material must not flow into SSI-visible sinks, even "
+        "through helper functions (§2.1 trust boundary)"
+    )
+    requires_program = True
+
+    def __init__(self, context: ProgramContext) -> None:
+        self.context = context
+
+    def run(self) -> Iterator[Finding]:
+        spec = _taint_spec(self.context)
+        if not spec.sink_roles and not spec.sink_callables:
+            return
+        for flow in self.context.program.taint_analyze(spec):
+            related = [
+                (flow.source_path, flow.source_ln, f"source: {flow.source_desc}")
+            ]
+            related.extend(
+                (hop_path, hop_ln, note)
+                for hop_path, hop_ln, note in flow.trace
+                if (hop_path, hop_ln) != (flow.sink_path, flow.sink_ln)
+            )
+            yield Finding(
+                path=flow.sink_path,
+                line=flow.sink_ln,
+                col=1,
+                rule=self.code,
+                message=(
+                    f"{flow.source_desc} "
+                    f"({flow.source_path}:{flow.source_ln}) reaches "
+                    f"{flow.sink_desc} without encryption — the SSI must "
+                    "only ever observe ciphertext, tags and sizes"
+                ),
+                source_line=self.context.line_text(flow.sink_path, flow.sink_ln),
+                related=tuple(related),
+            )

@@ -1,0 +1,205 @@
+"""PL008 — async-concurrency hygiene for the event-loop roles.
+
+The networked deployment (PR 4/6) runs asyncio loops in the SSI server,
+the TDS fleet and the clients.  Three bug classes recur there and are
+invisible to per-file syntax checks:
+
+* **blocking calls in ``async def``** — ``time.sleep``, subprocess,
+  sync socket/file IO, or the synchronous bulk-crypto paths
+  (``encrypt_block``/``decrypt_many``/...) stall every connection the
+  loop serves.  Reached *transitively*: an async handler calling a sync
+  helper that ends in ``decrypt_block`` blocks just as hard, so the
+  check composes may-block summaries over the call graph (offloads via
+  ``run_in_executor``/``to_thread`` are exempt by design).
+* **cross-await mutation** — ``self.X`` read before an ``await`` and
+  mutated after it without holding the owning lock: the loop may have
+  interleaved another coroutine, so the read is stale.  A mutation under
+  an ``async with <lock>`` (context-manager name containing "lock", or
+  manifest-listed) is fine.
+* **unawaited coroutines** — a bare statement calling an ``async def``
+  silently creates-and-drops the coroutine; a bare
+  ``create_task``/``ensure_future`` discards the task handle, so its
+  exceptions vanish.
+
+Scope: modules whose manifest role is in ``[pl008] async_roles``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Any
+
+from tools.privacy_lint.analysis.program import BlockSpec
+from tools.privacy_lint.diagnostics import Finding
+from tools.privacy_lint.rules.context import ProgramContext
+
+#: bare statements that spawn-and-drop a task
+_FIRE_AND_FORGET = {"create_task", "ensure_future"}
+
+
+class AsyncConcurrency:
+    code = "PL008"
+    name = "async-concurrency"
+    rationale = (
+        "event-loop roles must not block the loop, race shared state "
+        "across awaits, or drop coroutines"
+    )
+    requires_program = True
+
+    def __init__(self, context: ProgramContext) -> None:
+        self.context = context
+        self.manifest = context.manifest
+
+    def run(self) -> Iterator[Finding]:
+        if not self.manifest.async_roles:
+            return
+        program = self.context.program
+        spec = BlockSpec(
+            blocking_calls=frozenset(self.manifest.blocking_calls),
+            blocking_methods=frozenset(self.manifest.blocking_methods),
+            offload_callables=frozenset(self.manifest.offload_callables),
+        )
+        summaries = program.blocking_summaries(spec)
+        for qual in sorted(program.functions):
+            fn = program.functions[qual]
+            role = program.roles.get(fn["path"])
+            if role not in self.manifest.async_roles:
+                continue
+            if fn["is_async"]:
+                yield from self._blocking_findings(fn, summaries[qual])
+                yield from self._cross_await_findings(fn)
+            yield from self._unawaited_findings(fn)
+
+    # ------------------------------------------------------------------ #
+    def _finding(
+        self,
+        fn: dict[str, Any],
+        line: int,
+        message: str,
+        related: tuple[tuple[str, int, str], ...] = (),
+    ) -> Finding:
+        return Finding(
+            path=fn["path"],
+            line=line,
+            col=1,
+            rule=self.code,
+            message=message,
+            source_line=self.context.line_text(fn["path"], line),
+            related=related,
+        )
+
+    def _blocking_findings(
+        self, fn: dict[str, Any], entries: list[Any]
+    ) -> Iterator[Finding]:
+        for entry in entries:
+            related = tuple(
+                (hop_path, hop_ln, note)
+                for hop_path, hop_ln, note in entry.trace
+                if (hop_path, hop_ln) != (fn["path"], entry.site_ln)
+            )
+            if (entry.leaf_path, entry.leaf_ln) != (fn["path"], entry.site_ln):
+                related = related + (
+                    (entry.leaf_path, entry.leaf_ln, f"blocks here: {entry.desc}"),
+                )
+            where = (
+                "" if entry.leaf_path == fn["path"]
+                and entry.leaf_ln == entry.site_ln
+                else f" (via {entry.leaf_path}:{entry.leaf_ln})"
+            )
+            yield self._finding(
+                fn,
+                entry.site_ln,
+                f"blocking call {entry.desc}{where} inside async def "
+                f"{fn['name']} stalls the event loop — await an async "
+                "variant or offload via run_in_executor/to_thread",
+                related,
+            )
+
+    # ------------------------------------------------------------------ #
+    def _is_lock(self, name: str) -> bool:
+        return "lock" in name.lower() or name in self.manifest.lock_names
+
+    def _cross_await_findings(self, fn: dict[str, Any]) -> Iterator[Finding]:
+        awaits = fn["awaits"]
+        if not awaits:
+            return
+        mutating = self.manifest.mutating_methods
+        by_obj: dict[str, list[dict[str, Any]]] = {}
+        for access in fn["accesses"]:
+            by_obj.setdefault(access["obj"], []).append(access)
+        for obj, accesses in sorted(by_obj.items()):
+            reads = [
+                a for a in accesses
+                if a["mode"] == "read"
+                or (a["mode"] == "call" and a["meth"] not in mutating)
+            ]
+            writes = [
+                a for a in accesses
+                if a["mode"] == "write"
+                or (a["mode"] == "call" and a["meth"] in mutating)
+            ]
+            if not reads or not writes:
+                continue
+            first_read = min(a["i"] for a in reads)
+            for write in writes:
+                if any(self._is_lock(name) for name in write["locks"]):
+                    continue
+                crossing = [
+                    a for a in awaits if first_read <= a[0] and a[0] <= write["i"]
+                ]
+                if not crossing:
+                    continue
+                read = min(
+                    (a for a in reads if a["i"] <= crossing[-1][0]),
+                    key=lambda a: a["i"],
+                )
+                if read["ln"] == write["ln"]:
+                    continue
+                yield self._finding(
+                    fn,
+                    write["ln"],
+                    f"{obj} is mutated after an await but read before it "
+                    f"(line {read['ln']}) without holding the owning lock — "
+                    "another coroutine may have interleaved; guard both "
+                    "sides with the same async lock",
+                    (
+                        (fn["path"], read["ln"], f"{obj} read here"),
+                        (fn["path"], crossing[0][1], "await crossed here"),
+                    ),
+                )
+                break  # one finding per object per function is enough
+
+    # ------------------------------------------------------------------ #
+    def _unawaited_findings(self, fn: dict[str, Any]) -> Iterator[Finding]:
+        program = self.context.program
+        for step in fn["steps"]:
+            if step[0] != "expr":
+                continue
+            expr = step[1]
+            if expr.get("k") != "call" or not expr.get("bare"):
+                continue
+            if expr.get("awaited"):
+                continue
+            name = expr.get("name")
+            if name in _FIRE_AND_FORGET:
+                yield self._finding(
+                    fn,
+                    expr["ln"],
+                    f"{name}() result is discarded — a fire-and-forget task "
+                    "loses its exceptions; keep the handle and attach a "
+                    "done-callback (or await it)",
+                )
+                continue
+            for qual in program.resolve_call(expr, fn):
+                if program.functions[qual]["is_async"]:
+                    yield self._finding(
+                        fn,
+                        expr["ln"],
+                        f"coroutine {name}() is never awaited — the call "
+                        "creates the coroutine object and drops it without "
+                        "running it",
+                        ((program.functions[qual]["path"],
+                          program.functions[qual]["ln"],
+                          f"async def {name} defined here"),),
+                    )
+                    break

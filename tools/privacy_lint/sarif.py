@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 serialization of a lint report.
+
+SARIF is the interchange format CI code-scanning UIs ingest (GitHub code
+scanning among them), so ``--format sarif`` lets the CI job upload the
+privacy-lint run as an artifact that renders inline on the diff.  Only
+the fields those consumers read are emitted: the rule catalogue, one
+``result`` per finding with its primary location, and the
+interprocedural trace as ``relatedLocations``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from tools.privacy_lint.engine import LintReport
+from tools.privacy_lint.rules import ALL_RULES, PROGRAM_RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _location(path: str, line: int, col: int = 1) -> dict[str, Any]:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path},
+            "region": {"startLine": line, "startColumn": col},
+        }
+    }
+
+
+def to_sarif(report: LintReport, tool_version: str = "0") -> dict[str, Any]:
+    """The report as a SARIF 2.1.0 ``log`` dict (caller serializes)."""
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.rationale},
+        }
+        for rule in ALL_RULES + PROGRAM_RULES
+    ]
+    results: list[dict[str, Any]] = []
+    for finding in report.findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_location(finding.path, finding.line, finding.col)],
+        }
+        if finding.related:
+            result["relatedLocations"] = [
+                {
+                    **_location(rel_path, rel_line),
+                    "message": {"text": note},
+                }
+                for rel_path, rel_line, note in finding.related
+            ]
+        results.append(result)
+    for error in report.errors:
+        results.append(
+            {
+                "ruleId": "PL000",
+                "level": "error",
+                "message": {"text": f"lint error: {error}"},
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "privacy-lint",
+                        "informationUri": "tools/privacy_lint",
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -8,10 +8,12 @@ Subcommands:
 * ``costmodel`` — evaluate the calibrated cost model at one parameter
   point (all four metrics, all five protocols);
 * ``recommend`` — pick a protocol for a deployment scenario (§6.4);
-* ``serve``     — run the SSI as an asyncio TCP service;
+* ``serve``     — run the SSI as an asyncio TCP service (``--data-dir``
+  adds durable, tamper-evident state with crash recovery);
 * ``fleet``     — run a population of TDS clients against a served SSI;
 * ``query``     — post one query to a served SSI and await the result;
-* ``stats``     — fetch a served SSI's metrics (Prometheus text form).
+* ``stats``     — fetch a served SSI's metrics (Prometheus text form);
+* ``verify-log`` — offline integrity check of a ``serve`` data dir.
 
 ``serve``/``fleet``/``query`` are three independent processes speaking
 the :mod:`repro.net` wire protocol; ``fleet`` and ``query`` must agree
@@ -198,6 +200,8 @@ def _fleet_deployment(args: argparse.Namespace) -> Deployment:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.net.server import SSIDispatcher, SSIServer
     from repro.obs import spans as obs_spans
     from repro.obs.http import start_metrics_server
@@ -209,10 +213,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         configure_json_logging()
 
     async def _serve() -> None:
-        dispatcher = SSIDispatcher(
-            SupportingServerInfrastructure(),
-            partition_timeout=args.partition_timeout,
-        )
+        store = None
+        if args.data_dir is not None:
+            from repro.store import DurableStore
+
+            store = DurableStore.open(
+                args.data_dir, fsync_policy=args.fsync_policy
+            )
+            recovered = store.recovered
+            dispatcher = SSIDispatcher.with_store(
+                store, partition_timeout=args.partition_timeout
+            )
+            print(
+                f"durable state: {args.data_dir} "
+                f"({'clean start' if recovered.clean else 'recovered'}: "
+                f"{len(dispatcher.ssi.envelope_map())} query(ies), "
+                f"{recovered.replayed_records} record(s) replayed, "
+                f"commitment at {store.commitment().count}, "
+                f"fsync={args.fsync_policy})",
+                flush=True,
+            )
+        else:
+            dispatcher = SSIDispatcher(
+                SupportingServerInfrastructure(),
+                partition_timeout=args.partition_timeout,
+            )
         server = SSIServer(
             dispatcher,
             host=args.host,
@@ -231,18 +256,74 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
         print(f"SSI listening on {server.host}:{server.port}", flush=True)
+        # Graceful shutdown (SIGTERM/SIGINT): stop accepting, drain
+        # in-flight requests, flush the WAL and write a clean-shutdown
+        # snapshot so the next start recovers without replay.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        stop_task = asyncio.ensure_future(stop.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                (serve_task, stop_task), return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
+            stop_task.cancel()
+            serve_task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            drained = await server.drain(timeout=args.drain_timeout)
             if metrics_server is not None:
                 metrics_server.close()
                 await metrics_server.wait_closed()
             await server.close()
+            if store is not None:
+                store.close(dispatcher.capture_state())
+                print(
+                    "SSI stopped "
+                    f"({'drained' if drained else 'drain timed out'}; "
+                    f"durable state flushed, commitment at "
+                    f"{store.commitment().count})",
+                    flush=True,
+                )
+            else:
+                print("SSI stopped", flush=True)
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("SSI stopped")
+    return 0
+
+
+def cmd_verify_log(args: argparse.Namespace) -> int:
+    from repro.exceptions import CorruptLogError
+    from repro.store import verify_data_dir
+
+    try:
+        report = verify_data_dir(args.data_dir)
+    except CorruptLogError as exc:
+        print(f"verify-log FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(f"data dir  : {args.data_dir}")
+    print(
+        f"WAL       : {report['wal_records']} record(s) in "
+        f"{report['wal_segments']} segment(s)"
+    )
+    print(
+        f"snapshots : {report['snapshots']} retained "
+        f"(latest at WAL seq {report['snapshot_seq']}, "
+        f"clean={'yes' if report['clean'] else 'no'})"
+    )
+    print(
+        f"commitment: {report['commitment_count']} record(s), "
+        f"head {report['commitment_head']}"
+    )
+    print("verify-log OK")
     return 0
 
 
@@ -491,7 +572,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-logs", action="store_true",
         help="emit structured JSON logs (redaction-filtered) on stderr",
     )
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="persist SSI state (WAL + snapshots) here and recover from "
+        "it on start; default is in-memory only",
+    )
+    serve.add_argument(
+        "--fsync-policy", choices=("group", "batch", "none"), default="group",
+        help="WAL durability: group = ack after fsync (group commit), "
+        "batch = background fsync interval, none = page cache only",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds to wait for in-flight requests on SIGTERM/SIGINT",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    verify_log = sub.add_parser(
+        "verify-log",
+        help="verify a serve --data-dir offline (WAL CRCs, snapshot "
+        "integrity, commitment-chain consistency); exits 1 on corruption",
+    )
+    verify_log.add_argument("--data-dir", required=True)
+    verify_log.set_defaults(func=cmd_verify_log)
 
     fleet = sub.add_parser(
         "fleet", help="run a population of TDS clients against a served SSI"

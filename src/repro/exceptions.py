@@ -96,3 +96,20 @@ class ResourceExhaustedError(ProtocolError):
 
 class ConfigurationError(ReproError):
     """Invalid parameters were supplied to a model or simulator."""
+
+
+class StoreError(ReproError):
+    """Base class for durable-store (WAL/snapshot) failures."""
+
+
+class CorruptLogError(StoreError):
+    """The write-ahead log or a snapshot failed its integrity checks
+    (CRC mismatch, sequence gap, bad framing) beyond what torn-tail
+    recovery may repair.  Raised instead of ever mis-parsing bytes."""
+
+
+class RollbackDetectedError(ProtocolError):
+    """The SSI presented a commitment chain that is not a descendant of
+    the state this client already observed — the store was rolled back,
+    selectively pruned, or forked (the paper's untrusted-SSI threat
+    model, §2.1).  Never retried: this is an integrity alarm."""

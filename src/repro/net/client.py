@@ -42,6 +42,7 @@ from repro.exceptions import (
     DuplicateQueryError,
     ProtocolError,
     ResultNotReadyError,
+    RollbackDetectedError,
     TransportError,
     UnknownQueryError,
 )
@@ -49,6 +50,7 @@ from repro.net import frames
 from repro.net.frames import QueryMeta, Reader, WorkUnit, Writer
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import TraceContext
+from repro.store.commitment import Commitment
 
 if TYPE_CHECKING:  # transport.py imports this module (RemoteSSI wiring)
     from repro.net.transport import Transport
@@ -135,6 +137,10 @@ class AsyncSSIClient:
         #: trace context attached (as the v4 EXT_TRACE extension) to
         #: every request once negotiated; None = no propagation.
         self.trace_context: TraceContext | None = None
+        #: highest durable commitment observed on this connection, from
+        #: EXT_COMMITMENT ack extensions or get_commitment() — the
+        #: client-side anchor for rollback detection.
+        self.last_commitment: Commitment | None = None
 
     async def close(self) -> None:
         await self.transport.close()
@@ -250,8 +256,11 @@ class AsyncSSIClient:
         return w
 
     def _unwrap(self, body: bytes) -> Reader:
-        msg_type, _corr, reader = frames.unpack_frame_body(body)
+        _version, msg_type, _corr, exts, reader = frames.unpack_frame_ext(body)
         if msg_type == frames.MSG_OK:
+            raw = exts.get(frames.EXT_COMMITMENT)
+            if raw is not None:
+                self._observe_commitment(Commitment.from_wire(raw))
             return reader
         if msg_type == frames.MSG_ERROR:
             code = reader.u8()
@@ -259,11 +268,75 @@ class AsyncSSIClient:
             raise _CODE_TO_EXC.get(code, ProtocolError)(message)
         raise ProtocolError(f"unexpected response type 0x{msg_type:02x}")
 
+    def _observe_commitment(self, commitment: Commitment) -> None:
+        """Track the highest durable commitment seen on this connection.
+
+        Passive check only: two acks pipelined on one connection can be
+        *observed* out of order, so a lower count here is a stale ack,
+        not evidence of rollback — it is ignored.  An unchanged count
+        with a different head, however, means two distinct logs of the
+        same length: a definite rewrite.  The strong rollback check is
+        :meth:`verify_freshness`, which demands an inclusion proof for
+        exactly the commitment this method recorded."""
+        seen = self.last_commitment
+        if seen is not None:
+            if commitment.count == seen.count and commitment.head != seen.head:
+                raise RollbackDetectedError(
+                    f"SSI commitment head changed at count {seen.count}: "
+                    "the log was rewritten"
+                )
+            if commitment.count < seen.count:
+                return
+        self.last_commitment = commitment
+
     # ------------------------------------------------------------------ #
     # wire operations
     # ------------------------------------------------------------------ #
     async def ping(self) -> None:
         (await self._call(frames.MSG_PING, b"")).expect_end()
+
+    async def get_commitment(
+        self, check: Commitment | None = None
+    ) -> Commitment | None:
+        """Fetch the SSI's current durable commitment (None when the
+        server runs without a store).
+
+        With *check*, also demand an inclusion proof: the head the
+        server's chain had when it was ``check.count`` records long.  A
+        missing or mismatching proof means the chain the server now
+        serves does not extend the one *check* was cut from — a rollback
+        or selective drop of acknowledged state — and raises
+        :class:`RollbackDetectedError`."""
+        w = Writer()
+        if check is None:
+            w.boolean(False)
+        else:
+            w.boolean(True)
+            w.i64(check.count)
+            w.blob(check.head)
+        r = await self._call(frames.MSG_GET_COMMITMENT, w.getvalue())
+        if not r.boolean():
+            r.expect_end()
+            return None
+        current = Commitment(count=r.i64(), head=r.blob())
+        proof = r.opt_blob()
+        r.expect_end()
+        if check is not None:
+            if current.count < check.count or proof != check.head:
+                raise RollbackDetectedError(
+                    f"SSI cannot prove its {current.count}-record chain "
+                    f"extends the {check.count}-record commitment this "
+                    "client observed: state was rolled back"
+                )
+        self._observe_commitment(current)
+        return current
+
+    async def verify_freshness(self) -> Commitment | None:
+        """Check that the server's chain still extends the last
+        commitment this client observed (no-op anchor when none was).
+        Returns the server's current commitment, or None without a
+        store; raises :class:`RollbackDetectedError` on rollback."""
+        return await self.get_commitment(self.last_commitment)
 
     async def post_query(
         self,

@@ -106,11 +106,12 @@ MSG_PING = 0x12
 MSG_SUBMIT_TUPLES_BATCH = 0x13
 MSG_GET_STATS = 0x14
 MSG_HELLO = 0x15
+MSG_GET_COMMITMENT = 0x16
 
 MSG_OK = 0x40
 MSG_ERROR = 0x41
 
-REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_HELLO + 1))
+REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_GET_COMMITMENT + 1))
 
 # --------------------------------------------------------------------- #
 # v4 frame extensions + capability flags
@@ -119,15 +120,23 @@ REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_HELLO + 1))
 #: id, big-endian); see repro.obs.spans.TraceContext
 EXT_TRACE = 0x01
 
+#: extension on MSG_OK acks from a durable server: the commitment-chain
+#: position the acked mutation is covered by (u64 record count + 32-byte
+#: blake2b chain head; see repro.store.commitment.Commitment.to_wire)
+EXT_COMMITMENT = 0x02
+
 #: ceiling on extensions per frame (a routing header, not a data lane)
 MAX_EXTENSIONS = 8
 
 #: capability bits exchanged in MSG_HELLO
 CAP_TRACE_CONTEXT = 1 << 0
 CAP_STATS = 1 << 1
+#: server persists state durably and answers MSG_GET_COMMITMENT; acks
+#: on mutating requests carry an EXT_COMMITMENT extension
+CAP_DURABLE_COMMITMENT = 1 << 2
 
 #: everything this build implements
-CAPABILITIES = CAP_TRACE_CONTEXT | CAP_STATS
+CAPABILITIES = CAP_TRACE_CONTEXT | CAP_STATS | CAP_DURABLE_COMMITMENT
 
 # --------------------------------------------------------------------- #
 # wire-level error codes (satellite: typed errors, no tracebacks)
@@ -269,6 +278,18 @@ class Reader:
         chunk = self._data[self._pos : self._pos + n]
         self._pos += n
         return chunk
+
+    def mark(self) -> int:
+        """Current cursor position, for :meth:`since`."""
+        return self._pos
+
+    def since(self, mark: int) -> memoryview:
+        """The raw bytes consumed since *mark*, as a zero-copy view.
+        Lets a handler keep the wire encoding of a span it just decoded
+        (the codec is canonical, so these bytes equal a re-encode)
+        without paying for a copy; the view pins the request buffer,
+        which is immutable for the life of the dispatch."""
+        return memoryview(self._data)[mark : self._pos]
 
     def u8(self) -> int:
         return self._take(1)[0]

@@ -26,7 +26,11 @@ from __future__ import annotations
 import asyncio
 import logging
 import time
-from typing import Awaitable, Callable, Protocol, TypeVar
+from typing import TYPE_CHECKING, Awaitable, Callable, Protocol, TypeVar
+
+if TYPE_CHECKING:  # repro.store imports this module's siblings; keep lazy
+    from repro.store.recovery import DurableStore
+    from repro.store.snapshot import SnapshotState
 
 from repro.core.messages import EncryptedTupleBlock
 from repro.exceptions import (
@@ -167,19 +171,50 @@ class _SubmissionQueue:
 
     An entry is either a list of tuples/partials ("tuples"/"partials")
     or one columnar :class:`~repro.core.messages.EncryptedTupleBlock`
-    ("block") — a whole batch frame counts as one pending entry."""
+    ("block") — a whole batch frame counts as one pending entry.  Each
+    entry carries its request's idempotency key so a durable dispatcher
+    can journal the key atomically with the mutation it guarded."""
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
-        self.pending: list[tuple[str, list | EncryptedTupleBlock]] = []
+        self.pending: list[
+            tuple[str, list | EncryptedTupleBlock, tuple[str, int], bytes | None]
+        ] = []
 
-    def push(self, kind: str, items: list | EncryptedTupleBlock) -> None:
+    def push(
+        self,
+        kind: str,
+        items: list | EncryptedTupleBlock,
+        idem: tuple[str, int],
+        wire: bytes | memoryview | None = None,
+    ) -> None:
         if len(self.pending) >= self.maxsize:
             raise BackpressureError(
                 f"submission queue full ({self.maxsize} batches pending); "
                 "back off and retry"
             )
-        self.pending.append((kind, items))
+        self.pending.append((kind, items, idem, wire))
+
+
+#: request types that mutate durable state: when a store is attached,
+#: their acks wait for the WAL fsync policy and carry an EXT_COMMITMENT
+#: extension.  MSG_FETCH_PARTITION is included because its auto-close /
+#: stage-advance side effects append records — a commitment observed via
+#: any response must never cover an unsynced record.
+_DURABLE_TYPES = frozenset({
+    frames.MSG_POST_QUERY,
+    frames.MSG_SUBMIT_TUPLES,
+    frames.MSG_SUBMIT_TUPLES_BATCH,
+    frames.MSG_SUBMIT_PARTIALS,
+    frames.MSG_EVALUATE_SIZE,
+    frames.MSG_CLOSE_COLLECTION,
+    frames.MSG_TAKE_PARTIALS,
+    frames.MSG_STORE_RESULT_ROWS,
+    frames.MSG_PUBLISH_RESULT,
+    frames.MSG_FETCH_PARTITION,
+    frames.MSG_SUBMIT_PARTITION_RESULT,
+    frames.MSG_GET_COMMITMENT,
+})
 
 
 class SSIDispatcher:
@@ -197,6 +232,12 @@ class SSIDispatcher:
         self.ssi = ssi if ssi is not None else SupportingServerInfrastructure()
         self.coordinators: dict[str, QueryCoordinator] = {}
         self.metas: dict[str, QueryMeta] = {}
+        #: durable store, when serving with ``--data-dir`` (see
+        #: :meth:`with_store`); None keeps the in-memory behaviour
+        self.store: "DurableStore | None" = None
+        #: personal-querybox target per query (snapshotted so recovery
+        #: reposts to the same box)
+        self.tds_ids: dict[str, str | None] = {}
         self.partition_timeout = partition_timeout
         self._queues: dict[str, _SubmissionQueue] = {}
         self._max_pending = max_pending_batches
@@ -223,6 +264,90 @@ class SSIDispatcher:
         if self._clock is not None:
             return self._clock()
         return asyncio.get_running_loop().time()
+
+    # ------------------------------------------------------------------ #
+    # durability (repro.store)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def with_store(cls, store: "DurableStore", **kwargs: object) -> "SSIDispatcher":
+        """Build a dispatcher serving the recovered state of *store*.
+
+        Resumes every live query: re-arms its submission queue, and for
+        fleet-mode queries not yet published, discards any half-round
+        aggregation leftovers (journaled as a reset record so a second
+        crash replays the same clear) and rebuilds a coordinator that
+        re-runs aggregation from the durable covering result — the
+        coordinator's partition trackers died with the process, and
+        merging is associative, so recomputing is always correct.
+        Elapsed-time SIZE clauses restart their clock at the restart.
+        """
+        recovered = store.recovered
+        dispatcher = cls(recovered.ssi, **kwargs)  # type: ignore[arg-type]
+        dispatcher.metas.update(recovered.metas)
+        dispatcher.tds_ids.update(recovered.tds_ids)
+        dispatcher._applied_seq.update(recovered.applied_seq)
+        dispatcher._applied_ahead.update(
+            {k: set(v) for k, v in recovered.applied_ahead.items()}
+        )
+        for query_id in recovered.ssi.envelope_map():
+            dispatcher._queues[query_id] = _SubmissionQueue(
+                dispatcher._max_pending
+            )
+            meta = dispatcher.metas.get(query_id)
+            if meta is None or not meta.protocol:
+                continue  # driver-mode: the client owns aggregation state
+            if recovered.ssi.result_ready(query_id):
+                continue  # finished: pollers get STATUS_DONE without one
+            storage = recovered.ssi.storage_map()[query_id]
+            if storage.partials or storage.result_rows:
+                store.journal.reset_aggregation(query_id)
+                storage.partials.clear()
+                storage.result_rows.clear()
+            dispatcher.coordinators[query_id] = QueryCoordinator(
+                recovered.ssi,
+                query_id,
+                meta,
+                partition_timeout=dispatcher.partition_timeout,
+            )
+        # Journal from here on: recovery replayed with journaling off.
+        recovered.ssi.journal = store.journal
+        dispatcher.store = store
+        return dispatcher
+
+    def capture_state(self) -> "SnapshotState":
+        """One consistent view of the dispatcher's durable state, for
+        the store's snapshot writer.  Runs synchronously (no awaits
+        between a mutation and its journal record), so what it sees
+        always matches the WAL prefix written so far.  Submission queues
+        are always empty here — a push and its flush happen inside one
+        ``_handle`` call — so they carry nothing to capture."""
+        from repro.store.snapshot import QuerySnapshot, SnapshotState
+
+        storage_map = self.ssi.storage_map()
+        queries = []
+        for query_id, envelope in self.ssi.envelope_map().items():
+            storage = storage_map[query_id]
+            queries.append(
+                QuerySnapshot(
+                    query_id=query_id,
+                    envelope=envelope,
+                    meta=self.metas.get(query_id, QueryMeta()),
+                    tds_id=self.tds_ids.get(query_id),
+                    collection_closed=storage.collection_closed,
+                    result_ready=storage.result_ready,
+                    collected=list(storage.collected),
+                    collected_blocks=list(storage.collected_blocks),
+                    partials=list(storage.partials),
+                    result_rows=list(storage.result_rows),
+                )
+            )
+        return SnapshotState(
+            applied_seq=dict(self._applied_seq),
+            applied_ahead={
+                k: set(v) for k, v in self._applied_ahead.items() if v
+            },
+            queries=queries,
+        )
 
     async def dispatch(self, body: bytes) -> bytes:
         """One request frame body in, one response frame out.  Responses
@@ -289,7 +414,24 @@ class SSIDispatcher:
             # Exact cross-process parent link for wire-propagated traces
             # (v4 peers); v3 peers fall back to the derived trace id.
             self.ssi.lifecycle.adopt(self._ctx_query_id, trace)
-        return frames.pack_frame(frames.MSG_OK, payload, corr, version=version)
+        extensions: tuple[tuple[int, bytes], ...] = ()
+        if self.store is not None and msg_type in _DURABLE_TYPES:
+            # Capture the commitment BEFORE syncing: sync() covers at
+            # least everything appended so far, so a head this response
+            # reports (extension or MSG_GET_COMMITMENT payload) is
+            # always durable by the time the ack leaves — a pipelined
+            # request landing during the fsync must not slip its
+            # unsynced records into our reported head.
+            if version >= 4:
+                commitment = await self.store.commitment_async()
+                extensions = (
+                    (frames.EXT_COMMITMENT, commitment.to_wire()),
+                )
+            await self.store.sync()
+            await self.store.maybe_snapshot(self.capture_state)
+        return frames.pack_frame(
+            frames.MSG_OK, payload, corr, version=version, extensions=extensions
+        )
 
     # ------------------------------------------------------------------ #
     # request handlers
@@ -333,8 +475,19 @@ class SSIDispatcher:
                 )
             if self._replayed(client_id, seq):
                 return w.getvalue()
+            if (
+                self.store is not None
+                and envelope.query_id not in self.ssi.envelope_map()
+            ):
+                # Journaled here, not in the SSI facade: the record must
+                # carry the scheduling meta the facade never sees.  The
+                # membership guard keeps a doomed duplicate post out of
+                # the log (post_query below would raise before applying).
+                self.store.journal.set_idem(client_id, seq)
+                self.store.journal.post_query(envelope, tds_id, meta)
             self.ssi.post_query(envelope, tds_id)
             self.metas[envelope.query_id] = meta
+            self.tds_ids[envelope.query_id] = tds_id
             self._posted_at[envelope.query_id] = self._now()
             self._queues[envelope.query_id] = _SubmissionQueue(self._max_pending)
             if meta.protocol:
@@ -366,39 +519,51 @@ class SSIDispatcher:
 
         if msg_type == frames.MSG_SUBMIT_TUPLES:
             client_id, seq = self._read_idem(r)
+            mark = r.mark()
             query_id = self._note_query(r.text())
             tuples = frames.read_tuples(r)
+            wire = r.since(mark)
             r.expect_end()
             self.ssi.envelope(query_id)  # typed error for unknown ids
             if self._replayed(client_id, seq):
                 return w.getvalue()
-            self._queue_for(query_id).push("tuples", tuples)
+            self._queue_for(query_id).push(
+                "tuples", tuples, (client_id, seq), wire
+            )
             self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
             return w.getvalue()
 
         if msg_type == frames.MSG_SUBMIT_TUPLES_BATCH:
             client_id, seq = self._read_idem(r)
+            mark = r.mark()
             query_id = self._note_query(r.text())
             block = frames.read_tuple_block(r)
+            wire = r.since(mark)
             r.expect_end()
             self.ssi.envelope(query_id)  # typed error for unknown ids
             if self._replayed(client_id, seq):
                 return w.getvalue()
-            self._queue_for(query_id).push("block", block)
+            self._queue_for(query_id).push(
+                "block", block, (client_id, seq), wire
+            )
             self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
             return w.getvalue()
 
         if msg_type == frames.MSG_SUBMIT_PARTIALS:
             client_id, seq = self._read_idem(r)
+            mark = r.mark()
             query_id = self._note_query(r.text())
             partials = frames.read_partials(r)
+            wire = r.since(mark)
             r.expect_end()
             self.ssi.envelope(query_id)
             if self._replayed(client_id, seq):
                 return w.getvalue()
-            self._queue_for(query_id).push("partials", partials)
+            self._queue_for(query_id).push(
+                "partials", partials, (client_id, seq), wire
+            )
             self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
             return w.getvalue()
@@ -453,7 +618,11 @@ class SSIDispatcher:
             r.expect_end()
             if self._replayed(client_id, seq):
                 return w.getvalue()
+            if self.store is not None:
+                self.store.journal.set_idem(client_id, seq)
             self.ssi.store_result_rows(query_id, rows)
+            if self.store is not None:
+                self.store.journal.clear_idem()
             self._mark_applied(client_id, seq)
             return w.getvalue()
 
@@ -480,6 +649,32 @@ class SSIDispatcher:
             tds_id = r.text()
             r.expect_end()
             return self._fetch_partition(query_id, tds_id)
+
+        if msg_type == frames.MSG_GET_COMMITMENT:
+            check: tuple[int, bytes] | None = None
+            if r.boolean():
+                check = (r.i64(), r.blob())
+            r.expect_end()
+            if self.store is None:
+                w.boolean(False)  # serving in-memory: nothing to attest
+                return w.getvalue()
+            w.boolean(True)
+            current = self.store.commitment()
+            w.i64(current.count)
+            w.blob(current.head)
+            if check is not None:
+                if check[0] < 0:
+                    raise ProtocolError(
+                        f"invalid commitment count {check[0]} in check"
+                    )
+                # Inclusion proof for the client's last observed
+                # commitment: the head our chain had at that count.
+                # None means the chain is *shorter* than the client saw
+                # — the rollback the client is probing for.
+                w.opt_blob(self.store.head_at(check[0]))
+            else:
+                w.opt_blob(None)
+            return w.getvalue()
 
         if msg_type == frames.MSG_SUBMIT_PARTITION_RESULT:
             query_id = self._note_query(r.text())
@@ -576,18 +771,28 @@ class SSIDispatcher:
             self._auto_close(query_id)
 
     def _flush(self, query_id: str) -> None:
-        """Apply buffered submissions in arrival order."""
+        """Apply buffered submissions in arrival order.  With a store
+        attached, each entry's idempotency key is armed just before its
+        apply (journaled inside the mutation's WAL record) and cleared
+        right after — a submission the SSI drops without journaling (it
+        arrived after the collection closed) must not leak its key into
+        the next record."""
         queue = self._queues.get(query_id)
         if queue is None or not queue.pending:
             return
+        journal = self.store.journal if self.store is not None else None
         pending, queue.pending = queue.pending, []
-        for kind, items in pending:
+        for kind, items, idem, wire in pending:
+            if journal is not None:
+                journal.set_idem(*idem)
             if kind == "tuples":
-                self.ssi.submit_tuples(query_id, items)
+                self.ssi.submit_tuples(query_id, items, wire=wire)
             elif kind == "block":
-                self.ssi.submit_tuple_block(query_id, items)
+                self.ssi.submit_tuple_block(query_id, items, wire=wire)
             else:
-                self.ssi.submit_partials(query_id, items)
+                self.ssi.submit_partials(query_id, items, wire=wire)
+            if journal is not None:
+                journal.clear_idem()
 
     def _auto_close(self, query_id: str) -> None:
         """Fleet-mode queries with a SIZE clause close on the server's
@@ -636,6 +841,34 @@ class SSIServer:
         self.max_frame_bytes = max_frame_bytes
         self.max_concurrent_requests = max_concurrent_requests
         self._server: asyncio.AbstractServer | None = None
+        # Graceful-shutdown bookkeeping: requests currently being
+        # handled across every connection, and an event that is set
+        # exactly while that count is zero (drain() waits on it).
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    def _begin_request(self) -> None:
+        self._inflight += 1
+        self._idle.clear()
+
+    def _end_request(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            self._idle.set()
+
+    async def drain(self, timeout: float = 10.0) -> bool:
+        """Stop accepting new connections and wait for every in-flight
+        request to finish (bounded by *timeout*).  Returns True when the
+        server went idle — open connections stay up, so a peer that
+        keeps sending can hold drain at the timeout, never beyond it."""
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -684,6 +917,7 @@ class SSIServer:
                 pass  # peer went away mid-response; the read loop exits too
             finally:
                 _g_inflight.dec()
+                self._end_request()
                 slots.release()
 
         try:
@@ -726,6 +960,9 @@ class SSIServer:
                 # lands on the socket instead of growing an unbounded
                 # task pile.
                 await slots.acquire()
+                # Counted before the task is scheduled so drain() never
+                # sees "idle" with an accepted frame still unhandled.
+                self._begin_request()
                 task = asyncio.create_task(handle(body))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)

@@ -11,7 +11,7 @@ suite asserts this boundary by attacking the observer log.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence
 
 from repro.core.messages import (
     EncryptedPartial,
@@ -32,6 +32,48 @@ from repro.ssi.querybox import GlobalQuerybox, PersonalQuerybox
 from repro.ssi.storage import PartitionTracker, QueryStorage
 
 
+class StateJournal(Protocol):
+    """What the SSI needs from a durability journal.
+
+    Structural typing on purpose: the concrete implementation lives in
+    :mod:`repro.store` (which imports the wire codec), and this module
+    must stay import-light on the SSI side of the trust boundary.  Every
+    method persists one mutation record and returns its WAL sequence.
+    """
+
+    def submit_tuples(
+        self,
+        query_id: str,
+        tuples: Sequence[EncryptedTuple],
+        *,
+        wire: bytes | memoryview | None = None,
+    ) -> int: ...
+
+    def submit_tuple_block(
+        self,
+        query_id: str,
+        block: EncryptedTupleBlock,
+        *,
+        wire: bytes | memoryview | None = None,
+    ) -> int: ...
+
+    def submit_partials(
+        self,
+        query_id: str,
+        partials: Sequence[EncryptedPartial],
+        *,
+        wire: bytes | memoryview | None = None,
+    ) -> int: ...
+
+    def close_collection(self, query_id: str) -> int: ...
+
+    def take_partials(self, query_id: str) -> int: ...
+
+    def store_result_rows(self, query_id: str, rows: Iterable[bytes]) -> int: ...
+
+    def publish_result(self, query_id: str) -> int: ...
+
+
 class SupportingServerInfrastructure:
     """SSI: queryboxes + temporary storage + partitioning services."""
 
@@ -46,6 +88,11 @@ class SupportingServerInfrastructure:
         # this is the one choke point that sees every phase transition.
         # A lifecycle transition may record spans, never raise.
         self.lifecycle = QueryLifecycle()
+        #: durability journal (see :class:`StateJournal`); when set,
+        #: every state mutation is written *ahead* of being applied.
+        #: post_query is journaled by the dispatcher instead — the
+        #: record needs the scheduling meta this facade never sees.
+        self.journal: StateJournal | None = None
 
     # ------------------------------------------------------------------ #
     # query posting / download (steps 1-2)
@@ -76,19 +123,30 @@ class SupportingServerInfrastructure:
     # collection phase (step 4, SIZE evaluation)
     # ------------------------------------------------------------------ #
     def submit_tuples(
-        self, query_id: str, tuples: Iterable[EncryptedTuple]
+        self,
+        query_id: str,
+        tuples: Iterable[EncryptedTuple],
+        *,
+        wire: bytes | memoryview | None = None,
     ) -> None:
         storage = self._require(query_id)
         if storage.collection_closed:
             return  # late arrivals after the SIZE clause closed: dropped
-        for item in tuples:
-            storage.collected.append(item)
+        items = list(tuples)
+        if self.journal is not None:
+            self.journal.submit_tuples(query_id, items, wire=wire)
+        for item in items:
+            storage.append_tuple(item)
             self.observer.record(
                 query_id, "collection", len(item.payload), item.group_tag
             )
 
     def submit_tuple_block(
-        self, query_id: str, block: EncryptedTupleBlock
+        self,
+        query_id: str,
+        block: EncryptedTupleBlock,
+        *,
+        wire: bytes | memoryview | None = None,
     ) -> None:
         """Batched collection (the v3 wire path): store one columnar
         block as-is — O(1) per block, no per-tuple objects until the
@@ -98,7 +156,9 @@ class SupportingServerInfrastructure:
         storage = self._require(query_id)
         if storage.collection_closed:
             return  # late arrivals after the SIZE clause closed: dropped
-        storage.collected_blocks.append(block)
+        if self.journal is not None:
+            self.journal.submit_tuple_block(query_id, block, wire=wire)
+        storage.append_block(block)
         self.observer.record_block(
             query_id, "collection", block.offsets, block.tags
         )
@@ -119,6 +179,8 @@ class SupportingServerInfrastructure:
         # With no SIZE clause the query stays active until every targeted
         # TDS has answered (the drivers stop after their collector list).
         if met:
+            if self.journal is not None:
+                self.journal.close_collection(query_id)
             storage.collection_closed = True
             self.global_querybox.close(query_id)
             self.lifecycle.collection_closed(query_id, collected=count)
@@ -126,6 +188,10 @@ class SupportingServerInfrastructure:
 
     def close_collection(self, query_id: str) -> None:
         storage = self._require(query_id)
+        if storage.collection_closed:
+            return  # transition already happened; double-close is a no-op
+        if self.journal is not None:
+            self.journal.close_collection(query_id)
         storage.collection_closed = True
         self.global_querybox.close(query_id)
         self.lifecycle.collection_closed(
@@ -142,11 +208,18 @@ class SupportingServerInfrastructure:
     # aggregation phase storage (steps 5-8)
     # ------------------------------------------------------------------ #
     def submit_partials(
-        self, query_id: str, partials: Iterable[EncryptedPartial]
+        self,
+        query_id: str,
+        partials: Iterable[EncryptedPartial],
+        *,
+        wire: bytes | memoryview | None = None,
     ) -> None:
         storage = self._require(query_id)
+        items = list(partials)
+        if self.journal is not None:
+            self.journal.submit_partials(query_id, items, wire=wire)
         self.lifecycle.partials_submitted(query_id)
-        for item in partials:
+        for item in items:
             storage.partials.append(item)
             self.observer.record(
                 query_id, "aggregation", len(item.payload), item.group_tag
@@ -156,9 +229,12 @@ class SupportingServerInfrastructure:
         """Drain the partial store (the next aggregation step re-partitions
         them)."""
         storage = self._require(query_id)
+        if not storage.partials:
+            return []
+        if self.journal is not None:
+            self.journal.take_partials(query_id)
         partials, storage.partials = storage.partials, []
-        if partials:
-            self.lifecycle.partials_taken(query_id, count=len(partials))
+        self.lifecycle.partials_taken(query_id, count=len(partials))
         return partials
 
     def partial_count(self, query_id: str) -> int:
@@ -177,15 +253,21 @@ class SupportingServerInfrastructure:
     # ------------------------------------------------------------------ #
     def store_result_rows(self, query_id: str, rows: Iterable[bytes]) -> None:
         storage = self._require(query_id)
-        stored = 0
-        for row in rows:
+        items = list(rows)
+        if self.journal is not None:
+            self.journal.store_result_rows(query_id, items)
+        for row in items:
             storage.result_rows.append(row)
             self.observer.record(query_id, "filtering", len(row), None)
-            stored += 1
-        self.lifecycle.result_stored(query_id, rows=stored)
+        self.lifecycle.result_stored(query_id, rows=len(items))
 
     def publish_result(self, query_id: str) -> None:
-        self._require(query_id).result_ready = True
+        storage = self._require(query_id)
+        if storage.result_ready:
+            return  # transition already happened; republish is a no-op
+        if self.journal is not None:
+            self.journal.publish_result(query_id)
+        storage.result_ready = True
         self.lifecycle.published(query_id)
 
     def result_ready(self, query_id: str) -> bool:
@@ -196,6 +278,18 @@ class SupportingServerInfrastructure:
         if not storage.result_ready:
             raise ResultNotReadyError(f"result of {query_id!r} not ready")
         return QueryResult(query_id, tuple(storage.result_rows))
+
+    # ------------------------------------------------------------------ #
+    # durability surface (repro.store snapshot/recovery)
+    # ------------------------------------------------------------------ #
+    def storage_map(self) -> dict[str, QueryStorage]:
+        """The live per-query storage, keyed by query id.  Exposed for
+        the durable store's snapshot capture and recovery restore — not
+        a mutation API for request handlers."""
+        return self._storage
+
+    def envelope_map(self) -> dict[str, QueryEnvelope]:
+        return self._envelopes
 
     def _require(self, query_id: str) -> QueryStorage:
         try:

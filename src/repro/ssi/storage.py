@@ -42,15 +42,23 @@ class PartitionTracker:
     def __init__(self, partitions: list[Partition], timeout: float = 60.0) -> None:
         self.timeout = timeout
         self._tracked = {p.partition_id: _TrackedPartition(p) for p in partitions}
+        # Maintained on every state transition so pending_count /
+        # done_count / all_done are O(1) — the dispatcher consults them
+        # on every fetch_partition poll.
+        self._pending = len(self._tracked)
+        self._done = 0
 
     def assign_next(self, tds_id: str, now: float = 0.0) -> Partition | None:
         """Hand the next pending partition to *tds_id* (None when all are
         assigned or done)."""
+        if self._pending == 0:
+            return None
         for tracked in self._tracked.values():
             if tracked.state is PartitionState.PENDING:
                 tracked.state = PartitionState.ASSIGNED
                 tracked.assignee = tds_id
                 tracked.deadline = now + self.timeout
+                self._pending -= 1
                 return tracked.partition
         return None
 
@@ -64,7 +72,11 @@ class PartitionTracker:
             # A reassigned partition may legitimately complete from either
             # assignee; accept the work (results are idempotent).
             pass
+        if tracked.state is PartitionState.PENDING:
+            # Completed by a worker whose assignment already expired.
+            self._pending -= 1
         tracked.state = PartitionState.DONE
+        self._done += 1
 
     def expire(self, now: float) -> list[Partition]:
         """Return partitions whose assignee timed out, flipping them back
@@ -79,6 +91,7 @@ class PartitionTracker:
                 tracked.state = PartitionState.PENDING
                 tracked.assignee = None
                 tracked.deadline = None
+                self._pending += 1
                 expired.append(tracked.partition)
         return expired
 
@@ -92,6 +105,7 @@ class PartitionTracker:
             tracked.state = PartitionState.PENDING
             tracked.assignee = None
             tracked.deadline = None
+            self._pending += 1
 
     def knows(self, partition_id: int) -> bool:
         """Whether this tracker ever issued *partition_id* — false for
@@ -107,15 +121,13 @@ class PartitionTracker:
         return tracked.state is PartitionState.DONE
 
     def all_done(self) -> bool:
-        return all(t.state is PartitionState.DONE for t in self._tracked.values())
+        return self._done == len(self._tracked)
 
     def pending_count(self) -> int:
-        return sum(
-            1 for t in self._tracked.values() if t.state is PartitionState.PENDING
-        )
+        return self._pending
 
     def done_count(self) -> int:
-        return sum(1 for t in self._tracked.values() if t.state is PartitionState.DONE)
+        return self._done
 
 
 @dataclass
@@ -134,14 +146,32 @@ class QueryStorage:
     result_rows: list[bytes] = field(default_factory=list)
     collection_closed: bool = False
     result_ready: bool = False
+    #: memoized flattened covering result; append_tuple/append_block
+    #: invalidate it, so repeated all_collected() calls during the
+    #: aggregation phase stop re-materializing every block
+    _flat: list[EncryptedTuple] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def append_tuple(self, item: EncryptedTuple) -> None:
+        self.collected.append(item)
+        self._flat = None
+
+    def append_block(self, block: EncryptedTupleBlock) -> None:
+        self.collected_blocks.append(block)
+        self._flat = None
 
     def collected_count(self) -> int:
         return len(self.collected) + sum(len(b) for b in self.collected_blocks)
 
     def all_collected(self) -> list[EncryptedTuple]:
         """Materialize the full covering result (per-tuple objects first,
-        then blocks, each in arrival order)."""
-        items = list(self.collected)
-        for block in self.collected_blocks:
-            items.extend(block.tuples())
-        return items
+        then blocks, each in arrival order).  The flattened view is
+        cached until the next append; callers get a fresh list each time
+        (copying references is cheap — decoding blocks is not)."""
+        if self._flat is None:
+            items = list(self.collected)
+            for block in self.collected_blocks:
+                items.extend(block.tuples())
+            self._flat = items
+        return list(self._flat)

@@ -1,0 +1,249 @@
+"""Wire-level rollback detection: EXT_COMMITMENT acks, the
+MSG_GET_COMMITMENT probe with inclusion proofs, idempotent retries
+across a crash-restart, and the no-store fallback."""
+
+import random
+import shutil
+
+import pytest
+
+from repro.core.messages import Credential, EncryptedTuple, QueryEnvelope
+from repro.exceptions import ProtocolError, RollbackDetectedError
+from repro.net import frames
+from repro.net.client import AsyncSSIClient
+from repro.net.server import SSIDispatcher
+from repro.net.transport import LoopbackTransport
+from repro.store import DurableStore
+from repro.store.commitment import Commitment
+
+from .conftest import run_async
+
+
+def make_envelope(query_id="q1"):
+    return QueryEnvelope(
+        query_id=query_id,
+        encrypted_query=b"\x01\x02ciphertext",
+        credential=Credential("alice", frozenset({"public"}), b"sig"),
+        size_tuples=8,
+    )
+
+
+class RecordingTransport(LoopbackTransport):
+    """Loopback that remembers the raw bytes of the last request, so a
+    test can replay them verbatim (what a client retry does)."""
+
+    def __init__(self, dispatch):
+        super().__init__(dispatch)
+        self.last_request = None
+
+    async def request(self, message):
+        self.last_request = message
+        return await super().request(message)
+
+
+def open_dispatcher(data_dir, **kwargs):
+    store = DurableStore.open(data_dir, **kwargs)
+    return store, SSIDispatcher.with_store(store)
+
+
+def durable_client(dispatcher, transport_cls=LoopbackTransport, seed=1):
+    transport = transport_cls(dispatcher.dispatch)
+    return AsyncSSIClient(transport, rng=random.Random(seed))
+
+
+class TestAckCommitments:
+    def test_durable_acks_carry_the_commitment(self, tmp_path):
+        async def run():
+            store, dispatcher = open_dispatcher(tmp_path)
+            client = durable_client(dispatcher)
+            _version, caps = await client.hello()
+            assert caps & frames.CAP_DURABLE_COMMITMENT
+            assert client.last_commitment is None
+            await client.post_query(make_envelope())
+            first = client.last_commitment
+            assert first is not None and first.count == 1
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct")])
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct2")])
+            assert client.last_commitment.count == 3
+            assert client.last_commitment == store.commitment()
+            # Read-only ops don't advance (and don't regress) the anchor.
+            assert await client.collected_count("q1") == 2
+            assert client.last_commitment.count == 3
+            store.close()
+
+        run_async(run())
+
+    def test_v3_clients_get_plain_acks(self, tmp_path):
+        async def run():
+            store, dispatcher = open_dispatcher(tmp_path)
+            client = durable_client(dispatcher)  # no hello(): stays on v3
+            await client.post_query(make_envelope())
+            assert client.last_commitment is None
+            assert store.commitment().count == 1  # journaled regardless
+            store.close()
+
+        run_async(run())
+
+    def test_get_commitment_probe_and_freshness(self, tmp_path):
+        async def run():
+            store, dispatcher = open_dispatcher(tmp_path)
+            client = durable_client(dispatcher)
+            await client.hello()
+            assert await client.verify_freshness() == Commitment(
+                0, bytes(32)
+            )
+            await client.post_query(make_envelope())
+            anchor = client.last_commitment
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct")])
+            # The server must prove its longer chain extends the anchor.
+            current = await client.get_commitment(anchor)
+            assert current.count == 2
+            assert await client.verify_freshness() == current
+            store.close()
+
+        run_async(run())
+
+    def test_no_store_returns_none(self):
+        async def run():
+            client = durable_client(SSIDispatcher())
+            await client.hello()
+            assert await client.get_commitment() is None
+            assert await client.verify_freshness() is None
+            await client.post_query(make_envelope())
+            assert client.last_commitment is None
+
+        run_async(run())
+
+    def test_negative_check_count_is_malformed(self, tmp_path):
+        async def run():
+            store, dispatcher = open_dispatcher(tmp_path)
+            client = durable_client(dispatcher)
+            await client.hello()
+            with pytest.raises(ProtocolError):
+                await client.get_commitment(Commitment(-1, bytes(32)))
+            store.close()
+
+        run_async(run())
+
+
+class TestRollbackDetection:
+    def test_restarting_from_an_older_copy_is_detected(self, tmp_path):
+        async def run():
+            live = tmp_path / "live"
+            store, dispatcher = open_dispatcher(live)
+            client = durable_client(dispatcher)
+            await client.hello()
+            await client.post_query(make_envelope())
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct1")])
+            await store.sync()
+            # The operator keeps a copy of the state at count 2 ...
+            stale = tmp_path / "stale"
+            shutil.copytree(live, stale)
+            # ... while the client keeps contributing (count 4).
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct2")])
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct3")])
+            anchor = client.last_commitment
+            assert anchor.count == 4
+            store._wal.close()
+
+            # Restart from the stale copy: two acknowledged submissions
+            # silently dropped.  The freshness probe must catch it.
+            store2, dispatcher2 = open_dispatcher(stale)
+            client.transport = LoopbackTransport(dispatcher2.dispatch)
+            assert store2.commitment().count == 2
+            with pytest.raises(RollbackDetectedError, match="rolled back"):
+                await client.verify_freshness()
+            store2.close()
+
+        run_async(run())
+
+    def test_equal_length_rewrite_is_detected(self, tmp_path):
+        async def run():
+            live = tmp_path / "live"
+            store, dispatcher = open_dispatcher(live)
+            client = durable_client(dispatcher)
+            await client.hello()
+            await client.post_query(make_envelope())
+            await client.submit_tuples("q1", [EncryptedTuple(b"real")])
+            await store.sync()
+            stale = tmp_path / "stale"
+            shutil.copytree(live, stale)
+            await client.submit_tuples("q1", [EncryptedTuple(b"real2")])
+            anchor = client.last_commitment
+            assert anchor.count == 3
+            store._wal.close()
+
+            # The operator restarts from the copy and regrows the log to
+            # the same length with *different* records.
+            store2, dispatcher2 = open_dispatcher(stale)
+            other = durable_client(dispatcher2, seed=2)  # distinct identity
+            await other.hello()
+            await other.submit_tuples("q1", [EncryptedTuple(b"forged")])
+            assert store2.commitment().count == 3
+
+            client.transport = LoopbackTransport(dispatcher2.dispatch)
+            with pytest.raises(RollbackDetectedError):
+                await client.verify_freshness()
+            store2.close()
+
+        run_async(run())
+
+    def test_passive_detection_on_equal_count_acks(self):
+        client = AsyncSSIClient(
+            LoopbackTransport(lambda body: None), rng=random.Random(1)
+        )
+        client._observe_commitment(Commitment(5, b"\x01" * 32))
+        # Stale pipelined ack: lower count is ignored, not an alarm.
+        client._observe_commitment(Commitment(4, b"\x02" * 32))
+        assert client.last_commitment.count == 5
+        with pytest.raises(RollbackDetectedError, match="rewritten"):
+            client._observe_commitment(Commitment(5, b"\x03" * 32))
+
+
+class TestCrashRetrySemantics:
+    def test_retry_spanning_a_restart_is_not_double_applied(self, tmp_path):
+        async def run():
+            store, dispatcher = open_dispatcher(tmp_path)
+            client = durable_client(dispatcher, RecordingTransport)
+            await client.hello()
+            await client.post_query(make_envelope())
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct")])
+            replay = client.transport.last_request
+            await store.sync()
+            assert await client.collected_count("q1") == 1
+            store._wal.close()  # crash
+
+            store2, dispatcher2 = open_dispatcher(tmp_path)
+            transport2 = LoopbackTransport(dispatcher2.dispatch)
+            # The client never saw the ack and retries the same bytes.
+            response = await transport2.request(replay)
+            _v, msg_type, _corr, _exts, _r = frames.unpack_frame_ext(response)
+            assert msg_type == frames.MSG_OK
+            client.transport = transport2
+            assert await client.collected_count("q1") == 1  # not 2
+            store2.close()
+
+        run_async(run())
+
+    def test_fresh_submissions_after_recovery_append_normally(self, tmp_path):
+        async def run():
+            store, dispatcher = open_dispatcher(tmp_path)
+            client = durable_client(dispatcher)
+            await client.hello()
+            await client.post_query(make_envelope())
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct")])
+            await store.sync()
+            anchor = client.last_commitment
+            store._wal.close()  # crash
+
+            store2, dispatcher2 = open_dispatcher(tmp_path)
+            client.transport = LoopbackTransport(dispatcher2.dispatch)
+            await client.submit_tuples("q1", [EncryptedTuple(b"ct2")])
+            assert await client.collected_count("q1") == 2
+            # The regrown chain extends the pre-crash anchor: an honest
+            # restart never looks like a rollback.
+            current = await client.get_commitment(anchor)
+            assert current.count == anchor.count + 1
+            store2.close()
+
+        run_async(run())

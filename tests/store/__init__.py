@@ -1,0 +1,1 @@
+"""Durable-store (repro.store) tests."""

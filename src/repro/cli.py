@@ -12,6 +12,8 @@ Subcommands:
   adds durable, tamper-evident state with crash recovery);
 * ``fleet``     — run a population of TDS clients against a served SSI;
 * ``query``     — post one query to a served SSI and await the result;
+* ``multiquery`` — post N concurrent queries to a served SSI and report
+  aggregate queries/s and latency percentiles;
 * ``stats``     — fetch a served SSI's metrics (Prometheus text form);
 * ``verify-log`` — offline integrity check of a ``serve`` data dir.
 
@@ -43,6 +45,7 @@ from repro.costmodel import PAPER_DEFAULTS, all_protocol_metrics
 from repro.protocols import (
     CNoiseProtocol,
     Deployment,
+    DiscoveryCache,
     EDHistProtocol,
     PCEHR_TOKEN_PRIORITIES,
     Priorities,
@@ -51,6 +54,8 @@ from repro.protocols import (
     SMART_METER_PRIORITIES,
     SelectWhereProtocol,
     build_histogram,
+    cached_domain,
+    cached_histogram,
     discover_domain,
     recommend_protocol,
 )
@@ -64,9 +69,11 @@ _DEFAULT_QUERY = (
 PROTOCOL_CHOICES = ("s_agg", "rnf_noise", "c_noise", "ed_hist", "basic")
 
 
-def _build_driver(name, deployment, workers, rng, nf):
+def _build_driver(name, deployment, workers, rng, nf, cache=None):
     """Instantiate the requested protocol, running discovery when the
-    protocol needs domain/distribution knowledge."""
+    protocol needs domain/distribution knowledge.  With a
+    :class:`~repro.protocols.DiscoveryCache`, repeated builds reuse one
+    discovery run per dataset epoch instead of re-running S_Agg."""
     common = dict(
         collectors=deployment.tds_list, workers=workers, rng=rng
     )
@@ -74,14 +81,24 @@ def _build_driver(name, deployment, workers, rng, nf):
         return SAggProtocol(deployment.ssi, **common)
     if name == "basic":
         return SelectWhereProtocol(deployment.ssi, **common)
-    if name == "rnf_noise":
-        domain = [(d,) for d in discover_domain(deployment, "Consumer", "district")]
-        return RnfNoiseProtocol(deployment.ssi, domain=domain, nf=nf, **common)
-    if name == "c_noise":
-        domain = [(d,) for d in discover_domain(deployment, "Consumer", "district")]
+    if name in ("rnf_noise", "c_noise"):
+        if cache is not None:
+            values = cached_domain(cache, deployment, "Consumer", "district")
+        else:
+            values = discover_domain(deployment, "Consumer", "district")
+        domain = [(d,) for d in values]
+        if name == "rnf_noise":
+            return RnfNoiseProtocol(deployment.ssi, domain=domain, nf=nf, **common)
         return CNoiseProtocol(deployment.ssi, domain=domain, **common)
     if name == "ed_hist":
-        histogram = build_histogram(deployment, "Consumer", "district", num_buckets=2)
+        if cache is not None:
+            histogram = cached_histogram(
+                cache, deployment, "Consumer", "district", num_buckets=2
+            )
+        else:
+            histogram = build_histogram(
+                deployment, "Consumer", "district", num_buckets=2
+            )
         return EDHistProtocol(deployment.ssi, histogram=histogram, **common)
     raise SystemExit(f"unknown protocol {name!r}")
 
@@ -94,16 +111,30 @@ def cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     querier = deployment.make_querier()
-    envelope = querier.make_envelope(args.query)
-    deployment.ssi.post_query(envelope)
     rng = random.Random(args.seed + 1)
     workers = deployment.connected_tds(args.availability)
-    driver = _build_driver(args.protocol, deployment, workers, rng, args.nf)
-    driver.execute(envelope)
-    rows = querier.decrypt_result(deployment.ssi.fetch_result(envelope.query_id))
+    cache = DiscoveryCache() if args.discovery_cache else None
+    rows: list = []
+    for _ in range(max(1, args.repeat)):
+        envelope = querier.make_envelope(args.query)
+        deployment.ssi.post_query(envelope)
+        driver = _build_driver(
+            args.protocol, deployment, workers, rng, args.nf, cache
+        )
+        driver.execute(envelope)
+        rows = querier.decrypt_result(
+            deployment.ssi.fetch_result(envelope.query_id)
+        )
 
     print(f"protocol : {driver.name}")
     print(f"query    : {args.query}")
+    if args.repeat > 1:
+        print(f"repeat   : {args.repeat} run(s)")
+    if cache is not None:
+        print(
+            f"discovery: cache {cache.hits} hit(s) / {cache.misses} miss(es) "
+            f"(epoch {cache.epoch})"
+        )
     print(f"result   : {len(rows)} row(s)")
     for row in sorted(rows, key=str):
         print(f"  {row}")
@@ -206,11 +237,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import spans as obs_spans
     from repro.obs.http import start_metrics_server
     from repro.obs.logs import configure_json_logging
+    from repro.ssi.admission import AdmissionPolicy
     from repro.ssi.server import SupportingServerInfrastructure
 
     obs_spans.set_process_label("ssi")
     if args.json_logs:
         configure_json_logging()
+    admission = AdmissionPolicy(
+        max_active_queries=args.max_active_queries,
+        max_pending_bytes=args.max_pending_bytes,
+        retry_after=args.admission_retry_after,
+    )
 
     async def _serve() -> None:
         store = None
@@ -222,7 +259,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             )
             recovered = store.recovered
             dispatcher = SSIDispatcher.with_store(
-                store, partition_timeout=args.partition_timeout
+                store,
+                partition_timeout=args.partition_timeout,
+                admission=admission,
             )
             print(
                 f"durable state: {args.data_dir} "
@@ -237,6 +276,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             dispatcher = SSIDispatcher(
                 SupportingServerInfrastructure(),
                 partition_timeout=args.partition_timeout,
+                admission=admission,
+                drain_quantum=args.drain_quantum,
             )
         server = SSIServer(
             dispatcher,
@@ -500,6 +541,65 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_multiquery(args: argparse.Namespace) -> int:
+    import uuid
+
+    from repro.net.client import QuerierClient
+    from repro.net.multiquery import MultiQueryRunner, QuerySpec
+    from repro.net.transport import TCPTransport
+    from repro.obs import spans as obs_spans
+    from repro.protocols import ALPHA_OPTIMAL
+
+    obs_spans.set_process_label("querier")
+    deployment = _fleet_deployment(args)
+    querier = deployment.make_querier()
+    sql = args.query
+    if args.size_tuples > 0 and "SIZE" not in sql.upper():
+        sql = f"{sql} SIZE {args.size_tuples} TUPLES"
+    params = {
+        "alpha": ALPHA_OPTIMAL,
+        "first_step_partition_size": 64.0,
+        "filter_partition_size": 64.0,
+        "partition_timeout": args.partition_timeout,
+    }
+    specs = [
+        QuerySpec(sql, protocol=args.protocol, params=params)
+        for _ in range(args.count)
+    ]
+
+    async def _run():
+        client = QuerierClient(
+            TCPTransport(args.host, args.port, window=args.window)
+        )
+        runner = MultiQueryRunner(
+            querier,
+            client,
+            concurrency=args.concurrency,
+            result_timeout=args.timeout,
+            id_factory=lambda: f"q-{uuid.uuid4().hex[:12]}",
+        )
+        try:
+            return await runner.run(specs)
+        finally:
+            await client.close()
+
+    stats = asyncio.run(_run())
+    print(f"protocol : {args.protocol} (fleet-mode over TCP)")
+    print(f"query    : {sql}")
+    print(
+        f"batch    : {len(stats.outcomes)} queries, "
+        f"concurrency {args.concurrency}"
+    )
+    print(
+        f"timing   : {stats.wall_seconds:.3f}s wall, "
+        f"{stats.queries_per_s:.2f} queries/s, "
+        f"p50 {stats.p50_s:.3f}s, p95 {stats.p95_s:.3f}s"
+    )
+    for outcome in stats.outcomes[: args.show_rows]:
+        print(f"  {outcome.query_id}: {len(outcome.rows)} row(s)")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.net.client import AsyncSSIClient
     from repro.net.transport import TCPTransport
@@ -530,6 +630,16 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--availability", type=float, default=0.5)
     demo.add_argument("--nf", type=int, default=2, help="fakes per tuple (rnf_noise)")
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the query this many times (discovery repeats too "
+        "unless cached)",
+    )
+    demo.add_argument(
+        "--discovery-cache", action="store_true",
+        help="share one discovery run across repeats (§4.4: 'done only "
+        "once and refreshed from time to time')",
+    )
     demo.set_defaults(func=cmd_demo)
 
     figures = sub.add_parser("figures", help="print paper figure series")
@@ -585,6 +695,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--drain-timeout", type=float, default=10.0,
         help="seconds to wait for in-flight requests on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--max-active-queries", type=int, default=0,
+        help="per-querier quota of unpublished queries (0 = unlimited); "
+        "a post over quota answers ERR_ADMISSION with a retry-after hint",
+    )
+    serve.add_argument(
+        "--max-pending-bytes", type=int, default=0,
+        help="per-querier quota of queued submission bytes (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--admission-retry-after", type=float, default=0.05,
+        help="backoff hint (seconds) carried on ERR_ADMISSION rejections",
+    )
+    serve.add_argument(
+        "--drain-quantum", type=int, default=0,
+        help="weighted round-robin drain: max queued submissions applied "
+        "per querier per round (0 = flush fully; in-memory serving only)",
     )
     serve.set_defaults(func=cmd_serve)
 
@@ -668,6 +796,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the querier-side lifecycle spans to <prefix>.jsonl",
     )
     query.set_defaults(func=cmd_query)
+
+    multiquery = sub.add_parser(
+        "multiquery",
+        help="post N concurrent queries to a served SSI and report "
+        "aggregate queries/s and latency percentiles",
+    )
+    multiquery.add_argument("--host", default="127.0.0.1")
+    multiquery.add_argument("--port", type=int, default=7464)
+    multiquery.add_argument("--protocol", choices=NET_PROTOCOLS, default="s_agg")
+    multiquery.add_argument("--query", default=_FLEET_QUERY)
+    multiquery.add_argument("--count", type=int, default=4, help="queries to run")
+    multiquery.add_argument(
+        "--concurrency", type=int, default=4,
+        help="max queries in flight at once (1 = serial baseline)",
+    )
+    multiquery.add_argument("--tds", type=int, default=16, help="population size")
+    multiquery.add_argument("--districts", type=int, default=4)
+    multiquery.add_argument("--seed", type=int, default=0)
+    multiquery.add_argument(
+        "--size-tuples", type=int, default=0,
+        help="append a SIZE clause so the SSI closes collection "
+        "(0 = post the query text as-is)",
+    )
+    multiquery.add_argument("--partition-timeout", type=float, default=5.0)
+    multiquery.add_argument("--timeout", type=float, default=60.0)
+    multiquery.add_argument("--window", type=int, default=32)
+    multiquery.add_argument(
+        "--show-rows", type=int, default=0,
+        help="print per-query row counts for the first N queries",
+    )
+    multiquery.set_defaults(func=cmd_multiquery)
 
     stats = sub.add_parser(
         "stats", help="fetch a served SSI's metrics (Prometheus text form)"

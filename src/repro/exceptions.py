@@ -70,6 +70,19 @@ class BackpressureError(ProtocolError):
     full; the submitter should back off and retry."""
 
 
+class AdmissionError(ProtocolError):
+    """The SSI refused to admit work because a per-querier quota (active
+    queries or in-flight submission bytes) is exhausted.  Unlike
+    :class:`BackpressureError` — which is per-query and transient — this
+    is a *policy* rejection: the querier holds too much of the SSI
+    already.  ``retry_after`` is the server's backoff hint in seconds
+    (carried on the ``ERR_ADMISSION`` wire error)."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class TransportError(ReproError):
     """A network-transport failure (connection refused/dropped, framing
     violation on the byte stream). Retryable at the client layer."""

@@ -38,6 +38,7 @@ from repro.core.messages import (
     QueryResult,
 )
 from repro.exceptions import (
+    AdmissionError,
     BackpressureError,
     DuplicateQueryError,
     ProtocolError,
@@ -60,6 +61,7 @@ _CODE_TO_EXC: dict[int, type[ProtocolError]] = {
     frames.ERR_UNKNOWN_QUERY: UnknownQueryError,
     frames.ERR_RESULT_NOT_READY: ResultNotReadyError,
     frames.ERR_BACKPRESSURE: BackpressureError,
+    frames.ERR_ADMISSION: AdmissionError,
 }
 
 _RETRIES = obs_metrics.REGISTRY.counter(
@@ -75,6 +77,7 @@ _TIMEOUTS = obs_metrics.REGISTRY.counter(
 _c_retry_timeout = _RETRIES.labels(reason="timeout")
 _c_retry_transport = _RETRIES.labels(reason="transport")
 _c_retry_backpressure = _RETRIES.labels(reason="backpressure")
+_c_retry_admission = _RETRIES.labels(reason="admission")
 _c_timeouts = _TIMEOUTS.labels()
 
 
@@ -221,7 +224,12 @@ class AsyncSSIClient:
                     timeout=self.policy.request_timeout,
                 )
                 return self._unwrap(body)
-            except (TransportError, asyncio.TimeoutError, BackpressureError) as exc:
+            except (
+                TransportError,
+                asyncio.TimeoutError,
+                AdmissionError,
+                BackpressureError,
+            ) as exc:
                 if isinstance(exc, asyncio.TimeoutError):
                     # The request was abandoned mid-flight.  On the
                     # pipelined TCP transport the timed-out correlation
@@ -233,13 +241,20 @@ class AsyncSSIClient:
                     await self.transport.reset()
                 if attempt >= self.policy.max_retries:
                     raise
+                delay = self.policy.delay(attempt, self._rng)
                 if isinstance(exc, asyncio.TimeoutError):
                     _c_retry_timeout.inc()
+                elif isinstance(exc, AdmissionError):
+                    # Honour the server's backoff hint: an admission
+                    # quota frees when a result publishes, which our own
+                    # exponential schedule knows nothing about.
+                    _c_retry_admission.inc()
+                    delay = max(delay, exc.retry_after)
                 elif isinstance(exc, BackpressureError):
                     _c_retry_backpressure.inc()
                 else:
                     _c_retry_transport.inc()
-                await self._sleep(self.policy.delay(attempt, self._rng))
+                await self._sleep(delay)
                 attempt += 1
                 self.retries += 1
 
@@ -265,6 +280,12 @@ class AsyncSSIClient:
         if msg_type == frames.MSG_ERROR:
             code = reader.u8()
             message = reader.text()
+            if code == frames.ERR_ADMISSION:
+                # Optional trailing backoff hint (older servers omit it;
+                # error payloads are the one shape never expect_end()ed,
+                # so the extension is compatible both ways).
+                retry_after = reader.f64() if reader.remaining() >= 8 else 0.0
+                raise AdmissionError(message, retry_after=retry_after)
             raise _CODE_TO_EXC.get(code, ProtocolError)(message)
         raise ProtocolError(f"unexpected response type 0x{msg_type:02x}")
 

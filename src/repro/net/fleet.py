@@ -252,25 +252,56 @@ class FleetRunner:
         statements: dict[str, SelectStatement],
         contributed: set[str],
     ) -> None:
+        fresh: list[tuple[QueryEnvelope, QueryMeta]] = []
         for envelope, meta in await client.active_queries():
             query_id = envelope.query_id
             if meta.protocol not in SUPPORTED_PROTOCOLS:
                 continue
             self._known.setdefault(query_id, (envelope, meta))
             if query_id not in contributed:
-                # Marked contributed only once the submission succeeded:
-                # if retries are exhausted mid-submit, the next poll must
-                # try again, or a no-SIZE query would never close.
-                await self._contribute(tds, client, envelope, meta)
-                contributed.add(query_id)
-        for query_id in list(self._known):
-            if query_id in self._done:
-                continue
-            try:
-                status, unit = await client.fetch_partition(query_id, tds.tds_id)
-            except UnknownQueryError:
+                fresh.append((envelope, meta))
+        if fresh:
+            # One contribution pass serves every new query concurrently:
+            # the submissions interleave on the multiplexed connection
+            # (bounded by the semaphore), so N overlapping queries cost
+            # about one round trip instead of N.  Each query is marked
+            # contributed only once its own submission succeeded — if
+            # retries are exhausted mid-submit, the next poll must try
+            # again, or a no-SIZE query would never close.
+            outcomes = await asyncio.gather(
+                *(
+                    self._contribute(tds, client, envelope, meta)
+                    for envelope, meta in fresh
+                ),
+                return_exceptions=True,
+            )
+            failure: BaseException | None = None
+            for (envelope, _meta), outcome in zip(fresh, outcomes):
+                if isinstance(outcome, BaseException):
+                    if failure is None:
+                        failure = outcome
+                else:
+                    contributed.add(envelope.query_id)
+            if failure is not None:
+                raise failure
+        pending = [qid for qid in list(self._known) if qid not in self._done]
+        if not pending:
+            return
+        # Likewise one partition poll per round across all live queries.
+        polls = await asyncio.gather(
+            *(client.fetch_partition(qid, tds.tds_id) for qid in pending),
+            return_exceptions=True,
+        )
+        failure = None
+        for query_id, outcome in zip(pending, polls):
+            if isinstance(outcome, UnknownQueryError):
                 self._done.add(query_id)
                 continue
+            if isinstance(outcome, BaseException):
+                if failure is None:
+                    failure = outcome
+                continue
+            status, unit = outcome
             if status == frames.STATUS_DONE:
                 self._done.add(query_id)
                 self.stats.queries_completed.add(query_id)
@@ -280,6 +311,8 @@ class FleetRunner:
                     self.stop()
             elif status == frames.STATUS_WORK and unit is not None:
                 await self._process_unit(tds, client, unit, statements)
+        if failure is not None:
+            raise failure
 
     async def _contribute(
         self,

@@ -150,6 +150,9 @@ ERR_RESULT_NOT_READY = 6
 ERR_BACKPRESSURE = 7
 ERR_TOO_LARGE = 8
 ERR_INTERNAL = 9
+#: a per-querier admission quota (active queries / in-flight bytes) was
+#: exhausted; the error payload carries a retry-after hint (f64 seconds)
+ERR_ADMISSION = 10
 
 # fetch_partition statuses
 STATUS_WAIT = 0
@@ -338,6 +341,11 @@ class Reader:
         if value > limit:
             raise ProtocolError(f"count {value} exceeds the limit of {limit}")
         return value
+
+    def remaining(self) -> int:
+        """Bytes not yet consumed — lets a decoder probe for optional
+        trailing fields (e.g. the retry-after hint on ERR_ADMISSION)."""
+        return len(self._data) - self._pos
 
     def expect_end(self) -> None:
         if self._pos != len(self._data):
@@ -697,10 +705,20 @@ def read_tuple_block(r: Reader) -> EncryptedTupleBlock:
     )
 
 
-def pack_error(code: int, message: str, correlation_id: int = 0) -> bytes:
+def pack_error(
+    code: int,
+    message: str,
+    correlation_id: int = 0,
+    retry_after: float | None = None,
+) -> bytes:
     w = Writer()
     w.u8(code)
     w.text(message)
+    if retry_after is not None:
+        # Optional trailing hint (currently only on ERR_ADMISSION).
+        # Trailing-field extension is safe here: error payloads are the
+        # one message clients never expect_end() on.
+        w.f64(retry_after)
     # Errors are encoded at the floor version: every peer must be able
     # to parse a rejection, whatever version its request spoke.
     return pack_frame(

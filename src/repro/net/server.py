@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # repro.store imports this module's siblings; keep lazy
 
 from repro.core.messages import EncryptedTupleBlock
 from repro.exceptions import (
+    AdmissionError,
     BackpressureError,
     DuplicateQueryError,
     FrameTooLargeError,
@@ -47,6 +48,7 @@ from repro.net.frames import QueryMeta, Reader, Writer
 from repro.obs import logs as obs_logs
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
+from repro.ssi.admission import AdmissionController, AdmissionPolicy, FairDrain
 from repro.ssi.server import SupportingServerInfrastructure
 
 logger = logging.getLogger(__name__)
@@ -155,6 +157,7 @@ _ERROR_CODES: tuple[tuple[type[ProtocolError], int], ...] = (
     (DuplicateQueryError, frames.ERR_DUPLICATE_QUERY),
     (UnknownQueryError, frames.ERR_UNKNOWN_QUERY),
     (ResultNotReadyError, frames.ERR_RESULT_NOT_READY),
+    (AdmissionError, frames.ERR_ADMISSION),
     (BackpressureError, frames.ERR_BACKPRESSURE),
 )
 
@@ -178,7 +181,13 @@ class _SubmissionQueue:
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         self.pending: list[
-            tuple[str, list | EncryptedTupleBlock, tuple[str, int], bytes | None]
+            tuple[
+                str,
+                list | EncryptedTupleBlock,
+                tuple[str, int],
+                bytes | None,
+                int,
+            ]
         ] = []
 
     def push(
@@ -187,13 +196,14 @@ class _SubmissionQueue:
         items: list | EncryptedTupleBlock,
         idem: tuple[str, int],
         wire: bytes | memoryview | None = None,
+        nbytes: int = 0,
     ) -> None:
         if len(self.pending) >= self.maxsize:
             raise BackpressureError(
                 f"submission queue full ({self.maxsize} batches pending); "
                 "back off and retry"
             )
-        self.pending.append((kind, items, idem, wire))
+        self.pending.append((kind, items, idem, wire, nbytes))
 
 
 #: request types that mutate durable state: when a store is attached,
@@ -228,8 +238,21 @@ class SSIDispatcher:
         max_pending_batches: int = 256,
         partition_timeout: float = 5.0,
         clock: Callable[[], float] | None = None,
+        admission: AdmissionPolicy | None = None,
+        drain_quantum: int = 0,
     ) -> None:
         self.ssi = ssi if ssi is not None else SupportingServerInfrastructure()
+        #: per-querier quotas; the default policy enforces nothing, so a
+        #: dispatcher built without one behaves exactly as before
+        self.admission = AdmissionController(admission)
+        self._fair = FairDrain(self.admission.policy)
+        #: >0 enables weighted round-robin draining: each submission
+        #: drains at most quantum×weight queued entries per querier per
+        #: round instead of flushing the touched query to empty.
+        #: In-memory mode only — with a store attached every mutation
+        #: must be journaled before its ack leaves, so durable
+        #: dispatchers always run the full-flush path regardless.
+        self._drain_quantum = drain_quantum
         self.coordinators: dict[str, QueryCoordinator] = {}
         self.metas: dict[str, QueryMeta] = {}
         #: durable store, when serving with ``--data-dir`` (see
@@ -289,9 +312,14 @@ class SSIDispatcher:
         dispatcher._applied_ahead.update(
             {k: set(v) for k, v in recovered.applied_ahead.items()}
         )
-        for query_id in recovered.ssi.envelope_map():
+        for query_id, envelope in recovered.ssi.envelope_map().items():
             dispatcher._queues[query_id] = _SubmissionQueue(
                 dispatcher._max_pending
+            )
+            # Re-own recovered queries so per-querier quotas survive a
+            # restart (published ones prune lazily at the next admit).
+            dispatcher.admission.register_query(
+                query_id, envelope.credential.subject
             )
             meta = dispatcher.metas.get(query_id)
             if meta is None or not meta.protocol:
@@ -320,7 +348,9 @@ class SSIDispatcher:
         between a mutation and its journal record), so what it sees
         always matches the WAL prefix written so far.  Submission queues
         are always empty here — a push and its flush happen inside one
-        ``_handle`` call — so they carry nothing to capture."""
+        ``_handle`` call (budgeted fair-drain, which can leave entries
+        queued, is disabled whenever a store is attached) — so they
+        carry nothing to capture."""
         from repro.store.snapshot import QuerySnapshot, SnapshotState
 
         storage_map = self.ssi.storage_map()
@@ -377,12 +407,17 @@ class SSIDispatcher:
         try:
             payload = self._handle(msg_type, reader)
         except (DuplicateQueryError, UnknownQueryError, ResultNotReadyError,
-                BackpressureError) as exc:
+                AdmissionError, BackpressureError) as exc:
             code = _error_code(exc)
             if code == frames.ERR_BACKPRESSURE:
                 _c_backpressure.inc()
             _REQUESTS.labels(msg_type=name, outcome=f"err_{code}").inc()
-            return frames.pack_error(code, str(exc), corr)
+            return frames.pack_error(
+                code,
+                str(exc),
+                corr,
+                retry_after=getattr(exc, "retry_after", None),
+            )
         except ProtocolError as exc:
             # Includes payload-decoding failures: report them as malformed
             # rather than internal.
@@ -475,6 +510,13 @@ class SSIDispatcher:
                 )
             if self._replayed(client_id, seq):
                 return w.getvalue()
+            # Admission gate: after the replay check (a replayed post was
+            # already admitted once) and before any side effect, so a
+            # rejected post leaves its seq unapplied and the client's
+            # retry is executed, not dropped.
+            self.admission.admit_query(
+                envelope.credential.subject, self.ssi.result_ready
+            )
             if (
                 self.store is not None
                 and envelope.query_id not in self.ssi.envelope_map()
@@ -486,6 +528,9 @@ class SSIDispatcher:
                 self.store.journal.set_idem(client_id, seq)
                 self.store.journal.post_query(envelope, tds_id, meta)
             self.ssi.post_query(envelope, tds_id)
+            self.admission.register_query(
+                envelope.query_id, envelope.credential.subject
+            )
             self.metas[envelope.query_id] = meta
             self.tds_ids[envelope.query_id] = tds_id
             self._posted_at[envelope.query_id] = self._now()
@@ -527,9 +572,7 @@ class SSIDispatcher:
             self.ssi.envelope(query_id)  # typed error for unknown ids
             if self._replayed(client_id, seq):
                 return w.getvalue()
-            self._queue_for(query_id).push(
-                "tuples", tuples, (client_id, seq), wire
-            )
+            self._enqueue(query_id, "tuples", tuples, (client_id, seq), wire)
             self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
             return w.getvalue()
@@ -544,9 +587,7 @@ class SSIDispatcher:
             self.ssi.envelope(query_id)  # typed error for unknown ids
             if self._replayed(client_id, seq):
                 return w.getvalue()
-            self._queue_for(query_id).push(
-                "block", block, (client_id, seq), wire
-            )
+            self._enqueue(query_id, "block", block, (client_id, seq), wire)
             self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
             return w.getvalue()
@@ -561,8 +602,8 @@ class SSIDispatcher:
             self.ssi.envelope(query_id)
             if self._replayed(client_id, seq):
                 return w.getvalue()
-            self._queue_for(query_id).push(
-                "partials", partials, (client_id, seq), wire
+            self._enqueue(
+                query_id, "partials", partials, (client_id, seq), wire
             )
             self._mark_applied(client_id, seq)
             self._maybe_flush(query_id)
@@ -765,24 +806,114 @@ class SSIDispatcher:
             self._queues[query_id] = queue
         return queue
 
+    @staticmethod
+    def _entry_bytes(
+        items: list | EncryptedTupleBlock, wire: bytes | memoryview | None
+    ) -> int:
+        """Ciphertext bytes a queue entry pins, for the per-querier
+        in-flight-bytes quota (wire size when captured, payload sizes
+        otherwise — both are the SSI's sanctioned view)."""
+        if wire is not None:
+            return len(wire)
+        if isinstance(items, EncryptedTupleBlock):
+            return len(items.payloads)
+        return sum(len(getattr(item, "payload", b"")) for item in items)
+
+    def _enqueue(
+        self,
+        query_id: str,
+        kind: str,
+        items: list | EncryptedTupleBlock,
+        idem: tuple[str, int],
+        wire: bytes | memoryview | None,
+    ) -> None:
+        """Charge the poster's byte quota, then queue the submission.
+        An over-quota charge raises before any side effect; a full queue
+        returns the charge before re-raising, so rejected requests leave
+        the accounting untouched either way."""
+        nbytes = self._entry_bytes(items, wire)
+        self.admission.charge(query_id, nbytes)
+        try:
+            self._queue_for(query_id).push(kind, items, idem, wire, nbytes)
+        except BackpressureError:
+            self.admission.release(query_id, nbytes)
+            raise
+
     def _maybe_flush(self, query_id: str) -> None:
-        if not self.drain_paused:
-            self._flush(query_id)
+        if self.drain_paused:
+            return
+        if self._drain_quantum > 0 and self.store is None:
+            # Budgeted fair drain is in-memory only: with a store
+            # attached, a mutation must be journaled (and fsynced per
+            # policy) before its ack leaves, which the full-flush path
+            # below guarantees and a deferred drain would not.
+            self._drain_round()
+            return
+        self._flush(query_id)
+        self._auto_close(query_id)
+
+    def _drain_round(self) -> None:
+        """One weighted round-robin drain pass over every query with
+        pending submissions.  Each querier applies at most
+        ``drain_quantum × weight`` entries per pass, and who goes first
+        rotates across passes — a heavy querier's flood costs everyone
+        else at most one bounded turn, never the whole backlog.  Entries
+        a pass leaves queued are picked up by later submissions or by
+        the full flush every read path forces."""
+        by_subject: dict[str, list[str]] = {}
+        for query_id, queue in self._queues.items():
+            if queue.pending:
+                subject = self.admission.subject_of(query_id)
+                by_subject.setdefault(subject, []).append(query_id)
+        touched: list[str] = []
+        for subject in self._fair.order(by_subject):
+            budget = self._drain_quantum * self._fair.weight(subject)
+            for query_id in by_subject[subject]:
+                if budget <= 0:
+                    break
+                applied = self._drain_some(query_id, budget)
+                budget -= applied
+                if applied:
+                    touched.append(query_id)
+        for query_id in touched:
             self._auto_close(query_id)
 
+    def _drain_some(self, query_id: str, budget: int) -> int:
+        queue = self._queues.get(query_id)
+        if queue is None:
+            return 0
+        applied = 0
+        while applied < budget and queue.pending:
+            self._apply_entry(query_id, queue.pending.pop(0))
+            applied += 1
+        return applied
+
     def _flush(self, query_id: str) -> None:
-        """Apply buffered submissions in arrival order.  With a store
-        attached, each entry's idempotency key is armed just before its
-        apply (journaled inside the mutation's WAL record) and cleared
-        right after — a submission the SSI drops without journaling (it
-        arrived after the collection closed) must not leak its key into
-        the next record."""
+        """Apply buffered submissions in arrival order."""
         queue = self._queues.get(query_id)
         if queue is None or not queue.pending:
             return
-        journal = self.store.journal if self.store is not None else None
         pending, queue.pending = queue.pending, []
-        for kind, items, idem, wire in pending:
+        for entry in pending:
+            self._apply_entry(query_id, entry)
+
+    def _apply_entry(
+        self,
+        query_id: str,
+        entry: tuple[
+            str, list | EncryptedTupleBlock, tuple[str, int], bytes | None, int
+        ],
+    ) -> None:
+        """Apply one queued submission.  With a store attached, the
+        entry's idempotency key is armed just before its apply (journaled
+        inside the mutation's WAL record) and cleared right after — a
+        submission the SSI drops without journaling (it arrived after the
+        collection closed) must not leak its key into the next record.
+        The poster's byte quota is released whether or not the SSI kept
+        the submission: either way it left the queue."""
+        kind, items, idem, wire, nbytes = entry
+        journal = self.store.journal if self.store is not None else None
+        try:
             if journal is not None:
                 journal.set_idem(*idem)
             if kind == "tuples":
@@ -793,6 +924,8 @@ class SSIDispatcher:
                 self.ssi.submit_partials(query_id, items, wire=wire)
             if journal is not None:
                 journal.clear_idem()
+        finally:
+            self.admission.release(query_id, nbytes)
 
     def _auto_close(self, query_id: str) -> None:
         """Fleet-mode queries with a SIZE clause close on the server's

@@ -14,6 +14,13 @@ from repro.protocols.discovery import (
     discover_distribution,
     discover_domain,
 )
+from repro.protocols.discovery_cache import (
+    DiscoveryCache,
+    DiscoveryKey,
+    cached_distribution,
+    cached_domain,
+    cached_histogram,
+)
 from repro.protocols.ed_hist import EDHistProtocol
 from repro.protocols.noise_based import CNoiseProtocol, RnfNoiseProtocol
 from repro.protocols.s_agg import ALPHA_OPTIMAL, SAggProtocol
@@ -37,6 +44,8 @@ __all__ = [
     "ALPHA_OPTIMAL",
     "CNoiseProtocol",
     "Deployment",
+    "DiscoveryCache",
+    "DiscoveryKey",
     "EDHistProtocol",
     "FailureInjector",
     "ProtocolDriver",
@@ -55,6 +64,9 @@ __all__ = [
     "WindowedQueryRunner",
     "append_feed",
     "build_histogram",
+    "cached_distribution",
+    "cached_domain",
+    "cached_histogram",
     "discover_distribution",
     "discover_domain",
     "recommend_protocol",

@@ -1,0 +1,131 @@
+"""AdmissionController and FairDrain unit behaviour (no wire)."""
+
+import pytest
+
+from repro.exceptions import AdmissionError
+from repro.ssi.admission import AdmissionController, AdmissionPolicy, FairDrain
+
+
+def never_ready(_query_id: str) -> bool:
+    return False
+
+
+class TestAdmissionPolicy:
+    def test_default_policy_enforces_nothing(self):
+        policy = AdmissionPolicy()
+        assert not policy.enforcing
+
+    def test_weight_floor_is_one(self):
+        policy = AdmissionPolicy(default_weight=0, weights={"heavy": -3})
+        assert policy.weight("heavy") == 1
+        assert policy.weight("anyone") == 1
+
+    def test_explicit_weights_override_default(self):
+        policy = AdmissionPolicy(default_weight=1, weights={"gold": 4})
+        assert policy.weight("gold") == 4
+        assert policy.weight("silver") == 1
+
+
+class TestActiveQueryQuota:
+    def test_unlimited_by_default(self):
+        controller = AdmissionController()
+        for i in range(50):
+            controller.admit_query("alice", never_ready)
+            controller.register_query(f"q{i}", "alice")
+
+    def test_quota_breach_raises_with_retry_after(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_active_queries=2, retry_after=0.25)
+        )
+        for i in range(2):
+            controller.admit_query("alice", never_ready)
+            controller.register_query(f"q{i}", "alice")
+        with pytest.raises(AdmissionError) as excinfo:
+            controller.admit_query("alice", never_ready)
+        assert excinfo.value.retry_after == 0.25
+
+    def test_quota_is_per_subject(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_active_queries=1)
+        )
+        controller.admit_query("alice", never_ready)
+        controller.register_query("qa", "alice")
+        # bob's quota is untouched by alice's query
+        controller.admit_query("bob", never_ready)
+
+    def test_published_queries_prune_lazily(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_active_queries=1)
+        )
+        controller.admit_query("alice", never_ready)
+        controller.register_query("q0", "alice")
+        published = {"q0"}
+        # the finished query no longer counts at the next admit
+        controller.admit_query("alice", lambda qid: qid in published)
+        controller.register_query("q1", "alice")
+        with pytest.raises(AdmissionError):
+            controller.admit_query("alice", lambda qid: qid in published)
+
+
+class TestByteQuota:
+    def test_charge_and_release(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending_bytes=100)
+        )
+        controller.register_query("q0", "alice")
+        controller.charge("q0", 60)
+        assert controller.pending_bytes("alice") == 60
+        controller.release("q0", 60)
+        assert controller.pending_bytes("alice") == 0
+
+    def test_over_quota_charge_raises_and_charges_nothing(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending_bytes=100)
+        )
+        controller.register_query("q0", "alice")
+        controller.charge("q0", 80)
+        with pytest.raises(AdmissionError):
+            controller.charge("q0", 30)
+        assert controller.pending_bytes("alice") == 80
+
+    def test_quota_spans_a_subjects_queries(self):
+        controller = AdmissionController(
+            AdmissionPolicy(max_pending_bytes=100)
+        )
+        controller.register_query("q0", "alice")
+        controller.register_query("q1", "alice")
+        controller.charge("q0", 70)
+        with pytest.raises(AdmissionError):
+            controller.charge("q1", 40)
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController()
+        controller.register_query("q0", "alice")
+        controller.release("q0", 999)
+        assert controller.pending_bytes("alice") == 0
+
+
+class TestFairDrain:
+    def test_rotation_changes_who_goes_first(self):
+        drain = FairDrain()
+        first_round = drain.order(["a", "b", "c"])
+        second_round = drain.order(["a", "b", "c"])
+        assert set(first_round) == {"a", "b", "c"}
+        assert set(second_round) == {"a", "b", "c"}
+        assert second_round[0] != first_round[0]
+
+    def test_every_subject_leads_eventually(self):
+        drain = FairDrain()
+        leaders = {drain.order(["a", "b", "c"])[0] for _ in range(6)}
+        assert leaders == {"a", "b", "c"}
+
+    def test_empty_and_singleton(self):
+        drain = FairDrain()
+        assert drain.order([]) == []
+        assert drain.order(["only"]) == ["only"]
+        assert drain.order(["only"]) == ["only"]
+
+    def test_weight_comes_from_policy(self):
+        drain = FairDrain(AdmissionPolicy(default_weight=2, weights={"vip": 5}))
+        assert drain.weight("vip") == 5
+        assert drain.weight("other") == 2

@@ -55,7 +55,7 @@ serve-demo:
 	PYTHONPATH=src python -m repro query --port $(SERVE_DEMO_PORT) --tds 8 --seed 3 --protocol s_agg; \
 	PYTHONPATH=src python -m repro query --port $(SERVE_DEMO_PORT) --tds 8 --seed 3 --protocol ed_hist; \
 	wait $$FLEET_PID; \
-	python tools/check_metrics_endpoint.py --port $(SERVE_DEMO_METRICS_PORT) --min-requests 10; \
+	python tools/check_metrics_endpoint.py --port $(SERVE_DEMO_METRICS_PORT) --min-requests 10 --check-healthz; \
 	PYTHONPATH=src python -m repro stats --port $(SERVE_DEMO_PORT) | grep -q 'repro_ssi_requests_total{msg_type="post_query",outcome="ok"} 2' \
 		&& echo "ok: repro stats sees both demo queries"
 

@@ -235,6 +235,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.net.server import SSIDispatcher, SSIServer
     from repro.obs import spans as obs_spans
+    from repro.obs.health import HealthMonitor
     from repro.obs.http import start_metrics_server
     from repro.obs.logs import configure_json_logging
     from repro.ssi.admission import AdmissionPolicy
@@ -279,6 +280,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 admission=admission,
                 drain_quantum=args.drain_quantum,
             )
+        # Rolling-window SLO verdicts: answers MSG_GET_HEALTH, drives
+        # the repro_health_status gauge and upgrades /healthz to a JSON
+        # verdict with a 503 on degradation.
+        monitor = HealthMonitor(
+            window=args.health_window, interval=args.health_interval
+        )
+        dispatcher.health = monitor
         server = SSIServer(
             dispatcher,
             host=args.host,
@@ -286,10 +294,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             read_timeout=args.read_timeout,
         )
         await server.start()
+        await monitor.start()
         metrics_server = None
         if args.metrics_port is not None:
             metrics_server = await start_metrics_server(
-                host=args.host, port=args.metrics_port
+                host=args.host, port=args.metrics_port, health=monitor
             )
             metrics_port = metrics_server.sockets[0].getsockname()[1]
             print(
@@ -317,6 +326,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             stop_task.cancel()
             serve_task.cancel()
             await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            await monitor.stop()
             drained = await server.drain(timeout=args.drain_timeout)
             if metrics_server is not None:
                 metrics_server.close()
@@ -459,6 +469,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             poll_interval=args.poll_interval,
             batch_size=args.batch,
             crypto_pool=pool,
+            health_check_interval=args.health_check_interval,
             rng=random.Random(args.seed + 1),
         )
         print(
@@ -603,15 +614,98 @@ def cmd_multiquery(args: argparse.Namespace) -> int:
 def cmd_stats(args: argparse.Namespace) -> int:
     from repro.net.client import AsyncSSIClient
     from repro.net.transport import TCPTransport
+    from repro.obs.metrics import diff_snapshots, parse_prometheus_text
 
-    async def _run() -> str:
+    async def _fetch() -> str:
         client = AsyncSSIClient(TCPTransport(args.host, args.port))
         try:
             return await client.get_stats()
         finally:
             await client.close()
 
-    sys.stdout.write(asyncio.run(_run()))
+    if not args.watch:
+        sys.stdout.write(asyncio.run(_fetch()))
+        return 0
+
+    # --watch: periodic redraw of per-interval deltas.  Counters and
+    # histograms become rates over the interval; gauges stay absolute
+    # (their level is the signal, not their derivative).
+    import time as _time
+
+    from repro.bench import render_table
+
+    previous = None
+    iteration = 0
+    while True:
+        snapshot, kinds = parse_prometheus_text(asyncio.run(_fetch()))
+        if previous is not None:
+            gauges = tuple(n for n, kind in kinds.items() if kind == "gauge")
+            delta = diff_snapshots(previous, snapshot, absolute=gauges)
+            rows = []
+            for name in sorted(delta):
+                for key, sample in sorted(delta[name].items()):
+                    labels = ",".join(f"{k}={v}" for k, v in key)
+                    if isinstance(sample, dict):
+                        count = sample["count"]
+                        if not count:
+                            continue
+                        rows.append(
+                            [
+                                f"{name}{{{labels}}}" if labels else name,
+                                f"{count / args.interval:,.1f}/s "
+                                f"avg={sample['sum'] / count:.4f}s",
+                            ]
+                        )
+                    elif kinds.get(name) == "gauge":
+                        if sample:
+                            rows.append(
+                                [f"{name}{{{labels}}}" if labels else name,
+                                 f"{sample:,.1f}"]
+                            )
+                    elif sample:
+                        rows.append(
+                            [
+                                f"{name}{{{labels}}}" if labels else name,
+                                f"{sample / args.interval:,.1f}/s",
+                            ]
+                        )
+            print(
+                render_table(
+                    f"rates over the last {args.interval:g}s "
+                    f"(gauges absolute)",
+                    ["series", "value"],
+                    rows or [["(no activity)", "-"]],
+                ),
+                flush=True,
+            )
+            print(flush=True)
+        previous = snapshot
+        iteration += 1
+        if args.count and iteration > args.count:
+            return 0
+        _time.sleep(args.interval)
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import attribution
+
+    records = []
+    if args.spans:
+        records.extend(attribution.load_records(args.spans))
+    if args.url:
+        records.extend(attribution.fetch_records(args.url))
+    if not records:
+        print("no spans: pass --spans FILE... and/or --url URL", file=sys.stderr)
+        return 2
+    report = attribution.build_report(records)
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(attribution.render_html(report))
+        print(f"wrote {args.html}")
+    if args.json:
+        print(attribution.report_json(report))
+    else:
+        print(attribution.render_console(report))
     return 0
 
 
@@ -714,6 +808,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="weighted round-robin drain: max queued submissions applied "
         "per querier per round (0 = flush fully; in-memory serving only)",
     )
+    serve.add_argument(
+        "--health-window", type=float, default=30.0,
+        help="rolling window (seconds) the health monitor evaluates "
+        "SLOs over",
+    )
+    serve.add_argument(
+        "--health-interval", type=float, default=5.0,
+        help="seconds between health monitor registry samples",
+    )
     serve.set_defaults(func=cmd_serve)
 
     verify_log = sub.add_parser(
@@ -772,6 +875,11 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument(
         "--span-export", default=None,
         help="write lifecycle spans to <prefix>[.shardN].jsonl on exit",
+    )
+    fleet.add_argument(
+        "--health-check-interval", type=float, default=0.0,
+        help="poll MSG_GET_HEALTH this often (seconds) and back off the "
+        "poll loop while the SSI self-reports degraded (0=off)",
     )
     fleet.set_defaults(func=cmd_fleet)
 
@@ -833,7 +941,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("--host", default="127.0.0.1")
     stats.add_argument("--port", type=int, default=7464)
+    stats.add_argument(
+        "--watch", action="store_true",
+        help="redraw per-interval rates instead of dumping totals once",
+    )
+    stats.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between --watch samples",
+    )
+    stats.add_argument(
+        "--count", type=int, default=0,
+        help="stop --watch after this many redraws (0 = until ^C)",
+    )
     stats.set_defaults(func=cmd_stats)
+
+    obs = sub.add_parser(
+        "obs", help="interpret observability exports (spans, metrics)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report",
+        help="latency attribution from span JSONL (file or /spans URL)",
+    )
+    report.add_argument(
+        "--spans", nargs="+", default=[],
+        help="span JSONL export path(s), e.g. "
+        "benchmarks/results/spans_multiq.jsonl",
+    )
+    report.add_argument(
+        "--url", default=None,
+        help="fetch spans from a live endpoint, e.g. "
+        "http://127.0.0.1:9464/spans",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    report.add_argument(
+        "--html", default=None, metavar="FILE",
+        help="also write a single-file HTML report here",
+    )
+    report.set_defaults(func=cmd_obs_report)
 
     return parser
 

@@ -196,6 +196,38 @@ class AsyncSSIClient:
         r.expect_end()
         return text
 
+    async def get_health(self) -> dict:
+        """Fetch the SSI's rolling-window health verdict (CAP_HEALTH).
+
+        A server running without a monitor answers ``monitored=False``
+        with an ``ok`` verdict, so callers can poll unconditionally.
+        """
+        r = await self._call(frames.MSG_GET_HEALTH, b"")
+        monitored = r.boolean()
+        if not monitored:
+            r.expect_end()
+            return {
+                "monitored": False,
+                "status": "ok",
+                "reasons": [],
+                "eventloop_lag_seconds": 0.0,
+                "window_seconds": 0.0,
+            }
+        status = r.u8()
+        lag = r.f64()
+        window = r.f64()
+        reasons = [r.text() for _ in range(r.u32())]
+        r.expect_end()
+        return {
+            "monitored": True,
+            "status": {0: "ok", 1: "degraded", 2: "critical"}.get(
+                status, "critical"
+            ),
+            "reasons": reasons,
+            "eventloop_lag_seconds": lag,
+            "window_seconds": window,
+        }
+
     # ------------------------------------------------------------------ #
     # core call loop: timeout -> typed error mapping -> bounded retry
     # ------------------------------------------------------------------ #

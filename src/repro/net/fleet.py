@@ -116,6 +116,8 @@ class FleetRunner:
         crypto_pool: CryptoPool | None = None,
         close_no_size_queries: bool = True,
         shard_label: str = "local",
+        health_check_interval: float = 0.0,
+        health_backoff: float = 4.0,
         rng: random.Random | None = None,
         sleep: Callable[[float], Awaitable[None]] = asyncio.sleep,
     ) -> None:
@@ -145,6 +147,14 @@ class FleetRunner:
         self.close_no_size_queries = close_no_size_queries
         #: labels this runner's samples in the per-shard metric families
         self.shard_label = shard_label
+        #: > 0 polls MSG_GET_HEALTH on this cadence and, while the SSI
+        #: reports a degraded/critical verdict, stretches every worker's
+        #: poll interval by ``health_backoff`` — the fleet routes load
+        #: away from a struggling node instead of piling on.  0 (the
+        #: default) skips the probe entirely.
+        self.health_check_interval = health_check_interval
+        self.health_backoff = max(1.0, health_backoff)
+        self._degraded = False
         self._c_contributions = _CONTRIBUTIONS.labels(shard=shard_label)
         self._c_tuples = _TUPLES_SUBMITTED.labels(shard=shard_label)
         self._c_partitions = _PARTITIONS.labels(shard=shard_label)
@@ -191,6 +201,9 @@ class FleetRunner:
             asyncio.create_task(self._serve_tds(tds)) for tds in self.tds_list
         ]
         closer = asyncio.create_task(self._close_collections())
+        prober: asyncio.Task[None] | None = None
+        if self.health_check_interval > 0:
+            prober = asyncio.create_task(self._health_loop())
         try:
             await self._stop.wait()
         finally:
@@ -198,6 +211,8 @@ class FleetRunner:
             tasks = [closer, *workers]
             if flusher is not None:
                 tasks.append(flusher)
+            if prober is not None:
+                tasks.append(prober)
             for task in tasks:
                 task.cancel()
             await asyncio.gather(*tasks, return_exceptions=True)
@@ -241,7 +256,41 @@ class FleetRunner:
                         retries=client.retries,
                         error=str(exc),
                     )
-                await self._sleep(self.poll_interval)
+                interval = self.poll_interval
+                if self._degraded:
+                    # Back off while the SSI self-reports degraded: the
+                    # probe loop clears the flag when the verdict heals.
+                    interval *= self.health_backoff
+                await self._sleep(interval)
+        finally:
+            await client.close()
+
+    async def _health_loop(self) -> None:
+        """Poll MSG_GET_HEALTH; flag workers off a degraded node."""
+        client = TDSClient(
+            self.transport_factory(), self.policy, sleep=self._sleep
+        )
+        try:
+            while not self._stop.is_set():
+                try:
+                    verdict = await client.get_health()
+                    degraded = verdict["status"] != "ok"
+                    status = str(verdict["status"])
+                except (TransportError, ProtocolError, asyncio.TimeoutError):
+                    # Unreachable or pre-CAP_HEALTH peer: treat as
+                    # degraded-unknown rather than hammering it.
+                    degraded = True
+                    status = "unreachable"
+                if degraded != self._degraded:
+                    self._degraded = degraded
+                    obs_logs.log_event(
+                        logger,
+                        "fleet_health_transition",
+                        level=logging.WARNING if degraded else logging.INFO,
+                        shard=self.shard_label,
+                        status=status,
+                    )
+                await self._sleep(self.health_check_interval)
         finally:
             await client.close()
 

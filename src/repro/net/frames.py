@@ -107,11 +107,12 @@ MSG_SUBMIT_TUPLES_BATCH = 0x13
 MSG_GET_STATS = 0x14
 MSG_HELLO = 0x15
 MSG_GET_COMMITMENT = 0x16
+MSG_GET_HEALTH = 0x17
 
 MSG_OK = 0x40
 MSG_ERROR = 0x41
 
-REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_GET_COMMITMENT + 1))
+REQUEST_TYPES = frozenset(range(MSG_POST_QUERY, MSG_GET_HEALTH + 1))
 
 # --------------------------------------------------------------------- #
 # v4 frame extensions + capability flags
@@ -134,9 +135,13 @@ CAP_STATS = 1 << 1
 #: server persists state durably and answers MSG_GET_COMMITMENT; acks
 #: on mutating requests carry an EXT_COMMITMENT extension
 CAP_DURABLE_COMMITMENT = 1 << 2
+#: server answers MSG_GET_HEALTH with a rolling-window SLO verdict
+CAP_HEALTH = 1 << 3
 
 #: everything this build implements
-CAPABILITIES = CAP_TRACE_CONTEXT | CAP_STATS | CAP_DURABLE_COMMITMENT
+CAPABILITIES = (
+    CAP_TRACE_CONTEXT | CAP_STATS | CAP_DURABLE_COMMITMENT | CAP_HEALTH
+)
 
 # --------------------------------------------------------------------- #
 # wire-level error codes (satellite: typed errors, no tracebacks)

@@ -29,6 +29,7 @@ import time
 from typing import TYPE_CHECKING, Awaitable, Callable, Protocol, TypeVar
 
 if TYPE_CHECKING:  # repro.store imports this module's siblings; keep lazy
+    from repro.obs.health import HealthMonitor
     from repro.store.recovery import DurableStore
     from repro.store.snapshot import SnapshotState
 
@@ -258,6 +259,9 @@ class SSIDispatcher:
         #: durable store, when serving with ``--data-dir`` (see
         #: :meth:`with_store`); None keeps the in-memory behaviour
         self.store: "DurableStore | None" = None
+        #: live health monitor, set by the serve entry point; None
+        #: answers MSG_GET_HEALTH with monitored=False
+        self.health: "HealthMonitor | None" = None
         #: personal-querybox target per query (snapshotted so recovery
         #: reposts to the same box)
         self.tds_ids: dict[str, str | None] = {}
@@ -495,6 +499,25 @@ class SSIDispatcher:
             # the --metrics-port endpoint serves, so the two surfaces
             # can never disagree about a counter.
             w.text(obs_metrics.REGISTRY.render_prometheus())
+            return w.getvalue()
+
+        if msg_type == frames.MSG_GET_HEALTH:
+            r.expect_end()
+            # Payload mirrors /healthz: a verdict drawn from a fixed
+            # reason vocabulary plus loop-lag/window scalars — nothing
+            # derived from request payloads, per PL006.
+            if self.health is None:
+                w.boolean(False)
+                return w.getvalue()
+            verdict = self.health.verdict()
+            w.boolean(True)
+            w.u8(verdict.status)
+            w.f64(verdict.eventloop_lag)
+            w.f64(verdict.window_seconds)
+            reasons = verdict.reasons[:16]
+            w.u32(len(reasons))
+            for reason in reasons:
+                w.text(reason)
             return w.getvalue()
 
         if msg_type == frames.MSG_POST_QUERY:

@@ -1,0 +1,452 @@
+"""Latency attribution: turn span exports into answers.
+
+The paper's evaluation (§6) reasons about where a query's time goes —
+collection windows, aggregation rounds, filtering, and the per-unit
+queue/crypto/wire split on each TDS.  PR 5's :mod:`repro.obs.spans`
+records all of that; this module *interprets* it:
+
+* **per-query breakdown** — each finished ``query`` root becomes one
+  row: wall time, per-phase durations (linked by exact ``parent_id``,
+  falling back to trace + containment for spans recorded by peers that
+  didn't propagate parents), an explicit ``other`` bucket for wall time
+  no phase covers, and the queue/crypto/wire resource sums from every
+  ``contribution``/``partition`` leaf attributed to that root.  Because
+  ``other`` is defined as the uncovered remainder, per-query totals
+  reconcile with root wall time *by construction* — the
+  ``reconciliation_pct`` column is an invariant check (100.0 unless
+  phase spans overflow their root, which would flag a recorder bug).
+* **aggregate quantiles** — every span name becomes a distribution with
+  exact p50/p95/p99 (computed from the sorted durations, not bucket
+  edges) plus a ``DEFAULT_BUCKETS`` histogram where each bucket retains
+  a bounded set of **exemplars**: the slowest ``(duration, trace_id)``
+  pairs that landed in it.  A slow p99 bucket therefore links directly
+  to the worst traces.  Spans carrying a ``protocol`` attribute are
+  additionally grouped per protocol.
+
+Privacy: everything here is derived from span names, durations and the
+scalar attributes that passed :func:`repro.obs.logs.sanitize_fields` at
+record time.  Exemplar trace ids are blake2b hashes of the query id
+(:func:`repro.obs.spans.derive_trace_id`) — they identify *a query*,
+never its tuples, predicates or results.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import urllib.request
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.bench import render_table
+from repro.obs import spans as obs_spans
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+__all__ = [
+    "EXEMPLARS_PER_BUCKET",
+    "load_records",
+    "fetch_records",
+    "build_report",
+    "render_console",
+    "render_html",
+]
+
+#: Phase span names → the short column names of the report.
+PHASE_NAMES = {
+    "phase:collection": "collection",
+    "phase:aggregation": "aggregation",
+    "phase:filtering": "filtering",
+}
+
+#: Per-unit resource attributes summed into the per-query rows.
+RESOURCE_KEYS = ("queue_seconds", "crypto_seconds", "wire_seconds")
+
+#: Exemplar trace ids retained per histogram bucket (slowest first).
+EXEMPLARS_PER_BUCKET = 3
+
+
+def load_records(paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Read one or more span JSONL exports into a merged record list."""
+    records: List[Dict[str, Any]] = []
+    for path in paths:
+        with open(path, "r") as fh:
+            records.extend(obs_spans.load_jsonl(fh))
+    return records
+
+
+def fetch_records(url: str, timeout: float = 10.0) -> List[Dict[str, Any]]:
+    """Fetch span JSONL from a live ``/spans`` endpoint."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        text = response.read().decode("utf-8", errors="replace")
+    return list(obs_spans.load_jsonl(iter(text.splitlines())))
+
+
+# --------------------------------------------------------------------- #
+# parsing helpers
+# --------------------------------------------------------------------- #
+def _spans_from(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Normalize raw JSONL records; skip anything malformed."""
+    out: List[Dict[str, Any]] = []
+    for rec in records:
+        if not isinstance(rec, dict):
+            continue
+        try:
+            start = float(rec["start"])
+            name = str(rec["name"])
+            trace_id = str(rec["trace_id"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        end = rec.get("end")
+        try:
+            duration = (float(end) - start) if end is not None else None
+        except (TypeError, ValueError):
+            duration = None
+        attributes = rec.get("attributes")
+        out.append(
+            {
+                "trace_id": trace_id,
+                "span_id": str(rec.get("span_id") or ""),
+                "parent_id": str(rec.get("parent_id") or ""),
+                "name": name,
+                "process": str(rec.get("process", "?")),
+                "start": start,
+                "duration": duration,
+                "attributes": attributes if isinstance(attributes, dict) else {},
+            }
+        )
+    return out
+
+
+def _owning_root(
+    roots_by_trace: Dict[str, List[Dict[str, Any]]], span: Dict[str, Any]
+) -> Optional[Dict[str, Any]]:
+    """Latest root of the span's trace whose window contains its start."""
+    best = None
+    for root in roots_by_trace.get(span["trace_id"], ()):
+        root_end = root["start"] + (root["duration"] or 0.0)
+        if root["start"] - 1e-6 <= span["start"] <= root_end + 1e-6:
+            if best is None or root["start"] >= best["start"]:
+                best = root
+    return best
+
+
+def _bucket_edge(duration: float) -> float:
+    for edge in DEFAULT_BUCKETS:
+        if duration <= edge:
+            return edge
+    return float("inf")
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank: the smallest observation covering quantile q."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(-(-(q * len(sorted_values)) // 1)))
+    return sorted_values[min(len(sorted_values) - 1, rank - 1)]
+
+
+# --------------------------------------------------------------------- #
+# report construction
+# --------------------------------------------------------------------- #
+def build_report(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    spans = _spans_from(records)
+    finished = [s for s in spans if s["duration"] is not None]
+
+    # -- per-query rows -------------------------------------------------
+    roots = [s for s in finished if s["name"] == "query"]
+    roots_by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    roots_by_id: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for root in roots:
+        roots_by_trace.setdefault(root["trace_id"], []).append(root)
+        if root["span_id"]:
+            roots_by_id[(root["process"], root["span_id"])] = root
+
+    phases: Dict[int, Dict[str, float]] = {}
+    rounds: Dict[int, int] = {}
+    resources: Dict[int, Dict[str, float]] = {}
+
+    def _root_for(span: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        exact = roots_by_id.get((span["process"], span["parent_id"]))
+        if exact is not None:
+            return exact
+        return _owning_root(roots_by_trace, span)
+
+    for span in finished:
+        phase = PHASE_NAMES.get(span["name"])
+        if phase is not None:
+            root = _root_for(span)
+            if root is None:
+                continue
+            bucket = phases.setdefault(id(root), {})
+            bucket[phase] = bucket.get(phase, 0.0) + span["duration"]
+            if span["name"] == "phase:aggregation":
+                rounds[id(root)] = rounds.get(id(root), 0) + 1
+            continue
+        attrs = span["attributes"]
+        if any(key in attrs for key in RESOURCE_KEYS):
+            root = _owning_root(roots_by_trace, span)
+            if root is None:
+                continue
+            sums = resources.setdefault(id(root), {})
+            for key in RESOURCE_KEYS:
+                try:
+                    sums[key] = sums.get(key, 0.0) + float(attrs.get(key, 0.0))
+                except (TypeError, ValueError):
+                    pass
+
+    queries: List[Dict[str, Any]] = []
+    for root in sorted(roots, key=lambda r: r["start"]):
+        wall = root["duration"] or 0.0
+        phase_sums = phases.get(id(root), {})
+        covered = sum(phase_sums.values())
+        other = max(0.0, wall - covered)
+        attributed = covered + other
+        queries.append(
+            {
+                "trace_id": root["trace_id"],
+                "query_id": str(root["attributes"].get("query_id", "?")),
+                "protocol": str(root["attributes"].get("protocol", "?")),
+                "process": root["process"],
+                "wall_s": round(wall, 6),
+                "phases": {k: round(v, 6) for k, v in sorted(phase_sums.items())},
+                "other_s": round(other, 6),
+                "attributed_s": round(attributed, 6),
+                "reconciliation_pct": round(
+                    100.0 * attributed / wall if wall > 0 else 100.0, 3
+                ),
+                "aggregation_rounds": rounds.get(id(root), 0),
+                "resources": {
+                    key.replace("_seconds", "_s"): round(value, 6)
+                    for key, value in sorted(resources.get(id(root), {}).items())
+                },
+            }
+        )
+
+    # -- aggregate distributions with exemplars -------------------------
+    series: Dict[str, List[Tuple[float, str]]] = {}
+    for span in finished:
+        sample = (span["duration"], span["trace_id"])
+        series.setdefault(span["name"], []).append(sample)
+        protocol = span["attributes"].get("protocol")
+        if isinstance(protocol, str) and protocol:
+            series.setdefault(f"{protocol}:{span['name']}", []).append(sample)
+
+    groups: List[Dict[str, Any]] = []
+    for name in sorted(series):
+        samples = sorted(series[name])
+        durations = [d for d, _ in samples]
+        buckets: Dict[float, List[Tuple[float, str]]] = {}
+        for duration, trace_id in samples:
+            edge = _bucket_edge(duration)
+            exemplars = buckets.setdefault(edge, [])
+            exemplars.append((duration, trace_id))
+            exemplars.sort(reverse=True)
+            del exemplars[EXEMPLARS_PER_BUCKET:]
+        p50 = _quantile(durations, 0.50)
+        p95 = _quantile(durations, 0.95)
+        p99 = _quantile(durations, 0.99)
+        p99_edge = _bucket_edge(p99)
+        groups.append(
+            {
+                "name": name,
+                "count": len(durations),
+                "sum_s": round(sum(durations), 6),
+                "p50_s": round(p50, 6),
+                "p95_s": round(p95, 6),
+                "p99_s": round(p99, 6),
+                "p99_bucket_le": p99_edge,
+                "p99_exemplars": [
+                    trace_id for _, trace_id in buckets.get(p99_edge, [])
+                ],
+                "buckets": [
+                    {
+                        "le": edge,
+                        "count": sum(
+                            1 for d in durations if _bucket_edge(d) == edge
+                        ),
+                        "exemplars": [
+                            {"duration_s": round(d, 6), "trace_id": t}
+                            for d, t in exemplars
+                        ],
+                    }
+                    for edge, exemplars in sorted(buckets.items())
+                ],
+            }
+        )
+
+    return {
+        "queries": queries,
+        "groups": groups,
+        "totals": {
+            "spans": len(spans),
+            "finished_spans": len(finished),
+            "queries": len(queries),
+            "traces": len({s["trace_id"] for s in spans}),
+            "wall_s": round(sum(q["wall_s"] for q in queries), 6),
+        },
+    }
+
+
+# --------------------------------------------------------------------- #
+# renderers
+# --------------------------------------------------------------------- #
+def _phase_cell(query: Dict[str, Any]) -> str:
+    parts = [f"{name}={value:.3f}s" for name, value in query["phases"].items()]
+    parts.append(f"other={query['other_s']:.3f}s")
+    return " ".join(parts)
+
+
+def render_console(report: Dict[str, Any]) -> str:
+    query_rows = [
+        [
+            q["query_id"],
+            q["trace_id"][:8],
+            f"{q['wall_s']:.3f}s",
+            _phase_cell(q),
+            f"{q['reconciliation_pct']:.1f}%",
+        ]
+        for q in report["queries"]
+    ]
+    group_rows = [
+        [
+            g["name"],
+            str(g["count"]),
+            f"{g['p50_s']:.4f}s",
+            f"{g['p95_s']:.4f}s",
+            f"{g['p99_s']:.4f}s",
+            ",".join(t[:8] for t in g["p99_exemplars"]) or "-",
+        ]
+        for g in report["groups"]
+    ]
+    sections = [
+        render_table(
+            "per-query phase attribution",
+            ["query", "trace", "wall", "phases", "reconciled"],
+            query_rows,
+        ),
+        render_table(
+            "span distributions (exemplars = slowest traces in p99 bucket)",
+            ["span", "count", "p50", "p95", "p99", "p99 exemplars"],
+            group_rows,
+        ),
+    ]
+    totals = report["totals"]
+    sections.append(
+        f"{totals['queries']} queries / {totals['traces']} traces / "
+        f"{totals['finished_spans']} finished spans"
+    )
+    return "\n\n".join(sections)
+
+
+_HTML_STYLE = (
+    "body{font-family:monospace;margin:2em;background:#fafafa}"
+    "table{border-collapse:collapse;margin-bottom:2em}"
+    "th,td{border:1px solid #999;padding:4px 8px;text-align:left}"
+    "th{background:#eee}caption{font-weight:bold;padding:6px;text-align:left}"
+)
+
+
+def _html_table(caption: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    head = "".join(f"<th>{html.escape(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(str(c))}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        f"<table><caption>{html.escape(caption)}</caption>"
+        f"<tr>{head}</tr>{body}</table>"
+    )
+
+
+def render_html(report: Dict[str, Any]) -> str:
+    """Self-contained single-file HTML report (inline CSS, no assets)."""
+    query_rows = [
+        [
+            q["query_id"],
+            q["trace_id"],
+            f"{q['wall_s']:.4f}",
+            _phase_cell(q),
+            str(q["aggregation_rounds"]),
+            " ".join(f"{k}={v:.4f}" for k, v in q["resources"].items()) or "-",
+            f"{q['reconciliation_pct']:.1f}%",
+        ]
+        for q in report["queries"]
+    ]
+    group_rows = [
+        [
+            g["name"],
+            str(g["count"]),
+            f"{g['sum_s']:.4f}",
+            f"{g['p50_s']:.4f}",
+            f"{g['p95_s']:.4f}",
+            f"{g['p99_s']:.4f}",
+            ", ".join(g["p99_exemplars"]) or "-",
+        ]
+        for g in report["groups"]
+    ]
+    exemplar_rows = [
+        [
+            g["name"],
+            "inf" if bucket["le"] == float("inf") else f"{bucket['le']:g}",
+            str(bucket["count"]),
+            ", ".join(
+                f"{e['trace_id']}({e['duration_s']:.4f}s)"
+                for e in bucket["exemplars"]
+            ),
+        ]
+        for g in report["groups"]
+        for bucket in g["buckets"]
+        if bucket["exemplars"]
+    ]
+    totals = report["totals"]
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>repro latency attribution</title>"
+        f"<style>{_HTML_STYLE}</style></head><body>"
+        "<h1>repro latency attribution</h1>"
+        f"<p>{totals['queries']} queries / {totals['traces']} traces / "
+        f"{totals['finished_spans']} finished spans "
+        f"(total query wall {totals['wall_s']:.3f}s)</p>"
+        + _html_table(
+            "per-query phase attribution",
+            [
+                "query",
+                "trace",
+                "wall (s)",
+                "phases",
+                "agg rounds",
+                "resources",
+                "reconciled",
+            ],
+            query_rows,
+        )
+        + _html_table(
+            "span distributions",
+            ["span", "count", "sum", "p50", "p95", "p99", "p99 exemplars"],
+            group_rows,
+        )
+        + _html_table(
+            "histogram exemplars (slowest traces per bucket)",
+            ["span", "le (s)", "count", "exemplars"],
+            exemplar_rows,
+        )
+        + "</body></html>"
+    )
+
+
+def report_json(report: Dict[str, Any]) -> str:
+    """Stable JSON rendering (``inf`` bucket edges become the string
+    ``"inf"`` so the output stays standard JSON)."""
+
+    def _default(value: Any) -> Any:
+        raise TypeError(f"unserializable: {type(value)!r}")
+
+    def _clean(value: Any) -> Any:
+        if isinstance(value, float) and value == float("inf"):
+            return "inf"
+        if isinstance(value, dict):
+            return {k: _clean(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [_clean(v) for v in value]
+        return value
+
+    return json.dumps(_clean(report), indent=2, default=_default)

@@ -1,0 +1,345 @@
+"""Live health: rolling-window SLO verdicts inside the serve process.
+
+PR 5 gave the server *instruments* (counters, histograms, spans); this
+module adds the *interpreter*.  A :class:`HealthMonitor` samples the
+metrics registry on a fixed cadence, keeps a bounded window of
+snapshots, and renders a three-level verdict — ``ok`` / ``degraded`` /
+``critical`` — from four signals:
+
+* **latency SLO** — per-``msg_type`` latency quantiles over the window
+  (computed from ``repro_ssi_request_seconds`` bucket deltas, so the
+  estimate is an upper bound: bucket granularity can only make us
+  *more* pessimistic, never hide a violation);
+* **error budget** — the windowed ratio of internal errors plus typed
+  ``err_*`` replies (admission pushback excluded — that is load
+  shedding working, not failure) to total requests;
+* **admission pressure** — the windowed ``err_10`` (ERR_ADMISSION)
+  rejection ratio, a leading indicator that the node should stop
+  receiving new work;
+* **event-loop lag** — a sleep-drift sampler: ``asyncio.sleep(d)``
+  waking ``lag`` seconds late means *every* coroutine on this loop,
+  crypto drain and wire IO included, stalled that long.  This catches
+  the class of bug no counter can (a blocking call smuggled into the
+  dispatch path) and costs ~4 wakeups/second at the default cadence.
+
+The verdict is exported three ways, all carrying the same redacted
+payload: the ``repro_health_status`` gauge (for scrapers), the
+``/healthz`` endpoint (for orchestrators), and the ``MSG_GET_HEALTH``
+wire op (for fleet peers routing away from degraded nodes).  Reasons
+are drawn from a fixed vocabulary — ``eventloop_lag``,
+``error_budget``, ``admission_rate``, ``latency_slo:<msg_type>`` —
+never from request payloads, so the PL006 scalar discipline holds by
+construction.
+
+Process resource sampling (RSS, CPU time, fd count) reads ``/proc``
+synchronously; the monitor offloads it with ``asyncio.to_thread`` to
+keep blocking IO off the loop it is accusing of lagging (PL008).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Tuple
+
+from collections import deque
+
+from repro.obs import metrics as obs_metrics
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_DEGRADED",
+    "STATUS_CRITICAL",
+    "SLOPolicy",
+    "HealthVerdict",
+    "HealthMonitor",
+    "sample_process_stats",
+]
+
+STATUS_OK = 0
+STATUS_DEGRADED = 1
+STATUS_CRITICAL = 2
+
+_STATUS_NAMES = {
+    STATUS_OK: "ok",
+    STATUS_DEGRADED: "degraded",
+    STATUS_CRITICAL: "critical",
+}
+
+_HEALTH_STATUS = obs_metrics.REGISTRY.gauge(
+    "repro_health_status",
+    "Rolling-window health verdict: 0=ok, 1=degraded, 2=critical.",
+)
+_EVENTLOOP_LAG = obs_metrics.REGISTRY.gauge(
+    "repro_eventloop_lag_seconds",
+    "Most recent event-loop sleep-drift sample (seconds late).",
+)
+_PROCESS_RSS = obs_metrics.REGISTRY.gauge(
+    "repro_process_rss_bytes",
+    "Resident set size of the serve process.",
+)
+_PROCESS_CPU = obs_metrics.REGISTRY.gauge(
+    "repro_process_cpu_seconds",
+    "Cumulative user+system CPU time of the serve process.",
+)
+_PROCESS_FDS = obs_metrics.REGISTRY.gauge(
+    "repro_process_open_fds",
+    "Open file descriptors of the serve process (0 when unknown).",
+)
+
+_g_health_status = _HEALTH_STATUS.labels()
+_g_eventloop_lag = _EVENTLOOP_LAG.labels()
+_g_process_rss = _PROCESS_RSS.labels()
+_g_process_cpu = _PROCESS_CPU.labels()
+_g_process_fds = _PROCESS_FDS.labels()
+
+
+def sample_process_stats() -> Dict[str, float]:
+    """Read RSS / CPU time / fd count for this process (synchronous).
+
+    Blocking filesystem reads live here, *outside* any coroutine, so
+    the monitor can offload them with ``asyncio.to_thread`` — sampling
+    resource gauges must never itself stall the loop being watched.
+    """
+    rss = 0.0
+    try:
+        with open("/proc/self/statm", "r") as fh:
+            rss = float(fh.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        try:
+            import resource
+
+            rss = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0
+        except Exception:
+            rss = 0.0
+    times = os.times()
+    cpu = float(times.user + times.system)
+    try:
+        fds = float(len(os.listdir("/proc/self/fd")))
+    except OSError:
+        fds = 0.0
+    return {"rss_bytes": rss, "cpu_seconds": cpu, "open_fds": fds}
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Objectives the monitor holds the window against.
+
+    Defaults are deliberately loose — a laptop CI box running the
+    loopback demo must be solidly ``ok`` — and tighten per deployment
+    via ``latency_objectives`` overrides.
+    """
+
+    #: Default per-request latency objective (seconds) at the quantile.
+    latency_objective: float = 1.0
+    #: Per-msg_type overrides, e.g. (("get_stats", 0.1),).
+    latency_objectives: Tuple[Tuple[str, float], ...] = ()
+    #: Which quantile the objective binds.
+    latency_quantile: float = 0.99
+    #: Tolerated windowed (internal errors + err_* replies) / requests.
+    error_budget: float = 0.01
+    #: Tolerated windowed ERR_ADMISSION rejection ratio.
+    admission_budget: float = 0.5
+    #: Loop lag (seconds) at which the node is degraded / critical.
+    eventloop_lag_degraded: float = 0.25
+    eventloop_lag_critical: float = 1.0
+    #: Minimum windowed request count before ratio SLOs fire at all.
+    min_requests: int = 20
+
+    def objective_for(self, msg_type: str) -> float:
+        for name, objective in self.latency_objectives:
+            if name == msg_type:
+                return objective
+        return self.latency_objective
+
+
+@dataclass
+class HealthVerdict:
+    """One evaluation of the window; everything in it is PL006-safe."""
+
+    status: int = STATUS_OK
+    reasons: List[str] = field(default_factory=list)
+    eventloop_lag: float = 0.0
+    window_seconds: float = 0.0
+
+    @property
+    def status_name(self) -> str:
+        return _STATUS_NAMES.get(self.status, "critical")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "status": self.status_name,
+            "reasons": list(self.reasons),
+            "eventloop_lag_seconds": round(self.eventloop_lag, 6),
+            "window_seconds": round(self.window_seconds, 3),
+        }
+
+
+class HealthMonitor:
+    """Rolling-window SLO evaluation over registry snapshots.
+
+    Two background tasks: ``_sample_loop`` (every ``interval``) stores a
+    registry snapshot, refreshes the resource gauges and re-publishes
+    the verdict gauge; ``_lag_loop`` (every ``lag_interval``) measures
+    sleep drift.  :meth:`verdict` itself is synchronous and cheap —
+    wire handlers and ``/healthz`` call it inline on demand.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
+        *,
+        window: float = 30.0,
+        interval: float = 5.0,
+        lag_interval: float = 0.25,
+        slo: Optional[SLOPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry if registry is not None else obs_metrics.REGISTRY
+        self.window = window
+        self.interval = interval
+        self.lag_interval = lag_interval
+        self.slo = slo if slo is not None else SLOPolicy()
+        self._clock = clock
+        self._snapshots: Deque[Tuple[float, obs_metrics.Snapshot]] = deque()
+        self._lags: Deque[Tuple[float, float]] = deque()
+        self._tasks: List[asyncio.Task] = []
+
+    # -- background sampling -------------------------------------------
+
+    async def start(self) -> None:
+        self.record_sample(resource_stats=None)
+        self._tasks = [
+            asyncio.create_task(self._sample_loop()),
+            asyncio.create_task(self._lag_loop()),
+        ]
+
+    async def stop(self) -> None:
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _sample_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval)
+            stats = await asyncio.to_thread(sample_process_stats)
+            self.record_sample(resource_stats=stats)
+
+    async def _lag_loop(self) -> None:
+        while True:
+            before = self._clock()
+            await asyncio.sleep(self.lag_interval)
+            lag = max(0.0, self._clock() - before - self.lag_interval)
+            self.record_lag(lag)
+
+    # -- synchronous recording (tests drive these directly) -------------
+
+    def record_sample(
+        self, resource_stats: Optional[Mapping[str, float]] = None
+    ) -> None:
+        now = self._clock()
+        self._snapshots.append((now, self.registry.snapshot()))
+        # Keep exactly one sample older than the window as the baseline.
+        while len(self._snapshots) > 1 and self._snapshots[1][0] <= now - self.window:
+            self._snapshots.popleft()
+        if resource_stats is not None:
+            _g_process_rss.set(resource_stats.get("rss_bytes", 0.0))
+            _g_process_cpu.set(resource_stats.get("cpu_seconds", 0.0))
+            _g_process_fds.set(resource_stats.get("open_fds", 0.0))
+        _g_health_status.set(float(self.verdict().status))
+
+    def record_lag(self, lag: float) -> None:
+        now = self._clock()
+        self._lags.append((now, lag))
+        while self._lags and self._lags[0][0] <= now - self.window:
+            self._lags.popleft()
+        _g_eventloop_lag.set(lag)
+
+    # -- evaluation ----------------------------------------------------
+
+    def verdict(self) -> HealthVerdict:
+        now = self._clock()
+        findings: List[Tuple[int, str]] = []
+
+        lag = max((sample for _, sample in self._lags), default=0.0)
+        if lag >= self.slo.eventloop_lag_critical:
+            findings.append((STATUS_CRITICAL, "eventloop_lag"))
+        elif lag >= self.slo.eventloop_lag_degraded:
+            findings.append((STATUS_DEGRADED, "eventloop_lag"))
+
+        if self._snapshots:
+            base_time, base = self._snapshots[0]
+        else:
+            base_time, base = now, {}
+        window_seconds = max(0.0, now - base_time)
+        delta = obs_metrics.diff_snapshots(base, self.registry.snapshot())
+        findings.extend(self._latency_findings(delta))
+        findings.extend(self._budget_findings(delta))
+
+        status = max((severity for severity, _ in findings), default=STATUS_OK)
+        reasons = sorted({reason for _, reason in findings})
+        return HealthVerdict(
+            status=status,
+            reasons=reasons,
+            eventloop_lag=lag,
+            window_seconds=window_seconds,
+        )
+
+    def _latency_findings(
+        self, delta: obs_metrics.Snapshot
+    ) -> List[Tuple[int, str]]:
+        findings: List[Tuple[int, str]] = []
+        for key, sample in delta.get("repro_ssi_request_seconds", {}).items():
+            if not isinstance(sample, dict):
+                continue
+            count = sample.get("count", 0)
+            if count < self.slo.min_requests:
+                continue
+            msg_type = next((v for k, v in key if k == "msg_type"), "?")
+            estimate = obs_metrics.quantile_from_buckets(
+                sample.get("buckets", {}), count, self.slo.latency_quantile
+            )
+            if estimate > self.slo.objective_for(msg_type):
+                findings.append((STATUS_DEGRADED, f"latency_slo:{msg_type}"))
+        return findings
+
+    def _budget_findings(
+        self, delta: obs_metrics.Snapshot
+    ) -> List[Tuple[int, str]]:
+        total = 0.0
+        errors = 0.0
+        admission = 0.0
+        for key, sample in delta.get("repro_ssi_requests_total", {}).items():
+            if isinstance(sample, dict):
+                continue
+            value = float(sample)  # type: ignore[arg-type]
+            total += value
+            outcome = next((v for k, v in key if k == "outcome"), "")
+            if outcome == "err_10":
+                admission += value
+            elif outcome.startswith("err_") or outcome in (
+                "malformed",
+                "unknown_op",
+            ):
+                errors += value
+        for _, sample in delta.get("server_internal_errors_total", {}).items():
+            if not isinstance(sample, dict):
+                errors += float(sample)  # type: ignore[arg-type]
+
+        findings: List[Tuple[int, str]] = []
+        if total >= self.slo.min_requests:
+            ratio = errors / total
+            if ratio > 10.0 * self.slo.error_budget:
+                findings.append((STATUS_CRITICAL, "error_budget"))
+            elif ratio > self.slo.error_budget:
+                findings.append((STATUS_DEGRADED, "error_budget"))
+            if admission / total > self.slo.admission_budget:
+                findings.append((STATUS_DEGRADED, "admission_rate"))
+        return findings

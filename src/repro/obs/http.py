@@ -5,9 +5,15 @@ Serves exactly three paths:
 * ``GET /metrics`` — exposition of :data:`repro.obs.metrics.REGISTRY`
   (Prometheus text content type)
 * ``GET /spans`` — the process's span recorder as JSONL
-  (``repro.obs.spans.load_jsonl`` parses it); lets an operator pull the
-  SSI's query-lifecycle spans without stopping the server
-* ``GET /healthz`` — liveness probe (``ok``)
+  (``repro.obs.spans.load_jsonl`` parses it), **streamed** in bounded
+  chunks so a full 50k-span ring never materializes as one string;
+  lets an operator pull the SSI's query-lifecycle spans without
+  stopping the server
+* ``GET /healthz`` — liveness probe.  With a
+  :class:`repro.obs.health.HealthMonitor` attached it returns the full
+  JSON verdict (status / reasons / loop lag / window) and switches to
+  ``503`` when the verdict is not ``ok``, so orchestrators can act on
+  the status code alone; without one it stays the bare ``ok`` probe.
 
 Deliberately minimal: no keep-alive, no TLS, request line + headers
 only, 8 KiB cap.  It shares the event loop with ``repro serve`` via
@@ -17,10 +23,13 @@ only, 8 KiB cap.  It shares the event loop with ``repro serve`` via
 from __future__ import annotations
 
 import asyncio
-import io
-from typing import Optional
+import json
+from typing import TYPE_CHECKING, Optional
 
 from repro.obs import metrics, spans
+
+if TYPE_CHECKING:
+    from repro.obs.health import HealthMonitor
 
 __all__ = ["start_metrics_server"]
 
@@ -39,10 +48,23 @@ def _response(status: str, body: bytes, content_type: str = _TEXT_TYPE) -> bytes
     return head.encode("ascii") + body
 
 
+def _stream_head(status: str, content_type: str) -> bytes:
+    # No Content-Length: "Connection: close" delimits the body, which is
+    # what lets /spans stream chunk by chunk.
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii")
+
+
 async def _handle(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
     registry: metrics.MetricsRegistry,
+    health: "Optional[HealthMonitor]" = None,
 ) -> None:
     try:
         try:
@@ -68,17 +90,26 @@ async def _handle(
             body = registry.render_prometheus().encode("utf-8")
             writer.write(_response("200 OK", body))
         elif path == "/spans":
-            buffer = io.StringIO()
-            spans.RECORDER.export_jsonl(buffer)
             writer.write(
-                _response(
-                    "200 OK",
-                    buffer.getvalue().encode("utf-8"),
-                    content_type="application/jsonl; charset=utf-8",
-                )
+                _stream_head("200 OK", "application/jsonl; charset=utf-8")
             )
+            for chunk in spans.RECORDER.export_jsonl_chunks():
+                writer.write(chunk.encode("utf-8"))
+                await writer.drain()
         elif path == "/healthz":
-            writer.write(_response("200 OK", b"ok\n"))
+            if health is None:
+                writer.write(_response("200 OK", b"ok\n"))
+            else:
+                verdict = health.verdict()
+                status = (
+                    "200 OK" if verdict.status == 0 else "503 Service Unavailable"
+                )
+                body = (json.dumps(verdict.to_dict()) + "\n").encode("utf-8")
+                writer.write(
+                    _response(
+                        status, body, content_type="application/json; charset=utf-8"
+                    )
+                )
         else:
             writer.write(_response("404 Not Found", b"not found\n"))
     finally:
@@ -94,6 +125,7 @@ async def start_metrics_server(
     host: str = "127.0.0.1",
     port: int = 0,
     registry: Optional[metrics.MetricsRegistry] = None,
+    health: "Optional[HealthMonitor]" = None,
 ) -> asyncio.AbstractServer:
     """Start the endpoint on the running loop; returns the server.
 
@@ -105,7 +137,7 @@ async def start_metrics_server(
     async def handler(
         reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        await _handle(reader, writer, reg)
+        await _handle(reader, writer, reg, health)
 
     return await asyncio.start_server(
         handler, host=host, port=port, limit=_MAX_REQUEST_BYTES

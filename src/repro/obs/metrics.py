@@ -28,6 +28,7 @@ real scrapers: ``# HELP`` / ``# TYPE`` lines, label escaping, histogram
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -451,6 +452,173 @@ def _cumulative(counts: Iterable[int]) -> List[int]:
         total += c
         out.append(total)
     return out
+
+
+# --------------------------------------------------------------------- #
+# snapshot algebra: the shared substrate of the health monitor's
+# rolling-window SLO evaluation and `repro stats --watch` rate display
+# --------------------------------------------------------------------- #
+Snapshot = Dict[str, Dict[Tuple[Tuple[str, str], ...], object]]
+
+
+def diff_snapshots(
+    old: Snapshot, new: Snapshot, absolute: Iterable[str] = ()
+) -> Snapshot:
+    """Per-series deltas between two :meth:`MetricsRegistry.snapshot`s.
+
+    Counter/gauge samples become ``new - old`` (a series absent from
+    *old* counts from zero); histogram samples get ``count``/``sum``/
+    per-``le`` bucket deltas.  Families named in *absolute* (gauges,
+    whose current value is the signal, not its derivative) are copied
+    from *new* unchanged.
+    """
+    keep = frozenset(absolute)
+    out: Snapshot = {}
+    for name, series in new.items():
+        prev = old.get(name, {})
+        family: Dict[Tuple[Tuple[str, str], ...], object] = {}
+        for key, sample in series.items():
+            if name in keep:
+                family[key] = dict(sample) if isinstance(sample, dict) else sample
+                continue
+            before = prev.get(key)
+            if isinstance(sample, dict):
+                base = before if isinstance(before, dict) else {}
+                base_buckets = base.get("buckets", {})
+                family[key] = {
+                    "count": sample["count"] - base.get("count", 0),
+                    "sum": sample["sum"] - base.get("sum", 0.0),
+                    "buckets": {
+                        le: cum - base_buckets.get(le, 0)
+                        for le, cum in sample["buckets"].items()
+                    },
+                }
+            else:
+                previous = before if isinstance(before, (int, float)) else 0.0
+                family[key] = float(sample) - float(previous)  # type: ignore[arg-type]
+        out[name] = family
+    return out
+
+
+def quantile_from_buckets(
+    buckets: Mapping[float, float], count: float, q: float
+) -> float:
+    """Upper-bound quantile estimate from cumulative ``le`` buckets.
+
+    Returns the smallest bucket edge covering at least ``q * count``
+    observations — the same estimate Prometheus's ``histogram_quantile``
+    would round up to, which is the honest direction for SLO gating (a
+    violation is never hidden by bucket granularity).
+    """
+    if count <= 0:
+        return 0.0
+    target = q * count
+    for le in sorted(buckets):
+        if buckets[le] >= target:
+            return le
+    return float("inf")
+
+
+_SAMPLE_LINE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    # Left-to-right scan: chained str.replace would mis-handle a literal
+    # backslash followed by 'n' (r"\\n" is backslash + newline-escape?
+    # no — it is an escaped backslash, then a plain 'n').
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    return float(raw)
+
+
+def parse_prometheus_text(text: str) -> Tuple[Snapshot, Dict[str, str]]:
+    """Parse Prometheus text exposition back into the snapshot shape.
+
+    Returns ``(snapshot, kinds)`` where *snapshot* matches
+    :meth:`MetricsRegistry.snapshot` (histogram families reassembled
+    from their ``_bucket``/``_sum``/``_count`` series) and *kinds* maps
+    family name to its ``# TYPE``.  The inverse of
+    :meth:`MetricsRegistry.render_prometheus`, used by ``repro stats
+    --watch`` so remote and in-process registries diff identically.
+    """
+    kinds: Dict[str, str] = {}
+    snapshot: Snapshot = {}
+
+    def family_for(sample_name: str) -> Tuple[str, str]:
+        """Resolve a sample name to (family, part) using the TYPE map."""
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                family = sample_name[: -len(suffix)]
+                if kinds.get(family) == "histogram":
+                    return family, suffix[1:]
+        return sample_name, "value"
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) >= 4:
+                kinds[parts[2]] = parts[3]
+                snapshot.setdefault(parts[2], {})
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            continue
+        sample_name, raw_labels, raw_value = match.groups()
+        try:
+            value = _parse_value(raw_value)
+        except ValueError:
+            continue
+        pairs = tuple(
+            (k, _unescape_label_value(v))
+            for k, v in _LABEL_PAIR.findall(raw_labels or "")
+        )
+        family, part = family_for(sample_name)
+        series = snapshot.setdefault(family, {})
+        if part == "value":
+            series[pairs] = value
+            continue
+        key = tuple(p for p in pairs if p[0] != "le")
+        sample = series.get(key)
+        if not isinstance(sample, dict):
+            sample = {"count": 0, "sum": 0.0, "buckets": {}}
+            series[key] = sample
+        if part == "bucket":
+            le = next((v for k, v in pairs if k == "le"), None)
+            if le is not None:
+                sample["buckets"][_parse_value(le)] = value
+        elif part == "sum":
+            sample["sum"] = value
+        else:
+            sample["count"] = value
+    return snapshot, kinds
 
 
 #: The process-wide default registry.  Library code declares its

@@ -37,10 +37,18 @@ import hashlib
 import json
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, TextIO, Tuple
+from typing import Any, Deque, Dict, Iterator, List, Optional, TextIO, Tuple
 
+from repro.obs import metrics as obs_metrics
 from repro.obs.logs import sanitize_fields
+
+_SPANS_DROPPED = obs_metrics.REGISTRY.counter(
+    "repro_obs_spans_dropped_total",
+    "Spans evicted from the recorder ring buffer (oldest-first) because "
+    "max_spans was reached.",
+)
 
 __all__ = [
     "Span",
@@ -146,11 +154,14 @@ class _SpanHandle:
 
 
 class SpanRecorder:
-    """Bounded in-memory span store with a JSONL exporter.
+    """Bounded in-memory span ring buffer with a JSONL exporter.
 
-    ``max_spans`` caps memory; once full, new spans are counted in
-    ``dropped`` instead of stored (finishing an already-stored span
-    always works — the cap applies at start time).  The recorder is a
+    ``max_spans`` caps memory as a drop-*oldest* ring: a long-lived
+    ``serve`` process keeps the most recent window of spans instead of
+    freezing the picture at startup.  Evictions increment ``dropped``
+    and the ``repro_obs_spans_dropped_total`` counter.  Finishing an
+    already-evicted span still works — the handle owns the span object;
+    eviction only forgets it from the export set.  The recorder is a
     process-wide singleton in practice (:data:`RECORDER`), reset by
     tests between cases.
     """
@@ -159,7 +170,7 @@ class SpanRecorder:
         self.max_spans = max_spans
         self.process = process
         self.dropped = 0
-        self._spans: List[Span] = []
+        self._spans: Deque[Span] = deque()
         self._lock = threading.Lock()
         self._next_id = 0
         self.enabled = True
@@ -199,10 +210,11 @@ class SpanRecorder:
         )
         if self.enabled:
             with self._lock:
-                if len(self._spans) < self.max_spans:
-                    self._spans.append(span)
-                else:
+                self._spans.append(span)
+                while len(self._spans) > self.max_spans:
+                    self._spans.popleft()
                     self.dropped += 1
+                    _SPANS_DROPPED.inc()
         return _SpanHandle(self, span)
 
     def span(
@@ -241,12 +253,27 @@ class SpanRecorder:
             self.dropped = 0
             self._next_id = 0
 
+    def export_jsonl_chunks(self, chunk_size: int = 512) -> Iterator[str]:
+        """Yield the JSONL export in bounded chunks of whole lines.
+
+        The snapshot is taken once up front (so a concurrent writer
+        can't skew the export) but serialization is incremental: the
+        ``/spans`` endpoint streams each chunk to the socket instead of
+        materializing one giant string for 50k spans.
+        """
+        spans = self.snapshot()
+        for index in range(0, len(spans), max(1, chunk_size)):
+            yield "".join(
+                json.dumps(span.to_dict(), separators=(",", ":")) + "\n"
+                for span in spans[index : index + max(1, chunk_size)]
+            )
+
     def export_jsonl(self, fp: TextIO) -> int:
         """Write one JSON object per span; returns the span count."""
         count = 0
-        for span in self.snapshot():
-            fp.write(json.dumps(span.to_dict(), separators=(",", ":")) + "\n")
-            count += 1
+        for chunk in self.export_jsonl_chunks():
+            fp.write(chunk)
+            count += chunk.count("\n")
         return count
 
 
@@ -264,17 +291,56 @@ def merge_timeline(
     """Order one trace's spans as (start, process, name, duration).
 
     Utility for the CLI/bench timeline reconstruction: feed it records
-    loaded from one or more processes' JSONL exports.
+    loaded from one or more processes' JSONL exports.  Real exports are
+    messy — retried RPCs re-emit the same span id, crashes leave spans
+    without ``end``, clocks across hosts disagree — so this tolerates
+    all of it: malformed records are skipped, duplicate
+    ``(process, span_id)`` pairs keep the most complete copy (finished
+    beats unfinished, then longer duration), and the result is sorted
+    by ``(start, process, name)`` only, which keeps the timeline
+    monotone per process even when cross-process clock skew interleaves
+    the merged view oddly.
     """
-    rows = []
+    best: Dict[Any, Tuple[float, str, str, Optional[float]]] = {}
+    anonymous = 0
     for rec in records:
-        if rec.get("trace_id") != trace_id_hex:
+        if not isinstance(rec, dict) or rec.get("trace_id") != trace_id_hex:
             continue
-        start = float(rec["start"])
+        try:
+            start = float(rec["start"])
+            name = str(rec["name"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        process = str(rec.get("process", "?"))
         end = rec.get("end")
-        duration = (float(end) - start) if end is not None else None
-        rows.append((start, str(rec.get("process", "?")), str(rec["name"]), duration))
-    rows.sort()
+        try:
+            duration = (float(end) - start) if end is not None else None
+        except (TypeError, ValueError):
+            duration = None
+        span_id = rec.get("span_id")
+        if span_id is None:
+            anonymous += 1
+            key: Any = ("", anonymous)
+        else:
+            key = (process, str(span_id))
+        row = (start, process, name, duration)
+        prior = best.get(key)
+        if prior is not None:
+            # Retried RPCs export the same span id twice; keep whichever
+            # copy carries more information.
+            prior_duration = prior[3]
+            if duration is None and prior_duration is not None:
+                continue
+            if (
+                duration is not None
+                and prior_duration is not None
+                and duration <= prior_duration
+            ):
+                continue
+        best[key] = row
+    rows = list(best.values())
+    # Durations may be None: never let them participate in tie-breaks.
+    rows.sort(key=lambda r: (r[0], r[1], r[2]))
     return rows
 
 

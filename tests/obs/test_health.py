@@ -1,0 +1,251 @@
+"""HealthMonitor: rolling-window SLO verdicts from registry snapshots."""
+
+import asyncio
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.health import (
+    STATUS_CRITICAL,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    HealthMonitor,
+    SLOPolicy,
+    sample_process_stats,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_monitor(**kwargs):
+    clock = FakeClock()
+    slo = kwargs.pop("slo", SLOPolicy(min_requests=5))
+    monitor = HealthMonitor(
+        obs_metrics.REGISTRY, window=30.0, slo=slo, clock=clock, **kwargs
+    )
+    return monitor, clock
+
+
+def drive_requests(msg_type="post_query", outcome="ok", n=10, seconds=0.001):
+    requests = obs_metrics.REGISTRY.counter(
+        "repro_ssi_requests_total", "x", ("msg_type", "outcome")
+    )
+    latency = obs_metrics.REGISTRY.histogram(
+        "repro_ssi_request_seconds", "x", ("msg_type",)
+    )
+    for _ in range(n):
+        requests.labels(msg_type=msg_type, outcome=outcome).inc()
+        latency.labels(msg_type=msg_type).observe(seconds)
+
+
+class TestVerdict:
+    def test_quiet_registry_is_ok(self):
+        monitor, clock = make_monitor()
+        monitor.record_sample()
+        clock.advance(10)
+        verdict = monitor.verdict()
+        assert verdict.status == STATUS_OK
+        assert verdict.reasons == []
+        assert verdict.status_name == "ok"
+        assert verdict.window_seconds == pytest.approx(10.0)
+
+    def test_healthy_traffic_is_ok(self):
+        monitor, clock = make_monitor()
+        monitor.record_sample()
+        drive_requests(n=50, seconds=0.001)
+        clock.advance(10)
+        assert monitor.verdict().status == STATUS_OK
+
+    def test_latency_slo_violation_names_the_msg_type(self):
+        monitor, clock = make_monitor(
+            slo=SLOPolicy(latency_objective=0.1, min_requests=5)
+        )
+        monitor.record_sample()
+        drive_requests(msg_type="post_query", n=20, seconds=2.0)
+        clock.advance(10)
+        verdict = monitor.verdict()
+        assert verdict.status == STATUS_DEGRADED
+        assert "latency_slo:post_query" in verdict.reasons
+
+    def test_latency_objective_override_per_msg_type(self):
+        slo = SLOPolicy(
+            latency_objective=0.001,
+            latency_objectives=(("submit_tuples", 10.0),),
+            min_requests=5,
+        )
+        monitor, clock = make_monitor(slo=slo)
+        monitor.record_sample()
+        drive_requests(msg_type="submit_tuples", n=20, seconds=1.0)
+        clock.advance(10)
+        assert monitor.verdict().status == STATUS_OK  # loose override holds
+
+    def test_error_budget_burn_degrades_then_criticals(self):
+        monitor, clock = make_monitor(
+            slo=SLOPolicy(error_budget=0.01, min_requests=5)
+        )
+        monitor.record_sample()
+        drive_requests(outcome="ok", n=95)
+        drive_requests(outcome="err_5", n=5)  # 5% > 1% budget
+        clock.advance(10)
+        verdict = monitor.verdict()
+        assert verdict.status == STATUS_DEGRADED
+        assert "error_budget" in verdict.reasons
+
+        drive_requests(outcome="err_5", n=50)  # ~37% > 10x budget
+        assert monitor.verdict().status == STATUS_CRITICAL
+
+    def test_admission_pushback_is_not_an_error(self):
+        monitor, clock = make_monitor(
+            slo=SLOPolicy(error_budget=0.01, admission_budget=0.5, min_requests=5)
+        )
+        monitor.record_sample()
+        drive_requests(outcome="ok", n=60)
+        drive_requests(outcome="err_10", n=20)  # 25% rejected: under budget
+        clock.advance(10)
+        verdict = monitor.verdict()
+        assert "error_budget" not in verdict.reasons
+        assert verdict.status == STATUS_OK
+
+    def test_admission_rate_over_budget_degrades(self):
+        monitor, clock = make_monitor(
+            slo=SLOPolicy(admission_budget=0.5, min_requests=5)
+        )
+        monitor.record_sample()
+        drive_requests(outcome="ok", n=10)
+        drive_requests(outcome="err_10", n=30)  # 75% rejected
+        clock.advance(10)
+        verdict = monitor.verdict()
+        assert verdict.status == STATUS_DEGRADED
+        assert "admission_rate" in verdict.reasons
+
+    def test_min_requests_suppresses_noise(self):
+        monitor, clock = make_monitor(slo=SLOPolicy(min_requests=100))
+        monitor.record_sample()
+        drive_requests(outcome="err_5", n=10)  # 100% errors, tiny sample
+        clock.advance(10)
+        assert monitor.verdict().status == STATUS_OK
+
+    def test_eventloop_lag_thresholds(self):
+        monitor, clock = make_monitor(
+            slo=SLOPolicy(eventloop_lag_degraded=0.25, eventloop_lag_critical=1.0)
+        )
+        monitor.record_lag(0.01)
+        assert monitor.verdict().status == STATUS_OK
+        monitor.record_lag(0.5)
+        verdict = monitor.verdict()
+        assert verdict.status == STATUS_DEGRADED
+        assert verdict.reasons == ["eventloop_lag"]
+        monitor.record_lag(2.0)
+        assert monitor.verdict().status == STATUS_CRITICAL
+
+    def test_lag_samples_age_out_of_the_window(self):
+        monitor, clock = make_monitor()
+        monitor.record_lag(5.0)
+        assert monitor.verdict().status == STATUS_CRITICAL
+        clock.advance(31)
+        monitor.record_lag(0.0)  # stale spike evicted on the next record
+        assert monitor.verdict().status == STATUS_OK
+
+    def test_window_rolls_old_errors_out(self):
+        monitor, clock = make_monitor(
+            slo=SLOPolicy(error_budget=0.01, min_requests=5)
+        )
+        monitor.record_sample()
+        drive_requests(outcome="err_5", n=50)
+        clock.advance(10)
+        assert monitor.verdict().status != STATUS_OK
+        # the errors stop; samples march the baseline past the burst
+        for _ in range(8):
+            clock.advance(10)
+            monitor.record_sample()
+        assert monitor.verdict().status == STATUS_OK
+
+    def test_verdict_to_dict_is_scalars_only(self):
+        monitor, clock = make_monitor()
+        monitor.record_lag(0.5)
+        payload = monitor.verdict().to_dict()
+        assert payload["status"] == "degraded"
+        assert payload["reasons"] == ["eventloop_lag"]
+        assert isinstance(payload["eventloop_lag_seconds"], float)
+        assert isinstance(payload["window_seconds"], float)
+
+
+class TestGaugesAndSampling:
+    def test_record_sample_publishes_status_gauge(self):
+        monitor, clock = make_monitor()
+        monitor.record_lag(5.0)
+        monitor.record_sample()
+        snapshot = obs_metrics.REGISTRY.snapshot()
+        assert snapshot["repro_health_status"][()] == float(STATUS_CRITICAL)
+        assert snapshot["repro_eventloop_lag_seconds"][()] == 5.0
+
+    def test_resource_stats_land_in_gauges(self):
+        monitor, clock = make_monitor()
+        monitor.record_sample(
+            resource_stats={"rss_bytes": 1e6, "cpu_seconds": 2.5, "open_fds": 12}
+        )
+        snapshot = obs_metrics.REGISTRY.snapshot()
+        assert snapshot["repro_process_rss_bytes"][()] == 1e6
+        assert snapshot["repro_process_cpu_seconds"][()] == 2.5
+        assert snapshot["repro_process_open_fds"][()] == 12.0
+
+    def test_sample_process_stats_is_sane_here(self):
+        stats = sample_process_stats()
+        assert stats["rss_bytes"] > 0
+        assert stats["cpu_seconds"] > 0
+        assert stats["open_fds"] >= 0
+
+    def test_background_loops_sample_lag_and_stop_cleanly(self):
+        async def run():
+            monitor = HealthMonitor(
+                obs_metrics.REGISTRY,
+                window=5.0,
+                interval=0.05,
+                lag_interval=0.01,
+            )
+            await monitor.start()
+            await asyncio.sleep(0.15)
+            await monitor.stop()
+            return monitor
+
+        monitor = asyncio.run(run())
+        assert monitor._lags  # lag sampler ran
+        assert len(monitor._snapshots) >= 2  # sampler ran at least once
+        assert monitor._tasks == []
+
+    def test_detects_an_injected_stall(self):
+        """A blocking sleep on the loop shows up as lag within a window."""
+        import time
+
+        async def run():
+            monitor = HealthMonitor(
+                obs_metrics.REGISTRY,
+                window=5.0,
+                interval=10.0,  # snapshot sampler stays out of the way
+                lag_interval=0.01,
+                slo=SLOPolicy(
+                    eventloop_lag_degraded=0.05, eventloop_lag_critical=5.0
+                ),
+            )
+            await monitor.start()
+            try:
+                await asyncio.sleep(0.03)
+                time.sleep(0.2)  # the injected stall
+                await asyncio.sleep(0.03)  # let the sampler observe it
+                return monitor.verdict()
+            finally:
+                await monitor.stop()
+
+        verdict = asyncio.run(run())
+        assert verdict.status == STATUS_DEGRADED
+        assert "eventloop_lag" in verdict.reasons
+        assert verdict.eventloop_lag >= 0.1

@@ -178,3 +178,109 @@ class TestPrometheusRendering:
             name_and_labels, _, value = line.rpartition(" ")
             assert name_and_labels
             float(value)  # every sample value must parse
+
+
+class TestSnapshotAlgebra:
+    def test_diff_counters_and_new_series(self, registry):
+        from repro.obs.metrics import diff_snapshots
+
+        c = registry.counter("reqs_total", "r", ("op",))
+        c.labels(op="a").inc(3)
+        old = registry.snapshot()
+        c.labels(op="a").inc(2)
+        c.labels(op="b").inc(7)  # series born after the baseline
+        delta = diff_snapshots(old, registry.snapshot())
+        assert delta["reqs_total"][(("op", "a"),)] == 2.0
+        assert delta["reqs_total"][(("op", "b"),)] == 7.0
+
+    def test_diff_histograms_per_bucket(self, registry):
+        from repro.obs.metrics import diff_snapshots
+
+        h = registry.histogram("lat_seconds", "l", buckets=(0.1, 1.0))
+        h.labels().observe(0.05)
+        old = registry.snapshot()
+        h.labels().observe(0.5)
+        h.labels().observe(0.5)
+        delta = diff_snapshots(old, registry.snapshot())
+        sample = delta["lat_seconds"][()]
+        assert sample["count"] == 2
+        assert sample["sum"] == pytest.approx(1.0)
+        assert sample["buckets"][0.1] == 0
+        assert sample["buckets"][1.0] == 2
+        assert sample["buckets"][float("inf")] == 2
+
+    def test_absolute_families_copy_through(self, registry):
+        from repro.obs.metrics import diff_snapshots
+
+        g = registry.gauge("inflight", "g")
+        g.labels().set(5)
+        old = registry.snapshot()
+        g.labels().set(3)
+        delta = diff_snapshots(old, registry.snapshot(), absolute=("inflight",))
+        assert delta["inflight"][()] == 3.0  # level, not the -2 derivative
+
+    def test_quantile_from_buckets_upper_bound(self):
+        from repro.obs.metrics import quantile_from_buckets
+
+        buckets = {0.1: 50, 1.0: 90, float("inf"): 100}
+        assert quantile_from_buckets(buckets, 100, 0.5) == 0.1
+        assert quantile_from_buckets(buckets, 100, 0.9) == 1.0
+        assert quantile_from_buckets(buckets, 100, 0.99) == float("inf")
+        assert quantile_from_buckets(buckets, 0, 0.99) == 0.0
+
+
+class TestParsePrometheusText:
+    def test_round_trips_the_renderer(self, registry):
+        from repro.obs.metrics import parse_prometheus_text
+
+        registry.counter("reqs_total", "r", ("op", "outcome")).labels(
+            op="post", outcome="ok"
+        ).inc(4)
+        registry.gauge("open_conns", "g").labels().set(2)
+        registry.histogram("lat_seconds", "l", buckets=(0.1, 1.0)).labels().observe(
+            0.5
+        )
+        snapshot, kinds = parse_prometheus_text(registry.render_prometheus())
+        assert kinds == {
+            "reqs_total": "counter",
+            "open_conns": "gauge",
+            "lat_seconds": "histogram",
+        }
+        assert (
+            snapshot["reqs_total"][(("op", "post"), ("outcome", "ok"))] == 4.0
+        )
+        assert snapshot["open_conns"][()] == 2.0
+        histogram = snapshot["lat_seconds"][()]
+        assert histogram["count"] == 1
+        assert histogram["sum"] == pytest.approx(0.5)
+        assert histogram["buckets"][1.0] == 1
+        assert histogram["buckets"][float("inf")] == 1
+
+    def test_parse_then_diff_composes(self, registry):
+        # the `repro stats --watch` pipeline: text -> snapshot -> rates
+        from repro.obs.metrics import diff_snapshots, parse_prometheus_text
+
+        c = registry.counter("reqs_total", "r")
+        c.labels().inc(1)
+        old, _ = parse_prometheus_text(registry.render_prometheus())
+        c.labels().inc(9)
+        new, _ = parse_prometheus_text(registry.render_prometheus())
+        assert diff_snapshots(old, new)["reqs_total"][()] == 9.0
+
+    def test_tolerates_junk_lines(self):
+        from repro.obs.metrics import parse_prometheus_text
+
+        snapshot, kinds = parse_prometheus_text(
+            "# HELP x y\n# TYPE x counter\nx 3\nnot a sample !!\nx{bad 4\n"
+        )
+        assert snapshot["x"][()] == 3.0
+        assert kinds["x"] == "counter"
+
+    def test_escaped_label_values(self, registry):
+        from repro.obs.metrics import parse_prometheus_text
+
+        registry.counter("e_total", "e", ("msg",)).labels(
+            msg='say "hi"\nbye\\now'
+        ).inc()
+        snapshot, _ = parse_prometheus_text(registry.render_prometheus())
+        assert snapshot["e_total"][(("msg", 'say "hi"\nbye\\now'),)] == 1.0

@@ -70,10 +70,41 @@ class TestSpanRecorder:
 
     def test_cap_counts_drops(self):
         rec = SpanRecorder(max_spans=2)
-        for _ in range(5):
-            rec.start("s", trace_id=1).finish()
+        for index in range(5):
+            rec.start("s", trace_id=1, seq=index).finish()
         assert len(rec.snapshot()) == 2
         assert rec.dropped == 3
+        # Ring semantics: the *newest* spans survive, so a long-lived
+        # serve process keeps the recent window instead of the startup.
+        assert [s.attributes["seq"] for s in rec.snapshot()] == [3, 4]
+
+    def test_drop_counter_exported(self):
+        from repro.obs import metrics as obs_metrics
+
+        rec = SpanRecorder(max_spans=1)
+        rec.start("a", trace_id=1).finish()
+        rec.start("b", trace_id=1).finish()
+        snapshot = obs_metrics.REGISTRY.snapshot()
+        assert snapshot["repro_obs_spans_dropped_total"][()] >= 1
+
+    def test_finishing_an_evicted_span_is_safe(self):
+        rec = SpanRecorder(max_spans=1)
+        first = rec.start("a", trace_id=1)
+        rec.start("b", trace_id=1)
+        first.finish()  # evicted from the ring, but the handle still works
+        assert first.span.end is not None
+
+    def test_export_jsonl_chunks_streams_whole_lines(self):
+        rec = SpanRecorder(process="chunks")
+        for _ in range(7):
+            rec.start("s", trace_id=1).finish()
+        chunks = list(rec.export_jsonl_chunks(chunk_size=3))
+        assert len(chunks) == 3  # 3 + 3 + 1
+        for chunk in chunks:
+            assert chunk.endswith("\n")
+            for line in chunk.strip().splitlines():
+                json.loads(line)
+        assert sum(c.count("\n") for c in chunks) == 7
 
     def test_context_manager_finishes(self):
         rec = SpanRecorder()
@@ -124,6 +155,105 @@ class TestMergeTimeline:
         ]
         assert timeline[0][3] == 3.0
         assert timeline[1][3] == 1.0
+
+    def test_orphan_spans_across_processes_survive(self):
+        # A child recorded on the fleet whose parent span id belongs to
+        # an SSI export we never loaded: still on the timeline.
+        trace = f"{derive_trace_id('q'):016x}"
+        records = [
+            {
+                "trace_id": trace,
+                "span_id": "00000000000000aa",
+                "parent_id": "ffffffffffffffff",  # unknown parent
+                "name": "contribution",
+                "process": "fleet-0",
+                "start": 2.0,
+                "end": 3.0,
+            },
+            {
+                "trace_id": trace,
+                "span_id": "00000000000000bb",
+                "parent_id": None,
+                "name": "query",
+                "process": "ssi",
+                "start": 1.0,
+                "end": 4.0,
+            },
+        ]
+        timeline = merge_timeline(records, trace)
+        assert [(p, n) for _, p, n, _ in timeline] == [
+            ("ssi", "query"),
+            ("fleet-0", "contribution"),
+        ]
+
+    def test_duplicate_span_ids_from_retried_rpc_deduplicate(self):
+        trace = f"{derive_trace_id('q'):016x}"
+        base = {
+            "trace_id": trace,
+            "span_id": "00000000000000aa",
+            "name": "rpc:submit",
+            "process": "fleet-0",
+        }
+        records = [
+            {**base, "start": 1.0, "end": None},        # abandoned attempt
+            {**base, "start": 1.0, "end": 1.5},         # retry, finished
+            {**base, "start": 1.0, "end": 1.2},         # earlier partial copy
+        ]
+        timeline = merge_timeline(records, trace)
+        assert len(timeline) == 1
+        assert timeline[0][3] == 0.5  # the most complete copy wins
+        # Same span id on a *different* process is a different span.
+        records.append({**base, "process": "fleet-1", "start": 0.5, "end": 0.6})
+        assert len(merge_timeline(records, trace)) == 2
+
+    def test_skewed_clocks_stay_monotone_per_process(self):
+        # fleet-1's clock is ~1000s behind; the merged view interleaves
+        # oddly but each process's own spans must stay in order.
+        trace = f"{derive_trace_id('q'):016x}"
+        records = []
+        for index in range(5):
+            records.append(
+                {
+                    "trace_id": trace,
+                    "span_id": f"a{index:015x}",
+                    "name": "s",
+                    "process": "ssi",
+                    "start": 5000.0 + index,
+                    "end": 5000.5 + index,
+                }
+            )
+            records.append(
+                {
+                    "trace_id": trace,
+                    "span_id": f"b{index:015x}",
+                    "name": "s",
+                    "process": "fleet-1",
+                    "start": 4000.0 + index,
+                    "end": 4000.5 + index,
+                }
+            )
+        timeline = merge_timeline(records, trace)
+        assert len(timeline) == 10
+        for process in ("ssi", "fleet-1"):
+            starts = [row[0] for row in timeline if row[1] == process]
+            assert starts == sorted(starts)
+
+    def test_malformed_and_unfinished_records_never_crash(self):
+        trace = f"{derive_trace_id('q'):016x}"
+        records = [
+            "not a dict",
+            {"trace_id": trace},  # no start/name
+            {"trace_id": trace, "start": "NaNsense", "name": "x"},
+            {"trace_id": trace, "start": 1.0, "name": "open", "end": None},
+            {"trace_id": trace, "start": 1.0, "name": "bad-end", "end": "?"},
+            # identical start: ties must not compare None durations
+            {"trace_id": trace, "start": 1.0, "name": "bad-end", "end": 2.0},
+        ]
+        timeline = merge_timeline(records, trace)
+        names = [n for _, _, n, _ in timeline]
+        assert "open" in names and "bad-end" in names
+        # the finished copy of the duplicate-free pair kept its duration
+        assert any(d == 1.0 for _, _, n, d in timeline if n == "bad-end")
 
 
 class TestQueryLifecycle:

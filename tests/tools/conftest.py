@@ -1,0 +1,13 @@
+"""Make the repo root importable so ``tools.bench_check`` resolves.
+
+Tier-1 runs as ``PYTHONPATH=src python -m pytest`` from the repo root; the
+``tools`` package lives next to ``src`` and is not installed, so tests add
+the root explicitly instead of relying on the invocation directory.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))

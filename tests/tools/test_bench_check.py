@@ -1,0 +1,168 @@
+"""Perf-regression gate: the gate must fail on a 20% throughput drop."""
+
+import copy
+import json
+
+import pytest
+
+from tools.bench_check import (
+    classify,
+    compare,
+    flatten,
+    machine_class_differs,
+    main,
+    smoke,
+)
+
+BASELINE = {
+    "description": "net throughput",
+    "environment": {"cpu_count": 1, "python": "3.12"},
+    "after": {
+        "tuples_per_s_tcp": 1000.0,
+        "wall_s": 2.0,
+        "batch_size": 64,
+        "sharding": {"status": "skipped_single_core"},
+    },
+    "speedup_tcp": 3.5,
+}
+
+
+def candidate_with(path, value):
+    tree = copy.deepcopy(BASELINE)
+    node = tree
+    *parents, leaf = path.split(".")
+    for key in parents:
+        node = node[key]
+    node[leaf] = value
+    return tree
+
+
+class TestFlatten:
+    def test_numeric_leaves_become_dotted_paths(self):
+        flat = dict(flatten(BASELINE))
+        assert flat["after.tuples_per_s_tcp"] == 1000.0
+        assert flat["speedup_tcp"] == 3.5
+
+    def test_environment_and_prose_subtrees_skipped(self):
+        flat = dict(flatten(BASELINE))
+        assert not any(p.startswith("environment") for p in flat)
+
+    def test_strings_and_bools_are_not_metrics(self):
+        flat = dict(flatten({"a": {"status": "skipped", "enabled": True}}))
+        assert flat == {}
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("after.tuples_per_s_tcp", "higher"),
+            ("speedup_tcp", "higher"),
+            ("queries_per_s", "higher"),
+            ("wall_s", "lower"),
+            ("latency.p99", "lower"),
+            ("overhead_pct", "lower"),
+            ("after.batch_size", "info"),
+            ("environment.cpu_count", "info"),
+            ("mystery_metric", "unknown"),
+        ],
+    )
+    def test_direction_vocabulary(self, path, expected):
+        assert classify(path) == expected
+
+
+class TestCompare:
+    def test_identical_trees_pass(self):
+        failures, warnings = compare(BASELINE, BASELINE, 0.25, 0.001)
+        assert failures == []
+        assert warnings == []
+
+    def test_twenty_percent_throughput_drop_fails(self):
+        candidate = candidate_with("after.tuples_per_s_tcp", 800.0)
+        failures, _ = compare(BASELINE, candidate, 0.15, 0.001)
+        assert any("after.tuples_per_s_tcp" in line for line in failures)
+
+    def test_latency_rise_fails(self):
+        candidate = candidate_with("after.wall_s", 3.0)
+        failures, _ = compare(BASELINE, candidate, 0.25, 0.001)
+        assert any("after.wall_s" in line for line in failures)
+
+    def test_improvements_never_fail(self):
+        candidate = candidate_with("after.tuples_per_s_tcp", 5000.0)
+        candidate["after"]["wall_s"] = 0.5
+        failures, warnings = compare(BASELINE, candidate, 0.25, 0.001)
+        assert failures == []
+        assert warnings == []
+
+    def test_unknown_direction_warns_but_never_fails(self):
+        base = {"mystery_metric": 10.0}
+        failures, warnings = compare(base, {"mystery_metric": 1.0}, 0.25, 0.001)
+        assert failures == []
+        assert any("mystery_metric" in line for line in warnings)
+
+    def test_noise_floor_suppresses_tiny_values(self):
+        base = {"phase.wall_s": 0.0002}
+        failures, _ = compare(base, {"phase.wall_s": 0.0009}, 0.25, 0.001)
+        assert failures == []
+
+    def test_missing_metric_warns(self):
+        candidate = copy.deepcopy(BASELINE)
+        del candidate["after"]["tuples_per_s_tcp"]
+        failures, warnings = compare(BASELINE, candidate, 0.25, 0.001)
+        assert failures == []
+        assert any("missing in candidate" in line for line in warnings)
+
+
+class TestMachineClass:
+    def test_differs_on_cpu_count(self):
+        other = candidate_with("environment.cpu_count", 8)
+        assert machine_class_differs(BASELINE, other)
+        assert not machine_class_differs(BASELINE, BASELINE)
+
+    def test_absent_environment_never_differs(self):
+        assert not machine_class_differs({}, BASELINE)
+
+
+class TestCli:
+    def write(self, tmp_path, name, tree):
+        path = tmp_path / name
+        path.write_text(json.dumps(tree))
+        return str(path)
+
+    def test_synthetic_20pct_regression_exits_nonzero(self, tmp_path, capsys):
+        """The ISSUE 10 acceptance check for the gate itself."""
+        baseline = self.write(tmp_path, "base.json", BASELINE)
+        regressed = self.write(
+            tmp_path,
+            "cand.json",
+            candidate_with("after.tuples_per_s_tcp", 800.0),
+        )
+        status = main(
+            ["--baseline", baseline, "--candidate", regressed,
+             "--tolerance", "0.15"]
+        )
+        assert status != 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_head_equals_head_exits_zero(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", BASELINE)
+        status = main(["--baseline", baseline, "--candidate", baseline])
+        assert status == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_cross_class_downgrades_unless_strict(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", BASELINE)
+        regressed = candidate_with("after.tuples_per_s_tcp", 100.0)
+        regressed["environment"]["cpu_count"] = 8
+        candidate = self.write(tmp_path, "cand.json", regressed)
+        args = ["--baseline", baseline, "--candidate", candidate]
+        assert main(args) == 0
+        assert "downgraded" in capsys.readouterr().out
+        assert main(args + ["--strict"]) != 0
+
+    def test_smoke_passes_against_committed_baselines(self, capsys):
+        """Every committed BENCH_*.json must parse and expose gated
+        metrics — the CI entry point must be green at HEAD."""
+        assert smoke(0.25, 0.001) == 0
+        out = capsys.readouterr().out
+        assert "no gated metrics" not in out

@@ -33,6 +33,10 @@ REQUIRED_FAMILIES = (
     "repro_ssi_connections_open",
     "repro_ssi_frames_total",
     "repro_ssi_bytes_total",
+    # health monitor (PR 10): declared by repro.obs.health at serve time
+    "repro_health_status",
+    "repro_eventloop_lag_seconds",
+    "repro_obs_spans_dropped_total",
 )
 
 
@@ -43,6 +47,41 @@ def scrape(host: str, port: int, timeout: float) -> str:
         if not content_type.startswith("text/plain"):
             raise SystemExit(f"FAIL: unexpected content type {content_type!r}")
         return response.read().decode("utf-8")
+
+
+def check_healthz(host: str, port: int, timeout: float) -> list[str]:
+    """Scrape /healthz and assert it serves a well-formed JSON verdict."""
+    import json
+
+    url = f"http://{host}:{port}/healthz"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            body = response.read().decode("utf-8")
+            status_code = response.status
+    except urllib.error.HTTPError as exc:  # 503 = degraded, still JSON
+        body = exc.read().decode("utf-8")
+        status_code = exc.code
+    except (urllib.error.URLError, OSError) as exc:
+        return [f"cannot scrape {url}: {exc}"]
+    try:
+        verdict = json.loads(body)
+    except ValueError:
+        return [f"/healthz body is not JSON (monitor not wired?): {body[:80]!r}"]
+    failures = []
+    if verdict.get("status") not in ("ok", "degraded", "critical"):
+        failures.append(f"/healthz has invalid status {verdict.get('status')!r}")
+    if not isinstance(verdict.get("reasons"), list):
+        failures.append("/healthz verdict lacks a reasons list")
+    expect_503 = verdict.get("status") != "ok"
+    if expect_503 != (status_code == 503):
+        failures.append(
+            f"/healthz status code {status_code} inconsistent with "
+            f"verdict {verdict.get('status')!r}"
+        )
+    if not failures:
+        print(f"ok: /healthz verdict {verdict.get('status')!r} "
+              f"(reasons={verdict.get('reasons')})")
+    return failures
 
 
 def check(text: str, required: tuple[str, ...], min_requests: int) -> list[str]:
@@ -80,6 +119,11 @@ def main(argv: list[str]) -> int:
         default=1,
         help="minimum total across repro_ssi_requests_total series",
     )
+    parser.add_argument(
+        "--check-healthz",
+        action="store_true",
+        help="also scrape /healthz and assert a well-formed JSON verdict",
+    )
     args = parser.parse_args(argv)
     try:
         text = scrape(args.host, args.port, args.timeout)
@@ -87,6 +131,8 @@ def main(argv: list[str]) -> int:
         print(f"FAIL: cannot scrape {args.host}:{args.port}/metrics: {exc}")
         return 1
     failures = check(text, tuple(args.require), args.min_requests)
+    if args.check_healthz:
+        failures.extend(check_healthz(args.host, args.port, args.timeout))
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
